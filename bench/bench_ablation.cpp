@@ -1,0 +1,96 @@
+// Ablation study of KiNETGAN's design choices (DESIGN.md experiment A1):
+//   - knowledge-guided discriminator D_KG on/off,
+//   - conditional copy penalty BCE(C, Ĉ) on/off,
+//   - minority-value resampling on/off,
+//   - reduced conditioning (event_type only) with/without D_KG — the regime
+//     where the knowledge graph must supply the attribute correlations the
+//     conditioning no longer pins down.
+// Reports KG validity of the synthetic attributes, EMD, and TSTR accuracy.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/common/text.hpp"
+#include "src/eval/metrics.hpp"
+#include "src/eval/tstr.hpp"
+
+namespace {
+
+using namespace kinet;        // NOLINT
+using namespace kinet::bench; // NOLINT
+
+struct Variant {
+    std::string name;
+    core::KiNetGanOptions options;
+    std::vector<std::size_t> cond_columns;  // empty = bundle default
+};
+
+}  // namespace
+
+int main() {
+    std::cout << "=== Ablation: KiNETGAN design choices (lab data) ===\n\n";
+
+    const DatasetBundle lab = make_lab_dataset();
+    const auto base = default_kinetgan_options(lab);
+
+    std::vector<Variant> variants;
+    variants.push_back({"full", base, {}});
+    {
+        auto v = base;
+        v.use_kg_discriminator = false;
+        variants.push_back({"-D_KG", v, {}});
+    }
+    {
+        auto v = base;
+        v.use_cond_penalty = false;
+        variants.push_back({"-condBCE", v, {}});
+    }
+    {
+        auto v = base;
+        v.use_minority_resampling = false;
+        variants.push_back({"-minority", v, {}});
+    }
+    const std::vector<std::size_t> event_only = {lab.train.column_index("event_type")};
+    {
+        auto v = base;
+        variants.push_back({"evt+KG", v, event_only});
+    }
+    {
+        auto v = base;
+        v.use_kg_discriminator = false;
+        variants.push_back({"evt-KG", v, event_only});
+    }
+
+    const std::vector<std::size_t> widths = {10, 12, 10, 12, 12};
+    print_row({"Variant", "KGvalidity", "EMD", "TSTR acc", "adherence"}, widths);
+    print_rule(64);
+
+    for (const auto& variant : variants) {
+        Stopwatch watch;
+        DatasetBundle bundle = lab;
+        if (!variant.cond_columns.empty()) {
+            bundle.cond_columns = variant.cond_columns;
+        }
+        auto model = make_kinetgan(bundle, variant.options);
+        model->fit(bundle.train);
+        const auto synth = model->sample(bundle.train.rows());
+
+        const double validity = model->kg_validity_rate(synth);
+        const double emd = eval::mean_emd(bundle.test, synth);
+        const auto tstr = eval::evaluate_tstr(synth, bundle.test, bundle.label_column);
+
+        print_row({variant.name, text::format_double(validity, 3), text::format_double(emd, 3),
+                   text::format_double(eval::average_accuracy(tstr), 3),
+                   text::format_double(model->last_cond_adherence(), 3)},
+                  widths);
+        std::cerr << "[ablation] " << variant.name << " done in "
+                  << text::format_double(watch.seconds(), 1) << "s\n";
+    }
+
+    print_rule(64);
+    std::cout << "\nExpected: 'full' dominates; dropping the conditional penalty collapses\n"
+                 "validity and utility; dropping minority resampling hurts rare-class TSTR;\n"
+                 "with event-only conditioning the KG discriminator carries the validity\n"
+                 "(evt+KG well above evt-KG) — the paper's central mechanism in isolation.\n";
+    return 0;
+}

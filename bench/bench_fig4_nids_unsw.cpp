@@ -1,0 +1,58 @@
+// Reproduces Figure 4: NIDS classifier accuracy on UNSW-NB15 (TSTR).
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/common/text.hpp"
+#include "src/eval/tstr.hpp"
+
+namespace {
+
+using namespace kinet;        // NOLINT
+using namespace kinet::bench; // NOLINT
+
+// Paper (Fig. 4): average NIDS accuracy on UNSW-NB15.
+const std::map<std::string, double> kPaperAverage = {
+    {"Baseline", 0.84}, {"CTGAN", 0.72},    {"OCTGAN", 0.58}, {"PATEGAN", 0.62},
+    {"TABLEGAN", 0.66}, {"TVAE", 0.73},     {"KiNETGAN", 0.78},
+};
+
+}  // namespace
+
+int main() {
+    std::cout << "=== Figure 4: NIDS accuracy, UNSW-NB15 ===\n";
+    std::cout << "(classifiers trained on synthetic, tested on real; paper averages in "
+                 "parentheses)\n\n";
+
+    const DatasetBundle unsw = make_unsw_dataset();
+    const std::vector<std::size_t> widths = {10, 8, 8, 8, 8, 8, 8, 16};
+    print_row({"Model", "DT", "RF", "LogReg", "KNN", "NB", "MLP", "Average"}, widths);
+    print_rule(90);
+
+    auto report = [&widths](const std::string& name, const std::vector<eval::TstrResult>& res) {
+        std::vector<std::string> row = {name};
+        for (const auto& r : res) {
+            row.push_back(text::format_double(r.accuracy, 3));
+        }
+        row.push_back(text::format_double(eval::average_accuracy(res), 3) + " (" +
+                      text::format_double(kPaperAverage.at(name), 2) + ")");
+        print_row(row, widths);
+    };
+
+    report("Baseline", eval::evaluate_tstr(unsw.train, unsw.test, unsw.label_column));
+
+    for (const auto& name : model_names()) {
+        Stopwatch watch;
+        auto model = make_model(name, unsw);
+        model->fit(unsw.train);
+        const auto synth = model->sample(unsw.train.rows());
+        report(name, eval::evaluate_tstr(synth, unsw.test, unsw.label_column));
+        std::cerr << "[fig4] " << name << " done in " << text::format_double(watch.seconds(), 1)
+                  << "s\n";
+    }
+
+    print_rule(90);
+    std::cout << "\nShape check: Baseline highest; KiNETGAN best among synthetic trainers.\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks of the core kernels (google-benchmark): matmul, one GAN
+// training step, KG oracle compilation + queries, transformer encode, and
+// the conditional sampler.  These justify the bench-scale configurations and
+// document where the training time goes.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/data/sampler.hpp"
+#include "src/data/transformer.hpp"
+#include "src/kg/network_kg.hpp"
+#include "src/netsim/lab_simulator.hpp"
+#include "src/nn/nn.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace {
+
+using namespace kinet;  // NOLINT
+using tensor::Matrix;
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+    Matrix m(r, c);
+    for (auto& v : m.data()) {
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    return m;
+}
+
+void BM_Matmul(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    const Matrix a = random_matrix(n, n, rng);
+    const Matrix b = random_matrix(n, n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tensor::matmul(a, b));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+    Rng rng(2);
+    nn::Sequential net;
+    net.emplace<nn::Linear>(96, 128, rng);
+    net.emplace<nn::BatchNorm1d>(128);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Linear>(128, 128, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Linear>(128, 64, rng);
+    const Matrix x = random_matrix(128, 96, rng);
+    const Matrix g = random_matrix(128, 64, rng);
+    for (auto _ : state) {
+        net.zero_grad();
+        benchmark::DoNotOptimize(net.forward(x, true));
+        benchmark::DoNotOptimize(net.backward(g));
+    }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_KgBuildAndCompileOracle(benchmark::State& state) {
+    for (auto _ : state) {
+        const auto kg = kg::NetworkKg::build_lab();
+        benchmark::DoNotOptimize(kg.make_oracle());
+    }
+}
+BENCHMARK(BM_KgBuildAndCompileOracle);
+
+void BM_KgOracleQuery(benchmark::State& state) {
+    const auto kg = kg::NetworkKg::build_lab();
+    const auto oracle = kg.make_oracle();
+    const std::vector<std::string> valid = {"camera", "UDP", "DNS", "53", "dns_query"};
+    const std::vector<std::string> invalid = {"camera", "UDP", "DNS", "443", "dns_query"};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(oracle.is_valid(valid));
+        benchmark::DoNotOptimize(oracle.is_valid(invalid));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_KgOracleQuery);
+
+void BM_TransformerEncode(benchmark::State& state) {
+    netsim::LabSimOptions opts;
+    opts.records = 2000;
+    const auto table = netsim::LabTrafficSimulator(opts).generate();
+    Rng rng(3);
+    data::TableTransformer tf;
+    tf.fit(table, data::TransformerOptions{}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tf.transform(table, rng));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(table.rows()));
+}
+BENCHMARK(BM_TransformerEncode);
+
+void BM_ConditionalSamplerDraw(benchmark::State& state) {
+    netsim::LabSimOptions opts;
+    opts.records = 4000;
+    const auto table = netsim::LabTrafficSimulator(opts).generate();
+    const data::ConditionalSampler sampler(table, netsim::lab_conditional_columns());
+    Rng rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sampler.draw(rng));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConditionalSamplerDraw);
+
+void BM_LabSimulator1k(benchmark::State& state) {
+    for (auto _ : state) {
+        netsim::LabSimOptions opts;
+        opts.records = 1000;
+        benchmark::DoNotOptimize(netsim::LabTrafficSimulator(opts).generate());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_LabSimulator1k);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Shared helpers for the per-table/figure benchmark harnesses.
+//
+// Each harness regenerates one artifact of the paper's evaluation section
+// (Table I, Figures 3-7) and prints the measured values next to the values
+// the paper reports.  Absolute numbers are not expected to match — the data
+// substrate here is a simulator — but the *shape* (who wins, by roughly what
+// factor) is the reproduction target; see EXPERIMENTS.md.
+//
+// Environment knobs:
+//   KINETGAN_BENCH_SCALE  — float in (0, 1], scales dataset sizes and epochs
+//                           (default 1.0; use 0.2 for a quick smoke run).
+#ifndef KINETGAN_BENCH_BENCH_UTIL_H
+#define KINETGAN_BENCH_BENCH_UTIL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/cond_tabular_gan.hpp"
+#include "src/baselines/pategan.hpp"
+#include "src/baselines/tablegan.hpp"
+#include "src/baselines/tvae.hpp"
+#include "src/core/kinetgan.hpp"
+#include "src/data/split.hpp"
+#include "src/gan/synthesizer.hpp"
+
+namespace kinet::bench {
+
+/// Train/test split of one experiment dataset plus its GAN configuration.
+struct DatasetBundle {
+    std::string name;  // "Lab Data" or "UNSW-NB15"
+    data::Table train;
+    data::Table test;
+    std::size_t label_column = 0;
+    std::vector<std::size_t> cond_columns;
+    std::vector<std::size_t> continuous_columns;
+    bool is_lab = true;
+};
+
+/// Scale factor from KINETGAN_BENCH_SCALE (clamped to [0.05, 1]).
+[[nodiscard]] double bench_scale();
+
+/// The lab-capture experiment dataset (14,520 records scaled by bench_scale,
+/// 70/30 stratified split).
+[[nodiscard]] DatasetBundle make_lab_dataset(std::uint64_t seed = 7);
+
+/// The UNSW-NB15-style experiment dataset.
+[[nodiscard]] DatasetBundle make_unsw_dataset(std::uint64_t seed = 11);
+
+/// Model roster in the paper's Table I order.
+[[nodiscard]] const std::vector<std::string>& model_names();
+
+/// Builds a synthesizer by name, configured for the bundle.  Epochs/hidden
+/// sizes are the bench defaults scaled by bench_scale().
+[[nodiscard]] std::unique_ptr<gan::Synthesizer> make_model(const std::string& name,
+                                                           const DatasetBundle& bundle,
+                                                           std::uint64_t seed = 42);
+
+/// Fully-configured KiNETGAN (concrete type, e.g. for discriminator scores).
+[[nodiscard]] std::unique_ptr<core::KiNetGan> make_kinetgan(const DatasetBundle& bundle,
+                                                            core::KiNetGanOptions options,
+                                                            std::uint64_t seed = 42);
+
+/// Bench-default KiNETGAN options for a bundle (epochs etc. pre-scaled).
+[[nodiscard]] core::KiNetGanOptions default_kinetgan_options(const DatasetBundle& bundle,
+                                                             std::uint64_t seed = 42);
+
+/// Table-row printing helpers.
+void print_rule(std::size_t width);
+void print_row(const std::vector<std::string>& cells, const std::vector<std::size_t>& widths);
+
+}  // namespace kinet::bench
+
+#endif  // KINETGAN_BENCH_BENCH_UTIL_H

@@ -1,0 +1,90 @@
+// Distributed NIDS scenario — the paper's motivating deployment (Sec. I).
+//
+// Three sites each hold a private traffic capture that must not leave the
+// premises (deep-packet-inspection data).  Each site trains a local KiNETGAN
+// and shares only synthetic traffic.  A central NIDS is trained on the pooled
+// synthetic release and compared against (a) the privacy-violating
+// raw-pooling upper bound and (b) each site training alone on its own data.
+//
+// Build & run:  ./build/examples/example_distributed_nids
+#include <iostream>
+
+#include "src/common/text.hpp"
+#include "src/core/kinetgan.hpp"
+#include "src/data/split.hpp"
+#include "src/eval/tstr.hpp"
+#include "src/netsim/lab_simulator.hpp"
+
+int main() {
+    using namespace kinet;  // NOLINT
+
+    constexpr std::size_t kSites = 3;
+    std::cout << "=== Distributed NIDS with synthetic data sharing (" << kSites
+              << " sites) ===\n\n";
+
+    // Each site observes a different mix of the same network (different
+    // seeds and attack intensities: site 2 sees few attacks and benefits the
+    // most from collaboration).
+    std::vector<data::Table> site_train;
+    data::Table pooled_real;
+    data::Table test;
+
+    for (std::size_t s = 0; s < kSites; ++s) {
+        netsim::LabSimOptions sim;
+        sim.records = 2500;
+        sim.seed = 100 + s;
+        sim.attack_intensity = (s == 2) ? 0.25 : 1.0;
+        const auto capture = netsim::LabTrafficSimulator(sim).generate();
+        Rng rng(200 + s);
+        auto split = data::train_test_split(capture, 0.3, rng, netsim::lab_label_column());
+        if (s == 0) {
+            pooled_real = split.train;
+            test = split.test;
+        } else {
+            pooled_real.append_rows(split.train);
+            test.append_rows(split.test);
+        }
+        site_train.push_back(std::move(split.train));
+    }
+
+    const std::size_t label = netsim::lab_label_column();
+
+    // (a) Privacy-violating upper bound: pool raw data.
+    const double upper =
+        eval::average_accuracy(eval::evaluate_tstr(pooled_real, test, label));
+    std::cout << "pooled RAW data (privacy-violating upper bound): "
+              << text::format_double(upper, 3) << "\n\n";
+
+    // (b) Per-site local models, and the pooled synthetic release.
+    data::Table pooled_synth;
+    const auto kg = kg::NetworkKg::build_lab();
+    for (std::size_t s = 0; s < kSites; ++s) {
+        const double local =
+            eval::average_accuracy(eval::evaluate_tstr(site_train[s], test, label));
+
+        core::KiNetGanOptions opts;
+        opts.gan.epochs = 30;
+        opts.gan.seed = 300 + s;
+        core::KiNetGan model(kg.make_oracle(), netsim::lab_conditional_columns(), opts);
+        model.fit(site_train[s]);
+        const auto synth = model.sample(site_train[s].rows());
+        if (s == 0) {
+            pooled_synth = synth;
+        } else {
+            pooled_synth.append_rows(synth);
+        }
+        std::cout << "site " << s << ": local-only NIDS accuracy "
+                  << text::format_double(local, 3) << ", shared "
+                  << synth.rows() << " synthetic rows (KG validity "
+                  << text::format_double(model.kg_validity_rate(synth), 3) << ")\n";
+    }
+
+    // (c) Central NIDS trained on pooled synthetic data only.
+    const double collaborative =
+        eval::average_accuracy(eval::evaluate_tstr(pooled_synth, test, label));
+    std::cout << "\npooled SYNTHETIC data (privacy-preserving):      "
+              << text::format_double(collaborative, 3) << "\n";
+    std::cout << "\nThe collaborative model approaches the raw-pooling bound without any\n"
+                 "site revealing a single real packet record.\n";
+    return 0;
+}

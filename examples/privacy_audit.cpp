@@ -1,0 +1,84 @@
+// Privacy audit: runs the paper's three attack families (Sec. V-C) against a
+// trained KiNETGAN release and prints an auditor-style report.
+//
+// Build & run:  ./build/examples/example_privacy_audit
+#include <iostream>
+
+#include "src/common/text.hpp"
+#include "src/core/kinetgan.hpp"
+#include "src/data/split.hpp"
+#include "src/eval/privacy/attribute_inference.hpp"
+#include "src/eval/privacy/membership_inference.hpp"
+#include "src/eval/privacy/reidentification.hpp"
+#include "src/netsim/lab_simulator.hpp"
+
+int main() {
+    using namespace kinet;  // NOLINT
+
+    std::cout << "=== Privacy audit of a KiNETGAN synthetic release ===\n\n";
+
+    netsim::LabSimOptions sim;
+    sim.records = 4000;
+    const auto capture = netsim::LabTrafficSimulator(sim).generate();
+    Rng rng(5);
+    const auto split = data::train_test_split(capture, 0.4, rng, netsim::lab_label_column());
+
+    const auto kg = kg::NetworkKg::build_lab();
+    core::KiNetGanOptions opts;
+    opts.gan.epochs = 30;
+    core::KiNetGan model(kg.make_oracle(), netsim::lab_conditional_columns(), opts);
+    model.fit(split.train);
+    const auto synth = model.sample(split.train.rows());
+    std::cout << "release: " << synth.rows() << " synthetic rows\n\n";
+
+    std::vector<std::size_t> qi_columns;
+    for (std::size_t c = 0; c < capture.cols(); ++c) {
+        if (!capture.meta(c).is_categorical()) {
+            qi_columns.push_back(c);
+        }
+    }
+
+    // 1. Re-identification at increasing adversary knowledge.
+    std::cout << "[1] Re-identification (linkage) attack\n";
+    for (const double overlap : {0.3, 0.6, 0.9}) {
+        eval::ReidentificationOptions ropts;
+        ropts.known_fraction = overlap;
+        ropts.qi_columns = qi_columns;
+        ropts.max_targets = 600;
+        const double acc = eval::reidentification_attack(split.train, synth, ropts);
+        std::cout << "    " << static_cast<int>(overlap * 100) << "% prior knowledge -> attack "
+                  << text::format_double(acc, 3) << " (floor = prior itself: "
+                  << text::format_double(overlap, 2) << ")\n";
+    }
+
+    // 2. Attribute inference on the source device.
+    std::cout << "\n[2] Attribute inference (src_device from flow statistics)\n";
+    eval::AttributeInferenceOptions aopts;
+    aopts.qi_columns = qi_columns;
+    aopts.sensitive_column = capture.column_index("src_device");
+    aopts.max_targets = 600;
+    const double ai = eval::attribute_inference_attack(split.train, synth, aopts);
+    const double chance =
+        1.0 / static_cast<double>(capture.meta(aopts.sensitive_column).categories.size());
+    std::cout << "    attack accuracy " << text::format_double(ai, 3) << " (chance "
+              << text::format_double(chance, 3) << ")\n";
+
+    // 3. Membership inference, WB and FBB.
+    std::cout << "\n[3] Membership inference\n";
+    const auto member_scores = model.discriminator_scores(split.train);
+    const auto nonmember_scores = model.discriminator_scores(split.test);
+    const double wb = eval::membership_inference_white_box(member_scores, nonmember_scores);
+    eval::FbbOptions fopts;
+    fopts.feature_columns = qi_columns;
+    fopts.max_candidates = 500;
+    const double fbb =
+        eval::membership_inference_full_black_box(split.train, split.test, synth, fopts);
+    std::cout << "    white-box (discriminator scores): " << text::format_double(wb, 3)
+              << "  (0.5 = chance)\n";
+    std::cout << "    fully-black-box (distance attack): " << text::format_double(fbb, 3)
+              << "  (0.5 = chance)\n";
+
+    std::cout << "\nVerdict: attacks near their floors indicate the release generalises\n"
+                 "rather than memorises; compare with bench_fig5/6/7 for the baselines.\n";
+    return 0;
+}

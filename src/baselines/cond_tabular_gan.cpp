@@ -1,0 +1,250 @@
+#include "src/baselines/cond_tabular_gan.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/stopwatch.hpp"
+
+namespace kinet::baselines {
+
+using nn::Matrix;
+
+namespace {
+
+// CTGAN generator-loss penalty: softmax cross-entropy between the anchor
+// block of C and the matching logits span, per row (gradient w.r.t. logits).
+struct AnchorPenalty {
+    double value = 0.0;
+    Matrix grad;
+};
+
+AnchorPenalty anchor_ce_penalty(const Matrix& gen_logits,
+                                const std::vector<data::CondDraw>& draws,
+                                const std::vector<data::OutputSpan>& span_for_block) {
+    AnchorPenalty res;
+    res.grad.resize(gen_logits.rows(), gen_logits.cols());
+    double total = 0.0;
+    for (std::size_t r = 0; r < draws.size(); ++r) {
+        const auto& span = span_for_block[draws[r].anchor_column];
+        const std::size_t target = draws[r].anchor_value;
+        double mx = gen_logits(r, span.offset);
+        for (std::size_t j = 1; j < span.width; ++j) {
+            mx = std::max(mx, static_cast<double>(gen_logits(r, span.offset + j)));
+        }
+        double denom = 0.0;
+        for (std::size_t j = 0; j < span.width; ++j) {
+            denom += std::exp(static_cast<double>(gen_logits(r, span.offset + j)) - mx);
+        }
+        const double log_denom = std::log(denom) + mx;
+        total += log_denom - static_cast<double>(gen_logits(r, span.offset + target));
+        for (std::size_t j = 0; j < span.width; ++j) {
+            const double p =
+                std::exp(static_cast<double>(gen_logits(r, span.offset + j)) - log_denom);
+            res.grad(r, span.offset + j) = static_cast<float>(p - ((j == target) ? 1.0 : 0.0));
+        }
+    }
+    const double inv = 1.0 / static_cast<double>(draws.size());
+    res.value = total * inv;
+    res.grad *= static_cast<float>(inv);
+    return res;
+}
+
+std::unique_ptr<nn::Sequential> make_ode_generator(std::size_t in_dim, std::size_t hidden,
+                                                   std::size_t out_dim, std::size_t ode_steps,
+                                                   Rng& rng) {
+    auto net = std::make_unique<nn::Sequential>();
+    net->emplace<nn::Linear>(in_dim, hidden, rng, "g.fc0");
+    net->emplace<nn::BatchNorm1d>(hidden);
+    net->emplace<nn::ReLU>();
+    auto field = std::make_unique<nn::Sequential>();
+    field->emplace<nn::Linear>(hidden, hidden, rng, "g.ode.f");
+    field->emplace<nn::Tanh>();
+    net->emplace<nn::OdeBlock>(std::move(field), ode_steps);
+    net->emplace<nn::Linear>(hidden, out_dim, rng, "g.out");
+    return net;
+}
+
+std::unique_ptr<nn::Sequential> make_ode_discriminator(std::size_t in_dim, std::size_t hidden,
+                                                       std::size_t ode_steps, Rng& rng) {
+    auto net = std::make_unique<nn::Sequential>();
+    net->emplace<nn::Linear>(in_dim, hidden, rng, "d.fc0");
+    net->emplace<nn::LeakyReLU>(0.2F);
+    auto field = std::make_unique<nn::Sequential>();
+    field->emplace<nn::Linear>(hidden, hidden, rng, "d.ode.f");
+    field->emplace<nn::Tanh>();
+    net->emplace<nn::OdeBlock>(std::move(field), ode_steps);
+    net->emplace<nn::Linear>(hidden, 1, rng, "d.out");
+    return net;
+}
+
+}  // namespace
+
+CondTabularGan::CondTabularGan(std::string display_name, std::vector<std::size_t> cond_columns,
+                               CondTabularGanOptions options)
+    : display_name_(std::move(display_name)),
+      cond_columns_(std::move(cond_columns)),
+      options_(options),
+      rng_(options.gan.seed) {
+    KINET_CHECK(!cond_columns_.empty(), "CondTabularGan: need conditional columns");
+}
+
+void CondTabularGan::fit(const data::Table& table) {
+    Stopwatch watch;
+    schema_ = table.schema();
+
+    transformer_.fit(table, options_.transformer, rng_);
+    const Matrix encoded = transformer_.transform(table, rng_);
+
+    sampler_ = std::make_unique<data::ConditionalSampler>(table, cond_columns_, options_.sampler);
+    cond_builder_ = std::make_unique<gan::CondVectorBuilder>(schema_, cond_columns_);
+    cond_spans_ = gan::category_spans_for_blocks(transformer_, *cond_builder_);
+
+    const auto& g = options_.gan;
+    const std::size_t data_width = transformer_.output_width();
+    const std::size_t cond_width = cond_builder_->width();
+
+    if (options_.ode_blocks) {
+        g_trunk_ = make_ode_generator(g.noise_dim + cond_width, g.hidden_dim, data_width,
+                                      options_.ode_steps, rng_);
+        discriminator_ =
+            make_ode_discriminator(data_width + cond_width, g.hidden_dim, options_.ode_steps, rng_);
+    } else {
+        g_trunk_ = gan::make_generator_trunk(g.noise_dim + cond_width, g.hidden_dim,
+                                             g.hidden_layers, data_width, rng_);
+        discriminator_ = gan::make_discriminator(data_width + cond_width, g.hidden_dim,
+                                                 g.hidden_layers, g.dropout, rng_);
+    }
+    g_act_ = std::make_unique<gan::OutputActivation>(transformer_.spans(), g.gumbel_tau, rng_);
+
+    nn::Adam g_opt(g_trunk_->parameters(), g.lr_generator, g.adam_beta1, g.adam_beta2);
+    nn::Adam d_opt(discriminator_->parameters(), g.lr_discriminator, g.adam_beta1, g.adam_beta2);
+
+    const std::size_t batch = std::min<std::size_t>(g.batch_size, table.rows());
+    const std::size_t steps = std::max<std::size_t>(1, table.rows() / batch);
+
+    report_ = gan::FitReport{};
+
+    for (std::size_t epoch = 0; epoch < g.epochs; ++epoch) {
+        double g_loss_acc = 0.0;
+        double d_loss_acc = 0.0;
+
+        for (std::size_t step = 0; step < steps; ++step) {
+            std::vector<data::CondDraw> draws;
+            draws.reserve(batch);
+            std::vector<std::size_t> real_rows;
+            real_rows.reserve(batch);
+            for (std::size_t b = 0; b < batch; ++b) {
+                draws.push_back(sampler_->draw(rng_));
+                real_rows.push_back(draws.back().row);
+            }
+            const Matrix cond = cond_builder_->encode_anchor_only(draws);
+            const Matrix real = encoded.gather_rows(real_rows);
+
+            // ---- D step ----
+            discriminator_->zero_grad();
+            Matrix z = gan::sample_noise(batch, g.noise_dim, rng_);
+            Matrix fake = g_act_->forward(g_trunk_->forward(Matrix::hcat(z, cond), true), true);
+
+            Matrix d_real = discriminator_->forward(Matrix::hcat(real, cond), true);
+            auto real_loss = nn::bce_with_logits(d_real, gan::constant_targets(batch, 1.0F));
+            (void)discriminator_->backward(real_loss.grad);
+
+            Matrix d_fake = discriminator_->forward(Matrix::hcat(fake, cond), true);
+            auto fake_loss = nn::bce_with_logits(d_fake, gan::constant_targets(batch, 0.0F));
+            (void)discriminator_->backward(fake_loss.grad);
+
+            nn::clip_grad_norm(discriminator_->parameters(), g.grad_clip);
+            d_opt.step();
+            d_loss_acc += real_loss.value + fake_loss.value;
+
+            // ---- G step ----
+            g_trunk_->zero_grad();
+            z = gan::sample_noise(batch, g.noise_dim, rng_);
+            Matrix fake_logits = g_trunk_->forward(Matrix::hcat(z, cond), true);
+            fake = g_act_->forward(fake_logits, true);
+
+            discriminator_->zero_grad();
+            Matrix adv_logits = discriminator_->forward(Matrix::hcat(fake, cond), true);
+            auto adv = nn::bce_with_logits(adv_logits, gan::constant_targets(batch, 1.0F));
+            Matrix grad_d_in = discriminator_->backward(adv.grad);
+            discriminator_->zero_grad();
+
+            Matrix grad_logits = g_act_->backward(grad_d_in.slice_cols(0, fake.cols()));
+            double g_loss = adv.value;
+
+            auto pen = anchor_ce_penalty(fake_logits, draws, cond_spans_);
+            pen.grad *= options_.cond_penalty_weight;
+            grad_logits += pen.grad;
+            g_loss += options_.cond_penalty_weight * pen.value;
+
+            (void)g_trunk_->backward(grad_logits);
+            nn::clip_grad_norm(g_trunk_->parameters(), g.grad_clip);
+            g_opt.step();
+            g_loss_acc += g_loss;
+        }
+
+        report_.generator_loss.push_back(g_loss_acc / static_cast<double>(steps));
+        report_.discriminator_loss.push_back(d_loss_acc / static_cast<double>(steps));
+    }
+
+    report_.seconds = watch.seconds();
+    fitted_ = true;
+}
+
+data::Table CondTabularGan::sample(std::size_t n) {
+    KINET_CHECK(fitted_, "CondTabularGan::sample before fit");
+    data::Table out(schema_);
+    const std::size_t batch = options_.gan.batch_size;
+    std::size_t remaining = n;
+    while (remaining > 0) {
+        const std::size_t b = std::min(batch, remaining);
+        std::vector<data::CondDraw> draws;
+        draws.reserve(b);
+        for (std::size_t i = 0; i < b; ++i) {
+            draws.push_back(sampler_->draw_empirical(rng_));
+        }
+        const Matrix cond = cond_builder_->encode_anchor_only(draws);
+        const Matrix z = gan::sample_noise(b, options_.gan.noise_dim, rng_);
+        const Matrix fake =
+            g_act_->forward(g_trunk_->forward(Matrix::hcat(z, cond), false), false);
+        out.append_rows(transformer_.inverse(fake));
+        remaining -= b;
+    }
+    return out;
+}
+
+std::vector<double> CondTabularGan::discriminator_scores(const data::Table& table) {
+    KINET_CHECK(fitted_, "discriminator_scores before fit");
+    const Matrix encoded = transformer_.transform(table, rng_);
+    std::vector<data::CondDraw> draws(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        draws[r].row = r;
+        draws[r].values.resize(cond_columns_.size());
+        for (std::size_t p = 0; p < cond_columns_.size(); ++p) {
+            draws[r].values[p] = table.category_at(r, cond_columns_[p]);
+        }
+        draws[r].anchor_column = 0;
+        draws[r].anchor_value = draws[r].values[0];
+    }
+    const Matrix cond = cond_builder_->encode_anchor_only(draws);
+    const Matrix logits = discriminator_->forward(Matrix::hcat(encoded, cond), false);
+    std::vector<double> scores(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        scores[r] = 1.0 / (1.0 + std::exp(-static_cast<double>(logits(r, 0))));
+    }
+    return scores;
+}
+
+CtGan::CtGan(std::vector<std::size_t> cond_columns, CondTabularGanOptions options)
+    : CondTabularGan("CTGAN", std::move(cond_columns), [&options] {
+          options.ode_blocks = false;
+          return options;
+      }()) {}
+
+OctGan::OctGan(std::vector<std::size_t> cond_columns, CondTabularGanOptions options)
+    : CondTabularGan("OCTGAN", std::move(cond_columns), [&options] {
+          options.ode_blocks = true;
+          return options;
+      }()) {}
+
+}  // namespace kinet::baselines

@@ -1,0 +1,80 @@
+// Shared core for the CTGAN-family baselines (CTGAN, OCT-GAN).
+//
+// Implements Xu et al.'s conditional tabular GAN: mode-specific
+// normalization, single-attribute conditioning (the condition vector carries
+// only the anchor block, with a cross-entropy penalty on that block), and
+// training-by-sampling.  OCT-GAN (Kim et al., WWW 2021) is the same pipeline
+// with neural-ODE blocks inserted into both networks.
+#ifndef KINETGAN_BASELINES_COND_TABULAR_GAN_H
+#define KINETGAN_BASELINES_COND_TABULAR_GAN_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/sampler.hpp"
+#include "src/data/transformer.hpp"
+#include "src/gan/cond_vector.hpp"
+#include "src/gan/gan_common.hpp"
+#include "src/gan/synthesizer.hpp"
+#include "src/nn/nn.hpp"
+
+namespace kinet::baselines {
+
+struct CondTabularGanOptions {
+    gan::GanOptions gan;
+    data::TransformerOptions transformer;
+    data::SamplerOptions sampler;
+    float cond_penalty_weight = 1.0F;
+    /// OCT-GAN mode: insert OdeBlocks into generator and discriminator.
+    bool ode_blocks = false;
+    std::size_t ode_steps = 3;
+};
+
+class CondTabularGan : public gan::Synthesizer {
+public:
+    CondTabularGan(std::string display_name, std::vector<std::size_t> cond_columns,
+                   CondTabularGanOptions options);
+
+    void fit(const data::Table& table) override;
+    [[nodiscard]] data::Table sample(std::size_t n) override;
+    [[nodiscard]] std::string name() const override { return display_name_; }
+
+    /// Sigmoid(D) per row — white-box membership-inference surface.
+    [[nodiscard]] std::vector<double> discriminator_scores(const data::Table& table);
+
+private:
+    std::string display_name_;
+    std::vector<std::size_t> cond_columns_;
+    CondTabularGanOptions options_;
+    Rng rng_;
+
+    std::vector<data::ColumnMeta> schema_;
+    data::TableTransformer transformer_;
+    std::unique_ptr<data::ConditionalSampler> sampler_;
+    std::unique_ptr<gan::CondVectorBuilder> cond_builder_;
+    std::vector<data::OutputSpan> cond_spans_;
+
+    // Generator trunk (ends in Linear logits) + output activation, kept
+    // separate so the anchor penalty acts on the logits (as in CTGAN).
+    std::unique_ptr<nn::Sequential> g_trunk_;
+    std::unique_ptr<gan::OutputActivation> g_act_;
+    std::unique_ptr<nn::Sequential> discriminator_;
+    bool fitted_ = false;
+};
+
+/// CTGAN baseline (Xu et al., NeurIPS 2019).
+class CtGan : public CondTabularGan {
+public:
+    CtGan(std::vector<std::size_t> cond_columns, CondTabularGanOptions options = {});
+};
+
+/// OCT-GAN baseline (Kim et al., WWW 2021): CTGAN with neural-ODE blocks.
+class OctGan : public CondTabularGan {
+public:
+    OctGan(std::vector<std::size_t> cond_columns, CondTabularGanOptions options = {});
+};
+
+}  // namespace kinet::baselines
+
+#endif  // KINETGAN_BASELINES_COND_TABULAR_GAN_H

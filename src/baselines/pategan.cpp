@@ -1,0 +1,149 @@
+#include "src/baselines/pategan.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/stopwatch.hpp"
+
+namespace kinet::baselines {
+
+using nn::Matrix;
+
+PateGan::PateGan(PateGanOptions options) : options_(options), rng_(options.gan.seed) {
+    KINET_CHECK(options_.teachers >= 2, "PateGan: need at least two teachers");
+    KINET_CHECK(options_.laplace_scale > 0.0, "PateGan: laplace scale must be positive");
+}
+
+void PateGan::fit(const data::Table& table) {
+    Stopwatch watch;
+    schema_ = table.schema();
+    transformer_.fit(table, options_.transformer, rng_);
+    const Matrix encoded = transformer_.transform(table, rng_);
+    const std::size_t width = transformer_.output_width();
+
+    const auto& g = options_.gan;
+    generator_ = gan::make_generator_trunk(g.noise_dim, g.hidden_dim, g.hidden_layers, width, rng_);
+    generator_->emplace<gan::OutputActivation>(transformer_.spans(), g.gumbel_tau, rng_);
+
+    teachers_.clear();
+    for (std::size_t t = 0; t < options_.teachers; ++t) {
+        teachers_.push_back(gan::make_discriminator(width, g.hidden_dim / 2, 1, 0.0F, rng_));
+    }
+    student_ = gan::make_discriminator(width, g.hidden_dim, g.hidden_layers, g.dropout, rng_);
+
+    nn::Adam g_opt(generator_->parameters(), g.lr_generator, g.adam_beta1, g.adam_beta2);
+    std::vector<std::unique_ptr<nn::Adam>> t_opts;
+    for (auto& t : teachers_) {
+        t_opts.push_back(std::make_unique<nn::Adam>(t->parameters(), g.lr_discriminator,
+                                                    g.adam_beta1, g.adam_beta2));
+    }
+    nn::Adam s_opt(student_->parameters(), g.lr_discriminator, g.adam_beta1, g.adam_beta2);
+
+    // Disjoint data partitions, one per teacher.
+    const auto perm = rng_.permutation(table.rows());
+    std::vector<std::vector<std::size_t>> partitions(options_.teachers);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        partitions[i % options_.teachers].push_back(perm[i]);
+    }
+    for (const auto& part : partitions) {
+        KINET_CHECK(!part.empty(), "PateGan: a teacher partition is empty (too few rows)");
+    }
+
+    const std::size_t batch = std::min<std::size_t>(g.batch_size, table.rows());
+    const std::size_t steps = std::max<std::size_t>(1, table.rows() / batch);
+    report_ = gan::FitReport{};
+
+    for (std::size_t epoch = 0; epoch < g.epochs; ++epoch) {
+        double g_loss_acc = 0.0;
+        double d_loss_acc = 0.0;
+        for (std::size_t step = 0; step < steps; ++step) {
+            // ---- teacher steps (each on its own partition + fresh fakes) ----
+            Matrix z = gan::sample_noise(batch, g.noise_dim, rng_);
+            Matrix fake = generator_->forward(z, true);
+            for (std::size_t t = 0; t < teachers_.size(); ++t) {
+                auto& teacher = *teachers_[t];
+                const auto& part = partitions[t];
+                std::vector<std::size_t> rows(batch);
+                for (auto& r : rows) {
+                    r = part[static_cast<std::size_t>(
+                        rng_.randint(0, static_cast<std::int64_t>(part.size()) - 1))];
+                }
+                const Matrix real = encoded.gather_rows(rows);
+
+                teacher.zero_grad();
+                Matrix tr = teacher.forward(real, true);
+                auto real_loss = nn::bce_with_logits(tr, gan::constant_targets(batch, 1.0F));
+                (void)teacher.backward(real_loss.grad);
+                Matrix tf = teacher.forward(fake, true);
+                auto fake_loss = nn::bce_with_logits(tf, gan::constant_targets(batch, 0.0F));
+                (void)teacher.backward(fake_loss.grad);
+                nn::clip_grad_norm(teacher.parameters(), g.grad_clip);
+                t_opts[t]->step();
+                d_loss_acc += (real_loss.value + fake_loss.value) /
+                              static_cast<double>(teachers_.size());
+            }
+
+            // ---- student step: noisy PATE aggregation of teacher votes ----
+            z = gan::sample_noise(batch, g.noise_dim, rng_);
+            fake = generator_->forward(z, true);
+            Matrix targets(batch, 1);
+            {
+                std::vector<double> votes(batch, 0.0);
+                for (auto& teacher : teachers_) {
+                    Matrix logits = teacher->forward(fake, false);
+                    for (std::size_t b = 0; b < batch; ++b) {
+                        votes[b] += (logits(b, 0) > 0.0F) ? 1.0 : 0.0;
+                    }
+                }
+                for (std::size_t b = 0; b < batch; ++b) {
+                    const double n1 = votes[b] + rng_.laplace(0.0, options_.laplace_scale);
+                    const double n0 = (static_cast<double>(teachers_.size()) - votes[b]) +
+                                      rng_.laplace(0.0, options_.laplace_scale);
+                    targets(b, 0) = (n1 > n0) ? 1.0F : 0.0F;
+                }
+            }
+            student_->zero_grad();
+            Matrix s_logits = student_->forward(fake, true);
+            auto s_loss = nn::bce_with_logits(s_logits, targets);
+            (void)student_->backward(s_loss.grad);
+            nn::clip_grad_norm(student_->parameters(), g.grad_clip);
+            s_opt.step();
+
+            // ---- generator step against the student ----
+            generator_->zero_grad();
+            z = gan::sample_noise(batch, g.noise_dim, rng_);
+            fake = generator_->forward(z, true);
+            student_->zero_grad();
+            Matrix adv_logits = student_->forward(fake, true);
+            auto adv = nn::bce_with_logits(adv_logits, gan::constant_targets(batch, 1.0F));
+            Matrix grad_fake = student_->backward(adv.grad);
+            student_->zero_grad();
+            (void)generator_->backward(grad_fake);
+            nn::clip_grad_norm(generator_->parameters(), g.grad_clip);
+            g_opt.step();
+            g_loss_acc += adv.value;
+        }
+        report_.generator_loss.push_back(g_loss_acc / static_cast<double>(steps));
+        report_.discriminator_loss.push_back(d_loss_acc / static_cast<double>(steps));
+    }
+
+    report_.seconds = watch.seconds();
+    fitted_ = true;
+}
+
+data::Table PateGan::sample(std::size_t n) {
+    KINET_CHECK(fitted_, "PateGan::sample before fit");
+    data::Table out(schema_);
+    const std::size_t batch = options_.gan.batch_size;
+    std::size_t remaining = n;
+    while (remaining > 0) {
+        const std::size_t b = std::min(batch, remaining);
+        const Matrix z = gan::sample_noise(b, options_.gan.noise_dim, rng_);
+        const Matrix fake = generator_->forward(z, false);
+        out.append_rows(transformer_.inverse(fake));
+        remaining -= b;
+    }
+    return out;
+}
+
+}  // namespace kinet::baselines

@@ -1,0 +1,214 @@
+#include "src/baselines/tablegan.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace kinet::baselines {
+
+using nn::Matrix;
+
+namespace {
+
+// Information loss: squared distance between batch means and batch standard
+// deviations of real vs. fake.  Returns loss and gradient w.r.t. fake.
+struct InfoResult {
+    double value = 0.0;
+    Matrix grad;
+};
+
+InfoResult info_loss(const Matrix& fake, const Matrix& real) {
+    InfoResult res;
+    res.grad.resize(fake.rows(), fake.cols());
+    const Matrix mu_f = tensor::col_mean(fake);
+    const Matrix mu_r = tensor::col_mean(real);
+    const Matrix var_f = tensor::col_var(fake);
+    const Matrix var_r = tensor::col_var(real);
+    const auto n = static_cast<double>(fake.rows());
+    const auto width = static_cast<double>(fake.cols());
+
+    double total = 0.0;
+    for (std::size_t c = 0; c < fake.cols(); ++c) {
+        const double sd_f = std::sqrt(var_f(0, c) + 1e-8);
+        const double sd_r = std::sqrt(var_r(0, c) + 1e-8);
+        const double dmu = mu_f(0, c) - mu_r(0, c);
+        const double dsd = sd_f - sd_r;
+        total += dmu * dmu + dsd * dsd;
+        for (std::size_t r = 0; r < fake.rows(); ++r) {
+            // d mu_f / d x = 1/n; d sd_f / d x = (x - mu_f) / (n * sd_f).
+            const double g_mu = 2.0 * dmu / n;
+            const double g_sd = 2.0 * dsd * (fake(r, c) - mu_f(0, c)) / (n * sd_f);
+            res.grad(r, c) = static_cast<float>((g_mu + g_sd) / width);
+        }
+    }
+    res.value = total / width;
+    return res;
+}
+
+}  // namespace
+
+TableGan::TableGan(TableGanOptions options) : options_(options), rng_(options.gan.seed) {}
+
+void TableGan::fit(const data::Table& table) {
+    Stopwatch watch;
+    schema_ = table.schema();
+    KINET_CHECK(options_.label_column < schema_.size(), "TableGan: label column out of range");
+    KINET_CHECK(schema_[options_.label_column].is_categorical(),
+                "TableGan: label column must be categorical");
+    label_classes_ = schema_[options_.label_column].categories.size();
+
+    transformer_.fit(table);
+    const Matrix encoded = transformer_.transform(table);
+    const std::size_t width = transformer_.output_width();
+
+    const auto& g = options_.gan;
+    generator_ = gan::make_generator_trunk(g.noise_dim, g.hidden_dim, g.hidden_layers, width, rng_);
+    generator_->emplace<nn::Tanh>();
+    discriminator_ = gan::make_discriminator(width, g.hidden_dim, g.hidden_layers, g.dropout, rng_);
+
+    // Classifier predicts the label category from the other columns.
+    classifier_ = std::make_unique<nn::Sequential>();
+    classifier_->emplace<nn::Linear>(width - 1, g.hidden_dim, rng_, "c.fc0");
+    classifier_->emplace<nn::LeakyReLU>(0.2F);
+    classifier_->emplace<nn::Linear>(g.hidden_dim, label_classes_, rng_, "c.out");
+
+    nn::Adam g_opt(generator_->parameters(), g.lr_generator, g.adam_beta1, g.adam_beta2);
+    nn::Adam d_opt(discriminator_->parameters(), g.lr_discriminator, g.adam_beta1, g.adam_beta2);
+    nn::Adam c_opt(classifier_->parameters(), g.lr_discriminator, g.adam_beta1, g.adam_beta2);
+
+    const std::size_t batch = std::min<std::size_t>(g.batch_size, table.rows());
+    const std::size_t steps = std::max<std::size_t>(1, table.rows() / batch);
+    const std::size_t label_col = options_.label_column;
+    report_ = gan::FitReport{};
+
+    auto drop_label_col = [label_col](const Matrix& m) {
+        Matrix left = m.slice_cols(0, label_col);
+        Matrix right = m.slice_cols(label_col + 1, m.cols());
+        return Matrix::hcat(left, right);
+    };
+
+    for (std::size_t epoch = 0; epoch < g.epochs; ++epoch) {
+        double g_loss_acc = 0.0;
+        double d_loss_acc = 0.0;
+        for (std::size_t step = 0; step < steps; ++step) {
+            std::vector<std::size_t> rows(batch);
+            std::vector<std::size_t> labels(batch);
+            for (std::size_t b = 0; b < batch; ++b) {
+                rows[b] = static_cast<std::size_t>(
+                    rng_.randint(0, static_cast<std::int64_t>(table.rows()) - 1));
+                labels[b] = table.category_at(rows[b], label_col);
+            }
+            const Matrix real = encoded.gather_rows(rows);
+
+            // ---- classifier step (real data only) ----
+            classifier_->zero_grad();
+            Matrix c_logits = classifier_->forward(drop_label_col(real), true);
+            auto c_loss = nn::softmax_cross_entropy(c_logits, labels);
+            (void)classifier_->backward(c_loss.grad);
+            nn::clip_grad_norm(classifier_->parameters(), g.grad_clip);
+            c_opt.step();
+
+            // ---- D step ----
+            discriminator_->zero_grad();
+            Matrix z = gan::sample_noise(batch, g.noise_dim, rng_);
+            Matrix fake = generator_->forward(z, true);
+
+            Matrix d_real = discriminator_->forward(real, true);
+            auto real_loss = nn::bce_with_logits(d_real, gan::constant_targets(batch, 1.0F));
+            (void)discriminator_->backward(real_loss.grad);
+            Matrix d_fake = discriminator_->forward(fake, true);
+            auto fake_loss = nn::bce_with_logits(d_fake, gan::constant_targets(batch, 0.0F));
+            (void)discriminator_->backward(fake_loss.grad);
+            nn::clip_grad_norm(discriminator_->parameters(), g.grad_clip);
+            d_opt.step();
+            d_loss_acc += real_loss.value + fake_loss.value;
+
+            // ---- G step: adversarial + info + classifier-consistency ----
+            generator_->zero_grad();
+            z = gan::sample_noise(batch, g.noise_dim, rng_);
+            fake = generator_->forward(z, true);
+
+            discriminator_->zero_grad();
+            Matrix adv_logits = discriminator_->forward(fake, true);
+            auto adv = nn::bce_with_logits(adv_logits, gan::constant_targets(batch, 1.0F));
+            Matrix grad_total = discriminator_->backward(adv.grad);
+            discriminator_->zero_grad();
+            double g_loss = adv.value;
+
+            auto info = info_loss(fake, real);
+            info.grad *= options_.info_weight;
+            grad_total += info.grad;
+            g_loss += options_.info_weight * info.value;
+
+            // Classifier consistency: the label the fake row carries should
+            // match what the real-data classifier predicts from its features.
+            {
+                // Decode the fake label ordinals (min-max scale -> class id).
+                std::vector<std::size_t> fake_labels(batch);
+                const auto scale = static_cast<float>(label_classes_ - 1);
+                for (std::size_t b = 0; b < batch; ++b) {
+                    const float v = (std::clamp(fake(b, label_col), -1.0F, 1.0F) + 1.0F) * 0.5F *
+                                    scale;
+                    fake_labels[b] = static_cast<std::size_t>(
+                        std::clamp<long>(std::lround(v), 0, static_cast<long>(label_classes_) - 1));
+                }
+                classifier_->zero_grad();
+                Matrix fc_logits = classifier_->forward(drop_label_col(fake), true);
+                auto cc = nn::softmax_cross_entropy(fc_logits, fake_labels);
+                Matrix grad_features = classifier_->backward(cc.grad);
+                classifier_->zero_grad();
+                // Scatter the feature gradient back around the label column.
+                for (std::size_t b = 0; b < batch; ++b) {
+                    for (std::size_t c = 0; c < width; ++c) {
+                        if (c == label_col) {
+                            continue;
+                        }
+                        const std::size_t src = (c < label_col) ? c : c - 1;
+                        grad_total(b, c) += options_.class_weight * grad_features(b, src);
+                    }
+                }
+                g_loss += options_.class_weight * cc.value;
+            }
+
+            (void)generator_->backward(grad_total);
+            nn::clip_grad_norm(generator_->parameters(), g.grad_clip);
+            g_opt.step();
+            g_loss_acc += g_loss;
+        }
+        report_.generator_loss.push_back(g_loss_acc / static_cast<double>(steps));
+        report_.discriminator_loss.push_back(d_loss_acc / static_cast<double>(steps));
+    }
+
+    report_.seconds = watch.seconds();
+    fitted_ = true;
+}
+
+data::Table TableGan::sample(std::size_t n) {
+    KINET_CHECK(fitted_, "TableGan::sample before fit");
+    data::Table out(schema_);
+    const std::size_t batch = options_.gan.batch_size;
+    std::size_t remaining = n;
+    while (remaining > 0) {
+        const std::size_t b = std::min(batch, remaining);
+        const Matrix z = gan::sample_noise(b, options_.gan.noise_dim, rng_);
+        const Matrix fake = generator_->forward(z, false);
+        out.append_rows(transformer_.inverse(fake));
+        remaining -= b;
+    }
+    return out;
+}
+
+std::vector<double> TableGan::discriminator_scores(const data::Table& table) {
+    KINET_CHECK(fitted_, "discriminator_scores before fit");
+    const Matrix encoded = transformer_.transform(table);
+    const Matrix logits = discriminator_->forward(encoded, false);
+    std::vector<double> scores(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        scores[r] = 1.0 / (1.0 + std::exp(-static_cast<double>(logits(r, 0))));
+    }
+    return scores;
+}
+
+}  // namespace kinet::baselines

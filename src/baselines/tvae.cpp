@@ -1,0 +1,219 @@
+#include "src/baselines/tvae.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace kinet::baselines {
+
+using nn::Matrix;
+
+namespace {
+
+// Reconstruction loss over the transformer representation:
+//  - alpha spans: MSE between tanh(raw) and the target alpha;
+//  - one-hot spans: softmax cross-entropy against the target's argmax.
+// Returns mean loss and gradient w.r.t. the raw decoder output.
+struct ReconResult {
+    double value = 0.0;
+    Matrix grad;
+};
+
+ReconResult reconstruction_loss(const Matrix& raw, const Matrix& target,
+                                const std::vector<data::OutputSpan>& spans) {
+    ReconResult res;
+    res.grad.resize(raw.rows(), raw.cols());
+    double total = 0.0;
+    std::size_t terms = 0;
+
+    for (const auto& span : spans) {
+        if (span.kind == data::SpanKind::continuous_alpha) {
+            for (std::size_t r = 0; r < raw.rows(); ++r) {
+                const double a = std::tanh(static_cast<double>(raw(r, span.offset)));
+                const double t = target(r, span.offset);
+                const double d = a - t;
+                total += d * d;
+                res.grad(r, span.offset) = static_cast<float>(2.0 * d * (1.0 - a * a));
+                ++terms;
+            }
+        } else {
+            for (std::size_t r = 0; r < raw.rows(); ++r) {
+                // Target index = argmax of the one-hot span.
+                std::size_t tgt = 0;
+                for (std::size_t j = 1; j < span.width; ++j) {
+                    if (target(r, span.offset + j) > target(r, span.offset + tgt)) {
+                        tgt = j;
+                    }
+                }
+                // Stable softmax CE on the raw logits of this span.
+                double mx = raw(r, span.offset);
+                for (std::size_t j = 1; j < span.width; ++j) {
+                    mx = std::max(mx, static_cast<double>(raw(r, span.offset + j)));
+                }
+                double denom = 0.0;
+                for (std::size_t j = 0; j < span.width; ++j) {
+                    denom += std::exp(static_cast<double>(raw(r, span.offset + j)) - mx);
+                }
+                const double log_denom = std::log(denom) + mx;
+                total += log_denom - static_cast<double>(raw(r, span.offset + tgt));
+                for (std::size_t j = 0; j < span.width; ++j) {
+                    const double p =
+                        std::exp(static_cast<double>(raw(r, span.offset + j)) - log_denom);
+                    res.grad(r, span.offset + j) =
+                        static_cast<float>(p - ((j == tgt) ? 1.0 : 0.0));
+                }
+                ++terms;
+            }
+        }
+    }
+    KINET_CHECK(terms > 0, "reconstruction_loss: no spans");
+    const double inv = 1.0 / static_cast<double>(terms);
+    res.value = total * inv;
+    res.grad *= static_cast<float>(inv);
+    return res;
+}
+
+}  // namespace
+
+Tvae::Tvae(TvaeOptions options) : options_(options), rng_(options.seed) {}
+
+void Tvae::fit(const data::Table& table) {
+    Stopwatch watch;
+    schema_ = table.schema();
+    transformer_.fit(table, options_.transformer, rng_);
+    const Matrix encoded = transformer_.transform(table, rng_);
+
+    const std::size_t width = transformer_.output_width();
+    const std::size_t latent = options_.latent_dim;
+
+    encoder_ = std::make_unique<nn::Sequential>();
+    encoder_->emplace<nn::Linear>(width, options_.hidden_dim, rng_, "enc.fc0");
+    encoder_->emplace<nn::ReLU>();
+    encoder_->emplace<nn::Linear>(options_.hidden_dim, options_.hidden_dim, rng_, "enc.fc1");
+    encoder_->emplace<nn::ReLU>();
+    encoder_->emplace<nn::Linear>(options_.hidden_dim, 2 * latent, rng_, "enc.head");
+
+    decoder_ = std::make_unique<nn::Sequential>();
+    decoder_->emplace<nn::Linear>(latent, options_.hidden_dim, rng_, "dec.fc0");
+    decoder_->emplace<nn::ReLU>();
+    decoder_->emplace<nn::Linear>(options_.hidden_dim, options_.hidden_dim, rng_, "dec.fc1");
+    decoder_->emplace<nn::ReLU>();
+    decoder_->emplace<nn::Linear>(options_.hidden_dim, width, rng_, "dec.head");
+
+    auto params = encoder_->parameters();
+    for (auto* p : decoder_->parameters()) {
+        params.push_back(p);
+    }
+    nn::Adam opt(params, options_.lr, 0.9F, 0.999F);
+
+    const std::size_t batch = std::min<std::size_t>(options_.batch_size, table.rows());
+    const std::size_t steps = std::max<std::size_t>(1, table.rows() / batch);
+    report_ = gan::FitReport{};
+
+    for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+        double loss_acc = 0.0;
+        for (std::size_t step = 0; step < steps; ++step) {
+            std::vector<std::size_t> rows(batch);
+            for (auto& r : rows) {
+                r = static_cast<std::size_t>(
+                    rng_.randint(0, static_cast<std::int64_t>(table.rows()) - 1));
+            }
+            const Matrix x = encoded.gather_rows(rows);
+
+            encoder_->zero_grad();
+            decoder_->zero_grad();
+
+            // Encode and split into mu / logvar (logvar clamped for stability).
+            Matrix enc_out = encoder_->forward(x, true);
+            Matrix mu = enc_out.slice_cols(0, latent);
+            Matrix logvar = enc_out.slice_cols(latent, 2 * latent);
+            for (auto& v : logvar.data()) {
+                v = std::clamp(v, -8.0F, 8.0F);
+            }
+
+            // Reparameterise.
+            Matrix eps(batch, latent);
+            for (auto& v : eps.data()) {
+                v = static_cast<float>(rng_.normal());
+            }
+            Matrix z = mu;
+            for (std::size_t i = 0; i < z.data().size(); ++i) {
+                z.data()[i] += eps.data()[i] * std::exp(0.5F * logvar.data()[i]);
+            }
+
+            // Decode and compute ELBO pieces.
+            Matrix raw = decoder_->forward(z, true);
+            auto recon = reconstruction_loss(raw, x, transformer_.spans());
+            auto kl = nn::gaussian_kl(mu, logvar);
+
+            // Backward: decoder -> dz -> (dmu, dlogvar) -> encoder.
+            Matrix dz = decoder_->backward(recon.grad);
+            Matrix enc_grad(batch, 2 * latent);
+            for (std::size_t r = 0; r < batch; ++r) {
+                for (std::size_t c = 0; c < latent; ++c) {
+                    const float dmu = dz(r, c) + options_.kl_weight * kl.grad_mu(r, c);
+                    const float dlv = dz(r, c) * eps(r, c) * 0.5F *
+                                          std::exp(0.5F * logvar(r, c)) +
+                                      options_.kl_weight * kl.grad_logvar(r, c);
+                    enc_grad(r, c) = dmu;
+                    enc_grad(r, latent + c) = dlv;
+                }
+            }
+            (void)encoder_->backward(enc_grad);
+
+            nn::clip_grad_norm(params, options_.grad_clip);
+            opt.step();
+            loss_acc += recon.value + options_.kl_weight * kl.value;
+        }
+        report_.generator_loss.push_back(loss_acc / static_cast<double>(steps));
+        report_.discriminator_loss.push_back(0.0);
+    }
+
+    report_.seconds = watch.seconds();
+    fitted_ = true;
+}
+
+data::Table Tvae::sample(std::size_t n) {
+    KINET_CHECK(fitted_, "Tvae::sample before fit");
+    data::Table out(schema_);
+    const std::size_t batch = options_.batch_size;
+    std::size_t remaining = n;
+    while (remaining > 0) {
+        const std::size_t b = std::min(batch, remaining);
+        Matrix z(b, options_.latent_dim);
+        for (auto& v : z.data()) {
+            v = static_cast<float>(rng_.normal());
+        }
+        Matrix raw = decoder_->forward(z, false);
+
+        // Apply output activations: tanh on alphas; sample one-hot spans from
+        // their softmax distribution for categorical diversity.
+        for (const auto& span : transformer_.spans()) {
+            if (span.kind == data::SpanKind::continuous_alpha) {
+                for (std::size_t r = 0; r < b; ++r) {
+                    raw(r, span.offset) = std::tanh(raw(r, span.offset));
+                }
+            } else {
+                tensor::softmax_rows_inplace(raw, span.offset, span.offset + span.width);
+                for (std::size_t r = 0; r < b; ++r) {
+                    std::vector<double> probs(span.width);
+                    for (std::size_t j = 0; j < span.width; ++j) {
+                        probs[j] = raw(r, span.offset + j);
+                    }
+                    const std::size_t pick = rng_.categorical(probs);
+                    for (std::size_t j = 0; j < span.width; ++j) {
+                        raw(r, span.offset + j) = (j == pick) ? 1.0F : 0.0F;
+                    }
+                }
+            }
+        }
+        out.append_rows(transformer_.inverse(raw));
+        remaining -= b;
+    }
+    return out;
+}
+
+}  // namespace kinet::baselines

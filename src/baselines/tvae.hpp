@@ -1,0 +1,49 @@
+// TVAE baseline (Xu et al., NeurIPS 2019): a variational autoencoder over
+// the same mode-specific-normalized representation CTGAN uses.  The ELBO is
+// reconstruction (MSE on tanh'd alpha dimensions, cross-entropy on one-hot
+// spans) plus the Gaussian KL regulariser; sampling decodes z ~ N(0, I).
+#ifndef KINETGAN_BASELINES_TVAE_H
+#define KINETGAN_BASELINES_TVAE_H
+
+#include <memory>
+
+#include "src/data/transformer.hpp"
+#include "src/gan/synthesizer.hpp"
+#include "src/nn/nn.hpp"
+
+namespace kinet::baselines {
+
+struct TvaeOptions {
+    std::size_t epochs = 60;
+    std::size_t batch_size = 128;
+    std::size_t hidden_dim = 128;
+    std::size_t latent_dim = 32;
+    float lr = 1e-3F;
+    float kl_weight = 1.0F;
+    float grad_clip = 5.0F;
+    std::uint64_t seed = 42;
+    data::TransformerOptions transformer;
+};
+
+class Tvae : public gan::Synthesizer {
+public:
+    explicit Tvae(TvaeOptions options = {});
+
+    void fit(const data::Table& table) override;
+    [[nodiscard]] data::Table sample(std::size_t n) override;
+    [[nodiscard]] std::string name() const override { return "TVAE"; }
+
+private:
+    TvaeOptions options_;
+    Rng rng_;
+
+    std::vector<data::ColumnMeta> schema_;
+    data::TableTransformer transformer_;
+    std::unique_ptr<nn::Sequential> encoder_;  // width -> 2 * latent (mu | logvar)
+    std::unique_ptr<nn::Sequential> decoder_;  // latent -> width (raw logits/alphas)
+    bool fitted_ = false;
+};
+
+}  // namespace kinet::baselines
+
+#endif  // KINETGAN_BASELINES_TVAE_H

@@ -1,0 +1,17 @@
+#include "src/common/check.hpp"
+
+#include <sstream>
+
+namespace kinet::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+    std::ostringstream os;
+    os << "check failed: (" << expr << ") at " << file << ":" << line;
+    if (!message.empty()) {
+        os << " — " << message;
+    }
+    throw Error(os.str());
+}
+
+}  // namespace kinet::detail

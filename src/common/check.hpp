@@ -1,0 +1,36 @@
+// Error-handling primitives shared by every module.
+//
+// The library reports recoverable misuse (bad arguments, malformed inputs,
+// inconsistent shapes) by throwing kinet::Error.  Internal invariant
+// violations use the same mechanism so that tests can assert on them.
+#ifndef KINETGAN_COMMON_CHECK_H
+#define KINETGAN_COMMON_CHECK_H
+
+#include <stdexcept>
+#include <string>
+
+namespace kinet {
+
+/// Exception type thrown for all recoverable library errors.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
+                                      const std::string& message);
+}  // namespace detail
+
+}  // namespace kinet
+
+/// Checks a precondition / invariant; throws kinet::Error with location info
+/// on failure.  Usage: KINET_CHECK(rows > 0, "matrix must be non-empty").
+#define KINET_CHECK(expr, message)                                                   \
+    do {                                                                             \
+        if (!(expr)) {                                                               \
+            ::kinet::detail::throw_check_failure(#expr, __FILE__, __LINE__, (message)); \
+        }                                                                            \
+    } while (false)
+
+#endif  // KINETGAN_COMMON_CHECK_H

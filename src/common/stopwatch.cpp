@@ -1,0 +1,17 @@
+#include "src/common/stopwatch.hpp"
+
+namespace kinet {
+
+double Stopwatch::seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+}
+
+double Stopwatch::millis() const {
+    return seconds() * 1000.0;
+}
+
+void Stopwatch::reset() {
+    start_ = clock::now();
+}
+
+}  // namespace kinet

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used by the benchmark harnesses and training loops.
+#ifndef KINETGAN_COMMON_STOPWATCH_H
+#define KINETGAN_COMMON_STOPWATCH_H
+
+#include <chrono>
+
+namespace kinet {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /// Elapsed seconds since construction or last reset().
+    [[nodiscard]] double seconds() const;
+    /// Elapsed milliseconds.
+    [[nodiscard]] double millis() const;
+    void reset();
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace kinet
+
+#endif  // KINETGAN_COMMON_STOPWATCH_H

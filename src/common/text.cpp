@@ -1,0 +1,66 @@
+#include "src/common/text.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace kinet::text {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            break;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+        ++b;
+    }
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+        --e;
+    }
+    return s.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) {
+            out += sep;
+        }
+        out += items[i];
+    }
+    return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double v, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string pad(std::string_view s, std::size_t width) {
+    std::string out(s.substr(0, width));
+    while (out.size() < width) {
+        out.push_back(' ');
+    }
+    return out;
+}
+
+}  // namespace kinet::text

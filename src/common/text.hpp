@@ -1,0 +1,32 @@
+// Small string helpers used by the CSV layer, KG symbol parsing and report
+// printers.  Kept dependency-free and allocation-conscious.
+#ifndef KINETGAN_COMMON_TEXT_H
+#define KINETGAN_COMMON_TEXT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kinet::text {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// True if s starts with the given prefix.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Fixed-precision double formatting for report tables (no trailing noise).
+[[nodiscard]] std::string format_double(double v, int precision);
+
+/// Left-pads/truncates to a column width for aligned console tables.
+[[nodiscard]] std::string pad(std::string_view s, std::size_t width);
+
+}  // namespace kinet::text
+
+#endif  // KINETGAN_COMMON_TEXT_H

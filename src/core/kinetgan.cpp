@@ -1,0 +1,519 @@
+#include "src/core/kinetgan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace kinet::core {
+
+using nn::Matrix;
+
+KiNetGan::KiNetGan(kg::ValidityOracle oracle, std::vector<std::size_t> cond_columns,
+                   KiNetGanOptions options)
+    : oracle_(std::move(oracle)),
+      cond_columns_(std::move(cond_columns)),
+      options_(options),
+      rng_(options.gan.seed) {
+    KINET_CHECK(!cond_columns_.empty(), "KiNetGan: need conditional columns");
+}
+
+void KiNetGan::fit(const data::Table& table) {
+    Stopwatch watch;
+    schema_ = table.schema();
+
+    // --- encodings -----------------------------------------------------
+    transformer_.fit(table, options_.transformer, rng_);
+    const Matrix encoded = transformer_.transform(table, rng_);
+
+    sampler_ = std::make_unique<data::ConditionalSampler>(table, cond_columns_, options_.sampler);
+    cond_builder_ = std::make_unique<gan::CondVectorBuilder>(schema_, cond_columns_);
+    cond_spans_ = gan::category_spans_for_blocks(transformer_, *cond_builder_);
+
+    // --- knowledge-guided discriminator inputs --------------------------
+    kg_columns_.clear();
+    kg_spans_.clear();
+    kg_input_width_ = 0;
+    if (options_.use_kg_discriminator) {
+        for (const auto& attr : oracle_.attribute_names()) {
+            const std::size_t col = table.column_index(attr);
+            KINET_CHECK(schema_[col].is_categorical(),
+                        "KiNetGan: oracle attribute " + attr + " must be categorical");
+            kg_columns_.push_back(col);
+            kg_spans_.push_back(transformer_.category_span(col));
+            kg_input_width_ += kg_spans_.back().width;
+        }
+        const auto& tuples = oracle_.valid_tuples();
+        KINET_CHECK(!tuples.empty(), "KiNetGan: oracle enumerates no valid tuples");
+
+        kg_attr_cond_pos_.assign(kg_columns_.size(), static_cast<std::size_t>(-1));
+        for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
+            for (std::size_t p = 0; p < cond_columns_.size(); ++p) {
+                if (cond_columns_[p] == kg_columns_[a]) {
+                    kg_attr_cond_pos_[a] = p;
+                    break;
+                }
+            }
+        }
+
+        kg_positives_.resize(tuples.size(), kg_input_width_);
+        kg_valid_keys_.clear();
+        kg_completions_.clear();
+        kg_tuple_ids_.assign(tuples.size(), {});
+        for (std::size_t t = 0; t < tuples.size(); ++t) {
+            std::size_t off = 0;
+            std::vector<std::size_t> ids(kg_columns_.size());
+            for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
+                const auto id = schema_[kg_columns_[a]].category_id(tuples[t][a]);
+                ids[a] = id;
+                kg_positives_(t, off + id) = 1.0F;
+                off += kg_spans_[a].width;
+            }
+            kg_valid_keys_.insert(id_key(ids));
+            // Index this tuple as a completion of its condition key.
+            std::uint64_t ckey = 0;
+            for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
+                if (kg_attr_cond_pos_[a] != static_cast<std::size_t>(-1)) {
+                    ckey = ckey * (kg_spans_[a].width + 1) + ids[a] + 1;
+                }
+            }
+            kg_completions_[ckey].push_back(t);
+            kg_tuple_ids_[t] = std::move(ids);
+        }
+    }
+
+    // --- networks --------------------------------------------------------
+    const auto& g = options_.gan;
+    const std::size_t data_width = transformer_.output_width();
+    const std::size_t cond_width = cond_builder_->width();
+
+    g_trunk_ = gan::make_generator_trunk(g.noise_dim + cond_width, g.hidden_dim,
+                                         g.hidden_layers, data_width, rng_);
+    g_act_ = std::make_unique<gan::OutputActivation>(transformer_.spans(), g.gumbel_tau, rng_);
+    d_main_ = gan::make_discriminator(data_width + cond_width, g.hidden_dim, g.hidden_layers,
+                                      g.dropout, rng_);
+    if (options_.use_kg_discriminator) {
+        // Conditional validity discriminator over [attrs ⊕ C].
+        d_kg_ = gan::make_discriminator(kg_input_width_ + cond_width, g.hidden_dim / 2, 1, 0.0F,
+                                        rng_);
+    }
+
+    nn::Adam g_opt(g_trunk_->parameters(), g.lr_generator, g.adam_beta1, g.adam_beta2);
+    nn::Adam d_opt(d_main_->parameters(), g.lr_discriminator, g.adam_beta1, g.adam_beta2);
+    std::unique_ptr<nn::Adam> dkg_opt;
+    if (d_kg_ != nullptr) {
+        dkg_opt = std::make_unique<nn::Adam>(d_kg_->parameters(), g.lr_discriminator, g.adam_beta1,
+                                             g.adam_beta2);
+    }
+
+    const std::size_t batch = std::min<std::size_t>(g.batch_size, table.rows());
+    const std::size_t steps = std::max<std::size_t>(1, table.rows() / batch);
+
+    report_ = gan::FitReport{};
+
+    for (std::size_t epoch = 0; epoch < g.epochs; ++epoch) {
+        double g_loss_acc = 0.0;
+        double d_loss_acc = 0.0;
+        double adherence_acc = 0.0;
+
+        for (std::size_t step = 0; step < steps; ++step) {
+            // ---- draw conditions + matching real rows ----
+            std::vector<data::CondDraw> draws;
+            draws.reserve(batch);
+            std::vector<std::size_t> real_rows;
+            real_rows.reserve(batch);
+            for (std::size_t b = 0; b < batch; ++b) {
+                draws.push_back(options_.use_minority_resampling ? sampler_->draw(rng_)
+                                                                 : sampler_->draw_empirical(rng_));
+                real_rows.push_back(draws.back().row);
+            }
+            const Matrix cond = cond_builder_->encode(draws);
+            const Matrix real = encoded.gather_rows(real_rows);
+
+            // ---- D_M step ----
+            d_main_->zero_grad();
+            Matrix z = gan::sample_noise(batch, g.noise_dim, rng_);
+            Matrix fake = g_act_->forward(g_trunk_->forward(Matrix::hcat(z, cond), true), true);
+
+            Matrix d_real_logits = d_main_->forward(Matrix::hcat(real, cond), true);
+            auto real_loss = nn::bce_with_logits(d_real_logits, gan::constant_targets(batch, 1.0F));
+            (void)d_main_->backward(real_loss.grad);
+
+            Matrix d_fake_logits = d_main_->forward(Matrix::hcat(fake, cond), true);
+            auto fake_loss = nn::bce_with_logits(d_fake_logits, gan::constant_targets(batch, 0.0F));
+            (void)d_main_->backward(fake_loss.grad);
+
+            nn::clip_grad_norm(d_main_->parameters(), g.grad_clip);
+            d_opt.step();
+            d_loss_acc += real_loss.value + fake_loss.value;
+
+            // ---- D_KG step ----
+            // A *conditional* validity discriminator over [attrs ⊕ C]
+            // (Sec. III-B: its positives are "all valid sets of attributes
+            // for the conditional vector C queried from the knowledge
+            // graph").  Negatives pair the same C with oracle-rejected
+            // tuples and with valid-but-mismatched completions; generator
+            // outputs are labelled by the oracle, not blanket-"fake".
+            if (d_kg_ != nullptr) {
+                d_kg_->zero_grad();
+                Matrix kg_pos = Matrix::hcat(kg_positive_batch(draws), cond);
+                Matrix pos_logits = d_kg_->forward(kg_pos, true);
+                auto pos_loss =
+                    nn::bce_with_logits(pos_logits, gan::constant_targets(batch, 1.0F));
+                (void)d_kg_->backward(pos_loss.grad);
+
+                Matrix kg_neg = Matrix::hcat(kg_negative_batch(draws), cond);
+                Matrix neg_logits = d_kg_->forward(kg_neg, true);
+                auto neg_loss =
+                    nn::bce_with_logits(neg_logits, gan::constant_targets(batch, 0.0F));
+                (void)d_kg_->backward(neg_loss.grad);
+
+                Matrix fake_attrs = extract_kg_attrs(fake);
+                Matrix fake_targets(batch, 1);
+                for (std::size_t b = 0; b < batch; ++b) {
+                    fake_targets(b, 0) =
+                        row_valid_and_consistent(fake, b, draws[b]) ? 1.0F : 0.0F;
+                }
+                Matrix fk_logits = d_kg_->forward(Matrix::hcat(fake_attrs, cond), true);
+                auto fk_loss = nn::bce_with_logits(fk_logits, fake_targets);
+                (void)d_kg_->backward(fk_loss.grad);
+
+                nn::clip_grad_norm(d_kg_->parameters(), g.grad_clip);
+                dkg_opt->step();
+                d_loss_acc += pos_loss.value + neg_loss.value + fk_loss.value;
+            }
+
+            // ---- G step (Eq. 4 with non-saturating adversarial terms) ----
+            g_trunk_->zero_grad();
+            z = gan::sample_noise(batch, g.noise_dim, rng_);
+            Matrix fake_logits = g_trunk_->forward(Matrix::hcat(z, cond), true);
+            fake = g_act_->forward(fake_logits, true);
+
+            Matrix grad_output(batch, fake.cols());  // w.r.t. activated output
+            double g_loss = 0.0;
+
+            // Combined discriminator D_C = D_KG + D_M (Eq. 3), realised as a
+            // sum of per-discriminator losses: summing raw logits saturates
+            // the joint sigmoid early in training (D_KG is strongly negative
+            // on invalid fakes), which blows up the shared gradient and —
+            // after clipping — drowns the conditional term.
+            d_main_->zero_grad();
+            Matrix dm_logits = d_main_->forward(Matrix::hcat(fake, cond), true);
+            auto adv = nn::bce_with_logits(dm_logits, gan::constant_targets(batch, 1.0F));
+            Matrix grad_dm_in = d_main_->backward(adv.grad);
+            d_main_->zero_grad();  // discard generator-pass gradients
+            grad_output += grad_dm_in.slice_cols(0, fake.cols());
+            g_loss += adv.value;
+
+            // D_KG contribution: (a) through the activation like any other
+            // adversarial gradient, and (b) a straight-through corrective
+            // term on the logits — the Gumbel-softmax Jacobian vanishes on
+            // near-one-hot spans, so without (b) the validity signal never
+            // reaches the trunk.  The correction is masked twice: only rows
+            // whose decoded attributes are invalid, and only spans that are
+            // NOT conditioned (the conditional copy already owns those), so
+            // the validity pull can never fight the condition.
+            Matrix kg_grad_logits(batch, fake.cols());
+            if (d_kg_ != nullptr) {
+                d_kg_->zero_grad();
+                Matrix fake_attrs = extract_kg_attrs(fake);
+                Matrix dkg_logits = d_kg_->forward(Matrix::hcat(fake_attrs, cond), true);
+                auto kg_adv = nn::bce_with_logits(dkg_logits, gan::constant_targets(batch, 1.0F));
+                g_loss += options_.kg_weight * kg_adv.value;
+                Matrix kg_grad = kg_adv.grad;
+                kg_grad *= options_.kg_weight;
+                Matrix grad_in = d_kg_->backward(kg_grad);
+                d_kg_->zero_grad();
+                Matrix grad_attrs = grad_in.slice_cols(0, kg_input_width_);
+
+                // Conditioned attribute spans belong to the conditional copy
+                // penalty — zero them so the validity pull can never fight
+                // the condition; D_KG adjusts only the free attributes.
+                {
+                    std::size_t off = 0;
+                    for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
+                        if (kg_attr_cond_pos_[a] != static_cast<std::size_t>(-1)) {
+                            for (std::size_t b = 0; b < batch; ++b) {
+                                for (std::size_t j = 0; j < kg_spans_[a].width; ++j) {
+                                    grad_attrs(b, off + j) = 0.0F;
+                                }
+                            }
+                        }
+                        off += kg_spans_[a].width;
+                    }
+                }
+                scatter_kg_grad(grad_attrs, grad_output);
+
+                // Straight-through correction for rows that decode to an
+                // invalid or condition-inconsistent tuple — the
+                // Gumbel-softmax Jacobian vanishes on crisp spans and would
+                // otherwise swallow the signal.
+                Matrix st_grad = grad_attrs;
+                for (std::size_t b = 0; b < batch; ++b) {
+                    if (row_valid_and_consistent(fake, b, draws[b])) {
+                        for (std::size_t j = 0; j < st_grad.cols(); ++j) {
+                            st_grad(b, j) = 0.0F;
+                        }
+                    }
+                }
+                scatter_kg_grad(st_grad, kg_grad_logits);
+            }
+
+            // Pull the adversarial gradients back through the activation,
+            // then add the straight-through KG term and the conditional copy
+            // penalty on the raw logits (BCE(C, Ĉ) in its training-stable
+            // softmax-CE form).
+            Matrix grad_logits = g_act_->backward(grad_output);
+            grad_logits += kg_grad_logits;
+            if (options_.use_cond_penalty) {
+                auto pen = gan::cond_ce_on_logits(fake_logits, cond, *cond_builder_, cond_spans_);
+                pen.grad *= options_.cond_penalty_weight;
+                grad_logits += pen.grad;
+                g_loss += options_.cond_penalty_weight * pen.value;
+            }
+
+            (void)g_trunk_->backward(grad_logits);
+            nn::clip_grad_norm(g_trunk_->parameters(), g.grad_clip);
+            g_opt.step();
+            g_loss_acc += g_loss;
+
+            adherence_acc += gan::cond_adherence_rate(fake, cond, *cond_builder_, cond_spans_);
+        }
+
+        report_.generator_loss.push_back(g_loss_acc / static_cast<double>(steps));
+        report_.discriminator_loss.push_back(d_loss_acc / static_cast<double>(steps));
+        last_adherence_ = adherence_acc / static_cast<double>(steps);
+    }
+
+    report_.seconds = watch.seconds();
+    fitted_ = true;
+}
+
+Matrix KiNetGan::extract_kg_attrs(const Matrix& encoded) const {
+    Matrix out(encoded.rows(), kg_input_width_);
+    std::size_t off = 0;
+    for (const auto& span : kg_spans_) {
+        for (std::size_t r = 0; r < encoded.rows(); ++r) {
+            for (std::size_t j = 0; j < span.width; ++j) {
+                out(r, off + j) = encoded(r, span.offset + j);
+            }
+        }
+        off += span.width;
+    }
+    return out;
+}
+
+void KiNetGan::scatter_kg_grad(const Matrix& grad_attrs, Matrix& grad_full) const {
+    std::size_t off = 0;
+    for (const auto& span : kg_spans_) {
+        for (std::size_t r = 0; r < grad_full.rows(); ++r) {
+            for (std::size_t j = 0; j < span.width; ++j) {
+                grad_full(r, span.offset + j) += grad_attrs(r, off + j);
+            }
+        }
+        off += span.width;
+    }
+}
+
+std::uint64_t KiNetGan::cond_key_of_draw(const data::CondDraw& draw) const {
+    std::uint64_t ckey = 0;
+    for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
+        if (kg_attr_cond_pos_[a] != static_cast<std::size_t>(-1)) {
+            ckey = ckey * (kg_spans_[a].width + 1) + draw.values[kg_attr_cond_pos_[a]] + 1;
+        }
+    }
+    return ckey;
+}
+
+Matrix KiNetGan::kg_positive_batch(const std::vector<data::CondDraw>& draws) {
+    std::vector<std::size_t> pick(draws.size());
+    for (std::size_t b = 0; b < draws.size(); ++b) {
+        const auto it = kg_completions_.find(cond_key_of_draw(draws[b]));
+        // Every draw comes from a real row; if that row is KG-valid its
+        // condition has at least one completion.  Fall back to a random
+        // tuple for KG-invalid conditions (noisy real data).
+        if (it != kg_completions_.end()) {
+            const auto& options = it->second;
+            pick[b] = options[static_cast<std::size_t>(
+                rng_.randint(0, static_cast<std::int64_t>(options.size()) - 1))];
+        } else {
+            pick[b] = static_cast<std::size_t>(
+                rng_.randint(0, static_cast<std::int64_t>(kg_positives_.rows()) - 1));
+        }
+    }
+    Matrix batch = kg_positives_.gather_rows(pick);
+    smooth_spans(batch);
+    return batch;
+}
+
+void KiNetGan::smooth_spans(Matrix& batch) {
+    // Label-smooth the crisp one-hots so D_KG cannot take the degenerate
+    // "crisp vs. soft" shortcut against the generator's Gumbel outputs —
+    // it has to learn which *combinations* are valid.
+    std::size_t off = 0;
+    for (const auto& span : kg_spans_) {
+        for (std::size_t r = 0; r < batch.rows(); ++r) {
+            const auto s = static_cast<float>(rng_.uniform(0.0, 0.15));
+            const float uniform = s / static_cast<float>(span.width);
+            for (std::size_t j = 0; j < span.width; ++j) {
+                batch(r, off + j) = batch(r, off + j) * (1.0F - s) + uniform;
+            }
+        }
+        off += span.width;
+    }
+}
+
+std::uint64_t KiNetGan::id_key(const std::vector<std::size_t>& ids) const {
+    // Mixed-radix packing over the attribute cardinalities.
+    std::uint64_t key = 0;
+    for (std::size_t a = 0; a < ids.size(); ++a) {
+        key = key * (kg_spans_[a].width + 1) + ids[a] + 1;
+    }
+    return key;
+}
+
+Matrix KiNetGan::kg_negative_batch(const std::vector<data::CondDraw>& draws) {
+    Matrix batch(draws.size(), kg_input_width_);
+    std::vector<std::size_t> ids(kg_spans_.size());
+    for (std::size_t r = 0; r < draws.size(); ++r) {
+        const std::uint64_t ckey = cond_key_of_draw(draws[r]);
+        if (rng_.bernoulli(0.5)) {
+            // Oracle-rejected random tuple (rejection sampling: the valid set
+            // is tiny relative to the cross product).
+            for (int attempt = 0; attempt < 64; ++attempt) {
+                for (std::size_t a = 0; a < kg_spans_.size(); ++a) {
+                    ids[a] = static_cast<std::size_t>(
+                        rng_.randint(0, static_cast<std::int64_t>(kg_spans_[a].width) - 1));
+                }
+                if (!kg_valid_keys_.contains(id_key(ids))) {
+                    break;
+                }
+            }
+        } else {
+            // Valid tuple of a *different* condition — the hard negative
+            // that forces D_KG to read C.
+            for (int attempt = 0; attempt < 64; ++attempt) {
+                const auto t = static_cast<std::size_t>(
+                    rng_.randint(0, static_cast<std::int64_t>(kg_tuple_ids_.size()) - 1));
+                ids = kg_tuple_ids_[t];
+                std::uint64_t tkey = 0;
+                for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
+                    if (kg_attr_cond_pos_[a] != static_cast<std::size_t>(-1)) {
+                        tkey = tkey * (kg_spans_[a].width + 1) + ids[a] + 1;
+                    }
+                }
+                if (tkey != ckey) {
+                    break;
+                }
+            }
+        }
+        std::size_t off = 0;
+        for (std::size_t a = 0; a < kg_spans_.size(); ++a) {
+            batch(r, off + ids[a]) = 1.0F;
+            off += kg_spans_[a].width;
+        }
+    }
+    smooth_spans(batch);
+    return batch;
+}
+
+std::vector<std::size_t> KiNetGan::decode_kg_ids(const Matrix& encoded, std::size_t row) const {
+    std::vector<std::size_t> ids(kg_spans_.size());
+    for (std::size_t a = 0; a < kg_spans_.size(); ++a) {
+        const auto& span = kg_spans_[a];
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < span.width; ++j) {
+            if (encoded(row, span.offset + j) > encoded(row, span.offset + best)) {
+                best = j;
+            }
+        }
+        ids[a] = best;
+    }
+    return ids;
+}
+
+bool KiNetGan::encoded_row_is_valid(const Matrix& encoded, std::size_t row) const {
+    return kg_valid_keys_.contains(id_key(decode_kg_ids(encoded, row)));
+}
+
+bool KiNetGan::row_valid_and_consistent(const Matrix& encoded, std::size_t row,
+                                        const data::CondDraw& draw) const {
+    const auto ids = decode_kg_ids(encoded, row);
+    if (!kg_valid_keys_.contains(id_key(ids))) {
+        return false;
+    }
+    for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
+        if (kg_attr_cond_pos_[a] != static_cast<std::size_t>(-1) &&
+            ids[a] != draw.values[kg_attr_cond_pos_[a]]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+data::Table KiNetGan::sample(std::size_t n) {
+    KINET_CHECK(fitted_, "KiNetGan::sample before fit");
+    data::Table out(schema_);
+    const std::size_t batch = options_.gan.batch_size;
+    std::size_t remaining = n;
+    while (remaining > 0) {
+        const std::size_t b = std::min(batch, remaining);
+        std::vector<data::CondDraw> draws;
+        draws.reserve(b);
+        for (std::size_t i = 0; i < b; ++i) {
+            // Empirical conditions restore the original data distribution.
+            draws.push_back(sampler_->draw_empirical(rng_));
+        }
+        const Matrix cond = cond_builder_->encode(draws);
+        const Matrix z = gan::sample_noise(b, options_.gan.noise_dim, rng_);
+        const Matrix fake =
+            g_act_->forward(g_trunk_->forward(Matrix::hcat(z, cond), false), false);
+        out.append_rows(transformer_.inverse(fake));
+        remaining -= b;
+    }
+    return out;
+}
+
+double KiNetGan::kg_validity_rate(const data::Table& table) const {
+    KINET_CHECK(!oracle_.attribute_names().empty(), "kg_validity_rate: empty oracle");
+    std::vector<std::size_t> cols;
+    for (const auto& attr : oracle_.attribute_names()) {
+        cols.push_back(table.column_index(attr));
+    }
+    std::size_t valid = 0;
+    std::vector<std::string> values(cols.size());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        for (std::size_t a = 0; a < cols.size(); ++a) {
+            values[a] = table.label_at(r, cols[a]);
+        }
+        valid += oracle_.is_valid(values) ? 1 : 0;
+    }
+    return (table.rows() == 0) ? 0.0
+                               : static_cast<double>(valid) / static_cast<double>(table.rows());
+}
+
+std::vector<double> KiNetGan::discriminator_scores(const data::Table& table) {
+    KINET_CHECK(fitted_, "discriminator_scores before fit");
+    const Matrix encoded = transformer_.transform(table, rng_);
+
+    // Build the condition each row actually carries.
+    std::vector<data::CondDraw> draws(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        draws[r].row = r;
+        draws[r].values.resize(cond_columns_.size());
+        for (std::size_t p = 0; p < cond_columns_.size(); ++p) {
+            draws[r].values[p] = table.category_at(r, cond_columns_[p]);
+        }
+    }
+    const Matrix cond = cond_builder_->encode(draws);
+    const Matrix logits = d_main_->forward(Matrix::hcat(encoded, cond), false);
+    std::vector<double> scores(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        scores[r] = 1.0 / (1.0 + std::exp(-static_cast<double>(logits(r, 0))));
+    }
+    return scores;
+}
+
+}  // namespace kinet::core

@@ -1,0 +1,137 @@
+// KiNETGAN — the paper's primary contribution (Sec. III).
+//
+// A conditional tabular GAN whose discriminator is split in two (Eq. 3):
+//   D_M : a standard real/fake discriminator over (x ⊕ C);
+//   D_KG: the Knowledge-Guided Discriminator, trained to separate
+//         KG-valid attribute combinations (positives enumerated by querying
+//         the Network Knowledge Graph) from the generator's attribute
+//         outputs (negatives) — so "fake but also *invalid*" samples are
+//         penalised separately from merely fake ones.
+// The generator loss (Eq. 4) combines both discriminators plus the
+// conditional copy penalty BCE(C, Ĉ) (Sec. III-A-2).  Minority attribute
+// values are boosted during training by the conditional sampler
+// (Sec. III-A-3) and the original distribution is restored at sampling time
+// by drawing conditions from the empirical frequencies.
+#ifndef KINETGAN_CORE_KINETGAN_H
+#define KINETGAN_CORE_KINETGAN_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/data/sampler.hpp"
+#include "src/data/split.hpp"
+#include "src/data/transformer.hpp"
+#include "src/gan/cond_vector.hpp"
+#include "src/gan/gan_common.hpp"
+#include "src/gan/synthesizer.hpp"
+#include "src/kg/network_kg.hpp"
+#include "src/nn/nn.hpp"
+
+namespace kinet::core {
+
+struct KiNetGanOptions {
+    gan::GanOptions gan;
+    data::TransformerOptions transformer;
+    data::SamplerOptions sampler;
+    /// Weight of BCE(C, Ĉ) in the generator loss.
+    float cond_penalty_weight = 2.0F;
+    /// Weight of the D_KG adversarial term in the generator loss.
+    float kg_weight = 1.0F;
+    // Ablation switches (bench_ablation exercises these).
+    bool use_kg_discriminator = true;
+    bool use_cond_penalty = true;
+    bool use_minority_resampling = true;
+};
+
+class KiNetGan : public gan::Synthesizer {
+public:
+    /// `oracle` is the compiled KG validity oracle for the table's domain;
+    /// `cond_columns` are the conditional attributes (categorical columns).
+    KiNetGan(kg::ValidityOracle oracle, std::vector<std::size_t> cond_columns,
+             KiNetGanOptions options = {});
+
+    void fit(const data::Table& table) override;
+    [[nodiscard]] data::Table sample(std::size_t n) override;
+    [[nodiscard]] std::string name() const override { return "KiNETGAN"; }
+
+    /// Fraction of rows whose oracle attributes form a KG-valid combination.
+    [[nodiscard]] double kg_validity_rate(const data::Table& table) const;
+
+    /// Sigmoid(D_M) per row — the white-box membership-inference surface.
+    [[nodiscard]] std::vector<double> discriminator_scores(const data::Table& table);
+
+    /// Mean conditional adherence over the last training epoch.
+    [[nodiscard]] double last_cond_adherence() const noexcept { return last_adherence_; }
+
+    [[nodiscard]] const data::TableTransformer& transformer() const noexcept {
+        return transformer_;
+    }
+
+private:
+    [[nodiscard]] nn::Matrix extract_kg_attrs(const nn::Matrix& encoded) const;
+    void scatter_kg_grad(const nn::Matrix& grad_attrs, nn::Matrix& grad_full) const;
+    /// KG-valid completions of each draw's condition, one-hot encoded —
+    /// D_KG's positives (Sec. III-B: "all valid sets of attributes for the
+    /// conditional vector C queried from the knowledge graph").
+    [[nodiscard]] nn::Matrix kg_positive_batch(const std::vector<data::CondDraw>& draws);
+    /// Hard negatives for the same conditions: oracle-rejected tuples and
+    /// valid tuples belonging to a *different* condition.
+    [[nodiscard]] nn::Matrix kg_negative_batch(const std::vector<data::CondDraw>& draws);
+    /// Label-smooths every one-hot span in a D_KG batch.
+    void smooth_spans(nn::Matrix& batch);
+    /// Condition key of a draw over the conditioned oracle attributes.
+    [[nodiscard]] std::uint64_t cond_key_of_draw(const data::CondDraw& draw) const;
+    /// True if row's decoded oracle attrs are valid AND agree with the draw's
+    /// conditioned values.
+    [[nodiscard]] bool row_valid_and_consistent(const nn::Matrix& encoded, std::size_t row,
+                                                const data::CondDraw& draw) const;
+    [[nodiscard]] std::vector<std::size_t> decode_kg_ids(const nn::Matrix& encoded,
+                                                         std::size_t row) const;
+    /// Decodes the oracle-attribute value ids of one encoded row (argmax per
+    /// span) and checks the compiled validity set.
+    [[nodiscard]] bool encoded_row_is_valid(const nn::Matrix& encoded, std::size_t row) const;
+    [[nodiscard]] std::uint64_t id_key(const std::vector<std::size_t>& ids) const;
+
+    kg::ValidityOracle oracle_;
+    std::vector<std::size_t> cond_columns_;
+    KiNetGanOptions options_;
+    Rng rng_;
+
+    std::vector<data::ColumnMeta> schema_;
+    data::TableTransformer transformer_;
+    std::unique_ptr<data::ConditionalSampler> sampler_;
+    std::unique_ptr<gan::CondVectorBuilder> cond_builder_;
+    std::vector<data::OutputSpan> cond_spans_;
+
+    // Oracle attribute -> table column and output span.
+    std::vector<std::size_t> kg_columns_;
+    std::vector<data::OutputSpan> kg_spans_;
+    std::size_t kg_input_width_ = 0;
+    nn::Matrix kg_positives_;  // one-hot encodings of all valid tuples
+    std::unordered_set<std::uint64_t> kg_valid_keys_;  // mixed-radix id keys
+    /// Position of each oracle attribute within cond_columns_ (npos if the
+    /// attribute is not conditioned).
+    std::vector<std::size_t> kg_attr_cond_pos_;
+    /// cond-key -> indices into kg_positives_ (valid completions of that
+    /// condition).
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> kg_completions_;
+    std::vector<std::vector<std::size_t>> kg_tuple_ids_;  // ids per valid tuple
+
+    // Generator = trunk (ends in Linear logits) + span-wise output activation,
+    // kept separate so the conditional penalty can act on the logits.
+    std::unique_ptr<nn::Sequential> g_trunk_;
+    std::unique_ptr<gan::OutputActivation> g_act_;
+    std::unique_ptr<nn::Sequential> d_main_;
+    std::unique_ptr<nn::Sequential> d_kg_;
+
+    double last_adherence_ = 0.0;
+    bool fitted_ = false;
+};
+
+}  // namespace kinet::core
+
+#endif  // KINETGAN_CORE_KINETGAN_H

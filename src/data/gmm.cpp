@@ -1,0 +1,204 @@
+#include "src/data/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.hpp"
+
+namespace kinet::data {
+namespace {
+
+constexpr double kMinStddev = 1e-4;
+constexpr double kLogSqrt2Pi = 0.9189385332046727;  // log(sqrt(2*pi))
+
+double log_gaussian(double x, double mean, double stddev) {
+    const double z = (x - mean) / stddev;
+    return -0.5 * z * z - std::log(stddev) - kLogSqrt2Pi;
+}
+
+// k-means++-style seeding: spread the initial means across the data.
+std::vector<double> seed_means(std::span<const float> values, std::size_t k, Rng& rng) {
+    std::vector<double> means;
+    means.reserve(k);
+    means.push_back(values[static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(values.size()) - 1))]);
+    std::vector<double> dist2(values.size());
+    while (means.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            for (double m : means) {
+                const double d = values[i] - m;
+                best = std::min(best, d * d);
+            }
+            dist2[i] = best;
+            total += best;
+        }
+        if (total <= 0.0) {
+            break;  // all points coincide with existing means
+        }
+        means.push_back(values[rng.categorical(dist2)]);
+    }
+    return means;
+}
+
+}  // namespace
+
+Gmm1D Gmm1D::fit(std::span<const float> values, std::size_t max_components, Rng& rng,
+                 std::size_t iterations, double prune_threshold) {
+    KINET_CHECK(!values.empty(), "Gmm1D::fit: empty input");
+    KINET_CHECK(max_components > 0, "Gmm1D::fit: need at least one component");
+
+    Gmm1D model;
+
+    const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+    const double lo = *mn_it;
+    const double hi = *mx_it;
+    if (hi - lo < kMinStddev) {
+        // Constant column: one tight component.
+        model.components_.push_back(GmmComponent{1.0, lo, kMinStddev});
+        return model;
+    }
+
+    const std::size_t k0 = std::min<std::size_t>(max_components, values.size());
+    const auto means0 = seed_means(values, k0, rng);
+    const double spread = (hi - lo) / static_cast<double>(means0.size());
+    for (double m : means0) {
+        model.components_.push_back(
+            GmmComponent{1.0 / static_cast<double>(means0.size()), m, std::max(spread, kMinStddev)});
+    }
+
+    std::vector<double> resp(model.components_.size());
+    std::vector<double> weight_acc;
+    std::vector<double> mean_acc;
+    std::vector<double> var_acc;
+
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+        const std::size_t k = model.components_.size();
+        weight_acc.assign(k, 0.0);
+        mean_acc.assign(k, 0.0);
+        var_acc.assign(k, 0.0);
+
+        // E-step accumulated into sufficient statistics.
+        for (const float xv : values) {
+            const double x = xv;
+            double mx = -std::numeric_limits<double>::max();
+            resp.resize(k);
+            for (std::size_t j = 0; j < k; ++j) {
+                resp[j] = std::log(model.components_[j].weight) +
+                          log_gaussian(x, model.components_[j].mean, model.components_[j].stddev);
+                mx = std::max(mx, resp[j]);
+            }
+            double denom = 0.0;
+            for (std::size_t j = 0; j < k; ++j) {
+                resp[j] = std::exp(resp[j] - mx);
+                denom += resp[j];
+            }
+            for (std::size_t j = 0; j < k; ++j) {
+                const double r = resp[j] / denom;
+                weight_acc[j] += r;
+                mean_acc[j] += r * x;
+                var_acc[j] += r * x * x;
+            }
+        }
+
+        // M-step.
+        const auto n = static_cast<double>(values.size());
+        for (std::size_t j = 0; j < k; ++j) {
+            if (weight_acc[j] < 1e-10) {
+                model.components_[j].weight = 0.0;
+                continue;
+            }
+            const double mean = mean_acc[j] / weight_acc[j];
+            const double var = std::max(var_acc[j] / weight_acc[j] - mean * mean,
+                                        kMinStddev * kMinStddev);
+            model.components_[j].weight = weight_acc[j] / n;
+            model.components_[j].mean = mean;
+            model.components_[j].stddev = std::sqrt(var);
+        }
+
+        // Prune collapsed components (sparsity prior surrogate).
+        const std::size_t before = model.components_.size();
+        std::erase_if(model.components_,
+                      [prune_threshold](const GmmComponent& c) { return c.weight < prune_threshold; });
+        if (model.components_.empty()) {
+            // Everything pruned (pathological threshold): fall back to one
+            // component over the full range.
+            double mean = 0.0;
+            for (float v : values) {
+                mean += v;
+            }
+            mean /= n;
+            double var = 0.0;
+            for (float v : values) {
+                var += (v - mean) * (v - mean);
+            }
+            var = std::max(var / n, kMinStddev * kMinStddev);
+            model.components_.push_back(GmmComponent{1.0, mean, std::sqrt(var)});
+            break;
+        }
+        double total_w = 0.0;
+        for (const auto& c : model.components_) {
+            total_w += c.weight;
+        }
+        for (auto& c : model.components_) {
+            c.weight /= total_w;
+        }
+        if (model.components_.size() != before) {
+            resp.resize(model.components_.size());
+        }
+    }
+    return model;
+}
+
+const GmmComponent& Gmm1D::component(std::size_t k) const {
+    KINET_CHECK(k < components_.size(), "Gmm1D: component index out of range");
+    return components_[k];
+}
+
+std::vector<double> Gmm1D::responsibilities(double x) const {
+    std::vector<double> out(components_.size());
+    double mx = -std::numeric_limits<double>::max();
+    for (std::size_t j = 0; j < components_.size(); ++j) {
+        out[j] = std::log(std::max(components_[j].weight, 1e-300)) +
+                 log_gaussian(x, components_[j].mean, components_[j].stddev);
+        mx = std::max(mx, out[j]);
+    }
+    double denom = 0.0;
+    for (auto& v : out) {
+        v = std::exp(v - mx);
+        denom += v;
+    }
+    for (auto& v : out) {
+        v /= denom;
+    }
+    return out;
+}
+
+std::size_t Gmm1D::argmax_component(double x) const {
+    const auto r = responsibilities(x);
+    return static_cast<std::size_t>(std::max_element(r.begin(), r.end()) - r.begin());
+}
+
+std::size_t Gmm1D::sample_component(double x, Rng& rng) const {
+    const auto r = responsibilities(x);
+    return rng.categorical(r);
+}
+
+double Gmm1D::log_likelihood(double x) const {
+    double mx = -std::numeric_limits<double>::max();
+    std::vector<double> terms(components_.size());
+    for (std::size_t j = 0; j < components_.size(); ++j) {
+        terms[j] = std::log(std::max(components_[j].weight, 1e-300)) +
+                   log_gaussian(x, components_[j].mean, components_[j].stddev);
+        mx = std::max(mx, terms[j]);
+    }
+    double acc = 0.0;
+    for (double t : terms) {
+        acc += std::exp(t - mx);
+    }
+    return mx + std::log(acc);
+}
+
+}  // namespace kinet::data

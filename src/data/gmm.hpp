@@ -1,0 +1,56 @@
+// One-dimensional Gaussian mixture fitted by EM — the "variational Gaussian
+// mixture" used for mode-specific normalization of continuous columns
+// (Xu et al., NeurIPS 2019).  Components whose weight collapses are pruned,
+// which approximates the Dirichlet sparsity prior of the original VGM.
+#ifndef KINETGAN_DATA_GMM_H
+#define KINETGAN_DATA_GMM_H
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace kinet::data {
+
+struct GmmComponent {
+    double weight = 0.0;
+    double mean = 0.0;
+    double stddev = 1.0;
+};
+
+/// 1-D Gaussian mixture model.
+class Gmm1D {
+public:
+    /// Fits up to `max_components` by EM with k-means++-style seeding.
+    /// Components with weight below `prune_threshold` are removed and the
+    /// model is renormalised.  Degenerate inputs (constant column) yield a
+    /// single tight component.
+    [[nodiscard]] static Gmm1D fit(std::span<const float> values, std::size_t max_components,
+                                   Rng& rng, std::size_t iterations = 50,
+                                   double prune_threshold = 5e-3);
+
+    [[nodiscard]] std::size_t component_count() const noexcept { return components_.size(); }
+    [[nodiscard]] const GmmComponent& component(std::size_t k) const;
+    [[nodiscard]] const std::vector<GmmComponent>& components() const noexcept {
+        return components_;
+    }
+
+    /// Posterior responsibilities p(k | x), normalised.
+    [[nodiscard]] std::vector<double> responsibilities(double x) const;
+
+    /// Most responsible component for x.
+    [[nodiscard]] std::size_t argmax_component(double x) const;
+
+    /// Component sampled from the posterior p(k | x).
+    [[nodiscard]] std::size_t sample_component(double x, Rng& rng) const;
+
+    /// Mixture log-likelihood of a point.
+    [[nodiscard]] double log_likelihood(double x) const;
+
+private:
+    std::vector<GmmComponent> components_;
+};
+
+}  // namespace kinet::data
+
+#endif  // KINETGAN_DATA_GMM_H

@@ -1,0 +1,85 @@
+#include "src/data/sampler.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::data {
+
+ConditionalSampler::ConditionalSampler(const Table& table, std::vector<std::size_t> cond_columns,
+                                       SamplerOptions options)
+    : cond_columns_(std::move(cond_columns)), options_(options) {
+    KINET_CHECK(!cond_columns_.empty(), "ConditionalSampler: need at least one column");
+    KINET_CHECK(table.rows() > 0, "ConditionalSampler: empty table");
+
+    rows_by_value_.resize(cond_columns_.size());
+    log_freq_.resize(cond_columns_.size());
+    freq_.resize(cond_columns_.size());
+
+    for (std::size_t p = 0; p < cond_columns_.size(); ++p) {
+        const std::size_t col = cond_columns_[p];
+        KINET_CHECK(table.meta(col).is_categorical(),
+                    "ConditionalSampler: column " + table.meta(col).name + " is not categorical");
+        const std::size_t k = table.meta(col).categories.size();
+        rows_by_value_[p].assign(k, {});
+        log_freq_[p].assign(k, 0.0);
+        freq_[p].assign(k, 0.0);
+    }
+
+    row_values_.resize(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        row_values_[r].resize(cond_columns_.size());
+        for (std::size_t p = 0; p < cond_columns_.size(); ++p) {
+            const std::size_t v = table.category_at(r, cond_columns_[p]);
+            row_values_[r][p] = v;
+            rows_by_value_[p][v].push_back(r);
+        }
+    }
+
+    for (std::size_t p = 0; p < cond_columns_.size(); ++p) {
+        for (std::size_t v = 0; v < rows_by_value_[p].size(); ++v) {
+            const auto count = static_cast<double>(rows_by_value_[p][v].size());
+            freq_[p][v] = count / static_cast<double>(table.rows());
+            log_freq_[p][v] = (count > 0.0) ? std::log1p(count) : 0.0;
+        }
+    }
+}
+
+CondDraw ConditionalSampler::make_draw(std::size_t col_pos, std::size_t value_id, Rng& rng) const {
+    const auto& rows = rows_by_value_[col_pos][value_id];
+    KINET_CHECK(!rows.empty(), "ConditionalSampler: no rows carry the requested value");
+    const std::size_t row =
+        rows[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(rows.size()) - 1))];
+    CondDraw draw;
+    draw.row = row;
+    draw.values = row_values_[row];
+    draw.anchor_column = col_pos;
+    draw.anchor_value = value_id;
+    return draw;
+}
+
+CondDraw ConditionalSampler::draw(Rng& rng) const {
+    const auto col_pos = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(cond_columns_.size()) - 1));
+    std::size_t value_id = 0;
+    if (rng.bernoulli(options_.uniform_minority_prob)) {
+        // Uniform over values that occur at least once — the minority boost.
+        std::vector<double> present(rows_by_value_[col_pos].size(), 0.0);
+        for (std::size_t v = 0; v < present.size(); ++v) {
+            present[v] = rows_by_value_[col_pos][v].empty() ? 0.0 : 1.0;
+        }
+        value_id = rng.categorical(present);
+    } else {
+        value_id = rng.categorical(log_freq_[col_pos]);
+    }
+    return make_draw(col_pos, value_id, rng);
+}
+
+CondDraw ConditionalSampler::draw_empirical(Rng& rng) const {
+    const auto col_pos = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(cond_columns_.size()) - 1));
+    const std::size_t value_id = rng.categorical(freq_[col_pos]);
+    return make_draw(col_pos, value_id, rng);
+}
+
+}  // namespace kinet::data

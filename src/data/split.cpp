@@ -1,0 +1,53 @@
+#include "src/data/split.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::data {
+
+TrainTestSplit train_test_split(const Table& table, double test_fraction, Rng& rng,
+                                std::optional<std::size_t> stratify_column) {
+    KINET_CHECK(test_fraction > 0.0 && test_fraction < 1.0,
+                "train_test_split: test_fraction must be in (0, 1)");
+    KINET_CHECK(table.rows() >= 2, "train_test_split: need at least two rows");
+
+    std::vector<std::size_t> train_idx;
+    std::vector<std::size_t> test_idx;
+
+    if (stratify_column.has_value()) {
+        const std::size_t col = *stratify_column;
+        KINET_CHECK(table.meta(col).is_categorical(), "stratify column must be categorical");
+        std::vector<std::vector<std::size_t>> buckets(table.meta(col).categories.size());
+        for (std::size_t r = 0; r < table.rows(); ++r) {
+            buckets[table.category_at(r, col)].push_back(r);
+        }
+        for (auto& bucket : buckets) {
+            if (bucket.empty()) {
+                continue;
+            }
+            rng.shuffle(bucket);
+            auto n_test = static_cast<std::size_t>(
+                std::floor(static_cast<double>(bucket.size()) * test_fraction));
+            if (n_test >= bucket.size()) {
+                n_test = bucket.size() - 1;  // keep at least one training row
+            }
+            for (std::size_t i = 0; i < bucket.size(); ++i) {
+                (i < n_test ? test_idx : train_idx).push_back(bucket[i]);
+            }
+        }
+    } else {
+        auto perm = rng.permutation(table.rows());
+        auto n_test = static_cast<std::size_t>(
+            std::floor(static_cast<double>(table.rows()) * test_fraction));
+        n_test = std::max<std::size_t>(1, std::min(n_test, table.rows() - 1));
+        test_idx.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(n_test));
+        train_idx.assign(perm.begin() + static_cast<std::ptrdiff_t>(n_test), perm.end());
+    }
+
+    KINET_CHECK(!train_idx.empty() && !test_idx.empty(),
+                "train_test_split produced an empty side");
+    return TrainTestSplit{table.select_rows(train_idx), table.select_rows(test_idx)};
+}
+
+}  // namespace kinet::data

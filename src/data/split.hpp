@@ -1,0 +1,25 @@
+// Train/test splitting utilities.
+#ifndef KINETGAN_DATA_SPLIT_H
+#define KINETGAN_DATA_SPLIT_H
+
+#include <optional>
+
+#include "src/common/rng.hpp"
+#include "src/data/table.hpp"
+
+namespace kinet::data {
+
+struct TrainTestSplit {
+    Table train;
+    Table test;
+};
+
+/// Random split; if `stratify_column` names a categorical column, each
+/// category is split proportionally (every non-empty category keeps at least
+/// one training row).
+[[nodiscard]] TrainTestSplit train_test_split(const Table& table, double test_fraction, Rng& rng,
+                                              std::optional<std::size_t> stratify_column = {});
+
+}  // namespace kinet::data
+
+#endif  // KINETGAN_DATA_SPLIT_H

@@ -1,0 +1,208 @@
+#include "src/data/transformer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::data {
+
+void TableTransformer::fit(const Table& table, const TransformerOptions& options, Rng& rng) {
+    KINET_CHECK(table.rows() > 0, "TableTransformer::fit: empty table");
+    schema_ = table.schema();
+    options_ = options;
+    spans_.clear();
+    gmms_.assign(schema_.size(), Gmm1D{});
+    output_width_ = 0;
+
+    for (std::size_t c = 0; c < schema_.size(); ++c) {
+        if (schema_[c].is_categorical()) {
+            OutputSpan span;
+            span.column = c;
+            span.kind = SpanKind::category_onehot;
+            span.offset = output_width_;
+            span.width = schema_[c].categories.size();
+            spans_.push_back(span);
+            output_width_ += span.width;
+        } else {
+            const auto values = table.column_values(c);
+            gmms_[c] = Gmm1D::fit(values, options.max_modes, rng, options.gmm_iterations);
+
+            OutputSpan alpha;
+            alpha.column = c;
+            alpha.kind = SpanKind::continuous_alpha;
+            alpha.offset = output_width_;
+            alpha.width = 1;
+            spans_.push_back(alpha);
+            output_width_ += 1;
+
+            OutputSpan mode;
+            mode.column = c;
+            mode.kind = SpanKind::mode_onehot;
+            mode.offset = output_width_;
+            mode.width = gmms_[c].component_count();
+            spans_.push_back(mode);
+            output_width_ += mode.width;
+        }
+    }
+}
+
+tensor::Matrix TableTransformer::transform(const Table& table, Rng& rng) const {
+    KINET_CHECK(is_fitted(), "TableTransformer::transform before fit");
+    KINET_CHECK(table.cols() == schema_.size(), "TableTransformer::transform: schema mismatch");
+    tensor::Matrix out(table.rows(), output_width_);
+    // Spans were built in order: for continuous columns the alpha span is
+    // immediately followed by its mode span, so iterate with an index.
+    for (std::size_t si = 0; si < spans_.size(); ++si) {
+        const OutputSpan& span = spans_[si];
+        if (span.kind == SpanKind::category_onehot) {
+            for (std::size_t r = 0; r < table.rows(); ++r) {
+                const auto id = static_cast<std::size_t>(std::lround(table.value(r, span.column)));
+                KINET_CHECK(id < span.width, "transform: category out of range");
+                out(r, span.offset + id) = 1.0F;
+            }
+        } else if (span.kind == SpanKind::continuous_alpha) {
+            KINET_CHECK(si + 1 < spans_.size() && spans_[si + 1].kind == SpanKind::mode_onehot &&
+                            spans_[si + 1].column == span.column,
+                        "transform: alpha span without paired mode span");
+            const OutputSpan& mode_span = spans_[si + 1];
+            const Gmm1D& gmm = gmms_[span.column];
+            for (std::size_t r = 0; r < table.rows(); ++r) {
+                const float v = table.value(r, span.column);
+                const std::size_t k = options_.sample_mode_assignment
+                                          ? gmm.sample_component(v, rng)
+                                          : gmm.argmax_component(v);
+                const auto& comp = gmm.component(k);
+                const double alpha = std::clamp(
+                    (static_cast<double>(v) - comp.mean) / (4.0 * comp.stddev), -1.0, 1.0);
+                out(r, span.offset) = static_cast<float>(alpha);
+                out(r, mode_span.offset + k) = 1.0F;
+            }
+        }
+    }
+    return out;
+}
+
+Table TableTransformer::inverse(const tensor::Matrix& encoded) const {
+    KINET_CHECK(is_fitted(), "TableTransformer::inverse before fit");
+    KINET_CHECK(encoded.cols() == output_width_, "TableTransformer::inverse: width mismatch");
+    Table out{schema_};
+    std::vector<float> raw(schema_.size(), 0.0F);
+    for (std::size_t r = 0; r < encoded.rows(); ++r) {
+        const auto row = encoded.row(r);
+        for (const auto& span : spans_) {
+            switch (span.kind) {
+            case SpanKind::category_onehot: {
+                std::size_t best = 0;
+                for (std::size_t j = 1; j < span.width; ++j) {
+                    if (row[span.offset + j] > row[span.offset + best]) {
+                        best = j;
+                    }
+                }
+                raw[span.column] = static_cast<float>(best);
+                break;
+            }
+            case SpanKind::continuous_alpha: {
+                // Value reconstructed when we hit the paired mode span.
+                break;
+            }
+            case SpanKind::mode_onehot: {
+                std::size_t best = 0;
+                for (std::size_t j = 1; j < span.width; ++j) {
+                    if (row[span.offset + j] > row[span.offset + best]) {
+                        best = j;
+                    }
+                }
+                // The alpha span for this column sits immediately before the
+                // mode block in spans_ construction order.
+                const OutputSpan* alpha_span = nullptr;
+                for (const auto& s : spans_) {
+                    if (s.column == span.column && s.kind == SpanKind::continuous_alpha) {
+                        alpha_span = &s;
+                        break;
+                    }
+                }
+                KINET_CHECK(alpha_span != nullptr, "inverse: missing alpha span");
+                const double alpha =
+                    std::clamp(static_cast<double>(row[alpha_span->offset]), -1.0, 1.0);
+                const auto& comp = gmms_[span.column].component(best);
+                raw[span.column] = static_cast<float>(alpha * 4.0 * comp.stddev + comp.mean);
+                break;
+            }
+            }
+        }
+        out.append_row(raw);
+    }
+    return out;
+}
+
+const OutputSpan& TableTransformer::category_span(std::size_t column) const {
+    for (const auto& s : spans_) {
+        if (s.column == column && s.kind == SpanKind::category_onehot) {
+            return s;
+        }
+    }
+    throw Error("category_span: column " + std::to_string(column) + " is not categorical");
+}
+
+const Gmm1D& TableTransformer::column_gmm(std::size_t column) const {
+    KINET_CHECK(column < schema_.size() && !schema_[column].is_categorical(),
+                "column_gmm: not a fitted continuous column");
+    return gmms_[column];
+}
+
+void MinMaxTransformer::fit(const Table& table) {
+    KINET_CHECK(table.rows() > 0, "MinMaxTransformer::fit: empty table");
+    schema_ = table.schema();
+    lo_.assign(schema_.size(), 0.0F);
+    hi_.assign(schema_.size(), 1.0F);
+    for (std::size_t c = 0; c < schema_.size(); ++c) {
+        if (schema_[c].is_categorical()) {
+            lo_[c] = 0.0F;
+            hi_[c] = static_cast<float>(schema_[c].categories.size() - 1);
+        } else {
+            const auto values = table.column_values(c);
+            const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+            lo_[c] = *mn;
+            hi_[c] = *mx;
+        }
+        if (hi_[c] - lo_[c] < 1e-9F) {
+            hi_[c] = lo_[c] + 1.0F;  // constant column: avoid divide-by-zero
+        }
+    }
+}
+
+tensor::Matrix MinMaxTransformer::transform(const Table& table) const {
+    KINET_CHECK(is_fitted(), "MinMaxTransformer::transform before fit");
+    KINET_CHECK(table.cols() == schema_.size(), "MinMaxTransformer: schema mismatch");
+    tensor::Matrix out(table.rows(), schema_.size());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        for (std::size_t c = 0; c < schema_.size(); ++c) {
+            const float v = table.value(r, c);
+            out(r, c) = 2.0F * (v - lo_[c]) / (hi_[c] - lo_[c]) - 1.0F;
+        }
+    }
+    return out;
+}
+
+Table MinMaxTransformer::inverse(const tensor::Matrix& encoded) const {
+    KINET_CHECK(is_fitted(), "MinMaxTransformer::inverse before fit");
+    KINET_CHECK(encoded.cols() == schema_.size(), "MinMaxTransformer::inverse: width mismatch");
+    Table out{schema_};
+    std::vector<float> raw(schema_.size());
+    for (std::size_t r = 0; r < encoded.rows(); ++r) {
+        for (std::size_t c = 0; c < schema_.size(); ++c) {
+            const float clamped = std::clamp(encoded(r, c), -1.0F, 1.0F);
+            float v = (clamped + 1.0F) * 0.5F * (hi_[c] - lo_[c]) + lo_[c];
+            if (schema_[c].is_categorical()) {
+                v = std::clamp(std::round(v), 0.0F,
+                               static_cast<float>(schema_[c].categories.size() - 1));
+            }
+            raw[c] = v;
+        }
+        out.append_row(raw);
+    }
+    return out;
+}
+
+}  // namespace kinet::data

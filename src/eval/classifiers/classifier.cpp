@@ -1,0 +1,115 @@
+#include "src/eval/classifiers/classifier.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::eval {
+
+void FeatureEncoder::fit(const data::Table& train, std::size_t label_column) {
+    KINET_CHECK(train.rows() > 0, "FeatureEncoder: empty training table");
+    KINET_CHECK(label_column < train.cols(), "FeatureEncoder: label column out of range");
+    KINET_CHECK(train.meta(label_column).is_categorical(),
+                "FeatureEncoder: label column must be categorical");
+    schema_ = train.schema();
+    label_column_ = label_column;
+    classes_ = schema_[label_column].categories.size();
+
+    mean_.assign(schema_.size(), 0.0F);
+    stddev_.assign(schema_.size(), 1.0F);
+    width_ = 0;
+    for (std::size_t c = 0; c < schema_.size(); ++c) {
+        if (c == label_column_) {
+            continue;
+        }
+        if (schema_[c].is_categorical()) {
+            width_ += schema_[c].categories.size();
+        } else {
+            const auto v = train.column_values(c);
+            double m = 0.0;
+            for (float x : v) {
+                m += x;
+            }
+            m /= static_cast<double>(v.size());
+            double var = 0.0;
+            for (float x : v) {
+                var += (x - m) * (x - m);
+            }
+            var /= static_cast<double>(v.size());
+            mean_[c] = static_cast<float>(m);
+            stddev_[c] = static_cast<float>(std::sqrt(std::max(var, 1e-12)));
+            width_ += 1;
+        }
+    }
+}
+
+Matrix FeatureEncoder::encode(const data::Table& table) const {
+    KINET_CHECK(!schema_.empty(), "FeatureEncoder: encode before fit");
+    KINET_CHECK(table.cols() == schema_.size(), "FeatureEncoder: schema mismatch");
+    Matrix out(table.rows(), width_);
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        std::size_t off = 0;
+        for (std::size_t c = 0; c < schema_.size(); ++c) {
+            if (c == label_column_) {
+                continue;
+            }
+            if (schema_[c].is_categorical()) {
+                out(r, off + table.category_at(r, c)) = 1.0F;
+                off += schema_[c].categories.size();
+            } else {
+                out(r, off) = (table.value(r, c) - mean_[c]) / stddev_[c];
+                off += 1;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::size_t> FeatureEncoder::labels(const data::Table& table) const {
+    std::vector<std::size_t> out(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        out[r] = table.category_at(r, label_column_);
+    }
+    return out;
+}
+
+double accuracy(std::span<const std::size_t> predicted, std::span<const std::size_t> truth) {
+    KINET_CHECK(predicted.size() == truth.size() && !truth.empty(), "accuracy: size mismatch");
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        hits += (predicted[i] == truth[i]) ? 1 : 0;
+    }
+    return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double macro_f1(std::span<const std::size_t> predicted, std::span<const std::size_t> truth,
+                std::size_t classes) {
+    KINET_CHECK(predicted.size() == truth.size() && !truth.empty(), "macro_f1: size mismatch");
+    std::vector<std::size_t> tp(classes, 0);
+    std::vector<std::size_t> fp(classes, 0);
+    std::vector<std::size_t> fn(classes, 0);
+    std::vector<bool> present(classes, false);
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        present[truth[i]] = true;
+        if (predicted[i] == truth[i]) {
+            ++tp[truth[i]];
+        } else {
+            ++fp[predicted[i]];
+            ++fn[truth[i]];
+        }
+    }
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t k = 0; k < classes; ++k) {
+        if (!present[k]) {
+            continue;
+        }
+        const double denom = 2.0 * static_cast<double>(tp[k]) + static_cast<double>(fp[k]) +
+                             static_cast<double>(fn[k]);
+        acc += (denom > 0.0) ? 2.0 * static_cast<double>(tp[k]) / denom : 0.0;
+        ++count;
+    }
+    return (count == 0) ? 0.0 : acc / static_cast<double>(count);
+}
+
+}  // namespace kinet::eval

@@ -1,0 +1,63 @@
+// Classifier interface + feature encoding for the ML-based NIDS evaluation
+// (paper Sec. V-B): six classifiers trained on (real or synthetic) tables and
+// tested on held-out real data.
+#ifndef KINETGAN_EVAL_CLASSIFIERS_CLASSIFIER_H
+#define KINETGAN_EVAL_CLASSIFIERS_CLASSIFIER_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/data/table.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace kinet::eval {
+
+using tensor::Matrix;
+
+/// Encodes tables into classifier features: one-hot categoricals and
+/// z-scored continuous columns (statistics learned from the training table so
+/// train/test are encoded identically).
+class FeatureEncoder {
+public:
+    void fit(const data::Table& train, std::size_t label_column);
+
+    [[nodiscard]] Matrix encode(const data::Table& table) const;
+    [[nodiscard]] std::vector<std::size_t> labels(const data::Table& table) const;
+
+    [[nodiscard]] std::size_t feature_width() const noexcept { return width_; }
+    [[nodiscard]] std::size_t class_count() const noexcept { return classes_; }
+    [[nodiscard]] std::size_t label_column() const noexcept { return label_column_; }
+
+private:
+    std::vector<data::ColumnMeta> schema_;
+    std::size_t label_column_ = 0;
+    std::size_t classes_ = 0;
+    std::size_t width_ = 0;
+    std::vector<float> mean_;    // per column (continuous only)
+    std::vector<float> stddev_;  // per column (continuous only)
+};
+
+class Classifier {
+public:
+    Classifier() = default;
+    Classifier(const Classifier&) = delete;
+    Classifier& operator=(const Classifier&) = delete;
+    virtual ~Classifier() = default;
+
+    virtual void fit(const Matrix& x, std::span<const std::size_t> y, std::size_t classes) = 0;
+    [[nodiscard]] virtual std::vector<std::size_t> predict(const Matrix& x) const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Fraction of matching predictions.
+[[nodiscard]] double accuracy(std::span<const std::size_t> predicted,
+                              std::span<const std::size_t> truth);
+
+/// Macro-averaged F1 over classes present in `truth`.
+[[nodiscard]] double macro_f1(std::span<const std::size_t> predicted,
+                              std::span<const std::size_t> truth, std::size_t classes);
+
+}  // namespace kinet::eval
+
+#endif  // KINETGAN_EVAL_CLASSIFIERS_CLASSIFIER_H

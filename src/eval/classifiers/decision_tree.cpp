@@ -1,0 +1,149 @@
+#include "src/eval/classifiers/decision_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace kinet::eval {
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+    if (total == 0) {
+        return 0.0;
+    }
+    double acc = 1.0;
+    for (std::size_t c : counts) {
+        const double p = static_cast<double>(c) / static_cast<double>(total);
+        acc -= p * p;
+    }
+    return acc;
+}
+
+std::size_t majority(const std::vector<std::size_t>& counts) {
+    return static_cast<std::size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void DecisionTree::fit(const Matrix& x, std::span<const std::size_t> y, std::size_t classes) {
+    KINET_CHECK(x.rows() == y.size() && x.rows() > 0, "DecisionTree: bad training data");
+    classes_ = classes;
+    nodes_.clear();
+    std::vector<std::size_t> rows(x.rows());
+    std::iota(rows.begin(), rows.end(), std::size_t{0});
+    build(x, y, rows, 0);
+}
+
+std::size_t DecisionTree::build(const Matrix& x, std::span<const std::size_t> y,
+                                std::vector<std::size_t>& rows, std::size_t depth) {
+    const std::size_t node_idx = nodes_.size();
+    nodes_.emplace_back();
+
+    std::vector<std::size_t> counts(classes_, 0);
+    for (std::size_t r : rows) {
+        ++counts[y[r]];
+    }
+    nodes_[node_idx].label = majority(counts);
+
+    const double parent_gini = gini(counts, rows.size());
+    if (depth >= options_.max_depth || rows.size() < 2 * options_.min_samples_leaf ||
+        parent_gini <= 1e-12) {
+        return node_idx;
+    }
+
+    // Candidate features (all, or a random subset in forest mode).
+    std::vector<std::size_t> features;
+    if (options_.features_per_split.has_value() && *options_.features_per_split < x.cols()) {
+        features = rng_.sample_without_replacement(x.cols(), *options_.features_per_split);
+    } else {
+        features.resize(x.cols());
+        std::iota(features.begin(), features.end(), std::size_t{0});
+    }
+
+    double best_gain = 1e-9;
+    std::size_t best_feature = 0;
+    float best_threshold = 0.0F;
+
+    std::vector<std::pair<float, std::size_t>> sorted;
+    sorted.reserve(rows.size());
+    std::vector<std::size_t> left_counts(classes_);
+
+    for (std::size_t f : features) {
+        sorted.clear();
+        for (std::size_t r : rows) {
+            sorted.emplace_back(x(r, f), y[r]);
+        }
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        std::fill(left_counts.begin(), left_counts.end(), std::size_t{0});
+        std::size_t n_left = 0;
+        for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+            ++left_counts[sorted[i].second];
+            ++n_left;
+            if (sorted[i].first == sorted[i + 1].first) {
+                continue;  // can't split between equal values
+            }
+            if (n_left < options_.min_samples_leaf ||
+                rows.size() - n_left < options_.min_samples_leaf) {
+                continue;
+            }
+            std::vector<std::size_t> right_counts(classes_);
+            for (std::size_t c = 0; c < classes_; ++c) {
+                right_counts[c] = counts[c] - left_counts[c];
+            }
+            const std::size_t n_right = rows.size() - n_left;
+            const double w_left = static_cast<double>(n_left) / static_cast<double>(rows.size());
+            const double w_right = 1.0 - w_left;
+            const double gain = parent_gini - w_left * gini(left_counts, n_left) -
+                                w_right * gini(right_counts, n_right);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = f;
+                best_threshold = 0.5F * (sorted[i].first + sorted[i + 1].first);
+            }
+        }
+    }
+
+    if (best_gain <= 1e-9) {
+        return node_idx;
+    }
+
+    std::vector<std::size_t> left_rows;
+    std::vector<std::size_t> right_rows;
+    for (std::size_t r : rows) {
+        (x(r, best_feature) <= best_threshold ? left_rows : right_rows).push_back(r);
+    }
+    if (left_rows.empty() || right_rows.empty()) {
+        return node_idx;
+    }
+
+    const std::size_t left_idx = build(x, y, left_rows, depth + 1);
+    const std::size_t right_idx = build(x, y, right_rows, depth + 1);
+    nodes_[node_idx].leaf = false;
+    nodes_[node_idx].feature = best_feature;
+    nodes_[node_idx].threshold = best_threshold;
+    nodes_[node_idx].left = left_idx;
+    nodes_[node_idx].right = right_idx;
+    return node_idx;
+}
+
+std::vector<std::size_t> DecisionTree::predict(const Matrix& x) const {
+    KINET_CHECK(!nodes_.empty(), "DecisionTree: predict before fit");
+    std::vector<std::size_t> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        std::size_t n = 0;
+        while (!nodes_[n].leaf) {
+            n = (x(r, nodes_[n].feature) <= nodes_[n].threshold) ? nodes_[n].left
+                                                                 : nodes_[n].right;
+        }
+        out[r] = nodes_[n].label;
+    }
+    return out;
+}
+
+}  // namespace kinet::eval

@@ -1,0 +1,52 @@
+// CART decision tree (Gini impurity, axis-aligned threshold splits).
+#ifndef KINETGAN_EVAL_CLASSIFIERS_DECISION_TREE_H
+#define KINETGAN_EVAL_CLASSIFIERS_DECISION_TREE_H
+
+#include <optional>
+
+#include "src/common/rng.hpp"
+#include "src/eval/classifiers/classifier.hpp"
+
+namespace kinet::eval {
+
+struct DecisionTreeOptions {
+    std::size_t max_depth = 12;
+    std::size_t min_samples_leaf = 4;
+    /// If set, each split considers only this many random features
+    /// (random-forest mode).
+    std::optional<std::size_t> features_per_split;
+    std::uint64_t seed = 1;
+};
+
+class DecisionTree : public Classifier {
+public:
+    explicit DecisionTree(DecisionTreeOptions options = {});
+
+    void fit(const Matrix& x, std::span<const std::size_t> y, std::size_t classes) override;
+    [[nodiscard]] std::vector<std::size_t> predict(const Matrix& x) const override;
+    [[nodiscard]] std::string name() const override { return "DecisionTree"; }
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+private:
+    struct Node {
+        bool leaf = true;
+        std::size_t feature = 0;
+        float threshold = 0.0F;
+        std::size_t left = 0;
+        std::size_t right = 0;
+        std::size_t label = 0;
+    };
+
+    std::size_t build(const Matrix& x, std::span<const std::size_t> y,
+                      std::vector<std::size_t>& rows, std::size_t depth);
+
+    DecisionTreeOptions options_;
+    Rng rng_;
+    std::size_t classes_ = 0;
+    std::vector<Node> nodes_;
+};
+
+}  // namespace kinet::eval
+
+#endif  // KINETGAN_EVAL_CLASSIFIERS_DECISION_TREE_H

@@ -1,0 +1,75 @@
+#include "src/eval/classifiers/knn.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace kinet::eval {
+
+Knn::Knn(KnnOptions options) : options_(options) {
+    KINET_CHECK(options_.k >= 1, "Knn: k must be at least 1");
+}
+
+void Knn::fit(const Matrix& x, std::span<const std::size_t> y, std::size_t classes) {
+    KINET_CHECK(x.rows() == y.size() && x.rows() > 0, "Knn: bad training data");
+    classes_ = classes;
+    if (x.rows() <= options_.max_train_rows) {
+        train_x_ = x;
+        train_y_.assign(y.begin(), y.end());
+        return;
+    }
+    // Deterministic stride subsample.
+    const double stride = static_cast<double>(x.rows()) / static_cast<double>(options_.max_train_rows);
+    std::vector<std::size_t> rows;
+    rows.reserve(options_.max_train_rows);
+    for (std::size_t i = 0; i < options_.max_train_rows; ++i) {
+        rows.push_back(static_cast<std::size_t>(static_cast<double>(i) * stride));
+    }
+    train_x_ = x.gather_rows(rows);
+    train_y_.resize(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        train_y_[i] = y[rows[i]];
+    }
+}
+
+std::vector<std::size_t> Knn::predict(const Matrix& x) const {
+    KINET_CHECK(train_x_.rows() > 0, "Knn: predict before fit");
+    const std::size_t k = std::min<std::size_t>(options_.k, train_x_.rows());
+    std::vector<std::size_t> out(x.rows());
+    std::vector<std::pair<float, std::size_t>> heap;  // max-heap of (dist, label)
+
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        heap.clear();
+        const auto q = x.row(r);
+        for (std::size_t t = 0; t < train_x_.rows(); ++t) {
+            const auto tr = train_x_.row(t);
+            float d = 0.0F;
+            for (std::size_t f = 0; f < q.size(); ++f) {
+                const float diff = q[f] - tr[f];
+                d += diff * diff;
+            }
+            if (heap.size() < k) {
+                heap.emplace_back(d, train_y_[t]);
+                std::push_heap(heap.begin(), heap.end());
+            } else if (d < heap.front().first) {
+                std::pop_heap(heap.begin(), heap.end());
+                heap.back() = {d, train_y_[t]};
+                std::push_heap(heap.begin(), heap.end());
+            }
+        }
+        std::vector<std::size_t> votes(classes_, 0);
+        for (const auto& [dist, label] : heap) {
+            ++votes[label];
+        }
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < classes_; ++c) {
+            if (votes[c] > votes[best]) {
+                best = c;
+            }
+        }
+        out[r] = best;
+    }
+    return out;
+}
+
+}  // namespace kinet::eval

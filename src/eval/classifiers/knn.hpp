@@ -1,0 +1,33 @@
+// k-nearest-neighbours classifier (brute force, Euclidean).
+#ifndef KINETGAN_EVAL_CLASSIFIERS_KNN_H
+#define KINETGAN_EVAL_CLASSIFIERS_KNN_H
+
+#include "src/eval/classifiers/classifier.hpp"
+
+namespace kinet::eval {
+
+struct KnnOptions {
+    std::size_t k = 5;
+    /// Cap on stored training rows (subsampled deterministically when
+    /// exceeded) to keep prediction O(cap · test).
+    std::size_t max_train_rows = 4000;
+};
+
+class Knn : public Classifier {
+public:
+    explicit Knn(KnnOptions options = {});
+
+    void fit(const Matrix& x, std::span<const std::size_t> y, std::size_t classes) override;
+    [[nodiscard]] std::vector<std::size_t> predict(const Matrix& x) const override;
+    [[nodiscard]] std::string name() const override { return "KNN"; }
+
+private:
+    KnnOptions options_;
+    Matrix train_x_;
+    std::vector<std::size_t> train_y_;
+    std::size_t classes_ = 0;
+};
+
+}  // namespace kinet::eval
+
+#endif  // KINETGAN_EVAL_CLASSIFIERS_KNN_H

@@ -1,0 +1,84 @@
+#include "src/eval/classifiers/logistic_regression.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::eval {
+
+LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void LogisticRegression::fit(const Matrix& x, std::span<const std::size_t> y,
+                             std::size_t classes) {
+    KINET_CHECK(x.rows() == y.size() && x.rows() > 0, "LogisticRegression: bad training data");
+    classes_ = classes;
+    weights_.resize(x.cols() + 1, classes);
+
+    const std::size_t batch = std::min<std::size_t>(options_.batch_size, x.rows());
+    const std::size_t steps = std::max<std::size_t>(1, x.rows() / batch);
+    std::vector<double> logits(classes);
+
+    for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+        for (std::size_t step = 0; step < steps; ++step) {
+            Matrix grad(weights_.rows(), weights_.cols());
+            for (std::size_t b = 0; b < batch; ++b) {
+                const auto r = static_cast<std::size_t>(
+                    rng_.randint(0, static_cast<std::int64_t>(x.rows()) - 1));
+                const auto xr = x.row(r);
+                // logits = W^T x + b, with a stable softmax.
+                double mx = -1e300;
+                for (std::size_t k = 0; k < classes; ++k) {
+                    double acc = weights_(x.cols(), k);
+                    for (std::size_t f = 0; f < x.cols(); ++f) {
+                        acc += weights_(f, k) * xr[f];
+                    }
+                    logits[k] = acc;
+                    mx = std::max(mx, acc);
+                }
+                double denom = 0.0;
+                for (std::size_t k = 0; k < classes; ++k) {
+                    logits[k] = std::exp(logits[k] - mx);
+                    denom += logits[k];
+                }
+                for (std::size_t k = 0; k < classes; ++k) {
+                    const double p = logits[k] / denom;
+                    const double err = p - ((k == y[r]) ? 1.0 : 0.0);
+                    for (std::size_t f = 0; f < x.cols(); ++f) {
+                        grad(f, k) += static_cast<float>(err * xr[f]);
+                    }
+                    grad(x.cols(), k) += static_cast<float>(err);
+                }
+            }
+            const float scale = options_.lr / static_cast<float>(batch);
+            for (std::size_t i = 0; i < weights_.data().size(); ++i) {
+                weights_.data()[i] -=
+                    scale * (grad.data()[i] + options_.l2 * weights_.data()[i]);
+            }
+        }
+    }
+}
+
+std::vector<std::size_t> LogisticRegression::predict(const Matrix& x) const {
+    KINET_CHECK(weights_.rows() == x.cols() + 1, "LogisticRegression: predict before fit");
+    std::vector<std::size_t> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const auto xr = x.row(r);
+        double best = -1e300;
+        std::size_t best_k = 0;
+        for (std::size_t k = 0; k < classes_; ++k) {
+            double acc = weights_(x.cols(), k);
+            for (std::size_t f = 0; f < x.cols(); ++f) {
+                acc += weights_(f, k) * xr[f];
+            }
+            if (acc > best) {
+                best = acc;
+                best_k = k;
+            }
+        }
+        out[r] = best_k;
+    }
+    return out;
+}
+
+}  // namespace kinet::eval

@@ -1,0 +1,35 @@
+// Multinomial logistic regression trained with mini-batch SGD.
+#ifndef KINETGAN_EVAL_CLASSIFIERS_LOGISTIC_REGRESSION_H
+#define KINETGAN_EVAL_CLASSIFIERS_LOGISTIC_REGRESSION_H
+
+#include "src/common/rng.hpp"
+#include "src/eval/classifiers/classifier.hpp"
+
+namespace kinet::eval {
+
+struct LogisticRegressionOptions {
+    std::size_t epochs = 40;
+    std::size_t batch_size = 64;
+    float lr = 0.1F;
+    float l2 = 1e-4F;
+    std::uint64_t seed = 3;
+};
+
+class LogisticRegression : public Classifier {
+public:
+    explicit LogisticRegression(LogisticRegressionOptions options = {});
+
+    void fit(const Matrix& x, std::span<const std::size_t> y, std::size_t classes) override;
+    [[nodiscard]] std::vector<std::size_t> predict(const Matrix& x) const override;
+    [[nodiscard]] std::string name() const override { return "LogisticRegression"; }
+
+private:
+    LogisticRegressionOptions options_;
+    Rng rng_;
+    Matrix weights_;  // (features + 1) x classes, last row is the bias
+    std::size_t classes_ = 0;
+};
+
+}  // namespace kinet::eval
+
+#endif  // KINETGAN_EVAL_CLASSIFIERS_LOGISTIC_REGRESSION_H

@@ -1,0 +1,61 @@
+#include "src/eval/classifiers/mlp_classifier.hpp"
+
+#include "src/common/check.hpp"
+
+namespace kinet::eval {
+
+MlpClassifier::MlpClassifier(MlpClassifierOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void MlpClassifier::fit(const Matrix& x, std::span<const std::size_t> y, std::size_t classes) {
+    KINET_CHECK(x.rows() == y.size() && x.rows() > 0, "MlpClassifier: bad training data");
+    classes_ = classes;
+
+    net_ = std::make_unique<nn::Sequential>();
+    net_->emplace<nn::Linear>(x.cols(), options_.hidden_dim, rng_, "mlp.fc0");
+    net_->emplace<nn::ReLU>();
+    net_->emplace<nn::Linear>(options_.hidden_dim, options_.hidden_dim, rng_, "mlp.fc1");
+    net_->emplace<nn::ReLU>();
+    net_->emplace<nn::Linear>(options_.hidden_dim, classes, rng_, "mlp.out");
+
+    nn::Adam opt(net_->parameters(), options_.lr, 0.9F, 0.999F);
+    const std::size_t batch = std::min<std::size_t>(options_.batch_size, x.rows());
+    const std::size_t steps = std::max<std::size_t>(1, x.rows() / batch);
+
+    for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+        for (std::size_t step = 0; step < steps; ++step) {
+            std::vector<std::size_t> rows(batch);
+            std::vector<std::size_t> yb(batch);
+            for (std::size_t b = 0; b < batch; ++b) {
+                rows[b] = static_cast<std::size_t>(
+                    rng_.randint(0, static_cast<std::int64_t>(x.rows()) - 1));
+                yb[b] = y[rows[b]];
+            }
+            const Matrix xb = x.gather_rows(rows);
+            net_->zero_grad();
+            Matrix logits = net_->forward(xb, true);
+            auto loss = nn::softmax_cross_entropy(logits, yb);
+            (void)net_->backward(loss.grad);
+            nn::clip_grad_norm(net_->parameters(), 5.0);
+            opt.step();
+        }
+    }
+}
+
+std::vector<std::size_t> MlpClassifier::predict(const Matrix& x) const {
+    KINET_CHECK(net_ != nullptr, "MlpClassifier: predict before fit");
+    const Matrix logits = net_->forward(x, false);
+    std::vector<std::size_t> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < classes_; ++c) {
+            if (logits(r, c) > logits(r, best)) {
+                best = c;
+            }
+        }
+        out[r] = best;
+    }
+    return out;
+}
+
+}  // namespace kinet::eval

@@ -1,0 +1,37 @@
+// Small MLP classifier built on the nn stack.
+#ifndef KINETGAN_EVAL_CLASSIFIERS_MLP_CLASSIFIER_H
+#define KINETGAN_EVAL_CLASSIFIERS_MLP_CLASSIFIER_H
+
+#include <memory>
+
+#include "src/eval/classifiers/classifier.hpp"
+#include "src/nn/nn.hpp"
+
+namespace kinet::eval {
+
+struct MlpClassifierOptions {
+    std::size_t hidden_dim = 64;
+    std::size_t epochs = 30;
+    std::size_t batch_size = 64;
+    float lr = 1e-3F;
+    std::uint64_t seed = 4;
+};
+
+class MlpClassifier : public Classifier {
+public:
+    explicit MlpClassifier(MlpClassifierOptions options = {});
+
+    void fit(const Matrix& x, std::span<const std::size_t> y, std::size_t classes) override;
+    [[nodiscard]] std::vector<std::size_t> predict(const Matrix& x) const override;
+    [[nodiscard]] std::string name() const override { return "MLP"; }
+
+private:
+    MlpClassifierOptions options_;
+    Rng rng_;
+    std::unique_ptr<nn::Sequential> net_;
+    std::size_t classes_ = 0;
+};
+
+}  // namespace kinet::eval
+
+#endif  // KINETGAN_EVAL_CLASSIFIERS_MLP_CLASSIFIER_H

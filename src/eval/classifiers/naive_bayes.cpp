@@ -1,0 +1,76 @@
+#include "src/eval/classifiers/naive_bayes.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::eval {
+
+void GaussianNaiveBayes::fit(const Matrix& x, std::span<const std::size_t> y,
+                             std::size_t classes) {
+    KINET_CHECK(x.rows() == y.size() && x.rows() > 0, "GaussianNB: bad training data");
+    classes_ = classes;
+    mean_.resize(classes, x.cols());
+    variance_.resize(classes, x.cols());
+    log_prior_.assign(classes, 0.0);
+
+    std::vector<std::size_t> counts(classes, 0);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        ++counts[y[r]];
+        for (std::size_t f = 0; f < x.cols(); ++f) {
+            mean_(y[r], f) += x(r, f);
+        }
+    }
+    for (std::size_t k = 0; k < classes; ++k) {
+        if (counts[k] == 0) {
+            log_prior_[k] = -1e30;  // class absent in training data
+            continue;
+        }
+        for (std::size_t f = 0; f < x.cols(); ++f) {
+            mean_(k, f) /= static_cast<float>(counts[k]);
+        }
+        log_prior_[k] = std::log(static_cast<double>(counts[k]) / static_cast<double>(x.rows()));
+    }
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        for (std::size_t f = 0; f < x.cols(); ++f) {
+            const float d = x(r, f) - mean_(y[r], f);
+            variance_(y[r], f) += d * d;
+        }
+    }
+    for (std::size_t k = 0; k < classes; ++k) {
+        if (counts[k] == 0) {
+            continue;
+        }
+        for (std::size_t f = 0; f < x.cols(); ++f) {
+            variance_(k, f) = variance_(k, f) / static_cast<float>(counts[k]) + 1e-4F;
+        }
+    }
+}
+
+std::vector<std::size_t> GaussianNaiveBayes::predict(const Matrix& x) const {
+    KINET_CHECK(classes_ > 0, "GaussianNB: predict before fit");
+    std::vector<std::size_t> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        double best = -1e300;
+        std::size_t best_k = 0;
+        for (std::size_t k = 0; k < classes_; ++k) {
+            double ll = log_prior_[k];
+            if (ll <= -1e29) {
+                continue;
+            }
+            for (std::size_t f = 0; f < x.cols(); ++f) {
+                const double var = variance_(k, f);
+                const double d = x(r, f) - mean_(k, f);
+                ll += -0.5 * (std::log(2.0 * 3.14159265358979 * var) + d * d / var);
+            }
+            if (ll > best) {
+                best = ll;
+                best_k = k;
+            }
+        }
+        out[r] = best_k;
+    }
+    return out;
+}
+
+}  // namespace kinet::eval

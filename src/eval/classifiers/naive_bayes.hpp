@@ -1,0 +1,24 @@
+// Gaussian naive Bayes with per-class feature means/variances.
+#ifndef KINETGAN_EVAL_CLASSIFIERS_NAIVE_BAYES_H
+#define KINETGAN_EVAL_CLASSIFIERS_NAIVE_BAYES_H
+
+#include "src/eval/classifiers/classifier.hpp"
+
+namespace kinet::eval {
+
+class GaussianNaiveBayes : public Classifier {
+public:
+    void fit(const Matrix& x, std::span<const std::size_t> y, std::size_t classes) override;
+    [[nodiscard]] std::vector<std::size_t> predict(const Matrix& x) const override;
+    [[nodiscard]] std::string name() const override { return "GaussianNB"; }
+
+private:
+    std::size_t classes_ = 0;
+    std::vector<double> log_prior_;
+    Matrix mean_;      // classes x features
+    Matrix variance_;  // classes x features
+};
+
+}  // namespace kinet::eval
+
+#endif  // KINETGAN_EVAL_CLASSIFIERS_NAIVE_BAYES_H

@@ -1,0 +1,65 @@
+#include "src/eval/classifiers/random_forest.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::eval {
+
+RandomForest::RandomForest(RandomForestOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void RandomForest::fit(const Matrix& x, std::span<const std::size_t> y, std::size_t classes) {
+    KINET_CHECK(x.rows() == y.size() && x.rows() > 0, "RandomForest: bad training data");
+    classes_ = classes;
+    trees_.clear();
+
+    const auto features_per_split = static_cast<std::size_t>(
+        std::max(1.0, std::round(std::sqrt(static_cast<double>(x.cols())))));
+
+    for (std::size_t t = 0; t < options_.trees; ++t) {
+        // Bootstrap sample.
+        std::vector<std::size_t> rows(x.rows());
+        for (auto& r : rows) {
+            r = static_cast<std::size_t>(rng_.randint(0, static_cast<std::int64_t>(x.rows()) - 1));
+        }
+        Matrix xb = x.gather_rows(rows);
+        std::vector<std::size_t> yb(rows.size());
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            yb[i] = y[rows[i]];
+        }
+
+        DecisionTreeOptions tree_opts;
+        tree_opts.max_depth = options_.max_depth;
+        tree_opts.min_samples_leaf = options_.min_samples_leaf;
+        tree_opts.features_per_split = features_per_split;
+        tree_opts.seed = rng_.engine()();
+        auto tree = std::make_unique<DecisionTree>(tree_opts);
+        tree->fit(xb, yb, classes);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+std::vector<std::size_t> RandomForest::predict(const Matrix& x) const {
+    KINET_CHECK(!trees_.empty(), "RandomForest: predict before fit");
+    std::vector<std::vector<std::size_t>> votes(x.rows(), std::vector<std::size_t>(classes_, 0));
+    for (const auto& tree : trees_) {
+        const auto preds = tree->predict(x);
+        for (std::size_t r = 0; r < preds.size(); ++r) {
+            ++votes[r][preds[r]];
+        }
+    }
+    std::vector<std::size_t> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < classes_; ++c) {
+            if (votes[r][c] > votes[r][best]) {
+                best = c;
+            }
+        }
+        out[r] = best;
+    }
+    return out;
+}
+
+}  // namespace kinet::eval

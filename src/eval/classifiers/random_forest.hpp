@@ -1,0 +1,35 @@
+// Bagged decision-tree ensemble with per-split feature subsampling.
+#ifndef KINETGAN_EVAL_CLASSIFIERS_RANDOM_FOREST_H
+#define KINETGAN_EVAL_CLASSIFIERS_RANDOM_FOREST_H
+
+#include <memory>
+
+#include "src/eval/classifiers/decision_tree.hpp"
+
+namespace kinet::eval {
+
+struct RandomForestOptions {
+    std::size_t trees = 20;
+    std::size_t max_depth = 12;
+    std::size_t min_samples_leaf = 2;
+    std::uint64_t seed = 2;
+};
+
+class RandomForest : public Classifier {
+public:
+    explicit RandomForest(RandomForestOptions options = {});
+
+    void fit(const Matrix& x, std::span<const std::size_t> y, std::size_t classes) override;
+    [[nodiscard]] std::vector<std::size_t> predict(const Matrix& x) const override;
+    [[nodiscard]] std::string name() const override { return "RandomForest"; }
+
+private:
+    RandomForestOptions options_;
+    Rng rng_;
+    std::size_t classes_ = 0;
+    std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+}  // namespace kinet::eval
+
+#endif  // KINETGAN_EVAL_CLASSIFIERS_RANDOM_FOREST_H

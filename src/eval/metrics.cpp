@@ -1,0 +1,238 @@
+#include "src/eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::eval {
+namespace {
+
+void check_compatible(const data::Table& a, const data::Table& b) {
+    KINET_CHECK(a.cols() == b.cols(), "metrics: column count mismatch");
+    KINET_CHECK(a.rows() > 0 && b.rows() > 0, "metrics: empty table");
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+        KINET_CHECK(a.meta(c).type == b.meta(c).type, "metrics: column type mismatch");
+    }
+}
+
+std::vector<double> histogram(const data::Table& t, std::size_t col) {
+    const auto counts = t.category_counts(col);
+    std::vector<double> h(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        h[i] = static_cast<double>(counts[i]) / static_cast<double>(t.rows());
+    }
+    return h;
+}
+
+// Wasserstein-1 between two empirical 1-D distributions: integral of
+// |CDF_a - CDF_b| over the merged support.
+double wasserstein_1d(std::vector<float> a, std::vector<float> b) {
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::size_t ia = 0;
+    std::size_t ib = 0;
+    double prev = std::min(a.front(), b.front());
+    double acc = 0.0;
+    const double na = static_cast<double>(a.size());
+    const double nb = static_cast<double>(b.size());
+    while (ia < a.size() || ib < b.size()) {
+        double next = 0.0;
+        if (ia < a.size() && (ib >= b.size() || a[ia] <= b[ib])) {
+            next = a[ia];
+        } else {
+            next = b[ib];
+        }
+        const double cdf_a = static_cast<double>(ia) / na;
+        const double cdf_b = static_cast<double>(ib) / nb;
+        acc += std::abs(cdf_a - cdf_b) * (next - prev);
+        prev = next;
+        while (ia < a.size() && a[ia] <= next) {
+            ++ia;
+        }
+        while (ib < b.size() && b[ib] <= next) {
+            ++ib;
+        }
+    }
+    return acc;
+}
+
+std::vector<double> deciles(std::vector<float> v) {
+    std::sort(v.begin(), v.end());
+    std::vector<double> q;
+    q.reserve(9);
+    for (int d = 1; d <= 9; ++d) {
+        const double pos = static_cast<double>(d) / 10.0 * static_cast<double>(v.size() - 1);
+        const auto lo = static_cast<std::size_t>(std::floor(pos));
+        const auto hi = std::min(lo + 1, v.size() - 1);
+        const double frac = pos - std::floor(pos);
+        q.push_back((1.0 - frac) * v[lo] + frac * v[hi]);
+    }
+    return q;
+}
+
+}  // namespace
+
+double column_emd(const data::Table& real, const data::Table& synthetic, std::size_t col) {
+    check_compatible(real, synthetic);
+    if (real.meta(col).is_categorical()) {
+        // Total variation == EMD with the unit ground metric.
+        const auto ha = histogram(real, col);
+        const auto hb = histogram(synthetic, col);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < ha.size(); ++i) {
+            acc += std::abs(ha[i] - hb[i]);
+        }
+        return 0.5 * acc;
+    }
+    auto va = real.column_values(col);
+    auto vb = synthetic.column_values(col);
+    const auto [mn, mx] = std::minmax_element(va.begin(), va.end());
+    const double range = std::max(1e-9, static_cast<double>(*mx) - static_cast<double>(*mn));
+    return wasserstein_1d(std::move(va), std::move(vb)) / range;
+}
+
+double mean_emd(const data::Table& real, const data::Table& synthetic) {
+    check_compatible(real, synthetic);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < real.cols(); ++c) {
+        acc += column_emd(real, synthetic, c);
+    }
+    return acc / static_cast<double>(real.cols());
+}
+
+double categorical_l1(const data::Table& real, const data::Table& synthetic, std::size_t col) {
+    KINET_CHECK(real.meta(col).is_categorical(), "categorical_l1 on continuous column");
+    const auto ha = histogram(real, col);
+    const auto hb = histogram(synthetic, col);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < ha.size(); ++i) {
+        acc += std::abs(ha[i] - hb[i]);
+    }
+    return acc;
+}
+
+double continuous_l2(const data::Table& real, const data::Table& synthetic, std::size_t col) {
+    KINET_CHECK(!real.meta(col).is_categorical(), "continuous_l2 on categorical column");
+    auto va = real.column_values(col);
+    auto vb = synthetic.column_values(col);
+    const auto [mn, mx] = std::minmax_element(va.begin(), va.end());
+    const double range = std::max(1e-9, static_cast<double>(*mx) - static_cast<double>(*mn));
+    const auto qa = deciles(std::move(va));
+    const auto qb = deciles(std::move(vb));
+    double acc = 0.0;
+    for (std::size_t i = 0; i < qa.size(); ++i) {
+        const double d = (qa[i] - qb[i]) / range;
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(qa.size()));
+}
+
+double combined_distance(const data::Table& real, const data::Table& synthetic) {
+    check_compatible(real, synthetic);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < real.cols(); ++c) {
+        acc += real.meta(c).is_categorical() ? categorical_l1(real, synthetic, c)
+                                             : continuous_l2(real, synthetic, c);
+    }
+    return acc / static_cast<double>(real.cols());
+}
+
+double correlation_distance(const data::Table& real, const data::Table& synthetic) {
+    check_compatible(real, synthetic);
+    std::vector<std::size_t> cont;
+    for (std::size_t c = 0; c < real.cols(); ++c) {
+        if (!real.meta(c).is_categorical()) {
+            cont.push_back(c);
+        }
+    }
+    if (cont.size() < 2) {
+        return 0.0;
+    }
+    auto pearson = [](const data::Table& t, std::size_t ci, std::size_t cj) {
+        const auto vi = t.column_values(ci);
+        const auto vj = t.column_values(cj);
+        const double n = static_cast<double>(vi.size());
+        double mi = 0.0;
+        double mj = 0.0;
+        for (std::size_t k = 0; k < vi.size(); ++k) {
+            mi += vi[k];
+            mj += vj[k];
+        }
+        mi /= n;
+        mj /= n;
+        double num = 0.0;
+        double di = 0.0;
+        double dj = 0.0;
+        for (std::size_t k = 0; k < vi.size(); ++k) {
+            num += (vi[k] - mi) * (vj[k] - mj);
+            di += (vi[k] - mi) * (vi[k] - mi);
+            dj += (vj[k] - mj) * (vj[k] - mj);
+        }
+        const double denom = std::sqrt(di * dj);
+        return (denom < 1e-12) ? 0.0 : num / denom;
+    };
+    double acc = 0.0;
+    std::size_t terms = 0;
+    for (std::size_t i = 0; i < cont.size(); ++i) {
+        for (std::size_t j = i + 1; j < cont.size(); ++j) {
+            acc += std::abs(pearson(real, cont[i], cont[j]) -
+                            pearson(synthetic, cont[i], cont[j]));
+            ++terms;
+        }
+    }
+    return acc / static_cast<double>(terms);
+}
+
+double likelihood_fitness(const data::TableTransformer& fitted_on_real,
+                          const data::Table& synthetic) {
+    KINET_CHECK(fitted_on_real.is_fitted(), "likelihood_fitness: transformer not fitted");
+    double acc = 0.0;
+    std::size_t terms = 0;
+    for (std::size_t c = 0; c < synthetic.cols(); ++c) {
+        if (synthetic.meta(c).is_categorical()) {
+            continue;
+        }
+        const auto& gmm = fitted_on_real.column_gmm(c);
+        for (std::size_t r = 0; r < synthetic.rows(); ++r) {
+            acc += gmm.log_likelihood(synthetic.value(r, c));
+            ++terms;
+        }
+    }
+    return (terms == 0) ? 0.0 : acc / static_cast<double>(terms);
+}
+
+ColumnRanges compute_ranges(const data::Table& table) {
+    ColumnRanges out;
+    out.lo.resize(table.cols());
+    out.hi.resize(table.cols());
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+        if (table.meta(c).is_categorical()) {
+            out.lo[c] = 0.0F;
+            out.hi[c] = 1.0F;
+            continue;
+        }
+        const auto v = table.column_values(c);
+        const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+        out.lo[c] = *mn;
+        out.hi[c] = (*mx - *mn < 1e-9F) ? *mn + 1.0F : *mx;
+    }
+    return out;
+}
+
+double mixed_row_distance(const data::Table& a, std::size_t row_a, const data::Table& b,
+                          std::size_t row_b, const std::vector<std::size_t>& columns,
+                          const ColumnRanges& ranges) {
+    double acc = 0.0;
+    for (std::size_t c : columns) {
+        if (a.meta(c).is_categorical()) {
+            acc += (a.category_at(row_a, c) == b.category_at(row_b, c)) ? 0.0 : 1.0;
+        } else {
+            const double range = ranges.hi[c] - ranges.lo[c];
+            acc += std::abs(a.value(row_a, c) - b.value(row_b, c)) / range;
+        }
+    }
+    return acc / static_cast<double>(columns.size());
+}
+
+}  // namespace kinet::eval

@@ -1,0 +1,61 @@
+// Statistical distance measures (paper Sec. V-A).
+//
+// * Earth Mover's Distance: 1-D Wasserstein-1 per column.  Continuous
+//   columns integrate |CDF_a - CDF_b| over the merged sample support and are
+//   normalised by the real column's range (scale-free, as the paper's
+//   magnitudes imply); categorical columns use total variation, which equals
+//   EMD under the unit ground metric.
+// * Combined distance: the paper's pragmatic mixed-type metric — L1 norm on
+//   category histograms for categorical columns, L2 norm on range-normalised
+//   decile vectors for continuous columns, averaged over columns.
+#ifndef KINETGAN_EVAL_METRICS_H
+#define KINETGAN_EVAL_METRICS_H
+
+#include "src/data/table.hpp"
+#include "src/data/transformer.hpp"
+
+namespace kinet::eval {
+
+/// EMD between the two tables' distributions of one column.
+[[nodiscard]] double column_emd(const data::Table& real, const data::Table& synthetic,
+                                std::size_t col);
+
+/// Mean per-column EMD — the "EMD" column of Table I.
+[[nodiscard]] double mean_emd(const data::Table& real, const data::Table& synthetic);
+
+/// L1 histogram distance of a categorical column.
+[[nodiscard]] double categorical_l1(const data::Table& real, const data::Table& synthetic,
+                                    std::size_t col);
+
+/// L2 distance between range-normalised decile vectors of a continuous column.
+[[nodiscard]] double continuous_l2(const data::Table& real, const data::Table& synthetic,
+                                   std::size_t col);
+
+/// The "Distance" column of Table I (mean of the per-column L1/L2 terms).
+[[nodiscard]] double combined_distance(const data::Table& real, const data::Table& synthetic);
+
+/// Mean absolute difference between the two tables' Pearson correlation
+/// matrices over continuous columns — a cross-correlation fidelity check.
+[[nodiscard]] double correlation_distance(const data::Table& real, const data::Table& synthetic);
+
+/// Likelihood fitness: mean log-likelihood of the synthetic continuous values
+/// under the per-column GMMs fitted on real data (higher is better).
+[[nodiscard]] double likelihood_fitness(const data::TableTransformer& fitted_on_real,
+                                        const data::Table& synthetic);
+
+/// Mixed-type row distance used by the privacy attacks: categorical columns
+/// contribute 0/1 mismatch, continuous columns |diff| / range(real column).
+/// `ranges` must hold (lo, hi) per column (ignored for categorical).
+struct ColumnRanges {
+    std::vector<float> lo;
+    std::vector<float> hi;
+};
+[[nodiscard]] ColumnRanges compute_ranges(const data::Table& table);
+[[nodiscard]] double mixed_row_distance(const data::Table& a, std::size_t row_a,
+                                        const data::Table& b, std::size_t row_b,
+                                        const std::vector<std::size_t>& columns,
+                                        const ColumnRanges& ranges);
+
+}  // namespace kinet::eval
+
+#endif  // KINETGAN_EVAL_METRICS_H

@@ -1,0 +1,70 @@
+#include "src/eval/privacy/attribute_inference.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/eval/metrics.hpp"
+
+namespace kinet::eval {
+
+double attribute_inference_attack(const data::Table& original, const data::Table& synthetic,
+                                  const AttributeInferenceOptions& options) {
+    KINET_CHECK(!options.qi_columns.empty(), "attribute_inference: need QI columns");
+    KINET_CHECK(original.meta(options.sensitive_column).is_categorical(),
+                "attribute_inference: sensitive column must be categorical");
+    KINET_CHECK(original.rows() > 0 && synthetic.rows() > 0, "attribute_inference: empty inputs");
+
+    Rng rng(options.seed);
+    const ColumnRanges ranges = compute_ranges(original);
+    const std::size_t classes = original.meta(options.sensitive_column).categories.size();
+
+    // Attacker's reference set (subsampled synthetic release).
+    std::vector<std::size_t> reference;
+    if (synthetic.rows() > options.max_reference) {
+        reference = rng.sample_without_replacement(synthetic.rows(), options.max_reference);
+    } else {
+        reference.resize(synthetic.rows());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            reference[i] = i;
+        }
+    }
+
+    const std::size_t n_targets = std::min<std::size_t>(options.max_targets, original.rows());
+    const auto targets = rng.sample_without_replacement(original.rows(), n_targets);
+
+    const std::size_t k = std::min<std::size_t>(options.k, reference.size());
+    std::vector<std::pair<double, std::size_t>> heap;  // (dist, sensitive value)
+
+    std::size_t hits = 0;
+    for (const std::size_t target : targets) {
+        heap.clear();
+        for (const std::size_t s : reference) {
+            const double d =
+                mixed_row_distance(original, target, synthetic, s, options.qi_columns, ranges);
+            const std::size_t value = synthetic.category_at(s, options.sensitive_column);
+            if (heap.size() < k) {
+                heap.emplace_back(d, value);
+                std::push_heap(heap.begin(), heap.end());
+            } else if (d < heap.front().first) {
+                std::pop_heap(heap.begin(), heap.end());
+                heap.back() = {d, value};
+                std::push_heap(heap.begin(), heap.end());
+            }
+        }
+        std::vector<std::size_t> votes(classes, 0);
+        for (const auto& [dist, value] : heap) {
+            ++votes[value];
+        }
+        std::size_t guess = 0;
+        for (std::size_t c = 1; c < classes; ++c) {
+            if (votes[c] > votes[guess]) {
+                guess = c;
+            }
+        }
+        hits += (guess == original.category_at(target, options.sensitive_column)) ? 1 : 0;
+    }
+    return static_cast<double>(hits) / static_cast<double>(n_targets);
+}
+
+}  // namespace kinet::eval

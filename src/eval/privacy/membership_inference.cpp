@@ -1,0 +1,115 @@
+#include "src/eval/privacy/membership_inference.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/eval/metrics.hpp"
+
+namespace kinet::eval {
+
+double threshold_attack_accuracy(std::span<const double> member_stats,
+                                 std::span<const double> nonmember_stats) {
+    KINET_CHECK(!member_stats.empty() && !nonmember_stats.empty(),
+                "threshold attack: empty inputs");
+    // Candidate thresholds: all observed statistics.
+    std::vector<double> candidates;
+    candidates.reserve(member_stats.size() + nonmember_stats.size());
+    candidates.insert(candidates.end(), member_stats.begin(), member_stats.end());
+    candidates.insert(candidates.end(), nonmember_stats.begin(), nonmember_stats.end());
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+    double best = 0.5;
+    for (const double thr : candidates) {
+        std::size_t tp = 0;
+        for (double s : member_stats) {
+            tp += (s >= thr) ? 1 : 0;
+        }
+        std::size_t tn = 0;
+        for (double s : nonmember_stats) {
+            tn += (s < thr) ? 1 : 0;
+        }
+        const double balanced =
+            0.5 * (static_cast<double>(tp) / static_cast<double>(member_stats.size()) +
+                   static_cast<double>(tn) / static_cast<double>(nonmember_stats.size()));
+        best = std::max(best, balanced);
+    }
+    return best;
+}
+
+double membership_inference_white_box(std::span<const double> member_scores,
+                                      std::span<const double> nonmember_scores) {
+    return threshold_attack_accuracy(member_scores, nonmember_scores);
+}
+
+namespace {
+
+std::vector<double> nearest_synthetic_distance(const data::Table& candidates,
+                                               const data::Table& synthetic,
+                                               const std::vector<std::size_t>& columns,
+                                               const ColumnRanges& ranges,
+                                               const std::vector<std::size_t>& candidate_rows,
+                                               const std::vector<std::size_t>& reference_rows) {
+    std::vector<double> out;
+    out.reserve(candidate_rows.size());
+    for (const std::size_t r : candidate_rows) {
+        double best = std::numeric_limits<double>::max();
+        for (const std::size_t s : reference_rows) {
+            best = std::min(best, mixed_row_distance(candidates, r, synthetic, s, columns, ranges));
+        }
+        out.push_back(best);
+    }
+    return out;
+}
+
+std::vector<std::size_t> pick_rows(std::size_t available, std::size_t wanted, Rng& rng) {
+    if (available <= wanted) {
+        std::vector<std::size_t> all(available);
+        for (std::size_t i = 0; i < available; ++i) {
+            all[i] = i;
+        }
+        return all;
+    }
+    return rng.sample_without_replacement(available, wanted);
+}
+
+}  // namespace
+
+double membership_inference_full_black_box(const data::Table& members,
+                                           const data::Table& nonmembers,
+                                           const data::Table& synthetic,
+                                           const FbbOptions& options) {
+    KINET_CHECK(!options.feature_columns.empty(), "FBB attack: need feature columns");
+    KINET_CHECK(members.rows() > 0 && nonmembers.rows() > 0 && synthetic.rows() > 0,
+                "FBB attack: empty inputs");
+
+    Rng rng(options.seed);
+    const ColumnRanges ranges = compute_ranges(members);
+
+    const auto member_rows = pick_rows(members.rows(), options.max_candidates, rng);
+    const auto nonmember_rows = pick_rows(nonmembers.rows(), options.max_candidates, rng);
+    const auto reference_rows = pick_rows(synthetic.rows(), options.max_reference, rng);
+
+    const auto member_dist = nearest_synthetic_distance(members, synthetic,
+                                                        options.feature_columns, ranges,
+                                                        member_rows, reference_rows);
+    const auto nonmember_dist = nearest_synthetic_distance(nonmembers, synthetic,
+                                                           options.feature_columns, ranges,
+                                                           nonmember_rows, reference_rows);
+
+    // Members are *closer*; negate so "higher = member" for the shared
+    // threshold machinery.
+    std::vector<double> member_stat(member_dist.size());
+    std::vector<double> nonmember_stat(nonmember_dist.size());
+    for (std::size_t i = 0; i < member_dist.size(); ++i) {
+        member_stat[i] = -member_dist[i];
+    }
+    for (std::size_t i = 0; i < nonmember_dist.size(); ++i) {
+        nonmember_stat[i] = -nonmember_dist[i];
+    }
+    return threshold_attack_accuracy(member_stat, nonmember_stat);
+}
+
+}  // namespace kinet::eval

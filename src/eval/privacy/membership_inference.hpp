@@ -1,0 +1,45 @@
+// Membership-inference attacks — Figure 7.
+//
+// White-Box (WB): the adversary can query the trained discriminator; member
+// records tend to receive higher "real" scores.  The attack picks the score
+// threshold with the best balanced accuracy over members vs. non-members.
+//
+// Fully-Black-Box (FBB): the adversary only sees the synthetic release; the
+// attack statistic is the distance to the nearest synthetic record (members
+// tend to sit closer when the generator memorises), again thresholded at the
+// best balanced accuracy.  0.5 = chance, higher = leakier model.
+#ifndef KINETGAN_EVAL_PRIVACY_MEMBERSHIP_INFERENCE_H
+#define KINETGAN_EVAL_PRIVACY_MEMBERSHIP_INFERENCE_H
+
+#include <span>
+#include <vector>
+
+#include "src/data/table.hpp"
+
+namespace kinet::eval {
+
+/// Best balanced accuracy of a threshold attack where *higher* statistic
+/// means "member".
+[[nodiscard]] double threshold_attack_accuracy(std::span<const double> member_stats,
+                                               std::span<const double> nonmember_stats);
+
+/// WB attack from discriminator scores (higher = more "real").
+[[nodiscard]] double membership_inference_white_box(std::span<const double> member_scores,
+                                                    std::span<const double> nonmember_scores);
+
+struct FbbOptions {
+    std::vector<std::size_t> feature_columns;  // columns used for distance
+    std::uint64_t seed = 23;
+    std::size_t max_candidates = 800;   // members/non-members evaluated each
+    std::size_t max_reference = 3000;   // synthetic rows scanned
+};
+
+/// FBB attack: distance-to-nearest-synthetic threshold attack.
+[[nodiscard]] double membership_inference_full_black_box(const data::Table& members,
+                                                         const data::Table& nonmembers,
+                                                         const data::Table& synthetic,
+                                                         const FbbOptions& options);
+
+}  // namespace kinet::eval
+
+#endif  // KINETGAN_EVAL_PRIVACY_MEMBERSHIP_INFERENCE_H

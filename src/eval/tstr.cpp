@@ -1,0 +1,77 @@
+#include "src/eval/tstr.hpp"
+
+#include <memory>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/eval/classifiers/decision_tree.hpp"
+#include "src/eval/classifiers/knn.hpp"
+#include "src/eval/classifiers/logistic_regression.hpp"
+#include "src/eval/classifiers/mlp_classifier.hpp"
+#include "src/eval/classifiers/naive_bayes.hpp"
+#include "src/eval/classifiers/random_forest.hpp"
+
+namespace kinet::eval {
+
+std::vector<TstrResult> evaluate_tstr(const data::Table& train, const data::Table& test,
+                                      std::size_t label_column, TstrOptions options) {
+    KINET_CHECK(train.rows() > 0 && test.rows() > 0, "evaluate_tstr: empty table");
+
+    // Optional training subsample for runtime control.
+    data::Table train_used = train;
+    if (options.max_train_rows > 0 && train.rows() > options.max_train_rows) {
+        Rng rng(options.seed);
+        const auto idx = rng.sample_without_replacement(train.rows(), options.max_train_rows);
+        train_used = train.select_rows(idx);
+    }
+
+    FeatureEncoder encoder;
+    encoder.fit(train_used, label_column);
+    const Matrix x_train = encoder.encode(train_used);
+    const auto y_train = encoder.labels(train_used);
+    const Matrix x_test = encoder.encode(test);
+    const auto y_test = encoder.labels(test);
+    const std::size_t classes = encoder.class_count();
+
+    std::vector<std::unique_ptr<Classifier>> suite;
+    {
+        DecisionTreeOptions dt;
+        dt.seed = options.seed + 1;
+        suite.push_back(std::make_unique<DecisionTree>(dt));
+        RandomForestOptions rf;
+        rf.seed = options.seed + 2;
+        suite.push_back(std::make_unique<RandomForest>(rf));
+        LogisticRegressionOptions lr;
+        lr.seed = options.seed + 3;
+        suite.push_back(std::make_unique<LogisticRegression>(lr));
+        suite.push_back(std::make_unique<Knn>());
+        suite.push_back(std::make_unique<GaussianNaiveBayes>());
+        MlpClassifierOptions mlp;
+        mlp.seed = options.seed + 4;
+        suite.push_back(std::make_unique<MlpClassifier>(mlp));
+    }
+
+    std::vector<TstrResult> results;
+    results.reserve(suite.size());
+    for (auto& clf : suite) {
+        clf->fit(x_train, y_train, classes);
+        const auto pred = clf->predict(x_test);
+        TstrResult res;
+        res.classifier = clf->name();
+        res.accuracy = accuracy(pred, y_test);
+        res.macro_f1 = macro_f1(pred, y_test, classes);
+        results.push_back(std::move(res));
+    }
+    return results;
+}
+
+double average_accuracy(const std::vector<TstrResult>& results) {
+    KINET_CHECK(!results.empty(), "average_accuracy: empty results");
+    double acc = 0.0;
+    for (const auto& r : results) {
+        acc += r.accuracy;
+    }
+    return acc / static_cast<double>(results.size());
+}
+
+}  // namespace kinet::eval

@@ -1,0 +1,36 @@
+// Train-on-Synthetic-Test-on-Real (TSTR) utility harness — produces the
+// per-classifier and average NIDS accuracies behind Figures 3 and 4.
+#ifndef KINETGAN_EVAL_TSTR_H
+#define KINETGAN_EVAL_TSTR_H
+
+#include <string>
+#include <vector>
+
+#include "src/data/table.hpp"
+
+namespace kinet::eval {
+
+struct TstrResult {
+    std::string classifier;
+    double accuracy = 0.0;
+    double macro_f1 = 0.0;
+};
+
+struct TstrOptions {
+    std::uint64_t seed = 5;
+    /// Optional cap on training rows per classifier (0 = no cap).
+    std::size_t max_train_rows = 0;
+};
+
+/// Trains the full classifier suite on `train`, evaluates on `test`.
+[[nodiscard]] std::vector<TstrResult> evaluate_tstr(const data::Table& train,
+                                                    const data::Table& test,
+                                                    std::size_t label_column,
+                                                    TstrOptions options = {});
+
+/// Mean accuracy over a TSTR result set.
+[[nodiscard]] double average_accuracy(const std::vector<TstrResult>& results);
+
+}  // namespace kinet::eval
+
+#endif  // KINETGAN_EVAL_TSTR_H

@@ -1,0 +1,75 @@
+#include "src/gan/cond_vector.hpp"
+
+#include "src/common/check.hpp"
+
+namespace kinet::gan {
+
+CondVectorBuilder::CondVectorBuilder(const std::vector<data::ColumnMeta>& schema,
+                                     std::vector<std::size_t> cond_columns)
+    : cond_columns_(std::move(cond_columns)) {
+    KINET_CHECK(!cond_columns_.empty(), "CondVectorBuilder: no conditional columns");
+    for (std::size_t col : cond_columns_) {
+        KINET_CHECK(col < schema.size(), "CondVectorBuilder: column out of range");
+        KINET_CHECK(schema[col].is_categorical(),
+                    "CondVectorBuilder: column " + schema[col].name + " is not categorical");
+        offsets_.push_back(width_);
+        widths_.push_back(schema[col].categories.size());
+        width_ += schema[col].categories.size();
+    }
+}
+
+std::size_t CondVectorBuilder::block_offset(std::size_t pos) const {
+    KINET_CHECK(pos < offsets_.size(), "CondVectorBuilder: block out of range");
+    return offsets_[pos];
+}
+
+std::size_t CondVectorBuilder::block_width(std::size_t pos) const {
+    KINET_CHECK(pos < widths_.size(), "CondVectorBuilder: block out of range");
+    return widths_[pos];
+}
+
+tensor::Matrix CondVectorBuilder::encode(std::span<const data::CondDraw> draws) const {
+    tensor::Matrix c(draws.size(), width_);
+    for (std::size_t r = 0; r < draws.size(); ++r) {
+        KINET_CHECK(draws[r].values.size() == cond_columns_.size(),
+                    "CondVectorBuilder: draw arity mismatch");
+        for (std::size_t p = 0; p < cond_columns_.size(); ++p) {
+            const std::size_t v = draws[r].values[p];
+            KINET_CHECK(v < widths_[p], "CondVectorBuilder: value id out of range");
+            c(r, offsets_[p] + v) = 1.0F;
+        }
+    }
+    return c;
+}
+
+tensor::Matrix CondVectorBuilder::encode_anchor_only(
+    std::span<const data::CondDraw> draws) const {
+    tensor::Matrix c(draws.size(), width_);
+    for (std::size_t r = 0; r < draws.size(); ++r) {
+        const std::size_t p = draws[r].anchor_column;
+        KINET_CHECK(p < cond_columns_.size(), "CondVectorBuilder: anchor out of range");
+        const std::size_t v = draws[r].anchor_value;
+        KINET_CHECK(v < widths_[p], "CondVectorBuilder: anchor value out of range");
+        c(r, offsets_[p] + v) = 1.0F;
+    }
+    return c;
+}
+
+std::vector<std::size_t> CondVectorBuilder::decode_row(const tensor::Matrix& c,
+                                                       std::size_t row) const {
+    KINET_CHECK(c.cols() == width_ && row < c.rows(), "CondVectorBuilder: decode shape mismatch");
+    std::vector<std::size_t> out(cond_columns_.size());
+    const auto r = c.row(row);
+    for (std::size_t p = 0; p < cond_columns_.size(); ++p) {
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < widths_[p]; ++j) {
+            if (r[offsets_[p] + j] > r[offsets_[p] + best]) {
+                best = j;
+            }
+        }
+        out[p] = best;
+    }
+    return out;
+}
+
+}  // namespace kinet::gan

@@ -1,0 +1,52 @@
+// The conditional vector C = C1 ⊕ C2 ⊕ … ⊕ Cn (paper Eq. 1–2): a
+// concatenation of one-hot blocks, one per conditional (discrete) attribute.
+#ifndef KINETGAN_GAN_COND_VECTOR_H
+#define KINETGAN_GAN_COND_VECTOR_H
+
+#include <span>
+#include <vector>
+
+#include "src/data/sampler.hpp"
+#include "src/data/table.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace kinet::gan {
+
+class CondVectorBuilder {
+public:
+    /// cond_columns index into `schema` and must be categorical.
+    CondVectorBuilder(const std::vector<data::ColumnMeta>& schema,
+                      std::vector<std::size_t> cond_columns);
+
+    [[nodiscard]] std::size_t width() const noexcept { return width_; }
+    [[nodiscard]] std::size_t block_count() const noexcept { return cond_columns_.size(); }
+    /// Offset of block `pos` (position within cond_columns) in C.
+    [[nodiscard]] std::size_t block_offset(std::size_t pos) const;
+    /// Cardinality of block `pos`.
+    [[nodiscard]] std::size_t block_width(std::size_t pos) const;
+    [[nodiscard]] const std::vector<std::size_t>& cond_columns() const noexcept {
+        return cond_columns_;
+    }
+
+    /// Full condition: every block one-hot (KiNETGAN, Eq. 2).
+    [[nodiscard]] tensor::Matrix encode(std::span<const data::CondDraw> draws) const;
+
+    /// CTGAN-style condition: only the anchor block is one-hot, the other
+    /// blocks stay zero (single-attribute conditioning with a mask).
+    [[nodiscard]] tensor::Matrix encode_anchor_only(std::span<const data::CondDraw> draws) const;
+
+    /// Decodes value ids per block by argmax over each block of a C-shaped
+    /// matrix row.
+    [[nodiscard]] std::vector<std::size_t> decode_row(const tensor::Matrix& c,
+                                                      std::size_t row) const;
+
+private:
+    std::vector<std::size_t> cond_columns_;
+    std::vector<std::size_t> offsets_;
+    std::vector<std::size_t> widths_;
+    std::size_t width_ = 0;
+};
+
+}  // namespace kinet::gan
+
+#endif  // KINETGAN_GAN_COND_VECTOR_H

@@ -1,0 +1,3 @@
+#include "src/gan/synthesizer.hpp"
+
+// Interface-only translation unit: keeps the vtable anchored here.

@@ -1,0 +1,45 @@
+// The model-agnostic interface every generative model implements, so the
+// evaluation harness and the benchmarks can treat KiNETGAN and all five
+// baselines uniformly.
+#ifndef KINETGAN_GAN_SYNTHESIZER_H
+#define KINETGAN_GAN_SYNTHESIZER_H
+
+#include <string>
+#include <vector>
+
+#include "src/data/table.hpp"
+
+namespace kinet::gan {
+
+/// Per-epoch training diagnostics.
+struct FitReport {
+    std::vector<double> generator_loss;
+    std::vector<double> discriminator_loss;
+    double seconds = 0.0;
+};
+
+class Synthesizer {
+public:
+    Synthesizer() = default;
+    Synthesizer(const Synthesizer&) = delete;
+    Synthesizer& operator=(const Synthesizer&) = delete;
+    virtual ~Synthesizer() = default;
+
+    /// Trains the model on real data.
+    virtual void fit(const data::Table& table) = 0;
+
+    /// Draws `n` synthetic rows (requires fit()).
+    [[nodiscard]] virtual data::Table sample(std::size_t n) = 0;
+
+    /// Display name used in reports ("KiNETGAN", "CTGAN", ...).
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    [[nodiscard]] const FitReport& report() const noexcept { return report_; }
+
+protected:
+    FitReport report_;
+};
+
+}  // namespace kinet::gan
+
+#endif  // KINETGAN_GAN_SYNTHESIZER_H

@@ -1,0 +1,400 @@
+#include "src/kg/network_kg.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+#include "src/kg/ontology.hpp"
+#include "src/kg/reasoner.hpp"
+
+namespace kinet::kg {
+namespace {
+
+// Prefixes used for KG individuals; stripped again at the oracle boundary so
+// data-space labels ("camera", "TCP", "53") stay prefix-free.
+constexpr std::string_view kDevPrefix = "dev:";
+constexpr std::string_view kProtoPrefix = "proto:";
+constexpr std::string_view kAppPrefix = "app:";
+constexpr std::string_view kPortPrefix = "port:";
+constexpr std::string_view kEventPrefix = "event:";
+constexpr std::string_view kServicePrefix = "svc:";
+constexpr std::string_view kStatePrefix = "state:";
+
+std::string with_prefix(std::string_view prefix, std::string_view name) {
+    return std::string(prefix) + std::string(name);
+}
+
+std::string strip_prefix(std::string_view name) {
+    const auto pos = name.find(':');
+    if (pos == std::string_view::npos) {
+        return std::string(name);
+    }
+    return std::string(name.substr(pos + 1));
+}
+
+}  // namespace
+
+const std::vector<LabEventSpec>& lab_event_specs() {
+    static const std::vector<LabEventSpec> kSpecs = {
+        // ---- benign traffic ------------------------------------------------
+        {"dns_query", "UDP", "DNS", "53",
+         {"camera", "smart_plug", "motion_sensor", "tag_manager", "hub", "phone"},
+         "benign", "dns_server"},
+        {"ntp_sync", "UDP", "NTP", "123",
+         {"camera", "smart_plug", "motion_sensor", "tag_manager", "hub"},
+         "benign", "ntp_server"},
+        {"motion_detected", "TCP", "HTTPS", "443", {"camera", "motion_sensor"},
+         "benign", "cloud_blink"},
+        {"video_stream", "TCP", "HTTPS", "443", {"camera"}, "benign", "cloud_blink"},
+        {"lamp_activation", "TCP", "MQTT", "1883", {"smart_plug", "hub"},
+         "benign", "cloud_plug"},
+        {"plug_telemetry", "TCP", "MQTT", "8883", {"smart_plug"}, "benign", "cloud_plug"},
+        {"tag_interaction", "TCP", "HTTPS", "443", {"tag_manager", "phone"},
+         "benign", "cloud_tag"},
+        {"heartbeat", "TCP", "HTTPS", "443",
+         {"camera", "smart_plug", "motion_sensor", "tag_manager", "hub"},
+         "benign", "cloud_vendor"},
+        {"mdns_discovery", "UDP", "MDNS", "5353",
+         {"camera", "smart_plug", "motion_sensor", "tag_manager", "hub", "phone"},
+         "benign", "lan_broadcast"},
+        {"ssdp_discovery", "UDP", "SSDP", "1900", {"hub", "phone"}, "benign", "lan_broadcast"},
+        {"firmware_check", "TCP", "HTTP", "80", {"camera", "smart_plug", "hub"},
+         "benign", "cloud_vendor"},
+        {"app_control", "TCP", "HTTPS", "443", {"phone"}, "benign", "cloud_vendor"},
+        {"ping", "ICMP", "NONE", "none", {"hub", "phone"}, "benign", "lan_hub"},
+        {"arp_heartbeat", "UDP", "NONE", "ephemeral", {"hub"}, "benign", "lan_broadcast"},
+        // ---- attacks -------------------------------------------------------
+        {"flood_attack", "UDP", "NONE", "ephemeral", {"attacker"}, "flooding", "lan_hub"},
+        {"port_scan", "TCP", "NONE", "ephemeral", {"attacker"}, "scan", "lan_hub"},
+        {"brute_force", "TCP", "TELNET", "23", {"attacker"}, "bruteforce", "lan_hub"},
+        {"rpc_probe", "TCP", "RPC", "32771-34000", {"attacker"}, "rpc_exploit", "lan_hub"},
+    };
+    return kSpecs;
+}
+
+namespace {
+
+template <typename Extract>
+std::vector<std::string> collect_unique(Extract&& extract) {
+    std::vector<std::string> out;
+    for (const auto& spec : lab_event_specs()) {
+        extract(spec, out);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& lab_devices() {
+    static const std::vector<std::string> kDevices = collect_unique(
+        [](const LabEventSpec& s, std::vector<std::string>& out) {
+            out.insert(out.end(), s.src_devices.begin(), s.src_devices.end());
+        });
+    return kDevices;
+}
+
+const std::vector<std::string>& lab_protocols() {
+    static const std::vector<std::string> kProtocols = collect_unique(
+        [](const LabEventSpec& s, std::vector<std::string>& out) { out.push_back(s.protocol); });
+    return kProtocols;
+}
+
+const std::vector<std::string>& lab_app_protocols() {
+    static const std::vector<std::string> kApps = collect_unique(
+        [](const LabEventSpec& s, std::vector<std::string>& out) { out.push_back(s.app_protocol); });
+    return kApps;
+}
+
+const std::vector<std::string>& lab_ports() {
+    static const std::vector<std::string> kPorts = collect_unique(
+        [](const LabEventSpec& s, std::vector<std::string>& out) { out.push_back(s.dst_port); });
+    return kPorts;
+}
+
+const std::vector<std::string>& lab_event_types() {
+    static const std::vector<std::string> kEvents = collect_unique(
+        [](const LabEventSpec& s, std::vector<std::string>& out) { out.push_back(s.event_type); });
+    return kEvents;
+}
+
+const std::vector<std::string>& lab_labels() {
+    static const std::vector<std::string> kLabels = collect_unique(
+        [](const LabEventSpec& s, std::vector<std::string>& out) { out.push_back(s.label); });
+    return kLabels;
+}
+
+const std::vector<std::string>& lab_endpoints() {
+    static const std::vector<std::string> kEndpoints = collect_unique(
+        [](const LabEventSpec& s, std::vector<std::string>& out) { out.push_back(s.dst_endpoint); });
+    return kEndpoints;
+}
+
+const std::vector<std::string>& unsw_protocols() {
+    static const std::vector<std::string> kProtocols = {"tcp", "udp", "arp", "icmp"};
+    return kProtocols;
+}
+
+const std::vector<std::string>& unsw_services() {
+    static const std::vector<std::string> kServices = {"-",    "http", "ftp",  "smtp", "ssh",
+                                                       "dns",  "pop3", "irc",  "snmp", "radius",
+                                                       "ftp-data"};
+    return kServices;
+}
+
+const std::vector<std::string>& unsw_states() {
+    static const std::vector<std::string> kStates = {"FIN", "CON", "INT", "REQ", "RST", "ECO"};
+    return kStates;
+}
+
+const std::vector<std::string>& unsw_attack_categories() {
+    static const std::vector<std::string> kCats = {
+        "Normal",  "Fuzzers",        "Analysis",  "Backdoors", "DoS",
+        "Exploits", "Generic",       "Reconnaissance", "Shellcode", "Worms"};
+    return kCats;
+}
+
+ValidityOracle::ValidityOracle(std::vector<std::string> attribute_names,
+                               std::vector<std::vector<std::string>> valid_tuples)
+    : attribute_names_(std::move(attribute_names)), valid_tuples_(std::move(valid_tuples)) {
+    KINET_CHECK(!attribute_names_.empty(), "ValidityOracle: no attributes");
+    for (const auto& tuple : valid_tuples_) {
+        KINET_CHECK(tuple.size() == attribute_names_.size(),
+                    "ValidityOracle: tuple arity mismatch");
+        keys_.insert(key_of(tuple));
+    }
+}
+
+std::string ValidityOracle::key_of(std::span<const std::string> values) {
+    std::string key;
+    for (const auto& v : values) {
+        key += v;
+        key.push_back('\x1f');  // unit separator avoids ambiguous joins
+    }
+    return key;
+}
+
+bool ValidityOracle::is_valid(std::span<const std::string> values) const {
+    KINET_CHECK(values.size() == attribute_names_.size(), "ValidityOracle: arity mismatch");
+    return keys_.contains(key_of(values));
+}
+
+NetworkKg NetworkKg::build_lab() {
+    NetworkKg kg(Domain::lab);
+    kg.build_lab_triples();
+    Reasoner::materialize(kg.store_);
+    return kg;
+}
+
+NetworkKg NetworkKg::build_unsw() {
+    NetworkKg kg(Domain::unsw);
+    kg.build_unsw_triples();
+    Reasoner::materialize(kg.store_);
+    return kg;
+}
+
+void NetworkKg::build_lab_triples() {
+    Ontology onto(store_);
+
+    // --- UCO-extended class hierarchy (paper Fig. 2). ---
+    onto.declare_class(vocab::uco_event);
+    onto.declare_subclass(vocab::net_network_event, vocab::uco_event);
+    onto.declare_subclass(vocab::net_event_type, vocab::net_network_event);
+    onto.declare_class(vocab::net_device);
+    onto.declare_class(vocab::net_protocol);
+    onto.declare_subclass(vocab::net_app_protocol, vocab::net_protocol);
+    onto.declare_class(vocab::net_port);
+    onto.declare_class(vocab::net_ip_address);
+    onto.declare_class(vocab::net_domain_url);
+    onto.declare_subclass(vocab::net_attack_signature, vocab::uco_vulnerability);
+
+    onto.declare_property(vocab::has_protocol, vocab::net_event_type, vocab::net_protocol);
+    onto.declare_property(vocab::has_app_protocol, vocab::net_event_type,
+                          vocab::net_app_protocol);
+    onto.declare_property(vocab::has_dst_port, vocab::net_event_type, vocab::net_port);
+    onto.declare_property(vocab::emitted_by, vocab::net_event_type, vocab::net_device);
+    onto.declare_property(vocab::exploits, vocab::net_event_type,
+                          vocab::net_attack_signature);
+    onto.declare_property(vocab::min_port);
+    onto.declare_property(vocab::max_port);
+
+    // --- individuals ---
+    for (const auto& d : lab_devices()) {
+        onto.assert_instance(with_prefix(kDevPrefix, d), vocab::net_device);
+    }
+    for (const auto& p : lab_protocols()) {
+        onto.assert_instance(with_prefix(kProtoPrefix, p), vocab::net_protocol);
+    }
+    for (const auto& a : lab_app_protocols()) {
+        onto.assert_instance(with_prefix(kAppPrefix, a), vocab::net_app_protocol);
+    }
+    for (const auto& port : lab_ports()) {
+        const std::string iri = with_prefix(kPortPrefix, port);
+        onto.assert_instance(iri, vocab::net_port);
+        // Numeric annotations enable range reasoning on ports.
+        if (port == "32771-34000") {
+            store_.add_number(iri, vocab::min_port, 32771);
+            store_.add_number(iri, vocab::max_port, 34000);
+        } else if (port == "ephemeral") {
+            store_.add_number(iri, vocab::min_port, 49152);
+            store_.add_number(iri, vocab::max_port, 65535);
+        } else if (port != "none") {
+            const double num = std::stod(port);
+            store_.add_number(iri, vocab::min_port, num);
+            store_.add_number(iri, vocab::max_port, num);
+        }
+    }
+
+    // --- event templates ---
+    for (const auto& spec : lab_event_specs()) {
+        const std::string event = with_prefix(kEventPrefix, spec.event_type);
+        onto.assert_instance(event, vocab::net_event_type);
+        store_.add(event, vocab::has_protocol, with_prefix(kProtoPrefix, spec.protocol));
+        store_.add(event, vocab::has_app_protocol, with_prefix(kAppPrefix, spec.app_protocol));
+        store_.add(event, vocab::has_dst_port, with_prefix(kPortPrefix, spec.dst_port));
+        for (const auto& dev : spec.src_devices) {
+            store_.add(event, vocab::emitted_by, with_prefix(kDevPrefix, dev));
+        }
+        store_.add(event, "net:hasLabel", "label:" + spec.label);
+        store_.add(event, "net:typicalEndpoint", "url:" + spec.dst_endpoint);
+        onto.assert_instance("url:" + spec.dst_endpoint, vocab::net_domain_url);
+    }
+
+    // --- attack signatures (CVE knowledge, Sec. III-B example). ---
+    onto.assert_instance("cve:CVE-1999-0003", vocab::net_attack_signature);
+    store_.add_number("cve:CVE-1999-0003", vocab::min_port, 32771);
+    store_.add_number("cve:CVE-1999-0003", vocab::max_port, 34000);
+    store_.add(with_prefix(kEventPrefix, "rpc_probe"), vocab::exploits, "cve:CVE-1999-0003");
+
+    onto.assert_instance("cve:TELNET-BRUTE", vocab::net_attack_signature);
+    store_.add_number("cve:TELNET-BRUTE", vocab::min_port, 23);
+    store_.add_number("cve:TELNET-BRUTE", vocab::max_port, 23);
+    store_.add(with_prefix(kEventPrefix, "brute_force"), vocab::exploits, "cve:TELNET-BRUTE");
+}
+
+void NetworkKg::build_unsw_triples() {
+    Ontology onto(store_);
+
+    onto.declare_class(vocab::net_protocol);
+    onto.declare_class(vocab::net_service);
+    onto.declare_class(vocab::net_flow_state);
+    onto.declare_property(vocab::uses_service, vocab::net_protocol, vocab::net_service);
+    onto.declare_property(vocab::allowed_state, vocab::net_protocol, vocab::net_flow_state);
+
+    for (const auto& p : unsw_protocols()) {
+        onto.assert_instance(with_prefix(kProtoPrefix, p), vocab::net_protocol);
+    }
+    for (const auto& s : unsw_services()) {
+        onto.assert_instance(with_prefix(kServicePrefix, s), vocab::net_service);
+    }
+    for (const auto& st : unsw_states()) {
+        onto.assert_instance(with_prefix(kStatePrefix, st), vocab::net_flow_state);
+    }
+
+    // service -> allowed transport protocol(s).
+    const std::vector<std::pair<std::string, std::vector<std::string>>> service_protocols = {
+        {"-", {"tcp", "udp", "arp", "icmp"}},
+        {"http", {"tcp"}},
+        {"ftp", {"tcp"}},
+        {"ftp-data", {"tcp"}},
+        {"smtp", {"tcp"}},
+        {"ssh", {"tcp"}},
+        {"pop3", {"tcp"}},
+        {"irc", {"tcp"}},
+        {"dns", {"tcp", "udp"}},
+        {"snmp", {"udp"}},
+        {"radius", {"udp"}},
+    };
+    for (const auto& [svc, protos] : service_protocols) {
+        for (const auto& p : protos) {
+            store_.add(with_prefix(kProtoPrefix, p), vocab::uses_service,
+                       with_prefix(kServicePrefix, svc));
+        }
+    }
+
+    // protocol -> allowed flow states (TCP owns connection-oriented states,
+    // UDP/ARP/ICMP are connectionless).
+    const std::vector<std::pair<std::string, std::vector<std::string>>> proto_states = {
+        {"tcp", {"FIN", "CON", "REQ", "RST"}},
+        {"udp", {"CON", "INT", "REQ"}},
+        {"arp", {"INT"}},
+        {"icmp", {"ECO", "REQ"}},
+    };
+    for (const auto& [proto, states] : proto_states) {
+        for (const auto& st : states) {
+            store_.add(with_prefix(kProtoPrefix, proto), vocab::allowed_state,
+                       with_prefix(kStatePrefix, st));
+        }
+    }
+}
+
+ValidityOracle NetworkKg::make_oracle() const {
+    std::vector<std::vector<std::string>> tuples;
+    if (domain_ == Domain::lab) {
+        Query q;
+        q.where("?e", std::string(vocab::rdf_type), std::string(vocab::net_event_type))
+            .where("?e", std::string(vocab::has_protocol), "?p")
+            .where("?e", std::string(vocab::has_app_protocol), "?a")
+            .where("?e", std::string(vocab::has_dst_port), "?port")
+            .where("?e", std::string(vocab::emitted_by), "?d");
+        for (const auto& binding : q.solve(store_)) {
+            const auto& sym = store_.symbols();
+            tuples.push_back({strip_prefix(sym.name(binding.at("?d"))),
+                              strip_prefix(sym.name(binding.at("?p"))),
+                              strip_prefix(sym.name(binding.at("?a"))),
+                              strip_prefix(sym.name(binding.at("?port"))),
+                              strip_prefix(sym.name(binding.at("?e")))});
+        }
+        return ValidityOracle({"src_device", "protocol", "app_protocol", "dst_port", "event_type"},
+                              std::move(tuples));
+    }
+
+    Query q;
+    q.where("?proto", std::string(vocab::uses_service), "?svc")
+        .where("?proto", std::string(vocab::allowed_state), "?state");
+    for (const auto& binding : q.solve(store_)) {
+        const auto& sym = store_.symbols();
+        tuples.push_back({strip_prefix(sym.name(binding.at("?proto"))),
+                          strip_prefix(sym.name(binding.at("?svc"))),
+                          strip_prefix(sym.name(binding.at("?state")))});
+    }
+    return ValidityOracle({"proto", "service", "state"}, std::move(tuples));
+}
+
+std::vector<std::string> NetworkKg::ports_for_event(std::string_view event_type) const {
+    std::vector<std::string> out;
+    for (SymbolId o : store_.objects(with_prefix(kEventPrefix, event_type), vocab::has_dst_port)) {
+        out.push_back(strip_prefix(store_.symbols().name(o)));
+    }
+    return out;
+}
+
+std::vector<std::string> NetworkKg::events_for_device(std::string_view device) const {
+    std::vector<std::string> out;
+    const SymbolId emitted = store_.symbols().find(vocab::emitted_by);
+    const SymbolId dev = store_.symbols().find(with_prefix(kDevPrefix, device));
+    if (emitted == kInvalidSymbol || dev == kInvalidSymbol) {
+        return out;
+    }
+    for (SymbolId e : store_.subjects(emitted, dev)) {
+        out.push_back(strip_prefix(store_.symbols().name(e)));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::pair<double, double> NetworkKg::attack_port_range(std::string_view cve) const {
+    const std::string iri = "cve:" + std::string(cve);
+    const auto lo = store_.number(iri, vocab::min_port);
+    const auto hi = store_.number(iri, vocab::max_port);
+    KINET_CHECK(lo.has_value() && hi.has_value(),
+                "attack_port_range: no port interval for " + std::string(cve));
+    return {*lo, *hi};
+}
+
+bool NetworkKg::port_in_attack_range(double port, std::string_view cve) const {
+    const auto [lo, hi] = attack_port_range(cve);
+    return port >= lo && port <= hi;
+}
+
+}  // namespace kinet::kg

@@ -1,0 +1,121 @@
+// The Network Traffic Knowledge Graph (Sec. IV-A).
+//
+// Extends the Unified Cybersecurity Ontology with network-activity concepts
+// (net:NetworkEvent, net:EventType, net:Device, net:Protocol, net:Port,
+// net:domainURL, net:AttackSignature) and populates it with the domain facts
+// the Knowledge-Guided Discriminator needs: which (device, protocol,
+// application protocol, destination port) combinations are legitimate for
+// each event type, and which port ranges attack signatures such as
+// CVE-1999-0003 (32771–34000) are bound to.
+//
+// Two domains are provided: the lab IoT testbed (paper Sec. IV-B1) and a
+// UNSW-NB15-style flow domain (proto/service/state consistency rules).
+#ifndef KINETGAN_KG_NETWORK_KG_H
+#define KINETGAN_KG_NETWORK_KG_H
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/kg/query.hpp"
+#include "src/kg/store.hpp"
+
+namespace kinet::kg {
+
+/// Ground-truth template of one lab event type.  This single list drives both
+/// the KG construction and the traffic simulator, so the knowledge the
+/// discriminator uses and the behaviour of the (simulated) network agree.
+struct LabEventSpec {
+    std::string event_type;
+    std::string protocol;                  // TCP / UDP / ICMP
+    std::string app_protocol;              // DNS / HTTPS / MQTT / ... / NONE
+    std::string dst_port;                  // categorical port label
+    std::vector<std::string> src_devices;  // devices that may emit this event
+    std::string label;                     // benign or attack class
+    std::string dst_endpoint;              // typical destination
+};
+
+/// The canonical lab event templates (14 benign + 4 attack).
+[[nodiscard]] const std::vector<LabEventSpec>& lab_event_specs();
+
+/// Category vocabularies shared by the KG, the simulator and the GANs.
+[[nodiscard]] const std::vector<std::string>& lab_devices();
+[[nodiscard]] const std::vector<std::string>& lab_protocols();
+[[nodiscard]] const std::vector<std::string>& lab_app_protocols();
+[[nodiscard]] const std::vector<std::string>& lab_ports();
+[[nodiscard]] const std::vector<std::string>& lab_event_types();
+[[nodiscard]] const std::vector<std::string>& lab_labels();
+[[nodiscard]] const std::vector<std::string>& lab_endpoints();
+
+/// UNSW-style vocabularies.
+[[nodiscard]] const std::vector<std::string>& unsw_protocols();
+[[nodiscard]] const std::vector<std::string>& unsw_services();
+[[nodiscard]] const std::vector<std::string>& unsw_states();
+[[nodiscard]] const std::vector<std::string>& unsw_attack_categories();
+
+/// Compiled validity oracle: O(1) membership checks over attribute tuples,
+/// plus the enumeration of all valid tuples (the Knowledge-Guided
+/// Discriminator's positive examples).
+class ValidityOracle {
+public:
+    ValidityOracle(std::vector<std::string> attribute_names,
+                   std::vector<std::vector<std::string>> valid_tuples);
+
+    [[nodiscard]] bool is_valid(std::span<const std::string> values) const;
+    [[nodiscard]] const std::vector<std::string>& attribute_names() const noexcept {
+        return attribute_names_;
+    }
+    [[nodiscard]] const std::vector<std::vector<std::string>>& valid_tuples() const noexcept {
+        return valid_tuples_;
+    }
+
+private:
+    [[nodiscard]] static std::string key_of(std::span<const std::string> values);
+
+    std::vector<std::string> attribute_names_;
+    std::vector<std::vector<std::string>> valid_tuples_;
+    std::unordered_set<std::string> keys_;
+};
+
+class NetworkKg {
+public:
+    /// Builds the lab-domain KG (ontology + facts + RDFS materialisation).
+    [[nodiscard]] static NetworkKg build_lab();
+    /// Builds the UNSW-domain KG.
+    [[nodiscard]] static NetworkKg build_unsw();
+
+    [[nodiscard]] const TripleStore& store() const noexcept { return store_; }
+    [[nodiscard]] TripleStore& store() noexcept { return store_; }
+
+    /// Compiles the validity oracle by querying the KG (not by re-reading the
+    /// spec tables): attribute order is
+    ///   lab : {src_device, protocol, app_protocol, dst_port, event_type}
+    ///   unsw: {proto, service, state}
+    [[nodiscard]] ValidityOracle make_oracle() const;
+
+    /// Valid destination-port labels for an event type (lab domain).
+    [[nodiscard]] std::vector<std::string> ports_for_event(std::string_view event_type) const;
+    /// Event types a device may legitimately emit (lab domain).
+    [[nodiscard]] std::vector<std::string> events_for_device(std::string_view device) const;
+    /// Numeric port interval of an attack signature, e.g. "CVE-1999-0003".
+    [[nodiscard]] std::pair<double, double> attack_port_range(std::string_view cve) const;
+    /// True if a numeric port falls inside the signature's interval.
+    [[nodiscard]] bool port_in_attack_range(double port, std::string_view cve) const;
+
+private:
+    enum class Domain { lab, unsw };
+    explicit NetworkKg(Domain domain) : domain_(domain) {}
+
+    void build_lab_triples();
+    void build_unsw_triples();
+
+    TripleStore store_;
+    Domain domain_;
+};
+
+}  // namespace kinet::kg
+
+#endif  // KINETGAN_KG_NETWORK_KG_H

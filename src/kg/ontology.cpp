@@ -1,0 +1,46 @@
+#include "src/kg/ontology.hpp"
+
+namespace kinet::kg {
+
+void Ontology::declare_class(std::string_view name) {
+    store_->add(name, vocab::rdf_type, vocab::rdfs_class);
+}
+
+void Ontology::declare_subclass(std::string_view child, std::string_view parent) {
+    declare_class(child);
+    declare_class(parent);
+    store_->add(child, vocab::rdfs_subclass_of, parent);
+}
+
+void Ontology::declare_property(std::string_view name, std::string_view domain,
+                                std::string_view range) {
+    store_->add(name, vocab::rdf_type, vocab::rdf_property);
+    if (!domain.empty()) {
+        store_->add(name, vocab::rdfs_domain, domain);
+    }
+    if (!range.empty()) {
+        store_->add(name, vocab::rdfs_range, range);
+    }
+}
+
+void Ontology::assert_instance(std::string_view individual, std::string_view cls) {
+    store_->add(individual, vocab::rdf_type, cls);
+}
+
+std::vector<std::string> Ontology::classes() const {
+    std::vector<std::string> out;
+    for (SymbolId id : store_->subjects(vocab::rdf_type, vocab::rdfs_class)) {
+        out.push_back(store_->symbols().name(id));
+    }
+    return out;
+}
+
+std::vector<std::string> Ontology::instances_of(std::string_view cls) const {
+    std::vector<std::string> out;
+    for (SymbolId id : store_->subjects(vocab::rdf_type, cls)) {
+        out.push_back(store_->symbols().name(id));
+    }
+    return out;
+}
+
+}  // namespace kinet::kg

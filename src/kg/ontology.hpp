@@ -1,0 +1,87 @@
+// RDFS-flavoured ontology vocabulary and authoring helpers.
+//
+// The Unified Cybersecurity Ontology (UCO) extension from Sec. IV-A is
+// expressed with this vocabulary: classes such as uco:NetworkEvent,
+// net:Protocol, net:Device, net:DomainURL, net:AttackSignature, and the
+// properties linking them (hasProtocol, hasDstPort, minPort/maxPort, ...).
+#ifndef KINETGAN_KG_ONTOLOGY_H
+#define KINETGAN_KG_ONTOLOGY_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/kg/store.hpp"
+
+namespace kinet::kg {
+
+/// Well-known predicate and class names.
+namespace vocab {
+inline constexpr std::string_view rdf_type = "rdf:type";
+inline constexpr std::string_view rdfs_subclass_of = "rdfs:subClassOf";
+inline constexpr std::string_view rdfs_domain = "rdfs:domain";
+inline constexpr std::string_view rdfs_range = "rdfs:range";
+inline constexpr std::string_view rdfs_class = "rdfs:Class";
+inline constexpr std::string_view rdf_property = "rdf:Property";
+
+// UCO core (subset used by the network extension).
+inline constexpr std::string_view uco_event = "uco:Event";
+inline constexpr std::string_view uco_means = "uco:Means";
+inline constexpr std::string_view uco_vulnerability = "uco:Vulnerability";
+
+// Network-activity extension (paper Fig. 2).
+inline constexpr std::string_view net_network_event = "net:NetworkEvent";
+inline constexpr std::string_view net_device = "net:Device";
+inline constexpr std::string_view net_protocol = "net:Protocol";
+inline constexpr std::string_view net_app_protocol = "net:ApplicationProtocol";
+inline constexpr std::string_view net_port = "net:Port";
+inline constexpr std::string_view net_ip_address = "net:IPAddress";
+inline constexpr std::string_view net_domain_url = "net:domainURL";
+inline constexpr std::string_view net_event_type = "net:EventType";
+inline constexpr std::string_view net_attack_signature = "net:AttackSignature";
+inline constexpr std::string_view net_service = "net:Service";
+inline constexpr std::string_view net_flow_state = "net:FlowState";
+
+inline constexpr std::string_view has_protocol = "net:hasProtocol";
+inline constexpr std::string_view has_app_protocol = "net:hasAppProtocol";
+inline constexpr std::string_view has_dst_port = "net:hasDstPort";
+inline constexpr std::string_view has_src_ip = "net:hasSrcIP";
+inline constexpr std::string_view has_dst_ip = "net:hasDstIP";
+inline constexpr std::string_view min_port = "net:minPort";
+inline constexpr std::string_view max_port = "net:maxPort";
+inline constexpr std::string_view emitted_by = "net:emittedBy";
+inline constexpr std::string_view targets_service = "net:targetsService";
+inline constexpr std::string_view allowed_state = "net:allowedState";
+inline constexpr std::string_view uses_service = "net:usesService";
+inline constexpr std::string_view exploits = "net:exploits";
+}  // namespace vocab
+
+/// Thin authoring layer over a TripleStore.
+class Ontology {
+public:
+    explicit Ontology(TripleStore& store) : store_(&store) {}
+
+    /// Declares a class (idempotent).
+    void declare_class(std::string_view name);
+    /// Declares `child` ⊑ `parent` (both auto-declared as classes).
+    void declare_subclass(std::string_view child, std::string_view parent);
+    /// Declares a property with optional domain/range classes.
+    void declare_property(std::string_view name, std::string_view domain = {},
+                          std::string_view range = {});
+    /// Asserts an instance: (individual, rdf:type, cls).
+    void assert_instance(std::string_view individual, std::string_view cls);
+
+    /// All declared classes.
+    [[nodiscard]] std::vector<std::string> classes() const;
+    /// Direct instances of a class (no inference; see Reasoner).
+    [[nodiscard]] std::vector<std::string> instances_of(std::string_view cls) const;
+
+    [[nodiscard]] TripleStore& store() noexcept { return *store_; }
+
+private:
+    TripleStore* store_;
+};
+
+}  // namespace kinet::kg
+
+#endif  // KINETGAN_KG_ONTOLOGY_H

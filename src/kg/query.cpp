@@ -1,0 +1,126 @@
+#include "src/kg/query.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.hpp"
+#include "src/common/text.hpp"
+
+namespace kinet::kg {
+
+Term Term::parse(std::string_view token) {
+    Term t;
+    if (text::starts_with(token, "?")) {
+        t.kind = Kind::variable;
+    }
+    t.text = std::string(token);
+    return t;
+}
+
+Query& Query::where(std::string_view s, std::string_view p, std::string_view o) {
+    patterns_.push_back(QueryPattern{Term::parse(s), Term::parse(p), Term::parse(o)});
+    return *this;
+}
+
+namespace {
+
+// Resolves a term under the current binding; returns nullopt when the term is
+// an unbound variable, kInvalidSymbol wrapped when the constant is unknown.
+std::optional<SymbolId> resolve(const Term& term, const Binding& binding,
+                                const TripleStore& store) {
+    if (term.is_variable()) {
+        const auto it = binding.find(term.text);
+        if (it == binding.end()) {
+            return std::nullopt;
+        }
+        return it->second;
+    }
+    return store.symbols().find(term.text);
+}
+
+// Estimated result size of a pattern under the current binding (smaller is
+// more selective); used to order the join.
+std::size_t selectivity(const QueryPattern& pattern, const Binding& binding,
+                        const TripleStore& store) {
+    TriplePattern tp;
+    const auto s = resolve(pattern.s, binding, store);
+    const auto p = resolve(pattern.p, binding, store);
+    const auto o = resolve(pattern.o, binding, store);
+    if (s.has_value() && *s == kInvalidSymbol) {
+        return 0;  // unknown constant: no matches
+    }
+    if (p.has_value() && *p == kInvalidSymbol) {
+        return 0;
+    }
+    if (o.has_value() && *o == kInvalidSymbol) {
+        return 0;
+    }
+    tp.s = s;
+    tp.p = p;
+    tp.o = o;
+    return store.match(tp).size();
+}
+
+void solve_recursive(const TripleStore& store, std::vector<QueryPattern> remaining,
+                     const Binding& binding, std::vector<Binding>& out) {
+    if (remaining.empty()) {
+        out.push_back(binding);
+        return;
+    }
+    // Pick the most selective remaining pattern.
+    std::size_t best = 0;
+    std::size_t best_count = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+        const std::size_t c = selectivity(remaining[i], binding, store);
+        if (c < best_count) {
+            best_count = c;
+            best = i;
+        }
+    }
+    const QueryPattern pattern = remaining[best];
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best));
+
+    TriplePattern tp;
+    tp.s = resolve(pattern.s, binding, store);
+    tp.p = resolve(pattern.p, binding, store);
+    tp.o = resolve(pattern.o, binding, store);
+    if ((tp.s && *tp.s == kInvalidSymbol) || (tp.p && *tp.p == kInvalidSymbol) ||
+        (tp.o && *tp.o == kInvalidSymbol)) {
+        return;  // constant not in the store: dead branch
+    }
+
+    for (const Triple& t : store.match(tp)) {
+        Binding next = binding;
+        bool consistent = true;
+        auto bind = [&next, &consistent](const Term& term, SymbolId value) {
+            if (!term.is_variable()) {
+                return;
+            }
+            const auto it = next.find(term.text);
+            if (it != next.end()) {
+                if (it->second != value) {
+                    consistent = false;
+                }
+            } else {
+                next.emplace(term.text, value);
+            }
+        };
+        bind(pattern.s, t.s);
+        bind(pattern.p, t.p);
+        bind(pattern.o, t.o);
+        if (consistent) {
+            solve_recursive(store, remaining, next, out);
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<Binding> Query::solve(const TripleStore& store) const {
+    KINET_CHECK(!patterns_.empty(), "Query::solve: no patterns");
+    std::vector<Binding> out;
+    solve_recursive(store, patterns_, Binding{}, out);
+    return out;
+}
+
+}  // namespace kinet::kg

@@ -1,0 +1,56 @@
+// Conjunctive (SPARQL-like basic graph pattern) queries over a TripleStore.
+//
+// A query is a list of triple patterns whose positions are either constants
+// or named variables; solve() returns all variable bindings satisfying every
+// pattern.  This is the "Knowledge Graph reasoner facilitates queries for
+// valid IP, port, and protocol combinations" interface from Sec. IV-A.
+#ifndef KINETGAN_KG_QUERY_H
+#define KINETGAN_KG_QUERY_H
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kg/store.hpp"
+
+namespace kinet::kg {
+
+/// A pattern position: constant symbol or named variable ("?x").
+struct Term {
+    enum class Kind { constant, variable };
+    Kind kind = Kind::constant;
+    std::string text;  // constant name or variable name (with leading '?')
+
+    /// Parses "?var" as a variable, anything else as a constant.
+    static Term parse(std::string_view token);
+    [[nodiscard]] bool is_variable() const noexcept { return kind == Kind::variable; }
+};
+
+struct QueryPattern {
+    Term s;
+    Term p;
+    Term o;
+};
+
+/// One solution: variable name -> bound symbol.
+using Binding = std::unordered_map<std::string, SymbolId>;
+
+class Query {
+public:
+    /// Adds a pattern from three tokens; "?name" marks variables.
+    Query& where(std::string_view s, std::string_view p, std::string_view o);
+
+    /// All bindings satisfying every pattern (backtracking join, most
+    /// selective pattern first at each step).
+    [[nodiscard]] std::vector<Binding> solve(const TripleStore& store) const;
+
+    [[nodiscard]] std::size_t pattern_count() const noexcept { return patterns_.size(); }
+
+private:
+    std::vector<QueryPattern> patterns_;
+};
+
+}  // namespace kinet::kg
+
+#endif  // KINETGAN_KG_QUERY_H

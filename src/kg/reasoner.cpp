@@ -1,0 +1,119 @@
+#include "src/kg/reasoner.hpp"
+
+#include <vector>
+
+#include "src/kg/ontology.hpp"
+
+namespace kinet::kg {
+
+std::size_t Reasoner::materialize(TripleStore& store) {
+    const SymbolId sub = store.symbols().intern(vocab::rdfs_subclass_of);
+    const SymbolId type = store.symbols().intern(vocab::rdf_type);
+    const SymbolId domain = store.symbols().intern(vocab::rdfs_domain);
+    const SymbolId range = store.symbols().intern(vocab::rdfs_range);
+
+    std::size_t added = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // Rule 1: subclass transitivity  (A ⊑ B ∧ B ⊑ C ⇒ A ⊑ C).
+        for (const Triple& t1 : store.match(TriplePattern{std::nullopt, sub, std::nullopt})) {
+            for (SymbolId c : store.objects(t1.o, sub)) {
+                if (store.add(t1.s, sub, c)) {
+                    ++added;
+                    changed = true;
+                }
+            }
+        }
+
+        // Rule 2: type inheritance  (x type C ∧ C ⊑ D ⇒ x type D).
+        for (const Triple& t1 : store.match(TriplePattern{std::nullopt, type, std::nullopt})) {
+            for (SymbolId d : store.objects(t1.o, sub)) {
+                if (store.add(t1.s, type, d)) {
+                    ++added;
+                    changed = true;
+                }
+            }
+        }
+
+        // Rule 3: domain typing  (p domain C ∧ (s p o) ⇒ s type C).
+        for (const Triple& dom : store.match(TriplePattern{std::nullopt, domain, std::nullopt})) {
+            for (const Triple& use : store.match(TriplePattern{std::nullopt, dom.s, std::nullopt})) {
+                if (store.add(use.s, type, dom.o)) {
+                    ++added;
+                    changed = true;
+                }
+            }
+        }
+
+        // Rule 4: range typing  (p range C ∧ (s p o) ⇒ o type C), skipping
+        // numeric literals, which are not individuals.
+        for (const Triple& rng : store.match(TriplePattern{std::nullopt, range, std::nullopt})) {
+            for (const Triple& use : store.match(TriplePattern{std::nullopt, rng.s, std::nullopt})) {
+                if (store.symbols().numeric_value(use.o).has_value()) {
+                    continue;
+                }
+                if (store.add(use.o, type, rng.o)) {
+                    ++added;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return added;
+}
+
+bool Reasoner::is_subclass_of(const TripleStore& store, std::string_view child,
+                              std::string_view parent) {
+    const SymbolId c = store.symbols().find(child);
+    const SymbolId p = store.symbols().find(parent);
+    if (c == kInvalidSymbol || p == kInvalidSymbol) {
+        return false;
+    }
+    if (c == p) {
+        return true;
+    }
+    const SymbolId sub = store.symbols().find(vocab::rdfs_subclass_of);
+    if (sub == kInvalidSymbol) {
+        return false;
+    }
+    // BFS up the hierarchy.
+    std::vector<SymbolId> frontier{c};
+    std::vector<bool> seen(store.symbols().size(), false);
+    seen[c] = true;
+    while (!frontier.empty()) {
+        const SymbolId cur = frontier.back();
+        frontier.pop_back();
+        for (SymbolId up : store.objects(cur, sub)) {
+            if (up == p) {
+                return true;
+            }
+            if (up < seen.size() && !seen[up]) {
+                seen[up] = true;
+                frontier.push_back(up);
+            }
+        }
+    }
+    return false;
+}
+
+bool Reasoner::is_instance_of(const TripleStore& store, std::string_view individual,
+                              std::string_view cls) {
+    const SymbolId ind = store.symbols().find(individual);
+    const SymbolId type = store.symbols().find(vocab::rdf_type);
+    if (ind == kInvalidSymbol || type == kInvalidSymbol) {
+        return false;
+    }
+    for (SymbolId direct : store.objects(ind, type)) {
+        if (store.symbols().name(direct) == cls) {
+            return true;
+        }
+        if (is_subclass_of(store, store.symbols().name(direct), cls)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace kinet::kg

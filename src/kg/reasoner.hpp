@@ -1,0 +1,32 @@
+// Forward-chaining RDFS reasoner.
+//
+// Materialises the closure of: subclass transitivity, type inheritance
+// (x type C ∧ C ⊑ D ⇒ x type D), and property domain/range typing.  This is
+// the inference layer behind NetworkKg's validity queries.
+#ifndef KINETGAN_KG_REASONER_H
+#define KINETGAN_KG_REASONER_H
+
+#include <string_view>
+
+#include "src/kg/store.hpp"
+
+namespace kinet::kg {
+
+class Reasoner {
+public:
+    /// Runs all rules to fixpoint; returns the number of triples added.
+    static std::size_t materialize(TripleStore& store);
+
+    /// True if `child` ⊑ `parent` in the (materialised or raw) hierarchy —
+    /// computed on the fly, so it also works before materialize().
+    [[nodiscard]] static bool is_subclass_of(const TripleStore& store, std::string_view child,
+                                             std::string_view parent);
+
+    /// True if `individual` is an instance of `cls`, considering subclassing.
+    [[nodiscard]] static bool is_instance_of(const TripleStore& store,
+                                             std::string_view individual, std::string_view cls);
+};
+
+}  // namespace kinet::kg
+
+#endif  // KINETGAN_KG_REASONER_H

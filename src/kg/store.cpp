@@ -1,0 +1,128 @@
+#include "src/kg/store.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace kinet::kg {
+
+bool TripleStore::add(SymbolId s, SymbolId p, SymbolId o) {
+    const Triple t{s, p, o};
+    if (!dedupe_.insert(t).second) {
+        return false;
+    }
+    const std::size_t idx = triples_.size();
+    triples_.push_back(t);
+    by_s_[s].push_back(idx);
+    by_p_[p].push_back(idx);
+    by_o_[o].push_back(idx);
+    return true;
+}
+
+bool TripleStore::add(std::string_view s, std::string_view p, std::string_view o) {
+    return add(symbols_.intern(s), symbols_.intern(p), symbols_.intern(o));
+}
+
+bool TripleStore::add_number(std::string_view s, std::string_view p, double value) {
+    return add(symbols_.intern(s), symbols_.intern(p), symbols_.intern_number(value));
+}
+
+bool TripleStore::contains(SymbolId s, SymbolId p, SymbolId o) const {
+    return dedupe_.contains(Triple{s, p, o});
+}
+
+bool TripleStore::contains(std::string_view s, std::string_view p, std::string_view o) const {
+    const SymbolId si = symbols_.find(s);
+    const SymbolId pi = symbols_.find(p);
+    const SymbolId oi = symbols_.find(o);
+    if (si == kInvalidSymbol || pi == kInvalidSymbol || oi == kInvalidSymbol) {
+        return false;
+    }
+    return contains(si, pi, oi);
+}
+
+std::vector<Triple> TripleStore::match(const TriplePattern& pattern) const {
+    // Pick the most selective bound index available.
+    const std::vector<std::size_t>* candidates = nullptr;
+    auto consider = [&candidates](const std::unordered_map<SymbolId, std::vector<std::size_t>>& index,
+                                  std::optional<SymbolId> key) {
+        if (!key.has_value()) {
+            return;
+        }
+        const auto it = index.find(*key);
+        static const std::vector<std::size_t> kEmpty;
+        const std::vector<std::size_t>* found = (it == index.end()) ? &kEmpty : &it->second;
+        if (candidates == nullptr || found->size() < candidates->size()) {
+            candidates = found;
+        }
+    };
+    consider(by_s_, pattern.s);
+    consider(by_p_, pattern.p);
+    consider(by_o_, pattern.o);
+
+    std::vector<Triple> out;
+    auto matches = [&pattern](const Triple& t) {
+        return (!pattern.s || *pattern.s == t.s) && (!pattern.p || *pattern.p == t.p) &&
+               (!pattern.o || *pattern.o == t.o);
+    };
+    if (candidates == nullptr) {
+        for (const Triple& t : triples_) {
+            if (matches(t)) {
+                out.push_back(t);
+            }
+        }
+    } else {
+        for (std::size_t idx : *candidates) {
+            if (matches(triples_[idx])) {
+                out.push_back(triples_[idx]);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<SymbolId> TripleStore::objects(SymbolId s, SymbolId p) const {
+    std::vector<SymbolId> out;
+    for (const Triple& t : match(TriplePattern{s, p, std::nullopt})) {
+        out.push_back(t.o);
+    }
+    return out;
+}
+
+std::vector<SymbolId> TripleStore::objects(std::string_view s, std::string_view p) const {
+    const SymbolId si = symbols_.find(s);
+    const SymbolId pi = symbols_.find(p);
+    if (si == kInvalidSymbol || pi == kInvalidSymbol) {
+        return {};
+    }
+    return objects(si, pi);
+}
+
+std::vector<SymbolId> TripleStore::subjects(SymbolId p, SymbolId o) const {
+    std::vector<SymbolId> out;
+    for (const Triple& t : match(TriplePattern{std::nullopt, p, o})) {
+        out.push_back(t.s);
+    }
+    return out;
+}
+
+std::vector<SymbolId> TripleStore::subjects(std::string_view p, std::string_view o) const {
+    const SymbolId pi = symbols_.find(p);
+    const SymbolId oi = symbols_.find(o);
+    if (pi == kInvalidSymbol || oi == kInvalidSymbol) {
+        return {};
+    }
+    return subjects(pi, oi);
+}
+
+std::optional<double> TripleStore::number(std::string_view s, std::string_view p) const {
+    for (SymbolId o : objects(s, p)) {
+        const auto v = symbols_.numeric_value(o);
+        if (v.has_value()) {
+            return v;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace kinet::kg

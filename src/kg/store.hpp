@@ -1,0 +1,86 @@
+// Indexed triple store: the storage layer of the Network Traffic Knowledge
+// Graph (Sec. IV-A).  Triples are (subject, predicate, object) over interned
+// symbols, with S/P/O hash indexes for pattern matching.
+#ifndef KINETGAN_KG_STORE_H
+#define KINETGAN_KG_STORE_H
+
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/kg/symbols.hpp"
+
+namespace kinet::kg {
+
+struct Triple {
+    SymbolId s = kInvalidSymbol;
+    SymbolId p = kInvalidSymbol;
+    SymbolId o = kInvalidSymbol;
+
+    friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+struct TripleHash {
+    std::size_t operator()(const Triple& t) const noexcept {
+        std::size_t h = t.s;
+        h = h * 1000003ULL + t.p;
+        h = h * 1000003ULL + t.o;
+        return h;
+    }
+};
+
+/// A match pattern; nullopt positions are wildcards.
+struct TriplePattern {
+    std::optional<SymbolId> s;
+    std::optional<SymbolId> p;
+    std::optional<SymbolId> o;
+};
+
+class TripleStore {
+public:
+    TripleStore() = default;
+
+    /// Adds a triple by symbol ids; returns false if it already existed.
+    bool add(SymbolId s, SymbolId p, SymbolId o);
+    /// Adds a triple by names (interning as needed).
+    bool add(std::string_view s, std::string_view p, std::string_view o);
+    /// Adds (s, p, <numeric literal>).
+    bool add_number(std::string_view s, std::string_view p, double value);
+
+    [[nodiscard]] bool contains(SymbolId s, SymbolId p, SymbolId o) const;
+    [[nodiscard]] bool contains(std::string_view s, std::string_view p, std::string_view o) const;
+
+    /// All triples matching the pattern.
+    [[nodiscard]] std::vector<Triple> match(const TriplePattern& pattern) const;
+
+    /// Objects o with (s, p, o) in the store.
+    [[nodiscard]] std::vector<SymbolId> objects(SymbolId s, SymbolId p) const;
+    [[nodiscard]] std::vector<SymbolId> objects(std::string_view s, std::string_view p) const;
+
+    /// Subjects s with (s, p, o) in the store.
+    [[nodiscard]] std::vector<SymbolId> subjects(SymbolId p, SymbolId o) const;
+    [[nodiscard]] std::vector<SymbolId> subjects(std::string_view p, std::string_view o) const;
+
+    /// First numeric object of (s, p, ·), if any.
+    [[nodiscard]] std::optional<double> number(std::string_view s, std::string_view p) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return triples_.size(); }
+    [[nodiscard]] const std::vector<Triple>& triples() const noexcept { return triples_; }
+
+    [[nodiscard]] SymbolTable& symbols() noexcept { return symbols_; }
+    [[nodiscard]] const SymbolTable& symbols() const noexcept { return symbols_; }
+
+private:
+    SymbolTable symbols_;
+    std::vector<Triple> triples_;
+    std::unordered_set<Triple, TripleHash> dedupe_;
+    std::unordered_map<SymbolId, std::vector<std::size_t>> by_s_;
+    std::unordered_map<SymbolId, std::vector<std::size_t>> by_p_;
+    std::unordered_map<SymbolId, std::vector<std::size_t>> by_o_;
+};
+
+}  // namespace kinet::kg
+
+#endif  // KINETGAN_KG_STORE_H

@@ -1,0 +1,47 @@
+#include "src/kg/symbols.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace kinet::kg {
+
+SymbolId SymbolTable::intern(std::string_view name) {
+    const std::string key(name);
+    const auto it = ids_.find(key);
+    if (it != ids_.end()) {
+        return it->second;
+    }
+    const auto id = static_cast<SymbolId>(names_.size());
+    names_.push_back(key);
+    ids_.emplace(key, id);
+    return id;
+}
+
+SymbolId SymbolTable::intern_number(double value) {
+    std::ostringstream os;
+    os << "num:" << value;
+    const SymbolId id = intern(os.str());
+    numbers_.emplace(id, value);
+    return id;
+}
+
+SymbolId SymbolTable::find(std::string_view name) const {
+    const auto it = ids_.find(std::string(name));
+    return (it == ids_.end()) ? kInvalidSymbol : it->second;
+}
+
+const std::string& SymbolTable::name(SymbolId id) const {
+    KINET_CHECK(id < names_.size(), "SymbolTable::name: unknown id");
+    return names_[id];
+}
+
+std::optional<double> SymbolTable::numeric_value(SymbolId id) const {
+    const auto it = numbers_.find(id);
+    if (it == numbers_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+}  // namespace kinet::kg

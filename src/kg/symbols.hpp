@@ -1,0 +1,48 @@
+// String interning for the knowledge graph.
+//
+// Every IRI/literal in the store is a SymbolId; numeric literals additionally
+// carry a double value so the reasoner can evaluate range constraints
+// (e.g. port intervals for attack signatures).
+#ifndef KINETGAN_KG_SYMBOLS_H
+#define KINETGAN_KG_SYMBOLS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace kinet::kg {
+
+using SymbolId = std::uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = static_cast<SymbolId>(-1);
+
+class SymbolTable {
+public:
+    /// Interns a name; returns the existing id when already present.
+    SymbolId intern(std::string_view name);
+
+    /// Interns a numeric literal; equal values share one symbol.
+    SymbolId intern_number(double value);
+
+    /// Id of an existing name (kInvalidSymbol if absent).
+    [[nodiscard]] SymbolId find(std::string_view name) const;
+
+    [[nodiscard]] const std::string& name(SymbolId id) const;
+
+    /// Numeric value when the symbol was created via intern_number.
+    [[nodiscard]] std::optional<double> numeric_value(SymbolId id) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+private:
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, SymbolId> ids_;
+    std::unordered_map<SymbolId, double> numbers_;
+};
+
+}  // namespace kinet::kg
+
+#endif  // KINETGAN_KG_SYMBOLS_H

@@ -1,0 +1,58 @@
+#include "src/netsim/address.hpp"
+
+#include <cstdio>
+
+#include "src/common/check.hpp"
+#include "src/common/text.hpp"
+
+namespace kinet::netsim {
+
+namespace {
+constexpr std::uint32_t kLanBase = (192U << 24) | (168U << 16) | (1U << 8);
+constexpr std::uint32_t kLanMask = 0xFFFFFF00U;
+}  // namespace
+
+std::string ipv4_to_string(std::uint32_t addr) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xFFU, (addr >> 16) & 0xFFU,
+                  (addr >> 8) & 0xFFU, addr & 0xFFU);
+    return buf;
+}
+
+std::uint32_t ipv4_from_string(const std::string& text) {
+    const auto parts = text::split(text, '.');
+    KINET_CHECK(parts.size() == 4, "malformed IPv4 address: " + text);
+    std::uint32_t addr = 0;
+    for (const auto& part : parts) {
+        KINET_CHECK(!part.empty(), "malformed IPv4 address: " + text);
+        int value = 0;
+        for (char c : part) {
+            KINET_CHECK(c >= '0' && c <= '9', "malformed IPv4 address: " + text);
+            value = value * 10 + (c - '0');
+        }
+        KINET_CHECK(value <= 255, "IPv4 octet out of range: " + text);
+        addr = (addr << 8) | static_cast<std::uint32_t>(value);
+    }
+    return addr;
+}
+
+std::uint32_t lan_address(std::uint8_t host) {
+    return kLanBase | host;
+}
+
+bool is_lan(std::uint32_t addr) {
+    return (addr & kLanMask) == kLanBase;
+}
+
+std::string random_mac(Rng& rng) {
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "02:%02x:%02x:%02x:%02x:%02x",
+                  static_cast<unsigned>(rng.randint(0, 255)),
+                  static_cast<unsigned>(rng.randint(0, 255)),
+                  static_cast<unsigned>(rng.randint(0, 255)),
+                  static_cast<unsigned>(rng.randint(0, 255)),
+                  static_cast<unsigned>(rng.randint(0, 255)));
+    return buf;
+}
+
+}  // namespace kinet::netsim

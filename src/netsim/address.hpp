@@ -1,0 +1,29 @@
+// IPv4 / MAC address helpers for the traffic simulators.
+#ifndef KINETGAN_NETSIM_ADDRESS_H
+#define KINETGAN_NETSIM_ADDRESS_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.hpp"
+
+namespace kinet::netsim {
+
+/// Dotted-quad string of a host-order IPv4 address.
+[[nodiscard]] std::string ipv4_to_string(std::uint32_t addr);
+
+/// Parses dotted-quad; throws kinet::Error on malformed input.
+[[nodiscard]] std::uint32_t ipv4_from_string(const std::string& text);
+
+/// Address inside 192.168.1.0/24 with the given host octet.
+[[nodiscard]] std::uint32_t lan_address(std::uint8_t host);
+
+/// True if the address is in the simulator's LAN subnet.
+[[nodiscard]] bool is_lan(std::uint32_t addr);
+
+/// Random locally-administered MAC ("02:xx:xx:xx:xx:xx").
+[[nodiscard]] std::string random_mac(Rng& rng);
+
+}  // namespace kinet::netsim
+
+#endif  // KINETGAN_NETSIM_ADDRESS_H

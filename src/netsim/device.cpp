@@ -1,0 +1,35 @@
+#include "src/netsim/device.hpp"
+
+#include "src/common/check.hpp"
+#include "src/kg/network_kg.hpp"
+#include "src/netsim/address.hpp"
+
+namespace kinet::netsim {
+
+std::vector<Device> build_lab_fleet(Rng& rng) {
+    std::vector<Device> fleet;
+    std::uint8_t next_host = 10;
+    for (const auto& kind : kg::lab_devices()) {
+        Device d;
+        d.kind = kind;
+        if (kind == "attacker") {
+            d.ip = "203.0.113.66";  // TEST-NET-3: clearly external
+        } else {
+            d.ip = ipv4_to_string(lan_address(next_host++));
+        }
+        d.mac = random_mac(rng);
+        fleet.push_back(std::move(d));
+    }
+    return fleet;
+}
+
+const Device& device_of_kind(const std::vector<Device>& fleet, const std::string& kind) {
+    for (const auto& d : fleet) {
+        if (d.kind == kind) {
+            return d;
+        }
+    }
+    throw Error("no device of kind '" + kind + "' in fleet");
+}
+
+}  // namespace kinet::netsim

@@ -1,0 +1,29 @@
+// The simulated IoT device fleet (paper Sec. IV-B1: Blink-style camera,
+// smart plug, motion sensor, tag manager plus hub/phone, and the attacker).
+#ifndef KINETGAN_NETSIM_DEVICE_H
+#define KINETGAN_NETSIM_DEVICE_H
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace kinet::netsim {
+
+struct Device {
+    std::string kind;  // one of kg::lab_devices()
+    std::string ip;
+    std::string mac;
+};
+
+/// Builds one device per lab device kind, with LAN addresses for local
+/// devices and an external address for the attacker.
+[[nodiscard]] std::vector<Device> build_lab_fleet(Rng& rng);
+
+/// The fleet entry of a given kind; throws kinet::Error if missing.
+[[nodiscard]] const Device& device_of_kind(const std::vector<Device>& fleet,
+                                           const std::string& kind);
+
+}  // namespace kinet::netsim
+
+#endif  // KINETGAN_NETSIM_DEVICE_H

@@ -1,0 +1,55 @@
+#include "src/netsim/events.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "src/common/check.hpp"
+
+namespace kinet::netsim {
+namespace {
+
+// mu values are log(typical magnitude); sigma controls spread.
+const std::unordered_map<std::string, EventProfile>& profiles() {
+    static const std::unordered_map<std::string, EventProfile> kProfiles = {
+        // event            packets            bytes               duration_ms        weight
+        {"dns_query",       {{std::log(2), 0.3},  {std::log(150), 0.3},  {std::log(25), 0.5},   18.0}},
+        {"ntp_sync",        {{std::log(2), 0.2},  {std::log(90), 0.1},   {std::log(30), 0.4},    8.0}},
+        {"motion_detected", {{std::log(15), 0.5}, {std::log(8000), 0.6}, {std::log(350), 0.5},   7.0}},
+        {"video_stream",    {{std::log(1800), 0.7}, {std::log(1.4e6), 0.8}, {std::log(15000), 0.7}, 3.0}},
+        {"lamp_activation", {{std::log(6), 0.4},  {std::log(620), 0.4},  {std::log(120), 0.5},   6.0}},
+        {"plug_telemetry",  {{std::log(4), 0.3},  {std::log(400), 0.3},  {std::log(80), 0.4},    6.0}},
+        {"tag_interaction", {{std::log(10), 0.5}, {std::log(2100), 0.5}, {std::log(200), 0.5},   5.0}},
+        {"heartbeat",       {{std::log(4), 0.2},  {std::log(310), 0.2},  {std::log(60), 0.3},   15.0}},
+        {"mdns_discovery",  {{std::log(2), 0.4},  {std::log(240), 0.3},  {std::log(15), 0.4},   10.0}},
+        {"ssdp_discovery",  {{std::log(3), 0.4},  {std::log(350), 0.3},  {std::log(20), 0.4},    4.0}},
+        {"firmware_check",  {{std::log(20), 0.6}, {std::log(30000), 0.9}, {std::log(900), 0.6},  2.0}},
+        {"app_control",     {{std::log(12), 0.5}, {std::log(3200), 0.5}, {std::log(250), 0.5},   5.0}},
+        {"ping",            {{std::log(2), 0.2},  {std::log(120), 0.1},  {std::log(10), 0.3},    2.0}},
+        {"arp_heartbeat",   {{std::log(1), 0.1},  {std::log(60), 0.05},  {std::log(5), 0.2},     2.0}},
+        // attacks
+        {"flood_attack",    {{std::log(4800), 0.6}, {std::log(5.2e5), 0.6}, {std::log(2200), 0.5}, 3.0}},
+        {"port_scan",       {{std::log(220), 0.5}, {std::log(11000), 0.5}, {std::log(4000), 0.5},  1.8}},
+        {"brute_force",     {{std::log(60), 0.4},  {std::log(8200), 0.4},  {std::log(6000), 0.5},  1.2}},
+        {"rpc_probe",       {{std::log(8), 0.4},   {std::log(1200), 0.4},  {std::log(150), 0.4},   1.0}},
+    };
+    return kProfiles;
+}
+
+}  // namespace
+
+const EventProfile& lab_event_profile(const std::string& event_type) {
+    const auto& map = profiles();
+    const auto it = map.find(event_type);
+    KINET_CHECK(it != map.end(), "no traffic profile for event '" + event_type + "'");
+    return it->second;
+}
+
+FlowNumbers draw_flow_numbers(const EventProfile& profile, Rng& rng) {
+    FlowNumbers out;
+    out.packets = std::max(1.0, std::round(rng.lognormal(profile.packets.mu, profile.packets.sigma)));
+    out.bytes = std::max(40.0, std::round(rng.lognormal(profile.bytes.mu, profile.bytes.sigma)));
+    out.duration_ms = std::max(1.0, rng.lognormal(profile.duration_ms.mu, profile.duration_ms.sigma));
+    return out;
+}
+
+}  // namespace kinet::netsim

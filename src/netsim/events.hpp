@@ -1,0 +1,43 @@
+// Per-event numeric traffic profiles and the benign/attack event mix.
+//
+// Packet/byte/duration magnitudes are log-normal (heavy-tailed, as observed
+// in real flow captures); each lab event type has its own parameters so that
+// e.g. video streams dwarf DNS lookups and floods dwarf everything.
+#ifndef KINETGAN_NETSIM_EVENTS_H
+#define KINETGAN_NETSIM_EVENTS_H
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace kinet::netsim {
+
+/// Log-normal parameters (mu/sigma of the underlying normal).
+struct LogNormalParam {
+    double mu = 0.0;
+    double sigma = 0.5;
+};
+
+struct EventProfile {
+    LogNormalParam packets;
+    LogNormalParam bytes;
+    LogNormalParam duration_ms;
+    /// Relative frequency in the steady-state event mix.
+    double mix_weight = 1.0;
+};
+
+/// Profile of a lab event type; throws kinet::Error for unknown events.
+[[nodiscard]] const EventProfile& lab_event_profile(const std::string& event_type);
+
+/// Numeric draw helpers.
+struct FlowNumbers {
+    double packets = 0.0;
+    double bytes = 0.0;
+    double duration_ms = 0.0;
+};
+[[nodiscard]] FlowNumbers draw_flow_numbers(const EventProfile& profile, Rng& rng);
+
+}  // namespace kinet::netsim
+
+#endif  // KINETGAN_NETSIM_EVENTS_H

@@ -1,0 +1,190 @@
+#include "src/netsim/lab_simulator.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/check.hpp"
+#include "src/kg/network_kg.hpp"
+#include "src/netsim/events.hpp"
+
+namespace kinet::netsim {
+namespace {
+
+std::size_t index_of(const std::vector<std::string>& items, const std::string& value) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i] == value) {
+            return i;
+        }
+    }
+    throw Error("lab simulator: unknown category '" + value + "'");
+}
+
+// Chatty interactive events quiet down at night; background chatter doesn't.
+double diurnal_factor(const std::string& event_type, double hour_of_day) {
+    static const std::vector<std::string> kInteractive = {
+        "motion_detected", "video_stream", "lamp_activation", "tag_interaction", "app_control"};
+    for (const auto& e : kInteractive) {
+        if (e == event_type) {
+            // Peak in the evening (hour 20), trough at 4am.
+            const double phase = 2.0 * std::numbers::pi * (hour_of_day - 20.0) / 24.0;
+            return 0.55 + 0.45 * std::cos(phase);
+        }
+    }
+    return 1.0;
+}
+
+}  // namespace
+
+std::vector<data::ColumnMeta> lab_schema() {
+    using data::ColumnMeta;
+    return {
+        ColumnMeta::categorical_column("src_device", kg::lab_devices()),
+        ColumnMeta::categorical_column("dst_endpoint", kg::lab_endpoints()),
+        ColumnMeta::categorical_column("protocol", kg::lab_protocols()),
+        ColumnMeta::categorical_column("app_protocol", kg::lab_app_protocols()),
+        ColumnMeta::categorical_column("dst_port", kg::lab_ports()),
+        ColumnMeta::categorical_column("event_type", kg::lab_event_types()),
+        ColumnMeta::continuous_column("pkt_count"),
+        ColumnMeta::continuous_column("byte_count"),
+        ColumnMeta::continuous_column("duration_ms"),
+        ColumnMeta::continuous_column("iat_ms"),
+        ColumnMeta::categorical_column("label", kg::lab_labels()),
+    };
+}
+
+std::vector<std::size_t> lab_conditional_columns() {
+    return {0, 2, 3, 4, 5};  // src_device, protocol, app_protocol, dst_port, event_type
+}
+
+std::size_t lab_label_column() {
+    return 10;
+}
+
+LabTrafficSimulator::LabTrafficSimulator(LabSimOptions options) : options_(options) {
+    KINET_CHECK(options_.records > 0, "lab simulator: records must be positive");
+    KINET_CHECK(options_.attack_intensity >= 0.0, "lab simulator: bad attack intensity");
+    KINET_CHECK(options_.corruption_fraction >= 0.0 && options_.corruption_fraction <= 1.0,
+                "lab simulator: corruption fraction must be in [0, 1]");
+}
+
+data::Table LabTrafficSimulator::generate() const {
+    Rng rng(options_.seed);
+    const auto& specs = kg::lab_event_specs();
+    const auto schema = lab_schema();
+    data::Table table(schema);
+
+    // Pre-resolve category ids for speed.
+    const auto& devices = kg::lab_devices();
+    const auto& endpoints = kg::lab_endpoints();
+    const auto& protocols = kg::lab_protocols();
+    const auto& apps = kg::lab_app_protocols();
+    const auto& ports = kg::lab_ports();
+    const auto& events = kg::lab_event_types();
+    const auto& labels = kg::lab_labels();
+
+    struct ResolvedSpec {
+        const kg::LabEventSpec* spec = nullptr;
+        std::size_t endpoint_id = 0;
+        std::size_t protocol_id = 0;
+        std::size_t app_id = 0;
+        std::size_t port_id = 0;
+        std::size_t event_id = 0;
+        std::size_t label_id = 0;
+        std::vector<std::size_t> device_ids;
+        const EventProfile* profile = nullptr;
+        bool is_attack = false;
+    };
+    std::vector<ResolvedSpec> resolved;
+    resolved.reserve(specs.size());
+    for (const auto& spec : specs) {
+        ResolvedSpec r;
+        r.spec = &spec;
+        r.endpoint_id = index_of(endpoints, spec.dst_endpoint);
+        r.protocol_id = index_of(protocols, spec.protocol);
+        r.app_id = index_of(apps, spec.app_protocol);
+        r.port_id = index_of(ports, spec.dst_port);
+        r.event_id = index_of(events, spec.event_type);
+        r.label_id = index_of(labels, spec.label);
+        for (const auto& d : spec.src_devices) {
+            r.device_ids.push_back(index_of(devices, d));
+        }
+        r.profile = &lab_event_profile(spec.event_type);
+        r.is_attack = (spec.label != "benign");
+        resolved.push_back(std::move(r));
+    }
+
+    double sim_time_ms = 0.0;
+    std::vector<double> weights(resolved.size());
+    std::size_t burst_remaining = 0;
+    std::size_t burst_spec = 0;
+
+    for (std::size_t n = 0; n < options_.records; ++n) {
+        const double hour = std::fmod(sim_time_ms / 3.6e6, 24.0);
+
+        std::size_t chosen = 0;
+        if (burst_remaining > 0) {
+            chosen = burst_spec;
+            --burst_remaining;
+        } else {
+            for (std::size_t i = 0; i < resolved.size(); ++i) {
+                double w = resolved[i].profile->mix_weight;
+                if (resolved[i].is_attack) {
+                    // Each attack draw expands into a burst of records, so
+                    // divide by the expected burst length to keep the attack
+                    // *record* share at the profile's mix weight.
+                    w *= options_.attack_intensity / std::max(1.0, options_.attack_burst_length);
+                } else if (options_.diurnal) {
+                    w *= diurnal_factor(resolved[i].spec->event_type, hour);
+                }
+                weights[i] = w;
+            }
+            chosen = rng.categorical(weights);
+            if (resolved[chosen].is_attack) {
+                // Attacks arrive in bursts; geometric length with the given mean.
+                const double p = 1.0 / std::max(1.0, options_.attack_burst_length);
+                burst_spec = chosen;
+                burst_remaining = 0;
+                while (!rng.bernoulli(p) && burst_remaining < 64) {
+                    ++burst_remaining;
+                }
+            }
+        }
+
+        const ResolvedSpec& r = resolved[chosen];
+        const auto device_id =
+            r.device_ids[static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(r.device_ids.size()) - 1))];
+        FlowNumbers numbers = draw_flow_numbers(*r.profile, rng);
+
+        // Inter-arrival: benign background is seconds-scale; bursts are dense.
+        double iat_ms = 0.0;
+        if (r.is_attack && burst_remaining > 0) {
+            iat_ms = rng.exponential(1.0 / 4.0);  // ~4 ms between burst flows
+        } else {
+            iat_ms = rng.exponential(1.0 / 2500.0);  // ~2.5 s mean gap
+        }
+        sim_time_ms += iat_ms;
+
+        if (options_.corruption_fraction > 0.0 && rng.bernoulli(options_.corruption_fraction)) {
+            // Failure injection: implausible magnitudes (but still finite).
+            numbers.bytes *= 1e6;
+            numbers.packets = 0.0;
+        }
+
+        table.append_row({
+            static_cast<float>(device_id),
+            static_cast<float>(r.endpoint_id),
+            static_cast<float>(r.protocol_id),
+            static_cast<float>(r.app_id),
+            static_cast<float>(r.port_id),
+            static_cast<float>(r.event_id),
+            static_cast<float>(numbers.packets),
+            static_cast<float>(numbers.bytes),
+            static_cast<float>(numbers.duration_ms),
+            static_cast<float>(iat_ms),
+            static_cast<float>(r.label_id),
+        });
+    }
+    return table;
+}
+
+}  // namespace kinet::netsim

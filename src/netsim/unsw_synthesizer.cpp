@@ -1,0 +1,210 @@
+#include "src/netsim/unsw_synthesizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/kg/network_kg.hpp"
+
+namespace kinet::netsim {
+namespace {
+
+std::size_t index_of(const std::vector<std::string>& items, const std::string& value) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i] == value) {
+            return i;
+        }
+    }
+    throw Error("unsw synthesizer: unknown category '" + value + "'");
+}
+
+/// Per-category generative profile.  proto_service_state lists weighted
+/// (proto, service, state) draws — all KG-valid combinations; numeric fields
+/// are log-normal magnitudes characteristic of the category.
+struct CategoryProfile {
+    double mix_weight = 1.0;
+    struct Pss {
+        const char* proto;
+        const char* service;
+        const char* state;
+        double weight;
+    };
+    std::vector<Pss> pss;
+    double log_dur_mu, log_dur_sigma;
+    double log_sbytes_mu, log_sbytes_sigma;
+    double log_dbytes_mu, log_dbytes_sigma;
+    double sttl_mean, dttl_mean;
+    double rtt_scale;  // tcprtt multiplier (0 for non-TCP-ish categories)
+};
+
+const std::vector<std::pair<std::string, CategoryProfile>>& category_profiles() {
+    static const std::vector<std::pair<std::string, CategoryProfile>> kProfiles = {
+        {"Normal",
+         {87.0,
+          {{"tcp", "http", "FIN", 28}, {"tcp", "smtp", "FIN", 8}, {"tcp", "ftp", "FIN", 6},
+           {"tcp", "ssh", "FIN", 5},  {"udp", "dns", "CON", 30}, {"udp", "snmp", "CON", 4},
+           {"tcp", "-", "FIN", 10},   {"udp", "-", "CON", 6},    {"arp", "-", "INT", 2},
+           {"icmp", "-", "ECO", 1}},
+          std::log(0.8), 1.2, std::log(3200), 1.3, std::log(9200), 1.5, 62, 252, 1.0}},
+        {"Generic",
+         {5.8,
+          {{"udp", "dns", "CON", 70}, {"udp", "dns", "INT", 20}, {"udp", "-", "INT", 10}},
+          std::log(0.02), 0.9, std::log(430), 0.5, std::log(170), 0.8, 254, 0, 0.0}},
+        {"Exploits",
+         {3.3,
+          {{"tcp", "http", "FIN", 40}, {"tcp", "ftp", "RST", 15}, {"tcp", "-", "FIN", 30},
+           {"tcp", "smtp", "RST", 15}},
+          std::log(1.5), 1.1, std::log(5200), 1.2, std::log(2800), 1.4, 254, 252, 1.4}},
+        {"Fuzzers",
+         {1.8,
+          {{"tcp", "-", "REQ", 35}, {"udp", "-", "INT", 35}, {"tcp", "http", "REQ", 20},
+           {"udp", "dns", "REQ", 10}},
+          std::log(2.2), 1.0, std::log(4100), 1.1, std::log(900), 1.2, 254, 252, 0.8}},
+        {"DoS",
+         {1.2,
+          {{"tcp", "http", "REQ", 55}, {"tcp", "-", "RST", 30}, {"udp", "-", "INT", 15}},
+          std::log(0.9), 1.0, std::log(21000), 1.0, std::log(260), 0.9, 254, 60, 0.6}},
+        {"Reconnaissance",
+         {1.0,
+          {{"tcp", "-", "REQ", 40}, {"icmp", "-", "ECO", 25}, {"udp", "-", "INT", 20},
+           {"tcp", "http", "REQ", 15}},
+          std::log(0.15), 0.8, std::log(310), 0.6, std::log(120), 0.8, 254, 60, 0.3}},
+        {"Analysis",
+         {0.25,
+          {{"tcp", "http", "REQ", 50}, {"tcp", "-", "CON", 50}},
+          std::log(0.4), 0.9, std::log(720), 0.8, std::log(280), 0.9, 254, 60, 0.4}},
+        {"Backdoors",
+         {0.2,
+          {{"tcp", "-", "CON", 60}, {"udp", "-", "CON", 40}},
+          std::log(1.1), 0.9, std::log(1600), 0.9, std::log(1900), 1.0, 254, 252, 0.9}},
+        {"Shellcode",
+         {0.12,
+          {{"tcp", "-", "FIN", 55}, {"udp", "-", "CON", 45}},
+          std::log(0.5), 0.8, std::log(1350), 0.6, std::log(480), 0.8, 254, 252, 0.7}},
+        {"Worms",
+         {0.05,
+          {{"tcp", "http", "FIN", 60}, {"tcp", "smtp", "FIN", 40}},
+          std::log(0.9), 0.7, std::log(2900), 0.7, std::log(1400), 0.9, 254, 252, 1.0}},
+    };
+    return kProfiles;
+}
+
+}  // namespace
+
+std::vector<data::ColumnMeta> unsw_schema() {
+    using data::ColumnMeta;
+    return {
+        ColumnMeta::categorical_column("proto", kg::unsw_protocols()),
+        ColumnMeta::categorical_column("service", kg::unsw_services()),
+        ColumnMeta::categorical_column("state", kg::unsw_states()),
+        ColumnMeta::continuous_column("dur"),
+        ColumnMeta::continuous_column("spkts"),
+        ColumnMeta::continuous_column("dpkts"),
+        ColumnMeta::continuous_column("sbytes"),
+        ColumnMeta::continuous_column("dbytes"),
+        ColumnMeta::continuous_column("sttl"),
+        ColumnMeta::continuous_column("dttl"),
+        ColumnMeta::continuous_column("sload"),
+        ColumnMeta::continuous_column("dload"),
+        ColumnMeta::continuous_column("smean"),
+        ColumnMeta::continuous_column("dmean"),
+        ColumnMeta::continuous_column("tcprtt"),
+        ColumnMeta::categorical_column("attack_cat", kg::unsw_attack_categories()),
+        ColumnMeta::categorical_column("label", {"normal", "attack"}),
+    };
+}
+
+std::vector<std::size_t> unsw_conditional_columns() {
+    return {0, 1, 2, 15};  // proto, service, state, attack_cat
+}
+
+std::size_t unsw_label_column() {
+    return 16;
+}
+
+UnswNb15Synthesizer::UnswNb15Synthesizer(UnswOptions options) : options_(options) {
+    KINET_CHECK(options_.records > 0, "unsw synthesizer: records must be positive");
+    KINET_CHECK(options_.attack_intensity >= 0.0, "unsw synthesizer: bad attack intensity");
+}
+
+data::Table UnswNb15Synthesizer::generate() const {
+    Rng rng(options_.seed);
+    data::Table table(unsw_schema());
+
+    const auto& protos = kg::unsw_protocols();
+    const auto& services = kg::unsw_services();
+    const auto& states = kg::unsw_states();
+    const auto& cats = kg::unsw_attack_categories();
+
+    const auto& profiles = category_profiles();
+    std::vector<double> cat_weights;
+    cat_weights.reserve(profiles.size());
+    for (const auto& [name, prof] : profiles) {
+        double w = prof.mix_weight;
+        if (name != "Normal") {
+            w *= options_.attack_intensity;
+        }
+        cat_weights.push_back(w);
+    }
+
+    for (std::size_t n = 0; n < options_.records; ++n) {
+        const std::size_t ci = rng.categorical(cat_weights);
+        const auto& [cat_name, prof] = profiles[ci];
+
+        std::vector<double> pss_weights;
+        pss_weights.reserve(prof.pss.size());
+        for (const auto& p : prof.pss) {
+            pss_weights.push_back(p.weight);
+        }
+        const auto& pss = prof.pss[rng.categorical(pss_weights)];
+
+        const double dur = rng.lognormal(prof.log_dur_mu, prof.log_dur_sigma);
+        const double sbytes = std::max(46.0, rng.lognormal(prof.log_sbytes_mu, prof.log_sbytes_sigma));
+        const double dbytes = (prof.log_dbytes_mu > 0.0)
+                                  ? std::max(0.0, rng.lognormal(prof.log_dbytes_mu, prof.log_dbytes_sigma))
+                                  : 0.0;
+        const double smean = std::clamp(rng.normal(560.0, 180.0), 46.0, 1500.0);
+        const double dmean = std::clamp(rng.normal(640.0, 220.0), 0.0, 1500.0);
+        const double spkts = std::max(1.0, std::round(sbytes / smean) + rng.randint(0, 3));
+        const double dpkts = (dbytes > 0.0)
+                                 ? std::max(0.0, std::round(dbytes / std::max(dmean, 46.0)) +
+                                                     rng.randint(0, 3))
+                                 : 0.0;
+        const double safe_dur = std::max(dur, 1e-3);
+        const double sload = 8.0 * sbytes / safe_dur;
+        const double dload = 8.0 * dbytes / safe_dur;
+        const double sttl = std::clamp(rng.normal(prof.sttl_mean, 4.0), 1.0, 255.0);
+        const double dttl = (prof.dttl_mean > 0.0)
+                                ? std::clamp(rng.normal(prof.dttl_mean, 4.0), 0.0, 255.0)
+                                : 0.0;
+        const double tcprtt =
+            (std::string(pss.proto) == "tcp") ? prof.rtt_scale * rng.lognormal(std::log(0.08), 0.7)
+                                              : 0.0;
+
+        const bool is_attack = (cat_name != "Normal");
+        table.append_row({
+            static_cast<float>(index_of(protos, pss.proto)),
+            static_cast<float>(index_of(services, pss.service)),
+            static_cast<float>(index_of(states, pss.state)),
+            static_cast<float>(dur),
+            static_cast<float>(spkts),
+            static_cast<float>(dpkts),
+            static_cast<float>(sbytes),
+            static_cast<float>(dbytes),
+            static_cast<float>(sttl),
+            static_cast<float>(dttl),
+            static_cast<float>(sload),
+            static_cast<float>(dload),
+            static_cast<float>(smean),
+            static_cast<float>(dmean),
+            static_cast<float>(tcprtt),
+            static_cast<float>(index_of(cats, cat_name)),
+            static_cast<float>(is_attack ? 1 : 0),
+        });
+    }
+    return table;
+}
+
+}  // namespace kinet::netsim

@@ -1,0 +1,47 @@
+// UNSW-NB15-style dataset synthesizer (substitute for Sec. IV-B2).
+//
+// The real dataset (2.54 M rows, 49 attributes) is not available offline;
+// this generator reproduces its *structure*: the 9 attack categories plus
+// Normal with their characteristic imbalance, an 18-attribute subset spanning
+// the paper's feature groups (flow, basic, content, time), and per-category
+// generative profiles whose (proto, service, state) draws respect the
+// protocol-consistency rules encoded in the UNSW knowledge graph.
+#ifndef KINETGAN_NETSIM_UNSW_SYNTHESIZER_H
+#define KINETGAN_NETSIM_UNSW_SYNTHESIZER_H
+
+#include <cstdint>
+
+#include "src/data/table.hpp"
+
+namespace kinet::netsim {
+
+struct UnswOptions {
+    std::size_t records = 24000;
+    std::uint64_t seed = 11;
+    /// Scales attack prevalence (1.0 ≈ the real dataset's ~13 % attacks).
+    double attack_intensity = 1.0;
+};
+
+/// Schema: proto, service, state, dur, spkts, dpkts, sbytes, dbytes, sttl,
+/// dttl, sload, dload, smean, dmean, tcprtt, attack_cat, label.
+[[nodiscard]] std::vector<data::ColumnMeta> unsw_schema();
+
+/// Conditional attribute columns for the GANs (proto, service, state,
+/// attack_cat).
+[[nodiscard]] std::vector<std::size_t> unsw_conditional_columns();
+
+/// Binary NIDS target column (label: normal / attack).
+[[nodiscard]] std::size_t unsw_label_column();
+
+class UnswNb15Synthesizer {
+public:
+    explicit UnswNb15Synthesizer(UnswOptions options = {});
+    [[nodiscard]] data::Table generate() const;
+
+private:
+    UnswOptions options_;
+};
+
+}  // namespace kinet::netsim
+
+#endif  // KINETGAN_NETSIM_UNSW_SYNTHESIZER_H

@@ -1,0 +1,97 @@
+#include "src/nn/activations.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::nn {
+
+Matrix ReLU::forward(const Matrix& input, bool /*training*/) {
+    cached_input_ = input;
+    Matrix out = input;
+    for (auto& v : out.data()) {
+        v = (v > 0.0F) ? v : 0.0F;
+    }
+    return out;
+}
+
+Matrix ReLU::backward(const Matrix& grad_out) {
+    KINET_CHECK(grad_out.rows() == cached_input_.rows() && grad_out.cols() == cached_input_.cols(),
+                "ReLU: grad shape mismatch");
+    Matrix grad_in = grad_out;
+    auto gi = grad_in.data();
+    const auto x = cached_input_.data();
+    for (std::size_t i = 0; i < gi.size(); ++i) {
+        if (x[i] <= 0.0F) {
+            gi[i] = 0.0F;
+        }
+    }
+    return grad_in;
+}
+
+Matrix LeakyReLU::forward(const Matrix& input, bool /*training*/) {
+    cached_input_ = input;
+    Matrix out = input;
+    for (auto& v : out.data()) {
+        v = (v > 0.0F) ? v : slope_ * v;
+    }
+    return out;
+}
+
+Matrix LeakyReLU::backward(const Matrix& grad_out) {
+    KINET_CHECK(grad_out.rows() == cached_input_.rows() && grad_out.cols() == cached_input_.cols(),
+                "LeakyReLU: grad shape mismatch");
+    Matrix grad_in = grad_out;
+    auto gi = grad_in.data();
+    const auto x = cached_input_.data();
+    for (std::size_t i = 0; i < gi.size(); ++i) {
+        if (x[i] <= 0.0F) {
+            gi[i] *= slope_;
+        }
+    }
+    return grad_in;
+}
+
+Matrix Tanh::forward(const Matrix& input, bool /*training*/) {
+    Matrix out = input;
+    for (auto& v : out.data()) {
+        v = std::tanh(v);
+    }
+    cached_output_ = out;
+    return out;
+}
+
+Matrix Tanh::backward(const Matrix& grad_out) {
+    KINET_CHECK(grad_out.rows() == cached_output_.rows() && grad_out.cols() == cached_output_.cols(),
+                "Tanh: grad shape mismatch");
+    Matrix grad_in = grad_out;
+    auto gi = grad_in.data();
+    const auto y = cached_output_.data();
+    for (std::size_t i = 0; i < gi.size(); ++i) {
+        gi[i] *= 1.0F - y[i] * y[i];
+    }
+    return grad_in;
+}
+
+Matrix Sigmoid::forward(const Matrix& input, bool /*training*/) {
+    Matrix out = input;
+    for (auto& v : out.data()) {
+        v = 1.0F / (1.0F + std::exp(-v));
+    }
+    cached_output_ = out;
+    return out;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_out) {
+    KINET_CHECK(grad_out.rows() == cached_output_.rows() && grad_out.cols() == cached_output_.cols(),
+                "Sigmoid: grad shape mismatch");
+    Matrix grad_in = grad_out;
+    auto gi = grad_in.data();
+    const auto y = cached_output_.data();
+    for (std::size_t i = 0; i < gi.size(); ++i) {
+        gi[i] *= y[i] * (1.0F - y[i]);
+    }
+    return grad_in;
+}
+
+}  // namespace kinet::nn

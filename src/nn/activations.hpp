@@ -1,0 +1,49 @@
+// Pointwise activation layers.
+#ifndef KINETGAN_NN_ACTIVATIONS_H
+#define KINETGAN_NN_ACTIVATIONS_H
+
+#include "src/nn/module.hpp"
+
+namespace kinet::nn {
+
+class ReLU : public Module {
+public:
+    Matrix forward(const Matrix& input, bool training) override;
+    Matrix backward(const Matrix& grad_out) override;
+
+private:
+    Matrix cached_input_;
+};
+
+class LeakyReLU : public Module {
+public:
+    explicit LeakyReLU(float negative_slope = 0.2F) : slope_(negative_slope) {}
+    Matrix forward(const Matrix& input, bool training) override;
+    Matrix backward(const Matrix& grad_out) override;
+
+private:
+    float slope_;
+    Matrix cached_input_;
+};
+
+class Tanh : public Module {
+public:
+    Matrix forward(const Matrix& input, bool training) override;
+    Matrix backward(const Matrix& grad_out) override;
+
+private:
+    Matrix cached_output_;
+};
+
+class Sigmoid : public Module {
+public:
+    Matrix forward(const Matrix& input, bool training) override;
+    Matrix backward(const Matrix& grad_out) override;
+
+private:
+    Matrix cached_output_;
+};
+
+}  // namespace kinet::nn
+
+#endif  // KINETGAN_NN_ACTIVATIONS_H

@@ -1,0 +1,87 @@
+#include "src/nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace kinet::nn {
+
+BatchNorm1d::BatchNorm1d(std::size_t features, float momentum, float eps)
+    : features_(features),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Matrix(1, features, 1.0F), "bn.gamma"),
+      beta_(Matrix(1, features), "bn.beta"),
+      running_mean_(1, features),
+      running_var_(1, features, 1.0F) {}
+
+Matrix BatchNorm1d::forward(const Matrix& input, bool training) {
+    KINET_CHECK(input.cols() == features_, "BatchNorm1d: feature mismatch");
+    const Matrix mean = training ? tensor::col_mean(input) : running_mean_;
+    const Matrix var = training ? tensor::col_var(input) : running_var_;
+
+    if (training) {
+        // Exponential moving average of batch statistics for inference.
+        for (std::size_t c = 0; c < features_; ++c) {
+            running_mean_(0, c) =
+                (1.0F - momentum_) * running_mean_(0, c) + momentum_ * mean(0, c);
+            running_var_(0, c) = (1.0F - momentum_) * running_var_(0, c) + momentum_ * var(0, c);
+        }
+    }
+
+    batch_inv_std_.resize(1, features_);
+    for (std::size_t c = 0; c < features_; ++c) {
+        batch_inv_std_(0, c) = 1.0F / std::sqrt(var(0, c) + eps_);
+    }
+
+    x_hat_.resize(input.rows(), features_);
+    Matrix out(input.rows(), features_);
+    for (std::size_t r = 0; r < input.rows(); ++r) {
+        for (std::size_t c = 0; c < features_; ++c) {
+            const float xh = (input(r, c) - mean(0, c)) * batch_inv_std_(0, c);
+            x_hat_(r, c) = xh;
+            out(r, c) = gamma_.value(0, c) * xh + beta_.value(0, c);
+        }
+    }
+    trained_forward_ = training;
+    return out;
+}
+
+Matrix BatchNorm1d::backward(const Matrix& grad_out) {
+    KINET_CHECK(grad_out.rows() == x_hat_.rows() && grad_out.cols() == features_,
+                "BatchNorm1d: grad shape mismatch");
+    const auto n = static_cast<float>(grad_out.rows());
+    Matrix grad_in(grad_out.rows(), features_);
+
+    for (std::size_t c = 0; c < features_; ++c) {
+        float sum_dy = 0.0F;
+        float sum_dy_xhat = 0.0F;
+        for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+            sum_dy += grad_out(r, c);
+            sum_dy_xhat += grad_out(r, c) * x_hat_(r, c);
+        }
+        gamma_.grad(0, c) += sum_dy_xhat;
+        beta_.grad(0, c) += sum_dy;
+
+        const float g = gamma_.value(0, c) * batch_inv_std_(0, c);
+        for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+            if (trained_forward_) {
+                // Full batch-statistics gradient.
+                grad_in(r, c) =
+                    g * (grad_out(r, c) - sum_dy / n - x_hat_(r, c) * sum_dy_xhat / n);
+            } else {
+                // Inference mode: statistics are constants.
+                grad_in(r, c) = g * grad_out(r, c);
+            }
+        }
+    }
+    return grad_in;
+}
+
+void BatchNorm1d::collect_parameters(std::vector<Parameter*>& out) {
+    out.push_back(&gamma_);
+    out.push_back(&beta_);
+}
+
+}  // namespace kinet::nn

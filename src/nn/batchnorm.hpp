@@ -1,0 +1,33 @@
+// 1-D batch normalisation over features (rows are the batch dimension).
+#ifndef KINETGAN_NN_BATCHNORM_H
+#define KINETGAN_NN_BATCHNORM_H
+
+#include "src/nn/module.hpp"
+
+namespace kinet::nn {
+
+class BatchNorm1d : public Module {
+public:
+    explicit BatchNorm1d(std::size_t features, float momentum = 0.1F, float eps = 1e-5F);
+
+    Matrix forward(const Matrix& input, bool training) override;
+    Matrix backward(const Matrix& grad_out) override;
+    void collect_parameters(std::vector<Parameter*>& out) override;
+
+private:
+    std::size_t features_;
+    float momentum_;
+    float eps_;
+    Parameter gamma_;  // 1 x features
+    Parameter beta_;   // 1 x features
+    Matrix running_mean_;
+    Matrix running_var_;
+    // Caches for backward (training-mode statistics).
+    Matrix x_hat_;
+    Matrix batch_inv_std_;  // 1 x features
+    bool trained_forward_ = false;
+};
+
+}  // namespace kinet::nn
+
+#endif  // KINETGAN_NN_BATCHNORM_H

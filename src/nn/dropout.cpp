@@ -1,0 +1,45 @@
+#include "src/nn/dropout.hpp"
+
+#include "src/common/check.hpp"
+
+namespace kinet::nn {
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {
+    KINET_CHECK(p >= 0.0F && p < 1.0F, "Dropout: p must be in [0, 1)");
+}
+
+Matrix Dropout::forward(const Matrix& input, bool training) {
+    if (!training || p_ == 0.0F) {
+        used_mask_ = false;
+        return input;
+    }
+    used_mask_ = true;
+    mask_.resize(input.rows(), input.cols());
+    const float keep_scale = 1.0F / (1.0F - p_);
+    Matrix out = input;
+    auto od = out.data();
+    auto md = mask_.data();
+    for (std::size_t i = 0; i < od.size(); ++i) {
+        const bool keep = !rng_->bernoulli(p_);
+        md[i] = keep ? keep_scale : 0.0F;
+        od[i] *= md[i];
+    }
+    return out;
+}
+
+Matrix Dropout::backward(const Matrix& grad_out) {
+    if (!used_mask_) {
+        return grad_out;
+    }
+    KINET_CHECK(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols(),
+                "Dropout: grad shape mismatch");
+    Matrix grad_in = grad_out;
+    auto gi = grad_in.data();
+    const auto md = mask_.data();
+    for (std::size_t i = 0; i < gi.size(); ++i) {
+        gi[i] *= md[i];
+    }
+    return grad_in;
+}
+
+}  // namespace kinet::nn

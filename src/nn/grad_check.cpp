@@ -1,0 +1,91 @@
+#include "src/nn/grad_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::nn {
+namespace {
+
+double probe_loss(Module& module, const Matrix& input, const Matrix& probe, bool training) {
+    const Matrix out = module.forward(input, training);
+    KINET_CHECK(out.rows() == probe.rows() && out.cols() == probe.cols(),
+                "grad check: probe shape mismatch");
+    double acc = 0.0;
+    const auto od = out.data();
+    const auto pd = probe.data();
+    for (std::size_t i = 0; i < od.size(); ++i) {
+        acc += static_cast<double>(od[i]) * static_cast<double>(pd[i]);
+    }
+    return acc;
+}
+
+double relative_error(double analytic, double numeric) {
+    // The 1e-3 floor treats gradients below float32 finite-difference noise
+    // (outputs are float, the probe loss differences are ~1e-7-scale) as
+    // matching when both sides are tiny.
+    const double denom = std::max({std::abs(analytic), std::abs(numeric), 1e-3});
+    return std::abs(analytic - numeric) / denom;
+}
+
+}  // namespace
+
+GradCheckResult check_gradients(Module& module, const Matrix& input, Rng& rng, bool training,
+                                float epsilon) {
+    // Probe weights make the scalar loss sensitive to every output entry.
+    Matrix first_out = module.forward(input, training);
+    Matrix probe(first_out.rows(), first_out.cols());
+    for (auto& v : probe.data()) {
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+
+    // Analytic gradients.
+    module.zero_grad();
+    (void)module.forward(input, training);
+    const Matrix analytic_dinput = module.backward(probe);
+
+    std::vector<Matrix> analytic_dparams;
+    const auto params = module.parameters();
+    analytic_dparams.reserve(params.size());
+    for (const Parameter* p : params) {
+        analytic_dparams.push_back(p->grad);
+    }
+
+    GradCheckResult result;
+
+    // dL/dinput via central differences.
+    Matrix x = input;
+    for (std::size_t i = 0; i < x.data().size(); ++i) {
+        const float saved = x.data()[i];
+        x.data()[i] = saved + epsilon;
+        const double lp = probe_loss(module, x, probe, training);
+        x.data()[i] = saved - epsilon;
+        const double lm = probe_loss(module, x, probe, training);
+        x.data()[i] = saved;
+        const double numeric = (lp - lm) / (2.0 * static_cast<double>(epsilon));
+        result.max_input_error =
+            std::max(result.max_input_error,
+                     relative_error(static_cast<double>(analytic_dinput.data()[i]), numeric));
+    }
+
+    // dL/dparams via central differences.
+    for (std::size_t pi = 0; pi < params.size(); ++pi) {
+        Parameter& p = *params[pi];
+        for (std::size_t i = 0; i < p.value.data().size(); ++i) {
+            const float saved = p.value.data()[i];
+            p.value.data()[i] = saved + epsilon;
+            const double lp = probe_loss(module, input, probe, training);
+            p.value.data()[i] = saved - epsilon;
+            const double lm = probe_loss(module, input, probe, training);
+            p.value.data()[i] = saved;
+            const double numeric = (lp - lm) / (2.0 * static_cast<double>(epsilon));
+            result.max_param_error = std::max(
+                result.max_param_error,
+                relative_error(static_cast<double>(analytic_dparams[pi].data()[i]), numeric));
+        }
+    }
+    return result;
+}
+
+}  // namespace kinet::nn

@@ -1,0 +1,24 @@
+// Numerical gradient checking for Modules — used by the test suite to verify
+// every layer's backward pass against central finite differences.
+#ifndef KINETGAN_NN_GRAD_CHECK_H
+#define KINETGAN_NN_GRAD_CHECK_H
+
+#include "src/common/rng.hpp"
+#include "src/nn/module.hpp"
+
+namespace kinet::nn {
+
+struct GradCheckResult {
+    double max_input_error = 0.0;  // max relative error of dL/dinput
+    double max_param_error = 0.0;  // max relative error over all parameters
+};
+
+/// Checks module.backward against finite differences of the scalar probe loss
+/// L = Σ w ⊙ module.forward(x), with fixed random probe weights w.
+/// `training` must select a deterministic path (no dropout).
+[[nodiscard]] GradCheckResult check_gradients(Module& module, const Matrix& input, Rng& rng,
+                                              bool training = true, float epsilon = 1e-3F);
+
+}  // namespace kinet::nn
+
+#endif  // KINETGAN_NN_GRAD_CHECK_H

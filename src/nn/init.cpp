@@ -1,0 +1,27 @@
+#include "src/nn/init.hpp"
+
+#include <cmath>
+
+namespace kinet::nn {
+
+void xavier_uniform(tensor::Matrix& w, std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+    const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    for (auto& v : w.data()) {
+        v = static_cast<float>(rng.uniform(-a, a));
+    }
+}
+
+void kaiming_normal(tensor::Matrix& w, std::size_t fan_in, Rng& rng) {
+    const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (auto& v : w.data()) {
+        v = static_cast<float>(rng.normal(0.0, stddev));
+    }
+}
+
+void normal_init(tensor::Matrix& w, float stddev, Rng& rng) {
+    for (auto& v : w.data()) {
+        v = static_cast<float>(rng.normal(0.0, stddev));
+    }
+}
+
+}  // namespace kinet::nn

@@ -1,0 +1,21 @@
+// Weight initialisation schemes.
+#ifndef KINETGAN_NN_INIT_H
+#define KINETGAN_NN_INIT_H
+
+#include "src/common/rng.hpp"
+#include "src/tensor/matrix.hpp"
+
+namespace kinet::nn {
+
+/// Glorot/Xavier uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(tensor::Matrix& w, std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)) — for ReLU-family layers.
+void kaiming_normal(tensor::Matrix& w, std::size_t fan_in, Rng& rng);
+
+/// N(0, stddev).
+void normal_init(tensor::Matrix& w, float stddev, Rng& rng);
+
+}  // namespace kinet::nn
+
+#endif  // KINETGAN_NN_INIT_H

@@ -1,0 +1,37 @@
+#include "src/nn/linear.hpp"
+
+#include "src/common/check.hpp"
+#include "src/nn/init.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace kinet::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng, std::string name)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Matrix(in_features, out_features), name + ".weight"),
+      bias_(Matrix(1, out_features), name + ".bias") {
+    KINET_CHECK(in_features > 0 && out_features > 0, "Linear: features must be positive");
+    xavier_uniform(weight_.value, in_features, out_features, rng);
+}
+
+Matrix Linear::forward(const Matrix& input, bool /*training*/) {
+    KINET_CHECK(input.cols() == in_features_, "Linear: input width mismatch");
+    cached_input_ = input;
+    return tensor::add_row_broadcast(tensor::matmul(input, weight_.value), bias_.value);
+}
+
+Matrix Linear::backward(const Matrix& grad_out) {
+    KINET_CHECK(grad_out.rows() == cached_input_.rows() && grad_out.cols() == out_features_,
+                "Linear: grad shape mismatch");
+    weight_.grad += tensor::matmul_tn(cached_input_, grad_out);
+    bias_.grad += tensor::col_sum(grad_out);
+    return tensor::matmul_nt(grad_out, weight_.value);
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+    out.push_back(&weight_);
+    out.push_back(&bias_);
+}
+
+}  // namespace kinet::nn

@@ -1,0 +1,35 @@
+// Fully connected layer: y = x·W + b.
+#ifndef KINETGAN_NN_LINEAR_H
+#define KINETGAN_NN_LINEAR_H
+
+#include "src/common/rng.hpp"
+#include "src/nn/module.hpp"
+
+namespace kinet::nn {
+
+class Linear : public Module {
+public:
+    /// Xavier-initialised in_features -> out_features layer.
+    Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+           std::string name = "linear");
+
+    Matrix forward(const Matrix& input, bool training) override;
+    Matrix backward(const Matrix& grad_out) override;
+    void collect_parameters(std::vector<Parameter*>& out) override;
+
+    [[nodiscard]] std::size_t in_features() const noexcept { return in_features_; }
+    [[nodiscard]] std::size_t out_features() const noexcept { return out_features_; }
+    [[nodiscard]] Parameter& weight() noexcept { return weight_; }
+    [[nodiscard]] Parameter& bias() noexcept { return bias_; }
+
+private:
+    std::size_t in_features_;
+    std::size_t out_features_;
+    Parameter weight_;  // in_features x out_features
+    Parameter bias_;    // 1 x out_features
+    Matrix cached_input_;
+};
+
+}  // namespace kinet::nn
+
+#endif  // KINETGAN_NN_LINEAR_H

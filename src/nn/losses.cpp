@@ -1,0 +1,107 @@
+#include "src/nn/losses.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::nn {
+
+LossResult bce_with_logits(const Matrix& logits, const Matrix& targets) {
+    KINET_CHECK(logits.rows() == targets.rows() && logits.cols() == targets.cols(),
+                "bce_with_logits: shape mismatch");
+    KINET_CHECK(logits.size() > 0, "bce_with_logits: empty input");
+    LossResult res;
+    res.grad.resize(logits.rows(), logits.cols());
+    const auto z = logits.data();
+    const auto t = targets.data();
+    auto g = res.grad.data();
+    const double inv_n = 1.0 / static_cast<double>(logits.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < z.size(); ++i) {
+        // log(1 + e^{-|z|}) + max(z, 0) - z*t  (stable form)
+        const double zi = z[i];
+        const double ti = t[i];
+        acc += std::log1p(std::exp(-std::abs(zi))) + std::max(zi, 0.0) - zi * ti;
+        const double sigma = 1.0 / (1.0 + std::exp(-zi));
+        g[i] = static_cast<float>((sigma - ti) * inv_n);
+    }
+    res.value = acc * inv_n;
+    return res;
+}
+
+LossResult mse(const Matrix& prediction, const Matrix& target) {
+    KINET_CHECK(prediction.rows() == target.rows() && prediction.cols() == target.cols(),
+                "mse: shape mismatch");
+    KINET_CHECK(prediction.size() > 0, "mse: empty input");
+    LossResult res;
+    res.grad.resize(prediction.rows(), prediction.cols());
+    const auto p = prediction.data();
+    const auto t = target.data();
+    auto g = res.grad.data();
+    const double inv_n = 1.0 / static_cast<double>(prediction.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        const double d = static_cast<double>(p[i]) - static_cast<double>(t[i]);
+        acc += d * d;
+        g[i] = static_cast<float>(2.0 * d * inv_n);
+    }
+    res.value = acc * inv_n;
+    return res;
+}
+
+LossResult softmax_cross_entropy(const Matrix& logits, std::span<const std::size_t> labels) {
+    KINET_CHECK(logits.rows() == labels.size(), "softmax_cross_entropy: batch mismatch");
+    KINET_CHECK(logits.cols() > 0, "softmax_cross_entropy: no classes");
+    LossResult res;
+    res.grad.resize(logits.rows(), logits.cols());
+    const double inv_b = 1.0 / static_cast<double>(logits.rows());
+    double acc = 0.0;
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        KINET_CHECK(labels[r] < logits.cols(), "softmax_cross_entropy: label out of range");
+        const auto row = logits.row(r);
+        double mx = row[0];
+        for (float v : row) {
+            mx = std::max(mx, static_cast<double>(v));
+        }
+        double denom = 0.0;
+        for (float v : row) {
+            denom += std::exp(static_cast<double>(v) - mx);
+        }
+        const double log_denom = std::log(denom) + mx;
+        acc += log_denom - static_cast<double>(row[labels[r]]);
+        auto grow = res.grad.row(r);
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const double p = std::exp(static_cast<double>(row[c]) - log_denom);
+            grow[c] = static_cast<float>((p - ((c == labels[r]) ? 1.0 : 0.0)) * inv_b);
+        }
+    }
+    res.value = acc * inv_b;
+    return res;
+}
+
+GaussianKlResult gaussian_kl(const Matrix& mu, const Matrix& logvar) {
+    KINET_CHECK(mu.rows() == logvar.rows() && mu.cols() == logvar.cols(),
+                "gaussian_kl: shape mismatch");
+    KINET_CHECK(mu.rows() > 0, "gaussian_kl: empty input");
+    GaussianKlResult res;
+    res.grad_mu.resize(mu.rows(), mu.cols());
+    res.grad_logvar.resize(mu.rows(), mu.cols());
+    const double inv_b = 1.0 / static_cast<double>(mu.rows());
+    double acc = 0.0;
+    const auto m = mu.data();
+    const auto lv = logvar.data();
+    auto gm = res.grad_mu.data();
+    auto gl = res.grad_logvar.data();
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        const double mi = m[i];
+        const double li = lv[i];
+        const double vi = std::exp(li);
+        acc += -0.5 * (1.0 + li - mi * mi - vi);
+        gm[i] = static_cast<float>(mi * inv_b);
+        gl[i] = static_cast<float>(-0.5 * (1.0 - vi) * inv_b);
+    }
+    res.value = acc * inv_b;
+    return res;
+}
+
+}  // namespace kinet::nn

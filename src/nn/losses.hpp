@@ -1,0 +1,42 @@
+// Loss functions.  Each returns the scalar loss (mean-reduced) and the
+// gradient with respect to its first argument, ready to feed backward().
+#ifndef KINETGAN_NN_LOSSES_H
+#define KINETGAN_NN_LOSSES_H
+
+#include <span>
+
+#include "src/tensor/matrix.hpp"
+
+namespace kinet::nn {
+
+using tensor::Matrix;
+
+struct LossResult {
+    double value = 0.0;
+    Matrix grad;  // dL/d(first argument)
+};
+
+/// Numerically-stable binary cross-entropy on raw logits.
+/// targets entries must lie in [0, 1].  Mean over all elements.
+[[nodiscard]] LossResult bce_with_logits(const Matrix& logits, const Matrix& targets);
+
+/// Mean squared error, mean over all elements.
+[[nodiscard]] LossResult mse(const Matrix& prediction, const Matrix& target);
+
+/// Multi-class cross-entropy with integer labels; logits is batch x classes.
+/// Mean over the batch.
+[[nodiscard]] LossResult softmax_cross_entropy(const Matrix& logits,
+                                               std::span<const std::size_t> labels);
+
+/// KL( N(mu, exp(logvar)) || N(0, 1) ) summed over features, mean over batch —
+/// the regulariser in the TVAE ELBO.  Returns gradients for both inputs.
+struct GaussianKlResult {
+    double value = 0.0;
+    Matrix grad_mu;
+    Matrix grad_logvar;
+};
+[[nodiscard]] GaussianKlResult gaussian_kl(const Matrix& mu, const Matrix& logvar);
+
+}  // namespace kinet::nn
+
+#endif  // KINETGAN_NN_LOSSES_H

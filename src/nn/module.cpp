@@ -1,0 +1,19 @@
+#include "src/nn/module.hpp"
+
+namespace kinet::nn {
+
+void Module::collect_parameters(std::vector<Parameter*>& /*out*/) {}
+
+std::vector<Parameter*> Module::parameters() {
+    std::vector<Parameter*> out;
+    collect_parameters(out);
+    return out;
+}
+
+void Module::zero_grad() {
+    for (Parameter* p : parameters()) {
+        p->zero_grad();
+    }
+}
+
+}  // namespace kinet::nn

@@ -1,0 +1,56 @@
+// Layer abstraction with explicit layer-wise backpropagation.
+//
+// Each Module caches what it needs during forward() and implements
+// backward(grad_out) -> grad_in, accumulating parameter gradients as a side
+// effect.  This "tape-free" design keeps the training loops easy to reason
+// about and is verified by numerical gradient checks (nn/grad_check.hpp).
+#ifndef KINETGAN_NN_MODULE_H
+#define KINETGAN_NN_MODULE_H
+
+#include <string>
+#include <vector>
+
+#include "src/tensor/matrix.hpp"
+
+namespace kinet::nn {
+
+using tensor::Matrix;
+
+/// A learnable tensor and its accumulated gradient.
+struct Parameter {
+    Matrix value;
+    Matrix grad;
+    std::string name;
+
+    explicit Parameter(std::string param_name = {}) : name(std::move(param_name)) {}
+    Parameter(Matrix v, std::string param_name)
+        : value(std::move(v)), grad(value.rows(), value.cols()), name(std::move(param_name)) {}
+
+    void zero_grad() { grad.fill(0.0F); }
+};
+
+/// Base class for all layers.
+class Module {
+public:
+    Module() = default;
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+    virtual ~Module() = default;
+
+    /// Computes the layer output; `training` toggles dropout/batch statistics.
+    virtual Matrix forward(const Matrix& input, bool training) = 0;
+
+    /// Propagates `grad_out` (dL/d output) to dL/d input; accumulates
+    /// parameter gradients.  Must be called after a matching forward().
+    virtual Matrix backward(const Matrix& grad_out) = 0;
+
+    /// Appends pointers to this module's parameters (default: none).
+    virtual void collect_parameters(std::vector<Parameter*>& out);
+
+    [[nodiscard]] std::vector<Parameter*> parameters();
+    void zero_grad();
+};
+
+}  // namespace kinet::nn
+
+#endif  // KINETGAN_NN_MODULE_H

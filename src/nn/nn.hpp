@@ -1,0 +1,18 @@
+// Umbrella header for the neural-network stack.
+#ifndef KINETGAN_NN_NN_H
+#define KINETGAN_NN_NN_H
+
+#include "src/nn/activations.hpp"
+#include "src/nn/batchnorm.hpp"
+#include "src/nn/dropout.hpp"
+#include "src/nn/grad_check.hpp"
+#include "src/nn/gumbel.hpp"
+#include "src/nn/init.hpp"
+#include "src/nn/linear.hpp"
+#include "src/nn/losses.hpp"
+#include "src/nn/module.hpp"
+#include "src/nn/ode_block.hpp"
+#include "src/nn/optim.hpp"
+#include "src/nn/sequential.hpp"
+
+#endif  // KINETGAN_NN_NN_H

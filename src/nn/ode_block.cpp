@@ -1,0 +1,47 @@
+#include "src/nn/ode_block.hpp"
+
+#include "src/common/check.hpp"
+
+namespace kinet::nn {
+
+OdeBlock::OdeBlock(std::unique_ptr<Sequential> f, std::size_t steps)
+    : f_(std::move(f)), steps_(steps), h_(1.0F / static_cast<float>(steps)) {
+    KINET_CHECK(f_ != nullptr, "OdeBlock: null vector field");
+    KINET_CHECK(steps > 0, "OdeBlock: steps must be positive");
+}
+
+Matrix OdeBlock::forward(const Matrix& input, bool training) {
+    training_forward_ = training;
+    step_inputs_.clear();
+    step_inputs_.reserve(steps_);
+    Matrix x = input;
+    for (std::size_t t = 0; t < steps_; ++t) {
+        step_inputs_.push_back(x);
+        Matrix fx = f_->forward(x, training);
+        KINET_CHECK(fx.rows() == x.rows() && fx.cols() == x.cols(),
+                    "OdeBlock: f must preserve shape");
+        fx *= h_;
+        x += fx;
+    }
+    return x;
+}
+
+Matrix OdeBlock::backward(const Matrix& grad_out) {
+    KINET_CHECK(step_inputs_.size() == steps_, "OdeBlock: backward before forward");
+    Matrix grad = grad_out;
+    for (std::size_t t = steps_; t-- > 0;) {
+        // Regenerate f's caches for step t, then pull the adjoint through it.
+        (void)f_->forward(step_inputs_[t], training_forward_);
+        Matrix scaled = grad;
+        scaled *= h_;
+        Matrix grad_f_in = f_->backward(scaled);
+        grad += grad_f_in;
+    }
+    return grad;
+}
+
+void OdeBlock::collect_parameters(std::vector<Parameter*>& out) {
+    f_->collect_parameters(out);
+}
+
+}  // namespace kinet::nn

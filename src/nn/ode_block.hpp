@@ -1,0 +1,42 @@
+// Neural-ODE block used by the OCT-GAN baseline (Kim et al., WWW 2021).
+//
+// Integrates dx/dt = f(x) with an unrolled fixed-step Euler scheme,
+// weight-tying f across steps.  Backward uses recompute-in-backward
+// (checkpointing): each step's input is cached during forward, and f's
+// activations are regenerated step-by-step in reverse order.  This keeps
+// memory O(steps · batch) instead of storing every inner activation, and is
+// exact for deterministic f (dropout inside f is therefore rejected by
+// construction — callers build f from Linear/activation/BatchNorm layers).
+#ifndef KINETGAN_NN_ODE_BLOCK_H
+#define KINETGAN_NN_ODE_BLOCK_H
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/sequential.hpp"
+
+namespace kinet::nn {
+
+class OdeBlock : public Module {
+public:
+    /// f: the vector field (must preserve width); steps: Euler steps over
+    /// t ∈ [0, 1], so the step size is 1/steps.
+    OdeBlock(std::unique_ptr<Sequential> f, std::size_t steps);
+
+    Matrix forward(const Matrix& input, bool training) override;
+    Matrix backward(const Matrix& grad_out) override;
+    void collect_parameters(std::vector<Parameter*>& out) override;
+
+    [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+
+private:
+    std::unique_ptr<Sequential> f_;
+    std::size_t steps_;
+    float h_;
+    bool training_forward_ = false;
+    std::vector<Matrix> step_inputs_;  // x_0 … x_{T-1}
+};
+
+}  // namespace kinet::nn
+
+#endif  // KINETGAN_NN_ODE_BLOCK_H

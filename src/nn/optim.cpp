@@ -1,0 +1,102 @@
+#include "src/nn/optim.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::nn {
+
+Optimizer::Optimizer(std::vector<Parameter*> params) : params_(std::move(params)) {
+    for (const Parameter* p : params_) {
+        KINET_CHECK(p != nullptr, "Optimizer: null parameter");
+    }
+}
+
+void Optimizer::zero_grad() {
+    for (Parameter* p : params_) {
+        p->zero_grad();
+    }
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+    velocity_.reserve(params_.size());
+    for (const Parameter* p : params_) {
+        velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+}
+
+void Sgd::step() {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Parameter& p = *params_[i];
+        auto vel = velocity_[i].data();
+        auto val = p.value.data();
+        const auto grad = p.grad.data();
+        for (std::size_t j = 0; j < val.size(); ++j) {
+            vel[j] = momentum_ * vel[j] - lr_ * grad[j];
+            val[j] += vel[j];
+        }
+    }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const Parameter* p : params_) {
+        m_.emplace_back(p->value.rows(), p->value.cols());
+        v_.emplace_back(p->value.rows(), p->value.cols());
+    }
+}
+
+void Adam::step() {
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Parameter& p = *params_[i];
+        auto m = m_[i].data();
+        auto v = v_[i].data();
+        auto val = p.value.data();
+        const auto grad = p.grad.data();
+        for (std::size_t j = 0; j < val.size(); ++j) {
+            m[j] = beta1_ * m[j] + (1.0F - beta1_) * grad[j];
+            v[j] = beta2_ * v[j] + (1.0F - beta2_) * grad[j] * grad[j];
+            const double mhat = m[j] / bc1;
+            const double vhat = v[j] / bc2;
+            double update = lr_ * mhat / (std::sqrt(vhat) + eps_);
+            if (weight_decay_ > 0.0F) {
+                update += lr_ * weight_decay_ * val[j];
+            }
+            val[j] -= static_cast<float>(update);
+        }
+    }
+}
+
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm) {
+    KINET_CHECK(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
+    double total = 0.0;
+    for (const Parameter* p : params) {
+        for (float g : p->grad.data()) {
+            total += static_cast<double>(g) * static_cast<double>(g);
+        }
+    }
+    const double norm = std::sqrt(total);
+    if (norm > max_norm) {
+        const auto scale = static_cast<float>(max_norm / (norm + 1e-12));
+        for (Parameter* p : params) {
+            for (float& g : p->grad.data()) {
+                g *= scale;
+            }
+        }
+    }
+    return norm;
+}
+
+}  // namespace kinet::nn

@@ -1,0 +1,62 @@
+// First-order optimizers bound to a fixed parameter set.
+#ifndef KINETGAN_NN_OPTIM_H
+#define KINETGAN_NN_OPTIM_H
+
+#include <vector>
+
+#include "src/nn/module.hpp"
+
+namespace kinet::nn {
+
+class Optimizer {
+public:
+    explicit Optimizer(std::vector<Parameter*> params);
+    Optimizer(const Optimizer&) = delete;
+    Optimizer& operator=(const Optimizer&) = delete;
+    virtual ~Optimizer() = default;
+
+    /// Applies one update from the accumulated gradients.
+    virtual void step() = 0;
+    void zero_grad();
+
+protected:
+    std::vector<Parameter*> params_;
+};
+
+/// SGD with classical momentum.
+class Sgd : public Optimizer {
+public:
+    Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0F);
+    void step() override;
+
+private:
+    float lr_;
+    float momentum_;
+    std::vector<Matrix> velocity_;
+};
+
+/// Adam with optional decoupled weight decay (AdamW when decay > 0).
+class Adam : public Optimizer {
+public:
+    Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.5F, float beta2 = 0.9F,
+         float eps = 1e-8F, float weight_decay = 0.0F);
+    void step() override;
+
+private:
+    float lr_;
+    float beta1_;
+    float beta2_;
+    float eps_;
+    float weight_decay_;
+    std::size_t t_ = 0;
+    std::vector<Matrix> m_;
+    std::vector<Matrix> v_;
+};
+
+/// Rescales gradients so their global L2 norm is at most max_norm.
+/// Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm);
+
+}  // namespace kinet::nn
+
+#endif  // KINETGAN_NN_OPTIM_H

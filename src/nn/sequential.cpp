@@ -1,0 +1,35 @@
+#include "src/nn/sequential.hpp"
+
+#include "src/common/check.hpp"
+
+namespace kinet::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Module> layer) {
+    KINET_CHECK(layer != nullptr, "Sequential::add: null layer");
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+Matrix Sequential::forward(const Matrix& input, bool training) {
+    Matrix x = input;
+    for (auto& layer : layers_) {
+        x = layer->forward(x, training);
+    }
+    return x;
+}
+
+Matrix Sequential::backward(const Matrix& grad_out) {
+    Matrix g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+        g = (*it)->backward(g);
+    }
+    return g;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+    for (auto& layer : layers_) {
+        layer->collect_parameters(out);
+    }
+}
+
+}  // namespace kinet::nn

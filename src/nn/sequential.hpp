@@ -1,0 +1,37 @@
+// Ordered container of layers — the standard network-building block.
+#ifndef KINETGAN_NN_SEQUENTIAL_H
+#define KINETGAN_NN_SEQUENTIAL_H
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/module.hpp"
+
+namespace kinet::nn {
+
+class Sequential : public Module {
+public:
+    Sequential() = default;
+
+    /// Appends a layer; returns *this for chaining.
+    Sequential& add(std::unique_ptr<Module> layer);
+
+    /// Convenience: constructs the layer in place.
+    template <typename LayerT, typename... Args>
+    Sequential& emplace(Args&&... args) {
+        return add(std::make_unique<LayerT>(std::forward<Args>(args)...));
+    }
+
+    Matrix forward(const Matrix& input, bool training) override;
+    Matrix backward(const Matrix& grad_out) override;
+    void collect_parameters(std::vector<Parameter*>& out) override;
+
+    [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+
+private:
+    std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace kinet::nn
+
+#endif  // KINETGAN_NN_SEQUENTIAL_H

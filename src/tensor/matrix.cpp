@@ -1,0 +1,131 @@
+#include "src/tensor/matrix.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace kinet::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0F) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> init) {
+    rows_ = init.size();
+    cols_ = (rows_ == 0) ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+        KINET_CHECK(row.size() == cols_, "ragged initializer list for Matrix");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+    KINET_CHECK(r < rows_ && c < cols_, "Matrix::at out of range");
+    return data_[r * cols_ + c];
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+    KINET_CHECK(r < rows_ && c < cols_, "Matrix::at out of range");
+    return data_[r * cols_ + c];
+}
+
+std::span<float> Matrix::row(std::size_t r) {
+    KINET_CHECK(r < rows_, "Matrix::row out of range");
+    return std::span<float>(data_).subspan(r * cols_, cols_);
+}
+
+std::span<const float> Matrix::row(std::size_t r) const {
+    KINET_CHECK(r < rows_, "Matrix::row out of range");
+    return std::span<const float>(data_).subspan(r * cols_, cols_);
+}
+
+void Matrix::fill(float value) {
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0F);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+    KINET_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in +=");
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += other.data_[i];
+    }
+    return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+    KINET_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in -=");
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] -= other.data_[i];
+    }
+    return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) {
+    for (auto& v : data_) {
+        v *= scalar;
+    }
+    return *this;
+}
+
+void Matrix::append_rows(const Matrix& other) {
+    if (other.empty()) {
+        return;
+    }
+    if (empty()) {
+        *this = other;
+        return;
+    }
+    KINET_CHECK(cols_ == other.cols_, "append_rows: column mismatch");
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+    rows_ += other.rows_;
+}
+
+Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
+    Matrix out(indices.size(), cols_);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        KINET_CHECK(indices[i] < rows_, "gather_rows index out of range");
+        const auto src = row(indices[i]);
+        std::copy(src.begin(), src.end(), out.row(i).begin());
+    }
+    return out;
+}
+
+Matrix Matrix::slice_cols(std::size_t begin, std::size_t end) const {
+    KINET_CHECK(begin <= end && end <= cols_, "slice_cols range invalid");
+    Matrix out(rows_, end - begin);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const auto src = row(r);
+        std::copy(src.begin() + static_cast<std::ptrdiff_t>(begin),
+                  src.begin() + static_cast<std::ptrdiff_t>(end), out.row(r).begin());
+    }
+    return out;
+}
+
+Matrix Matrix::hcat(const Matrix& a, const Matrix& b) {
+    if (a.empty()) {
+        return b;
+    }
+    if (b.empty()) {
+        return a;
+    }
+    KINET_CHECK(a.rows() == b.rows(), "hcat: row mismatch");
+    Matrix out(a.rows(), a.cols() + b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        auto dst = out.row(r);
+        const auto ra = a.row(r);
+        const auto rb = b.row(r);
+        std::copy(ra.begin(), ra.end(), dst.begin());
+        std::copy(rb.begin(), rb.end(), dst.begin() + static_cast<std::ptrdiff_t>(a.cols()));
+    }
+    return out;
+}
+
+}  // namespace kinet::tensor

@@ -1,0 +1,75 @@
+// Dense row-major float32 matrix — the numeric workhorse under the neural
+// stack.  Deliberately minimal: 2-D only, contiguous storage, bounds-checked
+// element access in debug-friendly form, and value semantics throughout.
+#ifndef KINETGAN_TENSOR_MATRIX_H
+#define KINETGAN_TENSOR_MATRIX_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace kinet::tensor {
+
+/// Dense rows x cols matrix of float with value semantics.
+class Matrix {
+public:
+    Matrix() = default;
+    /// Zero-initialised rows x cols matrix.
+    Matrix(std::size_t rows, std::size_t cols);
+    /// Fill-initialised matrix.
+    Matrix(std::size_t rows, std::size_t cols, float fill);
+    /// From nested initializer list (row major); rows must be equal length.
+    Matrix(std::initializer_list<std::initializer_list<float>> init);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    [[nodiscard]] float& at(std::size_t r, std::size_t c);
+    [[nodiscard]] float at(std::size_t r, std::size_t c) const;
+
+    /// Unchecked element access for hot loops.
+    float& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+    float operator()(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+    [[nodiscard]] std::span<float> row(std::size_t r);
+    [[nodiscard]] std::span<const float> row(std::size_t r) const;
+
+    [[nodiscard]] std::span<float> data() noexcept { return data_; }
+    [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+    void fill(float value);
+    /// Resets to rows x cols zeros (reuses storage when shapes match).
+    void resize(std::size_t rows, std::size_t cols);
+
+    /// In-place elementwise operations (shape-checked).
+    Matrix& operator+=(const Matrix& other);
+    Matrix& operator-=(const Matrix& other);
+    Matrix& operator*=(float scalar);
+
+    /// Appends the rows of `other` (column counts must match; an empty
+    /// matrix may absorb anything).
+    void append_rows(const Matrix& other);
+
+    /// Returns a matrix holding the selected rows, in the given order.
+    [[nodiscard]] Matrix gather_rows(std::span<const std::size_t> indices) const;
+
+    /// Returns columns [begin, end) as a new matrix.
+    [[nodiscard]] Matrix slice_cols(std::size_t begin, std::size_t end) const;
+
+    /// Horizontal concatenation (row counts must match).
+    [[nodiscard]] static Matrix hcat(const Matrix& a, const Matrix& b);
+
+    friend bool operator==(const Matrix& a, const Matrix& b) = default;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+}  // namespace kinet::tensor
+
+#endif  // KINETGAN_TENSOR_MATRIX_H

@@ -1,0 +1,219 @@
+#include "src/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace kinet::tensor {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+    KINET_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    Matrix c(m, n);
+    // i-k-j ordering: the inner loop streams rows of B and C.
+    for (std::size_t i = 0; i < m; ++i) {
+        auto crow = c.row(i);
+        const auto arow = a.row(i);
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0F) {
+                continue;
+            }
+            const auto brow = b.row(p);
+            for (std::size_t j = 0; j < n; ++j) {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+    KINET_CHECK(a.rows() == b.rows(), "matmul_tn: dimension mismatch");
+    const std::size_t m = a.cols();
+    const std::size_t k = a.rows();
+    const std::size_t n = b.cols();
+    Matrix c(m, n);
+    for (std::size_t p = 0; p < k; ++p) {
+        const auto arow = a.row(p);
+        const auto brow = b.row(p);
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0F) {
+                continue;
+            }
+            auto crow = c.row(i);
+            for (std::size_t j = 0; j < n; ++j) {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+    KINET_CHECK(a.cols() == b.cols(), "matmul_nt: dimension mismatch");
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.rows();
+    Matrix c(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto arow = a.row(i);
+        auto crow = c.row(i);
+        for (std::size_t j = 0; j < n; ++j) {
+            const auto brow = b.row(j);
+            float acc = 0.0F;
+            for (std::size_t p = 0; p < k; ++p) {
+                acc += arow[p] * brow[p];
+            }
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+Matrix transpose(const Matrix& a) {
+    Matrix out(a.cols(), a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            out(c, r) = a(r, c);
+        }
+    }
+    return out;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+    Matrix out = a;
+    out += b;
+    return out;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+    Matrix out = a;
+    out -= b;
+    return out;
+}
+
+Matrix mul(const Matrix& a, const Matrix& b) {
+    KINET_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "mul: shape mismatch");
+    Matrix out = a;
+    auto od = out.data();
+    const auto bd = b.data();
+    for (std::size_t i = 0; i < od.size(); ++i) {
+        od[i] *= bd[i];
+    }
+    return out;
+}
+
+Matrix map(const Matrix& a, const std::function<float(float)>& f) {
+    Matrix out = a;
+    for (auto& v : out.data()) {
+        v = f(v);
+    }
+    return out;
+}
+
+Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
+    KINET_CHECK(row.rows() == 1 && row.cols() == a.cols(), "add_row_broadcast: bad row shape");
+    Matrix out = a;
+    const auto rv = row.row(0);
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        auto orow = out.row(r);
+        for (std::size_t c = 0; c < orow.size(); ++c) {
+            orow[c] += rv[c];
+        }
+    }
+    return out;
+}
+
+Matrix col_sum(const Matrix& a) {
+    Matrix out(1, a.cols());
+    auto acc = out.row(0);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const auto arow = a.row(r);
+        for (std::size_t c = 0; c < arow.size(); ++c) {
+            acc[c] += arow[c];
+        }
+    }
+    return out;
+}
+
+Matrix col_mean(const Matrix& a) {
+    KINET_CHECK(a.rows() > 0, "col_mean of empty matrix");
+    Matrix out = col_sum(a);
+    out *= 1.0F / static_cast<float>(a.rows());
+    return out;
+}
+
+Matrix col_var(const Matrix& a) {
+    KINET_CHECK(a.rows() > 0, "col_var of empty matrix");
+    const Matrix mean = col_mean(a);
+    Matrix out(1, a.cols());
+    auto acc = out.row(0);
+    const auto mv = mean.row(0);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const auto arow = a.row(r);
+        for (std::size_t c = 0; c < arow.size(); ++c) {
+            const float d = arow[c] - mv[c];
+            acc[c] += d * d;
+        }
+    }
+    out *= 1.0F / static_cast<float>(a.rows());
+    return out;
+}
+
+double total_sum(const Matrix& a) {
+    double acc = 0.0;
+    for (float v : a.data()) {
+        acc += v;
+    }
+    return acc;
+}
+
+std::vector<std::size_t> row_argmax(const Matrix& a, std::size_t begin, std::size_t end) {
+    KINET_CHECK(begin < end && end <= a.cols(), "row_argmax: bad column range");
+    std::vector<std::size_t> out(a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const auto row = a.row(r);
+        std::size_t best = begin;
+        for (std::size_t c = begin + 1; c < end; ++c) {
+            if (row[c] > row[best]) {
+                best = c;
+            }
+        }
+        out[r] = best - begin;
+    }
+    return out;
+}
+
+void softmax_rows_inplace(Matrix& a, std::size_t begin, std::size_t end) {
+    KINET_CHECK(begin < end && end <= a.cols(), "softmax: bad column range");
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        auto row = a.row(r);
+        float mx = row[begin];
+        for (std::size_t c = begin + 1; c < end; ++c) {
+            mx = std::max(mx, row[c]);
+        }
+        float denom = 0.0F;
+        for (std::size_t c = begin; c < end; ++c) {
+            row[c] = std::exp(row[c] - mx);
+            denom += row[c];
+        }
+        for (std::size_t c = begin; c < end; ++c) {
+            row[c] /= denom;
+        }
+    }
+}
+
+double frobenius_norm(const Matrix& a) {
+    double acc = 0.0;
+    for (float v : a.data()) {
+        acc += static_cast<double>(v) * static_cast<double>(v);
+    }
+    return std::sqrt(acc);
+}
+
+}  // namespace kinet::tensor

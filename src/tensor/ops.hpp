@@ -1,0 +1,58 @@
+// Free-function linear-algebra kernels over Matrix.
+//
+// These are the only numeric kernels the neural stack uses; everything else
+// is composed from them.  matmul uses a cache-blocked i-k-j loop which is
+// ample for the layer sizes in this project (micro-benched in bench_micro).
+#ifndef KINETGAN_TENSOR_OPS_H
+#define KINETGAN_TENSOR_OPS_H
+
+#include <functional>
+
+#include "src/tensor/matrix.hpp"
+
+namespace kinet::tensor {
+
+/// C = A · B  (A: m×k, B: k×n).
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ · B (without materialising Aᵀ).
+[[nodiscard]] Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+/// C = A · Bᵀ (without materialising Bᵀ).
+[[nodiscard]] Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+[[nodiscard]] Matrix transpose(const Matrix& a);
+
+/// Elementwise binary ops (shape-checked).
+[[nodiscard]] Matrix add(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix sub(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix mul(const Matrix& a, const Matrix& b);
+
+/// Elementwise map.
+[[nodiscard]] Matrix map(const Matrix& a, const std::function<float(float)>& f);
+
+/// Adds a 1×cols row vector to every row of `a`.
+[[nodiscard]] Matrix add_row_broadcast(const Matrix& a, const Matrix& row);
+
+/// Column-wise sum / mean as 1×cols matrices.
+[[nodiscard]] Matrix col_sum(const Matrix& a);
+[[nodiscard]] Matrix col_mean(const Matrix& a);
+/// Column-wise (population) variance as 1×cols.
+[[nodiscard]] Matrix col_var(const Matrix& a);
+
+/// Sum of all entries.
+[[nodiscard]] double total_sum(const Matrix& a);
+
+/// Index of the maximum entry within columns [begin, end) for each row.
+[[nodiscard]] std::vector<std::size_t> row_argmax(const Matrix& a, std::size_t begin,
+                                                  std::size_t end);
+
+/// Row-wise softmax over columns [begin, end) written in place.
+void softmax_rows_inplace(Matrix& a, std::size_t begin, std::size_t end);
+
+/// Frobenius norm.
+[[nodiscard]] double frobenius_norm(const Matrix& a);
+
+}  // namespace kinet::tensor
+
+#endif  // KINETGAN_TENSOR_OPS_H

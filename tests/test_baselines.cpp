@@ -1,0 +1,182 @@
+// Smoke + behaviour tests for the five baseline synthesizers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baselines/cond_tabular_gan.hpp"
+#include "src/common/check.hpp"
+#include "src/baselines/pategan.hpp"
+#include "src/baselines/tablegan.hpp"
+#include "src/baselines/tvae.hpp"
+#include "src/netsim/lab_simulator.hpp"
+
+namespace {
+
+using namespace kinet::baselines;  // NOLINT
+using kinet::data::Table;
+using kinet::gan::Synthesizer;
+
+Table small_lab(std::size_t rows = 700) {
+    kinet::netsim::LabSimOptions opts;
+    opts.records = rows;
+    opts.seed = 21;
+    return kinet::netsim::LabTrafficSimulator(opts).generate();
+}
+
+void check_fit_sample(Synthesizer& model, const Table& real, const std::string& expected_name) {
+    EXPECT_EQ(model.name(), expected_name);
+    model.fit(real);
+    EXPECT_FALSE(model.report().generator_loss.empty());
+    const Table synth = model.sample(150);
+    EXPECT_EQ(synth.rows(), 150U);
+    EXPECT_EQ(synth.cols(), real.cols());
+    for (std::size_t c = 0; c < synth.cols(); ++c) {
+        for (std::size_t r = 0; r < synth.rows(); ++r) {
+            EXPECT_TRUE(std::isfinite(synth.value(r, c)));
+            if (synth.meta(c).is_categorical()) {
+                EXPECT_LT(synth.category_at(r, c), synth.meta(c).categories.size());
+            }
+        }
+    }
+}
+
+CondTabularGanOptions tiny_gan_options() {
+    CondTabularGanOptions opts;
+    opts.gan.epochs = 8;
+    opts.gan.hidden_dim = 40;
+    opts.gan.noise_dim = 20;
+    opts.gan.batch_size = 64;
+    opts.transformer.max_modes = 3;
+    return opts;
+}
+
+TEST(Baselines, CtGanFitsAndSamples) {
+    const Table real = small_lab();
+    CtGan model(kinet::netsim::lab_conditional_columns(), tiny_gan_options());
+    check_fit_sample(model, real, "CTGAN");
+}
+
+TEST(Baselines, OctGanUsesOdeBlocksAndTrains) {
+    const Table real = small_lab(500);
+    auto opts = tiny_gan_options();
+    opts.gan.epochs = 5;
+    opts.ode_steps = 2;
+    OctGan model(kinet::netsim::lab_conditional_columns(), opts);
+    check_fit_sample(model, real, "OCTGAN");
+}
+
+TEST(Baselines, TvaeFitsAndSamples) {
+    const Table real = small_lab();
+    TvaeOptions opts;
+    opts.epochs = 10;
+    opts.hidden_dim = 48;
+    opts.latent_dim = 16;
+    opts.transformer.max_modes = 3;
+    Tvae model(opts);
+    check_fit_sample(model, real, "TVAE");
+}
+
+TEST(Baselines, TvaeLossDecreases) {
+    const Table real = small_lab(600);
+    TvaeOptions opts;
+    opts.epochs = 15;
+    opts.transformer.max_modes = 3;
+    Tvae model(opts);
+    model.fit(real);
+    const auto& losses = model.report().generator_loss;
+    ASSERT_GE(losses.size(), 10U);
+    EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(Baselines, TableGanFitsAndSamples) {
+    const Table real = small_lab();
+    TableGanOptions opts;
+    opts.gan.epochs = 8;
+    opts.gan.hidden_dim = 40;
+    opts.label_column = kinet::netsim::lab_label_column();
+    TableGan model(opts);
+    check_fit_sample(model, real, "TABLEGAN");
+}
+
+TEST(Baselines, TableGanRejectsContinuousLabelColumn) {
+    const Table real = small_lab(100);
+    TableGanOptions opts;
+    opts.label_column = 6;  // pkt_count: continuous
+    TableGan model(opts);
+    EXPECT_THROW(model.fit(real), kinet::Error);
+}
+
+TEST(Baselines, PateGanFitsAndSamples) {
+    const Table real = small_lab();
+    PateGanOptions opts;
+    opts.gan.epochs = 6;
+    opts.gan.hidden_dim = 40;
+    opts.teachers = 3;
+    opts.transformer.max_modes = 3;
+    PateGan model(opts);
+    check_fit_sample(model, real, "PATEGAN");
+}
+
+TEST(Baselines, PateGanRequiresAtLeastTwoTeachers) {
+    PateGanOptions opts;
+    opts.teachers = 1;
+    EXPECT_THROW(PateGan{opts}, kinet::Error);
+}
+
+TEST(Baselines, SampleBeforeFitThrowsEverywhere) {
+    CtGan ctgan(kinet::netsim::lab_conditional_columns(), tiny_gan_options());
+    EXPECT_THROW((void)ctgan.sample(5), kinet::Error);
+    Tvae tvae;
+    EXPECT_THROW((void)tvae.sample(5), kinet::Error);
+    TableGanOptions tg_opts;
+    tg_opts.label_column = kinet::netsim::lab_label_column();
+    TableGan tablegan(tg_opts);
+    EXPECT_THROW((void)tablegan.sample(5), kinet::Error);
+    PateGan pategan;
+    EXPECT_THROW((void)pategan.sample(5), kinet::Error);
+}
+
+TEST(Baselines, CtGanDiscriminatorScoresAreProbabilities) {
+    const Table real = small_lab(300);
+    auto opts = tiny_gan_options();
+    opts.gan.epochs = 4;
+    CtGan model(kinet::netsim::lab_conditional_columns(), opts);
+    model.fit(real);
+    const auto scores = model.discriminator_scores(real);
+    EXPECT_EQ(scores.size(), real.rows());
+    for (double s : scores) {
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+    }
+}
+
+// Every synthesizer draws sane category marginals: sampled distributions put
+// most mass on categories that exist in the real data.
+TEST(Baselines, SampledProtocolsExistInRealData) {
+    const Table real = small_lab(600);
+    std::vector<std::unique_ptr<Synthesizer>> models;
+    models.push_back(
+        std::make_unique<CtGan>(kinet::netsim::lab_conditional_columns(), tiny_gan_options()));
+    TvaeOptions tv;
+    tv.epochs = 8;
+    tv.transformer.max_modes = 3;
+    models.push_back(std::make_unique<Tvae>(tv));
+
+    const auto real_counts = real.category_counts(real.column_index("protocol"));
+    for (auto& model : models) {
+        model->fit(real);
+        const Table synth = model->sample(200);
+        const auto synth_counts = synth.category_counts(synth.column_index("protocol"));
+        std::size_t mass_on_real = 0;
+        std::size_t total = 0;
+        for (std::size_t k = 0; k < synth_counts.size(); ++k) {
+            total += synth_counts[k];
+            if (real_counts[k] > 0) {
+                mass_on_real += synth_counts[k];
+            }
+        }
+        EXPECT_GT(static_cast<double>(mass_on_real) / total, 0.8) << model->name();
+    }
+}
+
+}  // namespace

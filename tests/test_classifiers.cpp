@@ -1,0 +1,168 @@
+// Tests for the six NIDS classifiers on synthetic separable problems.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.hpp"
+#include "src/eval/classifiers/decision_tree.hpp"
+#include "src/eval/classifiers/knn.hpp"
+#include "src/eval/classifiers/logistic_regression.hpp"
+#include "src/eval/classifiers/mlp_classifier.hpp"
+#include "src/eval/classifiers/naive_bayes.hpp"
+#include "src/eval/classifiers/random_forest.hpp"
+
+namespace {
+
+using kinet::Rng;
+using namespace kinet::eval;  // NOLINT
+using Matrix = kinet::tensor::Matrix;
+
+// Three Gaussian blobs in 2-D.
+struct Blobs {
+    Matrix x;
+    std::vector<std::size_t> y;
+};
+
+Blobs make_blobs(std::size_t per_class, double spread, Rng& rng) {
+    const double centers[3][2] = {{0.0, 0.0}, {5.0, 5.0}, {-5.0, 5.0}};
+    Blobs b;
+    b.x.resize(3 * per_class, 2);
+    b.y.resize(3 * per_class);
+    for (std::size_t k = 0; k < 3; ++k) {
+        for (std::size_t i = 0; i < per_class; ++i) {
+            const std::size_t r = k * per_class + i;
+            b.x(r, 0) = static_cast<float>(rng.normal(centers[k][0], spread));
+            b.x(r, 1) = static_cast<float>(rng.normal(centers[k][1], spread));
+            b.y[r] = k;
+        }
+    }
+    return b;
+}
+
+// XOR-style non-linear problem (defeats linear models).
+Blobs make_xor(std::size_t n, Rng& rng) {
+    Blobs b;
+    b.x.resize(n, 2);
+    b.y.resize(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        const bool q1 = rng.bernoulli(0.5);
+        const bool q2 = rng.bernoulli(0.5);
+        b.x(r, 0) = static_cast<float>((q1 ? 1.0 : -1.0) + rng.normal(0.0, 0.15));
+        b.x(r, 1) = static_cast<float>((q2 ? 1.0 : -1.0) + rng.normal(0.0, 0.15));
+        b.y[r] = (q1 != q2) ? 1 : 0;
+    }
+    return b;
+}
+
+std::vector<std::unique_ptr<Classifier>> full_suite() {
+    std::vector<std::unique_ptr<Classifier>> suite;
+    suite.push_back(std::make_unique<DecisionTree>());
+    suite.push_back(std::make_unique<RandomForest>());
+    suite.push_back(std::make_unique<LogisticRegression>());
+    suite.push_back(std::make_unique<Knn>());
+    suite.push_back(std::make_unique<GaussianNaiveBayes>());
+    suite.push_back(std::make_unique<MlpClassifier>());
+    return suite;
+}
+
+TEST(Classifiers, AllSolveSeparableBlobs) {
+    Rng rng(1100);
+    const Blobs train = make_blobs(150, 0.7, rng);
+    const Blobs test = make_blobs(60, 0.7, rng);
+    for (auto& clf : full_suite()) {
+        clf->fit(train.x, train.y, 3);
+        const auto pred = clf->predict(test.x);
+        EXPECT_GT(accuracy(pred, test.y), 0.9) << clf->name();
+        EXPECT_GT(macro_f1(pred, test.y, 3), 0.9) << clf->name();
+    }
+}
+
+TEST(Classifiers, NonLinearModelsSolveXorLinearOnesCannot) {
+    Rng rng(1101);
+    const Blobs train = make_xor(500, rng);
+    const Blobs test = make_xor(200, rng);
+
+    DecisionTree tree;
+    tree.fit(train.x, train.y, 2);
+    EXPECT_GT(accuracy(tree.predict(test.x), test.y), 0.95);
+
+    MlpClassifier mlp;
+    mlp.fit(train.x, train.y, 2);
+    EXPECT_GT(accuracy(mlp.predict(test.x), test.y), 0.9);
+
+    LogisticRegression logreg;
+    logreg.fit(train.x, train.y, 2);
+    EXPECT_LT(accuracy(logreg.predict(test.x), test.y), 0.75);  // linear limit
+}
+
+TEST(DecisionTree, RespectsDepthLimit) {
+    Rng rng(1102);
+    const Blobs train = make_blobs(100, 1.5, rng);
+    DecisionTreeOptions opts;
+    opts.max_depth = 1;
+    DecisionTree stump(opts);
+    stump.fit(train.x, train.y, 3);
+    EXPECT_LE(stump.node_count(), 3U);  // root + two leaves
+}
+
+TEST(DecisionTree, HandlesSingleClassGracefully) {
+    Matrix x(10, 2, 1.0F);
+    const std::vector<std::size_t> y(10, 1);
+    DecisionTree tree;
+    tree.fit(x, y, 3);
+    const auto pred = tree.predict(x);
+    for (std::size_t p : pred) {
+        EXPECT_EQ(p, 1U);
+    }
+}
+
+TEST(RandomForest, BeatsSingleStumpOnNoisyData) {
+    Rng rng(1103);
+    const Blobs train = make_blobs(150, 2.5, rng);
+    const Blobs test = make_blobs(80, 2.5, rng);
+
+    DecisionTreeOptions stump_opts;
+    stump_opts.max_depth = 2;
+    DecisionTree stump(stump_opts);
+    stump.fit(train.x, train.y, 3);
+
+    RandomForest forest;
+    forest.fit(train.x, train.y, 3);
+
+    EXPECT_GE(accuracy(forest.predict(test.x), test.y),
+              accuracy(stump.predict(test.x), test.y));
+}
+
+TEST(Knn, SubsamplesLargeTrainingSets) {
+    Rng rng(1104);
+    const Blobs train = make_blobs(3000, 0.7, rng);  // 9000 rows > cap
+    KnnOptions opts;
+    opts.max_train_rows = 1000;
+    Knn knn(opts);
+    knn.fit(train.x, train.y, 3);
+    const Blobs test = make_blobs(50, 0.7, rng);
+    EXPECT_GT(accuracy(knn.predict(test.x), test.y), 0.9);
+}
+
+TEST(NaiveBayes, HandlesClassAbsentFromTraining) {
+    Rng rng(1105);
+    const Blobs train = make_blobs(100, 0.5, rng);
+    GaussianNaiveBayes nb;
+    nb.fit(train.x, train.y, 5);  // classes 3, 4 never seen
+    const auto pred = nb.predict(train.x);
+    for (std::size_t p : pred) {
+        EXPECT_LT(p, 3U);  // never predicts unseen classes
+    }
+}
+
+TEST(Metrics, AccuracyAndMacroF1EdgeCases) {
+    const std::vector<std::size_t> truth = {0, 0, 1, 1};
+    const std::vector<std::size_t> perfect = truth;
+    const std::vector<std::size_t> inverted = {1, 1, 0, 0};
+    EXPECT_DOUBLE_EQ(accuracy(perfect, truth), 1.0);
+    EXPECT_DOUBLE_EQ(accuracy(inverted, truth), 0.0);
+    EXPECT_DOUBLE_EQ(macro_f1(perfect, truth, 2), 1.0);
+    EXPECT_DOUBLE_EQ(macro_f1(inverted, truth, 2), 0.0);
+}
+
+}  // namespace

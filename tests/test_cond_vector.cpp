@@ -1,0 +1,97 @@
+// Tests for the conditional vector C = C1 ⊕ … ⊕ Cn (Eq. 1-2).
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/gan/cond_vector.hpp"
+
+namespace {
+
+using kinet::Rng;
+using namespace kinet::data;  // NOLINT
+using kinet::gan::CondVectorBuilder;
+
+std::vector<ColumnMeta> schema() {
+    return {
+        ColumnMeta::categorical_column("proto", {"tcp", "udp", "icmp"}),
+        ColumnMeta::continuous_column("bytes"),
+        ColumnMeta::categorical_column("event", {"dns", "http", "mqtt", "ntp"}),
+    };
+}
+
+CondDraw make_draw(std::size_t proto, std::size_t event, std::size_t anchor_col,
+                   std::size_t anchor_val) {
+    CondDraw d;
+    d.row = 0;
+    d.values = {proto, event};
+    d.anchor_column = anchor_col;
+    d.anchor_value = anchor_val;
+    return d;
+}
+
+TEST(CondVector, LayoutConcatenatesBlocks) {
+    const CondVectorBuilder builder(schema(), {0, 2});
+    EXPECT_EQ(builder.width(), 7U);  // 3 + 4
+    EXPECT_EQ(builder.block_count(), 2U);
+    EXPECT_EQ(builder.block_offset(0), 0U);
+    EXPECT_EQ(builder.block_width(0), 3U);
+    EXPECT_EQ(builder.block_offset(1), 3U);
+    EXPECT_EQ(builder.block_width(1), 4U);
+}
+
+TEST(CondVector, EncodeSetsOneHotPerBlock) {
+    const CondVectorBuilder builder(schema(), {0, 2});
+    const std::vector<CondDraw> draws = {make_draw(1, 3, 0, 1), make_draw(0, 2, 1, 2)};
+    const auto c = builder.encode(draws);
+    EXPECT_EQ(c.rows(), 2U);
+    EXPECT_EQ(c.cols(), 7U);
+
+    // Row 0: proto=udp (index 1), event=ntp (index 3).
+    EXPECT_FLOAT_EQ(c(0, 1), 1.0F);
+    EXPECT_FLOAT_EQ(c(0, 3 + 3), 1.0F);
+    float total0 = 0.0F;
+    for (std::size_t j = 0; j < 7; ++j) {
+        total0 += c(0, j);
+    }
+    EXPECT_FLOAT_EQ(total0, 2.0F);  // exactly one hot per block
+}
+
+TEST(CondVector, AnchorOnlyEncodingLeavesOtherBlocksZero) {
+    const CondVectorBuilder builder(schema(), {0, 2});
+    const std::vector<CondDraw> draws = {make_draw(1, 3, 1, 3)};
+    const auto c = builder.encode_anchor_only(draws);
+    float total = 0.0F;
+    for (std::size_t j = 0; j < 7; ++j) {
+        total += c(0, j);
+    }
+    EXPECT_FLOAT_EQ(total, 1.0F);
+    EXPECT_FLOAT_EQ(c(0, 3 + 3), 1.0F);  // only the anchored event block
+}
+
+TEST(CondVector, DecodeRowRecoversValues) {
+    const CondVectorBuilder builder(schema(), {0, 2});
+    const std::vector<CondDraw> draws = {make_draw(2, 1, 0, 2)};
+    const auto c = builder.encode(draws);
+    const auto decoded = builder.decode_row(c, 0);
+    ASSERT_EQ(decoded.size(), 2U);
+    EXPECT_EQ(decoded[0], 2U);
+    EXPECT_EQ(decoded[1], 1U);
+}
+
+TEST(CondVector, RejectsContinuousColumns) {
+    EXPECT_THROW(CondVectorBuilder(schema(), {1}), kinet::Error);
+    EXPECT_THROW(CondVectorBuilder(schema(), {}), kinet::Error);
+    EXPECT_THROW(CondVectorBuilder(schema(), {9}), kinet::Error);
+}
+
+TEST(CondVector, RejectsOutOfRangeValues) {
+    const CondVectorBuilder builder(schema(), {0});
+    CondDraw d;
+    d.values = {7};  // proto has only 3 categories
+    d.anchor_column = 0;
+    d.anchor_value = 7;
+    const std::vector<CondDraw> draws = {d};
+    EXPECT_THROW((void)builder.encode(draws), kinet::Error);
+    EXPECT_THROW((void)builder.encode_anchor_only(draws), kinet::Error);
+}
+
+}  // namespace

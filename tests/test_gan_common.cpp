@@ -1,0 +1,173 @@
+// Tests for the shared GAN machinery: OutputActivation, cond penalty,
+// network factories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/transformer.hpp"
+#include "src/gan/gan_common.hpp"
+
+namespace {
+
+using kinet::Rng;
+using namespace kinet::data;   // NOLINT
+using namespace kinet::gan;    // NOLINT
+using Matrix = kinet::tensor::Matrix;
+
+std::vector<OutputSpan> demo_spans() {
+    // [alpha(1), mode(2), cat(3)] = width 6
+    std::vector<OutputSpan> spans(3);
+    spans[0] = {0, SpanKind::continuous_alpha, 0, 1};
+    spans[1] = {0, SpanKind::mode_onehot, 1, 2};
+    spans[2] = {1, SpanKind::category_onehot, 3, 3};
+    return spans;
+}
+
+TEST(OutputActivation, ProducesTanhAlphaAndSimplexSpans) {
+    Rng rng(900);
+    OutputActivation act(demo_spans(), 0.3F, rng);
+    Matrix logits(10, 6);
+    for (auto& v : logits.data()) {
+        v = static_cast<float>(rng.uniform(-3.0, 3.0));
+    }
+    const Matrix out = act.forward(logits, true);
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        EXPECT_GE(out(r, 0), -1.0F);
+        EXPECT_LE(out(r, 0), 1.0F);
+        EXPECT_NEAR(out(r, 1) + out(r, 2), 1.0F, 1e-5F);
+        EXPECT_NEAR(out(r, 3) + out(r, 4) + out(r, 5), 1.0F, 1e-5F);
+    }
+}
+
+TEST(OutputActivation, BackwardShapesAndTanhGradient) {
+    Rng rng(901);
+    OutputActivation act(demo_spans(), 0.3F, rng);
+    Matrix logits(4, 6, 0.5F);
+    const Matrix out = act.forward(logits, true);
+    Matrix grad_out(4, 6, 1.0F);
+    const Matrix grad_in = act.backward(grad_out);
+    EXPECT_EQ(grad_in.rows(), 4U);
+    EXPECT_EQ(grad_in.cols(), 6U);
+    // Alpha column: d tanh = 1 - y^2.
+    for (std::size_t r = 0; r < 4; ++r) {
+        const float y = out(r, 0);
+        EXPECT_NEAR(grad_in(r, 0), 1.0F - y * y, 1e-5F);
+    }
+}
+
+TEST(OutputActivation, GumbelSamplingIsStochasticAcrossForwards) {
+    Rng rng(902);
+    OutputActivation act(demo_spans(), 0.2F, rng);
+    const Matrix logits(1, 6, 0.0F);
+    const Matrix a = act.forward(logits, true);
+    const Matrix b = act.forward(logits, true);
+    EXPECT_NE(a, b);  // fresh Gumbel noise each pass
+}
+
+TEST(Factories, GeneratorAndDiscriminatorShapes) {
+    Rng rng(903);
+    auto gen = make_generator_trunk(16, 32, 2, 10, rng);
+    const Matrix z(4, 16, 0.1F);
+    const Matrix out = gen->forward(z, true);
+    EXPECT_EQ(out.rows(), 4U);
+    EXPECT_EQ(out.cols(), 10U);
+
+    auto disc = make_discriminator(10, 32, 2, 0.3F, rng);
+    const Matrix logit = disc->forward(out, true);
+    EXPECT_EQ(logit.cols(), 1U);
+}
+
+TEST(CondPenalty, ZeroWhenGeneratorCopiesCondition) {
+    Rng rng(904);
+    const std::vector<ColumnMeta> schema = {
+        ColumnMeta::categorical_column("a", {"x", "y", "z"}),
+    };
+    const CondVectorBuilder builder(schema, {0});
+    std::vector<OutputSpan> spans(1);
+    spans[0] = {0, SpanKind::category_onehot, 0, 3};
+
+    CondDraw d;
+    d.values = {1};
+    d.anchor_column = 0;
+    d.anchor_value = 1;
+    const std::vector<CondDraw> draws = {d};
+    const Matrix cond = builder.encode(draws);
+
+    // Generator output that copies the condition (with epsilon smoothing).
+    Matrix output(1, 3, 1e-6F);
+    output(0, 1) = 1.0F - 2e-6F;
+    const auto perfect = cond_bce_penalty(output, cond, builder, spans);
+
+    // Output that contradicts the condition.
+    Matrix wrong(1, 3, 1e-6F);
+    wrong(0, 2) = 1.0F - 2e-6F;
+    const auto bad = cond_bce_penalty(wrong, cond, builder, spans);
+
+    EXPECT_LT(perfect.value, 0.01);
+    EXPECT_GT(bad.value, 1.0);
+    // Gradient pushes probability toward the conditioned value.
+    EXPECT_LT(bad.grad(0, 1), 0.0F);
+    EXPECT_GT(bad.grad(0, 2), 0.0F);
+}
+
+TEST(CondAdherence, CountsArgmaxMatches) {
+    const std::vector<ColumnMeta> schema = {
+        ColumnMeta::categorical_column("a", {"x", "y"}),
+    };
+    const CondVectorBuilder builder(schema, {0});
+    std::vector<OutputSpan> spans(1);
+    spans[0] = {0, SpanKind::category_onehot, 0, 2};
+
+    CondDraw d0;
+    d0.values = {0};
+    d0.anchor_column = 0;
+    d0.anchor_value = 0;
+    CondDraw d1 = d0;
+    d1.values = {1};
+    d1.anchor_value = 1;
+    const std::vector<CondDraw> draws = {d0, d1};
+    const Matrix cond = builder.encode(draws);
+
+    Matrix output(2, 2);
+    output(0, 0) = 0.9F;  // matches condition 0
+    output(0, 1) = 0.1F;
+    output(1, 0) = 0.7F;  // contradicts condition 1
+    output(1, 1) = 0.3F;
+    EXPECT_NEAR(cond_adherence_rate(output, cond, builder, spans), 0.5, 1e-9);
+}
+
+TEST(Helpers, NoiseAndTargets) {
+    Rng rng(905);
+    const Matrix z = sample_noise(1000, 4, rng);
+    double mean = 0.0;
+    for (float v : z.data()) {
+        mean += v;
+    }
+    mean /= static_cast<double>(z.size());
+    EXPECT_NEAR(mean, 0.0, 0.1);
+
+    const Matrix ones = constant_targets(3, 1.0F);
+    EXPECT_EQ(ones.rows(), 3U);
+    EXPECT_FLOAT_EQ(ones(2, 0), 1.0F);
+}
+
+TEST(SpanResolution, MapsCondBlocksToTransformerSpans) {
+    Rng rng(906);
+    Table t({
+        ColumnMeta::categorical_column("a", {"x", "y"}),
+        ColumnMeta::continuous_column("v"),
+        ColumnMeta::categorical_column("b", {"p", "q", "r"}),
+    });
+    for (int i = 0; i < 50; ++i) {
+        t.append_row({static_cast<float>(i % 2), static_cast<float>(i), static_cast<float>(i % 3)});
+    }
+    TableTransformer tf;
+    tf.fit(t, TransformerOptions{}, rng);
+    const CondVectorBuilder builder(t.schema(), {2, 0});
+    const auto spans = category_spans_for_blocks(tf, builder);
+    ASSERT_EQ(spans.size(), 2U);
+    EXPECT_EQ(spans[0].width, 3U);  // column "b"
+    EXPECT_EQ(spans[1].width, 2U);  // column "a"
+}
+
+}  // namespace

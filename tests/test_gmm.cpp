@@ -1,0 +1,141 @@
+// Tests for the 1-D Gaussian mixture (mode-specific normalization substrate).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/data/gmm.hpp"
+
+namespace {
+
+using kinet::Rng;
+using kinet::data::Gmm1D;
+
+std::vector<float> bimodal_sample(std::size_t n, Rng& rng) {
+    std::vector<float> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v.push_back(static_cast<float>(rng.bernoulli(0.5) ? rng.normal(-5.0, 0.5)
+                                                          : rng.normal(5.0, 0.5)));
+    }
+    return v;
+}
+
+TEST(Gmm, RecoversTwoWellSeparatedModes) {
+    Rng rng(400);
+    const auto values = bimodal_sample(3000, rng);
+    const auto gmm = Gmm1D::fit(values, 5, rng);
+    ASSERT_GE(gmm.component_count(), 2U);
+
+    // Several components may share a mode; the total weight parked near each
+    // of -5 and +5 must be roughly half, and no weight may sit in the gap.
+    double near_lo = 0.0;
+    double near_hi = 0.0;
+    double in_gap = 0.0;
+    for (const auto& c : gmm.components()) {
+        if (std::abs(c.mean + 5.0) < 1.0) {
+            near_lo += c.weight;
+        } else if (std::abs(c.mean - 5.0) < 1.0) {
+            near_hi += c.weight;
+        } else {
+            in_gap += c.weight;
+        }
+    }
+    EXPECT_NEAR(near_lo, 0.5, 0.1);
+    EXPECT_NEAR(near_hi, 0.5, 0.1);
+    EXPECT_LT(in_gap, 0.05);
+}
+
+TEST(Gmm, WeightsSumToOne) {
+    Rng rng(401);
+    const auto values = bimodal_sample(1000, rng);
+    const auto gmm = Gmm1D::fit(values, 4, rng);
+    double total = 0.0;
+    for (const auto& c : gmm.components()) {
+        total += c.weight;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Gmm, ConstantColumnYieldsSingleTightComponent) {
+    Rng rng(402);
+    const std::vector<float> values(100, 7.5F);
+    const auto gmm = Gmm1D::fit(values, 5, rng);
+    ASSERT_EQ(gmm.component_count(), 1U);
+    EXPECT_NEAR(gmm.component(0).mean, 7.5, 1e-6);
+    EXPECT_LE(gmm.component(0).stddev, 1e-3);
+}
+
+TEST(Gmm, ResponsibilitiesNormalizedAndPeaked) {
+    Rng rng(403);
+    const auto values = bimodal_sample(2000, rng);
+    const auto gmm = Gmm1D::fit(values, 3, rng);
+    const auto resp = gmm.responsibilities(-5.0);
+    double total = 0.0;
+    for (double r : resp) {
+        total += r;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // A point at a mode should be confidently assigned.
+    EXPECT_GT(resp[gmm.argmax_component(-5.0)], 0.9);
+}
+
+TEST(Gmm, SampleComponentFollowsPosterior) {
+    Rng rng(404);
+    const auto values = bimodal_sample(2000, rng);
+    const auto gmm = Gmm1D::fit(values, 3, rng);
+    // Sampled components must overwhelmingly sit at the queried mode (+5) —
+    // several components may share that mode, so compare means, not indices.
+    std::size_t at_mode = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto k = gmm.sample_component(5.0, rng);
+        at_mode += (std::abs(gmm.component(k).mean - 5.0) < 1.0) ? 1 : 0;
+    }
+    EXPECT_GT(at_mode, 190U);
+}
+
+TEST(Gmm, LogLikelihoodHigherAtModesThanInGap) {
+    Rng rng(405);
+    const auto values = bimodal_sample(2000, rng);
+    const auto gmm = Gmm1D::fit(values, 4, rng);
+    EXPECT_GT(gmm.log_likelihood(-5.0), gmm.log_likelihood(0.0));
+    EXPECT_GT(gmm.log_likelihood(5.0), gmm.log_likelihood(0.0));
+}
+
+TEST(Gmm, RejectsEmptyInput) {
+    Rng rng(406);
+    const std::vector<float> empty;
+    EXPECT_THROW((void)Gmm1D::fit(empty, 3, rng), kinet::Error);
+}
+
+TEST(Gmm, HandlesFewerPointsThanComponents) {
+    Rng rng(407);
+    const std::vector<float> values = {1.0F, 2.0F};
+    const auto gmm = Gmm1D::fit(values, 8, rng);
+    EXPECT_GE(gmm.component_count(), 1U);
+    EXPECT_LE(gmm.component_count(), 2U);
+}
+
+// Property sweep: pruning keeps the model valid across component budgets.
+class GmmBudget : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GmmBudget, FitIsValidForAnyBudget) {
+    Rng rng(408 + GetParam());
+    const auto values = bimodal_sample(800, rng);
+    const auto gmm = Gmm1D::fit(values, GetParam(), rng);
+    EXPECT_GE(gmm.component_count(), 1U);
+    EXPECT_LE(gmm.component_count(), GetParam());
+    double total = 0.0;
+    for (const auto& c : gmm.components()) {
+        EXPECT_GT(c.stddev, 0.0);
+        EXPECT_GE(c.weight, 0.0);
+        total += c.weight;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_TRUE(std::isfinite(gmm.log_likelihood(0.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, GmmBudget, ::testing::Values(1U, 2U, 3U, 5U, 8U));
+
+}  // namespace

@@ -1,0 +1,97 @@
+// End-to-end integration: simulate -> fit KiNETGAN -> sample -> evaluate
+// fidelity, utility and privacy, exactly as the benchmark harness does
+// (scaled down for CI).
+#include <gtest/gtest.h>
+
+#include "src/core/kinetgan.hpp"
+#include "src/data/split.hpp"
+#include "src/eval/metrics.hpp"
+#include "src/eval/privacy/membership_inference.hpp"
+#include "src/eval/tstr.hpp"
+#include "src/netsim/lab_simulator.hpp"
+#include "src/netsim/unsw_synthesizer.hpp"
+
+namespace {
+
+using kinet::data::Table;
+
+TEST(Integration, LabPipelineEndToEnd) {
+    // 1. Simulate the lab capture.
+    kinet::netsim::LabSimOptions sim_opts;
+    sim_opts.records = 1800;
+    sim_opts.seed = 51;
+    const Table data = kinet::netsim::LabTrafficSimulator(sim_opts).generate();
+
+    kinet::Rng rng(1);
+    const auto split = kinet::data::train_test_split(data, 0.3, rng,
+                                                     kinet::netsim::lab_label_column());
+
+    // 2. Train KiNETGAN on the training side.
+    kinet::core::KiNetGanOptions opts;
+    opts.gan.epochs = 30;
+    opts.gan.hidden_dim = 64;
+    opts.gan.batch_size = 128;
+    opts.gan.seed = 2;
+    opts.transformer.max_modes = 3;
+    const auto kg = kinet::kg::NetworkKg::build_lab();
+    kinet::core::KiNetGan model(kg.make_oracle(), kinet::netsim::lab_conditional_columns(), opts);
+    model.fit(split.train);
+
+    // 3. Sample a synthetic release of matching size.
+    const Table synth = model.sample(split.train.rows());
+    ASSERT_EQ(synth.rows(), split.train.rows());
+
+    // 4. Fidelity: synthetic is much closer to real than a degenerate
+    //    single-event release would be.
+    const double emd = kinet::eval::mean_emd(split.test, synth);
+    EXPECT_LT(emd, 0.35);
+
+    // 5. Utility: TSTR clearly beats random guessing (5 classes, majority
+    //    ~90% benign, so require > 0.5 as a meaningful floor).
+    const auto tstr = kinet::eval::evaluate_tstr(synth, split.test,
+                                                 kinet::netsim::lab_label_column());
+    EXPECT_GT(kinet::eval::average_accuracy(tstr), 0.5);
+
+    // 6. KG validity of the synthetic attribute combinations is high.
+    EXPECT_GT(model.kg_validity_rate(synth), 0.5);
+
+    // 7. Privacy: FBB membership inference should stay well below the
+    //    memorisation ceiling of 1.0.
+    std::vector<std::size_t> cont_cols = {6, 7, 8, 9};
+    kinet::eval::FbbOptions fbb;
+    fbb.feature_columns = cont_cols;
+    fbb.max_candidates = 250;
+    const double mia = kinet::eval::membership_inference_full_black_box(
+        split.train, split.test, synth, fbb);
+    EXPECT_LT(mia, 0.8);
+}
+
+TEST(Integration, UnswPipelineSmoke) {
+    kinet::netsim::UnswOptions sim_opts;
+    sim_opts.records = 1500;
+    sim_opts.seed = 52;
+    const Table data = kinet::netsim::UnswNb15Synthesizer(sim_opts).generate();
+
+    kinet::Rng rng(3);
+    const auto split = kinet::data::train_test_split(data, 0.3, rng,
+                                                     kinet::netsim::unsw_label_column());
+
+    kinet::core::KiNetGanOptions opts;
+    opts.gan.epochs = 15;
+    opts.gan.hidden_dim = 64;
+    opts.gan.seed = 4;
+    opts.transformer.max_modes = 3;
+    const auto kg = kinet::kg::NetworkKg::build_unsw();
+    kinet::core::KiNetGan model(kg.make_oracle(), kinet::netsim::unsw_conditional_columns(),
+                                opts);
+    model.fit(split.train);
+    const Table synth = model.sample(800);
+
+    EXPECT_EQ(synth.cols(), data.cols());
+    EXPECT_LT(kinet::eval::mean_emd(split.test, synth), 0.5);
+    const auto tstr = kinet::eval::evaluate_tstr(synth, split.test,
+                                                 kinet::netsim::unsw_label_column());
+    EXPECT_EQ(tstr.size(), 6U);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for conjunctive pattern queries.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/kg/query.hpp"
+
+namespace {
+
+using namespace kinet::kg;  // NOLINT
+
+TripleStore family_store() {
+    TripleStore s;
+    s.add("alice", "parentOf", "bob");
+    s.add("alice", "parentOf", "carol");
+    s.add("bob", "parentOf", "dave");
+    s.add("carol", "parentOf", "erin");
+    s.add("dave", "likes", "chess");
+    s.add("erin", "likes", "go");
+    return s;
+}
+
+TEST(Query, SingleVariableBinding) {
+    const auto store = family_store();
+    Query q;
+    q.where("alice", "parentOf", "?child");
+    const auto solutions = q.solve(store);
+    EXPECT_EQ(solutions.size(), 2U);
+    std::vector<std::string> children;
+    for (const auto& b : solutions) {
+        children.push_back(store.symbols().name(b.at("?child")));
+    }
+    std::sort(children.begin(), children.end());
+    EXPECT_EQ(children[0], "bob");
+    EXPECT_EQ(children[1], "carol");
+}
+
+TEST(Query, JoinAcrossPatterns) {
+    const auto store = family_store();
+    Query q;
+    q.where("?x", "parentOf", "?y").where("?y", "parentOf", "?z");
+    const auto solutions = q.solve(store);  // grandparent chains
+    EXPECT_EQ(solutions.size(), 2U);
+    for (const auto& b : solutions) {
+        EXPECT_EQ(store.symbols().name(b.at("?x")), "alice");
+    }
+}
+
+TEST(Query, ThreeWayJoinWithLeafConstraint) {
+    const auto store = family_store();
+    Query q;
+    q.where("?g", "parentOf", "?p")
+        .where("?p", "parentOf", "?c")
+        .where("?c", "likes", "chess");
+    const auto solutions = q.solve(store);
+    ASSERT_EQ(solutions.size(), 1U);
+    EXPECT_EQ(store.symbols().name(solutions[0].at("?p")), "bob");
+    EXPECT_EQ(store.symbols().name(solutions[0].at("?c")), "dave");
+}
+
+TEST(Query, RepeatedVariableMustBindConsistently) {
+    TripleStore s;
+    s.add("a", "knows", "a");  // self loop
+    s.add("a", "knows", "b");
+    Query q;
+    q.where("?x", "knows", "?x");
+    const auto solutions = q.solve(s);
+    ASSERT_EQ(solutions.size(), 1U);
+    EXPECT_EQ(s.symbols().name(solutions[0].at("?x")), "a");
+}
+
+TEST(Query, UnknownConstantYieldsNoSolutions) {
+    const auto store = family_store();
+    Query q;
+    q.where("nobody", "parentOf", "?x");
+    EXPECT_TRUE(q.solve(store).empty());
+}
+
+TEST(Query, UnsatisfiableJoinYieldsNoSolutions) {
+    const auto store = family_store();
+    Query q;
+    q.where("?x", "likes", "chess").where("?x", "parentOf", "?y");
+    EXPECT_TRUE(q.solve(store).empty());  // dave has no children
+}
+
+TEST(Query, EmptyQueryIsRejected) {
+    const auto store = family_store();
+    const Query q;
+    EXPECT_THROW((void)q.solve(store), kinet::Error);
+}
+
+TEST(Query, VariablePredicates) {
+    const auto store = family_store();
+    Query q;
+    q.where("dave", "?p", "?o");
+    const auto solutions = q.solve(store);
+    ASSERT_EQ(solutions.size(), 1U);
+    EXPECT_EQ(store.symbols().name(solutions[0].at("?p")), "likes");
+}
+
+}  // namespace

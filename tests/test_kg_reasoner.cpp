@@ -1,0 +1,119 @@
+// Tests for the forward-chaining RDFS reasoner.
+#include <gtest/gtest.h>
+
+#include "src/kg/ontology.hpp"
+#include "src/kg/reasoner.hpp"
+
+namespace {
+
+using namespace kinet::kg;  // NOLINT
+
+TEST(Reasoner, SubclassTransitivity) {
+    TripleStore store;
+    Ontology onto(store);
+    onto.declare_subclass("Camera", "IoTDevice");
+    onto.declare_subclass("IoTDevice", "Device");
+    onto.declare_subclass("Device", "Asset");
+
+    Reasoner::materialize(store);
+    EXPECT_TRUE(store.contains("Camera", vocab::rdfs_subclass_of, "Device"));
+    EXPECT_TRUE(store.contains("Camera", vocab::rdfs_subclass_of, "Asset"));
+    EXPECT_TRUE(store.contains("IoTDevice", vocab::rdfs_subclass_of, "Asset"));
+}
+
+TEST(Reasoner, TypeInheritance) {
+    TripleStore store;
+    Ontology onto(store);
+    onto.declare_subclass("Camera", "Device");
+    onto.assert_instance("blink1", "Camera");
+
+    Reasoner::materialize(store);
+    EXPECT_TRUE(store.contains("blink1", vocab::rdf_type, "Device"));
+}
+
+TEST(Reasoner, DomainAndRangeTyping) {
+    TripleStore store;
+    Ontology onto(store);
+    onto.declare_property("emits", "Device", "Event");
+    store.add("cam", "emits", "motion1");
+
+    Reasoner::materialize(store);
+    EXPECT_TRUE(store.contains("cam", vocab::rdf_type, "Device"));
+    EXPECT_TRUE(store.contains("motion1", vocab::rdf_type, "Event"));
+}
+
+TEST(Reasoner, RangeTypingSkipsNumericLiterals) {
+    TripleStore store;
+    Ontology onto(store);
+    onto.declare_property("minPort", "Signature", "Port");
+    store.add_number("cve", "minPort", 1000.0);
+
+    Reasoner::materialize(store);
+    // The literal must not be typed as a Port individual.
+    const SymbolId num = store.symbols().intern_number(1000.0);
+    const SymbolId type = store.symbols().find(vocab::rdf_type);
+    const SymbolId port = store.symbols().find("Port");
+    EXPECT_FALSE(store.contains(num, type, port));
+}
+
+TEST(Reasoner, MaterializeIsIdempotent) {
+    TripleStore store;
+    Ontology onto(store);
+    onto.declare_subclass("A", "B");
+    onto.declare_subclass("B", "C");
+    onto.assert_instance("x", "A");
+
+    const std::size_t first = Reasoner::materialize(store);
+    EXPECT_GT(first, 0U);
+    const std::size_t second = Reasoner::materialize(store);
+    EXPECT_EQ(second, 0U);
+}
+
+TEST(Reasoner, IsSubclassOfWorksWithoutMaterialization) {
+    TripleStore store;
+    Ontology onto(store);
+    onto.declare_subclass("A", "B");
+    onto.declare_subclass("B", "C");
+    onto.declare_subclass("C", "D");
+
+    EXPECT_TRUE(Reasoner::is_subclass_of(store, "A", "D"));
+    EXPECT_TRUE(Reasoner::is_subclass_of(store, "A", "A"));  // reflexive
+    EXPECT_FALSE(Reasoner::is_subclass_of(store, "D", "A"));
+    EXPECT_FALSE(Reasoner::is_subclass_of(store, "A", "Unknown"));
+}
+
+TEST(Reasoner, IsInstanceOfConsidersHierarchy) {
+    TripleStore store;
+    Ontology onto(store);
+    onto.declare_subclass("Camera", "Device");
+    onto.assert_instance("blink1", "Camera");
+
+    EXPECT_TRUE(Reasoner::is_instance_of(store, "blink1", "Camera"));
+    EXPECT_TRUE(Reasoner::is_instance_of(store, "blink1", "Device"));
+    EXPECT_FALSE(Reasoner::is_instance_of(store, "blink1", "Event"));
+}
+
+TEST(Reasoner, HandlesSubclassCyclesWithoutHanging) {
+    TripleStore store;
+    Ontology onto(store);
+    onto.declare_subclass("A", "B");
+    onto.declare_subclass("B", "A");  // contradiction-ish cycle
+
+    Reasoner::materialize(store);  // must terminate
+    EXPECT_TRUE(Reasoner::is_subclass_of(store, "A", "B"));
+    EXPECT_TRUE(Reasoner::is_subclass_of(store, "B", "A"));
+}
+
+TEST(Ontology, ClassAndInstanceEnumeration) {
+    TripleStore store;
+    Ontology onto(store);
+    onto.declare_class("Device");
+    onto.assert_instance("cam", "Device");
+    onto.assert_instance("plug", "Device");
+
+    const auto classes = onto.classes();
+    EXPECT_NE(std::find(classes.begin(), classes.end(), "Device"), classes.end());
+    EXPECT_EQ(onto.instances_of("Device").size(), 2U);
+}
+
+}  // namespace

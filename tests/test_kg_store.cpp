@@ -1,0 +1,106 @@
+// Tests for symbol interning and the indexed triple store.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/kg/store.hpp"
+
+namespace {
+
+using namespace kinet::kg;  // NOLINT
+
+TEST(SymbolTable, InternIsIdempotent) {
+    SymbolTable syms;
+    const SymbolId a = syms.intern("alpha");
+    const SymbolId b = syms.intern("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(syms.intern("alpha"), a);
+    EXPECT_EQ(syms.name(a), "alpha");
+    EXPECT_EQ(syms.size(), 2U);
+}
+
+TEST(SymbolTable, FindReturnsInvalidForUnknown) {
+    SymbolTable syms;
+    EXPECT_EQ(syms.find("missing"), kInvalidSymbol);
+}
+
+TEST(SymbolTable, NumericLiteralsCarryValues) {
+    SymbolTable syms;
+    const SymbolId n = syms.intern_number(42.0);
+    EXPECT_EQ(syms.intern_number(42.0), n);  // same value, same symbol
+    ASSERT_TRUE(syms.numeric_value(n).has_value());
+    EXPECT_DOUBLE_EQ(*syms.numeric_value(n), 42.0);
+    EXPECT_FALSE(syms.numeric_value(syms.intern("text")).has_value());
+}
+
+TEST(TripleStore, AddDeduplicates) {
+    TripleStore store;
+    EXPECT_TRUE(store.add("a", "p", "b"));
+    EXPECT_FALSE(store.add("a", "p", "b"));
+    EXPECT_EQ(store.size(), 1U);
+    EXPECT_TRUE(store.contains("a", "p", "b"));
+    EXPECT_FALSE(store.contains("a", "p", "c"));
+}
+
+TEST(TripleStore, MatchByEachPosition) {
+    TripleStore store;
+    store.add("a", "p", "b");
+    store.add("a", "q", "c");
+    store.add("d", "p", "b");
+
+    const SymbolId a = store.symbols().find("a");
+    const SymbolId p = store.symbols().find("p");
+    const SymbolId b = store.symbols().find("b");
+
+    EXPECT_EQ(store.match(TriplePattern{a, std::nullopt, std::nullopt}).size(), 2U);
+    EXPECT_EQ(store.match(TriplePattern{std::nullopt, p, std::nullopt}).size(), 2U);
+    EXPECT_EQ(store.match(TriplePattern{std::nullopt, std::nullopt, b}).size(), 2U);
+    EXPECT_EQ(store.match(TriplePattern{a, p, b}).size(), 1U);
+    EXPECT_EQ(store.match(TriplePattern{}).size(), 3U);  // full scan
+}
+
+TEST(TripleStore, ObjectsAndSubjects) {
+    TripleStore store;
+    store.add("event1", "hasPort", "p53");
+    store.add("event1", "hasPort", "p443");
+    store.add("event2", "hasPort", "p53");
+
+    const auto objs = store.objects("event1", "hasPort");
+    EXPECT_EQ(objs.size(), 2U);
+    const auto subs = store.subjects("hasPort", "p53");
+    EXPECT_EQ(subs.size(), 2U);
+    EXPECT_TRUE(store.objects("missing", "hasPort").empty());
+}
+
+TEST(TripleStore, NumericObjects) {
+    TripleStore store;
+    store.add_number("cve", "minPort", 32771);
+    store.add_number("cve", "maxPort", 34000);
+    ASSERT_TRUE(store.number("cve", "minPort").has_value());
+    EXPECT_DOUBLE_EQ(*store.number("cve", "minPort"), 32771.0);
+    EXPECT_DOUBLE_EQ(*store.number("cve", "maxPort"), 34000.0);
+    EXPECT_FALSE(store.number("cve", "other").has_value());
+}
+
+TEST(TripleStore, MatchWithUnknownConstantIsEmpty) {
+    TripleStore store;
+    store.add("a", "p", "b");
+    EXPECT_FALSE(store.contains("zz", "p", "b"));
+    EXPECT_TRUE(store.objects("zz", "p").empty());
+}
+
+TEST(TripleStore, ScalesToManyTriples) {
+    TripleStore store;
+    for (int i = 0; i < 2000; ++i) {
+        store.add("s" + std::to_string(i % 50), "p" + std::to_string(i % 7),
+                  "o" + std::to_string(i));
+    }
+    EXPECT_EQ(store.size(), 2000U);
+    const SymbolId p0 = store.symbols().find("p0");
+    const auto hits = store.match(TriplePattern{std::nullopt, p0, std::nullopt});
+    EXPECT_GT(hits.size(), 200U);
+    for (const auto& t : hits) {
+        EXPECT_EQ(t.p, p0);
+    }
+}
+
+}  // namespace

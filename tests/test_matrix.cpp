@@ -1,0 +1,178 @@
+// Unit tests for the Matrix type and linear-algebra kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/tensor/matrix.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace {
+
+using kinet::Error;
+using kinet::Rng;
+using kinet::tensor::Matrix;
+namespace ops = kinet::tensor;
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+    Matrix m(r, c);
+    for (auto& v : m.data()) {
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    return m;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2U);
+    EXPECT_EQ(m.cols(), 3U);
+    EXPECT_EQ(m.size(), 6U);
+    m.at(1, 2) = 5.0F;
+    EXPECT_FLOAT_EQ(m(1, 2), 5.0F);
+    EXPECT_THROW((void)m.at(2, 0), Error);
+    EXPECT_THROW((void)m.at(0, 3), Error);
+}
+
+TEST(Matrix, InitializerListRejectsRagged) {
+    EXPECT_THROW((Matrix{{1.0F, 2.0F}, {3.0F}}), Error);
+    const Matrix m{{1.0F, 2.0F}, {3.0F, 4.0F}};
+    EXPECT_FLOAT_EQ(m(1, 0), 3.0F);
+}
+
+TEST(Matrix, ElementwiseInPlaceOps) {
+    Matrix a{{1.0F, 2.0F}};
+    const Matrix b{{3.0F, 4.0F}};
+    a += b;
+    EXPECT_FLOAT_EQ(a(0, 1), 6.0F);
+    a -= b;
+    EXPECT_FLOAT_EQ(a(0, 1), 2.0F);
+    a *= 2.0F;
+    EXPECT_FLOAT_EQ(a(0, 0), 2.0F);
+    Matrix wrong(2, 2);
+    EXPECT_THROW(a += wrong, Error);
+}
+
+TEST(Matrix, AppendRowsAndGather) {
+    Matrix a{{1.0F, 2.0F}};
+    const Matrix b{{3.0F, 4.0F}, {5.0F, 6.0F}};
+    a.append_rows(b);
+    EXPECT_EQ(a.rows(), 3U);
+    const std::vector<std::size_t> idx = {2, 0};
+    const Matrix g = a.gather_rows(idx);
+    EXPECT_FLOAT_EQ(g(0, 0), 5.0F);
+    EXPECT_FLOAT_EQ(g(1, 1), 2.0F);
+    const std::vector<std::size_t> bad = {7};
+    EXPECT_THROW((void)a.gather_rows(bad), Error);
+}
+
+TEST(Matrix, SliceColsAndHcat) {
+    const Matrix m{{1.0F, 2.0F, 3.0F}, {4.0F, 5.0F, 6.0F}};
+    const Matrix s = m.slice_cols(1, 3);
+    EXPECT_EQ(s.cols(), 2U);
+    EXPECT_FLOAT_EQ(s(1, 0), 5.0F);
+    const Matrix joined = Matrix::hcat(m.slice_cols(0, 1), s);
+    EXPECT_EQ(joined, m);
+    EXPECT_THROW((void)m.slice_cols(2, 1), Error);
+}
+
+TEST(Ops, MatmulAgainstHandComputed) {
+    const Matrix a{{1.0F, 2.0F}, {3.0F, 4.0F}};
+    const Matrix b{{5.0F, 6.0F}, {7.0F, 8.0F}};
+    const Matrix c = ops::matmul(a, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 19.0F);
+    EXPECT_FLOAT_EQ(c(0, 1), 22.0F);
+    EXPECT_FLOAT_EQ(c(1, 0), 43.0F);
+    EXPECT_FLOAT_EQ(c(1, 1), 50.0F);
+    EXPECT_THROW((void)ops::matmul(a, Matrix(3, 2)), Error);
+}
+
+TEST(Ops, TransposedMatmulVariantsMatchExplicitTranspose) {
+    Rng rng(11);
+    const Matrix a = random_matrix(7, 4, rng);
+    const Matrix b = random_matrix(7, 5, rng);
+    const Matrix tn = ops::matmul_tn(a, b);                       // a^T b
+    const Matrix expected_tn = ops::matmul(ops::transpose(a), b);
+    for (std::size_t i = 0; i < tn.data().size(); ++i) {
+        EXPECT_NEAR(tn.data()[i], expected_tn.data()[i], 1e-5F);
+    }
+
+    const Matrix c = random_matrix(6, 4, rng);
+    const Matrix d = random_matrix(3, 4, rng);
+    const Matrix nt = ops::matmul_nt(c, d);                       // c d^T
+    const Matrix expected_nt = ops::matmul(c, ops::transpose(d));
+    for (std::size_t i = 0; i < nt.data().size(); ++i) {
+        EXPECT_NEAR(nt.data()[i], expected_nt.data()[i], 1e-5F);
+    }
+}
+
+TEST(Ops, RowBroadcastAndColumnReductions) {
+    const Matrix m{{1.0F, 2.0F}, {3.0F, 4.0F}};
+    const Matrix bias{{10.0F, 20.0F}};
+    const Matrix shifted = ops::add_row_broadcast(m, bias);
+    EXPECT_FLOAT_EQ(shifted(1, 1), 24.0F);
+
+    const Matrix sums = ops::col_sum(m);
+    EXPECT_FLOAT_EQ(sums(0, 0), 4.0F);
+    const Matrix means = ops::col_mean(m);
+    EXPECT_FLOAT_EQ(means(0, 1), 3.0F);
+    const Matrix vars = ops::col_var(m);
+    EXPECT_FLOAT_EQ(vars(0, 0), 1.0F);  // population variance of {1, 3}
+}
+
+TEST(Ops, SoftmaxRowsIsNormalizedAndOrderPreserving) {
+    Matrix m{{1.0F, 2.0F, 3.0F, -100.0F}};
+    ops::softmax_rows_inplace(m, 0, 3);
+    const float total = m(0, 0) + m(0, 1) + m(0, 2);
+    EXPECT_NEAR(total, 1.0F, 1e-5F);
+    EXPECT_LT(m(0, 0), m(0, 1));
+    EXPECT_LT(m(0, 1), m(0, 2));
+    EXPECT_FLOAT_EQ(m(0, 3), -100.0F);  // outside the span: untouched
+}
+
+TEST(Ops, SoftmaxIsStableForLargeLogits) {
+    Matrix m{{1000.0F, 1001.0F}};
+    ops::softmax_rows_inplace(m, 0, 2);
+    EXPECT_TRUE(std::isfinite(m(0, 0)));
+    EXPECT_NEAR(m(0, 0) + m(0, 1), 1.0F, 1e-5F);
+}
+
+TEST(Ops, RowArgmaxWithinSpan) {
+    const Matrix m{{0.0F, 9.0F, 1.0F}, {7.0F, 2.0F, 3.0F}};
+    const auto am = ops::row_argmax(m, 0, 3);
+    EXPECT_EQ(am[0], 1U);
+    EXPECT_EQ(am[1], 0U);
+    const auto am_sub = ops::row_argmax(m, 1, 3);
+    EXPECT_EQ(am_sub[0], 0U);  // relative to span start
+    EXPECT_EQ(am_sub[1], 1U);
+}
+
+TEST(Ops, FrobeniusNormMatchesDefinition) {
+    const Matrix m{{3.0F, 4.0F}};
+    EXPECT_NEAR(ops::frobenius_norm(m), 5.0, 1e-9);
+}
+
+// Property sweep: (A·B)·C == A·(B·C) for random shapes.
+class MatmulAssociativity : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(MatmulAssociativity, Holds) {
+    const auto [m, k, n, p] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(m * 1000 + k * 100 + n * 10 + p));
+    const Matrix a = random_matrix(m, k, rng);
+    const Matrix b = random_matrix(k, n, rng);
+    const Matrix c = random_matrix(n, p, rng);
+    const Matrix left = ops::matmul(ops::matmul(a, b), c);
+    const Matrix right = ops::matmul(a, ops::matmul(b, c));
+    for (std::size_t i = 0; i < left.data().size(); ++i) {
+        EXPECT_NEAR(left.data()[i], right.data()[i], 1e-3F);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulAssociativity,
+                         ::testing::Values(std::make_tuple(1, 1, 1, 1),
+                                           std::make_tuple(2, 3, 4, 5),
+                                           std::make_tuple(8, 1, 8, 2),
+                                           std::make_tuple(5, 7, 3, 6),
+                                           std::make_tuple(16, 16, 16, 16)));
+
+}  // namespace

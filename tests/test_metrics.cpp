@@ -1,0 +1,129 @@
+// Tests for the statistical distance metrics (EMD axioms, combined distance).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/data/split.hpp"
+#include "src/eval/metrics.hpp"
+
+namespace {
+
+using kinet::Rng;
+using namespace kinet::data;  // NOLINT
+using namespace kinet::eval;  // NOLINT
+
+Table gaussian_table(std::size_t rows, double mean, double stddev, double cat_p, Rng& rng) {
+    Table t({
+        ColumnMeta::continuous_column("x"),
+        ColumnMeta::categorical_column("c", {"a", "b"}),
+    });
+    for (std::size_t r = 0; r < rows; ++r) {
+        t.append_row({static_cast<float>(rng.normal(mean, stddev)),
+                      rng.bernoulli(cat_p) ? 1.0F : 0.0F});
+    }
+    return t;
+}
+
+TEST(Emd, IdenticalTablesScoreNearZero) {
+    Rng rng(1000);
+    const Table t = gaussian_table(2000, 0.0, 1.0, 0.3, rng);
+    EXPECT_NEAR(mean_emd(t, t), 0.0, 1e-9);
+    EXPECT_NEAR(combined_distance(t, t), 0.0, 1e-9);
+}
+
+TEST(Emd, IsSymmetricForEqualSampleSizes) {
+    Rng rng(1001);
+    const Table a = gaussian_table(1500, 0.0, 1.0, 0.3, rng);
+    const Table b = gaussian_table(1500, 0.8, 1.0, 0.5, rng);
+    EXPECT_NEAR(mean_emd(a, b), mean_emd(b, a), 0.02);
+}
+
+TEST(Emd, GrowsWithMeanShift) {
+    Rng rng(1002);
+    const Table base = gaussian_table(1500, 0.0, 1.0, 0.3, rng);
+    const Table near = gaussian_table(1500, 0.3, 1.0, 0.3, rng);
+    const Table far = gaussian_table(1500, 2.0, 1.0, 0.3, rng);
+    EXPECT_LT(column_emd(base, near, 0), column_emd(base, far, 0));
+}
+
+TEST(Emd, CategoricalEqualsTotalVariation) {
+    Rng rng(1003);
+    Table a({ColumnMeta::categorical_column("c", {"a", "b"})});
+    Table b({ColumnMeta::categorical_column("c", {"a", "b"})});
+    // a: 100% "a"; b: 50/50 -> TV = 0.5.
+    for (int i = 0; i < 100; ++i) {
+        a.append_row({0.0F});
+        b.append_row({(i % 2 == 0) ? 0.0F : 1.0F});
+    }
+    EXPECT_NEAR(column_emd(a, b, 0), 0.5, 1e-9);
+    EXPECT_NEAR(categorical_l1(a, b, 0), 1.0, 1e-9);  // L1 = 2 * TV
+}
+
+TEST(CombinedDistance, DetectsVarianceMismatch) {
+    Rng rng(1004);
+    const Table base = gaussian_table(1500, 0.0, 1.0, 0.3, rng);
+    const Table same = gaussian_table(1500, 0.0, 1.0, 0.3, rng);
+    const Table wide = gaussian_table(1500, 0.0, 3.0, 0.3, rng);
+    EXPECT_LT(combined_distance(base, same), combined_distance(base, wide));
+}
+
+TEST(CorrelationDistance, DetectsBrokenCorrelation) {
+    Rng rng(1005);
+    Table corr({ColumnMeta::continuous_column("x"), ColumnMeta::continuous_column("y")});
+    Table indep({ColumnMeta::continuous_column("x"), ColumnMeta::continuous_column("y")});
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal();
+        corr.append_row({static_cast<float>(x), static_cast<float>(x + rng.normal(0.0, 0.1))});
+        indep.append_row({static_cast<float>(rng.normal()), static_cast<float>(rng.normal())});
+    }
+    EXPECT_NEAR(correlation_distance(corr, corr), 0.0, 1e-9);
+    EXPECT_GT(correlation_distance(corr, indep), 0.5);
+}
+
+TEST(LikelihoodFitness, HigherForInDistributionData) {
+    Rng rng(1006);
+    const Table real = gaussian_table(1500, 0.0, 1.0, 0.3, rng);
+    TableTransformer tf;
+    tf.fit(real, TransformerOptions{}, rng);
+
+    const Table in_dist = gaussian_table(500, 0.0, 1.0, 0.3, rng);
+    const Table out_dist = gaussian_table(500, 10.0, 1.0, 0.3, rng);
+    EXPECT_GT(likelihood_fitness(tf, in_dist), likelihood_fitness(tf, out_dist));
+}
+
+TEST(MixedRowDistance, ZeroForIdenticalRowsAndBounded) {
+    Rng rng(1007);
+    const Table t = gaussian_table(100, 0.0, 1.0, 0.5, rng);
+    const auto ranges = compute_ranges(t);
+    const std::vector<std::size_t> cols = {0, 1};
+    EXPECT_DOUBLE_EQ(mixed_row_distance(t, 3, t, 3, cols, ranges), 0.0);
+    const double d = mixed_row_distance(t, 0, t, 1, cols, ranges);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.5);
+}
+
+TEST(Metrics, RejectIncompatibleTables) {
+    Rng rng(1008);
+    const Table a = gaussian_table(50, 0.0, 1.0, 0.5, rng);
+    Table b({ColumnMeta::continuous_column("only")});
+    b.append_row({1.0F});
+    EXPECT_THROW((void)mean_emd(a, b), kinet::Error);
+}
+
+// Property sweep: for a held-out split of the same distribution, EMD is small
+// across sample sizes.
+class EmdSelfConsistency : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EmdSelfConsistency, HeldOutSplitHasSmallDistance) {
+    Rng rng(1010 + GetParam());
+    const Table t = gaussian_table(GetParam(), 1.0, 2.0, 0.4, rng);
+    const auto split = train_test_split(t, 0.5, rng);
+    EXPECT_LT(mean_emd(split.train, split.test), 0.1);
+    EXPECT_LT(combined_distance(split.train, split.test), 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, EmdSelfConsistency,
+                         ::testing::Values(400U, 1000U, 3000U));
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Tests for the lab IoT traffic simulator.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/kg/network_kg.hpp"
+#include "src/netsim/address.hpp"
+#include "src/netsim/device.hpp"
+#include "src/netsim/events.hpp"
+#include "src/netsim/lab_simulator.hpp"
+
+namespace {
+
+using namespace kinet::netsim;  // NOLINT
+using kinet::Rng;
+
+TEST(Address, RoundTripAndSubnet) {
+    const auto addr = ipv4_from_string("192.168.1.42");
+    EXPECT_EQ(ipv4_to_string(addr), "192.168.1.42");
+    EXPECT_TRUE(is_lan(addr));
+    EXPECT_FALSE(is_lan(ipv4_from_string("203.0.113.66")));
+    EXPECT_EQ(lan_address(7), ipv4_from_string("192.168.1.7"));
+    EXPECT_THROW((void)ipv4_from_string("1.2.3"), kinet::Error);
+    EXPECT_THROW((void)ipv4_from_string("1.2.3.999"), kinet::Error);
+    EXPECT_THROW((void)ipv4_from_string("a.b.c.d"), kinet::Error);
+}
+
+TEST(Devices, FleetCoversAllKindsWithUniqueAddresses) {
+    Rng rng(800);
+    const auto fleet = build_lab_fleet(rng);
+    EXPECT_EQ(fleet.size(), kinet::kg::lab_devices().size());
+    std::vector<std::string> ips;
+    for (const auto& d : fleet) {
+        ips.push_back(d.ip);
+        if (d.kind == "attacker") {
+            EXPECT_FALSE(is_lan(ipv4_from_string(d.ip)));
+        } else {
+            EXPECT_TRUE(is_lan(ipv4_from_string(d.ip)));
+        }
+    }
+    std::sort(ips.begin(), ips.end());
+    EXPECT_EQ(std::adjacent_find(ips.begin(), ips.end()), ips.end());
+    EXPECT_EQ(device_of_kind(fleet, "camera").kind, "camera");
+    EXPECT_THROW((void)device_of_kind(fleet, "toaster"), kinet::Error);
+}
+
+TEST(EventProfiles, ExistForEveryLabEventType) {
+    for (const auto& spec : kinet::kg::lab_event_specs()) {
+        const auto& profile = lab_event_profile(spec.event_type);
+        EXPECT_GT(profile.mix_weight, 0.0);
+    }
+    EXPECT_THROW((void)lab_event_profile("nonsense"), kinet::Error);
+}
+
+TEST(EventProfiles, FloodDwarfsDnsInMagnitude) {
+    Rng rng(801);
+    double dns_bytes = 0.0;
+    double flood_bytes = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        dns_bytes += draw_flow_numbers(lab_event_profile("dns_query"), rng).bytes;
+        flood_bytes += draw_flow_numbers(lab_event_profile("flood_attack"), rng).bytes;
+    }
+    EXPECT_GT(flood_bytes, 100.0 * dns_bytes);
+}
+
+TEST(LabSimulator, ProducesRequestedRecordCountAndSchema) {
+    LabSimOptions opts;
+    opts.records = 2000;
+    const auto table = LabTrafficSimulator(opts).generate();
+    EXPECT_EQ(table.rows(), 2000U);
+    EXPECT_EQ(table.cols(), lab_schema().size());
+    EXPECT_EQ(table.meta(lab_label_column()).name, "label");
+}
+
+TEST(LabSimulator, IsDeterministicPerSeed) {
+    LabSimOptions opts;
+    opts.records = 300;
+    opts.seed = 99;
+    const auto a = LabTrafficSimulator(opts).generate();
+    const auto b = LabTrafficSimulator(opts).generate();
+    ASSERT_EQ(a.rows(), b.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            EXPECT_EQ(a.value(r, c), b.value(r, c));
+        }
+    }
+    opts.seed = 100;
+    const auto c = LabTrafficSimulator(opts).generate();
+    bool any_diff = false;
+    for (std::size_t r = 0; r < a.rows() && !any_diff; ++r) {
+        any_diff = (a.value(r, 6) != c.value(r, 6));
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(LabSimulator, EveryRecordIsKgValid) {
+    LabSimOptions opts;
+    opts.records = 3000;
+    const auto table = LabTrafficSimulator(opts).generate();
+    const auto kg = kinet::kg::NetworkKg::build_lab();
+    const auto oracle = kg.make_oracle();
+
+    std::vector<std::size_t> cols;
+    for (const auto& attr : oracle.attribute_names()) {
+        cols.push_back(table.column_index(attr));
+    }
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        std::vector<std::string> tuple;
+        tuple.reserve(cols.size());
+        for (std::size_t c : cols) {
+            tuple.push_back(table.label_at(r, c));
+        }
+        ASSERT_TRUE(oracle.is_valid(tuple)) << "row " << r << " violates the KG";
+    }
+}
+
+TEST(LabSimulator, ClassImbalanceMatchesTheDomain) {
+    LabSimOptions opts;
+    opts.records = 8000;
+    const auto table = LabTrafficSimulator(opts).generate();
+    const auto counts = table.category_counts(lab_label_column());
+    const auto& labels = kinet::kg::lab_labels();
+
+    std::size_t benign = 0;
+    std::size_t attacks = 0;
+    for (std::size_t k = 0; k < labels.size(); ++k) {
+        if (labels[k] == "benign") {
+            benign += counts[k];
+        } else {
+            attacks += counts[k];
+            EXPECT_GT(counts[k], 0U) << labels[k] << " missing entirely";
+        }
+    }
+    const double attack_rate = static_cast<double>(attacks) / table.rows();
+    EXPECT_GT(attack_rate, 0.02);
+    EXPECT_LT(attack_rate, 0.25);
+    EXPECT_GT(benign, attacks);
+}
+
+TEST(LabSimulator, AttackIntensityScalesAttackRate) {
+    LabSimOptions quiet;
+    quiet.records = 4000;
+    quiet.attack_intensity = 0.2;
+    LabSimOptions loud;
+    loud.records = 4000;
+    loud.attack_intensity = 4.0;
+
+    auto attack_rate = [](const kinet::data::Table& t) {
+        const auto counts = t.category_counts(lab_label_column());
+        const auto& labels = kinet::kg::lab_labels();
+        std::size_t attacks = 0;
+        for (std::size_t k = 0; k < labels.size(); ++k) {
+            if (labels[k] != "benign") {
+                attacks += counts[k];
+            }
+        }
+        return static_cast<double>(attacks) / t.rows();
+    };
+    EXPECT_LT(attack_rate(LabTrafficSimulator(quiet).generate()),
+              attack_rate(LabTrafficSimulator(loud).generate()));
+}
+
+TEST(LabSimulator, NumericColumnsArePositiveAndFinite) {
+    LabSimOptions opts;
+    opts.records = 1000;
+    const auto table = LabTrafficSimulator(opts).generate();
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        for (std::size_t c = 6; c <= 9; ++c) {
+            const float v = table.value(r, c);
+            EXPECT_TRUE(std::isfinite(v));
+            EXPECT_GE(v, 0.0F);
+        }
+    }
+}
+
+TEST(LabSimulator, CorruptionInjectionProducesOutliers) {
+    LabSimOptions opts;
+    opts.records = 1000;
+    opts.corruption_fraction = 0.05;
+    const auto table = LabTrafficSimulator(opts).generate();
+    std::size_t zero_pkts = 0;
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        zero_pkts += (table.value(r, 6) == 0.0F) ? 1 : 0;
+    }
+    EXPECT_GT(zero_pkts, 10U);  // corrupted records zero the packet count
+}
+
+TEST(LabSimulator, RejectsBadOptions) {
+    LabSimOptions opts;
+    opts.records = 0;
+    EXPECT_THROW(LabTrafficSimulator{opts}, kinet::Error);
+    opts.records = 10;
+    opts.corruption_fraction = 1.5;
+    EXPECT_THROW(LabTrafficSimulator{opts}, kinet::Error);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Tests for the UNSW-NB15-style synthesizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/kg/network_kg.hpp"
+#include "src/netsim/unsw_synthesizer.hpp"
+
+namespace {
+
+using namespace kinet::netsim;  // NOLINT
+
+TEST(UnswSynthesizer, SchemaAndRecordCount) {
+    UnswOptions opts;
+    opts.records = 1500;
+    const auto table = UnswNb15Synthesizer(opts).generate();
+    EXPECT_EQ(table.rows(), 1500U);
+    EXPECT_EQ(table.cols(), unsw_schema().size());
+    EXPECT_EQ(table.meta(unsw_label_column()).name, "label");
+    EXPECT_EQ(table.meta(15).name, "attack_cat");
+}
+
+TEST(UnswSynthesizer, LabelConsistentWithAttackCategory) {
+    UnswOptions opts;
+    opts.records = 3000;
+    const auto table = UnswNb15Synthesizer(opts).generate();
+    const std::size_t cat_col = table.column_index("attack_cat");
+    const std::size_t label_col = unsw_label_column();
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        const bool is_normal = (table.label_at(r, cat_col) == "Normal");
+        const bool labelled_normal = (table.label_at(r, label_col) == "normal");
+        EXPECT_EQ(is_normal, labelled_normal);
+    }
+}
+
+TEST(UnswSynthesizer, NormalDominatesAndAttacksImbalanced) {
+    UnswOptions opts;
+    opts.records = 20000;
+    const auto table = UnswNb15Synthesizer(opts).generate();
+    const auto counts = table.category_counts(table.column_index("attack_cat"));
+    const auto& cats = kinet::kg::unsw_attack_categories();
+
+    const auto normal_idx = static_cast<std::size_t>(
+        std::find(cats.begin(), cats.end(), "Normal") - cats.begin());
+    const double normal_rate = static_cast<double>(counts[normal_idx]) / table.rows();
+    EXPECT_GT(normal_rate, 0.75);
+    EXPECT_LT(normal_rate, 0.95);
+
+    // Generic should be the largest attack class; Worms the smallest.
+    const auto idx_of = [&cats](const std::string& name) {
+        return static_cast<std::size_t>(std::find(cats.begin(), cats.end(), name) - cats.begin());
+    };
+    EXPECT_GT(counts[idx_of("Generic")], counts[idx_of("Worms")]);
+    EXPECT_GT(counts[idx_of("Exploits")], counts[idx_of("Shellcode")]);
+}
+
+TEST(UnswSynthesizer, FlowsRespectKgProtocolRules) {
+    UnswOptions opts;
+    opts.records = 4000;
+    const auto table = UnswNb15Synthesizer(opts).generate();
+    const auto kg = kinet::kg::NetworkKg::build_unsw();
+    const auto oracle = kg.make_oracle();
+
+    std::vector<std::size_t> cols;
+    for (const auto& attr : oracle.attribute_names()) {
+        cols.push_back(table.column_index(attr));
+    }
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        std::vector<std::string> tuple;
+        for (std::size_t c : cols) {
+            tuple.push_back(table.label_at(r, c));
+        }
+        ASSERT_TRUE(oracle.is_valid(tuple)) << "row " << r;
+    }
+}
+
+TEST(UnswSynthesizer, TcpRttZeroForNonTcp) {
+    UnswOptions opts;
+    opts.records = 3000;
+    const auto table = UnswNb15Synthesizer(opts).generate();
+    const std::size_t proto_col = table.column_index("proto");
+    const std::size_t rtt_col = table.column_index("tcprtt");
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        if (table.label_at(r, proto_col) != "tcp") {
+            EXPECT_EQ(table.value(r, rtt_col), 0.0F);
+        }
+    }
+}
+
+TEST(UnswSynthesizer, LoadsConsistentWithBytesAndDuration) {
+    UnswOptions opts;
+    opts.records = 500;
+    const auto table = UnswNb15Synthesizer(opts).generate();
+    const std::size_t dur = table.column_index("dur");
+    const std::size_t sbytes = table.column_index("sbytes");
+    const std::size_t sload = table.column_index("sload");
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        const double expected =
+            8.0 * table.value(r, sbytes) / std::max<double>(table.value(r, dur), 1e-3);
+        EXPECT_NEAR(table.value(r, sload), expected, std::abs(expected) * 0.01 + 1.0);
+    }
+}
+
+TEST(UnswSynthesizer, DeterministicPerSeed) {
+    UnswOptions opts;
+    opts.records = 200;
+    opts.seed = 5;
+    const auto a = UnswNb15Synthesizer(opts).generate();
+    const auto b = UnswNb15Synthesizer(opts).generate();
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        EXPECT_EQ(a.value(r, 6), b.value(r, 6));
+    }
+}
+
+TEST(UnswSynthesizer, DosFlowsCarryHigherSourceVolume) {
+    UnswOptions opts;
+    opts.records = 20000;
+    const auto table = UnswNb15Synthesizer(opts).generate();
+    const std::size_t cat_col = table.column_index("attack_cat");
+    const std::size_t sbytes_col = table.column_index("sbytes");
+    double dos_sum = 0.0;
+    std::size_t dos_n = 0;
+    double recon_sum = 0.0;
+    std::size_t recon_n = 0;
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        const auto& cat = table.label_at(r, cat_col);
+        if (cat == "DoS") {
+            dos_sum += table.value(r, sbytes_col);
+            ++dos_n;
+        } else if (cat == "Reconnaissance") {
+            recon_sum += table.value(r, sbytes_col);
+            ++recon_n;
+        }
+    }
+    ASSERT_GT(dos_n, 0U);
+    ASSERT_GT(recon_n, 0U);
+    EXPECT_GT(dos_sum / dos_n, 5.0 * (recon_sum / recon_n));
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Tests for the domain NetworkKG and the compiled validity oracle.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/kg/network_kg.hpp"
+#include "src/kg/ontology.hpp"
+#include "src/kg/reasoner.hpp"
+
+namespace {
+
+using namespace kinet::kg;  // NOLINT
+
+TEST(NetworkKg, LabOracleAcceptsEverySpecTuple) {
+    const auto kg = NetworkKg::build_lab();
+    const auto oracle = kg.make_oracle();
+    ASSERT_EQ(oracle.attribute_names().size(), 5U);
+
+    for (const auto& spec : lab_event_specs()) {
+        for (const auto& device : spec.src_devices) {
+            const std::vector<std::string> tuple = {device, spec.protocol, spec.app_protocol,
+                                                    spec.dst_port, spec.event_type};
+            EXPECT_TRUE(oracle.is_valid(tuple))
+                << spec.event_type << " from " << device << " should be valid";
+        }
+    }
+}
+
+TEST(NetworkKg, LabOracleRejectsCrossWiredTuples) {
+    const auto kg = NetworkKg::build_lab();
+    const auto oracle = kg.make_oracle();
+
+    // DNS query to port 443 is the paper's canonical invalid combination.
+    const std::vector<std::string> bad_port = {"camera", "UDP", "DNS", "443", "dns_query"};
+    EXPECT_FALSE(oracle.is_valid(bad_port));
+
+    // A motion sensor cannot emit video streams.
+    const std::vector<std::string> bad_device = {"motion_sensor", "TCP", "HTTPS", "443",
+                                                 "video_stream"};
+    EXPECT_FALSE(oracle.is_valid(bad_device));
+
+    // Protocol/application mismatch.
+    const std::vector<std::string> bad_proto = {"camera", "UDP", "HTTPS", "443",
+                                                "motion_detected"};
+    EXPECT_FALSE(oracle.is_valid(bad_proto));
+}
+
+TEST(NetworkKg, OracleEnumerationMatchesSpecCount) {
+    const auto kg = NetworkKg::build_lab();
+    const auto oracle = kg.make_oracle();
+    std::size_t expected = 0;
+    for (const auto& spec : lab_event_specs()) {
+        expected += spec.src_devices.size();
+    }
+    EXPECT_EQ(oracle.valid_tuples().size(), expected);
+}
+
+TEST(NetworkKg, PortsForEventQueries) {
+    const auto kg = NetworkKg::build_lab();
+    const auto dns_ports = kg.ports_for_event("dns_query");
+    ASSERT_EQ(dns_ports.size(), 1U);
+    EXPECT_EQ(dns_ports[0], "53");
+    EXPECT_TRUE(kg.ports_for_event("no_such_event").empty());
+}
+
+TEST(NetworkKg, EventsForDeviceQueries) {
+    const auto kg = NetworkKg::build_lab();
+    const auto camera_events = kg.events_for_device("camera");
+    EXPECT_NE(std::find(camera_events.begin(), camera_events.end(), "video_stream"),
+              camera_events.end());
+    EXPECT_EQ(std::find(camera_events.begin(), camera_events.end(), "flood_attack"),
+              camera_events.end());
+    const auto attacker_events = kg.events_for_device("attacker");
+    EXPECT_EQ(attacker_events.size(), 4U);
+}
+
+TEST(NetworkKg, Cve19990003PortRange) {
+    const auto kg = NetworkKg::build_lab();
+    const auto [lo, hi] = kg.attack_port_range("CVE-1999-0003");
+    EXPECT_DOUBLE_EQ(lo, 32771.0);
+    EXPECT_DOUBLE_EQ(hi, 34000.0);
+    EXPECT_TRUE(kg.port_in_attack_range(33000, "CVE-1999-0003"));
+    EXPECT_FALSE(kg.port_in_attack_range(80, "CVE-1999-0003"));
+    EXPECT_THROW((void)kg.attack_port_range("CVE-0000-0000"), kinet::Error);
+}
+
+TEST(NetworkKg, OntologyHierarchyIsMaterialized) {
+    const auto kg = NetworkKg::build_lab();
+    // EventType ⊑ NetworkEvent ⊑ uco:Event, so instances inherit all types.
+    EXPECT_TRUE(Reasoner::is_instance_of(kg.store(), "event:dns_query",
+                                         std::string(vocab::net_event_type)));
+    EXPECT_TRUE(kg.store().contains("event:dns_query", vocab::rdf_type, vocab::uco_event));
+}
+
+TEST(NetworkKg, UnswOracleEncodesProtocolConsistency) {
+    const auto kg = NetworkKg::build_unsw();
+    const auto oracle = kg.make_oracle();
+    ASSERT_EQ(oracle.attribute_names().size(), 3U);
+
+    const std::vector<std::string> ok = {"tcp", "http", "FIN"};
+    EXPECT_TRUE(oracle.is_valid(ok));
+    const std::vector<std::string> dns_udp = {"udp", "dns", "CON"};
+    EXPECT_TRUE(oracle.is_valid(dns_udp));
+
+    // http over udp is invalid; so is a FIN state on udp.
+    const std::vector<std::string> bad_service = {"udp", "http", "CON"};
+    EXPECT_FALSE(oracle.is_valid(bad_service));
+    const std::vector<std::string> bad_state = {"udp", "dns", "FIN"};
+    EXPECT_FALSE(oracle.is_valid(bad_state));
+}
+
+TEST(ValidityOracle, RejectsArityMismatch) {
+    const auto kg = NetworkKg::build_unsw();
+    const auto oracle = kg.make_oracle();
+    const std::vector<std::string> short_tuple = {"tcp", "http"};
+    EXPECT_THROW((void)oracle.is_valid(short_tuple), kinet::Error);
+}
+
+TEST(NetworkKg, VocabulariesAreUniqueAndNonEmpty) {
+    for (const auto* vocab_list :
+         {&lab_devices(), &lab_protocols(), &lab_app_protocols(), &lab_ports(),
+          &lab_event_types(), &lab_labels(), &lab_endpoints()}) {
+        EXPECT_FALSE(vocab_list->empty());
+        auto sorted = *vocab_list;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+    }
+    EXPECT_EQ(unsw_attack_categories().size(), 10U);  // Normal + 9 attacks
+}
+
+}  // namespace

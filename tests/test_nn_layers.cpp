@@ -1,0 +1,250 @@
+// Gradient checks and behavioural tests for every layer in the nn stack.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/check.hpp"
+#include "src/nn/nn.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace {
+
+using namespace kinet::nn;  // NOLINT: test-local convenience
+using kinet::Rng;
+using Matrix = kinet::tensor::Matrix;
+
+Matrix random_input(std::size_t rows, std::size_t cols, Rng& rng) {
+    Matrix m(rows, cols);
+    for (auto& v : m.data()) {
+        v = static_cast<float>(rng.uniform(-1.5, 1.5));
+    }
+    return m;
+}
+
+constexpr double kTol = 2e-2;  // float32 + finite differences
+
+TEST(GradCheck, Linear) {
+    Rng rng(100);
+    Linear layer(5, 3, rng);
+    const auto res = check_gradients(layer, random_input(4, 5, rng), rng);
+    EXPECT_LT(res.max_input_error, kTol);
+    EXPECT_LT(res.max_param_error, kTol);
+}
+
+TEST(GradCheck, ReLU) {
+    Rng rng(101);
+    ReLU layer;
+    // Keep inputs away from the kink at 0.
+    Matrix x = random_input(4, 6, rng);
+    for (auto& v : x.data()) {
+        if (std::abs(v) < 0.05F) {
+            v += 0.2F;
+        }
+    }
+    const auto res = check_gradients(layer, x, rng);
+    EXPECT_LT(res.max_input_error, kTol);
+}
+
+TEST(GradCheck, LeakyReLU) {
+    Rng rng(102);
+    LeakyReLU layer(0.2F);
+    Matrix x = random_input(4, 6, rng);
+    for (auto& v : x.data()) {
+        if (std::abs(v) < 0.05F) {
+            v += 0.2F;
+        }
+    }
+    const auto res = check_gradients(layer, x, rng);
+    EXPECT_LT(res.max_input_error, kTol);
+}
+
+TEST(GradCheck, TanhLayer) {
+    Rng rng(103);
+    Tanh layer;
+    const auto res = check_gradients(layer, random_input(3, 5, rng), rng);
+    EXPECT_LT(res.max_input_error, kTol);
+}
+
+TEST(GradCheck, SigmoidLayer) {
+    Rng rng(104);
+    Sigmoid layer;
+    const auto res = check_gradients(layer, random_input(3, 5, rng), rng);
+    EXPECT_LT(res.max_input_error, kTol);
+}
+
+TEST(GradCheck, BatchNormTrainingMode) {
+    Rng rng(105);
+    BatchNorm1d layer(4);
+    const auto res = check_gradients(layer, random_input(8, 4, rng), rng, /*training=*/true);
+    EXPECT_LT(res.max_input_error, 5e-2);
+    EXPECT_LT(res.max_param_error, 5e-2);
+}
+
+TEST(GradCheck, SequentialMlp) {
+    Rng rng(106);
+    Sequential net;
+    net.emplace<Linear>(6, 8, rng);
+    net.emplace<Tanh>();
+    net.emplace<Linear>(8, 4, rng);
+    net.emplace<Sigmoid>();
+    // Larger epsilon: through two saturating layers the float32 probe-loss
+    // differences sit near rounding noise at the default step.
+    const auto res = check_gradients(net, random_input(5, 6, rng), rng, true, 5e-3F);
+    EXPECT_LT(res.max_input_error, kTol);
+    EXPECT_LT(res.max_param_error, kTol);
+}
+
+TEST(GradCheck, OdeBlock) {
+    Rng rng(107);
+    auto field = std::make_unique<Sequential>();
+    field->emplace<Linear>(5, 5, rng);
+    field->emplace<Tanh>();
+    OdeBlock block(std::move(field), 4);
+    const auto res = check_gradients(block, random_input(3, 5, rng), rng);
+    EXPECT_LT(res.max_input_error, kTol);
+    EXPECT_LT(res.max_param_error, kTol);
+}
+
+TEST(Linear, ForwardMatchesManualComputation) {
+    Rng rng(108);
+    Linear layer(2, 2, rng);
+    layer.weight().value = Matrix{{1.0F, 2.0F}, {3.0F, 4.0F}};
+    layer.bias().value = Matrix{{0.5F, -0.5F}};
+    const Matrix x{{1.0F, 1.0F}};
+    const Matrix y = layer.forward(x, true);
+    EXPECT_FLOAT_EQ(y(0, 0), 4.5F);   // 1*1 + 1*3 + 0.5
+    EXPECT_FLOAT_EQ(y(0, 1), 5.5F);   // 1*2 + 1*4 - 0.5
+}
+
+TEST(Dropout, InferenceIsIdentityTrainingDropsAndScales) {
+    Rng rng(109);
+    Dropout layer(0.5F, rng);
+    const Matrix x(16, 16, 1.0F);
+    const Matrix eval_out = layer.forward(x, false);
+    EXPECT_EQ(eval_out, x);
+
+    const Matrix train_out = layer.forward(x, true);
+    std::size_t zeros = 0;
+    for (float v : train_out.data()) {
+        if (v == 0.0F) {
+            ++zeros;
+        } else {
+            EXPECT_FLOAT_EQ(v, 2.0F);  // inverted scaling 1/(1-p)
+        }
+    }
+    EXPECT_GT(zeros, 50U);
+    EXPECT_LT(zeros, 200U);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+    Rng rng(110);
+    Dropout layer(0.5F, rng);
+    const Matrix x(4, 4, 1.0F);
+    const Matrix y = layer.forward(x, true);
+    const Matrix g = layer.backward(Matrix(4, 4, 1.0F));
+    for (std::size_t i = 0; i < y.data().size(); ++i) {
+        EXPECT_FLOAT_EQ(g.data()[i], y.data()[i]);  // same mask and scale
+    }
+}
+
+TEST(BatchNorm, NormalizesBatchInTraining) {
+    Rng rng(111);
+    BatchNorm1d layer(2);
+    Matrix x(64, 2);
+    for (std::size_t r = 0; r < 64; ++r) {
+        x(r, 0) = static_cast<float>(rng.normal(5.0, 2.0));
+        x(r, 1) = static_cast<float>(rng.normal(-3.0, 0.5));
+    }
+    const Matrix y = layer.forward(x, true);
+    const Matrix mean = kinet::tensor::col_mean(y);
+    const Matrix var = kinet::tensor::col_var(y);
+    EXPECT_NEAR(mean(0, 0), 0.0F, 1e-4F);
+    EXPECT_NEAR(var(0, 1), 1.0F, 1e-2F);
+}
+
+TEST(BatchNorm, RunningStatsConvergeForInference) {
+    Rng rng(112);
+    BatchNorm1d layer(1);
+    for (int i = 0; i < 200; ++i) {
+        Matrix x(32, 1);
+        for (auto& v : x.data()) {
+            v = static_cast<float>(rng.normal(10.0, 1.0));
+        }
+        (void)layer.forward(x, true);
+    }
+    // At inference a sample at the running mean maps near gamma*0 + beta = 0.
+    Matrix probe(1, 1, 10.0F);
+    const Matrix y = layer.forward(probe, false);
+    EXPECT_NEAR(y(0, 0), 0.0F, 0.2F);
+}
+
+TEST(OdeBlock, ReducesToIdentityPlusFieldForOneStep) {
+    Rng rng(113);
+    auto field = std::make_unique<Sequential>();
+    field->emplace<Linear>(3, 3, rng);
+    OdeBlock block(std::move(field), 1);
+    const Matrix x = random_input(2, 3, rng);
+    const Matrix y = block.forward(x, true);
+    // One Euler step: y = x + 1.0 * f(x); verify shape and that y != x.
+    EXPECT_EQ(y.rows(), x.rows());
+    EXPECT_EQ(y.cols(), x.cols());
+    EXPECT_NE(y, x);
+}
+
+TEST(OdeBlock, RejectsShapeChangingField) {
+    Rng rng(114);
+    auto field = std::make_unique<Sequential>();
+    field->emplace<Linear>(3, 4, rng);
+    OdeBlock block(std::move(field), 2);
+    EXPECT_THROW((void)block.forward(random_input(2, 3, rng), true), kinet::Error);
+}
+
+TEST(Sequential, CollectsParametersFromAllLayers) {
+    Rng rng(115);
+    Sequential net;
+    net.emplace<Linear>(4, 4, rng);
+    net.emplace<BatchNorm1d>(4);
+    net.emplace<Linear>(4, 2, rng);
+    const auto params = net.parameters();
+    EXPECT_EQ(params.size(), 6U);  // 2x (W, b) + (gamma, beta)
+    net.zero_grad();
+    for (const auto* p : params) {
+        for (float g : p->grad.data()) {
+            EXPECT_EQ(g, 0.0F);
+        }
+    }
+}
+
+TEST(Gumbel, ForwardProducesDistributionOverSpan) {
+    Rng rng(116);
+    Matrix logits(8, 5, 0.0F);
+    const Matrix noise = gumbel_noise(8, 5, rng);
+    gumbel_softmax_forward_span(logits, noise, 1, 4, 0.5F);
+    for (std::size_t r = 0; r < 8; ++r) {
+        float total = 0.0F;
+        for (std::size_t c = 1; c < 4; ++c) {
+            total += logits(r, c);
+            EXPECT_GE(logits(r, c), 0.0F);
+        }
+        EXPECT_NEAR(total, 1.0F, 1e-5F);
+        EXPECT_FLOAT_EQ(logits(r, 0), 0.0F);
+        EXPECT_FLOAT_EQ(logits(r, 4), 0.0F);
+    }
+}
+
+TEST(Gumbel, LowTemperatureConcentratesOnFavouredLogit) {
+    Rng rng(117);
+    std::size_t wins = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        Matrix logits(1, 3);
+        logits(0, 0) = 5.0F;  // strongly favoured
+        const Matrix noise = gumbel_noise(1, 3, rng);
+        gumbel_softmax_forward_span(logits, noise, 0, 3, 0.1F);
+        if (logits(0, 0) > logits(0, 1) && logits(0, 0) > logits(0, 2)) {
+            ++wins;
+        }
+    }
+    EXPECT_GT(wins, 170U);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Analytic + finite-difference tests for the loss functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/nn/losses.hpp"
+
+namespace {
+
+using kinet::Rng;
+using namespace kinet::nn;  // NOLINT
+using Matrix = kinet::tensor::Matrix;
+
+TEST(BceWithLogits, MatchesClosedFormAtZeroLogit) {
+    const Matrix logits(2, 1, 0.0F);
+    const Matrix targets(2, 1, 1.0F);
+    const auto res = bce_with_logits(logits, targets);
+    EXPECT_NEAR(res.value, std::log(2.0), 1e-6);
+    // grad = (sigmoid(0) - 1) / n = -0.5 / 2.
+    EXPECT_NEAR(res.grad(0, 0), -0.25F, 1e-6F);
+}
+
+TEST(BceWithLogits, StableForExtremeLogits) {
+    Matrix logits{{100.0F, -100.0F}};
+    Matrix targets{{1.0F, 0.0F}};
+    const auto res = bce_with_logits(logits, targets);
+    EXPECT_TRUE(std::isfinite(res.value));
+    EXPECT_NEAR(res.value, 0.0, 1e-6);
+    // Wrong-side extremes produce large but finite loss.
+    Matrix bad_targets{{0.0F, 1.0F}};
+    const auto bad = bce_with_logits(logits, bad_targets);
+    EXPECT_TRUE(std::isfinite(bad.value));
+    EXPECT_NEAR(bad.value, 100.0, 1e-3);
+}
+
+TEST(BceWithLogits, GradientMatchesFiniteDifference) {
+    Rng rng(200);
+    Matrix logits(3, 2);
+    Matrix targets(3, 2);
+    for (auto& v : logits.data()) {
+        v = static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+    for (auto& v : targets.data()) {
+        v = rng.bernoulli(0.5) ? 1.0F : 0.0F;
+    }
+    const auto base = bce_with_logits(logits, targets);
+    const float eps = 1e-3F;
+    for (std::size_t i = 0; i < logits.data().size(); ++i) {
+        const float saved = logits.data()[i];
+        logits.data()[i] = saved + eps;
+        const double lp = bce_with_logits(logits, targets).value;
+        logits.data()[i] = saved - eps;
+        const double lm = bce_with_logits(logits, targets).value;
+        logits.data()[i] = saved;
+        EXPECT_NEAR(base.grad.data()[i], (lp - lm) / (2.0 * eps), 1e-3);
+    }
+}
+
+TEST(Mse, ValueAndGradient) {
+    const Matrix pred{{2.0F, 0.0F}};
+    const Matrix target{{1.0F, 0.0F}};
+    const auto res = mse(pred, target);
+    EXPECT_NEAR(res.value, 0.5, 1e-6);           // (1 + 0) / 2
+    EXPECT_NEAR(res.grad(0, 0), 1.0F, 1e-6F);    // 2 * 1 / 2
+    EXPECT_NEAR(res.grad(0, 1), 0.0F, 1e-6F);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogK) {
+    const Matrix logits(4, 5, 0.0F);
+    const std::vector<std::size_t> labels = {0, 1, 2, 3};
+    const auto res = softmax_cross_entropy(logits, labels);
+    EXPECT_NEAR(res.value, std::log(5.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+    Rng rng(201);
+    Matrix logits(3, 4);
+    for (auto& v : logits.data()) {
+        v = static_cast<float>(rng.uniform(-3.0, 3.0));
+    }
+    const std::vector<std::size_t> labels = {1, 3, 0};
+    const auto res = softmax_cross_entropy(logits, labels);
+    for (std::size_t r = 0; r < 3; ++r) {
+        float total = 0.0F;
+        for (std::size_t c = 0; c < 4; ++c) {
+            total += res.grad(r, c);
+        }
+        EXPECT_NEAR(total, 0.0F, 1e-5F);
+    }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+    Rng rng(202);
+    Matrix logits(2, 3);
+    for (auto& v : logits.data()) {
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    const std::vector<std::size_t> labels = {2, 0};
+    const auto base = softmax_cross_entropy(logits, labels);
+    const float eps = 1e-3F;
+    for (std::size_t i = 0; i < logits.data().size(); ++i) {
+        const float saved = logits.data()[i];
+        logits.data()[i] = saved + eps;
+        const double lp = softmax_cross_entropy(logits, labels).value;
+        logits.data()[i] = saved - eps;
+        const double lm = softmax_cross_entropy(logits, labels).value;
+        logits.data()[i] = saved;
+        EXPECT_NEAR(base.grad.data()[i], (lp - lm) / (2.0 * eps), 1e-3);
+    }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsOutOfRangeLabel) {
+    const Matrix logits(1, 2, 0.0F);
+    const std::vector<std::size_t> labels = {2};
+    EXPECT_THROW((void)softmax_cross_entropy(logits, labels), kinet::Error);
+}
+
+TEST(GaussianKl, ZeroAtStandardNormal) {
+    const Matrix mu(3, 2, 0.0F);
+    const Matrix logvar(3, 2, 0.0F);
+    const auto res = gaussian_kl(mu, logvar);
+    EXPECT_NEAR(res.value, 0.0, 1e-7);
+    for (float g : res.grad_mu.data()) {
+        EXPECT_NEAR(g, 0.0F, 1e-7F);
+    }
+    for (float g : res.grad_logvar.data()) {
+        EXPECT_NEAR(g, 0.0F, 1e-7F);
+    }
+}
+
+TEST(GaussianKl, PositiveAwayFromPriorAndGradCorrect) {
+    Matrix mu(1, 1, 1.0F);
+    Matrix logvar(1, 1, 0.5F);
+    const auto base = gaussian_kl(mu, logvar);
+    EXPECT_GT(base.value, 0.0);
+    const float eps = 1e-3F;
+    mu(0, 0) = 1.0F + eps;
+    const double lp = gaussian_kl(mu, logvar).value;
+    mu(0, 0) = 1.0F - eps;
+    const double lm = gaussian_kl(mu, logvar).value;
+    EXPECT_NEAR(base.grad_mu(0, 0), (lp - lm) / (2.0 * eps), 1e-3);
+
+    mu(0, 0) = 1.0F;
+    logvar(0, 0) = 0.5F + eps;
+    const double vp = gaussian_kl(mu, logvar).value;
+    logvar(0, 0) = 0.5F - eps;
+    const double vm = gaussian_kl(mu, logvar).value;
+    EXPECT_NEAR(base.grad_logvar(0, 0), (vp - vm) / (2.0 * eps), 1e-3);
+}
+
+TEST(Losses, RejectShapeMismatches) {
+    EXPECT_THROW((void)bce_with_logits(Matrix(1, 2), Matrix(2, 1)), kinet::Error);
+    EXPECT_THROW((void)mse(Matrix(1, 2), Matrix(1, 3)), kinet::Error);
+    EXPECT_THROW((void)gaussian_kl(Matrix(1, 2), Matrix(2, 2)), kinet::Error);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Optimizer behaviour: convergence on convex problems, clipping, state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/nn.hpp"
+
+namespace {
+
+using namespace kinet::nn;  // NOLINT
+using kinet::Rng;
+using Matrix = kinet::tensor::Matrix;
+
+// Minimise f(w) = ||w - target||^2 with the given optimizer.
+template <typename MakeOpt>
+double minimise_quadratic(MakeOpt make_opt, std::size_t steps) {
+    Parameter w(Matrix(1, 4, 0.0F), "w");
+    const Matrix target{{1.0F, -2.0F, 0.5F, 3.0F}};
+    std::vector<Parameter*> params = {&w};
+    auto opt = make_opt(params);
+    for (std::size_t i = 0; i < steps; ++i) {
+        opt->zero_grad();
+        for (std::size_t c = 0; c < 4; ++c) {
+            w.grad(0, c) = 2.0F * (w.value(0, c) - target(0, c));
+        }
+        opt->step();
+    }
+    double err = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+        err += std::abs(w.value(0, c) - target(0, c));
+    }
+    return err;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+    const double err = minimise_quadratic(
+        [](std::vector<Parameter*> p) { return std::make_unique<Sgd>(std::move(p), 0.05F, 0.0F); },
+        300);
+    EXPECT_LT(err, 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesConvergence) {
+    const double plain = minimise_quadratic(
+        [](std::vector<Parameter*> p) { return std::make_unique<Sgd>(std::move(p), 0.01F, 0.0F); },
+        60);
+    const double momentum = minimise_quadratic(
+        [](std::vector<Parameter*> p) { return std::make_unique<Sgd>(std::move(p), 0.01F, 0.9F); },
+        60);
+    EXPECT_LT(momentum, plain);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+    const double err = minimise_quadratic(
+        [](std::vector<Parameter*> p) {
+            return std::make_unique<Adam>(std::move(p), 0.1F, 0.9F, 0.999F);
+        },
+        400);
+    EXPECT_LT(err, 1e-2);
+}
+
+TEST(Adam, WeightDecayShrinksWeights) {
+    Parameter w(Matrix(1, 1, 5.0F), "w");
+    std::vector<Parameter*> params = {&w};
+    Adam opt(params, 0.1F, 0.9F, 0.999F, 1e-8F, /*weight_decay=*/0.5F);
+    for (int i = 0; i < 50; ++i) {
+        opt.zero_grad();  // zero gradient: only decay acts
+        opt.step();
+    }
+    EXPECT_LT(std::abs(w.value(0, 0)), 1.0F);
+}
+
+TEST(ClipGradNorm, RescalesOnlyWhenAboveThreshold) {
+    Parameter w(Matrix(1, 2), "w");
+    w.grad(0, 0) = 3.0F;
+    w.grad(0, 1) = 4.0F;  // norm 5
+    std::vector<Parameter*> params = {&w};
+
+    const double pre = clip_grad_norm(params, 10.0);
+    EXPECT_NEAR(pre, 5.0, 1e-6);
+    EXPECT_FLOAT_EQ(w.grad(0, 0), 3.0F);  // unchanged
+
+    const double pre2 = clip_grad_norm(params, 1.0);
+    EXPECT_NEAR(pre2, 5.0, 1e-6);
+    const double post = std::sqrt(w.grad(0, 0) * w.grad(0, 0) + w.grad(0, 1) * w.grad(0, 1));
+    EXPECT_NEAR(post, 1.0, 1e-4);
+}
+
+TEST(Optimizer, ZeroGradClearsAllParameters) {
+    Rng rng(300);
+    Sequential net;
+    net.emplace<Linear>(3, 3, rng);
+    net.emplace<Linear>(3, 1, rng);
+    auto params = net.parameters();
+    Adam opt(params, 0.01F);
+    for (auto* p : params) {
+        p->grad.fill(1.0F);
+    }
+    opt.zero_grad();
+    for (const auto* p : params) {
+        for (float g : p->grad.data()) {
+            EXPECT_EQ(g, 0.0F);
+        }
+    }
+}
+
+TEST(Optimizer, TrainsXorWithMlp) {
+    Rng rng(301);
+    Sequential net;
+    net.emplace<Linear>(2, 16, rng);
+    net.emplace<Tanh>();
+    net.emplace<Linear>(16, 1, rng);
+    Adam opt(net.parameters(), 0.05F, 0.9F, 0.999F);
+
+    const Matrix x{{0.0F, 0.0F}, {0.0F, 1.0F}, {1.0F, 0.0F}, {1.0F, 1.0F}};
+    const Matrix y{{0.0F}, {1.0F}, {1.0F}, {0.0F}};
+
+    double final_loss = 1e9;
+    for (int epoch = 0; epoch < 500; ++epoch) {
+        net.zero_grad();
+        const Matrix logits = net.forward(x, true);
+        const auto loss = bce_with_logits(logits, y);
+        (void)net.backward(loss.grad);
+        opt.step();
+        final_loss = loss.value;
+    }
+    EXPECT_LT(final_loss, 0.1);
+
+    const Matrix logits = net.forward(x, false);
+    EXPECT_LT(logits(0, 0), 0.0F);
+    EXPECT_GT(logits(1, 0), 0.0F);
+    EXPECT_GT(logits(2, 0), 0.0F);
+    EXPECT_LT(logits(3, 0), 0.0F);
+}
+
+}  // namespace

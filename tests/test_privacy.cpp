@@ -1,0 +1,171 @@
+// Tests for the three privacy attacks.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/data/split.hpp"
+#include "src/eval/privacy/attribute_inference.hpp"
+#include "src/eval/privacy/membership_inference.hpp"
+#include "src/eval/privacy/reidentification.hpp"
+#include "src/netsim/lab_simulator.hpp"
+
+namespace {
+
+using kinet::Rng;
+using namespace kinet::eval;  // NOLINT
+using kinet::data::Table;
+
+Table lab_table(std::size_t rows, std::uint64_t seed = 41) {
+    kinet::netsim::LabSimOptions opts;
+    opts.records = rows;
+    opts.seed = seed;
+    return kinet::netsim::LabTrafficSimulator(opts).generate();
+}
+
+std::vector<std::size_t> continuous_columns(const Table& t) {
+    std::vector<std::size_t> cols;
+    for (std::size_t c = 0; c < t.cols(); ++c) {
+        if (!t.meta(c).is_categorical()) {
+            cols.push_back(c);
+        }
+    }
+    return cols;
+}
+
+TEST(Reidentification, MemorizingReleaseIsWorseThanIndependentRelease) {
+    const Table original = lab_table(1200);
+    // "Memorizing" release: the original rows themselves.
+    // "Generalising" release: an independent draw from the same simulator.
+    const Table independent = lab_table(1200, /*seed=*/99);
+
+    ReidentificationOptions opts;
+    opts.qi_columns = continuous_columns(original);
+    opts.known_fraction = 0.3;
+    opts.max_targets = 400;
+
+    const double leaky = reidentification_attack(original, original, opts);
+    const double safe = reidentification_attack(original, independent, opts);
+    EXPECT_GT(leaky, safe);
+    EXPECT_GT(leaky, 0.5);  // exact copies are trivially linkable
+}
+
+TEST(Reidentification, AccuracyGrowsWithKnownFraction) {
+    const Table original = lab_table(800);
+    const Table release = lab_table(800, /*seed=*/77);
+    ReidentificationOptions opts;
+    opts.qi_columns = continuous_columns(original);
+    opts.max_targets = 400;
+
+    opts.known_fraction = 0.3;
+    const double p30 = reidentification_attack(original, release, opts);
+    opts.known_fraction = 0.9;
+    const double p90 = reidentification_attack(original, release, opts);
+    EXPECT_GT(p90, p30);
+    EXPECT_GT(p90, 0.8);  // floor ≈ known fraction
+}
+
+TEST(Reidentification, ValidatesOptions) {
+    const Table t = lab_table(50);
+    ReidentificationOptions opts;
+    opts.qi_columns = {};
+    EXPECT_THROW((void)reidentification_attack(t, t, opts), kinet::Error);
+    opts.qi_columns = {6};
+    opts.known_fraction = 1.5;
+    EXPECT_THROW((void)reidentification_attack(t, t, opts), kinet::Error);
+}
+
+TEST(AttributeInference, CopiedReleaseLeaksSensitiveColumn) {
+    const Table original = lab_table(1000);
+    AttributeInferenceOptions opts;
+    opts.qi_columns = continuous_columns(original);
+    opts.sensitive_column = original.column_index("event_type");
+    opts.max_targets = 400;
+
+    // Against itself the QIs identify the event type strongly (numeric
+    // profiles are event-specific).
+    const double leaky = attribute_inference_attack(original, original, opts);
+    EXPECT_GT(leaky, 0.5);
+
+    // A label-shuffled release breaks the QI -> sensitive link.
+    Table shuffled = original;
+    Rng rng(5);
+    const auto perm = rng.permutation(shuffled.rows());
+    for (std::size_t r = 0; r < shuffled.rows(); ++r) {
+        shuffled.set_value(r, opts.sensitive_column,
+                           original.value(perm[r], opts.sensitive_column));
+    }
+    const double safe = attribute_inference_attack(original, shuffled, opts);
+    EXPECT_LT(safe, leaky - 0.1);
+}
+
+TEST(AttributeInference, RejectsContinuousSensitiveColumn) {
+    const Table t = lab_table(100);
+    AttributeInferenceOptions opts;
+    opts.qi_columns = {6};
+    opts.sensitive_column = 7;  // continuous
+    EXPECT_THROW((void)attribute_inference_attack(t, t, opts), kinet::Error);
+}
+
+TEST(ThresholdAttack, PerfectlySeparatedScoresGiveAccuracyOne) {
+    const std::vector<double> members = {0.9, 0.8, 0.95};
+    const std::vector<double> nonmembers = {0.1, 0.2, 0.05};
+    EXPECT_DOUBLE_EQ(threshold_attack_accuracy(members, nonmembers), 1.0);
+}
+
+TEST(ThresholdAttack, IdenticalDistributionsStayNearChance) {
+    Rng rng(6);
+    std::vector<double> members(300);
+    std::vector<double> nonmembers(300);
+    for (auto& v : members) {
+        v = rng.uniform();
+    }
+    for (auto& v : nonmembers) {
+        v = rng.uniform();
+    }
+    const double acc = threshold_attack_accuracy(members, nonmembers);
+    EXPECT_GE(acc, 0.5);  // by construction
+    EXPECT_LT(acc, 0.62);  // only small-sample fluctuation above chance
+}
+
+TEST(MembershipInference, FbbDetectsMemorizedMembers) {
+    const Table all = lab_table(1600);
+    Rng rng(7);
+    const auto split = kinet::data::train_test_split(all, 0.5, rng);
+    // The release *is* the member set: maximal memorisation.
+    FbbOptions opts;
+    opts.feature_columns = continuous_columns(all);
+    opts.max_candidates = 300;
+    const double leaky =
+        membership_inference_full_black_box(split.train, split.test, split.train, opts);
+    EXPECT_GT(leaky, 0.9);
+
+    // An independent release should be near chance.
+    const Table independent = lab_table(800, /*seed=*/123);
+    const double safe =
+        membership_inference_full_black_box(split.train, split.test, independent, opts);
+    EXPECT_LT(safe, 0.65);
+}
+
+TEST(MembershipInference, WhiteBoxUsesScoreSeparation) {
+    // Members scored systematically higher by a leaky discriminator.
+    Rng rng(8);
+    std::vector<double> member_scores(200);
+    std::vector<double> nonmember_scores(200);
+    for (auto& v : member_scores) {
+        v = rng.normal(0.7, 0.1);
+    }
+    for (auto& v : nonmember_scores) {
+        v = rng.normal(0.45, 0.1);
+    }
+    EXPECT_GT(membership_inference_white_box(member_scores, nonmember_scores), 0.75);
+}
+
+TEST(MembershipInference, ValidatesInputs) {
+    const Table t = lab_table(50);
+    FbbOptions opts;  // empty feature columns
+    EXPECT_THROW((void)membership_inference_full_black_box(t, t, t, opts), kinet::Error);
+    const std::vector<double> empty;
+    const std::vector<double> one = {0.5};
+    EXPECT_THROW((void)threshold_attack_accuracy(empty, one), kinet::Error);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Tests for train/test splitting.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/data/split.hpp"
+
+namespace {
+
+using kinet::Rng;
+using namespace kinet::data;  // NOLINT
+
+Table labelled_table(std::size_t rows, Rng& rng) {
+    Table t({ColumnMeta::continuous_column("x"),
+             ColumnMeta::categorical_column("y", {"a", "b", "c"})});
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double u = rng.uniform();
+        t.append_row({static_cast<float>(r), (u < 0.7) ? 0.0F : (u < 0.95 ? 1.0F : 2.0F)});
+    }
+    return t;
+}
+
+TEST(Split, PartitionIsCompleteAndDisjoint) {
+    Rng rng(700);
+    const Table t = labelled_table(100, rng);
+    const auto split = train_test_split(t, 0.25, rng);
+    EXPECT_EQ(split.train.rows() + split.test.rows(), t.rows());
+    // The x column is a unique row id: check disjointness through it.
+    std::vector<bool> seen(100, false);
+    for (std::size_t r = 0; r < split.train.rows(); ++r) {
+        seen[static_cast<std::size_t>(split.train.value(r, 0))] = true;
+    }
+    for (std::size_t r = 0; r < split.test.rows(); ++r) {
+        const auto id = static_cast<std::size_t>(split.test.value(r, 0));
+        EXPECT_FALSE(seen[id]);
+    }
+}
+
+TEST(Split, FractionIsRespected) {
+    Rng rng(701);
+    const Table t = labelled_table(1000, rng);
+    const auto split = train_test_split(t, 0.3, rng);
+    EXPECT_NEAR(static_cast<double>(split.test.rows()) / t.rows(), 0.3, 0.02);
+}
+
+TEST(Split, StratifiedKeepsClassProportions) {
+    Rng rng(702);
+    const Table t = labelled_table(2000, rng);
+    const auto split = train_test_split(t, 0.25, rng, 1);
+    const auto orig = t.category_counts(1);
+    const auto test = split.test.category_counts(1);
+    for (std::size_t k = 0; k < orig.size(); ++k) {
+        if (orig[k] == 0) {
+            continue;
+        }
+        const double orig_p = static_cast<double>(orig[k]) / t.rows();
+        const double test_p = static_cast<double>(test[k]) / split.test.rows();
+        EXPECT_NEAR(test_p, orig_p, 0.03);
+    }
+}
+
+TEST(Split, StratifiedKeepsRareClassInTraining) {
+    Rng rng(703);
+    Table t({ColumnMeta::continuous_column("x"),
+             ColumnMeta::categorical_column("y", {"common", "rare"})});
+    for (int i = 0; i < 50; ++i) {
+        t.append_row({static_cast<float>(i), 0.0F});
+    }
+    t.append_row({99.0F, 1.0F});  // single rare row
+    const auto split = train_test_split(t, 0.5, rng, 1);
+    EXPECT_EQ(split.train.category_counts(1)[1], 1U);  // rare stays in train
+}
+
+TEST(Split, RejectsBadFractions) {
+    Rng rng(704);
+    const Table t = labelled_table(10, rng);
+    EXPECT_THROW((void)train_test_split(t, 0.0, rng), kinet::Error);
+    EXPECT_THROW((void)train_test_split(t, 1.0, rng), kinet::Error);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Round-trip and structural tests for the table transformers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/data/transformer.hpp"
+
+namespace {
+
+using kinet::Rng;
+using namespace kinet::data;  // NOLINT
+
+Table mixed_table(std::size_t rows, Rng& rng) {
+    Table t({
+        ColumnMeta::categorical_column("proto", {"tcp", "udp", "icmp"}),
+        ColumnMeta::continuous_column("bytes"),
+        ColumnMeta::continuous_column("duration"),
+        ColumnMeta::categorical_column("label", {"benign", "attack"}),
+    });
+    for (std::size_t r = 0; r < rows; ++r) {
+        t.append_row({static_cast<float>(rng.randint(0, 2)),
+                      static_cast<float>(rng.bernoulli(0.5) ? rng.normal(100.0, 10.0)
+                                                            : rng.normal(5000.0, 300.0)),
+                      static_cast<float>(rng.lognormal(2.0, 0.4)),
+                      static_cast<float>(rng.bernoulli(0.2) ? 1 : 0)});
+    }
+    return t;
+}
+
+TEST(TableTransformer, SpanLayoutIsContiguousAndComplete) {
+    Rng rng(500);
+    const Table t = mixed_table(400, rng);
+    TableTransformer tf;
+    tf.fit(t, TransformerOptions{}, rng);
+
+    std::size_t expected_offset = 0;
+    for (const auto& span : tf.spans()) {
+        EXPECT_EQ(span.offset, expected_offset);
+        expected_offset += span.width;
+    }
+    EXPECT_EQ(expected_offset, tf.output_width());
+    // 2 categorical one-hots + 2 x (alpha + modes).
+    EXPECT_EQ(tf.spans().size(), 6U);
+}
+
+TEST(TableTransformer, TransformedRowsAreValidEncodings) {
+    Rng rng(501);
+    const Table t = mixed_table(300, rng);
+    TableTransformer tf;
+    tf.fit(t, TransformerOptions{}, rng);
+    const auto enc = tf.transform(t, rng);
+    EXPECT_EQ(enc.rows(), t.rows());
+    EXPECT_EQ(enc.cols(), tf.output_width());
+
+    for (const auto& span : tf.spans()) {
+        for (std::size_t r = 0; r < enc.rows(); ++r) {
+            if (span.kind == SpanKind::continuous_alpha) {
+                EXPECT_GE(enc(r, span.offset), -1.0F);
+                EXPECT_LE(enc(r, span.offset), 1.0F);
+            } else {
+                float total = 0.0F;
+                for (std::size_t j = 0; j < span.width; ++j) {
+                    const float v = enc(r, span.offset + j);
+                    EXPECT_TRUE(v == 0.0F || v == 1.0F);
+                    total += v;
+                }
+                EXPECT_FLOAT_EQ(total, 1.0F);  // exactly one hot
+            }
+        }
+    }
+}
+
+TEST(TableTransformer, RoundTripRecoversCategoriesExactly) {
+    Rng rng(502);
+    const Table t = mixed_table(300, rng);
+    TableTransformer tf;
+    tf.fit(t, TransformerOptions{}, rng);
+    const Table back = tf.inverse(tf.transform(t, rng));
+    ASSERT_EQ(back.rows(), t.rows());
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        EXPECT_EQ(back.category_at(r, 0), t.category_at(r, 0));
+        EXPECT_EQ(back.category_at(r, 3), t.category_at(r, 3));
+    }
+}
+
+TEST(TableTransformer, RoundTripRecoversContinuousApproximately) {
+    Rng rng(503);
+    const Table t = mixed_table(500, rng);
+    TableTransformer tf;
+    TransformerOptions opts;
+    opts.sample_mode_assignment = false;  // deterministic for tight bounds
+    tf.fit(t, opts, rng);
+    const Table back = tf.inverse(tf.transform(t, rng));
+    double rel_err = 0.0;
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        rel_err += std::abs(back.value(r, 1) - t.value(r, 1)) /
+                   std::max(1.0F, std::abs(t.value(r, 1)));
+    }
+    rel_err /= static_cast<double>(t.rows());
+    EXPECT_LT(rel_err, 0.05);  // alpha clamping loses only distribution tails
+}
+
+TEST(TableTransformer, CategorySpanLookup) {
+    Rng rng(504);
+    const Table t = mixed_table(100, rng);
+    TableTransformer tf;
+    tf.fit(t, TransformerOptions{}, rng);
+    const auto& span = tf.category_span(0);
+    EXPECT_EQ(span.width, 3U);
+    EXPECT_EQ(span.kind, SpanKind::category_onehot);
+    EXPECT_THROW((void)tf.category_span(1), kinet::Error);  // continuous
+}
+
+TEST(TableTransformer, RejectsUseBeforeFit) {
+    Rng rng(505);
+    TableTransformer tf;
+    const Table t = mixed_table(10, rng);
+    EXPECT_THROW((void)tf.transform(t, rng), kinet::Error);
+    EXPECT_THROW((void)tf.inverse(kinet::tensor::Matrix(1, 1)), kinet::Error);
+}
+
+TEST(MinMaxTransformer, MapsIntoUnitBoxAndBack) {
+    Rng rng(506);
+    const Table t = mixed_table(200, rng);
+    MinMaxTransformer mm;
+    mm.fit(t);
+    const auto enc = mm.transform(t);
+    for (float v : enc.data()) {
+        EXPECT_GE(v, -1.0F - 1e-5F);
+        EXPECT_LE(v, 1.0F + 1e-5F);
+    }
+    const Table back = mm.inverse(enc);
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        EXPECT_EQ(back.category_at(r, 0), t.category_at(r, 0));  // ordinals round-trip
+        EXPECT_NEAR(back.value(r, 1), t.value(r, 1), 1.0F);
+    }
+}
+
+TEST(MinMaxTransformer, ClampsOutOfRangeDecodes) {
+    Rng rng(507);
+    const Table t = mixed_table(50, rng);
+    MinMaxTransformer mm;
+    mm.fit(t);
+    kinet::tensor::Matrix wild(1, mm.output_width(), 99.0F);
+    const Table back = mm.inverse(wild);
+    EXPECT_EQ(back.rows(), 1U);
+    EXPECT_LT(back.category_at(0, 0), 3U);  // clamped into the category range
+}
+
+// Property sweep: round-trip holds across transformer mode budgets.
+class TransformerModes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TransformerModes, CategoricalRoundTripExactForAnyModeBudget) {
+    Rng rng(508 + GetParam());
+    const Table t = mixed_table(200, rng);
+    TableTransformer tf;
+    TransformerOptions opts;
+    opts.max_modes = GetParam();
+    tf.fit(t, opts, rng);
+    const Table back = tf.inverse(tf.transform(t, rng));
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        EXPECT_EQ(back.category_at(r, 0), t.category_at(r, 0));
+        EXPECT_EQ(back.category_at(r, 3), t.category_at(r, 3));
+        EXPECT_TRUE(std::isfinite(back.value(r, 1)));
+        EXPECT_TRUE(std::isfinite(back.value(r, 2)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModeBudgets, TransformerModes, ::testing::Values(1U, 2U, 3U, 5U, 8U));
+
+}  // namespace

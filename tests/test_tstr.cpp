@@ -1,0 +1,88 @@
+// Tests for the TSTR (train-synthetic-test-real) harness.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/data/split.hpp"
+#include "src/eval/tstr.hpp"
+#include "src/netsim/lab_simulator.hpp"
+
+namespace {
+
+using namespace kinet::eval;  // NOLINT
+using kinet::data::Table;
+
+Table lab_table(std::size_t rows) {
+    kinet::netsim::LabSimOptions opts;
+    opts.records = rows;
+    opts.seed = 31;
+    return kinet::netsim::LabTrafficSimulator(opts).generate();
+}
+
+TEST(Tstr, RunsAllSixClassifiers) {
+    const Table t = lab_table(1200);
+    kinet::Rng rng(1);
+    const auto split = kinet::data::train_test_split(t, 0.3, rng,
+                                                     kinet::netsim::lab_label_column());
+    const auto results =
+        evaluate_tstr(split.train, split.test, kinet::netsim::lab_label_column());
+    ASSERT_EQ(results.size(), 6U);
+    std::vector<std::string> names;
+    for (const auto& r : results) {
+        names.push_back(r.classifier);
+        EXPECT_GE(r.accuracy, 0.0);
+        EXPECT_LE(r.accuracy, 1.0);
+        EXPECT_GE(r.macro_f1, 0.0);
+        EXPECT_LE(r.macro_f1, 1.0);
+    }
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(Tstr, RealOnRealBaselineIsStrong) {
+    // The lab labels are nearly determined by the conditional attributes, so
+    // train-on-real/test-on-real must be close to perfect — this validates
+    // the whole pipeline (encoding, classifiers, metrics).
+    const Table t = lab_table(2000);
+    kinet::Rng rng(2);
+    const auto split = kinet::data::train_test_split(t, 0.3, rng,
+                                                     kinet::netsim::lab_label_column());
+    const auto results =
+        evaluate_tstr(split.train, split.test, kinet::netsim::lab_label_column());
+    EXPECT_GT(average_accuracy(results), 0.9);
+}
+
+TEST(Tstr, GarbageTrainingDataScoresPoorly) {
+    const Table real = lab_table(800);
+    kinet::Rng rng(3);
+    const auto split = kinet::data::train_test_split(real, 0.4, rng,
+                                                     kinet::netsim::lab_label_column());
+
+    // Shuffle the labels of the training side: utility must collapse.
+    Table garbage = split.train;
+    const std::size_t label_col = kinet::netsim::lab_label_column();
+    const auto perm = rng.permutation(garbage.rows());
+    for (std::size_t r = 0; r < garbage.rows(); ++r) {
+        garbage.set_value(r, label_col, split.train.value(perm[r], label_col));
+    }
+    const auto garbage_results = evaluate_tstr(garbage, split.test, label_col);
+    const auto real_results = evaluate_tstr(split.train, split.test, label_col);
+    EXPECT_LT(average_accuracy(garbage_results) + 0.05, average_accuracy(real_results));
+}
+
+TEST(Tstr, MaxTrainRowsCapIsApplied) {
+    const Table t = lab_table(1500);
+    kinet::Rng rng(4);
+    const auto split = kinet::data::train_test_split(t, 0.3, rng,
+                                                     kinet::netsim::lab_label_column());
+    TstrOptions opts;
+    opts.max_train_rows = 200;  // heavy subsample still runs end to end
+    const auto results = evaluate_tstr(split.train, split.test,
+                                       kinet::netsim::lab_label_column(), opts);
+    EXPECT_EQ(results.size(), 6U);
+}
+
+TEST(Tstr, AverageAccuracyRejectsEmpty) {
+    EXPECT_THROW((void)average_accuracy({}), kinet::Error);
+}
+
+}  // namespace
