@@ -36,7 +36,7 @@ void BM_Matmul(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(2 * n * n * n));
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->UseRealTime();
 
 void BM_MlpForwardBackward(benchmark::State& state) {
     Rng rng(2);

@@ -1,0 +1,167 @@
+#include "src/common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace kinet {
+
+std::size_t hardware_threads() {
+    static const std::size_t cached = [] {
+        if (const char* env = std::getenv("KINET_NUM_THREADS")) {
+            const long parsed = std::strtol(env, nullptr, 10);
+            if (parsed > 0) {
+                return static_cast<std::size_t>(std::min(parsed, 256L));
+            }
+        }
+        const unsigned hw = std::thread::hardware_concurrency();
+        return static_cast<std::size_t>(hw > 0 ? hw : 1);
+    }();
+    return cached;
+}
+
+struct ThreadPool::Impl {
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stop = false;
+
+    void worker_loop() {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                cv.wait(lock, [&] { return stop || !queue.empty(); });
+                if (stop && queue.empty()) {
+                    return;
+                }
+                task = std::move(queue.front());
+                queue.pop_front();
+            }
+            task();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+    const std::size_t workers = threads > 1 ? threads - 1 : 0;
+    impl_->workers.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->stop = true;
+    }
+    impl_->cv.notify_all();
+    for (auto& w : impl_->workers) {
+        w.join();
+    }
+}
+
+std::size_t ThreadPool::size() const noexcept { return impl_->workers.size() + 1; }
+
+void ThreadPool::parallel_for(std::size_t count, std::size_t max_chunks,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+    KINET_CHECK(static_cast<bool>(fn), "parallel_for: empty function");
+    if (count == 0) {
+        return;
+    }
+    const std::size_t chunks = std::clamp<std::size_t>(max_chunks, 1, std::min(size(), count));
+    if (chunks == 1) {
+        fn(0, count);
+        return;
+    }
+
+    // Per-call completion state lives on the stack; workers only touch it
+    // through the shared_ptr captured in each task.
+    struct Batch {
+        std::atomic<std::size_t> remaining;
+        std::mutex mu;
+        std::condition_variable done;
+        std::exception_ptr error;
+    };
+    auto batch = std::make_shared<Batch>();
+    batch->remaining.store(chunks, std::memory_order_relaxed);
+
+    auto run_chunk = [batch, &fn](std::size_t begin, std::size_t end) {
+        try {
+            fn(begin, end);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(batch->mu);
+            if (!batch->error) {
+                batch->error = std::current_exception();
+            }
+        }
+        if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            const std::lock_guard<std::mutex> lock(batch->mu);
+            batch->done.notify_all();
+        }
+    };
+
+    // Deterministic partition: chunk c covers [c*count/chunks, (c+1)*count/chunks).
+    auto chunk_begin = [count, chunks](std::size_t c) { return c * count / chunks; };
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mu);
+        for (std::size_t c = 1; c < chunks; ++c) {
+            impl_->queue.emplace_back(
+                [run_chunk, b = chunk_begin(c), e = chunk_begin(c + 1)] { run_chunk(b, e); });
+        }
+    }
+    impl_->cv.notify_all();
+
+    // The submitting thread takes chunk 0, then drains any of this batch's
+    // chunks still queued (workers may be busy with other batches).
+    run_chunk(chunk_begin(0), chunk_begin(1));
+    for (;;) {
+        std::function<void()> task;
+        {
+            const std::lock_guard<std::mutex> lock(impl_->mu);
+            if (!impl_->queue.empty()) {
+                task = std::move(impl_->queue.front());
+                impl_->queue.pop_front();
+            }
+        }
+        if (!task) {
+            break;
+        }
+        task();
+    }
+
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done.wait(lock, [&] { return batch->remaining.load(std::memory_order_acquire) == 0; });
+    if (batch->error) {
+        std::rethrow_exception(batch->error);
+    }
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool(hardware_threads());
+    return pool;
+}
+
+void parallel_for(std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::size_t g = std::max<std::size_t>(grain, 1);
+    if (count < 2 * g || hardware_threads() <= 1) {
+        if (count > 0) {
+            fn(0, count);
+        }
+        return;
+    }
+    ThreadPool::global().parallel_for(count, count / g, fn);
+}
+
+}  // namespace kinet

@@ -1,0 +1,68 @@
+// Shared-memory parallelism primitives: a lazily started thread pool and a
+// deterministic `parallel_for` over index ranges.
+//
+// Determinism contract: `parallel_for(count, grain, fn)` always splits
+// [0, count) into the same contiguous chunks for a given (count, grain,
+// thread count), and each chunk writes only its own slice of the output.
+// Kernels built on it therefore produce bit-identical results run-to-run,
+// and — because per-index arithmetic never depends on the chunking — across
+// thread counts as well.
+//
+// The pool size is `hardware_threads()`: std::thread::hardware_concurrency
+// unless overridden by the KINET_NUM_THREADS environment variable (read
+// once, at first use).  A pool of size <= 1 executes everything inline on
+// the calling thread, so single-core machines pay no synchronisation cost.
+#ifndef KINETGAN_COMMON_PARALLEL_H
+#define KINETGAN_COMMON_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace kinet {
+
+/// Worker count for the global pool: KINET_NUM_THREADS if set (clamped to
+/// [1, 256]), otherwise std::thread::hardware_concurrency(), at least 1.
+[[nodiscard]] std::size_t hardware_threads();
+
+/// Fixed-size pool of worker threads executing queued tasks.  The calling
+/// thread of `parallel_for` participates in the work, so a pool is never
+/// idle-blocked on its own submission.
+class ThreadPool {
+public:
+    /// Starts `threads - 1` workers (the submitting thread is the last
+    /// lane); `threads <= 1` starts none and runs everything inline.
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total parallel lanes (workers + the submitting thread).
+    [[nodiscard]] std::size_t size() const noexcept;
+
+    /// Splits [0, count) into at most `max_chunks` contiguous, equal-as-
+    /// possible chunks (never more than size(), never fewer than 1) and
+    /// runs fn(begin, end) on each; blocks until all chunks finish.
+    /// Exceptions thrown by `fn` are rethrown on the calling thread (the
+    /// first one observed).  Must not be called recursively from inside
+    /// `fn` on the same pool.
+    void parallel_for(std::size_t count, std::size_t max_chunks,
+                      const std::function<void(std::size_t, std::size_t)>& fn);
+
+    /// Process-wide pool of hardware_threads() lanes, started on first use.
+    static ThreadPool& global();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Runs fn(begin, end) over [0, count) on the global pool.  `grain` is the
+/// minimum number of indices per chunk: ranges smaller than 2*grain (or a
+/// single-lane pool) run inline as one serial call fn(0, count).
+void parallel_for(std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace kinet
+
+#endif  // KINETGAN_COMMON_PARALLEL_H

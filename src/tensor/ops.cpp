@@ -4,8 +4,23 @@
 #include <cmath>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 
 namespace kinet::tensor {
+
+namespace {
+
+// Output rows are partitioned across threads; every row's accumulation
+// order is fixed regardless of the partition, so results are bit-identical
+// at any thread count.  Grain is sized so a chunk carries at least ~2^16
+// multiply-adds — below that, parallel_for runs the kernel inline.
+constexpr std::size_t kMinFlopsPerChunk = 1U << 16;
+
+std::size_t row_grain(std::size_t flops_per_row) {
+    return kMinFlopsPerChunk / std::max<std::size_t>(flops_per_row, 1) + 1;
+}
+
+}  // namespace
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
     KINET_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
@@ -14,20 +29,19 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
     const std::size_t n = b.cols();
     Matrix c(m, n);
     // i-k-j ordering: the inner loop streams rows of B and C.
-    for (std::size_t i = 0; i < m; ++i) {
-        auto crow = c.row(i);
-        const auto arow = a.row(i);
-        for (std::size_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0F) {
-                continue;
-            }
-            const auto brow = b.row(p);
-            for (std::size_t j = 0; j < n; ++j) {
-                crow[j] += av * brow[j];
+    parallel_for(m, row_grain(k * n), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+            auto crow = c.row(i);
+            const auto arow = a.row(i);
+            for (std::size_t p = 0; p < k; ++p) {
+                const float av = arow[p];
+                const auto brow = b.row(p);
+                for (std::size_t j = 0; j < n; ++j) {
+                    crow[j] += av * brow[j];
+                }
             }
         }
-    }
+    });
     return c;
 }
 
@@ -37,20 +51,21 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
     const std::size_t k = a.rows();
     const std::size_t n = b.cols();
     Matrix c(m, n);
-    for (std::size_t p = 0; p < k; ++p) {
-        const auto arow = a.row(p);
-        const auto brow = b.row(p);
-        for (std::size_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0F) {
-                continue;
-            }
-            auto crow = c.row(i);
-            for (std::size_t j = 0; j < n; ++j) {
-                crow[j] += av * brow[j];
+    // Each chunk owns a band of output rows (columns of A), streaming rows
+    // of B; A is read with stride cols but only within the band.
+    parallel_for(m, row_grain(k * n), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t p = 0; p < k; ++p) {
+            const auto arow = a.row(p);
+            const auto brow = b.row(p);
+            for (std::size_t i = r0; i < r1; ++i) {
+                const float av = arow[i];
+                auto crow = c.row(i);
+                for (std::size_t j = 0; j < n; ++j) {
+                    crow[j] += av * brow[j];
+                }
             }
         }
-    }
+    });
     return c;
 }
 
@@ -60,18 +75,20 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
     const std::size_t k = a.cols();
     const std::size_t n = b.rows();
     Matrix c(m, n);
-    for (std::size_t i = 0; i < m; ++i) {
-        const auto arow = a.row(i);
-        auto crow = c.row(i);
-        for (std::size_t j = 0; j < n; ++j) {
-            const auto brow = b.row(j);
-            float acc = 0.0F;
-            for (std::size_t p = 0; p < k; ++p) {
-                acc += arow[p] * brow[p];
+    parallel_for(m, row_grain(k * n), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+            const auto arow = a.row(i);
+            auto crow = c.row(i);
+            for (std::size_t j = 0; j < n; ++j) {
+                const auto brow = b.row(j);
+                float acc = 0.0F;
+                for (std::size_t p = 0; p < k; ++p) {
+                    acc += arow[p] * brow[p];
+                }
+                crow[j] = acc;
             }
-            crow[j] = acc;
         }
-    }
+    });
     return c;
 }
 

@@ -1,8 +1,11 @@
 // Free-function linear-algebra kernels over Matrix.
 //
 // These are the only numeric kernels the neural stack uses; everything else
-// is composed from them.  matmul uses a cache-blocked i-k-j loop which is
-// ample for the layer sizes in this project (micro-benched in bench_micro).
+// is composed from them.  The matmul family runs row-blocked across the
+// global thread pool (src/common/parallel.hpp) with a serial inline path
+// for small shapes; each output row's accumulation order is fixed, so
+// results are bit-identical run-to-run at any thread count (micro-benched
+// in bench_micro).
 #ifndef KINETGAN_TENSOR_OPS_H
 #define KINETGAN_TENSOR_OPS_H
 
