@@ -2,7 +2,16 @@
 // training step, KG oracle compilation + queries, transformer encode, and
 // the conditional sampler.  These justify the bench-scale configurations and
 // document where the training time goes.
+//
+// `--json FILE` writes the machine-readable google-benchmark JSON report to
+// FILE (shorthand for --benchmark_out=FILE --benchmark_out_format=json); CI
+// uploads it as the perf-regression artifact.  All other flags pass through
+// to google-benchmark.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/common/rng.hpp"
 #include "src/data/sampler.hpp"
@@ -117,3 +126,37 @@ void BM_LabSimulator1k(benchmark::State& state) {
 BENCHMARK(BM_LabSimulator1k);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+    // Expand --json FILE / --json=FILE before handing the argv to
+    // google-benchmark; storage must outlive Initialize().
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string file;
+        if (arg == "--json" && i + 1 < argc) {
+            file = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            file = arg.substr(7);
+        } else {
+            args.push_back(arg);
+            continue;
+        }
+        args.push_back("--benchmark_out=" + file);
+        args.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char*> cargs;
+    cargs.reserve(args.size());
+    for (auto& arg : args) {
+        cargs.push_back(arg.data());
+    }
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

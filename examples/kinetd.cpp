@@ -1,0 +1,111 @@
+// kinetd — the synthetic-data-as-a-service daemon.
+//
+// Runs a SynthServer on 127.0.0.1 and serves the KNP/1 wire protocol
+// (docs/protocol.md): TRAIN models on local site traffic, LOAD/SAVE
+// snapshots, and hand out deterministic SAMPLE streams to NIDS clients.
+//
+//   kinetd [--port P] [--load NAME=PATH]... [--epochs N]
+//
+//   --port P        listen port (default 9190; 0 picks an ephemeral port)
+//   --load N=PATH   register snapshot PATH under model name N at startup
+//   --epochs N      default TRAIN epochs (default 30)
+//
+// The daemon exits cleanly on SIGINT/SIGTERM.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/service/server.hpp"
+#include "src/service/snapshot.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int /*sig*/) { g_stop.store(true); }
+
+[[noreturn]] void usage_and_exit() {
+    std::cerr << "usage: kinetd [--port P] [--load NAME=PATH]... [--epochs N]\n";
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace kinet;  // NOLINT
+
+    service::ServerOptions options;
+    options.port = 9190;
+    std::vector<std::pair<std::string, std::string>> preload;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next_value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage_and_exit();
+            }
+            return argv[++i];
+        };
+        const auto next_number = [&](unsigned long max) -> unsigned long {
+            try {
+                std::size_t consumed = 0;
+                const std::string value = next_value();
+                const unsigned long parsed = std::stoul(value, &consumed);
+                if (consumed != value.size() || parsed > max) {
+                    usage_and_exit();
+                }
+                return parsed;
+            } catch (const std::exception&) {
+                usage_and_exit();
+            }
+        };
+        if (arg == "--port") {
+            options.port = static_cast<std::uint16_t>(next_number(65535));
+        } else if (arg == "--epochs") {
+            options.default_epochs = static_cast<std::size_t>(next_number(1000000));
+        } else if (arg == "--load") {
+            const std::string spec = next_value();
+            const std::size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+                usage_and_exit();
+            }
+            preload.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+        } else {
+            usage_and_exit();
+        }
+    }
+
+    service::SynthServer server(options);
+    try {
+        server.start();
+        for (const auto& [name, path] : preload) {
+            server.registry().put(name, service::load_snapshot_file(path));
+            std::cout << "kinetd: loaded model '" << name << "' from " << path << "\n";
+        }
+    } catch (const Error& e) {
+        std::cerr << "kinetd: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::cout << "kinetd: listening on 127.0.0.1:" << server.port() << " (pid " << ::getpid()
+              << ")\n"
+              << std::flush;
+
+    while (!g_stop.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::cout << "kinetd: shutting down\n";
+    server.stop();
+    return 0;
+}

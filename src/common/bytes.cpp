@@ -1,0 +1,187 @@
+#include "src/common/bytes.hpp"
+
+#include "src/common/check.hpp"
+
+namespace kinet::bytes {
+namespace {
+
+template <typename T>
+void append_le(std::string& buf, T v) {
+    char raw[sizeof(T)];
+    std::memcpy(raw, &v, sizeof(T));
+    buf.append(raw, sizeof(T));
+}
+
+}  // namespace
+
+void Writer::u8(std::uint8_t v) { append_le(buf_, v); }
+void Writer::u16(std::uint16_t v) { append_le(buf_, v); }
+void Writer::u32(std::uint32_t v) { append_le(buf_, v); }
+void Writer::u64(std::uint64_t v) { append_le(buf_, v); }
+void Writer::i64(std::int64_t v) { append_le(buf_, v); }
+void Writer::f32(float v) { append_le(buf_, v); }
+void Writer::f64(double v) { append_le(buf_, v); }
+void Writer::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Writer::str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+}
+
+void Writer::f32_array(std::span<const float> values) {
+    u64(values.size());
+    if (!values.empty()) {
+        buf_.append(reinterpret_cast<const char*>(values.data()), values.size() * sizeof(float));
+    }
+}
+
+void Writer::f64_array(std::span<const double> values) {
+    u64(values.size());
+    if (!values.empty()) {
+        buf_.append(reinterpret_cast<const char*>(values.data()), values.size() * sizeof(double));
+    }
+}
+
+void Writer::index_array(std::span<const std::size_t> values) {
+    u64(values.size());
+    for (const std::size_t v : values) {
+        u64(v);
+    }
+}
+
+void Writer::raw(std::string_view data) { buf_.append(data.data(), data.size()); }
+
+void Reader::require(std::size_t n, const char* what) const {
+    if (buf_.size() - pos_ < n) {
+        throw Error("bytes: truncated buffer reading " + std::string(what) + " (need " +
+                    std::to_string(n) + " bytes at offset " + std::to_string(pos_) + ", have " +
+                    std::to_string(buf_.size() - pos_) + ")");
+    }
+}
+
+namespace {
+
+// Element counts come from the (possibly corrupt) buffer itself, so the
+// byte-size computation must not be allowed to overflow past the bounds check.
+void require_count(std::size_t count, std::size_t elem_size, std::size_t remaining,
+                   const char* what) {
+    if (count > remaining / elem_size) {
+        throw Error("bytes: truncated buffer reading " + std::string(what) + " (" +
+                    std::to_string(count) + " elements declared, " + std::to_string(remaining) +
+                    " bytes remain)");
+    }
+}
+
+}  // namespace
+
+namespace {
+
+template <typename T>
+T consume_le(std::string_view buf, std::size_t& pos) {
+    T v;
+    std::memcpy(&v, buf.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+}
+
+}  // namespace
+
+std::uint8_t Reader::u8() {
+    require(1, "u8");
+    return consume_le<std::uint8_t>(buf_, pos_);
+}
+
+std::uint16_t Reader::u16() {
+    require(2, "u16");
+    return consume_le<std::uint16_t>(buf_, pos_);
+}
+
+std::uint32_t Reader::u32() {
+    require(4, "u32");
+    return consume_le<std::uint32_t>(buf_, pos_);
+}
+
+std::uint64_t Reader::u64() {
+    require(8, "u64");
+    return consume_le<std::uint64_t>(buf_, pos_);
+}
+
+std::int64_t Reader::i64() {
+    require(8, "i64");
+    return consume_le<std::int64_t>(buf_, pos_);
+}
+
+float Reader::f32() {
+    require(4, "f32");
+    return consume_le<float>(buf_, pos_);
+}
+
+double Reader::f64() {
+    require(8, "f64");
+    return consume_le<double>(buf_, pos_);
+}
+
+bool Reader::boolean() { return u8() != 0; }
+
+std::string Reader::str() {
+    const auto n = static_cast<std::size_t>(u64());
+    require(n, "string payload");
+    std::string out(buf_.substr(pos_, n));
+    pos_ += n;
+    return out;
+}
+
+std::vector<float> Reader::f32_array() {
+    const auto n = static_cast<std::size_t>(u64());
+    require_count(n, sizeof(float), remaining(), "f32 array payload");
+    std::vector<float> out(n);
+    if (n > 0) {
+        std::memcpy(out.data(), buf_.data() + pos_, n * sizeof(float));
+        pos_ += n * sizeof(float);
+    }
+    return out;
+}
+
+std::vector<double> Reader::f64_array() {
+    const auto n = static_cast<std::size_t>(u64());
+    require_count(n, sizeof(double), remaining(), "f64 array payload");
+    std::vector<double> out(n);
+    if (n > 0) {
+        std::memcpy(out.data(), buf_.data() + pos_, n * sizeof(double));
+        pos_ += n * sizeof(double);
+    }
+    return out;
+}
+
+std::vector<std::size_t> Reader::index_array() {
+    const auto n = static_cast<std::size_t>(u64());
+    require_count(n, 8, remaining(), "index array payload");
+    std::vector<std::size_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<std::size_t>(consume_le<std::uint64_t>(buf_, pos_));
+    }
+    return out;
+}
+
+std::string_view Reader::raw(std::size_t n) {
+    require(n, "raw bytes");
+    const std::string_view out = buf_.substr(pos_, n);
+    pos_ += n;
+    return out;
+}
+
+std::uint64_t fnv1a(std::string_view data) {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : data) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+void throw_matrix_size_mismatch(std::size_t rows, std::size_t cols, std::size_t actual) {
+    throw Error("bytes: matrix payload size mismatch (" + std::to_string(rows) + "x" +
+                std::to_string(cols) + " declared, " + std::to_string(actual) + " values)");
+}
+
+}  // namespace kinet::bytes

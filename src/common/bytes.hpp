@@ -1,0 +1,119 @@
+// Byte-buffer serialization primitives used by the model-snapshot format.
+//
+// Writer appends fixed-width scalars, length-prefixed strings and float
+// arrays to an in-memory buffer; Reader consumes the same layout with
+// bounds checking — a truncated or overlong buffer surfaces as a
+// kinet::Error with the offending field, never as silent garbage.
+//
+// Scalars are stored in HOST byte order (memcpy) — little-endian on every
+// platform this project targets.  Snapshots are not portable across byte
+// orders; a cross-endian load fails cleanly at the container's version
+// check rather than producing garbage.  The matrix helpers are templates
+// so this layer stays below src/tensor in the dependency order.
+#ifndef KINETGAN_COMMON_BYTES_H
+#define KINETGAN_COMMON_BYTES_H
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kinet::bytes {
+
+/// Appends primitives to a growing byte buffer.
+class Writer {
+public:
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v);
+    void f32(float v);
+    void f64(double v);
+    void boolean(bool v);
+    /// Length-prefixed (u64) string.
+    void str(std::string_view s);
+    /// Length-prefixed (u64) dense float array.
+    void f32_array(std::span<const float> values);
+    /// Length-prefixed (u64) dense double array.
+    void f64_array(std::span<const double> values);
+    /// Length-prefixed (u64) size_t array (stored as u64).
+    void index_array(std::span<const std::size_t> values);
+    /// Raw bytes, no length prefix (caller frames them).
+    void raw(std::string_view data);
+
+    [[nodiscard]] const std::string& buffer() const noexcept { return buf_; }
+    [[nodiscard]] std::string take() { return std::move(buf_); }
+    [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+private:
+    std::string buf_;
+};
+
+/// Consumes the Writer layout; every read is bounds-checked and throws
+/// kinet::Error("bytes: truncated ...") past the end of the buffer.
+class Reader {
+public:
+    explicit Reader(std::string_view buffer) : buf_(buffer) {}
+
+    [[nodiscard]] std::uint8_t u8();
+    [[nodiscard]] std::uint16_t u16();
+    [[nodiscard]] std::uint32_t u32();
+    [[nodiscard]] std::uint64_t u64();
+    [[nodiscard]] std::int64_t i64();
+    [[nodiscard]] float f32();
+    [[nodiscard]] double f64();
+    [[nodiscard]] bool boolean();
+    [[nodiscard]] std::string str();
+    [[nodiscard]] std::vector<float> f32_array();
+    [[nodiscard]] std::vector<double> f64_array();
+    [[nodiscard]] std::vector<std::size_t> index_array();
+    /// Reads exactly n raw bytes.
+    [[nodiscard]] std::string_view raw(std::size_t n);
+
+    [[nodiscard]] std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+    [[nodiscard]] bool exhausted() const noexcept { return pos_ == buf_.size(); }
+
+private:
+    void require(std::size_t n, const char* what) const;
+
+    std::string_view buf_;
+    std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit hash — the snapshot payload checksum.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view data);
+
+/// Shared error path for read_matrix (out of line to keep the template lean).
+[[noreturn]] void throw_matrix_size_mismatch(std::size_t rows, std::size_t cols,
+                                             std::size_t actual);
+
+/// Serializes any row-major matrix exposing rows()/cols()/data().
+template <typename MatrixT>
+void write_matrix(Writer& w, const MatrixT& m) {
+    w.u64(m.rows());
+    w.u64(m.cols());
+    w.f32_array(std::span<const float>(m.data().data(), m.data().size()));
+}
+
+/// Reads a matrix written by write_matrix.
+template <typename MatrixT>
+[[nodiscard]] MatrixT read_matrix(Reader& r) {
+    const auto rows = static_cast<std::size_t>(r.u64());
+    const auto cols = static_cast<std::size_t>(r.u64());
+    const auto values = r.f32_array();
+    MatrixT m(rows, cols);
+    if (values.size() != m.data().size()) {
+        throw_matrix_size_mismatch(rows, cols, values.size());
+    }
+    if (!values.empty()) {
+        std::memcpy(m.data().data(), values.data(), values.size() * sizeof(float));
+    }
+    return m;
+}
+
+}  // namespace kinet::bytes
+
+#endif  // KINETGAN_COMMON_BYTES_H

@@ -30,7 +30,14 @@ std::size_t hardware_threads() {
 
 struct ThreadPool::Impl {
     std::vector<std::thread> workers;
-    std::deque<std::function<void()>> queue;
+    // Two queues, one invariant: `chunks` holds parallel_for chunk bodies,
+    // which are pure compute and never block; `tasks` holds submit()ted
+    // tasks, which MAY block on locks.  parallel_for's helper-drain loop
+    // (below) only ever pops `chunks` — if it executed a blocking task while
+    // the caller holds a lock, a second task waiting on that same lock would
+    // deadlock the lane.  Workers serve both, chunks first.
+    std::deque<std::function<void()>> chunks;
+    std::deque<std::function<void()>> tasks;
     std::mutex mu;
     std::condition_variable cv;
     bool stop = false;
@@ -40,12 +47,17 @@ struct ThreadPool::Impl {
             std::function<void()> task;
             {
                 std::unique_lock<std::mutex> lock(mu);
-                cv.wait(lock, [&] { return stop || !queue.empty(); });
-                if (stop && queue.empty()) {
+                cv.wait(lock, [&] { return stop || !chunks.empty() || !tasks.empty(); });
+                if (stop && chunks.empty() && tasks.empty()) {
                     return;
                 }
-                task = std::move(queue.front());
-                queue.pop_front();
+                if (!chunks.empty()) {
+                    task = std::move(chunks.front());
+                    chunks.pop_front();
+                } else {
+                    task = std::move(tasks.front());
+                    tasks.pop_front();
+                }
             }
             task();
         }
@@ -116,22 +128,23 @@ void ThreadPool::parallel_for(std::size_t count, std::size_t max_chunks,
     {
         const std::lock_guard<std::mutex> lock(impl_->mu);
         for (std::size_t c = 1; c < chunks; ++c) {
-            impl_->queue.emplace_back(
+            impl_->chunks.emplace_back(
                 [run_chunk, b = chunk_begin(c), e = chunk_begin(c + 1)] { run_chunk(b, e); });
         }
     }
     impl_->cv.notify_all();
 
-    // The submitting thread takes chunk 0, then drains any of this batch's
-    // chunks still queued (workers may be busy with other batches).
+    // The submitting thread takes chunk 0, then drains chunks still queued
+    // (workers may be busy with other batches).  Only the chunk queue: a
+    // submit()ted task may block on a lock this thread holds.
     run_chunk(chunk_begin(0), chunk_begin(1));
     for (;;) {
         std::function<void()> task;
         {
             const std::lock_guard<std::mutex> lock(impl_->mu);
-            if (!impl_->queue.empty()) {
-                task = std::move(impl_->queue.front());
-                impl_->queue.pop_front();
+            if (!impl_->chunks.empty()) {
+                task = std::move(impl_->chunks.front());
+                impl_->chunks.pop_front();
             }
         }
         if (!task) {
@@ -145,6 +158,19 @@ void ThreadPool::parallel_for(std::size_t count, std::size_t max_chunks,
     if (batch->error) {
         std::rethrow_exception(batch->error);
     }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    KINET_CHECK(static_cast<bool>(task), "submit: empty task");
+    if (impl_->workers.empty()) {
+        task();
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->tasks.push_back(std::move(task));
+    }
+    impl_->cv.notify_one();
 }
 
 ThreadPool& ThreadPool::global() {

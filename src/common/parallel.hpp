@@ -49,6 +49,15 @@ public:
     void parallel_for(std::size_t count, std::size_t max_chunks,
                       const std::function<void(std::size_t, std::size_t)>& fn);
 
+    /// Enqueues an independent task for asynchronous execution and returns
+    /// immediately; on a single-lane pool (no workers) the task runs inline
+    /// before returning.  Submitted tasks run on a separate queue from
+    /// parallel_for chunks (so they may take locks and call parallel_for
+    /// themselves), but must not wait for *other submitted tasks* to
+    /// complete — every worker could be occupied by such a waiter.
+    /// Exceptions escaping the task terminate the process — catch inside.
+    void submit(std::function<void()> task);
+
     /// Process-wide pool of hardware_threads() lanes, started on first use.
     static ThreadPool& global();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <sstream>
 
 #include "src/common/check.hpp"
 
@@ -93,6 +94,18 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::fork() {
     return Rng(engine_());
+}
+
+std::string Rng::serialize_state() const {
+    std::ostringstream oss;
+    oss << engine_;
+    return oss.str();
+}
+
+void Rng::deserialize_state(const std::string& state) {
+    std::istringstream iss(state);
+    iss >> engine_;
+    KINET_CHECK(!iss.fail(), "Rng::deserialize_state: malformed engine state");
 }
 
 }  // namespace kinet

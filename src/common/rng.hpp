@@ -62,6 +62,13 @@ public:
     /// Derives an independent child generator (for per-component seeding).
     Rng fork();
 
+    /// Engine state as a portable decimal string (std::mt19937_64 stream
+    /// format) — lets model snapshots resume the exact random stream.
+    [[nodiscard]] std::string serialize_state() const;
+    /// Restores a serialize_state() string; throws kinet::Error on malformed
+    /// input.
+    void deserialize_state(const std::string& state);
+
 private:
     std::mt19937_64 engine_;
 };

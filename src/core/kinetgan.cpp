@@ -33,73 +33,12 @@ void KiNetGan::fit(const data::Table& table) {
     cond_spans_ = gan::category_spans_for_blocks(transformer_, *cond_builder_);
 
     // --- knowledge-guided discriminator inputs --------------------------
-    kg_columns_.clear();
-    kg_spans_.clear();
-    kg_input_width_ = 0;
-    if (options_.use_kg_discriminator) {
-        for (const auto& attr : oracle_.attribute_names()) {
-            const std::size_t col = table.column_index(attr);
-            KINET_CHECK(schema_[col].is_categorical(),
-                        "KiNetGan: oracle attribute " + attr + " must be categorical");
-            kg_columns_.push_back(col);
-            kg_spans_.push_back(transformer_.category_span(col));
-            kg_input_width_ += kg_spans_.back().width;
-        }
-        const auto& tuples = oracle_.valid_tuples();
-        KINET_CHECK(!tuples.empty(), "KiNetGan: oracle enumerates no valid tuples");
-
-        kg_attr_cond_pos_.assign(kg_columns_.size(), static_cast<std::size_t>(-1));
-        for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
-            for (std::size_t p = 0; p < cond_columns_.size(); ++p) {
-                if (cond_columns_[p] == kg_columns_[a]) {
-                    kg_attr_cond_pos_[a] = p;
-                    break;
-                }
-            }
-        }
-
-        kg_positives_.resize(tuples.size(), kg_input_width_);
-        kg_valid_keys_.clear();
-        kg_completions_.clear();
-        kg_tuple_ids_.assign(tuples.size(), {});
-        for (std::size_t t = 0; t < tuples.size(); ++t) {
-            std::size_t off = 0;
-            std::vector<std::size_t> ids(kg_columns_.size());
-            for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
-                const auto id = schema_[kg_columns_[a]].category_id(tuples[t][a]);
-                ids[a] = id;
-                kg_positives_(t, off + id) = 1.0F;
-                off += kg_spans_[a].width;
-            }
-            kg_valid_keys_.insert(id_key(ids));
-            // Index this tuple as a completion of its condition key.
-            std::uint64_t ckey = 0;
-            for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
-                if (kg_attr_cond_pos_[a] != static_cast<std::size_t>(-1)) {
-                    ckey = ckey * (kg_spans_[a].width + 1) + ids[a] + 1;
-                }
-            }
-            kg_completions_[ckey].push_back(t);
-            kg_tuple_ids_[t] = std::move(ids);
-        }
-    }
+    init_kg_state();
 
     // --- networks --------------------------------------------------------
+    build_networks();
+
     const auto& g = options_.gan;
-    const std::size_t data_width = transformer_.output_width();
-    const std::size_t cond_width = cond_builder_->width();
-
-    g_trunk_ = gan::make_generator_trunk(g.noise_dim + cond_width, g.hidden_dim,
-                                         g.hidden_layers, data_width, rng_);
-    g_act_ = std::make_unique<gan::OutputActivation>(transformer_.spans(), g.gumbel_tau, rng_);
-    d_main_ = gan::make_discriminator(data_width + cond_width, g.hidden_dim, g.hidden_layers,
-                                      g.dropout, rng_);
-    if (options_.use_kg_discriminator) {
-        // Conditional validity discriminator over [attrs ⊕ C].
-        d_kg_ = gan::make_discriminator(kg_input_width_ + cond_width, g.hidden_dim / 2, 1, 0.0F,
-                                        rng_);
-    }
-
     nn::Adam g_opt(g_trunk_->parameters(), g.lr_generator, g.adam_beta1, g.adam_beta2);
     nn::Adam d_opt(d_main_->parameters(), g.lr_discriminator, g.adam_beta1, g.adam_beta2);
     std::unique_ptr<nn::Adam> dkg_opt;
@@ -291,6 +230,86 @@ void KiNetGan::fit(const data::Table& table) {
     fitted_ = true;
 }
 
+void KiNetGan::init_kg_state() {
+    kg_columns_.clear();
+    kg_spans_.clear();
+    kg_input_width_ = 0;
+    if (!options_.use_kg_discriminator) {
+        return;
+    }
+    for (const auto& attr : oracle_.attribute_names()) {
+        const std::size_t col = column_index_in_schema(attr);
+        KINET_CHECK(schema_[col].is_categorical(),
+                    "KiNetGan: oracle attribute " + attr + " must be categorical");
+        kg_columns_.push_back(col);
+        kg_spans_.push_back(transformer_.category_span(col));
+        kg_input_width_ += kg_spans_.back().width;
+    }
+    const auto& tuples = oracle_.valid_tuples();
+    KINET_CHECK(!tuples.empty(), "KiNetGan: oracle enumerates no valid tuples");
+
+    kg_attr_cond_pos_.assign(kg_columns_.size(), static_cast<std::size_t>(-1));
+    for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
+        for (std::size_t p = 0; p < cond_columns_.size(); ++p) {
+            if (cond_columns_[p] == kg_columns_[a]) {
+                kg_attr_cond_pos_[a] = p;
+                break;
+            }
+        }
+    }
+
+    kg_positives_.resize(tuples.size(), kg_input_width_);
+    kg_valid_keys_.clear();
+    kg_completions_.clear();
+    kg_tuple_ids_.assign(tuples.size(), {});
+    for (std::size_t t = 0; t < tuples.size(); ++t) {
+        std::size_t off = 0;
+        std::vector<std::size_t> ids(kg_columns_.size());
+        for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
+            const auto id = schema_[kg_columns_[a]].category_id(tuples[t][a]);
+            ids[a] = id;
+            kg_positives_(t, off + id) = 1.0F;
+            off += kg_spans_[a].width;
+        }
+        kg_valid_keys_.insert(id_key(ids));
+        // Index this tuple as a completion of its condition key.
+        std::uint64_t ckey = 0;
+        for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
+            if (kg_attr_cond_pos_[a] != static_cast<std::size_t>(-1)) {
+                ckey = ckey * (kg_spans_[a].width + 1) + ids[a] + 1;
+            }
+        }
+        kg_completions_[ckey].push_back(t);
+        kg_tuple_ids_[t] = std::move(ids);
+    }
+}
+
+void KiNetGan::build_networks() {
+    const auto& g = options_.gan;
+    const std::size_t data_width = transformer_.output_width();
+    const std::size_t cond_width = cond_builder_->width();
+
+    g_trunk_ = gan::make_generator_trunk(g.noise_dim + cond_width, g.hidden_dim,
+                                         g.hidden_layers, data_width, rng_);
+    g_act_ = std::make_unique<gan::OutputActivation>(transformer_.spans(), g.gumbel_tau, rng_);
+    d_main_ = gan::make_discriminator(data_width + cond_width, g.hidden_dim, g.hidden_layers,
+                                      g.dropout, rng_);
+    if (options_.use_kg_discriminator) {
+        // Conditional validity discriminator over [attrs ⊕ C].
+        d_kg_ = gan::make_discriminator(kg_input_width_ + cond_width, g.hidden_dim / 2, 1, 0.0F,
+                                        rng_);
+    }
+}
+
+std::size_t KiNetGan::column_index_in_schema(const std::string& name) const {
+    for (std::size_t c = 0; c < schema_.size(); ++c) {
+        if (schema_[c].name == name) {
+            return c;
+        }
+    }
+    throw Error("KiNetGan: column " + name + " not in schema");
+}
+
 Matrix KiNetGan::extract_kg_attrs(const Matrix& encoded) const {
     Matrix out(encoded.rows(), kg_input_width_);
     std::size_t off = 0;
@@ -453,8 +472,30 @@ bool KiNetGan::row_valid_and_consistent(const Matrix& encoded, std::size_t row,
     return true;
 }
 
-data::Table KiNetGan::sample(std::size_t n) {
+namespace {
+
+/// Restores an OutputActivation's noise source on scope exit.
+class RngSwapGuard {
+public:
+    RngSwapGuard(gan::OutputActivation& act, Rng& rng) : act_(act), prev_(act.swap_rng(rng)) {}
+    ~RngSwapGuard() { (void)act_.swap_rng(*prev_); }
+    RngSwapGuard(const RngSwapGuard&) = delete;
+    RngSwapGuard& operator=(const RngSwapGuard&) = delete;
+
+private:
+    gan::OutputActivation& act_;
+    Rng* prev_;
+};
+
+/// Decorrelates request-stream seeds from the training seed space.
+constexpr std::uint64_t kStreamSeedSalt = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+data::Table KiNetGan::sample_impl(std::size_t n, Rng& rng,
+                                  const std::optional<std::pair<std::size_t, std::size_t>>& pin) {
     KINET_CHECK(fitted_, "KiNetGan::sample before fit");
+    const RngSwapGuard guard(*g_act_, rng);  // Gumbel noise follows the stream
     data::Table out(schema_);
     const std::size_t batch = options_.gan.batch_size;
     std::size_t remaining = n;
@@ -464,16 +505,158 @@ data::Table KiNetGan::sample(std::size_t n) {
         draws.reserve(b);
         for (std::size_t i = 0; i < b; ++i) {
             // Empirical conditions restore the original data distribution.
-            draws.push_back(sampler_->draw_empirical(rng_));
+            draws.push_back(sampler_->draw_empirical(rng));
+            if (pin.has_value()) {
+                draws.back().values[pin->first] = pin->second;
+            }
         }
         const Matrix cond = cond_builder_->encode(draws);
-        const Matrix z = gan::sample_noise(b, options_.gan.noise_dim, rng_);
+        const Matrix z = gan::sample_noise(b, options_.gan.noise_dim, rng);
         const Matrix fake =
             g_act_->forward(g_trunk_->forward(Matrix::hcat(z, cond), false), false);
         out.append_rows(transformer_.inverse(fake));
         remaining -= b;
     }
     return out;
+}
+
+data::Table KiNetGan::sample(std::size_t n) { return sample_impl(n, rng_, std::nullopt); }
+
+data::Table KiNetGan::sample_seeded(std::size_t n, std::uint64_t stream_seed) {
+    Rng rng(stream_seed ^ kStreamSeedSalt);
+    return sample_impl(n, rng, std::nullopt);
+}
+
+data::Table KiNetGan::sample_conditional_seeded(std::size_t n, const std::string& column,
+                                                const std::string& value,
+                                                std::uint64_t stream_seed) {
+    const std::size_t col = column_index_in_schema(column);
+    KINET_CHECK(schema_[col].is_categorical(),
+                "sample_conditional: column " + column + " is not categorical");
+    std::size_t pos = cond_columns_.size();
+    for (std::size_t p = 0; p < cond_columns_.size(); ++p) {
+        if (cond_columns_[p] == col) {
+            pos = p;
+            break;
+        }
+    }
+    KINET_CHECK(pos < cond_columns_.size(),
+                "sample_conditional: column " + column + " is not a conditional column");
+    const std::size_t value_id = schema_[col].category_id(value);
+    Rng rng(stream_seed ^ kStreamSeedSalt);
+    return sample_impl(n, rng, std::make_pair(pos, value_id));
+}
+
+void KiNetGan::save(bytes::Writer& out) {
+    KINET_CHECK(fitted_, "KiNetGan::save before fit");
+    const auto& g = options_.gan;
+    out.u64(g.epochs);
+    out.u64(g.batch_size);
+    out.u64(g.noise_dim);
+    out.u64(g.hidden_dim);
+    out.u64(g.hidden_layers);
+    out.f32(g.lr_generator);
+    out.f32(g.lr_discriminator);
+    out.f32(g.adam_beta1);
+    out.f32(g.adam_beta2);
+    out.f32(g.gumbel_tau);
+    out.f32(g.dropout);
+    out.f32(g.grad_clip);
+    out.u64(g.seed);
+    out.u64(options_.transformer.max_modes);
+    out.u64(options_.transformer.gmm_iterations);
+    out.boolean(options_.transformer.sample_mode_assignment);
+    out.f64(options_.sampler.uniform_minority_prob);
+    out.f32(options_.cond_penalty_weight);
+    out.f32(options_.kg_weight);
+    out.boolean(options_.use_kg_discriminator);
+    out.boolean(options_.use_cond_penalty);
+    out.boolean(options_.use_minority_resampling);
+
+    out.index_array(cond_columns_);
+    oracle_.save(out);
+    data::save_schema(out, schema_);
+    transformer_.save(out);
+    sampler_->save(out);
+    g_trunk_->save_state(out);
+    d_main_->save_state(out);
+    out.boolean(d_kg_ != nullptr);
+    if (d_kg_ != nullptr) {
+        d_kg_->save_state(out);
+    }
+    out.str(rng_.serialize_state());
+    out.f64(last_adherence_);
+    out.f64_array(report_.generator_loss);
+    out.f64_array(report_.discriminator_loss);
+    out.f64(report_.seconds);
+}
+
+std::unique_ptr<KiNetGan> KiNetGan::load(bytes::Reader& in) {
+    KiNetGanOptions opts;
+    opts.gan.epochs = static_cast<std::size_t>(in.u64());
+    opts.gan.batch_size = static_cast<std::size_t>(in.u64());
+    opts.gan.noise_dim = static_cast<std::size_t>(in.u64());
+    opts.gan.hidden_dim = static_cast<std::size_t>(in.u64());
+    opts.gan.hidden_layers = static_cast<std::size_t>(in.u64());
+    opts.gan.lr_generator = in.f32();
+    opts.gan.lr_discriminator = in.f32();
+    opts.gan.adam_beta1 = in.f32();
+    opts.gan.adam_beta2 = in.f32();
+    opts.gan.gumbel_tau = in.f32();
+    opts.gan.dropout = in.f32();
+    opts.gan.grad_clip = in.f32();
+    opts.gan.seed = in.u64();
+    opts.transformer.max_modes = static_cast<std::size_t>(in.u64());
+    opts.transformer.gmm_iterations = static_cast<std::size_t>(in.u64());
+    opts.transformer.sample_mode_assignment = in.boolean();
+    opts.sampler.uniform_minority_prob = in.f64();
+    opts.cond_penalty_weight = in.f32();
+    opts.kg_weight = in.f32();
+    opts.use_kg_discriminator = in.boolean();
+    opts.use_cond_penalty = in.boolean();
+    opts.use_minority_resampling = in.boolean();
+
+    std::vector<std::size_t> cond_columns = in.index_array();
+    auto oracle = kg::ValidityOracle::load(in);
+    auto model =
+        std::make_unique<KiNetGan>(std::move(oracle), std::move(cond_columns), opts);
+
+    model->schema_ = data::load_schema(in);
+    for (const std::size_t col : model->cond_columns_) {
+        KINET_CHECK(col < model->schema_.size() && model->schema_[col].is_categorical(),
+                    "KiNetGan::load: conditional column out of range or not categorical");
+    }
+    model->transformer_ = data::TableTransformer::load(in);
+    KINET_CHECK(model->transformer_.schema().size() == model->schema_.size(),
+                "KiNetGan::load: transformer schema width mismatch");
+    model->sampler_ =
+        std::make_unique<data::ConditionalSampler>(data::ConditionalSampler::load(in));
+    KINET_CHECK(model->sampler_->cond_columns() == model->cond_columns_,
+                "KiNetGan::load: sampler conditional columns mismatch");
+    model->cond_builder_ =
+        std::make_unique<gan::CondVectorBuilder>(model->schema_, model->cond_columns_);
+    model->cond_spans_ = gan::category_spans_for_blocks(model->transformer_, *model->cond_builder_);
+    model->init_kg_state();
+    // Architectures are rebuilt from the options (the construction draws from
+    // rng_ for initial weights, all overwritten below; the live RNG stream is
+    // restored afterwards, so post-load samples continue exactly where the
+    // saved model would have).
+    model->build_networks();
+    model->g_trunk_->load_state(in);
+    model->d_main_->load_state(in);
+    const bool has_dkg = in.boolean();
+    KINET_CHECK(has_dkg == (model->d_kg_ != nullptr),
+                "KiNetGan::load: KG-discriminator presence mismatch");
+    if (has_dkg) {
+        model->d_kg_->load_state(in);
+    }
+    model->rng_.deserialize_state(in.str());
+    model->last_adherence_ = in.f64();
+    model->report_.generator_loss = in.f64_array();
+    model->report_.discriminator_loss = in.f64_array();
+    model->report_.seconds = in.f64();
+    model->fitted_ = true;
+    return model;
 }
 
 double KiNetGan::kg_validity_rate(const data::Table& table) const {

@@ -20,8 +20,10 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "src/common/bytes.hpp"
 #include "src/data/sampler.hpp"
 #include "src/data/split.hpp"
 #include "src/data/transformer.hpp"
@@ -58,6 +60,32 @@ public:
     [[nodiscard]] data::Table sample(std::size_t n) override;
     [[nodiscard]] std::string name() const override { return "KiNETGAN"; }
 
+    /// Samples from an isolated per-request random stream derived from
+    /// `stream_seed` — the model's internal RNG and two calls with different
+    /// seeds are all mutually independent, so concurrent service clients get
+    /// deterministic, non-overlapping streams.  (Callers must still serialize
+    /// calls on one model instance: forward passes reuse layer caches.)
+    [[nodiscard]] data::Table sample_seeded(std::size_t n, std::uint64_t stream_seed);
+
+    /// sample_seeded with one conditional column pinned to a category label;
+    /// the remaining conditional blocks follow the empirical distribution.
+    /// Throws if the column is not one of the conditional columns or the
+    /// label is unknown.
+    [[nodiscard]] data::Table sample_conditional_seeded(std::size_t n, const std::string& column,
+                                                        const std::string& value,
+                                                        std::uint64_t stream_seed);
+
+    /// Serializes the full fitted state (transformer statistics, GMM
+    /// parameters, network weights, KG oracle, sampler frequencies and the
+    /// live RNG stream).  A load()ed model is bit-identical in behaviour:
+    /// the next sample() matches what this instance would have produced.
+    void save(bytes::Writer& out);
+    [[nodiscard]] static std::unique_ptr<KiNetGan> load(bytes::Reader& in);
+
+    [[nodiscard]] const KiNetGanOptions& options() const noexcept { return options_; }
+    [[nodiscard]] const std::vector<data::ColumnMeta>& schema() const noexcept { return schema_; }
+    [[nodiscard]] bool is_fitted() const noexcept { return fitted_; }
+
     /// Fraction of rows whose oracle attributes form a KG-valid combination.
     [[nodiscard]] double kg_validity_rate(const data::Table& table) const;
 
@@ -72,6 +100,20 @@ public:
     }
 
 private:
+    /// Compiles the oracle-attribute spans, positive one-hots and completion
+    /// indexes from schema_/oracle_/transformer_ (shared by fit and load).
+    void init_kg_state();
+    /// Builds generator/discriminator networks for the current widths,
+    /// drawing initial weights from rng_ (overwritten on load).
+    void build_networks();
+    /// Column index by name in schema_; throws if absent.
+    [[nodiscard]] std::size_t column_index_in_schema(const std::string& name) const;
+    /// Shared sampling loop; `pin` optionally fixes one conditional block to
+    /// (position in cond_columns_, value id).
+    [[nodiscard]] data::Table sample_impl(
+        std::size_t n, Rng& rng,
+        const std::optional<std::pair<std::size_t, std::size_t>>& pin);
+
     [[nodiscard]] nn::Matrix extract_kg_attrs(const nn::Matrix& encoded) const;
     void scatter_kg_grad(const nn::Matrix& grad_attrs, nn::Matrix& grad_full) const;
     /// KG-valid completions of each draw's condition, one-hot encoded —

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 
 namespace kinet::data {
 namespace {
@@ -69,7 +70,7 @@ Gmm1D Gmm1D::fit(std::span<const float> values, std::size_t max_components, Rng&
             GmmComponent{1.0 / static_cast<double>(means0.size()), m, std::max(spread, kMinStddev)});
     }
 
-    std::vector<double> resp(model.components_.size());
+    std::vector<double> resp_all;  // n x k normalised posteriors per iteration
     std::vector<double> weight_acc;
     std::vector<double> mean_acc;
     std::vector<double> var_acc;
@@ -80,26 +81,39 @@ Gmm1D Gmm1D::fit(std::span<const float> values, std::size_t max_components, Rng&
         mean_acc.assign(k, 0.0);
         var_acc.assign(k, 0.0);
 
-        // E-step accumulated into sufficient statistics.
-        for (const float xv : values) {
-            const double x = xv;
-            double mx = -std::numeric_limits<double>::max();
-            resp.resize(k);
-            for (std::size_t j = 0; j < k; ++j) {
-                resp[j] = std::log(model.components_[j].weight) +
-                          log_gaussian(x, model.components_[j].mean, model.components_[j].stddev);
-                mx = std::max(mx, resp[j]);
+        // E-step: the per-value posterior computation (log/exp per component)
+        // runs on the pool; the sufficient statistics are then accumulated
+        // serially in index order, so the fit is bit-identical to a serial
+        // E-step at any thread count.
+        resp_all.assign(values.size() * k, 0.0);
+        parallel_for(values.size(), 1024, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const double x = values[i];
+                double* resp = resp_all.data() + i * k;
+                double mx = -std::numeric_limits<double>::max();
+                for (std::size_t j = 0; j < k; ++j) {
+                    resp[j] =
+                        std::log(model.components_[j].weight) +
+                        log_gaussian(x, model.components_[j].mean, model.components_[j].stddev);
+                    mx = std::max(mx, resp[j]);
+                }
+                double denom = 0.0;
+                for (std::size_t j = 0; j < k; ++j) {
+                    resp[j] = std::exp(resp[j] - mx);
+                    denom += resp[j];
+                }
+                for (std::size_t j = 0; j < k; ++j) {
+                    resp[j] /= denom;
+                }
             }
-            double denom = 0.0;
+        });
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            const double x = values[i];
+            const double* resp = resp_all.data() + i * k;
             for (std::size_t j = 0; j < k; ++j) {
-                resp[j] = std::exp(resp[j] - mx);
-                denom += resp[j];
-            }
-            for (std::size_t j = 0; j < k; ++j) {
-                const double r = resp[j] / denom;
-                weight_acc[j] += r;
-                mean_acc[j] += r * x;
-                var_acc[j] += r * x * x;
+                weight_acc[j] += resp[j];
+                mean_acc[j] += resp[j] * x;
+                var_acc[j] += resp[j] * x * x;
             }
         }
 
@@ -119,7 +133,6 @@ Gmm1D Gmm1D::fit(std::span<const float> values, std::size_t max_components, Rng&
         }
 
         // Prune collapsed components (sparsity prior surrogate).
-        const std::size_t before = model.components_.size();
         std::erase_if(model.components_,
                       [prune_threshold](const GmmComponent& c) { return c.weight < prune_threshold; });
         if (model.components_.empty()) {
@@ -144,9 +157,6 @@ Gmm1D Gmm1D::fit(std::span<const float> values, std::size_t max_components, Rng&
         }
         for (auto& c : model.components_) {
             c.weight /= total_w;
-        }
-        if (model.components_.size() != before) {
-            resp.resize(model.components_.size());
         }
     }
     return model;
@@ -184,6 +194,30 @@ std::size_t Gmm1D::argmax_component(double x) const {
 std::size_t Gmm1D::sample_component(double x, Rng& rng) const {
     const auto r = responsibilities(x);
     return rng.categorical(r);
+}
+
+void Gmm1D::save(bytes::Writer& out) const {
+    out.u64(components_.size());
+    for (const auto& c : components_) {
+        out.f64(c.weight);
+        out.f64(c.mean);
+        out.f64(c.stddev);
+    }
+}
+
+Gmm1D Gmm1D::load(bytes::Reader& in) {
+    Gmm1D model;
+    const auto k = static_cast<std::size_t>(in.u64());
+    model.components_.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+        GmmComponent c;
+        c.weight = in.f64();
+        c.mean = in.f64();
+        c.stddev = in.f64();
+        KINET_CHECK(c.stddev > 0.0, "Gmm1D::load: non-positive component stddev");
+        model.components_.push_back(c);
+    }
+    return model;
 }
 
 double Gmm1D::log_likelihood(double x) const {

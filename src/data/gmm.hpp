@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/bytes.hpp"
 #include "src/common/rng.hpp"
 
 namespace kinet::data {
@@ -46,6 +47,10 @@ public:
 
     /// Mixture log-likelihood of a point.
     [[nodiscard]] double log_likelihood(double x) const;
+
+    /// Fitted-parameter serialization for model snapshots.
+    void save(bytes::Writer& out) const;
+    [[nodiscard]] static Gmm1D load(bytes::Reader& in);
 
 private:
     std::vector<GmmComponent> components_;

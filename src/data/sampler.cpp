@@ -45,6 +45,62 @@ ConditionalSampler::ConditionalSampler(const Table& table, std::vector<std::size
     }
 }
 
+void ConditionalSampler::save(bytes::Writer& out) const {
+    out.index_array(cond_columns_);
+    out.f64(options_.uniform_minority_prob);
+    out.u64(rows_by_value_.size());
+    for (const auto& by_value : rows_by_value_) {
+        out.u64(by_value.size());
+        for (const auto& rows : by_value) {
+            out.index_array(rows);
+        }
+    }
+    for (const auto& weights : log_freq_) {
+        out.f64_array(weights);
+    }
+    for (const auto& weights : freq_) {
+        out.f64_array(weights);
+    }
+    out.u64(row_values_.size());
+    for (const auto& values : row_values_) {
+        out.index_array(values);
+    }
+}
+
+ConditionalSampler ConditionalSampler::load(bytes::Reader& in) {
+    ConditionalSampler s;
+    s.cond_columns_ = in.index_array();
+    KINET_CHECK(!s.cond_columns_.empty(), "ConditionalSampler::load: no conditional columns");
+    s.options_.uniform_minority_prob = in.f64();
+    const auto cols = static_cast<std::size_t>(in.u64());
+    KINET_CHECK(cols == s.cond_columns_.size(),
+                "ConditionalSampler::load: per-column state count mismatch");
+    s.rows_by_value_.resize(cols);
+    for (auto& by_value : s.rows_by_value_) {
+        const auto k = static_cast<std::size_t>(in.u64());
+        by_value.resize(k);
+        for (auto& rows : by_value) {
+            rows = in.index_array();
+        }
+    }
+    s.log_freq_.resize(cols);
+    for (auto& weights : s.log_freq_) {
+        weights = in.f64_array();
+    }
+    s.freq_.resize(cols);
+    for (auto& weights : s.freq_) {
+        weights = in.f64_array();
+    }
+    const auto rows = static_cast<std::size_t>(in.u64());
+    s.row_values_.resize(rows);
+    for (auto& values : s.row_values_) {
+        values = in.index_array();
+        KINET_CHECK(values.size() == cols,
+                    "ConditionalSampler::load: row value width mismatch");
+    }
+    return s;
+}
+
 CondDraw ConditionalSampler::make_draw(std::size_t col_pos, std::size_t value_id, Rng& rng) const {
     const auto& rows = rows_by_value_[col_pos][value_id];
     KINET_CHECK(!rows.empty(), "ConditionalSampler: no rows carry the requested value");

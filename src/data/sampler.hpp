@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "src/common/bytes.hpp"
 #include "src/common/rng.hpp"
 #include "src/data/table.hpp"
 
@@ -48,7 +49,14 @@ public:
     }
     [[nodiscard]] std::size_t table_rows() const noexcept { return row_values_.size(); }
 
+    /// Serializes the derived sampling state (frequencies and row/value
+    /// indexes — not the source table) for model snapshots.
+    void save(bytes::Writer& out) const;
+    [[nodiscard]] static ConditionalSampler load(bytes::Reader& in);
+
 private:
+    ConditionalSampler() = default;
+
     [[nodiscard]] CondDraw make_draw(std::size_t col_pos, std::size_t value_id, Rng& rng) const;
 
     std::vector<std::size_t> cond_columns_;

@@ -172,4 +172,36 @@ Table Table::from_csv(const csv::Document& doc, const std::vector<ColumnMeta>& s
     return out;
 }
 
+void save_schema(bytes::Writer& out, const std::vector<ColumnMeta>& schema) {
+    out.u64(schema.size());
+    for (const auto& meta : schema) {
+        out.str(meta.name);
+        out.u8(meta.is_categorical() ? 1 : 0);
+        out.u64(meta.categories.size());
+        for (const auto& label : meta.categories) {
+            out.str(label);
+        }
+    }
+}
+
+std::vector<ColumnMeta> load_schema(bytes::Reader& in) {
+    const auto cols = static_cast<std::size_t>(in.u64());
+    std::vector<ColumnMeta> schema;
+    schema.reserve(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        ColumnMeta meta;
+        meta.name = in.str();
+        meta.type = in.u8() != 0 ? ColumnType::categorical : ColumnType::continuous;
+        const auto k = static_cast<std::size_t>(in.u64());
+        meta.categories.reserve(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            meta.categories.push_back(in.str());
+        }
+        KINET_CHECK(!meta.is_categorical() || !meta.categories.empty(),
+                    "load_schema: categorical column " + meta.name + " without categories");
+        schema.push_back(std::move(meta));
+    }
+    return schema;
+}
+
 }  // namespace kinet::data

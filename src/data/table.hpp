@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/bytes.hpp"
 #include "src/common/csv.hpp"
 #include "src/tensor/matrix.hpp"
 
@@ -89,6 +90,10 @@ private:
     std::vector<ColumnMeta> columns_;
     tensor::Matrix values_;
 };
+
+/// Schema serialization for model snapshots.
+void save_schema(bytes::Writer& out, const std::vector<ColumnMeta>& schema);
+[[nodiscard]] std::vector<ColumnMeta> load_schema(bytes::Reader& in);
 
 }  // namespace kinet::data
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 
 namespace kinet::data {
 
@@ -50,28 +52,56 @@ void TableTransformer::fit(const Table& table, const TransformerOptions& options
 tensor::Matrix TableTransformer::transform(const Table& table, Rng& rng) const {
     KINET_CHECK(is_fitted(), "TableTransformer::transform before fit");
     KINET_CHECK(table.cols() == schema_.size(), "TableTransformer::transform: schema mismatch");
-    tensor::Matrix out(table.rows(), output_width_);
+    const std::size_t rows = table.rows();
+    tensor::Matrix out(rows, output_width_);
+    std::vector<double> resp;  // per-row posteriors of the current column
     // Spans were built in order: for continuous columns the alpha span is
     // immediately followed by its mode span, so iterate with an index.
     for (std::size_t si = 0; si < spans_.size(); ++si) {
         const OutputSpan& span = spans_[si];
         if (span.kind == SpanKind::category_onehot) {
-            for (std::size_t r = 0; r < table.rows(); ++r) {
-                const auto id = static_cast<std::size_t>(std::lround(table.value(r, span.column)));
-                KINET_CHECK(id < span.width, "transform: category out of range");
-                out(r, span.offset + id) = 1.0F;
-            }
+            parallel_for(rows, 2048, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t r = begin; r < end; ++r) {
+                    const auto id =
+                        static_cast<std::size_t>(std::lround(table.value(r, span.column)));
+                    KINET_CHECK(id < span.width, "transform: category out of range");
+                    out(r, span.offset + id) = 1.0F;
+                }
+            });
         } else if (span.kind == SpanKind::continuous_alpha) {
             KINET_CHECK(si + 1 < spans_.size() && spans_[si + 1].kind == SpanKind::mode_onehot &&
                             spans_[si + 1].column == span.column,
                         "transform: alpha span without paired mode span");
             const OutputSpan& mode_span = spans_[si + 1];
             const Gmm1D& gmm = gmms_[span.column];
-            for (std::size_t r = 0; r < table.rows(); ++r) {
+            const std::size_t k_count = gmm.component_count();
+
+            // The per-row posterior computation (log/exp per component) is the
+            // hot part and is embarrassingly parallel; the mode draws below
+            // then consume the RNG strictly in row order, so the encoding is
+            // bit-identical to a serial pass at any thread count.
+            resp.assign(rows * k_count, 0.0);
+            parallel_for(rows, 512, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t r = begin; r < end; ++r) {
+                    const auto row_resp = gmm.responsibilities(table.value(r, span.column));
+                    std::copy(row_resp.begin(), row_resp.end(), resp.begin() +
+                              static_cast<std::ptrdiff_t>(r * k_count));
+                }
+            });
+
+            for (std::size_t r = 0; r < rows; ++r) {
+                const std::span<const double> row_resp(resp.data() + r * k_count, k_count);
+                std::size_t k = 0;
+                if (options_.sample_mode_assignment) {
+                    k = rng.categorical(row_resp);
+                } else {
+                    for (std::size_t j = 1; j < k_count; ++j) {
+                        if (row_resp[j] > row_resp[k]) {
+                            k = j;
+                        }
+                    }
+                }
                 const float v = table.value(r, span.column);
-                const std::size_t k = options_.sample_mode_assignment
-                                          ? gmm.sample_component(v, rng)
-                                          : gmm.argmax_component(v);
                 const auto& comp = gmm.component(k);
                 const double alpha = std::clamp(
                     (static_cast<double>(v) - comp.mean) / (4.0 * comp.stddev), -1.0, 1.0);
@@ -143,6 +173,62 @@ const OutputSpan& TableTransformer::category_span(std::size_t column) const {
         }
     }
     throw Error("category_span: column " + std::to_string(column) + " is not categorical");
+}
+
+void TableTransformer::save(bytes::Writer& out) const {
+    KINET_CHECK(is_fitted(), "TableTransformer::save before fit");
+    save_schema(out, schema_);
+    out.u64(spans_.size());
+    for (const auto& span : spans_) {
+        out.u64(span.column);
+        out.u8(static_cast<std::uint8_t>(span.kind));
+        out.u64(span.offset);
+        out.u64(span.width);
+    }
+    out.u64(gmms_.size());
+    for (const auto& gmm : gmms_) {
+        gmm.save(out);
+    }
+    out.u64(output_width_);
+    out.u64(options_.max_modes);
+    out.u64(options_.gmm_iterations);
+    out.boolean(options_.sample_mode_assignment);
+}
+
+TableTransformer TableTransformer::load(bytes::Reader& in) {
+    TableTransformer tf;
+    tf.schema_ = load_schema(in);
+    const auto span_count = static_cast<std::size_t>(in.u64());
+    tf.spans_.reserve(span_count);
+    for (std::size_t s = 0; s < span_count; ++s) {
+        OutputSpan span;
+        span.column = static_cast<std::size_t>(in.u64());
+        const auto kind = in.u8();
+        KINET_CHECK(kind <= static_cast<std::uint8_t>(SpanKind::category_onehot),
+                    "TableTransformer::load: unknown span kind");
+        span.kind = static_cast<SpanKind>(kind);
+        span.offset = static_cast<std::size_t>(in.u64());
+        span.width = static_cast<std::size_t>(in.u64());
+        KINET_CHECK(span.column < tf.schema_.size(),
+                    "TableTransformer::load: span column out of range");
+        tf.spans_.push_back(span);
+    }
+    const auto gmm_count = static_cast<std::size_t>(in.u64());
+    KINET_CHECK(gmm_count == tf.schema_.size(),
+                "TableTransformer::load: GMM count does not match schema");
+    tf.gmms_.reserve(gmm_count);
+    for (std::size_t g = 0; g < gmm_count; ++g) {
+        tf.gmms_.push_back(Gmm1D::load(in));
+    }
+    tf.output_width_ = static_cast<std::size_t>(in.u64());
+    tf.options_.max_modes = static_cast<std::size_t>(in.u64());
+    tf.options_.gmm_iterations = static_cast<std::size_t>(in.u64());
+    tf.options_.sample_mode_assignment = in.boolean();
+    for (const auto& span : tf.spans_) {
+        KINET_CHECK(span.offset + span.width <= tf.output_width_,
+                    "TableTransformer::load: span exceeds output width");
+    }
+    return tf;
 }
 
 const Gmm1D& TableTransformer::column_gmm(std::size_t column) const {

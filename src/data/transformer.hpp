@@ -62,6 +62,10 @@ public:
     /// The fitted mixture of a continuous column (for likelihood fitness).
     [[nodiscard]] const Gmm1D& column_gmm(std::size_t column) const;
 
+    /// Fitted-state serialization for model snapshots.
+    void save(bytes::Writer& out) const;
+    [[nodiscard]] static TableTransformer load(bytes::Reader& in);
+
 private:
     std::vector<ColumnMeta> schema_;
     std::vector<OutputSpan> spans_;

@@ -45,6 +45,15 @@ public:
     nn::Matrix forward(const nn::Matrix& input, bool training) override;
     nn::Matrix backward(const nn::Matrix& grad_out) override;
 
+    /// Redirects Gumbel-noise draws to another generator — seeded service
+    /// sampling substitutes a per-request stream without touching the model's
+    /// training RNG.  The caller restores the previous source afterwards.
+    Rng* swap_rng(Rng& rng) {
+        Rng* prev = rng_;
+        rng_ = &rng;
+        return prev;
+    }
+
 private:
     std::vector<data::OutputSpan> spans_;
     float tau_;

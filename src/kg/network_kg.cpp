@@ -179,6 +179,36 @@ bool ValidityOracle::is_valid(std::span<const std::string> values) const {
     return keys_.contains(key_of(values));
 }
 
+void ValidityOracle::save(bytes::Writer& out) const {
+    out.u64(attribute_names_.size());
+    for (const auto& name : attribute_names_) {
+        out.str(name);
+    }
+    out.u64(valid_tuples_.size());
+    for (const auto& tuple : valid_tuples_) {
+        for (const auto& value : tuple) {
+            out.str(value);
+        }
+    }
+}
+
+ValidityOracle ValidityOracle::load(bytes::Reader& in) {
+    const auto arity = static_cast<std::size_t>(in.u64());
+    std::vector<std::string> names;
+    names.reserve(arity);
+    for (std::size_t a = 0; a < arity; ++a) {
+        names.push_back(in.str());
+    }
+    const auto count = static_cast<std::size_t>(in.u64());
+    std::vector<std::vector<std::string>> tuples(count, std::vector<std::string>(arity));
+    for (auto& tuple : tuples) {
+        for (auto& value : tuple) {
+            value = in.str();
+        }
+    }
+    return {std::move(names), std::move(tuples)};
+}
+
 NetworkKg NetworkKg::build_lab() {
     NetworkKg kg(Domain::lab);
     kg.build_lab_triples();

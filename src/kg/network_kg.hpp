@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/bytes.hpp"
 #include "src/kg/query.hpp"
 #include "src/kg/store.hpp"
 
@@ -71,6 +72,11 @@ public:
     [[nodiscard]] const std::vector<std::vector<std::string>>& valid_tuples() const noexcept {
         return valid_tuples_;
     }
+
+    /// Snapshot serialization: a loaded oracle answers identically to the one
+    /// compiled from the live KG (the membership keys are rebuilt on load).
+    void save(bytes::Writer& out) const;
+    [[nodiscard]] static ValidityOracle load(bytes::Reader& in);
 
 private:
     [[nodiscard]] static std::string key_of(std::span<const std::string> values);

@@ -84,4 +84,18 @@ void BatchNorm1d::collect_parameters(std::vector<Parameter*>& out) {
     out.push_back(&beta_);
 }
 
+void BatchNorm1d::save_state(bytes::Writer& out) {
+    Module::save_state(out);
+    bytes::write_matrix(out, running_mean_);
+    bytes::write_matrix(out, running_var_);
+}
+
+void BatchNorm1d::load_state(bytes::Reader& in) {
+    Module::load_state(in);
+    running_mean_ = bytes::read_matrix<Matrix>(in);
+    running_var_ = bytes::read_matrix<Matrix>(in);
+    KINET_CHECK(running_mean_.cols() == features_ && running_var_.cols() == features_,
+                "BatchNorm1d::load_state: running-statistics width mismatch");
+}
+
 }  // namespace kinet::nn

@@ -13,6 +13,9 @@ public:
     Matrix forward(const Matrix& input, bool training) override;
     Matrix backward(const Matrix& grad_out) override;
     void collect_parameters(std::vector<Parameter*>& out) override;
+    /// gamma/beta plus the running moments inference needs.
+    void save_state(bytes::Writer& out) override;
+    void load_state(bytes::Reader& in) override;
 
 private:
     std::size_t features_;

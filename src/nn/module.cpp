@@ -1,8 +1,38 @@
 #include "src/nn/module.hpp"
 
+#include "src/common/check.hpp"
+
 namespace kinet::nn {
 
 void Module::collect_parameters(std::vector<Parameter*>& /*out*/) {}
+
+void Module::save_state(bytes::Writer& out) {
+    std::vector<Parameter*> params;
+    collect_parameters(params);
+    out.u64(params.size());
+    for (const Parameter* p : params) {
+        out.str(p->name);
+        bytes::write_matrix(out, p->value);
+    }
+}
+
+void Module::load_state(bytes::Reader& in) {
+    std::vector<Parameter*> params;
+    collect_parameters(params);
+    const auto count = static_cast<std::size_t>(in.u64());
+    KINET_CHECK(count == params.size(),
+                "Module::load_state: parameter count mismatch (snapshot has " +
+                    std::to_string(count) + ", module has " + std::to_string(params.size()) + ")");
+    for (Parameter* p : params) {
+        const std::string name = in.str();
+        KINET_CHECK(name == p->name, "Module::load_state: parameter name mismatch (snapshot " +
+                                         name + ", module " + p->name + ")");
+        const Matrix value = bytes::read_matrix<Matrix>(in);
+        KINET_CHECK(value.rows() == p->value.rows() && value.cols() == p->value.cols(),
+                    "Module::load_state: shape mismatch for parameter " + p->name);
+        p->value = value;
+    }
+}
 
 std::vector<Parameter*> Module::parameters() {
     std::vector<Parameter*> out;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/bytes.hpp"
 #include "src/tensor/matrix.hpp"
 
 namespace kinet::nn {
@@ -46,6 +47,15 @@ public:
 
     /// Appends pointers to this module's parameters (default: none).
     virtual void collect_parameters(std::vector<Parameter*>& out);
+
+    /// Writes the layer's learned state (parameters plus any non-parameter
+    /// statistics, e.g. BatchNorm running moments) for model snapshots.  The
+    /// default covers the module's own parameters; containers and stateful
+    /// layers override.
+    virtual void save_state(bytes::Writer& out);
+    /// Restores a save_state() stream into an identically constructed layer;
+    /// throws kinet::Error on any name/shape mismatch.
+    virtual void load_state(bytes::Reader& in);
 
     [[nodiscard]] std::vector<Parameter*> parameters();
     void zero_grad();

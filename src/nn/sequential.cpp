@@ -32,4 +32,22 @@ void Sequential::collect_parameters(std::vector<Parameter*>& out) {
     }
 }
 
+void Sequential::save_state(bytes::Writer& out) {
+    out.u64(layers_.size());
+    for (auto& layer : layers_) {
+        layer->save_state(out);
+    }
+}
+
+void Sequential::load_state(bytes::Reader& in) {
+    const auto count = static_cast<std::size_t>(in.u64());
+    KINET_CHECK(count == layers_.size(),
+                "Sequential::load_state: layer count mismatch (snapshot has " +
+                    std::to_string(count) + ", network has " + std::to_string(layers_.size()) +
+                    ")");
+    for (auto& layer : layers_) {
+        layer->load_state(in);
+    }
+}
+
 }  // namespace kinet::nn

@@ -25,6 +25,8 @@ public:
     Matrix forward(const Matrix& input, bool training) override;
     Matrix backward(const Matrix& grad_out) override;
     void collect_parameters(std::vector<Parameter*>& out) override;
+    void save_state(bytes::Writer& out) override;
+    void load_state(bytes::Reader& in) override;
 
     [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
 

@@ -1,0 +1,142 @@
+#include "src/service/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/check.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/text.hpp"
+
+namespace kinet::service {
+
+SynthClient SynthClient::connect(const std::string& host, std::uint16_t port) {
+    constexpr int kAttempts = 20;
+    for (int attempt = 0;; ++attempt) {
+        try {
+            return SynthClient(TcpStream::connect(host, port));
+        } catch (const Error&) {
+            if (attempt + 1 >= kAttempts) {
+                throw;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+    }
+}
+
+Response SynthClient::rpc(const Request& request) {
+    stream_.write_all(format_request(request) + "\n");
+    const auto status = stream_.read_line();
+    if (!status.has_value()) {
+        throw Error("client: server closed the connection");
+    }
+    if (text::starts_with(*status, "ERR ")) {
+        throw Error("server: " + status->substr(4));
+    }
+    KINET_CHECK(text::starts_with(*status, "OK "),
+                "client: malformed status line '" + *status + "'");
+    std::size_t payload_size = 0;
+    try {
+        payload_size = std::stoull(status->substr(3));
+    } catch (const std::exception&) {
+        throw Error("client: malformed payload length in '" + *status + "'");
+    }
+    Response response;
+    response.payload = stream_.read_exact(payload_size);
+    return response;
+}
+
+void SynthClient::ping() {
+    Request request;
+    request.op = Op::ping;
+    (void)rpc(request);
+}
+
+std::map<std::string, std::string> SynthClient::train(const std::string& model,
+                                                      const TrainSpec& spec) {
+    Request request;
+    request.op = Op::train;
+    request.model = model;
+    request.kv["records"] = std::to_string(spec.records);
+    request.kv["sim-seed"] = std::to_string(spec.sim_seed);
+    request.kv["attack"] = text::format_double(spec.attack_intensity, 6);
+    request.kv["split-frac"] = text::format_double(spec.split_frac, 6);
+    request.kv["split-seed"] = std::to_string(spec.split_seed);
+    request.kv["epochs"] = std::to_string(spec.epochs);
+    request.kv["gan-seed"] = std::to_string(spec.gan_seed);
+    return parse_kv_payload(rpc(request).payload);
+}
+
+std::string SynthClient::sample_csv(const std::string& model, std::size_t n,
+                                    std::uint64_t seed, const std::string& cond) {
+    Request request;
+    request.op = Op::sample;
+    request.model = model;
+    request.positional.push_back(std::to_string(n));
+    request.kv["seed"] = std::to_string(seed);
+    if (!cond.empty()) {
+        request.kv["cond"] = cond;
+    }
+    return rpc(request).payload;
+}
+
+data::Table SynthClient::sample(const std::string& model, std::size_t n, std::uint64_t seed,
+                                const std::vector<data::ColumnMeta>& schema,
+                                const std::string& cond) {
+    return data::Table::from_csv(csv::parse(sample_csv(model, n, seed, cond)), schema);
+}
+
+double SynthClient::validate(const std::string& model, std::size_t n, std::uint64_t seed) {
+    Request request;
+    request.op = Op::validate;
+    request.model = model;
+    request.kv["n"] = std::to_string(n);
+    request.kv["seed"] = std::to_string(seed);
+    const auto kv = parse_kv_payload(rpc(request).payload);
+    const auto it = kv.find("validity");
+    KINET_CHECK(it != kv.end(), "client: VALIDATE response lacks validity");
+    return std::stod(it->second);
+}
+
+std::map<std::string, std::string> SynthClient::stats(const std::string& model) {
+    Request request;
+    request.op = Op::stats;
+    request.model = model;
+    return parse_kv_payload(rpc(request).payload);
+}
+
+void SynthClient::save(const std::string& model, const std::string& path) {
+    Request request;
+    request.op = Op::save;
+    request.model = model;
+    request.positional.push_back(path);
+    (void)rpc(request);
+}
+
+void SynthClient::load(const std::string& model, const std::string& path) {
+    Request request;
+    request.op = Op::load;
+    request.model = model;
+    request.positional.push_back(path);
+    (void)rpc(request);
+}
+
+void SynthClient::quit() {
+    Request request;
+    request.op = Op::quit;
+    (void)rpc(request);
+    stream_.close();
+}
+
+std::map<std::string, std::string> parse_kv_payload(const std::string& payload) {
+    std::map<std::string, std::string> out;
+    for (const auto& line : text::split(payload, '\n')) {
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            continue;  // non-kv lines (e.g. the global STATS model list)
+        }
+        out[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+    return out;
+}
+
+}  // namespace kinet::service

@@ -1,0 +1,75 @@
+// Blocking client for the kinetd wire protocol.
+//
+// Wraps one TCP connection and exposes the protocol ops as typed calls; the
+// raw rpc() escape hatch sends any request line.  Protocol-level failures
+// (ERR responses) surface as kinet::Error carrying the server's message.
+#ifndef KINETGAN_SERVICE_CLIENT_H
+#define KINETGAN_SERVICE_CLIENT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/data/table.hpp"
+#include "src/service/protocol.hpp"
+#include "src/service/socket.hpp"
+
+namespace kinet::service {
+
+/// Arguments for SynthClient::train (mirrors the TRAIN op's key=values).
+struct TrainSpec {
+    std::size_t records = 2000;
+    std::uint64_t sim_seed = 7;
+    double attack_intensity = 1.0;
+    /// Held-out fraction stripped before training (0 trains on everything).
+    double split_frac = 0.0;
+    std::uint64_t split_seed = 0;
+    std::size_t epochs = 30;
+    std::uint64_t gan_seed = 42;
+};
+
+class SynthClient {
+public:
+    /// Connects to a kinetd instance; retries for up to ~2 s to absorb the
+    /// race against a server that is still binding its port.
+    [[nodiscard]] static SynthClient connect(const std::string& host, std::uint16_t port);
+
+    /// Sends one request and reads the framed response; throws kinet::Error
+    /// on ERR responses and transport failures.
+    Response rpc(const Request& request);
+
+    /// Liveness probe.
+    void ping();
+    /// Trains `model` server-side on simulated site traffic; returns the
+    /// server's key=value report (rows, seconds, adherence, ...).
+    std::map<std::string, std::string> train(const std::string& model, const TrainSpec& spec);
+    /// Draws n rows from the model's seed-derived stream.  `cond` optionally
+    /// pins one conditional column as "column:value".
+    [[nodiscard]] data::Table sample(const std::string& model, std::size_t n,
+                                     std::uint64_t seed,
+                                     const std::vector<data::ColumnMeta>& schema,
+                                     const std::string& cond = {});
+    /// Raw CSV text of a SAMPLE response (schema-free access).
+    [[nodiscard]] std::string sample_csv(const std::string& model, std::size_t n,
+                                         std::uint64_t seed, const std::string& cond = {});
+    /// KG validity rate of a fresh server-side draw.
+    [[nodiscard]] double validate(const std::string& model, std::size_t n, std::uint64_t seed);
+    /// STATS payload, parsed into key=value pairs (model-level form).
+    std::map<std::string, std::string> stats(const std::string& model);
+    void save(const std::string& model, const std::string& path);
+    void load(const std::string& model, const std::string& path);
+    /// Polite shutdown of this connection.
+    void quit();
+
+private:
+    explicit SynthClient(TcpStream stream) : stream_(std::move(stream)) {}
+
+    TcpStream stream_;
+};
+
+/// Parses a key=value-lines payload (TRAIN/VALIDATE/STATS responses).
+[[nodiscard]] std::map<std::string, std::string> parse_kv_payload(const std::string& payload);
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_CLIENT_H

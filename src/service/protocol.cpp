@@ -1,0 +1,170 @@
+#include "src/service/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "src/common/check.hpp"
+
+namespace kinet::service {
+namespace {
+
+struct OpSpec {
+    Op op;
+    std::string_view name;
+    bool needs_model;
+    std::size_t min_positional;  // beyond the model argument
+};
+
+constexpr OpSpec kOps[] = {
+    {Op::ping, "PING", false, 0},     {Op::train, "TRAIN", true, 0},
+    {Op::load, "LOAD", true, 1},      {Op::save, "SAVE", true, 1},
+    {Op::drop, "DROP", true, 0},      {Op::sample, "SAMPLE", true, 1},
+    {Op::validate, "VALIDATE", true, 0}, {Op::stats, "STATS", false, 0},
+    {Op::quit, "QUIT", false, 0},
+};
+
+const OpSpec* find_op(std::string_view name) {
+    for (const auto& spec : kOps) {
+        if (spec.name == name) {
+            return &spec;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        while (pos < line.size() && line[pos] == ' ') {
+            ++pos;
+        }
+        const std::size_t start = pos;
+        while (pos < line.size() && line[pos] != ' ') {
+            ++pos;
+        }
+        if (pos > start) {
+            tokens.emplace_back(line.substr(start, pos - start));
+        }
+    }
+    return tokens;
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line) {
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) {
+        throw Error("protocol: empty request line");
+    }
+    std::string op_token = tokens[0];
+    std::transform(op_token.begin(), op_token.end(), op_token.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    const OpSpec* spec = find_op(op_token);
+    if (spec == nullptr) {
+        throw Error("protocol: unknown op " + tokens[0]);
+    }
+
+    Request request;
+    request.op = spec->op;
+    std::size_t next = 1;
+    if (spec->needs_model) {
+        if (tokens.size() < 2 || tokens[1].find('=') != std::string::npos) {
+            throw Error("protocol: " + std::string(spec->name) + " requires a model name");
+        }
+        request.model = tokens[next++];
+    } else if (spec->op == Op::stats && tokens.size() > 1 &&
+               tokens[1].find('=') == std::string::npos) {
+        request.model = tokens[next++];  // STATS takes an optional model
+    }
+    for (; next < tokens.size(); ++next) {
+        const std::string& token = tokens[next];
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+            request.positional.push_back(token);
+        } else {
+            KINET_CHECK(eq > 0, "protocol: malformed key=value argument " + token);
+            request.kv[token.substr(0, eq)] = token.substr(eq + 1);
+        }
+    }
+    if (request.positional.size() < spec->min_positional) {
+        throw Error("protocol: " + std::string(spec->name) + " requires at least " +
+                    std::to_string(spec->min_positional) + " positional argument(s)");
+    }
+    return request;
+}
+
+std::string format_request(const Request& request) {
+    std::string line(op_name(request.op));
+    if (!request.model.empty()) {
+        line += ' ';
+        line += request.model;
+    }
+    for (const auto& arg : request.positional) {
+        line += ' ';
+        line += arg;
+    }
+    for (const auto& [key, value] : request.kv) {
+        line += ' ';
+        line += key;
+        line += '=';
+        line += value;
+    }
+    return line;
+}
+
+std::string format_response(const Response& response) {
+    if (!response.ok) {
+        std::string error = response.error.empty() ? "unspecified error" : response.error;
+        // The status line is the frame: an embedded newline would desync it.
+        std::replace(error.begin(), error.end(), '\n', ' ');
+        return "ERR " + error + "\n";
+    }
+    return "OK " + std::to_string(response.payload.size()) + "\n" + response.payload;
+}
+
+std::string_view op_name(Op op) {
+    for (const auto& spec : kOps) {
+        if (spec.op == op) {
+            return spec.name;
+        }
+    }
+    return "?";
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& what) {
+    std::uint64_t value = 0;
+    const char* first = token.data();
+    const char* last = first + token.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last || token.empty()) {
+        throw Error("protocol: " + what + " '" + token + "' is not a non-negative integer");
+    }
+    return value;
+}
+
+std::uint64_t kv_u64(const Request& request, const std::string& key, std::uint64_t fallback) {
+    const auto it = request.kv.find(key);
+    if (it == request.kv.end()) {
+        return fallback;
+    }
+    return parse_u64(it->second, "argument " + key);
+}
+
+double kv_double(const Request& request, const std::string& key, double fallback) {
+    const auto it = request.kv.find(key);
+    if (it == request.kv.end()) {
+        return fallback;
+    }
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(it->second, &consumed);
+        KINET_CHECK(consumed == it->second.size(), "trailing characters");
+        return value;
+    } catch (const std::exception&) {
+        throw Error("protocol: argument " + key + "=" + it->second + " is not a number");
+    }
+}
+
+}  // namespace kinet::service

@@ -1,0 +1,69 @@
+// The kinetd wire protocol (version KNP/1) — a framed line protocol.
+//
+// A request is a single LF-terminated ASCII line:
+//     <OP> [<model>] [<positional>...] [key=value ...]
+// A response is a status line followed by an exact-length payload:
+//     OK <payload-bytes>\n<payload>
+//     ERR <message>\n
+// The byte-counted framing lets clients read CSV payloads of any size
+// without sentinels; see docs/protocol.md for the full grammar.
+#ifndef KINETGAN_SERVICE_PROTOCOL_H
+#define KINETGAN_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kinet::service {
+
+enum class Op {
+    ping,      // liveness probe
+    train,     // TRAIN <model> key=value...       — fit a model on site data
+    load,      // LOAD <model> <path>              — register a snapshot file
+    save,      // SAVE <model> <path>              — write a snapshot file
+    drop,      // DROP <model>                     — unregister a model
+    sample,    // SAMPLE <model> <n> [seed=] [cond=col:value] — draw rows (CSV)
+    validate,  // VALIDATE <model> [n=] [seed=]    — KG validity of a fresh draw
+    stats,     // STATS [<model>]                  — serving/training metrics
+    quit,      // close the connection after acknowledging
+};
+
+struct Request {
+    Op op = Op::ping;
+    std::string model;                        // empty where the op allows it
+    std::vector<std::string> positional;      // op-specific positional args
+    std::map<std::string, std::string> kv;    // key=value arguments
+};
+
+struct Response {
+    bool ok = true;
+    std::string error;    // ERR message (ok == false)
+    std::string payload;  // OK payload (ok == true)
+};
+
+/// Parses one request line (no trailing newline); throws kinet::Error with a
+/// protocol-level message on unknown ops or malformed arguments.
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Renders a request back into its wire line (no trailing newline).
+[[nodiscard]] std::string format_request(const Request& request);
+
+/// Renders the full response frame including status line and payload.
+[[nodiscard]] std::string format_response(const Response& response);
+
+[[nodiscard]] std::string_view op_name(Op op);
+
+/// Argument helpers: kv lookups with typed parsing and clear errors.
+[[nodiscard]] std::uint64_t kv_u64(const Request& request, const std::string& key,
+                                   std::uint64_t fallback);
+[[nodiscard]] double kv_double(const Request& request, const std::string& key, double fallback);
+
+/// Strict non-negative integer parse (rejects signs, spaces and trailing
+/// characters); `what` names the argument in the error message.
+[[nodiscard]] std::uint64_t parse_u64(const std::string& token, const std::string& what);
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_PROTOCOL_H

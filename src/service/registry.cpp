@@ -1,0 +1,43 @@
+#include "src/service/registry.hpp"
+
+#include "src/common/check.hpp"
+
+namespace kinet::service {
+
+void ModelRegistry::put(const std::string& name, std::unique_ptr<core::KiNetGan> model) {
+    KINET_CHECK(!name.empty(), "ModelRegistry::put: empty model name");
+    KINET_CHECK(model != nullptr && model->is_fitted(),
+                "ModelRegistry::put: model must be fitted");
+    auto entry = std::make_shared<ModelEntry>();
+    entry->model = std::move(model);
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    models_[name] = std::move(entry);
+}
+
+std::shared_ptr<ModelEntry> ModelRegistry::get(const std::string& name) const {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = models_.find(name);
+    return it == models_.end() ? nullptr : it->second;
+}
+
+bool ModelRegistry::erase(const std::string& name) {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    return models_.erase(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(models_.size());
+    for (const auto& [name, entry] : models_) {
+        out.push_back(name);
+    }
+    return out;
+}
+
+std::size_t ModelRegistry::size() const {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    return models_.size();
+}
+
+}  // namespace kinet::service

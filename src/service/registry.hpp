@@ -1,0 +1,58 @@
+// Named model store behind the synthetic-data service.
+//
+// The registry maps site-scoped model names ("site-0", "site-1", ...) to
+// fitted KiNetGan instances.  Lookups take a shared lock, so concurrent
+// requests against different models never contend; registration and removal
+// take the exclusive lock.  Because sampling mutates model internals (layer
+// caches), each entry carries its own mutex that callers hold around model
+// member calls — per-request RNG seeding keeps the output deterministic
+// regardless of how those per-entry critical sections interleave.
+#ifndef KINETGAN_SERVICE_REGISTRY_H
+#define KINETGAN_SERVICE_REGISTRY_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/kinetgan.hpp"
+
+namespace kinet::service {
+
+/// One registered model plus its serving bookkeeping.
+struct ModelEntry {
+    std::unique_ptr<core::KiNetGan> model;
+    /// Serialises model member calls (sample/save mutate layer caches).
+    std::mutex mu;
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> rows_served{0};
+};
+
+class ModelRegistry {
+public:
+    /// Registers (or replaces) a model under `name`; exclusive-write.
+    void put(const std::string& name, std::unique_ptr<core::KiNetGan> model);
+
+    /// Shared-read lookup; nullptr if absent.  The returned shared_ptr keeps
+    /// the entry alive even if it is concurrently replaced or erased.
+    [[nodiscard]] std::shared_ptr<ModelEntry> get(const std::string& name) const;
+
+    /// Removes a model; returns false if absent.  Exclusive-write.
+    bool erase(const std::string& name);
+
+    /// Registered names in sorted order.
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    mutable std::shared_mutex mu_;
+    std::map<std::string, std::shared_ptr<ModelEntry>> models_;
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_REGISTRY_H

@@ -1,0 +1,321 @@
+#include "src/service/server.hpp"
+
+#include <future>
+#include <utility>
+
+#include "src/common/check.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/text.hpp"
+#include "src/data/split.hpp"
+#include "src/netsim/lab_simulator.hpp"
+#include "src/service/snapshot.hpp"
+
+namespace kinet::service {
+namespace {
+
+/// Upper bound on rows per SAMPLE/VALIDATE request — protects the daemon
+/// from a single request monopolising memory; clients page with seeds.
+constexpr std::uint64_t kMaxSampleRows = 1'000'000;
+
+std::string kv_line(const std::string& key, const std::string& value) {
+    return key + "=" + value + "\n";
+}
+
+Response error_response(std::string message) {
+    Response r;
+    r.ok = false;
+    r.error = std::move(message);
+    return r;
+}
+
+}  // namespace
+
+SynthServer::SynthServer(ServerOptions options)
+    : options_(options), kg_(kg::NetworkKg::build_lab()) {}
+
+SynthServer::~SynthServer() { stop(); }
+
+void SynthServer::start() {
+    KINET_CHECK(!running_.load(), "SynthServer::start: already running");
+    listener_ = TcpListener::bind_loopback(options_.port);
+    running_.store(true);
+    acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void SynthServer::stop() {
+    if (!running_.exchange(false)) {
+        return;
+    }
+    listener_.shutdown();
+    if (acceptor_.joinable()) {
+        acceptor_.join();
+    }
+    std::unordered_map<std::uint64_t, std::thread> threads;
+    {
+        const std::lock_guard<std::mutex> lock(conns_mu_);
+        for (auto& [id, stream] : live_conns_) {
+            stream->shutdown();  // unblocks the connection thread's read
+        }
+        threads.swap(conn_threads_);
+        finished_conns_.clear();
+    }
+    for (auto& [id, t] : threads) {
+        t.join();
+    }
+}
+
+void SynthServer::reap_finished_connections() {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::uint64_t id : finished_conns_) {
+        const auto it = conn_threads_.find(id);
+        if (it != conn_threads_.end()) {
+            it->second.join();  // serve loop already returned: joins instantly
+            conn_threads_.erase(it);
+        }
+    }
+    finished_conns_.clear();
+}
+
+std::uint16_t SynthServer::port() const noexcept { return listener_.port(); }
+
+void SynthServer::accept_loop() {
+    while (running_.load()) {
+        auto stream = listener_.accept();
+        if (!stream.has_value()) {
+            break;  // listener shut down
+        }
+        reap_finished_connections();
+        // Registration in live_conns_ happens here, under the same lock as
+        // the running_ check — so stop() either sees the connection (and
+        // shuts its socket down) or the connection is never spawned.  The
+        // stream lives on the heap so the registered pointer stays stable
+        // when ownership moves into the thread.
+        auto owned = std::make_unique<TcpStream>(std::move(*stream));
+        const std::lock_guard<std::mutex> lock(conns_mu_);
+        if (!running_.load()) {
+            break;  // raced with stop(): drop the connection
+        }
+        const std::uint64_t id = next_conn_id_++;
+        live_conns_[id] = owned.get();
+        conn_threads_.emplace(
+            id, std::thread([this, id, s = std::move(owned)]() mutable {
+                serve_connection(id, *s);
+            }));
+    }
+}
+
+void SynthServer::serve_connection(std::uint64_t id, TcpStream& stream) {
+    try {
+        for (;;) {
+            const auto line = stream.read_line();
+            if (!line.has_value()) {
+                break;  // client disconnected
+            }
+            Request request;
+            try {
+                request = parse_request(*line);
+            } catch (const Error& e) {
+                stream.write_all(format_response(error_response(e.what())));
+                continue;
+            }
+            if (request.op == Op::quit) {
+                stream.write_all(format_response(Response{}));
+                break;
+            }
+            // The connection thread only does I/O; the handler — training,
+            // sampling, anything compute-bound — runs on the shared pool.
+            Response response;
+            std::promise<void> done;
+            ThreadPool::global().submit([&] {
+                response = handle(request);
+                done.set_value();
+            });
+            done.get_future().wait();
+            stream.write_all(format_response(response));
+        }
+    } catch (const Error&) {
+        // Socket-level failure (peer reset, shutdown during stop()): the
+        // connection is over either way.
+    }
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    live_conns_.erase(id);
+    finished_conns_.push_back(id);
+}
+
+Response SynthServer::handle(const Request& request) {
+    try {
+        return dispatch(request);
+    } catch (const std::exception& e) {
+        return error_response(e.what());
+    }
+}
+
+Response SynthServer::dispatch(const Request& request) {
+    switch (request.op) {
+    case Op::ping: {
+        Response r;
+        r.payload = "pong\n";
+        return r;
+    }
+    case Op::train:
+        return handle_train(request);
+    case Op::load: {
+        auto model = load_snapshot_file(request.positional.at(0));
+        registry_.put(request.model, std::move(model));
+        return Response{};
+    }
+    case Op::save: {
+        const auto entry = require_model(request.model);
+        const std::lock_guard<std::mutex> lock(entry->mu);
+        save_snapshot_file(*entry->model, request.positional.at(0));
+        return Response{};
+    }
+    case Op::drop:
+        if (!registry_.erase(request.model)) {
+            return error_response("no model named " + request.model);
+        }
+        return Response{};
+    case Op::sample:
+        return handle_sample(request);
+    case Op::validate:
+        return handle_validate(request);
+    case Op::stats:
+        return handle_stats(request);
+    case Op::quit:
+        return Response{};  // transport-level; acknowledged by the connection
+    }
+    return error_response("unhandled op");
+}
+
+Response SynthServer::handle_train(const Request& request) {
+    netsim::LabSimOptions sim;
+    sim.records = static_cast<std::size_t>(kv_u64(request, "records", 2000));
+    sim.seed = kv_u64(request, "sim-seed", 7);
+    sim.attack_intensity = kv_double(request, "attack", 1.0);
+
+    data::Table train = netsim::LabTrafficSimulator(sim).generate();
+    const double split_frac = kv_double(request, "split-frac", 0.0);
+    if (split_frac > 0.0) {
+        Rng split_rng(kv_u64(request, "split-seed", 0));
+        auto split = data::train_test_split(train, split_frac, split_rng,
+                                            netsim::lab_label_column());
+        train = std::move(split.train);
+    }
+
+    core::KiNetGanOptions opts;
+    opts.gan.epochs = static_cast<std::size_t>(
+        kv_u64(request, "epochs", options_.default_epochs));
+    opts.gan.seed = kv_u64(request, "gan-seed", 42);
+
+    auto model = std::make_unique<core::KiNetGan>(
+        kg_.make_oracle(), netsim::lab_conditional_columns(), opts);
+    model->fit(train);
+
+    Response r;
+    r.payload += kv_line("rows", std::to_string(train.rows()));
+    r.payload += kv_line("epochs", std::to_string(opts.gan.epochs));
+    r.payload += kv_line("seconds", text::format_double(model->report().seconds, 3));
+    r.payload += kv_line("adherence", text::format_double(model->last_cond_adherence(), 4));
+    registry_.put(request.model, std::move(model));
+    return r;
+}
+
+Response SynthServer::handle_sample(const Request& request) {
+    const auto entry = require_model(request.model);
+    const auto n = static_cast<std::size_t>(
+        parse_u64(request.positional.at(0), "SAMPLE row count"));
+    KINET_CHECK(n <= kMaxSampleRows, "SAMPLE: row count " + std::to_string(n) +
+                                         " exceeds the per-request cap of " +
+                                         std::to_string(kMaxSampleRows));
+    const std::uint64_t seed = kv_u64(request, "seed", 0);
+
+    std::string cond_column;
+    std::string cond_value;
+    if (const auto it = request.kv.find("cond"); it != request.kv.end()) {
+        const std::size_t colon = it->second.find(':');
+        KINET_CHECK(colon != std::string::npos && colon > 0 && colon + 1 < it->second.size(),
+                    "SAMPLE: cond must be <column>:<value>");
+        cond_column = it->second.substr(0, colon);
+        cond_value = it->second.substr(colon + 1);
+    }
+
+    data::Table rows;
+    {
+        const std::lock_guard<std::mutex> lock(entry->mu);
+        rows = cond_column.empty()
+                   ? entry->model->sample_seeded(n, seed)
+                   : entry->model->sample_conditional_seeded(n, cond_column, cond_value, seed);
+    }
+    entry->requests.fetch_add(1, std::memory_order_relaxed);
+    entry->rows_served.fetch_add(rows.rows(), std::memory_order_relaxed);
+
+    Response r;
+    r.payload = csv::serialize(rows.to_csv());
+    return r;
+}
+
+Response SynthServer::handle_validate(const Request& request) {
+    const auto entry = require_model(request.model);
+    const auto n = static_cast<std::size_t>(
+        kv_u64(request, "n", options_.default_validate_rows));
+    KINET_CHECK(n <= kMaxSampleRows, "VALIDATE: row count " + std::to_string(n) +
+                                         " exceeds the per-request cap of " +
+                                         std::to_string(kMaxSampleRows));
+    const std::uint64_t seed = kv_u64(request, "seed", 0);
+    double validity = 0.0;
+    {
+        const std::lock_guard<std::mutex> lock(entry->mu);
+        const data::Table rows = entry->model->sample_seeded(n, seed);
+        validity = entry->model->kg_validity_rate(rows);
+    }
+    entry->requests.fetch_add(1, std::memory_order_relaxed);
+
+    Response r;
+    r.payload += kv_line("rows", std::to_string(n));
+    r.payload += kv_line("validity", text::format_double(validity, 4));
+    return r;
+}
+
+Response SynthServer::handle_stats(const Request& request) {
+    Response r;
+    if (!request.model.empty()) {
+        const auto entry = require_model(request.model);
+        const std::lock_guard<std::mutex> lock(entry->mu);
+        const auto& report = entry->model->report();
+        r.payload += kv_line("model", request.model);
+        r.payload += kv_line("requests", std::to_string(entry->requests.load()));
+        r.payload += kv_line("rows_served", std::to_string(entry->rows_served.load()));
+        r.payload += kv_line("epochs_trained", std::to_string(report.generator_loss.size()));
+        r.payload += kv_line("train_seconds", text::format_double(report.seconds, 3));
+        r.payload += kv_line("adherence",
+                             text::format_double(entry->model->last_cond_adherence(), 4));
+        if (!report.generator_loss.empty()) {
+            r.payload += kv_line("final_g_loss",
+                                 text::format_double(report.generator_loss.back(), 4));
+            r.payload += kv_line("final_d_loss",
+                                 text::format_double(report.discriminator_loss.back(), 4));
+        }
+        return r;
+    }
+    r.payload += kv_line("models", std::to_string(registry_.size()));
+    for (const auto& name : registry_.names()) {
+        const auto entry = registry_.get(name);
+        if (entry == nullptr) {
+            continue;  // concurrently dropped
+        }
+        r.payload += name + " requests=" + std::to_string(entry->requests.load()) +
+                     " rows_served=" + std::to_string(entry->rows_served.load()) + "\n";
+    }
+    return r;
+}
+
+std::shared_ptr<ModelEntry> SynthServer::require_model(const std::string& name) const {
+    auto entry = registry_.get(name);
+    if (entry == nullptr) {
+        throw Error("no model named " + name);
+    }
+    return entry;
+}
+
+}  // namespace kinet::service

@@ -1,0 +1,94 @@
+// SynthServer — synthetic-data-as-a-service over the kinetd wire protocol.
+//
+// The paper's deployment story (Sec. I) has every site run a local KiNETGAN
+// and share only synthetic traffic; this server is that site-side component
+// as a long-lived concurrent process.  One lightweight thread per connection
+// does the blocking socket I/O; the actual request handling (training,
+// sampling, validation — the CPU work) executes on the process-wide
+// common::parallel pool, which the tensor kernels underneath also use.
+// Per-request RNG seeding (SAMPLE ... seed=K) makes responses deterministic
+// functions of the request, independent of how concurrent clients interleave.
+#ifndef KINETGAN_SERVICE_SERVER_H
+#define KINETGAN_SERVICE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kg/network_kg.hpp"
+#include "src/service/protocol.hpp"
+#include "src/service/registry.hpp"
+#include "src/service/socket.hpp"
+
+namespace kinet::service {
+
+struct ServerOptions {
+    /// Listen port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+    std::uint16_t port = 0;
+    /// Default TRAIN epochs when the request does not pass epochs=.
+    std::size_t default_epochs = 30;
+    /// Default VALIDATE sample size when the request does not pass n=.
+    std::size_t default_validate_rows = 1000;
+};
+
+class SynthServer {
+public:
+    explicit SynthServer(ServerOptions options = {});
+    ~SynthServer();
+    SynthServer(const SynthServer&) = delete;
+    SynthServer& operator=(const SynthServer&) = delete;
+
+    /// Binds the listener and starts accepting connections.
+    void start();
+    /// Unblocks the acceptor, closes live connections, joins all threads.
+    /// Idempotent; also invoked by the destructor.
+    void stop();
+
+    /// The bound port (valid after start()).
+    [[nodiscard]] std::uint16_t port() const noexcept;
+    [[nodiscard]] bool running() const noexcept { return running_.load(); }
+
+    /// Executes one request against the registry — the transport-independent
+    /// core, used directly by tests and by every connection thread.  Errors
+    /// come back as ERR responses, never as exceptions.
+    [[nodiscard]] Response handle(const Request& request);
+
+    [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
+
+private:
+    void accept_loop();
+    /// Runs one connection's request loop; the stream is owned by the
+    /// connection thread and registered in live_conns_ by accept_loop.
+    void serve_connection(std::uint64_t id, TcpStream& stream);
+    void reap_finished_connections();
+    [[nodiscard]] Response dispatch(const Request& request);
+    [[nodiscard]] Response handle_train(const Request& request);
+    [[nodiscard]] Response handle_sample(const Request& request);
+    [[nodiscard]] Response handle_validate(const Request& request);
+    [[nodiscard]] Response handle_stats(const Request& request);
+    [[nodiscard]] std::shared_ptr<ModelEntry> require_model(const std::string& name) const;
+
+    ServerOptions options_;
+    ModelRegistry registry_;
+    kg::NetworkKg kg_;
+    TcpListener listener_;
+    std::thread acceptor_;
+    std::atomic<bool> running_{false};
+
+    std::mutex conns_mu_;
+    std::unordered_map<std::uint64_t, TcpStream*> live_conns_;
+    std::unordered_map<std::uint64_t, std::thread> conn_threads_;
+    /// Connections whose serve loop has ended; their threads are joined by
+    /// the acceptor on the next accept (and by stop()) so a long-lived
+    /// daemon does not accumulate finished thread handles.
+    std::vector<std::uint64_t> finished_conns_;
+    std::uint64_t next_conn_id_ = 0;
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_SERVER_H

@@ -1,0 +1,76 @@
+#include "src/service/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/bytes.hpp"
+#include "src/common/check.hpp"
+
+namespace kinet::service {
+
+std::string write_snapshot(core::KiNetGan& model) {
+    bytes::Writer payload;
+    model.save(payload);
+
+    bytes::Writer out;
+    out.raw(kSnapshotMagic);
+    out.u32(kSnapshotVersion);
+    out.u64(payload.size());
+    out.u64(bytes::fnv1a(payload.buffer()));
+    out.raw(payload.buffer());
+    return out.take();
+}
+
+std::unique_ptr<core::KiNetGan> read_snapshot(std::string_view data) {
+    bytes::Reader header(data);
+    if (header.remaining() < kSnapshotMagic.size() + 4 + 8 + 8) {
+        throw Error("snapshot: truncated header (" + std::to_string(data.size()) + " bytes)");
+    }
+    if (header.raw(kSnapshotMagic.size()) != kSnapshotMagic) {
+        throw Error("snapshot: bad magic — not a KiNETGAN snapshot");
+    }
+    const std::uint32_t version = header.u32();
+    if (version != kSnapshotVersion) {
+        throw Error("snapshot: unsupported format version " + std::to_string(version) +
+                    " (this build reads version " + std::to_string(kSnapshotVersion) + ")");
+    }
+    const auto payload_size = static_cast<std::size_t>(header.u64());
+    const std::uint64_t expected_hash = header.u64();
+    if (header.remaining() != payload_size) {
+        throw Error("snapshot: truncated payload (declared " + std::to_string(payload_size) +
+                    " bytes, have " + std::to_string(header.remaining()) + ")");
+    }
+    const std::string_view payload = header.raw(payload_size);
+    const std::uint64_t actual_hash = bytes::fnv1a(payload);
+    if (actual_hash != expected_hash) {
+        throw Error("snapshot: payload checksum mismatch — file is corrupt");
+    }
+
+    bytes::Reader body(payload);
+    auto model = core::KiNetGan::load(body);
+    if (!body.exhausted()) {
+        throw Error("snapshot: " + std::to_string(body.remaining()) +
+                    " trailing bytes after model state");
+    }
+    return model;
+}
+
+void save_snapshot_file(core::KiNetGan& model, const std::string& path) {
+    const std::string blob = write_snapshot(model);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    KINET_CHECK(out.good(), "snapshot: cannot open " + path + " for writing");
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    KINET_CHECK(out.good(), "snapshot: write to " + path + " failed");
+}
+
+std::unique_ptr<core::KiNetGan> load_snapshot_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    KINET_CHECK(in.good(), "snapshot: cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    KINET_CHECK(!in.bad(), "snapshot: read from " + path + " failed");
+    return read_snapshot(buf.str());
+}
+
+}  // namespace kinet::service

@@ -1,0 +1,40 @@
+// Versioned, checksummed container around KiNetGan's serialized state.
+//
+// Layout (integers in host byte order — see src/common/bytes.hpp):
+//   bytes 0-7   magic "KNETSNAP"
+//   bytes 8-11  u32 format version (kSnapshotVersion)
+//   bytes 12-19 u64 payload length
+//   bytes 20-27 u64 FNV-1a of the payload
+//   bytes 28-   payload (KiNetGan::save stream)
+//
+// Truncated files, bit corruption and snapshots written by a different
+// format version are all rejected with distinct kinet::Error messages before
+// any model state is touched — a registry never loads a half-read model.
+#ifndef KINETGAN_SERVICE_SNAPSHOT_H
+#define KINETGAN_SERVICE_SNAPSHOT_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/core/kinetgan.hpp"
+
+namespace kinet::service {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::string_view kSnapshotMagic = "KNETSNAP";
+
+/// Serializes a fitted model into the container format.
+[[nodiscard]] std::string write_snapshot(core::KiNetGan& model);
+
+/// Parses and validates a container; throws kinet::Error naming the failure
+/// (bad magic / unsupported version / truncation / checksum mismatch).
+[[nodiscard]] std::unique_ptr<core::KiNetGan> read_snapshot(std::string_view data);
+
+/// File convenience wrappers.
+void save_snapshot_file(core::KiNetGan& model, const std::string& path);
+[[nodiscard]] std::unique_ptr<core::KiNetGan> load_snapshot_file(const std::string& path);
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_SNAPSHOT_H

@@ -1,0 +1,223 @@
+#include "src/service/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include "src/common/check.hpp"
+
+namespace kinet::service {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw Error("socket: " + what + ": " + std::strerror(errno));
+}
+
+/// write() on a peer-closed socket raises SIGPIPE by default, which would
+/// kill the daemon; send with MSG_NOSIGNAL turns it into EPIPE.
+constexpr int kSendFlags = MSG_NOSIGNAL;
+
+}  // namespace
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream::TcpStream(TcpStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      rdbuf_(std::move(other.rdbuf_)),
+      rdpos_(std::exchange(other.rdpos_, 0)) {}
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        rdbuf_ = std::move(other.rdbuf_);
+        rdpos_ = std::exchange(other.rdpos_, 0);
+    }
+    return *this;
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw_errno("socket()");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw Error("socket: bad host address " + host);
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw_errno("connect to " + host + ":" + std::to_string(port));
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpStream(fd);
+}
+
+void TcpStream::write_all(std::string_view data) {
+    KINET_CHECK(valid(), "socket: write on closed stream");
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, kSendFlags);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw_errno("send()");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+bool TcpStream::fill() {
+    KINET_CHECK(valid(), "socket: read on closed stream");
+    if (rdpos_ == rdbuf_.size()) {
+        rdbuf_.clear();
+        rdpos_ = 0;
+    }
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw_errno("recv()");
+        }
+        if (n == 0) {
+            return false;
+        }
+        rdbuf_.append(chunk, static_cast<std::size_t>(n));
+        return true;
+    }
+}
+
+std::optional<std::string> TcpStream::read_line() {
+    for (;;) {
+        const std::size_t nl = rdbuf_.find('\n', rdpos_);
+        if (nl != std::string::npos) {
+            std::string line = rdbuf_.substr(rdpos_, nl - rdpos_);
+            rdpos_ = nl + 1;
+            return line;
+        }
+        if (!fill()) {
+            if (rdpos_ == rdbuf_.size()) {
+                return std::nullopt;  // clean EOF between messages
+            }
+            throw Error("socket: connection closed mid-line");
+        }
+    }
+}
+
+std::string TcpStream::read_exact(std::size_t n) {
+    while (rdbuf_.size() - rdpos_ < n) {
+        if (!fill()) {
+            throw Error("socket: connection closed " +
+                        std::to_string(n - (rdbuf_.size() - rdpos_)) +
+                        " bytes short of a framed payload");
+        }
+    }
+    std::string out = rdbuf_.substr(rdpos_, n);
+    rdpos_ += n;
+    return out;
+}
+
+void TcpStream::shutdown() {
+    if (fd_ >= 0) {
+        (void)::shutdown(fd_, SHUT_RDWR);
+    }
+}
+
+void TcpStream::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+TcpListener::~TcpListener() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) {
+            ::close(fd_);
+        }
+        fd_ = std::exchange(other.fd_, -1);
+        port_ = std::exchange(other.port_, 0);
+    }
+    return *this;
+}
+
+TcpListener TcpListener::bind_loopback(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw_errno("socket()");
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw_errno("bind 127.0.0.1:" + std::to_string(port));
+    }
+    if (::listen(fd, 64) != 0) {
+        ::close(fd);
+        throw_errno("listen()");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+        ::close(fd);
+        throw_errno("getsockname()");
+    }
+    TcpListener listener;
+    listener.fd_ = fd;
+    listener.port_ = ntohs(bound.sin_port);
+    return listener;
+}
+
+std::optional<TcpStream> TcpListener::accept() {
+    KINET_CHECK(valid(), "socket: accept on closed listener");
+    for (;;) {
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client >= 0) {
+            const int one = 1;
+            (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            return TcpStream(client);
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        // shutdown() surfaces as EINVAL (Linux) / ECONNABORTED — treat any
+        // non-transient failure as "listener is done".
+        return std::nullopt;
+    }
+}
+
+void TcpListener::shutdown() {
+    if (fd_ >= 0) {
+        (void)::shutdown(fd_, SHUT_RDWR);
+    }
+}
+
+}  // namespace kinet::service

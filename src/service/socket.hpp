@@ -1,0 +1,83 @@
+// Minimal RAII wrappers over POSIX TCP sockets — just enough for the kinetd
+// daemon and its clients: a loopback listener with ephemeral-port support and
+// a buffered stream with line/exact-length reads matching the protocol
+// framing.  Errors surface as kinet::Error with errno text.
+#ifndef KINETGAN_SERVICE_SOCKET_H
+#define KINETGAN_SERVICE_SOCKET_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace kinet::service {
+
+/// A connected TCP byte stream (move-only; closes on destruction).
+class TcpStream {
+public:
+    explicit TcpStream(int fd) : fd_(fd) {}
+    ~TcpStream();
+    TcpStream(TcpStream&& other) noexcept;
+    TcpStream& operator=(TcpStream&& other) noexcept;
+    TcpStream(const TcpStream&) = delete;
+    TcpStream& operator=(const TcpStream&) = delete;
+
+    /// Connects to host:port; throws kinet::Error on failure.
+    [[nodiscard]] static TcpStream connect(const std::string& host, std::uint16_t port);
+
+    /// Writes the whole buffer (retrying short writes); throws on error.
+    void write_all(std::string_view data);
+
+    /// Reads up to the next LF; returns the line without it, or nullopt on
+    /// clean EOF at a line boundary.  Throws on socket errors or EOF mid-line.
+    [[nodiscard]] std::optional<std::string> read_line();
+
+    /// Reads exactly n bytes; throws on EOF or error.
+    [[nodiscard]] std::string read_exact(std::size_t n);
+
+    /// Half-closes both directions without releasing the fd — unblocks a
+    /// read_line() in progress on another thread (used for server shutdown).
+    void shutdown();
+    void close();
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+private:
+    /// Refills rdbuf_; returns false on EOF.
+    bool fill();
+
+    int fd_ = -1;
+    std::string rdbuf_;
+    std::size_t rdpos_ = 0;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (move-only).
+class TcpListener {
+public:
+    TcpListener() = default;
+    ~TcpListener();
+    TcpListener(TcpListener&& other) noexcept;
+    TcpListener& operator=(TcpListener&& other) noexcept;
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    /// Binds and listens on 127.0.0.1:port (0 picks an ephemeral port).
+    [[nodiscard]] static TcpListener bind_loopback(std::uint16_t port);
+
+    /// Blocks for the next connection; nullopt once shutdown() was called.
+    [[nodiscard]] std::optional<TcpStream> accept();
+
+    /// Unblocks any accept() in progress (e.g. from another thread); the
+    /// socket stays allocated until destruction.
+    void shutdown();
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_SOCKET_H

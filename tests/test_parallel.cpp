@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -148,6 +150,64 @@ TEST(ThreadPool, PropagatesExceptions) {
         calls.fetch_add(static_cast<int>(e - b));
     });
     EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPool, SubmitRunsTasksAsynchronously) {
+    ThreadPool pool(4);
+    constexpr int kTasks = 32;
+    std::atomic<int> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    for (int t = 0; t < kTasks; ++t) {
+        pool.submit([&] {
+            if (done.fetch_add(1) + 1 == kTasks) {
+                const std::lock_guard<std::mutex> lock(mu);
+                cv.notify_all();
+            }
+        });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done.load() == kTasks; });
+    EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, SubmitRunsInlineOnSingleLanePool) {
+    ThreadPool pool(1);
+    bool ran = false;
+    pool.submit([&] { ran = true; });
+    EXPECT_TRUE(ran);  // no workers: executed before submit returned
+}
+
+TEST(ThreadPool, SubmittedTasksMayHoldLocksAroundParallelFor) {
+    // Regression test for the service deadlock: a submitted task that takes
+    // a mutex and then runs parallel_for used to execute *other submitted
+    // tasks* in its helper-drain loop — including one that blocks on the
+    // very mutex the drainer holds.  With the chunk/task queues separated,
+    // this pattern must complete for any pool size.
+    ThreadPool pool(4);
+    constexpr int kTasks = 12;
+    std::mutex shared;
+    std::atomic<int> done{0};
+    std::mutex wait_mu;
+    std::condition_variable cv;
+    for (int t = 0; t < kTasks; ++t) {
+        pool.submit([&] {
+            const std::lock_guard<std::mutex> model_lock(shared);
+            std::atomic<std::size_t> covered{0};
+            pool.parallel_for(256, pool.size(), [&](std::size_t b, std::size_t e) {
+                covered.fetch_add(e - b);
+            });
+            ASSERT_EQ(covered.load(), 256U);
+            if (done.fetch_add(1) + 1 == kTasks) {
+                const std::lock_guard<std::mutex> lock(wait_mu);
+                cv.notify_all();
+            }
+        });
+    }
+    std::unique_lock<std::mutex> lock(wait_mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(60),
+                            [&] { return done.load() == kTasks; }))
+        << "pool wedged: " << done.load() << "/" << kTasks << " tasks finished";
 }
 
 TEST(ParallelMatmul, MatchesNaiveReferenceOnEdgeShapes) {

@@ -1,0 +1,324 @@
+// Service-layer tests: protocol parsing, the model registry under concurrent
+// access, the request handler, and the full TCP path with concurrent clients
+// drawing deterministic per-request sample streams.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/common/csv.hpp"
+#include "src/core/kinetgan.hpp"
+#include "src/netsim/lab_simulator.hpp"
+#include "src/service/client.hpp"
+#include "src/service/protocol.hpp"
+#include "src/service/registry.hpp"
+#include "src/service/server.hpp"
+
+namespace {
+
+using namespace kinet;        // NOLINT
+using namespace kinet::service;  // NOLINT
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, ParsesSampleRequest) {
+    const Request r = parse_request("SAMPLE site-0 500 seed=17 cond=protocol:TCP");
+    EXPECT_EQ(r.op, Op::sample);
+    EXPECT_EQ(r.model, "site-0");
+    ASSERT_EQ(r.positional.size(), 1U);
+    EXPECT_EQ(r.positional[0], "500");
+    EXPECT_EQ(r.kv.at("seed"), "17");
+    EXPECT_EQ(r.kv.at("cond"), "protocol:TCP");
+}
+
+TEST(Protocol, OpsAreCaseInsensitiveAndWhitespaceTolerant) {
+    const Request r = parse_request("  train   site-1   epochs=5  ");
+    EXPECT_EQ(r.op, Op::train);
+    EXPECT_EQ(r.model, "site-1");
+    EXPECT_EQ(r.kv.at("epochs"), "5");
+}
+
+TEST(Protocol, StatsModelIsOptional) {
+    EXPECT_TRUE(parse_request("STATS").model.empty());
+    EXPECT_EQ(parse_request("STATS site-2").model, "site-2");
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+    EXPECT_THROW((void)parse_request(""), Error);
+    EXPECT_THROW((void)parse_request("FROBNICATE x"), Error);
+    EXPECT_THROW((void)parse_request("SAMPLE"), Error);          // missing model
+    EXPECT_THROW((void)parse_request("SAMPLE site-0"), Error);   // missing count
+    EXPECT_THROW((void)parse_request("LOAD site-0"), Error);     // missing path
+    EXPECT_THROW((void)parse_request("SAMPLE seed=1 5"), Error);  // kv where model expected
+}
+
+TEST(Protocol, RequestFormatRoundTrips) {
+    Request r;
+    r.op = Op::sample;
+    r.model = "m";
+    r.positional.push_back("64");
+    r.kv["seed"] = "9";
+    const Request parsed = parse_request(format_request(r));
+    EXPECT_EQ(parsed.op, r.op);
+    EXPECT_EQ(parsed.model, r.model);
+    EXPECT_EQ(parsed.positional, r.positional);
+    EXPECT_EQ(parsed.kv, r.kv);
+}
+
+TEST(Protocol, ResponseFraming) {
+    Response ok;
+    ok.payload = "a,b\n1,2\n";
+    EXPECT_EQ(format_response(ok), "OK 8\na,b\n1,2\n");
+    Response err;
+    err.ok = false;
+    err.error = "bad\nthing";
+    EXPECT_EQ(format_response(err), "ERR bad thing\n");  // newline sanitised
+}
+
+TEST(Protocol, TypedKvHelpers) {
+    const Request r = parse_request("VALIDATE m n=250 frac=0.5 bad=zz");
+    EXPECT_EQ(kv_u64(r, "n", 1), 250U);
+    EXPECT_EQ(kv_u64(r, "absent", 7), 7U);
+    EXPECT_DOUBLE_EQ(kv_double(r, "frac", 0.0), 0.5);
+    EXPECT_THROW((void)kv_u64(r, "bad", 0), Error);
+}
+
+// ---------------------------------------------------------------- fixtures
+
+core::KiNetGanOptions tiny_options(std::uint64_t seed) {
+    core::KiNetGanOptions opts;
+    opts.gan.epochs = 2;
+    opts.gan.batch_size = 64;
+    opts.gan.hidden_dim = 32;
+    opts.gan.noise_dim = 16;
+    opts.gan.seed = seed;
+    opts.transformer.max_modes = 3;
+    return opts;
+}
+
+std::unique_ptr<core::KiNetGan> tiny_model(std::uint64_t seed = 1) {
+    netsim::LabSimOptions sim;
+    sim.records = 400;
+    sim.seed = 11;
+    const auto table = netsim::LabTrafficSimulator(sim).generate();
+    const auto kg = kg::NetworkKg::build_lab();
+    auto model = std::make_unique<core::KiNetGan>(
+        kg.make_oracle(), netsim::lab_conditional_columns(), tiny_options(seed));
+    model->fit(table);
+    return model;
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(ModelRegistry, PutGetEraseNames) {
+    ModelRegistry registry;
+    EXPECT_EQ(registry.size(), 0U);
+    EXPECT_EQ(registry.get("a"), nullptr);
+    registry.put("b", tiny_model(2));
+    registry.put("a", tiny_model(3));
+    EXPECT_EQ(registry.size(), 2U);
+    EXPECT_NE(registry.get("a"), nullptr);
+    EXPECT_EQ(registry.names(), (std::vector<std::string>{"a", "b"}));
+    EXPECT_TRUE(registry.erase("a"));
+    EXPECT_FALSE(registry.erase("a"));
+    EXPECT_EQ(registry.size(), 1U);
+}
+
+TEST(ModelRegistry, RejectsUnfittedModels) {
+    ModelRegistry registry;
+    const auto kg = kg::NetworkKg::build_lab();
+    auto unfitted = std::make_unique<core::KiNetGan>(
+        kg.make_oracle(), netsim::lab_conditional_columns(), tiny_options(1));
+    EXPECT_THROW(registry.put("x", std::move(unfitted)), Error);
+    EXPECT_THROW(registry.put("", tiny_model()), Error);
+}
+
+TEST(ModelRegistry, ConcurrentReadersAndWritersStaySane) {
+    ModelRegistry registry;
+    registry.put("shared", tiny_model(4));
+    // A get()ed entry must stay valid even when the name is concurrently
+    // replaced — readers hold the shared_ptr, not the map slot.
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> lookups{0};
+    std::vector<std::thread> readers;
+    readers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load()) {
+                auto entry = registry.get("shared");
+                ASSERT_NE(entry, nullptr);
+                const std::lock_guard<std::mutex> lock(entry->mu);
+                ASSERT_TRUE(entry->model->is_fitted());
+                lookups.fetch_add(1);
+            }
+        });
+    }
+    for (int i = 0; i < 3; ++i) {
+        registry.put("shared", tiny_model(5 + static_cast<std::uint64_t>(i)));
+    }
+    stop.store(true);
+    for (auto& t : readers) {
+        t.join();
+    }
+    EXPECT_GT(lookups.load(), 0U);
+}
+
+// ----------------------------------------------------------------- server
+
+/// Shared server fixture: TRAINs one small model once for the whole suite.
+class ServerTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        server_ = new SynthServer();
+        server_->start();
+        const Request train = parse_request(
+            "TRAIN site-0 records=400 sim-seed=11 epochs=2 gan-seed=1");
+        const Response r = server_->handle(train);
+        ASSERT_TRUE(r.ok) << r.error;
+    }
+    static void TearDownTestSuite() {
+        delete server_;
+        server_ = nullptr;
+    }
+
+    static SynthServer* server_;
+};
+
+SynthServer* ServerTest::server_ = nullptr;
+
+TEST_F(ServerTest, PingAndStats) {
+    EXPECT_EQ(server_->handle(parse_request("PING")).payload, "pong\n");
+    const Response stats = server_->handle(parse_request("STATS site-0"));
+    ASSERT_TRUE(stats.ok);
+    const auto kv = parse_kv_payload(stats.payload);
+    EXPECT_EQ(kv.at("epochs_trained"), "2");
+    const Response global = server_->handle(parse_request("STATS"));
+    EXPECT_NE(global.payload.find("models=1"), std::string::npos);
+}
+
+TEST_F(ServerTest, SampleIsDeterministicPerSeed) {
+    const Request req = parse_request("SAMPLE site-0 100 seed=21");
+    const Response a = server_->handle(req);
+    const Response b = server_->handle(req);
+    ASSERT_TRUE(a.ok) << a.error;
+    EXPECT_EQ(a.payload, b.payload);  // same seed, same stream
+    const Response c = server_->handle(parse_request("SAMPLE site-0 100 seed=22"));
+    EXPECT_NE(a.payload, c.payload);  // different seed, different stream
+    EXPECT_EQ(csv::parse(a.payload).rows.size(), 100U);
+}
+
+TEST_F(ServerTest, ConditionalSampleAndValidate) {
+    const Response cond =
+        server_->handle(parse_request("SAMPLE site-0 50 seed=3 cond=protocol:TCP"));
+    ASSERT_TRUE(cond.ok) << cond.error;
+    EXPECT_EQ(csv::parse(cond.payload).rows.size(), 50U);
+    const Response bad =
+        server_->handle(parse_request("SAMPLE site-0 50 seed=3 cond=nonsense"));
+    EXPECT_FALSE(bad.ok);
+
+    const Response val = server_->handle(parse_request("VALIDATE site-0 n=200 seed=5"));
+    ASSERT_TRUE(val.ok) << val.error;
+    const auto kv = parse_kv_payload(val.payload);
+    const double validity = std::stod(kv.at("validity"));
+    EXPECT_GE(validity, 0.0);
+    EXPECT_LE(validity, 1.0);
+}
+
+TEST_F(ServerTest, ErrorsComeBackAsErrResponses) {
+    EXPECT_FALSE(server_->handle(parse_request("SAMPLE ghost 10")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("SAMPLE site-0 nonsense")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("DROP ghost")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("LOAD ghost /nonexistent.snap")).ok);
+    // Hostile row counts must be rejected up front, not ground through:
+    // "-1" would wrap to 2^64-1 under a lax stoull parse.
+    EXPECT_FALSE(server_->handle(parse_request("SAMPLE site-0 -1")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("SAMPLE site-0 100garbage")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("SAMPLE site-0 980000000000")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("VALIDATE site-0 n=980000000000")).ok);
+}
+
+TEST_F(ServerTest, SnapshotRoundTripThroughServer) {
+    const std::string path = ::testing::TempDir() + "kinet_service_roundtrip.snap";
+    ASSERT_TRUE(server_->handle(parse_request("SAVE site-0 " + path)).ok);
+    ASSERT_TRUE(server_->handle(parse_request("LOAD site-0-copy " + path)).ok);
+    // Identical stream seed -> identical CSV from original and restored model.
+    const Response a = server_->handle(parse_request("SAMPLE site-0 80 seed=900"));
+    const Response b = server_->handle(parse_request("SAMPLE site-0-copy 80 seed=900"));
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a.payload, b.payload);
+    ASSERT_TRUE(server_->handle(parse_request("DROP site-0-copy")).ok);
+    std::remove(path.c_str());
+}
+
+TEST_F(ServerTest, ConcurrentClientsGetDeterministicStreamsOverTcp) {
+    constexpr std::size_t kClients = 5;  // >= 4 per the acceptance criteria
+    constexpr std::size_t kRows = 60;
+
+    // Reference payloads, fetched serially first.
+    std::vector<std::string> expected(kClients);
+    {
+        auto client = SynthClient::connect("127.0.0.1", server_->port());
+        for (std::size_t c = 0; c < kClients; ++c) {
+            expected[c] = client.sample_csv("site-0", kRows, 1000 + c);
+        }
+        client.quit();
+    }
+
+    // Now the same requests race from concurrent connections; every client
+    // must still receive exactly its seed's stream.
+    std::vector<std::string> actual(kClients);
+    std::vector<std::string> failures(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            try {
+                auto client = SynthClient::connect("127.0.0.1", server_->port());
+                client.ping();
+                actual[c] = client.sample_csv("site-0", kRows, 1000 + c);
+                (void)client.validate("site-0", 50, c);  // interleave other ops
+                client.quit();
+            } catch (const std::exception& e) {
+                failures[c] = e.what();
+            }
+        });
+    }
+    for (auto& t : clients) {
+        t.join();
+    }
+    for (std::size_t c = 0; c < kClients; ++c) {
+        ASSERT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+        EXPECT_EQ(actual[c], expected[c]) << "client " << c << " got a different stream";
+    }
+}
+
+TEST_F(ServerTest, TcpProtocolErrorsDoNotKillTheConnection) {
+    auto stream = TcpStream::connect("127.0.0.1", server_->port());
+    stream.write_all("NOT-AN-OP\n");
+    auto err = stream.read_line();
+    ASSERT_TRUE(err.has_value());
+    EXPECT_TRUE(err->rfind("ERR ", 0) == 0) << *err;
+    // The connection survives and serves the next request.
+    stream.write_all("PING\n");
+    auto ok = stream.read_line();
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(*ok, "OK 5");
+    (void)stream.read_exact(5);
+    stream.write_all("QUIT\n");
+}
+
+TEST(SynthServerLifecycle, StopUnblocksIdleConnections) {
+    SynthServer server;
+    server.start();
+    auto client = SynthClient::connect("127.0.0.1", server.port());
+    client.ping();
+    // stop() must shut down the idle connection rather than hang on join.
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+}  // namespace
