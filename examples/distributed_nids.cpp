@@ -13,6 +13,7 @@
 // that a reloaded model serves the identical stream.
 //
 // Build & run:  ./build/examples/example_distributed_nids
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -38,7 +39,9 @@ int main() {
     // host and only these TCP endpoints are reachable from outside.
     std::vector<std::unique_ptr<service::SynthServer>> sites;
     for (std::size_t s = 0; s < kSites; ++s) {
-        auto server = std::make_unique<service::SynthServer>();
+        service::ServerOptions options;
+        options.snapshot_dir = "/tmp";  // client SAVE/LOAD paths resolve here
+        auto server = std::make_unique<service::SynthServer>(options);
         server->start();
         std::cout << "site " << s << ": kinetd on 127.0.0.1:" << server->port() << "\n";
         sites.push_back(std::move(server));
@@ -87,13 +90,32 @@ int main() {
     std::cout << "\npooled RAW data (privacy-violating upper bound): "
               << text::format_double(upper, 3) << "\n\n";
 
-    // (b) Ask each site's service to train locally, then pull only synthetic
-    // traffic over TCP.
+    // (b) Ask every site's service to train locally — as *async jobs*, all
+    // in flight at once (TRAIN ... async=1 returns a job id immediately and
+    // the fit runs on the daemon's training executor, so the connections
+    // stay responsive).  The operator polls the jobs, then pulls only
+    // synthetic traffic over TCP.
+    std::vector<service::SynthClient> clients;
+    std::vector<std::uint64_t> jobs;
+    for (std::size_t s = 0; s < kSites; ++s) {
+        clients.push_back(service::SynthClient::connect("127.0.0.1", sites[s]->port()));
+        jobs.push_back(clients[s].train_async("site-" + std::to_string(s), specs[s]));
+        std::cout << "site " << s << ": queued training job " << jobs[s] << "\n";
+    }
+    for (std::size_t s = 0; s < kSites; ++s) {
+        const auto info = clients[s].wait_for_job(jobs[s]);
+        std::cout << "site " << s << ": job " << jobs[s] << " " << info.at("state") << " ("
+                  << info.at("epochs_done") << "/" << info.at("epochs_total")
+                  << " epochs)\n";
+        if (info.at("state") != "done") {
+            std::cerr << "site " << s << ": training failed\n";
+            return 1;
+        }
+    }
+
     data::Table pooled_synth;
     for (std::size_t s = 0; s < kSites; ++s) {
-        auto client = service::SynthClient::connect("127.0.0.1", sites[s]->port());
-        const auto report = client.train("site-" + std::to_string(s), specs[s]);
-
+        auto& client = clients[s];
         const double local =
             eval::average_accuracy(eval::evaluate_tstr(site_train[s], test, label));
         const std::size_t rows = site_train[s].rows();
@@ -107,12 +129,12 @@ int main() {
             pooled_synth.append_rows(synth);
         }
         std::cout << "site " << s << ": local-only NIDS accuracy "
-                  << text::format_double(local, 3) << ", trained "
-                  << report.at("epochs") << " epochs in " << report.at("seconds")
-                  << "s, shared " << synth.rows() << " synthetic rows (KG validity "
-                  << text::format_double(validity, 3) << ")\n";
+                  << text::format_double(local, 3) << ", shared " << synth.rows()
+                  << " synthetic rows (KG validity " << text::format_double(validity, 3)
+                  << ")\n";
         client.quit();
     }
+    clients.clear();
 
     // (c) Central NIDS trained on pooled synthetic data only.
     const double collaborative =
@@ -121,18 +143,20 @@ int main() {
               << text::format_double(collaborative, 3) << "\n";
 
     // (d) Snapshot round-trip: site 0 saves its model, a fresh service loads
-    // it, and the reloaded model serves the bit-identical stream.
-    const std::string snap_path = "/tmp/kinetd_site0.snap";
+    // it, and the reloaded model serves the bit-identical stream.  The wire
+    // path is relative — the daemon confines it to its --snapshot-dir.
+    const std::string snap_name = "kinetd_site0.snap";
     {
         auto client = service::SynthClient::connect("127.0.0.1", sites[0]->port());
-        client.save("site-0", snap_path);
-        client.load("site-0-restored", snap_path);
+        client.save("site-0", snap_name);
+        client.load("site-0-restored", snap_name);
         const std::string a = client.sample_csv("site-0", 200, /*seed=*/4242);
         const std::string b = client.sample_csv("site-0-restored", 200, /*seed=*/4242);
-        std::cout << "\nsnapshot round-trip through " << snap_path << ": restored model "
+        std::cout << "\nsnapshot round-trip through /tmp/" << snap_name
+                  << ": restored model "
                   << (a == b ? "serves an identical stream" : "DIVERGED (bug!)") << "\n";
         client.quit();
-        std::remove(snap_path.c_str());
+        std::remove(("/tmp/" + snap_name).c_str());
     }
 
     std::cout << "\nThe collaborative model approaches the raw-pooling bound without any\n"

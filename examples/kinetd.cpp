@@ -4,11 +4,18 @@
 // (docs/protocol.md): TRAIN models on local site traffic, LOAD/SAVE
 // snapshots, and hand out deterministic SAMPLE streams to NIDS clients.
 //
-//   kinetd [--port P] [--load NAME=PATH]... [--epochs N]
+//   kinetd [--port P] [--load NAME=PATH]... [--epochs N] [--train-workers N]
+//          [--snapshot-dir DIR] [--data-dir DIR]
 //
-//   --port P        listen port (default 9190; 0 picks an ephemeral port)
-//   --load N=PATH   register snapshot PATH under model name N at startup
-//   --epochs N      default TRAIN epochs (default 30)
+//   --port P           listen port (default 9190; 0 picks an ephemeral port)
+//   --load N=PATH      register snapshot PATH under model name N at startup
+//                      (an operator path — not confined to --snapshot-dir)
+//   --epochs N         default TRAIN epochs (default 30)
+//   --train-workers N  async TRAIN executor threads (default 2)
+//   --snapshot-dir DIR directory confining client LOAD/SAVE paths
+//                      (default "."; "" disables LOAD/SAVE)
+//   --data-dir DIR     directory confining TRAIN source=csv: paths
+//                      (default "."; "" disables CSV ingestion)
 //
 // The daemon exits cleanly on SIGINT/SIGTERM.
 #include <unistd.h>
@@ -33,7 +40,8 @@ std::atomic<bool> g_stop{false};
 void handle_signal(int /*sig*/) { g_stop.store(true); }
 
 [[noreturn]] void usage_and_exit() {
-    std::cerr << "usage: kinetd [--port P] [--load NAME=PATH]... [--epochs N]\n";
+    std::cerr << "usage: kinetd [--port P] [--load NAME=PATH]... [--epochs N]"
+                 " [--train-workers N] [--snapshot-dir DIR] [--data-dir DIR]\n";
     std::exit(2);
 }
 
@@ -71,6 +79,15 @@ int main(int argc, char** argv) {
             options.port = static_cast<std::uint16_t>(next_number(65535));
         } else if (arg == "--epochs") {
             options.default_epochs = static_cast<std::size_t>(next_number(1000000));
+        } else if (arg == "--train-workers") {
+            options.train_workers = static_cast<std::size_t>(next_number(64));
+            if (options.train_workers == 0) {
+                usage_and_exit();
+            }
+        } else if (arg == "--snapshot-dir") {
+            options.snapshot_dir = next_value();
+        } else if (arg == "--data-dir") {
+            options.data_dir = next_value();
         } else if (arg == "--load") {
             const std::string spec = next_value();
             const std::size_t eq = spec.find('=');

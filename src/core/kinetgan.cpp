@@ -20,8 +20,14 @@ KiNetGan::KiNetGan(kg::ValidityOracle oracle, std::vector<std::size_t> cond_colu
     KINET_CHECK(!cond_columns_.empty(), "KiNetGan: need conditional columns");
 }
 
-void KiNetGan::fit(const data::Table& table) {
+void KiNetGan::fit(const data::Table& table) { fit(table, FitObserver{}); }
+
+void KiNetGan::fit(const data::Table& table, const FitObserver& observer) {
     Stopwatch watch;
+    // A re-fit overwrites all trained state below; drop the fitted flag
+    // first so an aborted (cancelled/thrown) fit leaves the model unfitted
+    // rather than half-overwritten-but-sampleable.
+    fitted_ = false;
     schema_ = table.schema();
 
     // --- encodings -----------------------------------------------------
@@ -224,6 +230,11 @@ void KiNetGan::fit(const data::Table& table) {
         report_.generator_loss.push_back(g_loss_acc / static_cast<double>(steps));
         report_.discriminator_loss.push_back(d_loss_acc / static_cast<double>(steps));
         last_adherence_ = adherence_acc / static_cast<double>(steps);
+
+        if (observer && !observer(epoch + 1, g.epochs)) {
+            throw Error("KiNetGan::fit: cancelled after epoch " + std::to_string(epoch + 1) +
+                        "/" + std::to_string(g.epochs));
+        }
     }
 
     report_.seconds = watch.seconds();

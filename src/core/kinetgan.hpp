@@ -15,6 +15,7 @@
 #ifndef KINETGAN_CORE_KINETGAN_H
 #define KINETGAN_CORE_KINETGAN_H
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -56,7 +57,16 @@ public:
     KiNetGan(kg::ValidityOracle oracle, std::vector<std::size_t> cond_columns,
              KiNetGanOptions options = {});
 
+    /// Per-epoch training callback: invoked after every completed epoch with
+    /// (epochs_done, epochs_total).  Returning false aborts the fit — the
+    /// model stays unfitted and fit() throws kinet::Error.  The service
+    /// layer's async job subsystem uses this for progress reporting and
+    /// cooperative cancellation; epoch granularity keeps the check off the
+    /// per-batch hot path.
+    using FitObserver = std::function<bool(std::size_t, std::size_t)>;
+
     void fit(const data::Table& table) override;
+    void fit(const data::Table& table, const FitObserver& observer);
     [[nodiscard]] data::Table sample(std::size_t n) override;
     [[nodiscard]] std::string name() const override { return "KiNETGAN"; }
 

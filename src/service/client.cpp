@@ -51,8 +51,9 @@ void SynthClient::ping() {
     (void)rpc(request);
 }
 
-std::map<std::string, std::string> SynthClient::train(const std::string& model,
-                                                      const TrainSpec& spec) {
+namespace {
+
+Request train_request(const std::string& model, const TrainSpec& spec) {
     Request request;
     request.op = Op::train;
     request.model = model;
@@ -63,7 +64,63 @@ std::map<std::string, std::string> SynthClient::train(const std::string& model,
     request.kv["split-seed"] = std::to_string(spec.split_seed);
     request.kv["epochs"] = std::to_string(spec.epochs);
     request.kv["gan-seed"] = std::to_string(spec.gan_seed);
-    return parse_kv_payload(rpc(request).payload);
+    if (spec.domain != "lab") {
+        request.kv["domain"] = spec.domain;
+    }
+    if (!spec.csv_source.empty()) {
+        request.kv["source"] = "csv:" + spec.csv_source;
+    }
+    return request;
+}
+
+Request job_request(Op op, std::uint64_t id) {
+    Request request;
+    request.op = op;
+    request.positional.push_back(std::to_string(id));
+    return request;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> SynthClient::train(const std::string& model,
+                                                      const TrainSpec& spec) {
+    return parse_kv_payload(rpc(train_request(model, spec)).payload);
+}
+
+std::uint64_t SynthClient::train_async(const std::string& model, const TrainSpec& spec) {
+    Request request = train_request(model, spec);
+    request.kv["async"] = "1";
+    const auto kv = parse_kv_payload(rpc(request).payload);
+    const auto it = kv.find("job");
+    KINET_CHECK(it != kv.end(), "client: async TRAIN response lacks a job id");
+    return std::stoull(it->second);
+}
+
+std::map<std::string, std::string> SynthClient::poll_job(std::uint64_t id) {
+    return parse_kv_payload(rpc(job_request(Op::poll, id)).payload);
+}
+
+std::map<std::string, std::string> SynthClient::cancel_job(std::uint64_t id) {
+    return parse_kv_payload(rpc(job_request(Op::cancel, id)).payload);
+}
+
+std::string SynthClient::jobs() {
+    Request request;
+    request.op = Op::jobs;
+    return rpc(request).payload;
+}
+
+std::map<std::string, std::string> SynthClient::wait_for_job(std::uint64_t id,
+                                                             std::size_t poll_interval_ms) {
+    for (;;) {
+        auto info = poll_job(id);
+        const auto it = info.find("state");
+        KINET_CHECK(it != info.end(), "client: POLL response lacks a state");
+        if (it->second == "done" || it->second == "failed" || it->second == "cancelled") {
+            return info;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(poll_interval_ms));
+    }
 }
 
 std::string SynthClient::sample_csv(const std::string& model, std::size_t n,

@@ -26,6 +26,11 @@ struct TrainSpec {
     std::uint64_t split_seed = 0;
     std::size_t epochs = 30;
     std::uint64_t gan_seed = 42;
+    /// Training domain: "lab" (default) or "unsw".
+    std::string domain = "lab";
+    /// Server-side CSV dataset, relative to the daemon's data directory;
+    /// empty simulates traffic from (records, sim_seed, attack_intensity).
+    std::string csv_source;
 };
 
 class SynthClient {
@@ -43,6 +48,21 @@ public:
     /// Trains `model` server-side on simulated site traffic; returns the
     /// server's key=value report (rows, seconds, adherence, ...).
     std::map<std::string, std::string> train(const std::string& model, const TrainSpec& spec);
+    /// Queues the same training as an async job (TRAIN ... async=1) and
+    /// returns its job id immediately; the daemon keeps serving SAMPLEs
+    /// while the fit runs on its training executor.
+    std::uint64_t train_async(const std::string& model, const TrainSpec& spec);
+    /// POLL <id>: job state/progress as key=value pairs (job, model, state,
+    /// epochs_done, epochs_total, error when failed).
+    std::map<std::string, std::string> poll_job(std::uint64_t id);
+    /// CANCEL <id>: requests cancellation; returns the post-cancel info.
+    std::map<std::string, std::string> cancel_job(std::uint64_t id);
+    /// JOBS: the raw one-line-per-job listing payload.
+    [[nodiscard]] std::string jobs();
+    /// Polls until the job reaches a terminal state (done/failed/cancelled)
+    /// and returns its final info map.
+    std::map<std::string, std::string> wait_for_job(std::uint64_t id,
+                                                    std::size_t poll_interval_ms = 50);
     /// Draws n rows from the model's seed-derived stream.  `cond` optionally
     /// pins one conditional column as "column:value".
     [[nodiscard]] data::Table sample(const std::string& model, std::size_t n,

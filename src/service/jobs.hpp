@@ -1,0 +1,131 @@
+// Async training-job subsystem for the synthetic-data service.
+//
+// A TRAIN is minutes of compute; serving it inline holds a connection
+// thread *and* a shared pool worker for the whole fit, so a handful of
+// concurrent trainings starve every SAMPLE/VALIDATE client (the paper's
+// deployment has many sites training against one shared daemon).  The
+// JobManager gives training its own small executor: dedicated worker
+// threads pull queued jobs, run them with a cancellation + progress
+// context, and record a terminal state the protocol's POLL/CANCEL/JOBS
+// ops expose.  Request-pool latency is therefore independent of how many
+// fits are in flight.
+//
+// Cancellation is cooperative: request_cancel() flips a flag the running
+// work observes (KiNetGan::fit checks it at epoch boundaries via its
+// FitObserver); a job still queued is cancelled immediately without ever
+// running.
+#ifndef KINETGAN_SERVICE_JOBS_H
+#define KINETGAN_SERVICE_JOBS_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace kinet::service {
+
+enum class JobState { queued, running, done, failed, cancelled };
+
+[[nodiscard]] std::string_view job_state_name(JobState state);
+
+/// A point-in-time view of one job, safe to read after the job finished.
+struct JobInfo {
+    std::uint64_t id = 0;
+    std::string model;
+    JobState state = JobState::queued;
+    std::size_t epochs_done = 0;
+    std::size_t epochs_total = 0;
+    std::string error;  // failure message (state == failed only)
+};
+
+class JobManager {
+public:
+    struct Job;  // internal; opaque to callers
+
+    /// Handed to running work: progress reporting + the cancellation flag.
+    class Context {
+    public:
+        /// True once request_cancel() (or stop()) hit this job; work should
+        /// abort promptly — KiNetGan::fit does so by returning false from
+        /// its FitObserver.
+        [[nodiscard]] bool cancel_requested() const noexcept;
+        /// Records completed-epoch progress for POLL.
+        void report_progress(std::size_t epochs_done) noexcept;
+
+    private:
+        friend class JobManager;
+        explicit Context(Job& job) : job_(job) {}
+        Job& job_;
+    };
+
+    using Work = std::function<void(Context&)>;
+
+    /// Starts `workers` dedicated executor threads (at least 1).  These are
+    /// separate from the request pool on purpose: a fit occupying every
+    /// executor never delays a SAMPLE.
+    explicit JobManager(std::size_t workers);
+    ~JobManager();
+    JobManager(const JobManager&) = delete;
+    JobManager& operator=(const JobManager&) = delete;
+
+    /// Enqueues work and returns its job id immediately.  `epochs_total` is
+    /// the progress denominator reported by POLL.  On success the work
+    /// function is responsible for publishing its result (the server's
+    /// training jobs put() the fitted model into the registry) before
+    /// returning; a throw marks the job failed — or cancelled, when
+    /// cancellation was requested first.
+    std::uint64_t submit(std::string model, std::size_t epochs_total, Work work);
+
+    /// Snapshot of one job; nullopt if the id was never allocated (or the
+    /// record was pruned — only terminal jobs are ever pruned).
+    [[nodiscard]] std::optional<JobInfo> info(std::uint64_t id) const;
+
+    /// Requests cancellation and returns the job's post-cancel snapshot in
+    /// one critical section (nullopt if the id is unknown).  A queued job
+    /// is cancelled on the spot; a running one stops at its next progress
+    /// check; a job already terminal keeps its state — the snapshot shows
+    /// it either way.
+    std::optional<JobInfo> request_cancel(std::uint64_t id);
+
+    /// All retained jobs, oldest first.
+    [[nodiscard]] std::vector<JobInfo> list() const;
+
+    /// Number of retained job records (live + terminal).
+    [[nodiscard]] std::size_t size() const;
+
+    [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+
+    /// Requests cancellation of every live job (queued ones become
+    /// cancelled on the spot) without touching the executor threads —
+    /// the manager keeps accepting new work afterwards.
+    void cancel_all();
+
+    /// Cancels queued and running jobs, then joins the executors; no
+    /// further submissions are accepted.  Idempotent; also invoked by the
+    /// destructor.
+    void stop();
+
+private:
+    void worker_loop();
+    void prune_terminal_locked();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::uint64_t next_id_ = 1;
+    std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;  // ordered by id
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_JOBS_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 
 #include "src/common/check.hpp"
 
@@ -21,7 +22,8 @@ constexpr OpSpec kOps[] = {
     {Op::load, "LOAD", true, 1},      {Op::save, "SAVE", true, 1},
     {Op::drop, "DROP", true, 0},      {Op::sample, "SAMPLE", true, 1},
     {Op::validate, "VALIDATE", true, 0}, {Op::stats, "STATS", false, 0},
-    {Op::quit, "QUIT", false, 0},
+    {Op::poll, "POLL", false, 1},     {Op::cancel, "CANCEL", false, 1},
+    {Op::jobs, "JOBS", false, 0},     {Op::quit, "QUIT", false, 0},
 };
 
 const OpSpec* find_op(std::string_view name) {
@@ -157,14 +159,26 @@ double kv_double(const Request& request, const std::string& key, double fallback
     if (it == request.kv.end()) {
         return fallback;
     }
+    double value = 0.0;
     try {
         std::size_t consumed = 0;
-        const double value = std::stod(it->second, &consumed);
+        value = std::stod(it->second, &consumed);
         KINET_CHECK(consumed == it->second.size(), "trailing characters");
-        return value;
     } catch (const std::exception&) {
         throw Error("protocol: argument " + key + "=" + it->second + " is not a number");
     }
+    // std::stod happily parses "nan"/"inf" (and overflows to inf); none of
+    // them is a meaningful protocol argument.
+    if (!std::isfinite(value)) {
+        throw Error("protocol: argument " + key + "=" + it->second + " must be finite");
+    }
+    return value;
+}
+
+std::string kv_string(const Request& request, const std::string& key,
+                      const std::string& fallback) {
+    const auto it = request.kv.find(key);
+    return it == request.kv.end() ? fallback : it->second;
 }
 
 }  // namespace kinet::service

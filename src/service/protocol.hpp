@@ -21,12 +21,17 @@ namespace kinet::service {
 enum class Op {
     ping,      // liveness probe
     train,     // TRAIN <model> key=value...       — fit a model on site data
+               //   async=1 queues a training job and returns job=<id>;
+               //   source=csv:<path> / domain=unsw select the training data
     load,      // LOAD <model> <path>              — register a snapshot file
     save,      // SAVE <model> <path>              — write a snapshot file
     drop,      // DROP <model>                     — unregister a model
     sample,    // SAMPLE <model> <n> [seed=] [cond=col:value] — draw rows (CSV)
     validate,  // VALIDATE <model> [n=] [seed=]    — KG validity of a fresh draw
     stats,     // STATS [<model>]                  — serving/training metrics
+    poll,      // POLL <job-id>                    — async job state/progress
+    cancel,    // CANCEL <job-id>                  — request job cancellation
+    jobs,      // JOBS                             — list training jobs
     quit,      // close the connection after acknowledging
 };
 
@@ -58,7 +63,12 @@ struct Response {
 /// Argument helpers: kv lookups with typed parsing and clear errors.
 [[nodiscard]] std::uint64_t kv_u64(const Request& request, const std::string& key,
                                    std::uint64_t fallback);
+/// Finite doubles only: nan/inf (which std::stod accepts) would silently
+/// poison downstream arithmetic (`TRAIN m attack=nan`), so they are
+/// protocol errors.
 [[nodiscard]] double kv_double(const Request& request, const std::string& key, double fallback);
+[[nodiscard]] std::string kv_string(const Request& request, const std::string& key,
+                                    const std::string& fallback);
 
 /// Strict non-negative integer parse (rejects signs, spaces and trailing
 /// characters); `what` names the argument in the error message.

@@ -1,5 +1,6 @@
 #include "src/service/server.hpp"
 
+#include <filesystem>
 #include <future>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "src/common/text.hpp"
 #include "src/data/split.hpp"
 #include "src/netsim/lab_simulator.hpp"
+#include "src/netsim/unsw_synthesizer.hpp"
 #include "src/service/snapshot.hpp"
 
 namespace kinet::service {
@@ -29,10 +31,51 @@ Response error_response(std::string message) {
     return r;
 }
 
+/// Resolves a client-supplied relative path inside `dir`.  The wire path is
+/// untrusted: absolute paths and any `..` component are rejected, so the
+/// protocol can never become an arbitrary filesystem read/write primitive.
+/// An empty `dir` means the operator disabled the capability.
+std::string resolve_confined(const std::string& dir, const std::string& wire_path,
+                             const std::string& what) {
+    namespace fs = std::filesystem;
+    if (dir.empty()) {
+        throw Error(what + ": disabled by server configuration");
+    }
+    if (wire_path.empty()) {
+        throw Error(what + ": empty path");
+    }
+    const fs::path path(wire_path);
+    if (path.is_absolute()) {
+        throw Error(what + ": absolute paths are not allowed");
+    }
+    for (const auto& part : path) {
+        if (part == "..") {
+            throw Error(what + ": path escapes the configured directory");
+        }
+    }
+    return (fs::path(dir) / path).lexically_normal().string();
+}
+
+Response job_info_response(const JobInfo& info) {
+    Response r;
+    r.payload += kv_line("job", std::to_string(info.id));
+    r.payload += kv_line("model", info.model);
+    r.payload += kv_line("state", std::string(job_state_name(info.state)));
+    r.payload += kv_line("epochs_done", std::to_string(info.epochs_done));
+    r.payload += kv_line("epochs_total", std::to_string(info.epochs_total));
+    if (info.state == JobState::failed) {
+        r.payload += kv_line("error", info.error);
+    }
+    return r;
+}
+
 }  // namespace
 
 SynthServer::SynthServer(ServerOptions options)
-    : options_(options), kg_(kg::NetworkKg::build_lab()) {}
+    : options_(std::move(options)),
+      kg_lab_(kg::NetworkKg::build_lab()),
+      kg_unsw_(kg::NetworkKg::build_unsw()),
+      jobs_(options_.train_workers) {}
 
 SynthServer::~SynthServer() { stop(); }
 
@@ -44,25 +87,29 @@ void SynthServer::start() {
 }
 
 void SynthServer::stop() {
-    if (!running_.exchange(false)) {
-        return;
-    }
-    listener_.shutdown();
-    if (acceptor_.joinable()) {
-        acceptor_.join();
-    }
-    std::unordered_map<std::uint64_t, std::thread> threads;
-    {
-        const std::lock_guard<std::mutex> lock(conns_mu_);
-        for (auto& [id, stream] : live_conns_) {
-            stream->shutdown();  // unblocks the connection thread's read
+    if (running_.exchange(false)) {
+        listener_.shutdown();
+        if (acceptor_.joinable()) {
+            acceptor_.join();
         }
-        threads.swap(conn_threads_);
-        finished_conns_.clear();
+        std::unordered_map<std::uint64_t, std::thread> threads;
+        {
+            const std::lock_guard<std::mutex> lock(conns_mu_);
+            for (auto& [id, stream] : live_conns_) {
+                stream->shutdown();  // unblocks the connection thread's read
+            }
+            threads.swap(conn_threads_);
+            finished_conns_.clear();
+        }
+        for (auto& [id, t] : threads) {
+            t.join();
+        }
     }
-    for (auto& [id, t] : threads) {
-        t.join();
-    }
+    // Cancel queued + running training jobs; running fits stop at their
+    // next epoch boundary.  The executor threads themselves stay up (the
+    // JobManager destructor joins them), so a stop()/start() restart keeps
+    // async TRAIN working.
+    jobs_.cancel_all();
 }
 
 void SynthServer::reap_finished_connections() {
@@ -123,15 +170,24 @@ void SynthServer::serve_connection(std::uint64_t id, TcpStream& stream) {
                 stream.write_all(format_response(Response{}));
                 break;
             }
-            // The connection thread only does I/O; the handler — training,
-            // sampling, anything compute-bound — runs on the shared pool.
+            // The connection thread only does I/O; the handler runs on the
+            // shared pool.  packaged_task guarantees the future is satisfied
+            // even if the handler exits by a non-std::exception throw that
+            // handle()'s catch does not cover — a bare promise would leave
+            // this thread waiting forever.  The task is shared with the
+            // worker closure because done.get() can unblock while the
+            // worker is still inside operator(); stack ownership here would
+            // destroy the task under the worker's feet.
+            auto task = std::make_shared<std::packaged_task<Response()>>(
+                [this, &request] { return handle(request); });
+            auto done = task->get_future();
+            ThreadPool::global().submit([task] { (*task)(); });
             Response response;
-            std::promise<void> done;
-            ThreadPool::global().submit([&] {
-                response = handle(request);
-                done.set_value();
-            });
-            done.get_future().wait();
+            try {
+                response = done.get();
+            } catch (...) {
+                response = error_response("internal error: request handler aborted");
+            }
             stream.write_all(format_response(response));
         }
     } catch (const Error&) {
@@ -161,14 +217,18 @@ Response SynthServer::dispatch(const Request& request) {
     case Op::train:
         return handle_train(request);
     case Op::load: {
-        auto model = load_snapshot_file(request.positional.at(0));
+        const std::string path =
+            resolve_confined(options_.snapshot_dir, request.positional.at(0), "LOAD");
+        auto model = load_snapshot_file(path);
         registry_.put(request.model, std::move(model));
         return Response{};
     }
     case Op::save: {
+        const std::string path =
+            resolve_confined(options_.snapshot_dir, request.positional.at(0), "SAVE");
         const auto entry = require_model(request.model);
         const std::lock_guard<std::mutex> lock(entry->mu);
-        save_snapshot_file(*entry->model, request.positional.at(0));
+        save_snapshot_file(*entry->model, path);
         return Response{};
     }
     case Op::drop:
@@ -182,42 +242,133 @@ Response SynthServer::dispatch(const Request& request) {
         return handle_validate(request);
     case Op::stats:
         return handle_stats(request);
+    case Op::poll:
+        return handle_poll(request);
+    case Op::cancel:
+        return handle_cancel(request);
+    case Op::jobs:
+        return handle_jobs();
     case Op::quit:
         return Response{};  // transport-level; acknowledged by the connection
     }
     return error_response("unhandled op");
 }
 
-Response SynthServer::handle_train(const Request& request) {
-    netsim::LabSimOptions sim;
-    sim.records = static_cast<std::size_t>(kv_u64(request, "records", 2000));
-    sim.seed = kv_u64(request, "sim-seed", 7);
-    sim.attack_intensity = kv_double(request, "attack", 1.0);
+SynthServer::TrainPlan SynthServer::parse_train_plan(const Request& request) const {
+    TrainPlan plan;
+    plan.model = request.model;
 
-    data::Table train = netsim::LabTrafficSimulator(sim).generate();
-    const double split_frac = kv_double(request, "split-frac", 0.0);
-    if (split_frac > 0.0) {
-        Rng split_rng(kv_u64(request, "split-seed", 0));
-        auto split = data::train_test_split(train, split_frac, split_rng,
-                                            netsim::lab_label_column());
-        train = std::move(split.train);
+    const std::string domain = kv_string(request, "domain", "lab");
+    if (domain == "unsw") {
+        plan.unsw = true;
+    } else if (domain != "lab") {
+        throw Error("TRAIN: unknown domain '" + domain + "' (expected lab or unsw)");
     }
 
-    core::KiNetGanOptions opts;
-    opts.gan.epochs = static_cast<std::size_t>(
+    const std::string source = kv_string(request, "source", "sim");
+    if (text::starts_with(source, "csv:")) {
+        plan.csv_path = resolve_confined(options_.data_dir, source.substr(4), "TRAIN source");
+    } else if (source != "sim") {
+        throw Error("TRAIN: unknown source '" + source + "' (expected sim or csv:<path>)");
+    }
+
+    plan.records = static_cast<std::size_t>(kv_u64(request, "records", 2000));
+    plan.sim_seed = kv_u64(request, "sim-seed", plan.unsw ? 11 : 7);
+    plan.attack = kv_double(request, "attack", 1.0);
+    if (plan.attack < 0.0) {
+        throw Error("TRAIN: attack must be >= 0");
+    }
+    plan.split_frac = kv_double(request, "split-frac", 0.0);
+    if (plan.split_frac < 0.0 || plan.split_frac >= 1.0) {
+        throw Error("TRAIN: split-frac must be in [0, 1)");
+    }
+    plan.split_seed = kv_u64(request, "split-seed", 0);
+
+    plan.opts.gan.epochs = static_cast<std::size_t>(
         kv_u64(request, "epochs", options_.default_epochs));
-    opts.gan.seed = kv_u64(request, "gan-seed", 42);
+    if (plan.opts.gan.epochs == 0) {
+        throw Error("TRAIN: epochs must be >= 1");
+    }
+    plan.opts.gan.seed = kv_u64(request, "gan-seed", 42);
+    return plan;
+}
 
+data::Table SynthServer::build_training_table(const TrainPlan& plan) const {
+    data::Table table;
+    if (!plan.csv_path.empty()) {
+        const auto schema = plan.unsw ? netsim::unsw_schema() : netsim::lab_schema();
+        table = data::Table::from_csv(csv::read_file(plan.csv_path), schema);
+        KINET_CHECK(table.rows() > 0, "TRAIN: CSV source has no data rows");
+    } else if (plan.unsw) {
+        netsim::UnswOptions sim;
+        sim.records = plan.records;
+        sim.seed = plan.sim_seed;
+        sim.attack_intensity = plan.attack;
+        table = netsim::UnswNb15Synthesizer(sim).generate();
+    } else {
+        netsim::LabSimOptions sim;
+        sim.records = plan.records;
+        sim.seed = plan.sim_seed;
+        sim.attack_intensity = plan.attack;
+        table = netsim::LabTrafficSimulator(sim).generate();
+    }
+    if (plan.split_frac > 0.0) {
+        Rng split_rng(plan.split_seed);
+        const std::size_t label =
+            plan.unsw ? netsim::unsw_label_column() : netsim::lab_label_column();
+        auto split = data::train_test_split(table, plan.split_frac, split_rng, label);
+        table = std::move(split.train);
+    }
+    return table;
+}
+
+SynthServer::TrainResult SynthServer::run_training(const TrainPlan& plan,
+                                                   JobManager::Context* context) const {
+    const data::Table train = build_training_table(plan);
     auto model = std::make_unique<core::KiNetGan>(
-        kg_.make_oracle(), netsim::lab_conditional_columns(), opts);
-    model->fit(train);
+        plan.unsw ? kg_unsw_.make_oracle() : kg_lab_.make_oracle(),
+        plan.unsw ? netsim::unsw_conditional_columns() : netsim::lab_conditional_columns(),
+        plan.opts);
+    core::KiNetGan::FitObserver observer;
+    if (context != nullptr) {
+        observer = [context](std::size_t done, std::size_t /*total*/) {
+            context->report_progress(done);
+            return !context->cancel_requested();
+        };
+    }
+    model->fit(train, observer);
+    return TrainResult{std::move(model), train.rows()};
+}
 
+Response SynthServer::handle_train(const Request& request) {
+    const TrainPlan plan = parse_train_plan(request);
+
+    if (kv_u64(request, "async", 0) != 0) {
+        // Queue the fit on the training executor and answer immediately;
+        // the connection (and its pool worker) is free for other requests.
+        // On completion the job put()s the model into the registry — an
+        // atomic swap, so in-flight SAMPLEs never see a half-trained model.
+        const std::uint64_t id = jobs_.submit(
+            plan.model, plan.opts.gan.epochs,
+            [this, plan](JobManager::Context& context) {
+                registry_.put(plan.model, run_training(plan, &context).model);
+            });
+        Response r;
+        r.payload += kv_line("job", std::to_string(id));
+        r.payload += kv_line("model", plan.model);
+        r.payload += kv_line("epochs", std::to_string(plan.opts.gan.epochs));
+        return r;
+    }
+
+    auto result = run_training(plan, nullptr);
     Response r;
-    r.payload += kv_line("rows", std::to_string(train.rows()));
-    r.payload += kv_line("epochs", std::to_string(opts.gan.epochs));
-    r.payload += kv_line("seconds", text::format_double(model->report().seconds, 3));
-    r.payload += kv_line("adherence", text::format_double(model->last_cond_adherence(), 4));
-    registry_.put(request.model, std::move(model));
+    r.payload += kv_line("rows", std::to_string(result.rows));
+    r.payload += kv_line("epochs", std::to_string(plan.opts.gan.epochs));
+    r.payload += kv_line("seconds", text::format_double(result.model->report().seconds, 3));
+    r.payload += kv_line("adherence",
+                         text::format_double(result.model->last_cond_adherence(), 4));
+    r.payload += kv_line("domain", plan.unsw ? "unsw" : "lab");
+    registry_.put(plan.model, std::move(result.model));
     return r;
 }
 
@@ -299,6 +450,7 @@ Response SynthServer::handle_stats(const Request& request) {
         return r;
     }
     r.payload += kv_line("models", std::to_string(registry_.size()));
+    r.payload += kv_line("jobs", std::to_string(jobs_.size()));
     for (const auto& name : registry_.names()) {
         const auto entry = registry_.get(name);
         if (entry == nullptr) {
@@ -306,6 +458,39 @@ Response SynthServer::handle_stats(const Request& request) {
         }
         r.payload += name + " requests=" + std::to_string(entry->requests.load()) +
                      " rows_served=" + std::to_string(entry->rows_served.load()) + "\n";
+    }
+    return r;
+}
+
+Response SynthServer::handle_poll(const Request& request) const {
+    const std::uint64_t id = parse_u64(request.positional.at(0), "POLL job id");
+    const auto info = jobs_.info(id);
+    if (!info.has_value()) {
+        return error_response("no job " + std::to_string(id));
+    }
+    return job_info_response(*info);
+}
+
+Response SynthServer::handle_cancel(const Request& request) {
+    const std::uint64_t id = parse_u64(request.positional.at(0), "CANCEL job id");
+    // Cancel + snapshot happen in one JobManager critical section: a
+    // separate info() lookup could race with terminal-job pruning.
+    const auto info = jobs_.request_cancel(id);
+    if (!info.has_value()) {
+        return error_response("no job " + std::to_string(id));
+    }
+    return job_info_response(*info);
+}
+
+Response SynthServer::handle_jobs() const {
+    const auto jobs = jobs_.list();
+    Response r;
+    r.payload += kv_line("jobs", std::to_string(jobs.size()));
+    for (const auto& job : jobs) {
+        r.payload += std::to_string(job.id) + " model=" + job.model +
+                     " state=" + std::string(job_state_name(job.state)) +
+                     " epochs_done=" + std::to_string(job.epochs_done) +
+                     " epochs_total=" + std::to_string(job.epochs_total) + "\n";
     }
     return r;
 }

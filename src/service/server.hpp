@@ -3,11 +3,13 @@
 // The paper's deployment story (Sec. I) has every site run a local KiNETGAN
 // and share only synthetic traffic; this server is that site-side component
 // as a long-lived concurrent process.  One lightweight thread per connection
-// does the blocking socket I/O; the actual request handling (training,
-// sampling, validation — the CPU work) executes on the process-wide
-// common::parallel pool, which the tensor kernels underneath also use.
-// Per-request RNG seeding (SAMPLE ... seed=K) makes responses deterministic
-// functions of the request, independent of how concurrent clients interleave.
+// does the blocking socket I/O; short request handling (sampling, validation)
+// executes on the process-wide common::parallel pool, while TRAIN jobs
+// submitted with async=1 run on a small dedicated training executor
+// (JobManager) — so SAMPLE latency is independent of how many fits are in
+// flight.  Per-request RNG seeding (SAMPLE ... seed=K) makes responses
+// deterministic functions of the request, independent of how concurrent
+// clients interleave.
 #ifndef KINETGAN_SERVICE_SERVER_H
 #define KINETGAN_SERVICE_SERVER_H
 
@@ -19,7 +21,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/kinetgan.hpp"
 #include "src/kg/network_kg.hpp"
+#include "src/service/jobs.hpp"
 #include "src/service/protocol.hpp"
 #include "src/service/registry.hpp"
 #include "src/service/socket.hpp"
@@ -33,6 +37,15 @@ struct ServerOptions {
     std::size_t default_epochs = 30;
     /// Default VALIDATE sample size when the request does not pass n=.
     std::size_t default_validate_rows = 1000;
+    /// Dedicated training-executor threads for TRAIN ... async=1 jobs.
+    std::size_t train_workers = 2;
+    /// Directory confining client-supplied LOAD/SAVE snapshot paths: the
+    /// wire path must be relative and stay inside this directory (`..` and
+    /// absolute paths are rejected).  Empty disables LOAD/SAVE entirely.
+    std::string snapshot_dir = ".";
+    /// Same confinement for TRAIN source=csv:<path> dataset reads.  Empty
+    /// disables CSV ingestion.
+    std::string data_dir = ".";
 };
 
 class SynthServer {
@@ -44,8 +57,11 @@ public:
 
     /// Binds the listener and starts accepting connections.
     void start();
-    /// Unblocks the acceptor, closes live connections, joins all threads.
-    /// Idempotent; also invoked by the destructor.
+    /// Unblocks the acceptor, closes live connections and joins their
+    /// threads, and cancels in-flight training jobs (the training executor
+    /// itself stays up, so start() after stop() restores full service).
+    /// Idempotent; also invoked by the destructor, which then joins the
+    /// executor.
     void stop();
 
     /// The bound port (valid after start()).
@@ -58,8 +74,28 @@ public:
     [[nodiscard]] Response handle(const Request& request);
 
     [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
+    [[nodiscard]] JobManager& jobs() noexcept { return jobs_; }
 
 private:
+    /// Everything a training run needs, resolved and validated *before* the
+    /// job is queued — a malformed async TRAIN fails synchronously.
+    struct TrainPlan {
+        std::string model;
+        bool unsw = false;       // domain=unsw (else the lab domain)
+        std::string csv_path;    // confined path; empty -> simulate traffic
+        std::size_t records = 0;
+        std::uint64_t sim_seed = 0;
+        double attack = 1.0;
+        double split_frac = 0.0;
+        std::uint64_t split_seed = 0;
+        core::KiNetGanOptions opts;
+    };
+
+    struct TrainResult {
+        std::unique_ptr<core::KiNetGan> model;
+        std::size_t rows = 0;  // training rows after the held-out split
+    };
+
     void accept_loop();
     /// Runs one connection's request loop; the stream is owned by the
     /// connection thread and registered in live_conns_ by accept_loop.
@@ -70,11 +106,22 @@ private:
     [[nodiscard]] Response handle_sample(const Request& request);
     [[nodiscard]] Response handle_validate(const Request& request);
     [[nodiscard]] Response handle_stats(const Request& request);
+    [[nodiscard]] Response handle_poll(const Request& request) const;
+    [[nodiscard]] Response handle_cancel(const Request& request);
+    [[nodiscard]] Response handle_jobs() const;
+    [[nodiscard]] TrainPlan parse_train_plan(const Request& request) const;
+    [[nodiscard]] data::Table build_training_table(const TrainPlan& plan) const;
+    /// Fits a fresh model per the plan; `context` (may be null) receives
+    /// epoch progress and carries the cooperative cancellation flag.
+    [[nodiscard]] TrainResult run_training(const TrainPlan& plan,
+                                           JobManager::Context* context) const;
     [[nodiscard]] std::shared_ptr<ModelEntry> require_model(const std::string& name) const;
 
     ServerOptions options_;
     ModelRegistry registry_;
-    kg::NetworkKg kg_;
+    kg::NetworkKg kg_lab_;
+    kg::NetworkKg kg_unsw_;
+    JobManager jobs_;
     TcpListener listener_;
     std::thread acceptor_;
     std::atomic<bool> running_{false};

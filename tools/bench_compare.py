@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over google-benchmark JSON reports.
+
+Compares the current `bench_micro --json` output against a baseline from a
+previous CI run and fails (exit 1) when any benchmark present in both
+reports regressed by more than the threshold.  Benchmarks that exist in
+only one report are listed but never fail the gate (renames/additions must
+not block CI), and improvements are reported for free.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+
+CI keeps the baseline as a restore-latest cache (see .github/workflows/
+ci.yml); locally, run bench_micro twice across a change and diff the runs.
+"""
+
+import argparse
+import json
+import sys
+
+# google-benchmark emits every time in the benchmark's own time_unit.
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """name -> cpu_time in ns.
+
+    When the report was produced with --benchmark_repetitions, the `median`
+    aggregate is used (much less noisy than any single repetition);
+    otherwise the plain per-benchmark rows are.  Mean/stddev/cv aggregates
+    are always skipped.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    singles = {}
+    medians = {}
+    for entry in report.get("benchmarks", []):
+        cpu = entry.get("cpu_time")
+        if cpu is None:
+            continue
+        ns = cpu * _TIME_UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
+        if entry.get("run_type") == "aggregate" or "aggregate_name" in entry:
+            if entry.get("aggregate_name") == "median" and entry.get("run_name"):
+                medians[entry["run_name"]] = ns
+            continue
+        if entry.get("name"):
+            singles[entry["name"]] = ns
+    return medians if medians else singles
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="maximum tolerated slowdown as a fraction (default 0.15 = +15%%)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("bench_compare: no overlapping benchmarks; nothing to gate")
+        return 0
+
+    regressions = []
+    width = max(len(name) for name in shared)
+    print(f"bench_compare: gate at +{args.threshold:.0%} over {args.baseline}")
+    for name in shared:
+        base_ns = baseline[name]
+        cur_ns = current[name]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        delta = ratio - 1.0
+        flag = "OK"
+        if delta > args.threshold:
+            flag = "REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            flag = "improved"
+        print(f"  {name:<{width}}  {base_ns:>12.1f} -> {cur_ns:>12.1f} ns  {delta:+7.1%}  {flag}")
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  {name:<{width}}  removed (not gated)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<{width}}  new (not gated)")
+
+    if regressions:
+        print(f"bench_compare: FAIL — {len(regressions)} benchmark(s) regressed "
+              f"beyond +{args.threshold:.0%}:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"bench_compare: OK — {len(shared)} benchmark(s) within +{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
