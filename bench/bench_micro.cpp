@@ -47,6 +47,61 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->UseRealTime();
 
+// The transposed-operand kernels read A (resp. B) with a column stride;
+// packing should make them track plain matmul closely.
+void BM_MatmulTN(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(21);
+    const Matrix a = random_matrix(n, n, rng);
+    const Matrix b = random_matrix(n, n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tensor::matmul_tn(a, b));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatmulTN)->Arg(256)->UseRealTime();
+
+void BM_MatmulNT(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(22);
+    const Matrix a = random_matrix(n, n, rng);
+    const Matrix b = random_matrix(n, n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tensor::matmul_nt(a, b));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatmulNT)->Arg(256)->UseRealTime();
+
+// The Linear-layer hot path: GEMM with the bias row fused into the
+// epilogue, at a GAN-step-like rectangular shape.
+void BM_MatmulBias(benchmark::State& state) {
+    Rng rng(23);
+    const Matrix a = random_matrix(256, 96, rng);
+    const Matrix b = random_matrix(96, 256, rng);
+    const Matrix bias = random_matrix(1, 256, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tensor::matmul_bias(a, b, bias));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2 * 256 * 96 * 256));
+}
+BENCHMARK(BM_MatmulBias);
+
+void BM_Transpose(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(24);
+    const Matrix a = random_matrix(n, n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tensor::transpose(a));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Transpose)->Arg(1024);
+
 void BM_MlpForwardBackward(benchmark::State& state) {
     Rng rng(2);
     nn::Sequential net;

@@ -130,9 +130,7 @@ void Tvae::fit(const data::Table& table) {
             Matrix enc_out = encoder_->forward(x, true);
             Matrix mu = enc_out.slice_cols(0, latent);
             Matrix logvar = enc_out.slice_cols(latent, 2 * latent);
-            for (auto& v : logvar.data()) {
-                v = std::clamp(v, -8.0F, 8.0F);
-            }
+            tensor::map_inplace(logvar, [](float v) { return std::clamp(v, -8.0F, 8.0F); });
 
             // Reparameterise.
             Matrix eps(batch, latent);

@@ -1,5 +1,7 @@
 #include "src/common/bytes.hpp"
 
+#include <algorithm>
+
 #include "src/common/check.hpp"
 
 namespace kinet::bytes {
@@ -161,6 +163,12 @@ std::vector<std::size_t> Reader::index_array() {
         out[i] = static_cast<std::size_t>(consume_le<std::uint64_t>(buf_, pos_));
     }
     return out;
+}
+
+std::size_t Reader::element_count(std::size_t min_elem_bytes, const char* what) {
+    const auto n = static_cast<std::size_t>(u64());
+    require_count(n, std::max<std::size_t>(min_elem_bytes, 1), remaining(), what);
+    return n;
 }
 
 std::string_view Reader::raw(std::size_t n) {

@@ -73,6 +73,13 @@ public:
     /// Reads exactly n raw bytes.
     [[nodiscard]] std::string_view raw(std::size_t n);
 
+    /// Reads a u64 element count and validates it against the bytes left in
+    /// the buffer (each element must consume at least `min_elem_bytes`), so
+    /// callers can size containers from it without handing a corrupt stream
+    /// an arbitrary allocation.  Throws kinet::Error when the count could
+    /// not possibly be satisfied.
+    [[nodiscard]] std::size_t element_count(std::size_t min_elem_bytes, const char* what);
+
     [[nodiscard]] std::size_t remaining() const noexcept { return buf_.size() - pos_; }
     [[nodiscard]] bool exhausted() const noexcept { return pos_ == buf_.size(); }
 
@@ -98,16 +105,22 @@ void write_matrix(Writer& w, const MatrixT& m) {
     w.f32_array(std::span<const float>(m.data().data(), m.data().size()));
 }
 
-/// Reads a matrix written by write_matrix.
+/// Reads a matrix written by write_matrix.  The declared shape is checked
+/// against the (buffer-bounded) value count *before* any storage is
+/// allocated, with the product computed overflow-safely — corrupt
+/// dimensions surface as a kinet::Error, never as a huge allocation.
 template <typename MatrixT>
 [[nodiscard]] MatrixT read_matrix(Reader& r) {
     const auto rows = static_cast<std::size_t>(r.u64());
     const auto cols = static_cast<std::size_t>(r.u64());
     const auto values = r.f32_array();
-    MatrixT m(rows, cols);
-    if (values.size() != m.data().size()) {
+    const bool shape_matches = (rows == 0 || cols == 0)
+                                   ? values.empty()
+                                   : (values.size() % cols == 0 && values.size() / cols == rows);
+    if (!shape_matches) {
         throw_matrix_size_mismatch(rows, cols, values.size());
     }
+    MatrixT m(rows, cols);
     if (!values.empty()) {
         std::memcpy(m.data().data(), values.data(), values.size() * sizeof(float));
     }

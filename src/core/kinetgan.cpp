@@ -4,12 +4,23 @@
 #include <cmath>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 #include "src/common/stopwatch.hpp"
 #include "src/tensor/ops.hpp"
 
 namespace kinet::core {
 
 using nn::Matrix;
+
+namespace {
+
+// Row grain for the per-row batch-step loops (oracle labelling, gradient
+// masking, attribute gather/scatter): each row is a few hundred ops, so
+// chunks of 32 keep the fork worthwhile.  Every loop writes only its own
+// rows and draws no randomness, so the partition cannot change results.
+constexpr std::size_t kFitRowGrain = 32;
+
+}  // namespace
 
 KiNetGan::KiNetGan(kg::ValidityOracle oracle, std::vector<std::size_t> cond_columns,
                    KiNetGanOptions options)
@@ -117,10 +128,14 @@ void KiNetGan::fit(const data::Table& table, const FitObserver& observer) {
 
                 Matrix fake_attrs = extract_kg_attrs(fake);
                 Matrix fake_targets(batch, 1);
-                for (std::size_t b = 0; b < batch; ++b) {
-                    fake_targets(b, 0) =
-                        row_valid_and_consistent(fake, b, draws[b]) ? 1.0F : 0.0F;
-                }
+                // Oracle labelling is per-row independent (argmax decode +
+                // hash lookups, no RNG) — row-partitioned like the kernels.
+                parallel_for(batch, kFitRowGrain, [&](std::size_t b0, std::size_t b1) {
+                    for (std::size_t b = b0; b < b1; ++b) {
+                        fake_targets(b, 0) =
+                            row_valid_and_consistent(fake, b, draws[b]) ? 1.0F : 0.0F;
+                    }
+                });
                 Matrix fk_logits = d_kg_->forward(Matrix::hcat(fake_attrs, cond), true);
                 auto fk_loss = nn::bce_with_logits(fk_logits, fake_targets);
                 (void)d_kg_->backward(fk_loss.grad);
@@ -176,11 +191,11 @@ void KiNetGan::fit(const data::Table& table, const FitObserver& observer) {
                 // Conditioned attribute spans belong to the conditional copy
                 // penalty — zero them so the validity pull can never fight
                 // the condition; D_KG adjusts only the free attributes.
-                {
+                parallel_for(batch, kFitRowGrain, [&](std::size_t b0, std::size_t b1) {
                     std::size_t off = 0;
                     for (std::size_t a = 0; a < kg_columns_.size(); ++a) {
                         if (kg_attr_cond_pos_[a] != static_cast<std::size_t>(-1)) {
-                            for (std::size_t b = 0; b < batch; ++b) {
+                            for (std::size_t b = b0; b < b1; ++b) {
                                 for (std::size_t j = 0; j < kg_spans_[a].width; ++j) {
                                     grad_attrs(b, off + j) = 0.0F;
                                 }
@@ -188,7 +203,7 @@ void KiNetGan::fit(const data::Table& table, const FitObserver& observer) {
                         }
                         off += kg_spans_[a].width;
                     }
-                }
+                });
                 scatter_kg_grad(grad_attrs, grad_output);
 
                 // Straight-through correction for rows that decode to an
@@ -196,13 +211,15 @@ void KiNetGan::fit(const data::Table& table, const FitObserver& observer) {
                 // Gumbel-softmax Jacobian vanishes on crisp spans and would
                 // otherwise swallow the signal.
                 Matrix st_grad = grad_attrs;
-                for (std::size_t b = 0; b < batch; ++b) {
-                    if (row_valid_and_consistent(fake, b, draws[b])) {
-                        for (std::size_t j = 0; j < st_grad.cols(); ++j) {
-                            st_grad(b, j) = 0.0F;
+                parallel_for(batch, kFitRowGrain, [&](std::size_t b0, std::size_t b1) {
+                    for (std::size_t b = b0; b < b1; ++b) {
+                        if (row_valid_and_consistent(fake, b, draws[b])) {
+                            for (std::size_t j = 0; j < st_grad.cols(); ++j) {
+                                st_grad(b, j) = 0.0F;
+                            }
                         }
                     }
-                }
+                });
                 scatter_kg_grad(st_grad, kg_grad_logits);
             }
 
@@ -323,28 +340,32 @@ std::size_t KiNetGan::column_index_in_schema(const std::string& name) const {
 
 Matrix KiNetGan::extract_kg_attrs(const Matrix& encoded) const {
     Matrix out(encoded.rows(), kg_input_width_);
-    std::size_t off = 0;
-    for (const auto& span : kg_spans_) {
-        for (std::size_t r = 0; r < encoded.rows(); ++r) {
-            for (std::size_t j = 0; j < span.width; ++j) {
-                out(r, off + j) = encoded(r, span.offset + j);
+    parallel_for(encoded.rows(), kFitRowGrain, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            std::size_t off = 0;
+            for (const auto& span : kg_spans_) {
+                for (std::size_t j = 0; j < span.width; ++j) {
+                    out(r, off + j) = encoded(r, span.offset + j);
+                }
+                off += span.width;
             }
         }
-        off += span.width;
-    }
+    });
     return out;
 }
 
 void KiNetGan::scatter_kg_grad(const Matrix& grad_attrs, Matrix& grad_full) const {
-    std::size_t off = 0;
-    for (const auto& span : kg_spans_) {
-        for (std::size_t r = 0; r < grad_full.rows(); ++r) {
-            for (std::size_t j = 0; j < span.width; ++j) {
-                grad_full(r, span.offset + j) += grad_attrs(r, off + j);
+    parallel_for(grad_full.rows(), kFitRowGrain, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            std::size_t off = 0;
+            for (const auto& span : kg_spans_) {
+                for (std::size_t j = 0; j < span.width; ++j) {
+                    grad_full(r, span.offset + j) += grad_attrs(r, off + j);
+                }
+                off += span.width;
             }
         }
-        off += span.width;
-    }
+    });
 }
 
 std::uint64_t KiNetGan::cond_key_of_draw(const data::CondDraw& draw) const {
@@ -626,6 +647,23 @@ std::unique_ptr<KiNetGan> KiNetGan::load(bytes::Reader& in) {
     opts.use_kg_discriminator = in.boolean();
     opts.use_cond_penalty = in.boolean();
     opts.use_minority_resampling = in.boolean();
+
+    // A snapshot payload can pass its checksum and still be hostile (the
+    // checksum is recomputable); every field that sizes an allocation is
+    // range-checked before build_networks touches it.
+    const auto plausible = [](std::size_t v, std::size_t cap, const char* what) {
+        KINET_CHECK(v <= cap,
+                    "KiNetGan::load: implausible " + std::string(what) + " (" +
+                        std::to_string(v) + ")");
+    };
+    plausible(opts.gan.epochs, 1U << 24, "epochs");
+    plausible(opts.gan.batch_size, 1U << 24, "batch size");
+    KINET_CHECK(opts.gan.batch_size > 0, "KiNetGan::load: batch size must be positive");
+    plausible(opts.gan.noise_dim, 1U << 20, "noise dim");
+    plausible(opts.gan.hidden_dim, 1U << 20, "hidden dim");
+    plausible(opts.gan.hidden_layers, 1024, "hidden layers");
+    plausible(opts.transformer.max_modes, 4096, "transformer modes");
+    plausible(opts.transformer.gmm_iterations, 1U << 24, "gmm iterations");
 
     std::vector<std::size_t> cond_columns = in.index_array();
     auto oracle = kg::ValidityOracle::load(in);

@@ -207,7 +207,7 @@ void Gmm1D::save(bytes::Writer& out) const {
 
 Gmm1D Gmm1D::load(bytes::Reader& in) {
     Gmm1D model;
-    const auto k = static_cast<std::size_t>(in.u64());
+    const std::size_t k = in.element_count(24, "gmm components");  // 3 f64 each
     model.components_.reserve(k);
     for (std::size_t j = 0; j < k; ++j) {
         GmmComponent c;

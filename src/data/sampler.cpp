@@ -77,7 +77,9 @@ ConditionalSampler ConditionalSampler::load(bytes::Reader& in) {
                 "ConditionalSampler::load: per-column state count mismatch");
     s.rows_by_value_.resize(cols);
     for (auto& by_value : s.rows_by_value_) {
-        const auto k = static_cast<std::size_t>(in.u64());
+        // Buffer-bounded: each value's row list costs at least its own
+        // 8-byte length prefix.
+        const std::size_t k = in.element_count(8, "sampler rows-by-value");
         by_value.resize(k);
         for (auto& rows : by_value) {
             rows = in.index_array();
@@ -91,12 +93,32 @@ ConditionalSampler ConditionalSampler::load(bytes::Reader& in) {
     for (auto& weights : s.freq_) {
         weights = in.f64_array();
     }
-    const auto rows = static_cast<std::size_t>(in.u64());
+    const std::size_t rows = in.element_count(8, "sampler row values");
     s.row_values_.resize(rows);
     for (auto& values : s.row_values_) {
         values = in.index_array();
         KINET_CHECK(values.size() == cols,
                     "ConditionalSampler::load: row value width mismatch");
+    }
+    // Cross-structure invariants the draw paths index by without checking
+    // (the stream passed its checksum but is still untrusted): frequency
+    // tables must line up with the value tables, and every stored index
+    // must land inside the structure it points into.
+    for (std::size_t c = 0; c < cols; ++c) {
+        KINET_CHECK(s.log_freq_[c].size() == s.rows_by_value_[c].size() &&
+                        s.freq_[c].size() == s.rows_by_value_[c].size(),
+                    "ConditionalSampler::load: frequency table width mismatch");
+        for (const auto& row_list : s.rows_by_value_[c]) {
+            for (const std::size_t r : row_list) {
+                KINET_CHECK(r < rows, "ConditionalSampler::load: row index out of range");
+            }
+        }
+    }
+    for (const auto& values : s.row_values_) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            KINET_CHECK(values[c] < s.rows_by_value_[c].size(),
+                        "ConditionalSampler::load: value id out of range");
+        }
     }
     return s;
 }

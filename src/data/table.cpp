@@ -185,14 +185,17 @@ void save_schema(bytes::Writer& out, const std::vector<ColumnMeta>& schema) {
 }
 
 std::vector<ColumnMeta> load_schema(bytes::Reader& in) {
-    const auto cols = static_cast<std::size_t>(in.u64());
+    // Counts are buffer-bounded before sizing containers: a column costs
+    // at least name prefix + type byte + category count (17 bytes); a
+    // category at least its 8-byte length prefix.
+    const std::size_t cols = in.element_count(17, "schema columns");
     std::vector<ColumnMeta> schema;
     schema.reserve(cols);
     for (std::size_t c = 0; c < cols; ++c) {
         ColumnMeta meta;
         meta.name = in.str();
         meta.type = in.u8() != 0 ? ColumnType::categorical : ColumnType::continuous;
-        const auto k = static_cast<std::size_t>(in.u64());
+        const std::size_t k = in.element_count(8, "schema categories");
         meta.categories.reserve(k);
         for (std::size_t i = 0; i < k; ++i) {
             meta.categories.push_back(in.str());

@@ -198,7 +198,8 @@ void TableTransformer::save(bytes::Writer& out) const {
 TableTransformer TableTransformer::load(bytes::Reader& in) {
     TableTransformer tf;
     tf.schema_ = load_schema(in);
-    const auto span_count = static_cast<std::size_t>(in.u64());
+    // Each span record is 8 + 1 + 8 + 8 bytes; each GMM at least a count.
+    const std::size_t span_count = in.element_count(25, "transformer spans");
     tf.spans_.reserve(span_count);
     for (std::size_t s = 0; s < span_count; ++s) {
         OutputSpan span;
@@ -213,7 +214,7 @@ TableTransformer TableTransformer::load(bytes::Reader& in) {
                     "TableTransformer::load: span column out of range");
         tf.spans_.push_back(span);
     }
-    const auto gmm_count = static_cast<std::size_t>(in.u64());
+    const std::size_t gmm_count = in.element_count(8, "transformer gmms");
     KINET_CHECK(gmm_count == tf.schema_.size(),
                 "TableTransformer::load: GMM count does not match schema");
     tf.gmms_.reserve(gmm_count);

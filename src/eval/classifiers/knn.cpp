@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 
 namespace kinet::eval {
 
@@ -36,39 +37,45 @@ std::vector<std::size_t> Knn::predict(const Matrix& x) const {
     KINET_CHECK(train_x_.rows() > 0, "Knn: predict before fit");
     const std::size_t k = std::min<std::size_t>(options_.k, train_x_.rows());
     std::vector<std::size_t> out(x.rows());
-    std::vector<std::pair<float, std::size_t>> heap;  // max-heap of (dist, label)
 
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-        heap.clear();
-        const auto q = x.row(r);
-        for (std::size_t t = 0; t < train_x_.rows(); ++t) {
-            const auto tr = train_x_.row(t);
-            float d = 0.0F;
-            for (std::size_t f = 0; f < q.size(); ++f) {
-                const float diff = q[f] - tr[f];
-                d += diff * diff;
-            }
-            if (heap.size() < k) {
-                heap.emplace_back(d, train_y_[t]);
-                std::push_heap(heap.begin(), heap.end());
-            } else if (d < heap.front().first) {
-                std::pop_heap(heap.begin(), heap.end());
-                heap.back() = {d, train_y_[t]};
-                std::push_heap(heap.begin(), heap.end());
-            }
-        }
+    // Each query row scans the whole training set independently — the
+    // classic embarrassingly parallel loop (grain 1: a row is already
+    // rows*features work).
+    parallel_for(x.rows(), 1, [&](std::size_t r0, std::size_t r1) {
+        std::vector<std::pair<float, std::size_t>> heap;  // max-heap of (dist, label)
         std::vector<std::size_t> votes(classes_, 0);
-        for (const auto& [dist, label] : heap) {
-            ++votes[label];
-        }
-        std::size_t best = 0;
-        for (std::size_t c = 1; c < classes_; ++c) {
-            if (votes[c] > votes[best]) {
-                best = c;
+        for (std::size_t r = r0; r < r1; ++r) {
+            heap.clear();
+            const auto q = x.row(r);
+            for (std::size_t t = 0; t < train_x_.rows(); ++t) {
+                const auto tr = train_x_.row(t);
+                float d = 0.0F;
+                for (std::size_t f = 0; f < q.size(); ++f) {
+                    const float diff = q[f] - tr[f];
+                    d += diff * diff;
+                }
+                if (heap.size() < k) {
+                    heap.emplace_back(d, train_y_[t]);
+                    std::push_heap(heap.begin(), heap.end());
+                } else if (d < heap.front().first) {
+                    std::pop_heap(heap.begin(), heap.end());
+                    heap.back() = {d, train_y_[t]};
+                    std::push_heap(heap.begin(), heap.end());
+                }
             }
+            std::fill(votes.begin(), votes.end(), 0);
+            for (const auto& [dist, label] : heap) {
+                ++votes[label];
+            }
+            std::size_t best = 0;
+            for (std::size_t c = 1; c < classes_; ++c) {
+                if (votes[c] > votes[best]) {
+                    best = c;
+                }
+            }
+            out[r] = best;
         }
-        out[r] = best;
-    }
+    });
     return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 
 namespace kinet::eval {
 
@@ -62,22 +63,25 @@ void LogisticRegression::fit(const Matrix& x, std::span<const std::size_t> y,
 std::vector<std::size_t> LogisticRegression::predict(const Matrix& x) const {
     KINET_CHECK(weights_.rows() == x.cols() + 1, "LogisticRegression: predict before fit");
     std::vector<std::size_t> out(x.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-        const auto xr = x.row(r);
-        double best = -1e300;
-        std::size_t best_k = 0;
-        for (std::size_t k = 0; k < classes_; ++k) {
-            double acc = weights_(x.cols(), k);
-            for (std::size_t f = 0; f < x.cols(); ++f) {
-                acc += weights_(f, k) * xr[f];
+    // Row-independent argmax over W^T x — partitioned like the kernels.
+    parallel_for(x.rows(), 64, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const auto xr = x.row(r);
+            double best = -1e300;
+            std::size_t best_k = 0;
+            for (std::size_t k = 0; k < classes_; ++k) {
+                double acc = weights_(x.cols(), k);
+                for (std::size_t f = 0; f < x.cols(); ++f) {
+                    acc += weights_(f, k) * xr[f];
+                }
+                if (acc > best) {
+                    best = acc;
+                    best_k = k;
+                }
             }
-            if (acc > best) {
-                best = acc;
-                best_k = k;
-            }
+            out[r] = best_k;
         }
-        out[r] = best_k;
-    }
+    });
     return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 
 namespace kinet::eval {
 
@@ -13,40 +14,58 @@ void RandomForest::fit(const Matrix& x, std::span<const std::size_t> y, std::siz
     KINET_CHECK(x.rows() == y.size() && x.rows() > 0, "RandomForest: bad training data");
     classes_ = classes;
     trees_.clear();
+    trees_.resize(options_.trees);
 
     const auto features_per_split = static_cast<std::size_t>(
         std::max(1.0, std::round(std::sqrt(static_cast<double>(x.cols())))));
 
+    // Every random draw happens up front on the shared stream, in the same
+    // per-tree order the serial loop used (bootstrap rows, then the tree
+    // seed); only the index vectors are kept — the bootstrap matrices are
+    // gathered inside the parallel region, so peak memory stays one
+    // bootstrap per lane and the copies parallelise with the fits.
+    std::vector<std::vector<std::size_t>> boot_rows(options_.trees);
+    std::vector<DecisionTreeOptions> tree_opts(options_.trees);
     for (std::size_t t = 0; t < options_.trees; ++t) {
-        // Bootstrap sample.
-        std::vector<std::size_t> rows(x.rows());
-        for (auto& r : rows) {
+        boot_rows[t].resize(x.rows());
+        for (auto& r : boot_rows[t]) {
             r = static_cast<std::size_t>(rng_.randint(0, static_cast<std::int64_t>(x.rows()) - 1));
         }
-        Matrix xb = x.gather_rows(rows);
-        std::vector<std::size_t> yb(rows.size());
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            yb[i] = y[rows[i]];
-        }
-
-        DecisionTreeOptions tree_opts;
-        tree_opts.max_depth = options_.max_depth;
-        tree_opts.min_samples_leaf = options_.min_samples_leaf;
-        tree_opts.features_per_split = features_per_split;
-        tree_opts.seed = rng_.engine()();
-        auto tree = std::make_unique<DecisionTree>(tree_opts);
-        tree->fit(xb, yb, classes);
-        trees_.push_back(std::move(tree));
+        tree_opts[t].max_depth = options_.max_depth;
+        tree_opts[t].min_samples_leaf = options_.min_samples_leaf;
+        tree_opts[t].features_per_split = features_per_split;
+        tree_opts[t].seed = rng_.engine()();
     }
+
+    parallel_for(options_.trees, 1, [&](std::size_t t0, std::size_t t1) {
+        for (std::size_t t = t0; t < t1; ++t) {
+            const auto& rows = boot_rows[t];
+            const Matrix xb = x.gather_rows(rows);
+            std::vector<std::size_t> yb(rows.size());
+            for (std::size_t i = 0; i < rows.size(); ++i) {
+                yb[i] = y[rows[i]];
+            }
+            auto tree = std::make_unique<DecisionTree>(tree_opts[t]);
+            tree->fit(xb, yb, classes);
+            trees_[t] = std::move(tree);
+        }
+    });
 }
 
 std::vector<std::size_t> RandomForest::predict(const Matrix& x) const {
     KINET_CHECK(!trees_.empty(), "RandomForest: predict before fit");
+    // Per-tree predictions in parallel, then a serial (exact, integer)
+    // vote so the winner never depends on the partition.
+    std::vector<std::vector<std::size_t>> preds(trees_.size());
+    parallel_for(trees_.size(), 1, [&](std::size_t t0, std::size_t t1) {
+        for (std::size_t t = t0; t < t1; ++t) {
+            preds[t] = trees_[t]->predict(x);
+        }
+    });
     std::vector<std::vector<std::size_t>> votes(x.rows(), std::vector<std::size_t>(classes_, 0));
-    for (const auto& tree : trees_) {
-        const auto preds = tree->predict(x);
-        for (std::size_t r = 0; r < preds.size(); ++r) {
-            ++votes[r][preds[r]];
+    for (const auto& tree_preds : preds) {
+        for (std::size_t r = 0; r < tree_preds.size(); ++r) {
+            ++votes[r][tree_preds[r]];
         }
     }
     std::vector<std::size_t> out(x.rows());

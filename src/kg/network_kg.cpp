@@ -193,13 +193,16 @@ void ValidityOracle::save(bytes::Writer& out) const {
 }
 
 ValidityOracle ValidityOracle::load(bytes::Reader& in) {
-    const auto arity = static_cast<std::size_t>(in.u64());
+    // Counts are buffer-bounded before they size any container (each name
+    // costs at least its 8-byte length prefix; each tuple at least one
+    // prefixed string per attribute).
+    const std::size_t arity = in.element_count(8, "oracle attribute names");
     std::vector<std::string> names;
     names.reserve(arity);
     for (std::size_t a = 0; a < arity; ++a) {
         names.push_back(in.str());
     }
-    const auto count = static_cast<std::size_t>(in.u64());
+    const std::size_t count = in.element_count(std::max<std::size_t>(arity, 1) * 8, "oracle tuples");
     std::vector<std::vector<std::string>> tuples(count, std::vector<std::string>(arity));
     for (auto& tuple : tuples) {
         for (auto& value : tuple) {

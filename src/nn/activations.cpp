@@ -6,23 +6,32 @@
 
 namespace kinet::nn {
 
+// All four activations compute into a member buffer that is reused across
+// steps (resize_for_overwrite never reallocates once warm), so a forward
+// pass costs one allocation-free sweep plus the returned copy.  ReLU and
+// LeakyReLU recover their backward mask from the cached *output* — for
+// ReLU, out > 0 iff in > 0, and for LeakyReLU (slope > 0), out <= 0 iff
+// in <= 0 — which drops the separate cached-input copy the seed kept.
+
 Matrix ReLU::forward(const Matrix& input, bool /*training*/) {
-    cached_input_ = input;
-    Matrix out = input;
-    for (auto& v : out.data()) {
-        v = (v > 0.0F) ? v : 0.0F;
+    cached_output_.resize_for_overwrite(input.rows(), input.cols());
+    const auto x = input.data();
+    auto y = cached_output_.data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] = (x[i] > 0.0F) ? x[i] : 0.0F;
     }
-    return out;
+    return cached_output_;
 }
 
 Matrix ReLU::backward(const Matrix& grad_out) {
-    KINET_CHECK(grad_out.rows() == cached_input_.rows() && grad_out.cols() == cached_input_.cols(),
+    KINET_CHECK(grad_out.rows() == cached_output_.rows() &&
+                    grad_out.cols() == cached_output_.cols(),
                 "ReLU: grad shape mismatch");
     Matrix grad_in = grad_out;
     auto gi = grad_in.data();
-    const auto x = cached_input_.data();
+    const auto y = cached_output_.data();
     for (std::size_t i = 0; i < gi.size(); ++i) {
-        if (x[i] <= 0.0F) {
+        if (!(y[i] > 0.0F)) {
             gi[i] = 0.0F;
         }
     }
@@ -30,22 +39,24 @@ Matrix ReLU::backward(const Matrix& grad_out) {
 }
 
 Matrix LeakyReLU::forward(const Matrix& input, bool /*training*/) {
-    cached_input_ = input;
-    Matrix out = input;
-    for (auto& v : out.data()) {
-        v = (v > 0.0F) ? v : slope_ * v;
+    cached_output_.resize_for_overwrite(input.rows(), input.cols());
+    const auto x = input.data();
+    auto y = cached_output_.data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] = (x[i] > 0.0F) ? x[i] : slope_ * x[i];
     }
-    return out;
+    return cached_output_;
 }
 
 Matrix LeakyReLU::backward(const Matrix& grad_out) {
-    KINET_CHECK(grad_out.rows() == cached_input_.rows() && grad_out.cols() == cached_input_.cols(),
+    KINET_CHECK(grad_out.rows() == cached_output_.rows() &&
+                    grad_out.cols() == cached_output_.cols(),
                 "LeakyReLU: grad shape mismatch");
     Matrix grad_in = grad_out;
     auto gi = grad_in.data();
-    const auto x = cached_input_.data();
+    const auto y = cached_output_.data();
     for (std::size_t i = 0; i < gi.size(); ++i) {
-        if (x[i] <= 0.0F) {
+        if (y[i] <= 0.0F) {
             gi[i] *= slope_;
         }
     }
@@ -53,12 +64,13 @@ Matrix LeakyReLU::backward(const Matrix& grad_out) {
 }
 
 Matrix Tanh::forward(const Matrix& input, bool /*training*/) {
-    Matrix out = input;
-    for (auto& v : out.data()) {
-        v = std::tanh(v);
+    cached_output_.resize_for_overwrite(input.rows(), input.cols());
+    const auto x = input.data();
+    auto y = cached_output_.data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] = std::tanh(x[i]);
     }
-    cached_output_ = out;
-    return out;
+    return cached_output_;
 }
 
 Matrix Tanh::backward(const Matrix& grad_out) {
@@ -74,12 +86,13 @@ Matrix Tanh::backward(const Matrix& grad_out) {
 }
 
 Matrix Sigmoid::forward(const Matrix& input, bool /*training*/) {
-    Matrix out = input;
-    for (auto& v : out.data()) {
-        v = 1.0F / (1.0F + std::exp(-v));
+    cached_output_.resize_for_overwrite(input.rows(), input.cols());
+    const auto x = input.data();
+    auto y = cached_output_.data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] = 1.0F / (1.0F + std::exp(-x[i]));
     }
-    cached_output_ = out;
-    return out;
+    return cached_output_;
 }
 
 Matrix Sigmoid::backward(const Matrix& grad_out) {

@@ -12,7 +12,7 @@ public:
     Matrix backward(const Matrix& grad_out) override;
 
 private:
-    Matrix cached_input_;
+    Matrix cached_output_;  // backward mask: out > 0 iff in > 0
 };
 
 class LeakyReLU : public Module {
@@ -23,7 +23,7 @@ public:
 
 private:
     float slope_;
-    Matrix cached_input_;
+    Matrix cached_output_;  // backward mask: out <= 0 iff in <= 0 (slope > 0)
 };
 
 class Tanh : public Module {

@@ -18,24 +18,28 @@ BatchNorm1d::BatchNorm1d(std::size_t features, float momentum, float eps)
 
 Matrix BatchNorm1d::forward(const Matrix& input, bool training) {
     KINET_CHECK(input.cols() == features_, "BatchNorm1d: feature mismatch");
-    const Matrix mean = training ? tensor::col_mean(input) : running_mean_;
-    const Matrix var = training ? tensor::col_var(input) : running_var_;
-
     if (training) {
+        // Fused single-call mean+variance reduction into reused member
+        // buffers (the unfused col_mean + col_var pair swept the batch a
+        // third time and allocated both results every step).
+        tensor::col_mean_var(input, batch_mean_, batch_var_);
         // Exponential moving average of batch statistics for inference.
         for (std::size_t c = 0; c < features_; ++c) {
             running_mean_(0, c) =
-                (1.0F - momentum_) * running_mean_(0, c) + momentum_ * mean(0, c);
-            running_var_(0, c) = (1.0F - momentum_) * running_var_(0, c) + momentum_ * var(0, c);
+                (1.0F - momentum_) * running_mean_(0, c) + momentum_ * batch_mean_(0, c);
+            running_var_(0, c) =
+                (1.0F - momentum_) * running_var_(0, c) + momentum_ * batch_var_(0, c);
         }
     }
+    const Matrix& mean = training ? batch_mean_ : running_mean_;
+    const Matrix& var = training ? batch_var_ : running_var_;
 
-    batch_inv_std_.resize(1, features_);
+    batch_inv_std_.resize_for_overwrite(1, features_);
     for (std::size_t c = 0; c < features_; ++c) {
         batch_inv_std_(0, c) = 1.0F / std::sqrt(var(0, c) + eps_);
     }
 
-    x_hat_.resize(input.rows(), features_);
+    x_hat_.resize_for_overwrite(input.rows(), features_);
     Matrix out(input.rows(), features_);
     for (std::size_t r = 0; r < input.rows(); ++r) {
         for (std::size_t c = 0; c < features_; ++c) {

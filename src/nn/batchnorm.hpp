@@ -25,8 +25,11 @@ private:
     Parameter beta_;   // 1 x features
     Matrix running_mean_;
     Matrix running_var_;
-    // Caches for backward (training-mode statistics).
+    // Caches for backward (training-mode statistics); all reused across
+    // steps so the forward pass allocates only its output.
     Matrix x_hat_;
+    Matrix batch_mean_;     // 1 x features
+    Matrix batch_var_;      // 1 x features
     Matrix batch_inv_std_;  // 1 x features
     bool trained_forward_ = false;
 };

@@ -1,6 +1,7 @@
 #include "src/nn/dropout.hpp"
 
 #include "src/common/check.hpp"
+#include "src/tensor/ops.hpp"
 
 namespace kinet::nn {
 
@@ -31,14 +32,8 @@ Matrix Dropout::backward(const Matrix& grad_out) {
     if (!used_mask_) {
         return grad_out;
     }
-    KINET_CHECK(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols(),
-                "Dropout: grad shape mismatch");
     Matrix grad_in = grad_out;
-    auto gi = grad_in.data();
-    const auto md = mask_.data();
-    for (std::size_t i = 0; i < gi.size(); ++i) {
-        gi[i] *= md[i];
-    }
+    tensor::mul_inplace(grad_in, mask_);  // shape-checked inside
     return grad_in;
 }
 

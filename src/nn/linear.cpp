@@ -18,7 +18,10 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng, std:
 Matrix Linear::forward(const Matrix& input, bool /*training*/) {
     KINET_CHECK(input.cols() == in_features_, "Linear: input width mismatch");
     cached_input_ = input;
-    return tensor::add_row_broadcast(tensor::matmul(input, weight_.value), bias_.value);
+    // Bias is fused into the GEMM epilogue: no broadcast temporary, and
+    // each element still sees bias added after its full k accumulation, so
+    // the result is bit-identical to matmul + add_row_broadcast.
+    return tensor::matmul_bias(input, weight_.value, bias_.value);
 }
 
 Matrix Linear::backward(const Matrix& grad_out) {

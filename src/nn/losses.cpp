@@ -11,7 +11,7 @@ LossResult bce_with_logits(const Matrix& logits, const Matrix& targets) {
                 "bce_with_logits: shape mismatch");
     KINET_CHECK(logits.size() > 0, "bce_with_logits: empty input");
     LossResult res;
-    res.grad.resize(logits.rows(), logits.cols());
+    res.grad.resize_for_overwrite(logits.rows(), logits.cols());
     const auto z = logits.data();
     const auto t = targets.data();
     auto g = res.grad.data();
@@ -34,7 +34,7 @@ LossResult mse(const Matrix& prediction, const Matrix& target) {
                 "mse: shape mismatch");
     KINET_CHECK(prediction.size() > 0, "mse: empty input");
     LossResult res;
-    res.grad.resize(prediction.rows(), prediction.cols());
+    res.grad.resize_for_overwrite(prediction.rows(), prediction.cols());
     const auto p = prediction.data();
     const auto t = target.data();
     auto g = res.grad.data();
@@ -53,7 +53,7 @@ LossResult softmax_cross_entropy(const Matrix& logits, std::span<const std::size
     KINET_CHECK(logits.rows() == labels.size(), "softmax_cross_entropy: batch mismatch");
     KINET_CHECK(logits.cols() > 0, "softmax_cross_entropy: no classes");
     LossResult res;
-    res.grad.resize(logits.rows(), logits.cols());
+    res.grad.resize_for_overwrite(logits.rows(), logits.cols());
     const double inv_b = 1.0 / static_cast<double>(logits.rows());
     double acc = 0.0;
     for (std::size_t r = 0; r < logits.rows(); ++r) {
@@ -84,8 +84,8 @@ GaussianKlResult gaussian_kl(const Matrix& mu, const Matrix& logvar) {
                 "gaussian_kl: shape mismatch");
     KINET_CHECK(mu.rows() > 0, "gaussian_kl: empty input");
     GaussianKlResult res;
-    res.grad_mu.resize(mu.rows(), mu.cols());
-    res.grad_logvar.resize(mu.rows(), mu.cols());
+    res.grad_mu.resize_for_overwrite(mu.rows(), mu.cols());
+    res.grad_logvar.resize_for_overwrite(mu.rows(), mu.cols());
     const double inv_b = 1.0 / static_cast<double>(mu.rows());
     double acc = 0.0;
     const auto m = mu.data();

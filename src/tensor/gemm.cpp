@@ -1,0 +1,66 @@
+// Degenerate-shape handling and one-time micro-kernel dispatch for the
+// packed GEMM engine (see gemm.hpp for the contract).
+#include "src/tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace kinet::tensor {
+
+namespace {
+
+using GemmFn = void (*)(std::size_t, std::size_t, std::size_t, GemmOperand, GemmOperand, float*,
+                        std::size_t, const float*);
+
+struct Dispatch {
+    GemmFn fn;
+    const char* name;
+};
+
+Dispatch pick_kernel() {
+    // KINET_GEMM_KERNEL=generic pins the portable kernel (diagnostics /
+    // cross-ISA numeric comparisons); any other value is ignored.
+    const char* forced = std::getenv("KINET_GEMM_KERNEL");
+    if (forced != nullptr && std::strcmp(forced, "generic") == 0) {
+        return {detail::gemm_generic, "generic-4x8"};
+    }
+#if (defined(__x86_64__) || defined(__amd64__)) && (defined(__GNUC__) || defined(__clang__))
+    if (detail::gemm_has_avx2_build() && __builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("fma")) {
+        return {detail::gemm_avx2, "avx2-fma-6x16"};
+    }
+#endif
+    return {detail::gemm_generic, "generic-4x8"};
+}
+
+const Dispatch& dispatch() {
+    static const Dispatch d = pick_kernel();
+    return d;
+}
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b, float* c,
+          std::size_t ldc, const float* bias) {
+    if (m == 0 || n == 0) {
+        return;
+    }
+    if (k == 0) {
+        // Empty inner dimension: the product is all zeros (plus bias).
+        for (std::size_t i = 0; i < m; ++i) {
+            float* crow = c + i * ldc;
+            if (bias != nullptr) {
+                std::copy(bias, bias + n, crow);
+            } else {
+                std::fill(crow, crow + n, 0.0F);
+            }
+        }
+        return;
+    }
+    dispatch().fn(m, n, k, a, b, c, ldc, bias);
+}
+
+const char* gemm_kernel_name() { return dispatch().name; }
+
+}  // namespace kinet::tensor

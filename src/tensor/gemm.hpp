@@ -1,0 +1,63 @@
+// Packed, cache-blocked GEMM engine — the single kernel behind the matmul
+// family in src/tensor/ops.hpp.
+//
+// The engine packs panels of A and B into contiguous, zero-padded tiles
+// (KC-deep k-blocks, NC-wide column panels, MR x NR register tiles), then
+// drives a fixed-width micro-kernel over the packed panels.  Two
+// instantiations are built: a portable one compiled for the baseline ISA
+// and an 8-wide AVX2/FMA one (x86-64 with GNU-compatible compilers);
+// `gemm` picks the widest kernel the running CPU supports, once, at first
+// use.
+//
+// Determinism contract (shared with src/common/parallel.hpp): each output
+// element is produced by exactly one running accumulator that consumes the
+// k dimension in ascending order — the micro-kernel loads the C tile,
+// accumulates a k-block, and stores it back, so neither the KC blocking
+// nor the row partition across threads changes any element's operation
+// order.  Results are therefore bit-identical run-to-run at any
+// KINET_NUM_THREADS (verified by tests/test_gemm.cpp).
+#ifndef KINETGAN_TENSOR_GEMM_H
+#define KINETGAN_TENSOR_GEMM_H
+
+#include <cstddef>
+
+namespace kinet::tensor {
+
+/// A strided read-only view of one GEMM operand: element (i, p) lives at
+/// data[i * rs + p * cs].  Plain-transposed access is expressed by swapping
+/// the strides, so one engine serves matmul, matmul_tn and matmul_nt.
+struct GemmOperand {
+    const float* data;
+    std::size_t rs;
+    std::size_t cs;
+};
+
+/// C(m x n, row-major, leading dimension ldc) = A(m x k) * B(k x n), plus
+/// an optional bias row added once per output element after the final
+/// k-block (bias == nullptr skips it; otherwise bias[j] is added to every
+/// C(i, j)).  C's initial contents are ignored and overwritten.
+void gemm(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b, float* c,
+          std::size_t ldc, const float* bias);
+
+/// Name of the dispatched micro-kernel ("avx2-fma-6x16" or "generic-4x8")
+/// — surfaced in benchmarks and docs, never used for logic.
+[[nodiscard]] const char* gemm_kernel_name();
+
+namespace detail {
+
+/// Instantiation entry points (one per translation unit / ISA).  Same
+/// semantics as gemm(); callers must have handled m == 0 || n == 0.
+void gemm_generic(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b,
+                  float* c, std::size_t ldc, const float* bias);
+void gemm_avx2(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b,
+               float* c, std::size_t ldc, const float* bias);
+
+/// Whether this build carries the AVX2 instantiation at all (x86-64 and a
+/// compiler that accepts -mavx2 -mfma).
+[[nodiscard]] bool gemm_has_avx2_build();
+
+}  // namespace detail
+
+}  // namespace kinet::tensor
+
+#endif  // KINETGAN_TENSOR_GEMM_H

@@ -1,0 +1,129 @@
+// AVX2/FMA GEMM instantiation.  This translation unit is compiled with
+// -mavx2 -mfma (and KINET_GEMM_AVX2 defined) by CMake on x86-64 builds with
+// a GNU-compatible compiler; elsewhere the entry point forwards to the
+// portable kernel so dispatch stays trivial.
+//
+// The 6x16 micro-kernel holds its accumulator block in 12 named 8-float
+// vector variables (12 YMM registers), leaving room for the broadcast A
+// value and the two B vectors.  FMA contraction changes per-operation
+// rounding relative to the portable kernel, but the dispatch is fixed per
+// machine and the accumulation order per element is identical, so
+// determinism across runs and thread counts is unaffected.
+#include "src/tensor/gemm_engine.hpp"
+
+namespace kinet::tensor::detail {
+
+#if defined(KINET_GEMM_AVX2) && defined(KINET_GEMM_VECTOR_EXT)
+
+namespace {
+
+struct KernelAvx2 {
+    static constexpr int MR = 6;
+    static constexpr int NR = 16;
+
+    static void micro_full(std::size_t kc, const float* __restrict ap, const float* __restrict bp,
+                           float* __restrict c, std::size_t ldc, bool first, const float* bias) {
+        vf8 c00;
+        vf8 c01;
+        vf8 c10;
+        vf8 c11;
+        vf8 c20;
+        vf8 c21;
+        vf8 c30;
+        vf8 c31;
+        vf8 c40;
+        vf8 c41;
+        vf8 c50;
+        vf8 c51;
+        if (first) {
+            c00 = c01 = c10 = c11 = c20 = c21 = c30 = c31 = c40 = c41 = c50 = c51 = vf8{};
+        } else {
+            c00 = vload8(c + 0 * ldc);
+            c01 = vload8(c + 0 * ldc + 8);
+            c10 = vload8(c + 1 * ldc);
+            c11 = vload8(c + 1 * ldc + 8);
+            c20 = vload8(c + 2 * ldc);
+            c21 = vload8(c + 2 * ldc + 8);
+            c30 = vload8(c + 3 * ldc);
+            c31 = vload8(c + 3 * ldc + 8);
+            c40 = vload8(c + 4 * ldc);
+            c41 = vload8(c + 4 * ldc + 8);
+            c50 = vload8(c + 5 * ldc);
+            c51 = vload8(c + 5 * ldc + 8);
+        }
+        for (std::size_t p = 0; p < kc; ++p) {
+            const float* a = ap + p * MR;
+            const float* b = bp + p * NR;
+            const vf8 b0 = vload8(b);
+            const vf8 b1 = vload8(b + 8);
+            vf8 av = vsplat8(a[0]);
+            c00 += av * b0;
+            c01 += av * b1;
+            av = vsplat8(a[1]);
+            c10 += av * b0;
+            c11 += av * b1;
+            av = vsplat8(a[2]);
+            c20 += av * b0;
+            c21 += av * b1;
+            av = vsplat8(a[3]);
+            c30 += av * b0;
+            c31 += av * b1;
+            av = vsplat8(a[4]);
+            c40 += av * b0;
+            c41 += av * b1;
+            av = vsplat8(a[5]);
+            c50 += av * b0;
+            c51 += av * b1;
+        }
+        if (bias != nullptr) {
+            const vf8 bias0 = vload8(bias);
+            const vf8 bias1 = vload8(bias + 8);
+            c00 += bias0;
+            c01 += bias1;
+            c10 += bias0;
+            c11 += bias1;
+            c20 += bias0;
+            c21 += bias1;
+            c30 += bias0;
+            c31 += bias1;
+            c40 += bias0;
+            c41 += bias1;
+            c50 += bias0;
+            c51 += bias1;
+        }
+        vstore8(c + 0 * ldc, c00);
+        vstore8(c + 0 * ldc + 8, c01);
+        vstore8(c + 1 * ldc, c10);
+        vstore8(c + 1 * ldc + 8, c11);
+        vstore8(c + 2 * ldc, c20);
+        vstore8(c + 2 * ldc + 8, c21);
+        vstore8(c + 3 * ldc, c30);
+        vstore8(c + 3 * ldc + 8, c31);
+        vstore8(c + 4 * ldc, c40);
+        vstore8(c + 4 * ldc + 8, c41);
+        vstore8(c + 5 * ldc, c50);
+        vstore8(c + 5 * ldc + 8, c51);
+    }
+};
+
+}  // namespace
+
+void gemm_avx2(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b, float* c,
+               std::size_t ldc, const float* bias) {
+    gemm_engine<KernelAvx2>(m, n, k, a, b, c, ldc, bias);
+}
+
+bool gemm_has_avx2_build() { return true; }
+
+#else  // !(KINET_GEMM_AVX2 && KINET_GEMM_VECTOR_EXT)
+
+void gemm_avx2(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b, float* c,
+               std::size_t ldc, const float* bias) {
+    gemm_generic(m, n, k, a, b, c, ldc, bias);
+}
+
+bool gemm_has_avx2_build() { return false; }
+
+#endif  // KINET_GEMM_AVX2 && KINET_GEMM_VECTOR_EXT
+
+}  // namespace kinet::tensor::detail

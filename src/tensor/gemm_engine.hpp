@@ -1,0 +1,233 @@
+// The packed GEMM engine template — included only by the per-ISA
+// instantiation units (gemm_generic.cpp, gemm_avx2.cpp).  See gemm.hpp for
+// the engine-level contract.
+//
+// Loop structure (BLIS-style, two packing levels):
+//
+//   for jc over n in NC-wide column panels
+//     for pc over k in KC-deep blocks
+//       pack B[pc:pc+kc, jc:jc+nc] into NR-wide strips   (zero-padded)
+//       parallel over MR-row strips of A:
+//         pack A[strip, pc:pc+kc] into an MR-wide strip  (zero-padded)
+//         for each NR strip of the B panel:
+//           micro-kernel: C tile (+)= A strip * B strip [+ bias on last pc]
+//
+// The micro-kernel is supplied by the instantiating unit (a `Kernel` policy
+// with MR/NR and micro_full), written with explicit fixed-width vector
+// types so the accumulator block provably stays in registers.  It loads the
+// C tile before a k-block (except the first, which starts from zero) and
+// stores it after, so each C element sees one strictly k-ascending chain of
+// multiply-adds regardless of blocking or thread partition.
+#ifndef KINETGAN_TENSOR_GEMM_ENGINE_H
+#define KINETGAN_TENSOR_GEMM_ENGINE_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "src/common/parallel.hpp"
+#include "src/tensor/gemm.hpp"
+
+namespace kinet::tensor::detail {
+
+// Cache blocking: a KC x NR B strip (16 KiB at NR = 16) stays L1-resident
+// across every A strip of the panel; the KC x NC B panel (1 MiB) fits L2.
+inline constexpr std::size_t kGemmKC = 256;
+inline constexpr std::size_t kGemmNC = 1024;
+
+// Minimum multiply-adds per parallel chunk (mirrors the pre-packed kernels:
+// below this, parallel_for runs the whole range inline on the caller).
+inline constexpr std::size_t kGemmMinFlopsPerChunk = 1U << 16;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define KINET_GEMM_VECTOR_EXT 1
+/// 8 floats; on ISAs narrower than 256 bits the compiler lowers each
+/// operation to the native width (e.g. two SSE ops).  The typedef is
+/// byte-aligned (loads/stores may hit unaligned addresses) and may_alias
+/// so dereferencing float storage through it is defined.  Direct
+/// dereference — not memcpy — is what compiles to a single vmovups; the
+/// memcpy form bounces every load through a stack slot.
+using vf8 = float __attribute__((vector_size(32), aligned(4), may_alias));
+
+inline vf8 vload8(const float* p) { return *reinterpret_cast<const vf8*>(p); }
+
+inline void vstore8(float* p, vf8 v) { *reinterpret_cast<vf8*>(p) = v; }
+
+inline vf8 vsplat8(float x) { return vf8{x, x, x, x, x, x, x, x}; }
+#endif  // __GNUC__ || __clang__
+
+/// Packs B[pc:pc+kc, jc:jc+nc] into NR-wide strips, each laid out
+/// [p][0..NR) contiguously; columns past nc are zero-filled so edge tiles
+/// run the same micro-kernel as full ones.
+template <int NR>
+void pack_b_panel(GemmOperand b, std::size_t pc, std::size_t kc, std::size_t jc, std::size_t nc,
+                  float* out) {
+    const std::size_t jstrips = (nc + NR - 1) / static_cast<std::size_t>(NR);
+    for (std::size_t js = 0; js < jstrips; ++js) {
+        float* strip = out + js * kc * NR;
+        const std::size_t j0 = jc + js * NR;
+        const std::size_t jn = std::min<std::size_t>(NR, jc + nc - j0);
+        if (b.cs == 1) {
+            // Row-major source: copy kc short contiguous runs.
+            for (std::size_t p = 0; p < kc; ++p) {
+                const float* src = b.data + (pc + p) * b.rs + j0;
+                float* dst = strip + p * NR;
+                for (std::size_t j = 0; j < jn; ++j) {
+                    dst[j] = src[j];
+                }
+                for (std::size_t j = jn; j < NR; ++j) {
+                    dst[j] = 0.0F;
+                }
+            }
+        } else {
+            // Column-contiguous source (the nt case): walk each source row
+            // once, scattering into the strip at stride NR.
+            for (std::size_t j = 0; j < jn; ++j) {
+                const float* src = b.data + pc * b.rs + (j0 + j) * b.cs;
+                for (std::size_t p = 0; p < kc; ++p) {
+                    strip[p * NR + j] = src[p * b.rs];
+                }
+            }
+            for (std::size_t j = jn; j < NR; ++j) {
+                for (std::size_t p = 0; p < kc; ++p) {
+                    strip[p * NR + j] = 0.0F;
+                }
+            }
+        }
+    }
+}
+
+/// Packs A[i0:i0+rows, pc:pc+kc] into one MR-wide strip laid out [p][0..MR);
+/// rows past `rows` are zero-filled.
+template <int MR>
+void pack_a_strip(GemmOperand a, std::size_t i0, std::size_t rows, std::size_t pc, std::size_t kc,
+                  float* out) {
+    if (a.rs == 1) {
+        // Column-major-ish source (the tn case): each p reads a contiguous
+        // run of MR elements.
+        for (std::size_t p = 0; p < kc; ++p) {
+            const float* src = a.data + i0 + (pc + p) * a.cs;
+            float* dst = out + p * MR;
+            for (std::size_t i = 0; i < rows; ++i) {
+                dst[i] = src[i];
+            }
+            for (std::size_t i = rows; i < MR; ++i) {
+                dst[i] = 0.0F;
+            }
+        }
+    } else {
+        for (std::size_t i = 0; i < rows; ++i) {
+            const float* src = a.data + (i0 + i) * a.rs + pc * a.cs;
+            for (std::size_t p = 0; p < kc; ++p) {
+                out[p * MR + i] = src[p * a.cs];
+            }
+        }
+        for (std::size_t i = rows; i < MR; ++i) {
+            for (std::size_t p = 0; p < kc; ++p) {
+                out[p * MR + i] = 0.0F;
+            }
+        }
+    }
+}
+
+/// Edge tile (rows < MR and/or cols < NR): scalar arithmetic, bounded loads
+/// and stores.  The padded accumulator lanes see only packed zeros and are
+/// never stored.
+template <int MR, int NR>
+void micro_edge(std::size_t kc, const float* __restrict ap, const float* __restrict bp,
+                float* __restrict c, std::size_t ldc, std::size_t rows, std::size_t cols,
+                bool first, const float* bias) {
+    float acc[MR][NR] = {};
+    if (!first) {
+        for (std::size_t i = 0; i < rows; ++i) {
+            for (std::size_t j = 0; j < cols; ++j) {
+                acc[i][j] = c[i * ldc + j];
+            }
+        }
+    }
+    for (std::size_t p = 0; p < kc; ++p) {
+        const float* a = ap + p * MR;
+        const float* b = bp + p * NR;
+        for (int i = 0; i < MR; ++i) {
+            const float av = a[i];
+            for (int j = 0; j < NR; ++j) {
+                acc[i][j] += av * b[j];
+            }
+        }
+    }
+    if (bias != nullptr) {
+        for (std::size_t i = 0; i < rows; ++i) {
+            for (std::size_t j = 0; j < cols; ++j) {
+                acc[i][j] += bias[j];
+            }
+        }
+    }
+    for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            c[i * ldc + j] = acc[i][j];
+        }
+    }
+}
+
+/// Drives Kernel::micro_full over packed panels.  Kernel provides:
+///   static constexpr int MR, NR;
+///   static void micro_full(std::size_t kc, const float* ap, const float* bp,
+///                          float* c, std::size_t ldc, bool first,
+///                          const float* bias);
+template <class Kernel>
+void gemm_engine(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b,
+                 float* c, std::size_t ldc, const float* bias) {
+    constexpr int MR = Kernel::MR;
+    constexpr int NR = Kernel::NR;
+    static_assert(kGemmNC % NR == 0, "NC must be a whole number of NR strips");
+    const std::size_t strips = (m + MR - 1) / static_cast<std::size_t>(MR);
+
+    // Reused across calls on the packing (calling) thread; workers read it.
+    thread_local std::vector<float> bpack;
+
+    for (std::size_t jc = 0; jc < n; jc += kGemmNC) {
+        const std::size_t nc = std::min(kGemmNC, n - jc);
+        const std::size_t jstrips = (nc + NR - 1) / static_cast<std::size_t>(NR);
+        for (std::size_t pc = 0; pc < k; pc += kGemmKC) {
+            const std::size_t kc = std::min(kGemmKC, k - pc);
+            const bool first = pc == 0;
+            const float* tile_bias = (pc + kc == k && bias != nullptr) ? bias + jc : nullptr;
+
+            bpack.resize(jstrips * kc * NR);
+            pack_b_panel<NR>(b, pc, kc, jc, nc, bpack.data());
+            const float* bp = bpack.data();
+
+            const std::size_t flops_per_strip =
+                std::max<std::size_t>(2 * static_cast<std::size_t>(MR) * nc * kc, 1);
+            const std::size_t grain = kGemmMinFlopsPerChunk / flops_per_strip + 1;
+            parallel_for(strips, grain, [&](std::size_t s0, std::size_t s1) {
+                thread_local std::vector<float> apack;
+                apack.resize(kc * MR);
+                for (std::size_t s = s0; s < s1; ++s) {
+                    const std::size_t i0 = s * MR;
+                    const std::size_t rows = std::min<std::size_t>(MR, m - i0);
+                    pack_a_strip<MR>(a, i0, rows, pc, kc, apack.data());
+                    for (std::size_t js = 0; js < jstrips; ++js) {
+                        const std::size_t j0 = jc + js * NR;
+                        const std::size_t cols = std::min<std::size_t>(NR, jc + nc - j0);
+                        float* ctile = c + i0 * ldc + j0;
+                        const float* strip_bias =
+                            (tile_bias != nullptr) ? tile_bias + js * NR : nullptr;
+                        if (rows == MR && cols == NR) {
+                            Kernel::micro_full(kc, apack.data(), bp + js * kc * NR, ctile, ldc,
+                                               first, strip_bias);
+                        } else {
+                            micro_edge<MR, NR>(kc, apack.data(), bp + js * kc * NR, ctile, ldc,
+                                               rows, cols, first, strip_bias);
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+}  // namespace kinet::tensor::detail
+
+#endif  // KINETGAN_TENSOR_GEMM_ENGINE_H

@@ -1,0 +1,68 @@
+// Portable GEMM instantiation, compiled for the build's baseline ISA.
+//
+// The 4x8 micro-kernel keeps its accumulator block in 4 named 8-float
+// vector variables; on plain x86-64 the compiler lowers each to a pair of
+// SSE registers (8 of 16 XMM), and on other GNU-compatible targets to
+// whatever the baseline vector unit offers.  Toolchains without vector
+// extensions get a scalar fixed-width loop the optimizer can still unroll.
+#include "src/tensor/gemm_engine.hpp"
+
+namespace kinet::tensor::detail {
+
+namespace {
+
+struct KernelGeneric {
+    static constexpr int MR = 4;
+    static constexpr int NR = 8;
+
+#ifdef KINET_GEMM_VECTOR_EXT
+    static void micro_full(std::size_t kc, const float* __restrict ap, const float* __restrict bp,
+                           float* __restrict c, std::size_t ldc, bool first, const float* bias) {
+        vf8 c0;
+        vf8 c1;
+        vf8 c2;
+        vf8 c3;
+        if (first) {
+            c0 = c1 = c2 = c3 = vf8{};
+        } else {
+            c0 = vload8(c + 0 * ldc);
+            c1 = vload8(c + 1 * ldc);
+            c2 = vload8(c + 2 * ldc);
+            c3 = vload8(c + 3 * ldc);
+        }
+        for (std::size_t p = 0; p < kc; ++p) {
+            const float* a = ap + p * MR;
+            const vf8 b0 = vload8(bp + p * NR);
+            c0 += vsplat8(a[0]) * b0;
+            c1 += vsplat8(a[1]) * b0;
+            c2 += vsplat8(a[2]) * b0;
+            c3 += vsplat8(a[3]) * b0;
+        }
+        if (bias != nullptr) {
+            const vf8 b0 = vload8(bias);
+            c0 += b0;
+            c1 += b0;
+            c2 += b0;
+            c3 += b0;
+        }
+        vstore8(c + 0 * ldc, c0);
+        vstore8(c + 1 * ldc, c1);
+        vstore8(c + 2 * ldc, c2);
+        vstore8(c + 3 * ldc, c3);
+    }
+#else   // !KINET_GEMM_VECTOR_EXT
+    static void micro_full(std::size_t kc, const float* ap, const float* bp, float* c,
+                           std::size_t ldc, bool first, const float* bias) {
+        micro_edge<MR, NR>(kc, ap, bp, c, ldc, MR, NR, first, bias);
+    }
+#endif  // KINET_GEMM_VECTOR_EXT
+};
+
+}  // namespace
+
+void gemm_generic(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b,
+                  float* c, std::size_t ldc, const float* bias) {
+    gemm_engine<KernelGeneric>(m, n, k, a, b, c, ldc, bias);
+}
+
+}  // namespace kinet::tensor::detail

@@ -52,6 +52,12 @@ void Matrix::resize(std::size_t rows, std::size_t cols) {
     data_.assign(rows * cols, 0.0F);
 }
 
+void Matrix::resize_for_overwrite(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+}
+
 Matrix& Matrix::operator+=(const Matrix& other) {
     KINET_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch in +=");
     for (std::size_t i = 0; i < data_.size(); ++i) {

@@ -43,6 +43,11 @@ public:
     void fill(float value);
     /// Resets to rows x cols zeros (reuses storage when shapes match).
     void resize(std::size_t rows, std::size_t cols);
+    /// Reshapes to rows x cols without zero-filling: contents are
+    /// unspecified and the caller must overwrite every element.  Reuses
+    /// storage whenever capacity allows — the hot-path alternative to
+    /// resize() for buffers that are fully rewritten each step.
+    void resize_for_overwrite(std::size_t rows, std::size_t cols);
 
     /// In-place elementwise operations (shape-checked).
     Matrix& operator+=(const Matrix& other);

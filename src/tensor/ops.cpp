@@ -5,110 +5,75 @@
 
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
+#include "src/tensor/gemm.hpp"
 
 namespace kinet::tensor {
 
-namespace {
-
-// Output rows are partitioned across threads; every row's accumulation
-// order is fixed regardless of the partition, so results are bit-identical
-// at any thread count.  Grain is sized so a chunk carries at least ~2^16
-// multiply-adds — below that, parallel_for runs the kernel inline.
-constexpr std::size_t kMinFlopsPerChunk = 1U << 16;
-
-std::size_t row_grain(std::size_t flops_per_row) {
-    return kMinFlopsPerChunk / std::max<std::size_t>(flops_per_row, 1) + 1;
-}
-
-}  // namespace
-
 Matrix matmul(const Matrix& a, const Matrix& b) {
     KINET_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
-    const std::size_t m = a.rows();
-    const std::size_t k = a.cols();
-    const std::size_t n = b.cols();
-    Matrix c(m, n);
-    // i-k-j ordering: the inner loop streams rows of B and C.
-    parallel_for(m, row_grain(k * n), [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t i = r0; i < r1; ++i) {
-            auto crow = c.row(i);
-            const auto arow = a.row(i);
-            for (std::size_t p = 0; p < k; ++p) {
-                const float av = arow[p];
-                const auto brow = b.row(p);
-                for (std::size_t j = 0; j < n; ++j) {
-                    crow[j] += av * brow[j];
-                }
-            }
-        }
-    });
+    Matrix c(a.rows(), b.cols());
+    gemm(a.rows(), b.cols(), a.cols(), {a.data().data(), a.cols(), 1},
+         {b.data().data(), b.cols(), 1}, c.data().data(), c.cols(), nullptr);
+    return c;
+}
+
+Matrix matmul_bias(const Matrix& a, const Matrix& b, const Matrix& bias) {
+    KINET_CHECK(a.cols() == b.rows(), "matmul_bias: inner dimension mismatch");
+    KINET_CHECK(bias.rows() == 1 && bias.cols() == b.cols(), "matmul_bias: bad bias shape");
+    Matrix c(a.rows(), b.cols());
+    gemm(a.rows(), b.cols(), a.cols(), {a.data().data(), a.cols(), 1},
+         {b.data().data(), b.cols(), 1}, c.data().data(), c.cols(), bias.data().data());
     return c;
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
     KINET_CHECK(a.rows() == b.rows(), "matmul_tn: dimension mismatch");
-    const std::size_t m = a.cols();
-    const std::size_t k = a.rows();
-    const std::size_t n = b.cols();
-    Matrix c(m, n);
-    // Each chunk owns a band of output rows (columns of A), streaming rows
-    // of B; A is read with stride cols but only within the band.
-    parallel_for(m, row_grain(k * n), [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t p = 0; p < k; ++p) {
-            const auto arow = a.row(p);
-            const auto brow = b.row(p);
-            for (std::size_t i = r0; i < r1; ++i) {
-                const float av = arow[i];
-                auto crow = c.row(i);
-                for (std::size_t j = 0; j < n; ++j) {
-                    crow[j] += av * brow[j];
-                }
-            }
-        }
-    });
+    // A-transposed view: element (i, p) of Aᵀ is a(p, i).
+    Matrix c(a.cols(), b.cols());
+    gemm(a.cols(), b.cols(), a.rows(), {a.data().data(), 1, a.cols()},
+         {b.data().data(), b.cols(), 1}, c.data().data(), c.cols(), nullptr);
     return c;
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
     KINET_CHECK(a.cols() == b.cols(), "matmul_nt: dimension mismatch");
-    const std::size_t m = a.rows();
-    const std::size_t k = a.cols();
-    const std::size_t n = b.rows();
-    Matrix c(m, n);
-    parallel_for(m, row_grain(k * n), [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t i = r0; i < r1; ++i) {
-            const auto arow = a.row(i);
-            auto crow = c.row(i);
-            for (std::size_t j = 0; j < n; ++j) {
-                const auto brow = b.row(j);
-                float acc = 0.0F;
-                for (std::size_t p = 0; p < k; ++p) {
-                    acc += arow[p] * brow[p];
-                }
-                crow[j] = acc;
-            }
-        }
-    });
+    // B-transposed view: element (p, j) of Bᵀ is b(j, p).
+    Matrix c(a.rows(), b.rows());
+    gemm(a.rows(), b.rows(), a.cols(), {a.data().data(), a.cols(), 1},
+         {b.data().data(), 1, b.cols()}, c.data().data(), c.cols(), nullptr);
     return c;
 }
 
 Matrix transpose(const Matrix& a) {
     Matrix out(a.cols(), a.rows());
-    for (std::size_t r = 0; r < a.rows(); ++r) {
-        for (std::size_t c = 0; c < a.cols(); ++c) {
-            out(c, r) = a(r, c);
+    // Blocked walk: both the read and the write stay within a 64x64 tile
+    // (16 KiB x 2), instead of streaming one side with a full-row stride.
+    constexpr std::size_t kTile = 64;
+    const std::size_t rows = a.rows();
+    const std::size_t cols = a.cols();
+    for (std::size_t r0 = 0; r0 < rows; r0 += kTile) {
+        const std::size_t r1 = std::min(rows, r0 + kTile);
+        for (std::size_t c0 = 0; c0 < cols; c0 += kTile) {
+            const std::size_t c1 = std::min(cols, c0 + kTile);
+            for (std::size_t r = r0; r < r1; ++r) {
+                for (std::size_t c = c0; c < c1; ++c) {
+                    out(c, r) = a(r, c);
+                }
+            }
         }
     }
     return out;
 }
 
 Matrix add(const Matrix& a, const Matrix& b) {
+    KINET_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "add: shape mismatch");
     Matrix out = a;
     out += b;
     return out;
 }
 
 Matrix sub(const Matrix& a, const Matrix& b) {
+    KINET_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "sub: shape mismatch");
     Matrix out = a;
     out -= b;
     return out;
@@ -117,15 +82,21 @@ Matrix sub(const Matrix& a, const Matrix& b) {
 Matrix mul(const Matrix& a, const Matrix& b) {
     KINET_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "mul: shape mismatch");
     Matrix out = a;
-    auto od = out.data();
-    const auto bd = b.data();
-    for (std::size_t i = 0; i < od.size(); ++i) {
-        od[i] *= bd[i];
-    }
+    mul_inplace(out, b);
     return out;
 }
 
+void mul_inplace(Matrix& a, const Matrix& b) {
+    KINET_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "mul_inplace: shape mismatch");
+    auto ad = a.data();
+    const auto bd = b.data();
+    for (std::size_t i = 0; i < ad.size(); ++i) {
+        ad[i] *= bd[i];
+    }
+}
+
 Matrix map(const Matrix& a, const std::function<float(float)>& f) {
+    KINET_CHECK(f != nullptr, "map: null function");
     Matrix out = a;
     for (auto& v : out.data()) {
         v = f(v);
@@ -133,17 +104,30 @@ Matrix map(const Matrix& a, const std::function<float(float)>& f) {
     return out;
 }
 
+void map_inplace(Matrix& a, const std::function<float(float)>& f) {
+    KINET_CHECK(f != nullptr, "map_inplace: null function");
+    for (auto& v : a.data()) {
+        v = f(v);
+    }
+}
+
 Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
     KINET_CHECK(row.rows() == 1 && row.cols() == a.cols(), "add_row_broadcast: bad row shape");
     Matrix out = a;
+    add_row_broadcast_inplace(out, row);
+    return out;
+}
+
+void add_row_broadcast_inplace(Matrix& a, const Matrix& row) {
+    KINET_CHECK(row.rows() == 1 && row.cols() == a.cols(),
+                "add_row_broadcast_inplace: bad row shape");
     const auto rv = row.row(0);
-    for (std::size_t r = 0; r < out.rows(); ++r) {
-        auto orow = out.row(r);
-        for (std::size_t c = 0; c < orow.size(); ++c) {
-            orow[c] += rv[c];
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        auto arow = a.row(r);
+        for (std::size_t c = 0; c < arow.size(); ++c) {
+            arow[c] += rv[c];
         }
     }
-    return out;
 }
 
 Matrix col_sum(const Matrix& a) {
@@ -165,21 +149,44 @@ Matrix col_mean(const Matrix& a) {
     return out;
 }
 
-Matrix col_var(const Matrix& a) {
-    KINET_CHECK(a.rows() > 0, "col_var of empty matrix");
-    const Matrix mean = col_mean(a);
-    Matrix out(1, a.cols());
-    auto acc = out.row(0);
-    const auto mv = mean.row(0);
+void col_mean_var(const Matrix& a, Matrix& mean, Matrix& var) {
+    KINET_CHECK(a.rows() > 0, "col_mean_var of empty matrix");
+    mean.resize(1, a.cols());
+    var.resize(1, a.cols());
+    auto mv = mean.row(0);
+    auto vv = var.row(0);
+    // One sweep for the mean, one for the centred second moment — the
+    // separate col_mean + col_var calls used to walk the matrix three
+    // times.  Accumulation order per column is unchanged, so the results
+    // are bit-identical to the unfused pair.
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const auto arow = a.row(r);
+        for (std::size_t c = 0; c < arow.size(); ++c) {
+            mv[c] += arow[c];
+        }
+    }
+    const float inv_n = 1.0F / static_cast<float>(a.rows());
+    for (std::size_t c = 0; c < mv.size(); ++c) {
+        mv[c] *= inv_n;
+    }
     for (std::size_t r = 0; r < a.rows(); ++r) {
         const auto arow = a.row(r);
         for (std::size_t c = 0; c < arow.size(); ++c) {
             const float d = arow[c] - mv[c];
-            acc[c] += d * d;
+            vv[c] += d * d;
         }
     }
-    out *= 1.0F / static_cast<float>(a.rows());
-    return out;
+    for (std::size_t c = 0; c < vv.size(); ++c) {
+        vv[c] *= inv_n;
+    }
+}
+
+Matrix col_var(const Matrix& a) {
+    KINET_CHECK(a.rows() > 0, "col_var of empty matrix");
+    Matrix mean;
+    Matrix var;
+    col_mean_var(a, mean, var);
+    return var;
 }
 
 double total_sum(const Matrix& a) {

@@ -1,11 +1,15 @@
 // Free-function linear-algebra kernels over Matrix.
 //
 // These are the only numeric kernels the neural stack uses; everything else
-// is composed from them.  The matmul family runs row-blocked across the
-// global thread pool (src/common/parallel.hpp) with a serial inline path
-// for small shapes; each output row's accumulation order is fixed, so
-// results are bit-identical run-to-run at any thread count (micro-benched
-// in bench_micro).
+// is composed from them.  The matmul family runs on the packed,
+// cache-blocked GEMM engine (src/tensor/gemm.hpp): MR x NR register-tiled
+// micro-kernels over zero-padded panels, SIMD-dispatched at runtime, with
+// row-strip parallelism across the global thread pool
+// (src/common/parallel.hpp) and a serial inline path for small shapes.
+// Each output element's accumulation order is fixed (strictly k-ascending
+// through a single running accumulator), so results are bit-identical
+// run-to-run at any thread count (verified in tests/test_gemm.cpp,
+// micro-benched in bench_micro).
 #ifndef KINETGAN_TENSOR_OPS_H
 #define KINETGAN_TENSOR_OPS_H
 
@@ -18,30 +22,47 @@ namespace kinet::tensor {
 /// C = A · B  (A: m×k, B: k×n).
 [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
 
+/// C = A · B + bias (bias: 1×n, broadcast over rows) in one pass — the
+/// Linear-layer hot path, bit-identical to matmul followed by
+/// add_row_broadcast (the bias joins each element after its full k
+/// accumulation).
+[[nodiscard]] Matrix matmul_bias(const Matrix& a, const Matrix& b, const Matrix& bias);
+
 /// C = Aᵀ · B (without materialising Aᵀ).
 [[nodiscard]] Matrix matmul_tn(const Matrix& a, const Matrix& b);
 
 /// C = A · Bᵀ (without materialising Bᵀ).
 [[nodiscard]] Matrix matmul_nt(const Matrix& a, const Matrix& b);
 
+/// Cache-blocked out-of-place transpose.
 [[nodiscard]] Matrix transpose(const Matrix& a);
 
-/// Elementwise binary ops (shape-checked).
+/// Elementwise binary ops.  Shapes are checked before any storage is
+/// copied or written.
 [[nodiscard]] Matrix add(const Matrix& a, const Matrix& b);
 [[nodiscard]] Matrix sub(const Matrix& a, const Matrix& b);
 [[nodiscard]] Matrix mul(const Matrix& a, const Matrix& b);
+/// a ⊙= b without allocating.
+void mul_inplace(Matrix& a, const Matrix& b);
 
 /// Elementwise map.
 [[nodiscard]] Matrix map(const Matrix& a, const std::function<float(float)>& f);
+/// Elementwise map without allocating.
+void map_inplace(Matrix& a, const std::function<float(float)>& f);
 
 /// Adds a 1×cols row vector to every row of `a`.
 [[nodiscard]] Matrix add_row_broadcast(const Matrix& a, const Matrix& row);
+void add_row_broadcast_inplace(Matrix& a, const Matrix& row);
 
 /// Column-wise sum / mean as 1×cols matrices.
 [[nodiscard]] Matrix col_sum(const Matrix& a);
 [[nodiscard]] Matrix col_mean(const Matrix& a);
 /// Column-wise (population) variance as 1×cols.
 [[nodiscard]] Matrix col_var(const Matrix& a);
+/// Fused column mean + population variance: one call, two sweeps instead
+/// of the three the unfused pair costs, bit-identical results.  `mean` and
+/// `var` are resized to 1×cols.
+void col_mean_var(const Matrix& a, Matrix& mean, Matrix& var);
 
 /// Sum of all entries.
 [[nodiscard]] double total_sum(const Matrix& a);

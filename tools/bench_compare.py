@@ -9,9 +9,16 @@ not block CI), and improvements are reported for free.
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+    bench_compare.py BASELINE.json CURRENT.json --update-baseline
 
 CI keeps the baseline as a restore-latest cache (see .github/workflows/
 ci.yml); locally, run bench_micro twice across a change and diff the runs.
+--update-baseline promotes CURRENT to BASELINE after the comparison (also
+when BASELINE does not exist yet) — use it to record a fresh baseline after
+an intentional kernel change, e.g.:
+
+    build/bench/bench_micro --json /tmp/now.json
+    tools/bench_compare.py bench/baselines/latest.json /tmp/now.json --update-baseline
 """
 
 import argparse
@@ -58,14 +65,35 @@ def main():
         default=0.15,
         help="maximum tolerated slowdown as a fraction (default 0.15 = +15%%)",
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="after comparing, copy CURRENT over BASELINE (promotes a fresh "
+        "baseline; comparison failures are reported but do not block the "
+        "promotion — it is the intentional-change workflow)",
+    )
     args = parser.parse_args()
 
-    baseline = load_times(args.baseline)
+    def promote():
+        import shutil
+
+        shutil.copyfile(args.current, args.baseline)
+        print(f"bench_compare: promoted {args.current} -> {args.baseline}")
+
+    try:
+        baseline = load_times(args.baseline)
+    except FileNotFoundError:
+        if args.update_baseline:
+            promote()
+            return 0
+        raise
     current = load_times(args.current)
 
     shared = sorted(set(baseline) & set(current))
     if not shared:
         print("bench_compare: no overlapping benchmarks; nothing to gate")
+        if args.update_baseline:
+            promote()
         return 0
 
     regressions = []
@@ -94,8 +122,12 @@ def main():
               f"beyond +{args.threshold:.0%}:")
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1%}")
+        if args.update_baseline:
+            promote()
         return 1
     print(f"bench_compare: OK — {len(shared)} benchmark(s) within +{args.threshold:.0%}")
+    if args.update_baseline:
+        promote()
     return 0
 
 
