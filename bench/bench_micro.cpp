@@ -10,15 +10,19 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/core/kinetgan.hpp"
 #include "src/data/sampler.hpp"
 #include "src/data/transformer.hpp"
 #include "src/kg/network_kg.hpp"
 #include "src/netsim/lab_simulator.hpp"
+#include "src/netsim/unsw_synthesizer.hpp"
 #include "src/nn/nn.hpp"
+#include "src/tensor/gemm.hpp"
 #include "src/tensor/ops.hpp"
 
 namespace {
@@ -89,6 +93,54 @@ void BM_MatmulBias(benchmark::State& state) {
                             static_cast<std::int64_t>(2 * 256 * 96 * 256));
 }
 BENCHMARK(BM_MatmulBias);
+
+// The inference fast path's GEMM: B packed once, reused every call.  The
+// delta against BM_MatmulBias (same shape, per-call packing) is the
+// packing overhead the serving path no longer pays.
+void BM_MatmulPacked(benchmark::State& state) {
+    Rng rng(25);
+    const Matrix a = random_matrix(256, 96, rng);
+    const Matrix b = random_matrix(96, 256, rng);
+    const Matrix bias = random_matrix(1, 256, rng);
+    const tensor::PackedGemmB packed = tensor::pack_gemm_b(b);
+    Matrix out;
+    for (auto _ : state) {
+        tensor::matmul_packed_bias_into(a, packed, bias, out);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2 * 256 * 96 * 256));
+}
+BENCHMARK(BM_MatmulPacked);
+
+void BM_MatmulPacked512(benchmark::State& state) {
+    Rng rng(26);
+    const Matrix a = random_matrix(512, 512, rng);
+    const Matrix b = random_matrix(512, 512, rng);
+    const tensor::PackedGemmB packed = tensor::pack_gemm_b(b);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tensor::matmul_packed(a, packed));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2ULL * 512 * 512 * 512));
+}
+BENCHMARK(BM_MatmulPacked512)->UseRealTime();
+
+// Tall-skinny products (the discriminator head is n == 1): n < NR takes
+// the no-pad path instead of zero-padding every strip to the register
+// width.
+void BM_MatmulTallSkinny(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(27);
+    const Matrix a = random_matrix(512, 128, rng);
+    const Matrix b = random_matrix(128, n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tensor::matmul(a, b));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(2 * 512 * 128 * n));
+}
+BENCHMARK(BM_MatmulTallSkinny)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_Transpose(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
@@ -169,6 +221,74 @@ void BM_ConditionalSamplerDraw(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ConditionalSamplerDraw);
+
+// ------------------------------------------------- serving throughput
+
+/// One trained model per paper domain, fitted once for the whole binary.
+const core::KiNetGan& sample_bench_model(bool unsw) {
+    static const auto make = [](bool u) {
+        core::KiNetGanOptions opts;
+        opts.gan.epochs = 4;
+        opts.gan.seed = 7;
+        opts.transformer.max_modes = 3;
+        data::Table table;
+        if (u) {
+            netsim::UnswOptions sim;
+            sim.records = 1200;
+            sim.seed = 11;
+            table = netsim::UnswNb15Synthesizer(sim).generate();
+        } else {
+            netsim::LabSimOptions sim;
+            sim.records = 1200;
+            sim.seed = 11;
+            table = netsim::LabTrafficSimulator(sim).generate();
+        }
+        const auto kg = u ? kg::NetworkKg::build_unsw() : kg::NetworkKg::build_lab();
+        auto model = std::make_unique<core::KiNetGan>(
+            kg.make_oracle(),
+            u ? netsim::unsw_conditional_columns() : netsim::lab_conditional_columns(), opts);
+        model->fit(table);
+        return model;
+    };
+    static const std::unique_ptr<core::KiNetGan> lab = make(false);
+    static const std::unique_ptr<core::KiNetGan> unsw_model = make(true);
+    return unsw ? *unsw_model : *lab;
+}
+
+// Rows/s of the serving path (sample_seeded on the inference fast path).
+// Thread count is the process-wide pool (KINET_NUM_THREADS); run once with
+// KINET_NUM_THREADS=1 and once at the machine default for the scaling
+// table in docs/performance.md.
+void BM_SampleThroughput(benchmark::State& state) {
+    const bool unsw = state.range(0) != 0;
+    const auto& model = sample_bench_model(unsw);
+    constexpr std::size_t kRows = 4096;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.sample_seeded(kRows, seed++));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kRows));
+    state.SetLabel(unsw ? "unsw" : "lab");
+}
+BENCHMARK(BM_SampleThroughput)->Arg(0)->Arg(1)->UseRealTime();
+
+// The same rows through the streaming sink (chunked, O(chunk) memory) —
+// the SAMPLE stream=1 serving loop minus the socket.
+void BM_SampleThroughputStreaming(benchmark::State& state) {
+    const auto& model = sample_bench_model(false);
+    constexpr std::size_t kRows = 4096;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        std::size_t rows = 0;
+        model.sample_seeded_stream(kRows, seed++, 1024,
+                                   [&rows](const data::Table& chunk) { rows += chunk.rows(); });
+        benchmark::DoNotOptimize(rows);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kRows));
+}
+BENCHMARK(BM_SampleThroughputStreaming)->UseRealTime();
 
 void BM_LabSimulator1k(benchmark::State& state) {
     for (auto _ : state) {

@@ -119,8 +119,12 @@ int main() {
         const double local =
             eval::average_accuracy(eval::evaluate_tstr(site_train[s], test, label));
         const std::size_t rows = site_train[s].rows();
-        const auto synth =
-            client.sample("site-" + std::to_string(s), rows, /*seed=*/1000 + s, schema);
+        // Pull each site's table over *streaming* SAMPLE (stream=1): the
+        // daemon frames the CSV as row chunks and neither side ever holds
+        // the whole table — the transport a >10^6-flow pull would use.
+        const auto synth = client.sample_streamed("site-" + std::to_string(s), rows,
+                                                  /*seed=*/1000 + s, schema,
+                                                  /*chunk_rows=*/512);
         const double validity =
             client.validate("site-" + std::to_string(s), 1000, /*seed=*/7);
         if (s == 0) {
@@ -150,8 +154,13 @@ int main() {
         auto client = service::SynthClient::connect("127.0.0.1", sites[0]->port());
         client.save("site-0", snap_name);
         client.load("site-0-restored", snap_name);
+        // Framed from the original, streamed from the restore: the two
+        // transports must serve byte-identical CSV for one seed.
         const std::string a = client.sample_csv("site-0", 200, /*seed=*/4242);
-        const std::string b = client.sample_csv("site-0-restored", 200, /*seed=*/4242);
+        std::string b;
+        (void)client.sample_stream("site-0-restored", 200, /*seed=*/4242,
+                                   [&b](const std::string& chunk) { b += chunk; },
+                                   /*chunk_rows=*/64);
         std::cout << "\nsnapshot round-trip through /tmp/" << snap_name
                   << ": restored model "
                   << (a == b ? "serves an identical stream" : "DIVERGED (bug!)") << "\n";

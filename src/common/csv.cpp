@@ -103,8 +103,7 @@ Document read_file(const std::string& path) {
     return parse(buffer.str());
 }
 
-std::string serialize(const Document& doc) {
-    std::string out;
+void serialize_append(const Document& doc, bool include_header, std::string& out) {
     auto write_row = [&out](const std::vector<std::string>& row) {
         for (std::size_t i = 0; i < row.size(); ++i) {
             if (i > 0) {
@@ -114,11 +113,18 @@ std::string serialize(const Document& doc) {
         }
         out.push_back('\n');
     };
-    write_row(doc.header);
+    if (include_header) {
+        write_row(doc.header);
+    }
     for (const auto& row : doc.rows) {
         KINET_CHECK(row.size() == doc.header.size(), "ragged CSV row on serialize");
         write_row(row);
     }
+}
+
+std::string serialize(const Document& doc) {
+    std::string out;
+    serialize_append(doc, /*include_header=*/true, out);
     return out;
 }
 

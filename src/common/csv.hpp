@@ -26,6 +26,11 @@ struct Document {
 /// Serialises a document (quoting cells only when needed).
 [[nodiscard]] std::string serialize(const Document& doc);
 
+/// Appends the serialized form of `doc` to `out`; with include_header
+/// false only the data rows are written — the streamed-chunk continuation
+/// form, byte-identical to one big serialize() when chunks concatenate.
+void serialize_append(const Document& doc, bool include_header, std::string& out);
+
 /// Writes a document to disk; throws kinet::Error on I/O failure.
 void write_file(const std::string& path, const Document& doc);
 

@@ -28,6 +28,11 @@ std::size_t hardware_threads() {
     return cached;
 }
 
+namespace {
+/// The Impl whose worker_loop the current thread is running, if any.
+thread_local const void* t_worker_pool = nullptr;
+}  // namespace
+
 struct ThreadPool::Impl {
     std::vector<std::thread> workers;
     // Two queues, one invariant: `chunks` holds parallel_for chunk bodies,
@@ -43,6 +48,7 @@ struct ThreadPool::Impl {
     bool stop = false;
 
     void worker_loop() {
+        t_worker_pool = this;
         for (;;) {
             std::function<void()> task;
             {
@@ -172,6 +178,8 @@ void ThreadPool::submit(std::function<void()> task) {
     }
     impl_->cv.notify_one();
 }
+
+bool ThreadPool::on_worker_thread() const noexcept { return t_worker_pool == impl_.get(); }
 
 ThreadPool& ThreadPool::global() {
     static ThreadPool pool(hardware_threads());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
@@ -506,34 +507,49 @@ bool KiNetGan::row_valid_and_consistent(const Matrix& encoded, std::size_t row,
 
 namespace {
 
-/// Restores an OutputActivation's noise source on scope exit.
-class RngSwapGuard {
-public:
-    RngSwapGuard(gan::OutputActivation& act, Rng& rng) : act_(act), prev_(act.swap_rng(rng)) {}
-    ~RngSwapGuard() { (void)act_.swap_rng(*prev_); }
-    RngSwapGuard(const RngSwapGuard&) = delete;
-    RngSwapGuard& operator=(const RngSwapGuard&) = delete;
-
-private:
-    gan::OutputActivation& act_;
-    Rng* prev_;
-};
-
 /// Decorrelates request-stream seeds from the training seed space.
 constexpr std::uint64_t kStreamSeedSalt = 0x9e3779b97f4a7c15ULL;
 
 }  // namespace
 
-data::Table KiNetGan::sample_impl(std::size_t n, Rng& rng,
-                                  const std::optional<std::pair<std::size_t, std::size_t>>& pin) {
+void KiNetGan::sample_stream_impl(std::size_t n, Rng& rng,
+                                  const std::optional<std::pair<std::size_t, std::size_t>>& pin,
+                                  std::size_t chunk_rows, const SampleSink& sink) const {
     KINET_CHECK(fitted_, "KiNetGan::sample before fit");
-    const RngSwapGuard guard(*g_act_, rng);  // Gumbel noise follows the stream
-    data::Table out(schema_);
+    KINET_CHECK(sink != nullptr, "KiNetGan::sample_stream: null sink");
+
     const std::size_t batch = options_.gan.batch_size;
-    std::size_t remaining = n;
-    while (remaining > 0) {
-        const std::size_t b = std::min(batch, remaining);
-        std::vector<data::CondDraw> draws;
+    const std::size_t noise_dim = options_.gan.noise_dim;
+    const std::size_t cond_width = cond_builder_->width();
+    const std::size_t out_width = transformer_.output_width();
+
+    // Everything mutable lives in this call frame — per-request context,
+    // activation/noise/decode buffers, chunk assembly — so the const model
+    // serves any number of concurrent streams, and every buffer is reused
+    // across generation batches (allocation-free once warm).  Memory is
+    // O(batch + chunk) however large n is.
+    nn::InferenceContext ctx;
+    Matrix output;  // trunk logits, activated in place
+    Matrix raw;     // decoded numeric rows
+    data::Table decoded(schema_);
+    data::Table pending(schema_);
+    std::vector<data::CondDraw> draws;
+
+    /// The serial random-stream work one generation batch consumes: the
+    /// per-row conditions, the noise block and the activation's Gumbel
+    /// matrix, drawn in exactly the historical order.  Produced one batch
+    /// ahead of the compute that consumes it, so the (inherently serial)
+    /// RNG hides behind the parallel GEMMs on multi-core hosts.
+    struct BatchInputs {
+        Matrix input;   // [z ⊕ C]
+        Matrix gumbel;  // pre-drawn activation noise
+        std::size_t rows = 0;
+    };
+    BatchInputs cur;
+    BatchInputs next;
+
+    const auto produce = [&](std::size_t b, BatchInputs& out) {
+        draws.clear();
         draws.reserve(b);
         for (std::size_t i = 0; i < b; ++i) {
             // Empirical conditions restore the original data distribution.
@@ -542,26 +558,129 @@ data::Table KiNetGan::sample_impl(std::size_t n, Rng& rng,
                 draws.back().values[pin->first] = pin->second;
             }
         }
-        const Matrix cond = cond_builder_->encode(draws);
-        const Matrix z = gan::sample_noise(b, options_.gan.noise_dim, rng);
-        const Matrix fake =
-            g_act_->forward(g_trunk_->forward(Matrix::hcat(z, cond), false), false);
-        out.append_rows(transformer_.inverse(fake));
-        remaining -= b;
+        out.input.resize_for_overwrite(b, noise_dim + cond_width);
+        for (std::size_t r = 0; r < b; ++r) {
+            auto row = out.input.row(r);
+            for (std::size_t c = 0; c < noise_dim; ++c) {
+                row[c] = static_cast<float>(rng.normal());
+            }
+        }
+        // One-hot condition blocks written straight into the input — what
+        // CondVectorBuilder::encode + hcat produced, minus the temporaries.
+        for (std::size_t r = 0; r < b; ++r) {
+            auto row = out.input.row(r);
+            std::fill(row.begin() + static_cast<std::ptrdiff_t>(noise_dim), row.end(), 0.0F);
+            const auto& values = draws[r].values;
+            for (std::size_t p = 0; p < values.size(); ++p) {
+                KINET_CHECK(values[p] < cond_builder_->block_width(p),
+                            "sample: condition value out of range");
+                row[noise_dim + cond_builder_->block_offset(p) + values[p]] = 1.0F;
+            }
+        }
+        g_act_->draw_noise(b, out_width, rng, out.gumbel);
+        out.rows = b;
+    };
+
+    // Pipelining draws batch k+1 on a pool worker while batch k computes —
+    // but waiting on a submitted task from a pool worker is the deadlock
+    // the submit() contract forbids (framed SAMPLE handlers *are*
+    // submitted tasks), and a single-lane pool runs the task inline
+    // anyway, so those callers produce inline instead.  Either way the
+    // draw order is identical: the producer is the sole rng user and
+    // batches are produced strictly in order.
+    const bool pipeline =
+        ThreadPool::global().size() > 1 && !ThreadPool::global().on_worker_thread();
+
+    // Generation batches are always the training batch size and the random
+    // stream is consumed in the exact order of the historical sampling
+    // loop, so the output is bit-identical for every chunk_rows (chunking
+    // only re-frames rows), every thread count (the kernels' determinism
+    // contract), and with or without the producer running ahead.
+    std::size_t remaining = n;
+    if (remaining > 0) {
+        produce(std::min(batch, remaining), cur);
     }
+    while (remaining > 0) {
+        const std::size_t b = cur.rows;
+        const std::size_t next_b = std::min(batch, remaining - b);
+        std::future<void> ahead;
+        if (next_b > 0 && pipeline) {
+            // Draw batch k+1's inputs while batch k computes.  The task is
+            // shared with the closure for the same reason as the server's
+            // request tasks: get() can unblock while the worker is still
+            // returning from operator().
+            auto task = std::make_shared<std::packaged_task<void()>>(
+                [&produce, next_b, &next] { produce(next_b, next); });
+            ahead = task->get_future();
+            ThreadPool::global().submit([task] { (*task)(); });
+        }
+
+        try {
+            g_trunk_->forward_inference(cur.input, output, ctx);
+            g_act_->apply_spans(output, cur.gumbel);
+            transformer_.inverse_into(output, raw, decoded);
+
+            if (chunk_rows == 0) {
+                sink(decoded);
+            } else {
+                std::size_t pos = 0;
+                while (pos < decoded.rows()) {
+                    const std::size_t take =
+                        std::min(chunk_rows - pending.rows(), decoded.rows() - pos);
+                    pending.append_row_range(decoded, pos, pos + take);
+                    pos += take;
+                    if (pending.rows() == chunk_rows) {
+                        sink(pending);
+                        pending.clear_rows();
+                    }
+                }
+            }
+        } catch (...) {
+            // The producer references this frame; it must finish before the
+            // exception unwinds it.
+            if (ahead.valid()) {
+                ahead.wait();
+            }
+            throw;
+        }
+        remaining -= b;
+        if (ahead.valid()) {
+            ahead.get();
+            std::swap(cur, next);
+        } else if (remaining > 0) {
+            produce(std::min(batch, remaining), cur);
+        }
+    }
+    if (pending.rows() > 0) {
+        sink(pending);
+        pending.clear_rows();
+    }
+}
+
+data::Table KiNetGan::sample_collect(
+    std::size_t n, Rng& rng, const std::optional<std::pair<std::size_t, std::size_t>>& pin) const {
+    data::Table out(schema_);
+    sample_stream_impl(n, rng, pin, 0, [&out](const data::Table& chunk) {
+        out.append_rows(chunk);
+    });
     return out;
 }
 
-data::Table KiNetGan::sample(std::size_t n) { return sample_impl(n, rng_, std::nullopt); }
+data::Table KiNetGan::sample(std::size_t n) { return sample_collect(n, rng_, std::nullopt); }
 
-data::Table KiNetGan::sample_seeded(std::size_t n, std::uint64_t stream_seed) {
+data::Table KiNetGan::sample_seeded(std::size_t n, std::uint64_t stream_seed) const {
     Rng rng(stream_seed ^ kStreamSeedSalt);
-    return sample_impl(n, rng, std::nullopt);
+    return sample_collect(n, rng, std::nullopt);
 }
 
-data::Table KiNetGan::sample_conditional_seeded(std::size_t n, const std::string& column,
-                                                const std::string& value,
-                                                std::uint64_t stream_seed) {
+void KiNetGan::sample_seeded_stream(std::size_t n, std::uint64_t stream_seed,
+                                    std::size_t chunk_rows, const SampleSink& sink) const {
+    Rng rng(stream_seed ^ kStreamSeedSalt);
+    sample_stream_impl(n, rng, std::nullopt, chunk_rows, sink);
+}
+
+std::pair<std::size_t, std::size_t> KiNetGan::resolve_conditional_pin(
+    const std::string& column, const std::string& value) const {
     const std::size_t col = column_index_in_schema(column);
     KINET_CHECK(schema_[col].is_categorical(),
                 "sample_conditional: column " + column + " is not categorical");
@@ -574,9 +693,25 @@ data::Table KiNetGan::sample_conditional_seeded(std::size_t n, const std::string
     }
     KINET_CHECK(pos < cond_columns_.size(),
                 "sample_conditional: column " + column + " is not a conditional column");
-    const std::size_t value_id = schema_[col].category_id(value);
+    return {pos, schema_[col].category_id(value)};
+}
+
+data::Table KiNetGan::sample_conditional_seeded(std::size_t n, const std::string& column,
+                                                const std::string& value,
+                                                std::uint64_t stream_seed) const {
+    const auto pin = resolve_conditional_pin(column, value);
     Rng rng(stream_seed ^ kStreamSeedSalt);
-    return sample_impl(n, rng, std::make_pair(pos, value_id));
+    return sample_collect(n, rng, pin);
+}
+
+void KiNetGan::sample_conditional_seeded_stream(std::size_t n, const std::string& column,
+                                                const std::string& value,
+                                                std::uint64_t stream_seed,
+                                                std::size_t chunk_rows,
+                                                const SampleSink& sink) const {
+    const auto pin = resolve_conditional_pin(column, value);
+    Rng rng(stream_seed ^ kStreamSeedSalt);
+    sample_stream_impl(n, rng, pin, chunk_rows, sink);
 }
 
 void KiNetGan::save(bytes::Writer& out) {
@@ -708,8 +843,8 @@ std::unique_ptr<KiNetGan> KiNetGan::load(bytes::Reader& in) {
     return model;
 }
 
-double KiNetGan::kg_validity_rate(const data::Table& table) const {
-    KINET_CHECK(!oracle_.attribute_names().empty(), "kg_validity_rate: empty oracle");
+std::size_t KiNetGan::kg_valid_count(const data::Table& table) const {
+    KINET_CHECK(!oracle_.attribute_names().empty(), "kg_valid_count: empty oracle");
     std::vector<std::size_t> cols;
     for (const auto& attr : oracle_.attribute_names()) {
         cols.push_back(table.column_index(attr));
@@ -722,8 +857,13 @@ double KiNetGan::kg_validity_rate(const data::Table& table) const {
         }
         valid += oracle_.is_valid(values) ? 1 : 0;
     }
+    return valid;
+}
+
+double KiNetGan::kg_validity_rate(const data::Table& table) const {
     return (table.rows() == 0) ? 0.0
-                               : static_cast<double>(valid) / static_cast<double>(table.rows());
+                               : static_cast<double>(kg_valid_count(table)) /
+                                     static_cast<double>(table.rows());
 }
 
 std::vector<double> KiNetGan::discriminator_scores(const data::Table& table) {

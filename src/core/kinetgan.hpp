@@ -73,9 +73,10 @@ public:
     /// Samples from an isolated per-request random stream derived from
     /// `stream_seed` — the model's internal RNG and two calls with different
     /// seeds are all mutually independent, so concurrent service clients get
-    /// deterministic, non-overlapping streams.  (Callers must still serialize
-    /// calls on one model instance: forward passes reuse layer caches.)
-    [[nodiscard]] data::Table sample_seeded(std::size_t n, std::uint64_t stream_seed);
+    /// deterministic, non-overlapping streams.  Runs on the inference fast
+    /// path (const networks, per-call workspaces), so any number of seeded
+    /// samples may run concurrently on one fitted model.
+    [[nodiscard]] data::Table sample_seeded(std::size_t n, std::uint64_t stream_seed) const;
 
     /// sample_seeded with one conditional column pinned to a category label;
     /// the remaining conditional blocks follow the empirical distribution.
@@ -83,7 +84,28 @@ public:
     /// label is unknown.
     [[nodiscard]] data::Table sample_conditional_seeded(std::size_t n, const std::string& column,
                                                         const std::string& value,
-                                                        std::uint64_t stream_seed);
+                                                        std::uint64_t stream_seed) const;
+
+    /// Receives consecutive chunks of a streaming sample.  The Table is a
+    /// reused buffer owned by the sampler — copy out what must outlive the
+    /// callback.
+    using SampleSink = std::function<void(const data::Table& chunk)>;
+
+    /// Streaming sample_seeded: rows are generated in the model's training
+    /// batch size, decoded through reused buffers and delivered to `sink`
+    /// in chunks of exactly `chunk_rows` rows (the final chunk may be
+    /// short; chunk_rows == 0 delivers each generation batch as it comes).
+    /// Memory stays O(batch + chunk) regardless of n, and the concatenated
+    /// chunks are bit-identical to sample_seeded(n, seed) for every
+    /// chunk_rows and thread count — chunking only re-frames the stream.
+    void sample_seeded_stream(std::size_t n, std::uint64_t stream_seed, std::size_t chunk_rows,
+                              const SampleSink& sink) const;
+
+    /// Streaming variant of sample_conditional_seeded (same chunking and
+    /// identity guarantees).
+    void sample_conditional_seeded_stream(std::size_t n, const std::string& column,
+                                          const std::string& value, std::uint64_t stream_seed,
+                                          std::size_t chunk_rows, const SampleSink& sink) const;
 
     /// Serializes the full fitted state (transformer statistics, GMM
     /// parameters, network weights, KG oracle, sampler frequencies and the
@@ -98,6 +120,10 @@ public:
 
     /// Fraction of rows whose oracle attributes form a KG-valid combination.
     [[nodiscard]] double kg_validity_rate(const data::Table& table) const;
+
+    /// Number of rows whose oracle attributes form a KG-valid combination —
+    /// the accumulable form the streaming VALIDATE path sums per chunk.
+    [[nodiscard]] std::size_t kg_valid_count(const data::Table& table) const;
 
     /// Sigmoid(D_M) per row — the white-box membership-inference surface.
     [[nodiscard]] std::vector<double> discriminator_scores(const data::Table& table);
@@ -118,11 +144,21 @@ private:
     void build_networks();
     /// Column index by name in schema_; throws if absent.
     [[nodiscard]] std::size_t column_index_in_schema(const std::string& name) const;
-    /// Shared sampling loop; `pin` optionally fixes one conditional block to
-    /// (position in cond_columns_, value id).
-    [[nodiscard]] data::Table sample_impl(
+    /// Resolves a (column name, category label) conditional pin to
+    /// (position in cond_columns_, value id); throws on unknown column/label.
+    [[nodiscard]] std::pair<std::size_t, std::size_t> resolve_conditional_pin(
+        const std::string& column, const std::string& value) const;
+    /// Shared sampling loop on the inference fast path; `pin` optionally
+    /// fixes one conditional block to (position in cond_columns_, value id).
+    /// Const and thread-safe: all mutable state lives in per-call
+    /// workspaces or the caller's Rng, so concurrent streams never touch.
+    void sample_stream_impl(std::size_t n, Rng& rng,
+                            const std::optional<std::pair<std::size_t, std::size_t>>& pin,
+                            std::size_t chunk_rows, const SampleSink& sink) const;
+    /// sample_stream_impl collected into one Table.
+    [[nodiscard]] data::Table sample_collect(
         std::size_t n, Rng& rng,
-        const std::optional<std::pair<std::size_t, std::size_t>>& pin);
+        const std::optional<std::pair<std::size_t, std::size_t>>& pin) const;
 
     [[nodiscard]] nn::Matrix extract_kg_attrs(const nn::Matrix& encoded) const;
     void scatter_kg_grad(const nn::Matrix& grad_attrs, nn::Matrix& grad_full) const;

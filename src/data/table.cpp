@@ -109,6 +109,35 @@ void Table::append_rows(const Table& other) {
     values_.append_rows(other.values_);
 }
 
+void Table::append_row_range(const Table& other, std::size_t row_begin, std::size_t row_end) {
+    KINET_CHECK(cols() == other.cols(), "append_row_range: schema width mismatch");
+    for (std::size_t c = 0; c < cols(); ++c) {
+        KINET_CHECK(columns_[c].type == other.columns_[c].type,
+                    "append_row_range: column type mismatch at " + columns_[c].name);
+    }
+    values_.append_row_range(other.values_, row_begin, row_end);
+}
+
+void Table::overwrite_rows(const tensor::Matrix& values) {
+    KINET_CHECK(values.cols() == cols(), "overwrite_rows: width mismatch");
+    for (std::size_t r = 0; r < values.rows(); ++r) {
+        for (std::size_t c = 0; c < cols(); ++c) {
+            if (columns_[c].is_categorical()) {
+                const auto id = static_cast<std::size_t>(std::lround(values(r, c)));
+                KINET_CHECK(id < columns_[c].categories.size(),
+                            "overwrite_rows: category index out of range in column " +
+                                columns_[c].name);
+            } else {
+                KINET_CHECK(std::isfinite(values(r, c)),
+                            "overwrite_rows: non-finite value in column " + columns_[c].name);
+            }
+        }
+    }
+    values_.resize_for_overwrite(values.rows(), cols());
+    const auto src = values.data();
+    std::copy(src.begin(), src.end(), values_.data().begin());
+}
+
 Table Table::select_rows(const std::vector<std::size_t>& indices) const {
     Table out(columns_);
     out.values_ = values_.gather_rows(indices);

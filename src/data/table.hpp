@@ -69,6 +69,19 @@ public:
     /// Appends all rows of a schema-compatible table.
     void append_rows(const Table& other);
 
+    /// Appends rows [row_begin, row_end) of a schema-compatible table —
+    /// the streaming sample path's chunk assembly.
+    void append_row_range(const Table& other, std::size_t row_begin, std::size_t row_end);
+
+    /// Drops all rows, keeping schema and storage capacity (reused chunk
+    /// buffers in the streaming sample path).
+    void clear_rows() noexcept { values_.clear_rows(); }
+
+    /// Replaces the contents with `values` (rows x schema-width raw
+    /// storage, categorical cells validated against the schema), reusing
+    /// the existing capacity — the bulk twin of repeated append_row.
+    void overwrite_rows(const tensor::Matrix& values);
+
     /// New table containing the given rows in order.
     [[nodiscard]] Table select_rows(const std::vector<std::size_t>& indices) const;
 

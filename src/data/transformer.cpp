@@ -114,13 +114,39 @@ tensor::Matrix TableTransformer::transform(const Table& table, Rng& rng) const {
 }
 
 Table TableTransformer::inverse(const tensor::Matrix& encoded) const {
+    Table out{schema_};
+    tensor::Matrix raw;
+    inverse_into(encoded, raw, out);
+    return out;
+}
+
+void TableTransformer::inverse_into(const tensor::Matrix& encoded, tensor::Matrix& raw_scratch,
+                                    Table& out) const {
     KINET_CHECK(is_fitted(), "TableTransformer::inverse before fit");
     KINET_CHECK(encoded.cols() == output_width_, "TableTransformer::inverse: width mismatch");
-    Table out{schema_};
-    std::vector<float> raw(schema_.size(), 0.0F);
+    KINET_CHECK(out.cols() == schema_.size(), "TableTransformer::inverse: table schema mismatch");
+    // Pair each mode span with its column's alpha span once, not per row.
+    std::vector<std::size_t> alpha_offset(spans_.size(), static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+        if (spans_[i].kind != SpanKind::mode_onehot) {
+            continue;
+        }
+        for (const auto& s : spans_) {
+            if (s.column == spans_[i].column && s.kind == SpanKind::continuous_alpha) {
+                alpha_offset[i] = s.offset;
+                break;
+            }
+        }
+        KINET_CHECK(alpha_offset[i] != static_cast<std::size_t>(-1),
+                    "inverse: missing alpha span");
+    }
+
+    raw_scratch.resize_for_overwrite(encoded.rows(), schema_.size());
     for (std::size_t r = 0; r < encoded.rows(); ++r) {
         const auto row = encoded.row(r);
-        for (const auto& span : spans_) {
+        auto raw = raw_scratch.row(r);
+        for (std::size_t i = 0; i < spans_.size(); ++i) {
+            const auto& span = spans_[i];
             switch (span.kind) {
             case SpanKind::category_onehot: {
                 std::size_t best = 0;
@@ -143,27 +169,16 @@ Table TableTransformer::inverse(const tensor::Matrix& encoded) const {
                         best = j;
                     }
                 }
-                // The alpha span for this column sits immediately before the
-                // mode block in spans_ construction order.
-                const OutputSpan* alpha_span = nullptr;
-                for (const auto& s : spans_) {
-                    if (s.column == span.column && s.kind == SpanKind::continuous_alpha) {
-                        alpha_span = &s;
-                        break;
-                    }
-                }
-                KINET_CHECK(alpha_span != nullptr, "inverse: missing alpha span");
                 const double alpha =
-                    std::clamp(static_cast<double>(row[alpha_span->offset]), -1.0, 1.0);
+                    std::clamp(static_cast<double>(row[alpha_offset[i]]), -1.0, 1.0);
                 const auto& comp = gmms_[span.column].component(best);
                 raw[span.column] = static_cast<float>(alpha * 4.0 * comp.stddev + comp.mean);
                 break;
             }
             }
         }
-        out.append_row(raw);
     }
-    return out;
+    out.overwrite_rows(raw_scratch);
 }
 
 const OutputSpan& TableTransformer::category_span(std::size_t column) const {

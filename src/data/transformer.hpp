@@ -51,6 +51,14 @@ public:
     /// alpha clamped to [-1, 1]).
     [[nodiscard]] Table inverse(const tensor::Matrix& encoded) const;
 
+    /// inverse() into caller-owned buffers: `raw_scratch` holds the decoded
+    /// numeric rows, `out` (which must carry this transformer's schema) is
+    /// overwritten with them.  Both are reused across calls, so a warm
+    /// streaming decode loop allocates nothing.  Decoded values are
+    /// bitwise-identical to inverse().
+    void inverse_into(const tensor::Matrix& encoded, tensor::Matrix& raw_scratch,
+                      Table& out) const;
+
     [[nodiscard]] std::size_t output_width() const noexcept { return output_width_; }
     [[nodiscard]] const std::vector<OutputSpan>& spans() const noexcept { return spans_; }
     [[nodiscard]] const std::vector<ColumnMeta>& schema() const noexcept { return schema_; }

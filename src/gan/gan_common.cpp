@@ -37,6 +37,43 @@ nn::Matrix OutputActivation::forward(const nn::Matrix& input, bool /*training*/)
     return out;
 }
 
+void OutputActivation::draw_noise(std::size_t rows, std::size_t cols, Rng& rng,
+                                  nn::Matrix& noise) const {
+    // Same stream consumption as forward(): the full matrix, row-major.
+    noise.resize_for_overwrite(rows, cols);
+    for (auto& v : noise.data()) {
+        v = static_cast<float>(rng.gumbel());
+    }
+}
+
+void OutputActivation::apply_spans(nn::Matrix& x, const nn::Matrix& noise) const {
+    KINET_CHECK(noise.rows() == x.rows() && noise.cols() == x.cols(),
+                "OutputActivation: noise shape mismatch");
+    for (const auto& span : spans_) {
+        switch (span.kind) {
+        case data::SpanKind::continuous_alpha:
+            for (std::size_t r = 0; r < x.rows(); ++r) {
+                x(r, span.offset) = std::tanh(x(r, span.offset));
+            }
+            break;
+        case data::SpanKind::mode_onehot:
+        case data::SpanKind::category_onehot:
+            nn::gumbel_softmax_forward_span(x, noise, span.offset, span.offset + span.width,
+                                            tau_);
+            break;
+        }
+    }
+}
+
+void OutputActivation::forward_inference(nn::Matrix& x, Rng& rng,
+                                         nn::Matrix& noise_scratch) const {
+    // Identical stream consumption to forward(): the full noise matrix is
+    // drawn first (row-major), then each span is activated in declaration
+    // order — so a seeded stream produces the same bytes on either path.
+    draw_noise(x.rows(), x.cols(), rng, noise_scratch);
+    apply_spans(x, noise_scratch);
+}
+
 nn::Matrix OutputActivation::backward(const nn::Matrix& grad_out) {
     KINET_CHECK(grad_out.rows() == cached_output_.rows() &&
                     grad_out.cols() == cached_output_.cols(),

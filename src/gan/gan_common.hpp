@@ -45,14 +45,22 @@ public:
     nn::Matrix forward(const nn::Matrix& input, bool training) override;
     nn::Matrix backward(const nn::Matrix& grad_out) override;
 
-    /// Redirects Gumbel-noise draws to another generator — seeded service
-    /// sampling substitutes a per-request stream without touching the model's
-    /// training RNG.  The caller restores the previous source afterwards.
-    Rng* swap_rng(Rng& rng) {
-        Rng* prev = rng_;
-        rng_ = &rng;
-        return prev;
-    }
+    /// In-place inference twin of forward(): applies the span activations
+    /// to `x`, drawing Gumbel noise from the *caller's* stream into the
+    /// caller's scratch (same draw order as forward: full matrix first,
+    /// then spans).  Const and cache-free, so one activation serves any
+    /// number of concurrent seeded samplers; output is bitwise equal to
+    /// forward(x, false) fed from the same stream.
+    void forward_inference(nn::Matrix& x, Rng& rng, nn::Matrix& noise_scratch) const;
+
+    /// Fills `noise` with the Gumbel matrix forward would draw for an
+    /// x.rows() x x.cols() batch — split out so a sampling pipeline can
+    /// produce the draws ahead of the compute that consumes them.
+    void draw_noise(std::size_t rows, std::size_t cols, Rng& rng, nn::Matrix& noise) const;
+
+    /// The activation itself over pre-drawn noise (the second half of
+    /// forward_inference).
+    void apply_spans(nn::Matrix& x, const nn::Matrix& noise) const;
 
 private:
     std::vector<data::OutputSpan> spans_;

@@ -12,6 +12,24 @@ namespace kinet::nn {
 // LeakyReLU recover their backward mask from the cached *output* — for
 // ReLU, out > 0 iff in > 0, and for LeakyReLU (slope > 0), out <= 0 iff
 // in <= 0 — which drops the separate cached-input copy the seed kept.
+//
+// The forward_inference variants run the identical elementwise sweep into
+// the caller's buffer instead — no member writes, so one module serves
+// concurrent inference callers.
+
+namespace {
+
+template <typename Fn>
+void elementwise_into(const Matrix& input, Matrix& out, Fn&& fn) {
+    out.resize_for_overwrite(input.rows(), input.cols());
+    const auto x = input.data();
+    auto y = out.data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] = fn(x[i]);
+    }
+}
+
+}  // namespace
 
 Matrix ReLU::forward(const Matrix& input, bool /*training*/) {
     cached_output_.resize_for_overwrite(input.rows(), input.cols());
@@ -21,6 +39,10 @@ Matrix ReLU::forward(const Matrix& input, bool /*training*/) {
         y[i] = (x[i] > 0.0F) ? x[i] : 0.0F;
     }
     return cached_output_;
+}
+
+void ReLU::forward_inference(const Matrix& input, Matrix& out, InferenceContext& /*ctx*/) const {
+    elementwise_into(input, out, [](float v) { return (v > 0.0F) ? v : 0.0F; });
 }
 
 Matrix ReLU::backward(const Matrix& grad_out) {
@@ -48,6 +70,12 @@ Matrix LeakyReLU::forward(const Matrix& input, bool /*training*/) {
     return cached_output_;
 }
 
+void LeakyReLU::forward_inference(const Matrix& input, Matrix& out,
+                                  InferenceContext& /*ctx*/) const {
+    const float slope = slope_;
+    elementwise_into(input, out, [slope](float v) { return (v > 0.0F) ? v : slope * v; });
+}
+
 Matrix LeakyReLU::backward(const Matrix& grad_out) {
     KINET_CHECK(grad_out.rows() == cached_output_.rows() &&
                     grad_out.cols() == cached_output_.cols(),
@@ -73,6 +101,10 @@ Matrix Tanh::forward(const Matrix& input, bool /*training*/) {
     return cached_output_;
 }
 
+void Tanh::forward_inference(const Matrix& input, Matrix& out, InferenceContext& /*ctx*/) const {
+    elementwise_into(input, out, [](float v) { return std::tanh(v); });
+}
+
 Matrix Tanh::backward(const Matrix& grad_out) {
     KINET_CHECK(grad_out.rows() == cached_output_.rows() && grad_out.cols() == cached_output_.cols(),
                 "Tanh: grad shape mismatch");
@@ -93,6 +125,11 @@ Matrix Sigmoid::forward(const Matrix& input, bool /*training*/) {
         y[i] = 1.0F / (1.0F + std::exp(-x[i]));
     }
     return cached_output_;
+}
+
+void Sigmoid::forward_inference(const Matrix& input, Matrix& out,
+                                InferenceContext& /*ctx*/) const {
+    elementwise_into(input, out, [](float v) { return 1.0F / (1.0F + std::exp(-v)); });
 }
 
 Matrix Sigmoid::backward(const Matrix& grad_out) {

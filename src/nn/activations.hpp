@@ -10,6 +10,7 @@ class ReLU : public Module {
 public:
     Matrix forward(const Matrix& input, bool training) override;
     Matrix backward(const Matrix& grad_out) override;
+    void forward_inference(const Matrix& input, Matrix& out, InferenceContext& ctx) const override;
 
 private:
     Matrix cached_output_;  // backward mask: out > 0 iff in > 0
@@ -20,6 +21,7 @@ public:
     explicit LeakyReLU(float negative_slope = 0.2F) : slope_(negative_slope) {}
     Matrix forward(const Matrix& input, bool training) override;
     Matrix backward(const Matrix& grad_out) override;
+    void forward_inference(const Matrix& input, Matrix& out, InferenceContext& ctx) const override;
 
 private:
     float slope_;
@@ -30,6 +32,7 @@ class Tanh : public Module {
 public:
     Matrix forward(const Matrix& input, bool training) override;
     Matrix backward(const Matrix& grad_out) override;
+    void forward_inference(const Matrix& input, Matrix& out, InferenceContext& ctx) const override;
 
 private:
     Matrix cached_output_;
@@ -39,6 +42,7 @@ class Sigmoid : public Module {
 public:
     Matrix forward(const Matrix& input, bool training) override;
     Matrix backward(const Matrix& grad_out) override;
+    void forward_inference(const Matrix& input, Matrix& out, InferenceContext& ctx) const override;
 
 private:
     Matrix cached_output_;

@@ -52,6 +52,25 @@ Matrix BatchNorm1d::forward(const Matrix& input, bool training) {
     return out;
 }
 
+void BatchNorm1d::forward_inference(const Matrix& input, Matrix& out,
+                                    InferenceContext& ctx) const {
+    KINET_CHECK(input.cols() == features_, "BatchNorm1d: feature mismatch");
+    // Same operation order as forward(input, false) — inv = 1/sqrt(var+eps),
+    // xh = (x - mean) * inv, out = gamma * xh + beta — so the output is
+    // bitwise equal; only the scratch placement differs.
+    ctx.row.resize_for_overwrite(1, features_);
+    for (std::size_t c = 0; c < features_; ++c) {
+        ctx.row(0, c) = 1.0F / std::sqrt(running_var_(0, c) + eps_);
+    }
+    out.resize_for_overwrite(input.rows(), features_);
+    for (std::size_t r = 0; r < input.rows(); ++r) {
+        for (std::size_t c = 0; c < features_; ++c) {
+            const float xh = (input(r, c) - running_mean_(0, c)) * ctx.row(0, c);
+            out(r, c) = gamma_.value(0, c) * xh + beta_.value(0, c);
+        }
+    }
+}
+
 Matrix BatchNorm1d::backward(const Matrix& grad_out) {
     KINET_CHECK(grad_out.rows() == x_hat_.rows() && grad_out.cols() == features_,
                 "BatchNorm1d: grad shape mismatch");

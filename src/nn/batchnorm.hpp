@@ -12,6 +12,9 @@ public:
 
     Matrix forward(const Matrix& input, bool training) override;
     Matrix backward(const Matrix& grad_out) override;
+    /// Running-statistics normalisation into `out`; the inverse-stddev row
+    /// lives in the caller's context, so the layer itself stays untouched.
+    void forward_inference(const Matrix& input, Matrix& out, InferenceContext& ctx) const override;
     void collect_parameters(std::vector<Parameter*>& out) override;
     /// gamma/beta plus the running moments inference needs.
     void save_state(bytes::Writer& out) override;

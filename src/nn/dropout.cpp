@@ -1,5 +1,7 @@
 #include "src/nn/dropout.hpp"
 
+#include <algorithm>
+
 #include "src/common/check.hpp"
 #include "src/tensor/ops.hpp"
 
@@ -26,6 +28,14 @@ Matrix Dropout::forward(const Matrix& input, bool training) {
         od[i] *= md[i];
     }
     return out;
+}
+
+void Dropout::forward_inference(const Matrix& input, Matrix& out,
+                                InferenceContext& /*ctx*/) const {
+    out.resize_for_overwrite(input.rows(), input.cols());
+    const auto x = input.data();
+    auto y = out.data();
+    std::copy(x.begin(), x.end(), y.begin());
 }
 
 Matrix Dropout::backward(const Matrix& grad_out) {

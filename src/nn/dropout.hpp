@@ -14,6 +14,10 @@ public:
 
     Matrix forward(const Matrix& input, bool training) override;
     Matrix backward(const Matrix& grad_out) override;
+    /// Identity in eval mode; containers skip it entirely via
+    /// inference_identity(), this copy only serves direct calls.
+    void forward_inference(const Matrix& input, Matrix& out, InferenceContext& ctx) const override;
+    [[nodiscard]] bool inference_identity() const override { return true; }
 
 private:
     float p_;

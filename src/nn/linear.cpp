@@ -27,9 +27,38 @@ Matrix Linear::forward(const Matrix& input, bool /*training*/) {
 Matrix Linear::backward(const Matrix& grad_out) {
     KINET_CHECK(grad_out.rows() == cached_input_.rows() && grad_out.cols() == out_features_,
                 "Linear: grad shape mismatch");
+    // The optimizer step that follows will rewrite the weights; any packed
+    // inference copy is stale from here on.
+    invalidate_packed();
     weight_.grad += tensor::matmul_tn(cached_input_, grad_out);
     bias_.grad += tensor::col_sum(grad_out);
     return tensor::matmul_nt(grad_out, weight_.value);
+}
+
+void Linear::forward_inference(const Matrix& input, Matrix& out, InferenceContext& /*ctx*/) const {
+    KINET_CHECK(input.cols() == in_features_, "Linear: input width mismatch");
+    if (!packed_ready_.load(std::memory_order_acquire)) {
+        const std::lock_guard<std::mutex> lock(pack_mu_);
+        if (!packed_ready_.load(std::memory_order_relaxed)) {
+            packed_weight_ = tensor::pack_gemm_b(weight_.value);
+            packed_ready_.store(true, std::memory_order_release);
+        }
+    }
+    // Same engine, same blocking, same per-element accumulation as the
+    // training path's matmul_bias — only the per-call weight packing is
+    // gone — so the output is bit-identical to forward(input, false).
+    tensor::matmul_packed_bias_into(input, packed_weight_, bias_.value, out);
+}
+
+void Linear::invalidate_packed() {
+    const std::lock_guard<std::mutex> lock(pack_mu_);
+    packed_weight_.clear();
+    packed_ready_.store(false, std::memory_order_release);
+}
+
+void Linear::load_state(bytes::Reader& in) {
+    Module::load_state(in);
+    invalidate_packed();
 }
 
 void Linear::collect_parameters(std::vector<Parameter*>& out) {

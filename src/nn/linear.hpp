@@ -2,8 +2,12 @@
 #ifndef KINETGAN_NN_LINEAR_H
 #define KINETGAN_NN_LINEAR_H
 
+#include <atomic>
+#include <mutex>
+
 #include "src/common/rng.hpp"
 #include "src/nn/module.hpp"
+#include "src/tensor/gemm.hpp"
 
 namespace kinet::nn {
 
@@ -15,7 +19,13 @@ public:
 
     Matrix forward(const Matrix& input, bool training) override;
     Matrix backward(const Matrix& grad_out) override;
+    /// Packed-weight GEMM with the bias fused into the epilogue; the packed
+    /// copy of W is built lazily on first call (mutex-guarded, so concurrent
+    /// inference callers race safely) and reused until training touches the
+    /// weights again.  Bitwise-equal to forward(input, false).
+    void forward_inference(const Matrix& input, Matrix& out, InferenceContext& ctx) const override;
     void collect_parameters(std::vector<Parameter*>& out) override;
+    void load_state(bytes::Reader& in) override;
 
     [[nodiscard]] std::size_t in_features() const noexcept { return in_features_; }
     [[nodiscard]] std::size_t out_features() const noexcept { return out_features_; }
@@ -23,11 +33,24 @@ public:
     [[nodiscard]] Parameter& bias() noexcept { return bias_; }
 
 private:
+    /// Drops the packed weight cache — called whenever the weights may
+    /// change (backward, the step that follows it, load_state).
+    void invalidate_packed();
+
     std::size_t in_features_;
     std::size_t out_features_;
     Parameter weight_;  // in_features x out_features
     Parameter bias_;    // 1 x out_features
     Matrix cached_input_;
+
+    // Inference-only packed copy of weight_.value.  `packed_ready_` is the
+    // publication flag: set (release) only after the pack is complete, read
+    // (acquire) before using it, built under `pack_mu_`.  Invalidation must
+    // not run concurrently with forward_inference — training and serving on
+    // the same instance are mutually exclusive by contract.
+    mutable std::mutex pack_mu_;
+    mutable std::atomic<bool> packed_ready_{false};
+    mutable tensor::PackedGemmB packed_weight_;
 };
 
 }  // namespace kinet::nn

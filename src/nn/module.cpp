@@ -6,6 +6,11 @@ namespace kinet::nn {
 
 void Module::collect_parameters(std::vector<Parameter*>& /*out*/) {}
 
+void Module::forward_inference(const Matrix& /*input*/, Matrix& /*out*/,
+                               InferenceContext& /*ctx*/) const {
+    throw Error("forward_inference: not supported by this layer type");
+}
+
 void Module::save_state(bytes::Writer& out) {
     std::vector<Parameter*> params;
     collect_parameters(params);

@@ -30,6 +30,19 @@ struct Parameter {
     void zero_grad() { grad.fill(0.0F); }
 };
 
+/// Per-caller scratch for the inference fast path (forward_inference).
+/// All layer work buffers live here instead of in the module, so a const
+/// model can serve any number of concurrent callers, each with its own
+/// context; every buffer is reused across calls (resize_for_overwrite), so
+/// a warm context allocates nothing.  One context supports one *flat*
+/// Sequential per call — a Sequential nested inside another would reuse
+/// the same ping-pong pair (no such network exists on the serving path).
+struct InferenceContext {
+    Matrix ping;  // Sequential activation ping-pong
+    Matrix pong;
+    Matrix row;  // 1 x features scratch (BatchNorm inverse stddev)
+};
+
 /// Base class for all layers.
 class Module {
 public:
@@ -44,6 +57,21 @@ public:
     /// Propagates `grad_out` (dL/d output) to dL/d input; accumulates
     /// parameter gradients.  Must be called after a matching forward().
     virtual Matrix backward(const Matrix& grad_out) = 0;
+
+    /// Inference fast path: eval semantics (running statistics, dropout as
+    /// identity), no backward caches, bitwise-equal output to
+    /// forward(input, false).  Const and safe to call concurrently from
+    /// many threads on one module, each with its own context — the only
+    /// interior mutation is a mutex-guarded one-time cache build (e.g.
+    /// Linear's packed weights), which callers must not interleave with
+    /// training (backward() invalidates such caches).  `out` must not
+    /// alias `input` or the context's buffers.  The default throws — only
+    /// layers on the serving path implement it.
+    virtual void forward_inference(const Matrix& input, Matrix& out, InferenceContext& ctx) const;
+
+    /// True when forward_inference is the identity (e.g. Dropout):
+    /// containers skip the layer instead of copying through it.
+    [[nodiscard]] virtual bool inference_identity() const { return false; }
 
     /// Appends pointers to this module's parameters (default: none).
     virtual void collect_parameters(std::vector<Parameter*>& out);

@@ -1,5 +1,7 @@
 #include "src/nn/sequential.hpp"
 
+#include <algorithm>
+
 #include "src/common/check.hpp"
 
 namespace kinet::nn {
@@ -16,6 +18,37 @@ Matrix Sequential::forward(const Matrix& input, bool training) {
         x = layer->forward(x, training);
     }
     return x;
+}
+
+void Sequential::forward_inference(const Matrix& input, Matrix& out, InferenceContext& ctx) const {
+    // Identity layers (Dropout in eval mode) are skipped, so the chain is
+    // the non-identity layers only; find the last one so it can write
+    // directly into the caller's buffer.
+    std::size_t last = layers_.size();
+    for (std::size_t i = layers_.size(); i > 0; --i) {
+        if (!layers_[i - 1]->inference_identity()) {
+            last = i - 1;
+            break;
+        }
+    }
+    if (last == layers_.size()) {  // all-identity (or empty) container
+        out.resize_for_overwrite(input.rows(), input.cols());
+        const auto x = input.data();
+        std::copy(x.begin(), x.end(), out.data().begin());
+        return;
+    }
+    const Matrix* cur = &input;
+    bool use_ping = true;
+    for (std::size_t i = 0; i <= last; ++i) {
+        const Module& layer = *layers_[i];
+        if (layer.inference_identity()) {
+            continue;
+        }
+        Matrix* target = (i == last) ? &out : (use_ping ? &ctx.ping : &ctx.pong);
+        layer.forward_inference(*cur, *target, ctx);
+        cur = target;
+        use_ping = !use_ping;
+    }
 }
 
 Matrix Sequential::backward(const Matrix& grad_out) {

@@ -24,6 +24,11 @@ public:
 
     Matrix forward(const Matrix& input, bool training) override;
     Matrix backward(const Matrix& grad_out) override;
+    /// Chains the layers' inference paths through the context's two
+    /// ping-pong buffers (identity layers are skipped outright); the last
+    /// layer writes straight into `out`.  Const, thread-safe per context,
+    /// allocation-free once the context is warm.
+    void forward_inference(const Matrix& input, Matrix& out, InferenceContext& ctx) const override;
     void collect_parameters(std::vector<Parameter*>& out) override;
     void save_state(bytes::Writer& out) override;
     void load_state(bytes::Reader& in) override;

@@ -142,6 +142,101 @@ data::Table SynthClient::sample(const std::string& model, std::size_t n, std::ui
     return data::Table::from_csv(csv::parse(sample_csv(model, n, seed, cond)), schema);
 }
 
+std::uint64_t SynthClient::sample_stream(
+    const std::string& model, std::size_t n, std::uint64_t seed,
+    const std::function<void(const std::string& csv_chunk)>& on_chunk, std::size_t chunk_rows,
+    const std::string& cond) {
+    KINET_CHECK(on_chunk != nullptr, "client: sample_stream needs a chunk callback");
+    Request request;
+    request.op = Op::sample;
+    request.model = model;
+    request.positional.push_back(std::to_string(n));
+    request.kv["seed"] = std::to_string(seed);
+    request.kv["stream"] = "1";
+    if (chunk_rows > 0) {
+        request.kv["chunk"] = std::to_string(chunk_rows);
+    }
+    if (!cond.empty()) {
+        request.kv["cond"] = cond;
+    }
+    stream_.write_all(format_request(request) + "\n");
+
+    const auto status = stream_.read_line();
+    if (!status.has_value()) {
+        throw Error("client: server closed the connection");
+    }
+    if (text::starts_with(*status, "ERR ")) {
+        throw Error("server: " + status->substr(4));
+    }
+    KINET_CHECK(*status == "OK STREAM",
+                "client: malformed stream status line '" + *status + "'");
+
+    std::uint64_t chunks_seen = 0;
+    for (;;) {
+        const auto frame = stream_.read_line();
+        if (!frame.has_value()) {
+            throw Error("client: stream truncated before its END trailer");
+        }
+        if (text::starts_with(*frame, "CHUNK ")) {
+            std::size_t bytes = 0;
+            try {
+                bytes = std::stoull(frame->substr(6));
+            } catch (const std::exception&) {
+                throw Error("client: malformed chunk frame '" + *frame + "'");
+            }
+            const std::string chunk = stream_.read_exact(bytes);
+            try {
+                on_chunk(chunk);
+            } catch (...) {
+                // The server keeps writing frames this caller will never
+                // read; the connection can only desync from here, so close
+                // it rather than hand back a poisoned stream.
+                stream_.close();
+                throw;
+            }
+            ++chunks_seen;
+            continue;
+        }
+        if (text::starts_with(*frame, "ERR ")) {
+            throw Error("server: stream aborted: " + frame->substr(4));
+        }
+        KINET_CHECK(text::starts_with(*frame, "END "), "client: unexpected stream frame '" +
+                                                           *frame + "'");
+        std::map<std::string, std::string> trailer;
+        for (const auto& token : text::split(frame->substr(4), ' ')) {
+            const std::size_t eq = token.find('=');
+            if (eq != std::string::npos && eq > 0) {
+                trailer[token.substr(0, eq)] = token.substr(eq + 1);
+            }
+        }
+        const auto rows_it = trailer.find("rows");
+        const auto chunks_it = trailer.find("chunks");
+        KINET_CHECK(rows_it != trailer.end() && chunks_it != trailer.end(),
+                    "client: stream trailer lacks rows/chunks");
+        std::uint64_t rows = 0;
+        std::uint64_t chunks = 0;
+        try {
+            rows = std::stoull(rows_it->second);
+            chunks = std::stoull(chunks_it->second);
+        } catch (const std::exception&) {
+            throw Error("client: malformed stream trailer '" + *frame + "'");
+        }
+        KINET_CHECK(chunks == chunks_seen, "client: stream chunk count mismatch");
+        return rows;
+    }
+}
+
+data::Table SynthClient::sample_streamed(const std::string& model, std::size_t n,
+                                         std::uint64_t seed,
+                                         const std::vector<data::ColumnMeta>& schema,
+                                         std::size_t chunk_rows, const std::string& cond) {
+    std::string csv_text;
+    (void)sample_stream(
+        model, n, seed, [&csv_text](const std::string& chunk) { csv_text += chunk; },
+        chunk_rows, cond);
+    return data::Table::from_csv(csv::parse(csv_text), schema);
+}
+
 double SynthClient::validate(const std::string& model, std::size_t n, std::uint64_t seed) {
     Request request;
     request.op = Op::validate;

@@ -7,6 +7,7 @@
 #define KINETGAN_SERVICE_CLIENT_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -72,6 +73,23 @@ public:
     /// Raw CSV text of a SAMPLE response (schema-free access).
     [[nodiscard]] std::string sample_csv(const std::string& model, std::size_t n,
                                          std::uint64_t seed, const std::string& cond = {});
+    /// Streaming SAMPLE (stream=1): the server frames the CSV as row
+    /// chunks (header only in the first) followed by an END trailer, so n
+    /// is not subject to the framed per-request row cap and neither side
+    /// ever holds the whole table.  `on_chunk` receives each chunk's CSV
+    /// fragment in order; `chunk_rows` bounds rows per chunk (0 uses the
+    /// server default).  Returns the trailer's total row count.  Throws on
+    /// ERR frames, including mid-stream aborts.
+    std::uint64_t sample_stream(const std::string& model, std::size_t n, std::uint64_t seed,
+                                const std::function<void(const std::string& csv_chunk)>& on_chunk,
+                                std::size_t chunk_rows = 0, const std::string& cond = {});
+    /// sample_stream reassembled into a Table (convenience for callers that
+    /// do want the whole thing client-side).
+    [[nodiscard]] data::Table sample_streamed(const std::string& model, std::size_t n,
+                                              std::uint64_t seed,
+                                              const std::vector<data::ColumnMeta>& schema,
+                                              std::size_t chunk_rows = 0,
+                                              const std::string& cond = {});
     /// KG validity rate of a fresh server-side draw.
     [[nodiscard]] double validate(const std::string& model, std::size_t n, std::uint64_t seed);
     /// STATS payload, parsed into key=value pairs (model-level form).

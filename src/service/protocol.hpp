@@ -27,6 +27,8 @@ enum class Op {
     save,      // SAVE <model> <path>              — write a snapshot file
     drop,      // DROP <model>                     — unregister a model
     sample,    // SAMPLE <model> <n> [seed=] [cond=col:value] — draw rows (CSV)
+               //   stream=1 [chunk=R] switches to chunked frames (OK STREAM /
+               //   CHUNK <bytes> ... / END trailer) with no request row cap
     validate,  // VALIDATE <model> [n=] [seed=]    — KG validity of a fresh draw
     stats,     // STATS [<model>]                  — serving/training metrics
     poll,      // POLL <job-id>                    — async job state/progress

@@ -3,10 +3,11 @@
 // The registry maps site-scoped model names ("site-0", "site-1", ...) to
 // fitted KiNetGan instances.  Lookups take a shared lock, so concurrent
 // requests against different models never contend; registration and removal
-// take the exclusive lock.  Because sampling mutates model internals (layer
-// caches), each entry carries its own mutex that callers hold around model
-// member calls — per-request RNG seeding keeps the output deterministic
-// regardless of how those per-entry critical sections interleave.
+// take the exclusive lock.  Seeded sampling runs on the const inference
+// fast path (per-request workspaces, no layer-cache mutation), so any
+// number of SAMPLE/VALIDATE requests share one entry without locking; the
+// per-entry mutex only serialises the remaining whole-model operations
+// (SAVE's serialization, STATS' report reads).
 #ifndef KINETGAN_SERVICE_REGISTRY_H
 #define KINETGAN_SERVICE_REGISTRY_H
 
@@ -25,7 +26,8 @@ namespace kinet::service {
 /// One registered model plus its serving bookkeeping.
 struct ModelEntry {
     std::unique_ptr<core::KiNetGan> model;
-    /// Serialises model member calls (sample/save mutate layer caches).
+    /// Serialises whole-model operations (SAVE, STATS report reads);
+    /// seeded sampling is const/thread-safe and does not take it.
     std::mutex mu;
     std::atomic<std::uint64_t> requests{0};
     std::atomic<std::uint64_t> rows_served{0};

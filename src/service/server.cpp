@@ -1,5 +1,6 @@
 #include "src/service/server.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <future>
 #include <utility>
@@ -16,9 +17,14 @@
 namespace kinet::service {
 namespace {
 
-/// Upper bound on rows per SAMPLE/VALIDATE request — protects the daemon
-/// from a single request monopolising memory; clients page with seeds.
+/// Upper bound on rows per framed SAMPLE/VALIDATE response — protects the
+/// daemon from a single response monopolising memory.  Streaming SAMPLEs
+/// (stream=1) are bounded per *chunk* instead, so n itself is uncapped:
+/// rows leave the process as they are generated.
 constexpr std::uint64_t kMaxSampleRows = 1'000'000;
+
+/// Default rows per streamed chunk when the request does not pass chunk=.
+constexpr std::uint64_t kDefaultStreamChunkRows = 65'536;
 
 std::string kv_line(const std::string& key, const std::string& value) {
     return key + "=" + value + "\n";
@@ -169,6 +175,17 @@ void SynthServer::serve_connection(std::uint64_t id, TcpStream& stream) {
             if (request.op == Op::quit) {
                 stream.write_all(format_response(Response{}));
                 break;
+            }
+            const auto stream_kv = request.kv.find("stream");
+            if (request.op == Op::sample && stream_kv != request.kv.end() &&
+                stream_kv->second != "0") {
+                // Streaming responses interleave generation and socket
+                // writes, so they run here on the connection thread; the
+                // GEMM kernels underneath still fan out on the shared pool,
+                // and the inference path is const — concurrent streams on
+                // one model never contend.
+                handle_sample_stream(request, stream);
+                continue;
             }
             // The connection thread only does I/O; the handler runs on the
             // shared pool.  packaged_task guarantees the future is satisfied
@@ -372,38 +389,120 @@ Response SynthServer::handle_train(const Request& request) {
     return r;
 }
 
-Response SynthServer::handle_sample(const Request& request) {
-    const auto entry = require_model(request.model);
-    const auto n = static_cast<std::size_t>(
-        parse_u64(request.positional.at(0), "SAMPLE row count"));
-    KINET_CHECK(n <= kMaxSampleRows, "SAMPLE: row count " + std::to_string(n) +
-                                         " exceeds the per-request cap of " +
-                                         std::to_string(kMaxSampleRows));
-    const std::uint64_t seed = kv_u64(request, "seed", 0);
-
-    std::string cond_column;
-    std::string cond_value;
+SynthServer::SampleSpec SynthServer::parse_sample_spec(const Request& request,
+                                                       bool streaming) const {
+    SampleSpec spec;
+    spec.n = static_cast<std::size_t>(parse_u64(request.positional.at(0), "SAMPLE row count"));
+    if (!streaming) {
+        // Framed responses materialise the whole payload; streamed ones
+        // never hold more than a chunk, so only the chunk is bounded.
+        KINET_CHECK(spec.n <= kMaxSampleRows, "SAMPLE: row count " + std::to_string(spec.n) +
+                                                  " exceeds the per-request cap of " +
+                                                  std::to_string(kMaxSampleRows) +
+                                                  " (use stream=1 for larger pulls)");
+    }
+    spec.seed = kv_u64(request, "seed", 0);
+    if (streaming) {
+        // chunk= only means something on the streaming path; the framed
+        // path ignores it like any other unknown key (no new failure mode
+        // for old clients).
+        spec.chunk_rows = static_cast<std::size_t>(
+            kv_u64(request, "chunk", kDefaultStreamChunkRows));
+        KINET_CHECK(spec.chunk_rows >= 1 && spec.chunk_rows <= kMaxSampleRows,
+                    "SAMPLE: chunk must be in [1, " + std::to_string(kMaxSampleRows) + "]");
+    }
     if (const auto it = request.kv.find("cond"); it != request.kv.end()) {
         const std::size_t colon = it->second.find(':');
         KINET_CHECK(colon != std::string::npos && colon > 0 && colon + 1 < it->second.size(),
                     "SAMPLE: cond must be <column>:<value>");
-        cond_column = it->second.substr(0, colon);
-        cond_value = it->second.substr(colon + 1);
+        spec.cond_column = it->second.substr(0, colon);
+        spec.cond_value = it->second.substr(colon + 1);
     }
+    return spec;
+}
 
-    data::Table rows;
-    {
-        const std::lock_guard<std::mutex> lock(entry->mu);
-        rows = cond_column.empty()
-                   ? entry->model->sample_seeded(n, seed)
-                   : entry->model->sample_conditional_seeded(n, cond_column, cond_value, seed);
+void SynthServer::run_sample_stream(const core::KiNetGan& model, const SampleSpec& spec,
+                                    std::size_t chunk_rows,
+                                    const core::KiNetGan::SampleSink& sink) {
+    if (spec.cond_column.empty()) {
+        model.sample_seeded_stream(spec.n, spec.seed, chunk_rows, sink);
+    } else {
+        model.sample_conditional_seeded_stream(spec.n, spec.cond_column, spec.cond_value,
+                                               spec.seed, chunk_rows, sink);
+    }
+}
+
+Response SynthServer::handle_sample(const Request& request) {
+    const SampleSpec spec = parse_sample_spec(request, /*streaming=*/false);
+    const auto entry = require_model(request.model);
+
+    // The inference path is const and thread-safe: no per-entry lock, so
+    // any number of SAMPLEs run concurrently against one model snapshot.
+    // The CSV payload is built chunk-by-chunk from the streaming sampler —
+    // the full decoded Table never exists in memory.
+    Response r;
+    std::uint64_t rows = 0;
+    run_sample_stream(*entry->model, spec, 0, [&](const data::Table& chunk) {
+        csv::serialize_append(chunk.to_csv(), /*include_header=*/rows == 0, r.payload);
+        rows += chunk.rows();
+    });
+    if (rows == 0) {
+        // Zero-row responses still carry the header line.
+        r.payload = csv::serialize(data::Table(entry->model->schema()).to_csv());
     }
     entry->requests.fetch_add(1, std::memory_order_relaxed);
-    entry->rows_served.fetch_add(rows.rows(), std::memory_order_relaxed);
-
-    Response r;
-    r.payload = csv::serialize(rows.to_csv());
+    entry->rows_served.fetch_add(rows, std::memory_order_relaxed);
     return r;
+}
+
+void SynthServer::handle_sample_stream(const Request& request, TcpStream& stream) {
+    // Everything that can fail from a bad request fails *before* the first
+    // frame, as an ordinary ERR response.
+    SampleSpec spec;
+    std::shared_ptr<ModelEntry> entry;
+    try {
+        spec = parse_sample_spec(request, /*streaming=*/true);
+        entry = require_model(request.model);
+    } catch (const std::exception& e) {
+        stream.write_all(format_response(error_response(e.what())));
+        return;
+    }
+
+    // Frame sequence: "OK STREAM", then per chunk "CHUNK <bytes>" + that
+    // many payload bytes (CSV; header row only in the first chunk), then
+    // an "END rows=<n> chunks=<k>" trailer.  A mid-stream failure emits
+    // "ERR <msg>" where the next CHUNK/END would have been.
+    stream.write_all("OK STREAM\n");
+    std::uint64_t rows = 0;
+    std::uint64_t chunks = 0;
+    std::string payload;
+    bool socket_dead = false;
+    try {
+        run_sample_stream(*entry->model, spec, spec.chunk_rows, [&](const data::Table& chunk) {
+            payload.clear();
+            csv::serialize_append(chunk.to_csv(), /*include_header=*/chunks == 0, payload);
+            try {
+                stream.write_all("CHUNK " + std::to_string(payload.size()) + "\n");
+                stream.write_all(payload);
+            } catch (...) {
+                socket_dead = true;
+                throw;
+            }
+            rows += chunk.rows();
+            ++chunks;
+        });
+        stream.write_all("END rows=" + std::to_string(rows) +
+                         " chunks=" + std::to_string(chunks) + "\n");
+        entry->requests.fetch_add(1, std::memory_order_relaxed);
+        entry->rows_served.fetch_add(rows, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+        if (socket_dead) {
+            throw;  // connection is gone; let serve_connection wind down
+        }
+        std::string message = e.what();
+        std::replace(message.begin(), message.end(), '\n', ' ');
+        stream.write_all("ERR " + message + "\n");
+    }
 }
 
 Response SynthServer::handle_validate(const Request& request) {
@@ -414,12 +513,15 @@ Response SynthServer::handle_validate(const Request& request) {
                                          " exceeds the per-request cap of " +
                                          std::to_string(kMaxSampleRows));
     const std::uint64_t seed = kv_u64(request, "seed", 0);
-    double validity = 0.0;
-    {
-        const std::lock_guard<std::mutex> lock(entry->mu);
-        const data::Table rows = entry->model->sample_seeded(n, seed);
-        validity = entry->model->kg_validity_rate(rows);
-    }
+    // Validity is accumulated chunk-by-chunk off the streaming sampler —
+    // the draw is never materialised as a whole table (it used to be built
+    // in memory just to be counted and thrown away).
+    std::size_t valid = 0;
+    entry->model->sample_seeded_stream(n, seed, 0, [&](const data::Table& chunk) {
+        valid += entry->model->kg_valid_count(chunk);
+    });
+    const double validity =
+        (n == 0) ? 0.0 : static_cast<double>(valid) / static_cast<double>(n);
     entry->requests.fetch_add(1, std::memory_order_relaxed);
 
     Response r;

@@ -96,6 +96,16 @@ private:
         std::size_t rows = 0;  // training rows after the held-out split
     };
 
+    /// One SAMPLE request's arguments, validated up front (shared by the
+    /// framed and streaming paths).
+    struct SampleSpec {
+        std::size_t n = 0;
+        std::uint64_t seed = 0;
+        std::string cond_column;  // empty -> unconditional
+        std::string cond_value;
+        std::size_t chunk_rows = 0;  // streaming chunk bound
+    };
+
     void accept_loop();
     /// Runs one connection's request loop; the stream is owned by the
     /// connection thread and registered in live_conns_ by accept_loop.
@@ -104,6 +114,16 @@ private:
     [[nodiscard]] Response dispatch(const Request& request);
     [[nodiscard]] Response handle_train(const Request& request);
     [[nodiscard]] Response handle_sample(const Request& request);
+    /// SAMPLE ... stream=1: writes the chunked frame sequence directly to
+    /// the connection (rows go out as they are generated — the daemon never
+    /// holds more than one chunk), so `n` is not capped by kMaxSampleRows;
+    /// the per-chunk row bound is.  Runs on the connection thread.
+    void handle_sample_stream(const Request& request, TcpStream& stream);
+    [[nodiscard]] SampleSpec parse_sample_spec(const Request& request, bool streaming) const;
+    /// Drives the model's streaming sampler for `spec` (conditional or not).
+    static void run_sample_stream(const core::KiNetGan& model, const SampleSpec& spec,
+                                  std::size_t chunk_rows,
+                                  const core::KiNetGan::SampleSink& sink);
     [[nodiscard]] Response handle_validate(const Request& request);
     [[nodiscard]] Response handle_stats(const Request& request);
     [[nodiscard]] Response handle_poll(const Request& request) const;

@@ -12,9 +12,14 @@ namespace {
 
 using GemmFn = void (*)(std::size_t, std::size_t, std::size_t, GemmOperand, GemmOperand, float*,
                         std::size_t, const float*);
+using PackFn = void (*)(std::size_t, std::size_t, GemmOperand, std::vector<float>&);
+using PackedFn = void (*)(std::size_t, std::size_t, std::size_t, GemmOperand, const float*,
+                          float*, std::size_t, const float*);
 
 struct Dispatch {
     GemmFn fn;
+    PackFn pack;
+    PackedFn packed;
     const char* name;
 };
 
@@ -23,15 +28,18 @@ Dispatch pick_kernel() {
     // cross-ISA numeric comparisons); any other value is ignored.
     const char* forced = std::getenv("KINET_GEMM_KERNEL");
     if (forced != nullptr && std::strcmp(forced, "generic") == 0) {
-        return {detail::gemm_generic, "generic-4x8"};
+        return {detail::gemm_generic, detail::pack_b_generic, detail::gemm_packed_generic,
+                "generic-4x8"};
     }
 #if (defined(__x86_64__) || defined(__amd64__)) && (defined(__GNUC__) || defined(__clang__))
     if (detail::gemm_has_avx2_build() && __builtin_cpu_supports("avx2") &&
         __builtin_cpu_supports("fma")) {
-        return {detail::gemm_avx2, "avx2-fma-6x16"};
+        return {detail::gemm_avx2, detail::pack_b_avx2, detail::gemm_packed_avx2,
+                "avx2-fma-6x16"};
     }
 #endif
-    return {detail::gemm_generic, "generic-4x8"};
+    return {detail::gemm_generic, detail::pack_b_generic, detail::gemm_packed_generic,
+            "generic-4x8"};
 }
 
 const Dispatch& dispatch() {
@@ -59,6 +67,37 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperan
         return;
     }
     dispatch().fn(m, n, k, a, b, c, ldc, bias);
+}
+
+PackedGemmB PackedGemmB::pack(std::size_t k, std::size_t n, GemmOperand b) {
+    PackedGemmB out;
+    out.k_ = k;
+    out.n_ = n;
+    if (k > 0 && n > 0) {
+        dispatch().pack(k, n, b, out.data_);
+    }
+    return out;
+}
+
+void gemm_packed(std::size_t m, GemmOperand a, const PackedGemmB& b, float* c, std::size_t ldc,
+                 const float* bias) {
+    const std::size_t n = b.n();
+    const std::size_t k = b.k();
+    if (m == 0 || n == 0) {
+        return;
+    }
+    if (k == 0) {
+        for (std::size_t i = 0; i < m; ++i) {
+            float* crow = c + i * ldc;
+            if (bias != nullptr) {
+                std::copy(bias, bias + n, crow);
+            } else {
+                std::fill(crow, crow + n, 0.0F);
+            }
+        }
+        return;
+    }
+    dispatch().packed(m, n, k, a, b.data(), c, ldc, bias);
 }
 
 const char* gemm_kernel_name() { return dispatch().name; }

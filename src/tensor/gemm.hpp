@@ -20,6 +20,7 @@
 #define KINETGAN_TENSOR_GEMM_H
 
 #include <cstddef>
+#include <vector>
 
 namespace kinet::tensor {
 
@@ -39,6 +40,45 @@ struct GemmOperand {
 void gemm(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b, float* c,
           std::size_t ldc, const float* bias);
 
+/// A weight matrix packed once into the dispatched kernel's strip layout
+/// (KC-deep k-blocks of zero-padded NR-wide column strips) and reused
+/// across gemm_packed calls — the inference fast path's answer to
+/// re-packing the same B on every forward pass.  The layout is tied to the
+/// kernel dispatched at pack time; dispatch is latched once per process,
+/// so a PackedGemmB never outlives its kernel.  Immutable after pack():
+/// concurrent gemm_packed readers are safe.
+class PackedGemmB {
+public:
+    PackedGemmB() = default;
+
+    /// Packs B (k x n; element (p, j) at data[p*rs + j*cs]) for the
+    /// currently dispatched kernel.
+    [[nodiscard]] static PackedGemmB pack(std::size_t k, std::size_t n, GemmOperand b);
+
+    [[nodiscard]] bool empty() const noexcept { return k_ == 0 || n_ == 0; }
+    [[nodiscard]] std::size_t k() const noexcept { return k_; }
+    [[nodiscard]] std::size_t n() const noexcept { return n_; }
+    [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+    /// Packed footprint in floats (ceil(n/NR)*NR*k) — surfaced for tests.
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    void clear() {
+        data_.clear();
+        k_ = 0;
+        n_ = 0;
+    }
+
+private:
+    std::vector<float> data_;
+    std::size_t k_ = 0;
+    std::size_t n_ = 0;
+};
+
+/// C(m x n) = A(m x k(b)) * B from a pre-packed operand, plus the optional
+/// fused bias row — bit-identical to gemm() with the unpacked B (same
+/// micro-kernels, same blocking, same per-element accumulation chain).
+void gemm_packed(std::size_t m, GemmOperand a, const PackedGemmB& b, float* c, std::size_t ldc,
+                 const float* bias);
+
 /// Name of the dispatched micro-kernel ("avx2-fma-6x16" or "generic-4x8")
 /// — surfaced in benchmarks and docs, never used for logic.
 [[nodiscard]] const char* gemm_kernel_name();
@@ -51,6 +91,15 @@ void gemm_generic(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, Ge
                   float* c, std::size_t ldc, const float* bias);
 void gemm_avx2(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b,
                float* c, std::size_t ldc, const float* bias);
+
+/// Full-B packing and pre-packed GEMM entry points, one pair per ISA unit
+/// (same PackedGemmB layout contract as the engine header's pack_b_full).
+void pack_b_generic(std::size_t k, std::size_t n, GemmOperand b, std::vector<float>& out);
+void pack_b_avx2(std::size_t k, std::size_t n, GemmOperand b, std::vector<float>& out);
+void gemm_packed_generic(std::size_t m, std::size_t n, std::size_t k, GemmOperand a,
+                         const float* packed, float* c, std::size_t ldc, const float* bias);
+void gemm_packed_avx2(std::size_t m, std::size_t n, std::size_t k, GemmOperand a,
+                      const float* packed, float* c, std::size_t ldc, const float* bias);
 
 /// Whether this build carries the AVX2 instantiation at all (x86-64 and a
 /// compiler that accepts -mavx2 -mfma).

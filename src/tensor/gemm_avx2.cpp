@@ -21,6 +21,12 @@ struct KernelAvx2 {
     static constexpr int MR = 6;
     static constexpr int NR = 16;
 
+    /// Scalar twin of the micro-kernel's contraction: this TU is compiled
+    /// with -mfma, where the vector accumulates lower to single-rounding
+    /// FMAs, so the no-pad small-n path fuses too (same bits per element
+    /// as the padded path would produce).
+    static float madd(float acc, float a, float b) { return __builtin_fmaf(a, b, acc); }
+
     static void micro_full(std::size_t kc, const float* __restrict ap, const float* __restrict bp,
                            float* __restrict c, std::size_t ldc, bool first, const float* bias) {
         vf8 c00;
@@ -113,6 +119,15 @@ void gemm_avx2(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmO
     gemm_engine<KernelAvx2>(m, n, k, a, b, c, ldc, bias);
 }
 
+void pack_b_avx2(std::size_t k, std::size_t n, GemmOperand b, std::vector<float>& out) {
+    pack_b_full<KernelAvx2::NR>(k, n, b, out);
+}
+
+void gemm_packed_avx2(std::size_t m, std::size_t n, std::size_t k, GemmOperand a,
+                      const float* packed, float* c, std::size_t ldc, const float* bias) {
+    gemm_packed_engine<KernelAvx2>(m, n, k, a, packed, c, ldc, bias);
+}
+
 bool gemm_has_avx2_build() { return true; }
 
 #else  // !(KINET_GEMM_AVX2 && KINET_GEMM_VECTOR_EXT)
@@ -120,6 +135,15 @@ bool gemm_has_avx2_build() { return true; }
 void gemm_avx2(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b, float* c,
                std::size_t ldc, const float* bias) {
     gemm_generic(m, n, k, a, b, c, ldc, bias);
+}
+
+void pack_b_avx2(std::size_t k, std::size_t n, GemmOperand b, std::vector<float>& out) {
+    pack_b_generic(k, n, b, out);
+}
+
+void gemm_packed_avx2(std::size_t m, std::size_t n, std::size_t k, GemmOperand a,
+                      const float* packed, float* c, std::size_t ldc, const float* bias) {
+    gemm_packed_generic(m, n, k, a, packed, c, ldc, bias);
 }
 
 bool gemm_has_avx2_build() { return false; }

@@ -15,6 +15,12 @@ struct KernelGeneric {
     static constexpr int MR = 4;
     static constexpr int NR = 8;
 
+    /// The no-pad small-n path uses this to mirror the micro-kernel's
+    /// per-operation rounding: this translation unit is compiled for the
+    /// baseline ISA, where the vector accumulate lowers to separate
+    /// multiply and add — so the scalar form is the same two roundings.
+    static float madd(float acc, float a, float b) { return acc + a * b; }
+
 #ifdef KINET_GEMM_VECTOR_EXT
     static void micro_full(std::size_t kc, const float* __restrict ap, const float* __restrict bp,
                            float* __restrict c, std::size_t ldc, bool first, const float* bias) {
@@ -63,6 +69,15 @@ struct KernelGeneric {
 void gemm_generic(std::size_t m, std::size_t n, std::size_t k, GemmOperand a, GemmOperand b,
                   float* c, std::size_t ldc, const float* bias) {
     gemm_engine<KernelGeneric>(m, n, k, a, b, c, ldc, bias);
+}
+
+void pack_b_generic(std::size_t k, std::size_t n, GemmOperand b, std::vector<float>& out) {
+    pack_b_full<KernelGeneric::NR>(k, n, b, out);
+}
+
+void gemm_packed_generic(std::size_t m, std::size_t n, std::size_t k, GemmOperand a,
+                         const float* packed, float* c, std::size_t ldc, const float* bias) {
+    gemm_packed_engine<KernelGeneric>(m, n, k, a, packed, c, ldc, bias);
 }
 
 }  // namespace kinet::tensor::detail

@@ -94,6 +94,22 @@ void Matrix::append_rows(const Matrix& other) {
     rows_ += other.rows_;
 }
 
+void Matrix::append_row_range(const Matrix& other, std::size_t row_begin, std::size_t row_end) {
+    KINET_CHECK(row_begin <= row_end && row_end <= other.rows_,
+                "append_row_range: row range invalid");
+    if (row_begin == row_end) {
+        return;
+    }
+    if (empty() && rows_ == 0 && cols_ == 0) {
+        cols_ = other.cols_;
+    }
+    KINET_CHECK(cols_ == other.cols_, "append_row_range: column mismatch");
+    const auto first = other.data_.begin() + static_cast<std::ptrdiff_t>(row_begin * cols_);
+    const auto last = other.data_.begin() + static_cast<std::ptrdiff_t>(row_end * cols_);
+    data_.insert(data_.end(), first, last);
+    rows_ += row_end - row_begin;
+}
+
 Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
     Matrix out(indices.size(), cols_);
     for (std::size_t i = 0; i < indices.size(); ++i) {

@@ -58,6 +58,17 @@ public:
     /// matrix may absorb anything).
     void append_rows(const Matrix& other);
 
+    /// Appends rows [row_begin, row_end) of `other` — the chunk-assembly
+    /// primitive of the streaming sample path.
+    void append_row_range(const Matrix& other, std::size_t row_begin, std::size_t row_end);
+
+    /// Drops all rows but keeps the column count and the storage capacity
+    /// (buffer reuse across streaming chunks).
+    void clear_rows() noexcept {
+        rows_ = 0;
+        data_.clear();
+    }
+
     /// Returns a matrix holding the selected rows, in the given order.
     [[nodiscard]] Matrix gather_rows(std::span<const std::size_t> indices) const;
 

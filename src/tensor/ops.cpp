@@ -17,6 +17,32 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
     return c;
 }
 
+PackedGemmB pack_gemm_b(const Matrix& b) {
+    return PackedGemmB::pack(b.rows(), b.cols(), {b.data().data(), b.cols(), 1});
+}
+
+Matrix matmul_packed(const Matrix& a, const PackedGemmB& b) {
+    KINET_CHECK(a.cols() == b.k(), "matmul_packed: inner dimension mismatch");
+    Matrix c(a.rows(), b.n());
+    gemm_packed(a.rows(), {a.data().data(), a.cols(), 1}, b, c.data().data(), c.cols(), nullptr);
+    return c;
+}
+
+Matrix matmul_packed_bias(const Matrix& a, const PackedGemmB& b, const Matrix& bias) {
+    Matrix c;
+    matmul_packed_bias_into(a, b, bias, c);
+    return c;
+}
+
+void matmul_packed_bias_into(const Matrix& a, const PackedGemmB& b, const Matrix& bias,
+                             Matrix& out) {
+    KINET_CHECK(a.cols() == b.k(), "matmul_packed_bias: inner dimension mismatch");
+    KINET_CHECK(bias.rows() == 1 && bias.cols() == b.n(), "matmul_packed_bias: bad bias shape");
+    out.resize_for_overwrite(a.rows(), b.n());
+    gemm_packed(a.rows(), {a.data().data(), a.cols(), 1}, b, out.data().data(), out.cols(),
+                bias.data().data());
+}
+
 Matrix matmul_bias(const Matrix& a, const Matrix& b, const Matrix& bias) {
     KINET_CHECK(a.cols() == b.rows(), "matmul_bias: inner dimension mismatch");
     KINET_CHECK(bias.rows() == 1 && bias.cols() == b.cols(), "matmul_bias: bad bias shape");

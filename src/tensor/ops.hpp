@@ -15,12 +15,30 @@
 
 #include <functional>
 
+#include "src/tensor/gemm.hpp"
 #include "src/tensor/matrix.hpp"
 
 namespace kinet::tensor {
 
 /// C = A · B  (A: m×k, B: k×n).
 [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Packs a k×n matrix once into the engine's persistent strip layout for
+/// reuse across matmul_packed calls (the inference fast path: pack a weight
+/// matrix at first use, never again).
+[[nodiscard]] PackedGemmB pack_gemm_b(const Matrix& b);
+
+/// C = A · B over a pre-packed B — bit-identical to matmul(a, b).
+[[nodiscard]] Matrix matmul_packed(const Matrix& a, const PackedGemmB& b);
+
+/// C = A · B + bias over a pre-packed B — bit-identical to matmul_bias.
+[[nodiscard]] Matrix matmul_packed_bias(const Matrix& a, const PackedGemmB& b,
+                                        const Matrix& bias);
+
+/// matmul_packed_bias into a caller-owned output (resize_for_overwrite —
+/// allocation-free once warm).
+void matmul_packed_bias_into(const Matrix& a, const PackedGemmB& b, const Matrix& bias,
+                             Matrix& out);
 
 /// C = A · B + bias (bias: 1×n, broadcast over rows) in one pass — the
 /// Linear-layer hot path, bit-identical to matmul followed by

@@ -30,12 +30,14 @@ _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_times(path):
-    """name -> cpu_time in ns.
+    """name -> (cpu_time in ns, items_per_second or None).
 
     When the report was produced with --benchmark_repetitions, the `median`
     aggregate is used (much less noisy than any single repetition);
     otherwise the plain per-benchmark rows are.  Mean/stddev/cv aggregates
-    are always skipped.
+    are always skipped.  items_per_second (e.g. BM_SampleThroughput's
+    rows/s) is carried so throughput benchmarks are gated on the number
+    they exist to report, not only on cpu time.
     """
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
@@ -46,12 +48,13 @@ def load_times(path):
         if cpu is None:
             continue
         ns = cpu * _TIME_UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
+        value = (ns, entry.get("items_per_second"))
         if entry.get("run_type") == "aggregate" or "aggregate_name" in entry:
             if entry.get("aggregate_name") == "median" and entry.get("run_name"):
-                medians[entry["run_name"]] = ns
+                medians[entry["run_name"]] = value
             continue
         if entry.get("name"):
-            singles[entry["name"]] = ns
+            singles[entry["name"]] = value
     return medians if medians else singles
 
 
@@ -100,17 +103,27 @@ def main():
     width = max(len(name) for name in shared)
     print(f"bench_compare: gate at +{args.threshold:.0%} over {args.baseline}")
     for name in shared:
-        base_ns = baseline[name]
-        cur_ns = current[name]
-        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
-        delta = ratio - 1.0
+        base_ns, base_ips = baseline[name]
+        cur_ns, cur_ips = current[name]
+        if "Throughput" in name and base_ips and cur_ips:
+            # Rate benchmarks (BM_SampleThroughput*) are gated on the
+            # items/s drop — the number they exist to report (a slowdown is
+            # base/current - 1, same sign convention as the time ratio).
+            # Everything else stays on median cpu_time: the FLOPS
+            # benchmarks also emit items_per_second, but theirs derives
+            # from real time, which inflates under runner load.
+            delta = base_ips / cur_ips - 1.0 if cur_ips > 0 else float("inf")
+            shown = f"{base_ips:>12.3g} -> {cur_ips:>12.3g} it/s"
+        else:
+            delta = cur_ns / base_ns - 1.0 if base_ns > 0 else float("inf")
+            shown = f"{base_ns:>12.1f} -> {cur_ns:>12.1f} ns  "
         flag = "OK"
         if delta > args.threshold:
             flag = "REGRESSION"
             regressions.append((name, delta))
         elif delta < -args.threshold:
             flag = "improved"
-        print(f"  {name:<{width}}  {base_ns:>12.1f} -> {cur_ns:>12.1f} ns  {delta:+7.1%}  {flag}")
+        print(f"  {name:<{width}}  {shown}  {delta:+7.1%}  {flag}")
 
     for name in sorted(set(baseline) - set(current)):
         print(f"  {name:<{width}}  removed (not gated)")
