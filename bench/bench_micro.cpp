@@ -9,6 +9,9 @@
 // to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -22,6 +25,10 @@
 #include "src/netsim/lab_simulator.hpp"
 #include "src/netsim/unsw_synthesizer.hpp"
 #include "src/nn/nn.hpp"
+#include "src/service/client.hpp"
+#include "src/service/server.hpp"
+#include "src/service/snapshot.hpp"
+#include "src/service/socket.hpp"
 #include "src/tensor/gemm.hpp"
 #include "src/tensor/ops.hpp"
 
@@ -225,7 +232,7 @@ BENCHMARK(BM_ConditionalSamplerDraw);
 // ------------------------------------------------- serving throughput
 
 /// One trained model per paper domain, fitted once for the whole binary.
-const core::KiNetGan& sample_bench_model(bool unsw) {
+core::KiNetGan& sample_bench_model(bool unsw) {
     static const auto make = [](bool u) {
         core::KiNetGanOptions opts;
         opts.gan.epochs = 4;
@@ -289,6 +296,74 @@ void BM_SampleThroughputStreaming(benchmark::State& state) {
                             static_cast<std::int64_t>(kRows));
 }
 BENCHMARK(BM_SampleThroughputStreaming)->UseRealTime();
+
+// End-to-end rows/s through a live server while Arg(0) idle connections sit
+// parked on the epoll loop.  Flat numbers across the arg column are the
+// event-driven core's selling point: parked sockets cost one epoll
+// registration, not a thread.  The label carries the server-side SAMPLE p99
+// from the STATS surface.
+void BM_ServerConnections(benchmark::State& state) {
+    const auto idle_target = static_cast<std::size_t>(state.range(0));
+
+    // Parked sockets need fds beyond the conservative default soft limit.
+    rlimit lim{};
+    if (::getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < idle_target + 512 &&
+        lim.rlim_cur < lim.rlim_max) {
+        rlimit want = lim;
+        want.rlim_cur = std::min<rlim_t>(lim.rlim_max, idle_target + 512);
+        ::setrlimit(RLIMIT_NOFILE, &want);
+        ::getrlimit(RLIMIT_NOFILE, &lim);
+    }
+
+    service::ServerOptions opts;
+    opts.port = 0;  // ephemeral
+    opts.max_connections = idle_target + 64;
+    service::SynthServer server(opts);
+    server.registry().put("bench",
+                          service::read_snapshot(service::write_snapshot(sample_bench_model(false))));
+    server.start();
+
+    std::vector<service::TcpStream> parked;
+    parked.reserve(idle_target);
+    const std::size_t park_cap =
+        lim.rlim_cur > 256 ? static_cast<std::size_t>(lim.rlim_cur) - 256 : 0;
+    for (std::size_t i = 0; i < idle_target && parked.size() < park_cap; ++i) {
+        parked.push_back(service::TcpStream::connect("127.0.0.1", server.port()));
+    }
+
+    auto client = service::SynthClient::connect("127.0.0.1", server.port());
+    constexpr std::size_t kRows = 4096;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        const std::uint64_t rows = client.sample_stream(
+            "bench", kRows, seed++, [](const std::string& /*chunk*/) {}, 512);
+        benchmark::DoNotOptimize(rows);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kRows));
+
+    // Surface the server-side SAMPLE p99 alongside the idle-connection count.
+    std::string p99 = "n/a";
+    {
+        service::Request request;
+        request.op = service::Op::stats;
+        const std::string payload = client.rpc(request).payload;
+        const std::size_t at = payload.find("op_SAMPLE ");
+        if (at != std::string::npos) {
+            const std::size_t p = payload.find("p99_us=", at);
+            if (p != std::string::npos) {
+                const std::size_t end = payload.find_first_of(" \n", p);
+                p99 = payload.substr(p + 7, end - (p + 7));
+            }
+        }
+    }
+    state.SetLabel("idle=" + std::to_string(parked.size()) + " p99_us=" + p99);
+
+    client.quit();
+    parked.clear();
+    server.stop();
+}
+BENCHMARK(BM_ServerConnections)->Arg(0)->Arg(256)->Arg(1024)->UseRealTime();
 
 void BM_LabSimulator1k(benchmark::State& state) {
     for (auto _ : state) {

@@ -5,17 +5,29 @@
 // snapshots, and hand out deterministic SAMPLE streams to NIDS clients.
 //
 //   kinetd [--port P] [--load NAME=PATH]... [--epochs N] [--train-workers N]
-//          [--snapshot-dir DIR] [--data-dir DIR]
+//          [--request-workers N] [--max-connections N] [--queue-depth N]
+//          [--model-cache-mb N] [--snapshot-dir DIR] [--data-dir DIR]
+//   kinetd --stats [--port P]
 //
-//   --port P           listen port (default 9190; 0 picks an ephemeral port)
-//   --load N=PATH      register snapshot PATH under model name N at startup
-//                      (an operator path — not confined to --snapshot-dir)
-//   --epochs N         default TRAIN epochs (default 30)
-//   --train-workers N  async TRAIN executor threads (default 2)
-//   --snapshot-dir DIR directory confining client LOAD/SAVE paths
-//                      (default "."; "" disables LOAD/SAVE)
-//   --data-dir DIR     directory confining TRAIN source=csv: paths
-//                      (default "."; "" disables CSV ingestion)
+//   --port P            listen port (default 9190; 0 picks an ephemeral port)
+//   --load N=PATH       register snapshot PATH under model name N at startup
+//                       (an operator path — not confined to --snapshot-dir)
+//   --epochs N          default TRAIN epochs (default 30)
+//   --train-workers N   async TRAIN executor threads (default 2)
+//   --request-workers N event-loop worker threads for TRAIN/SAMPLE/... (default 4)
+//   --max-connections N open-connection cap; excess accepts are refused with
+//                       `ERR queue_full` (default 4096)
+//   --queue-depth N     bound on requests queued for the workers; past it,
+//                       requests answer `ERR queue_full` (default 256)
+//   --model-cache-mb N  registry memory budget in MiB over serialized model
+//                       bytes; LRU models are evicted past it (default 0 =
+//                       unlimited)
+//   --snapshot-dir DIR  directory confining client LOAD/SAVE paths
+//                       (default "."; "" disables LOAD/SAVE)
+//   --data-dir DIR      directory confining TRAIN source=csv: paths
+//                       (default "."; "" disables CSV ingestion)
+//   --stats             one-shot mode: connect to a running daemon at --port,
+//                       print its global STATS payload, and exit
 //
 // The daemon exits cleanly on SIGINT/SIGTERM.
 #include <unistd.h>
@@ -30,6 +42,7 @@
 #include <vector>
 
 #include "src/common/check.hpp"
+#include "src/service/client.hpp"
 #include "src/service/server.hpp"
 #include "src/service/snapshot.hpp"
 
@@ -41,7 +54,10 @@ void handle_signal(int /*sig*/) { g_stop.store(true); }
 
 [[noreturn]] void usage_and_exit() {
     std::cerr << "usage: kinetd [--port P] [--load NAME=PATH]... [--epochs N]"
-                 " [--train-workers N] [--snapshot-dir DIR] [--data-dir DIR]\n";
+                 " [--train-workers N] [--request-workers N] [--max-connections N]"
+                 " [--queue-depth N] [--model-cache-mb N]"
+                 " [--snapshot-dir DIR] [--data-dir DIR]\n"
+                 "       kinetd --stats [--port P]\n";
     std::exit(2);
 }
 
@@ -53,6 +69,7 @@ int main(int argc, char** argv) {
     service::ServerOptions options;
     options.port = 9190;
     std::vector<std::pair<std::string, std::string>> preload;
+    bool stats_mode = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -84,6 +101,26 @@ int main(int argc, char** argv) {
             if (options.train_workers == 0) {
                 usage_and_exit();
             }
+        } else if (arg == "--request-workers") {
+            options.request_workers = static_cast<std::size_t>(next_number(256));
+            if (options.request_workers == 0) {
+                usage_and_exit();
+            }
+        } else if (arg == "--max-connections") {
+            options.max_connections = static_cast<std::size_t>(next_number(1000000));
+            if (options.max_connections == 0) {
+                usage_and_exit();
+            }
+        } else if (arg == "--queue-depth") {
+            options.queue_depth = static_cast<std::size_t>(next_number(1000000));
+            if (options.queue_depth == 0) {
+                usage_and_exit();
+            }
+        } else if (arg == "--model-cache-mb") {
+            options.model_cache_bytes =
+                static_cast<std::uint64_t>(next_number(1u << 20)) * 1024 * 1024;
+        } else if (arg == "--stats") {
+            stats_mode = true;
         } else if (arg == "--snapshot-dir") {
             options.snapshot_dir = next_value();
         } else if (arg == "--data-dir") {
@@ -98,6 +135,25 @@ int main(int argc, char** argv) {
         } else {
             usage_and_exit();
         }
+    }
+
+    if (stats_mode) {
+        // One-shot monitoring: ask the running daemon for its global STATS
+        // block and print the raw payload (kv lines; see docs/protocol.md).
+        try {
+            service::ClientOptions copts;
+            copts.connect_timeout_ms = 2000;
+            copts.recv_timeout_ms = 5000;
+            auto client = service::SynthClient::connect("127.0.0.1", options.port, copts);
+            service::Request request;
+            request.op = service::Op::stats;
+            std::cout << client.rpc(request).payload << std::flush;
+            client.quit();
+        } catch (const Error& e) {
+            std::cerr << "kinetd --stats: " << e.what() << "\n";
+            return 1;
+        }
+        return 0;
     }
 
     service::SynthServer server(options);

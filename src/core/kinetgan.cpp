@@ -512,6 +512,43 @@ constexpr std::uint64_t kStreamSeedSalt = 0x9e3779b97f4a7c15ULL;
 
 }  // namespace
 
+void KiNetGan::produce_sample_batch(
+    std::size_t b, Rng& rng, const std::optional<std::pair<std::size_t, std::size_t>>& pin,
+    std::vector<data::CondDraw>& draws, SampleBatchInputs& out) const {
+    const std::size_t noise_dim = options_.gan.noise_dim;
+    const std::size_t cond_width = cond_builder_->width();
+    draws.clear();
+    draws.reserve(b);
+    for (std::size_t i = 0; i < b; ++i) {
+        // Empirical conditions restore the original data distribution.
+        draws.push_back(sampler_->draw_empirical(rng));
+        if (pin.has_value()) {
+            draws.back().values[pin->first] = pin->second;
+        }
+    }
+    out.input.resize_for_overwrite(b, noise_dim + cond_width);
+    for (std::size_t r = 0; r < b; ++r) {
+        auto row = out.input.row(r);
+        for (std::size_t c = 0; c < noise_dim; ++c) {
+            row[c] = static_cast<float>(rng.normal());
+        }
+    }
+    // One-hot condition blocks written straight into the input — what
+    // CondVectorBuilder::encode + hcat produced, minus the temporaries.
+    for (std::size_t r = 0; r < b; ++r) {
+        auto row = out.input.row(r);
+        std::fill(row.begin() + static_cast<std::ptrdiff_t>(noise_dim), row.end(), 0.0F);
+        const auto& values = draws[r].values;
+        for (std::size_t p = 0; p < values.size(); ++p) {
+            KINET_CHECK(values[p] < cond_builder_->block_width(p),
+                        "sample: condition value out of range");
+            row[noise_dim + cond_builder_->block_offset(p) + values[p]] = 1.0F;
+        }
+    }
+    g_act_->draw_noise(b, transformer_.output_width(), rng, out.gumbel);
+    out.rows = b;
+}
+
 void KiNetGan::sample_stream_impl(std::size_t n, Rng& rng,
                                   const std::optional<std::pair<std::size_t, std::size_t>>& pin,
                                   std::size_t chunk_rows, const SampleSink& sink) const {
@@ -519,9 +556,6 @@ void KiNetGan::sample_stream_impl(std::size_t n, Rng& rng,
     KINET_CHECK(sink != nullptr, "KiNetGan::sample_stream: null sink");
 
     const std::size_t batch = options_.gan.batch_size;
-    const std::size_t noise_dim = options_.gan.noise_dim;
-    const std::size_t cond_width = cond_builder_->width();
-    const std::size_t out_width = transformer_.output_width();
 
     // Everything mutable lives in this call frame — per-request context,
     // activation/noise/decode buffers, chunk assembly — so the const model
@@ -535,50 +569,14 @@ void KiNetGan::sample_stream_impl(std::size_t n, Rng& rng,
     data::Table pending(schema_);
     std::vector<data::CondDraw> draws;
 
-    /// The serial random-stream work one generation batch consumes: the
-    /// per-row conditions, the noise block and the activation's Gumbel
-    /// matrix, drawn in exactly the historical order.  Produced one batch
-    /// ahead of the compute that consumes it, so the (inherently serial)
-    /// RNG hides behind the parallel GEMMs on multi-core hosts.
-    struct BatchInputs {
-        Matrix input;   // [z ⊕ C]
-        Matrix gumbel;  // pre-drawn activation noise
-        std::size_t rows = 0;
-    };
-    BatchInputs cur;
-    BatchInputs next;
+    // Batch inputs are produced one batch ahead of the compute that
+    // consumes them, so the (inherently serial) RNG hides behind the
+    // parallel GEMMs on multi-core hosts.
+    SampleBatchInputs cur;
+    SampleBatchInputs next;
 
-    const auto produce = [&](std::size_t b, BatchInputs& out) {
-        draws.clear();
-        draws.reserve(b);
-        for (std::size_t i = 0; i < b; ++i) {
-            // Empirical conditions restore the original data distribution.
-            draws.push_back(sampler_->draw_empirical(rng));
-            if (pin.has_value()) {
-                draws.back().values[pin->first] = pin->second;
-            }
-        }
-        out.input.resize_for_overwrite(b, noise_dim + cond_width);
-        for (std::size_t r = 0; r < b; ++r) {
-            auto row = out.input.row(r);
-            for (std::size_t c = 0; c < noise_dim; ++c) {
-                row[c] = static_cast<float>(rng.normal());
-            }
-        }
-        // One-hot condition blocks written straight into the input — what
-        // CondVectorBuilder::encode + hcat produced, minus the temporaries.
-        for (std::size_t r = 0; r < b; ++r) {
-            auto row = out.input.row(r);
-            std::fill(row.begin() + static_cast<std::ptrdiff_t>(noise_dim), row.end(), 0.0F);
-            const auto& values = draws[r].values;
-            for (std::size_t p = 0; p < values.size(); ++p) {
-                KINET_CHECK(values[p] < cond_builder_->block_width(p),
-                            "sample: condition value out of range");
-                row[noise_dim + cond_builder_->block_offset(p) + values[p]] = 1.0F;
-            }
-        }
-        g_act_->draw_noise(b, out_width, rng, out.gumbel);
-        out.rows = b;
+    const auto produce = [&](std::size_t b, SampleBatchInputs& out) {
+        produce_sample_batch(b, rng, pin, draws, out);
     };
 
     // Pipelining draws batch k+1 on a pool worker while batch k computes —
@@ -712,6 +710,62 @@ void KiNetGan::sample_conditional_seeded_stream(std::size_t n, const std::string
     const auto pin = resolve_conditional_pin(column, value);
     Rng rng(stream_seed ^ kStreamSeedSalt);
     sample_stream_impl(n, rng, pin, chunk_rows, sink);
+}
+
+KiNetGan::StreamCursor::StreamCursor(const KiNetGan& model, std::size_t n,
+                                     std::uint64_t stream_seed, std::size_t chunk_rows,
+                                     std::optional<std::pair<std::size_t, std::size_t>> pin)
+    : model_(&model),
+      pin_(pin),
+      chunk_rows_(chunk_rows),
+      remaining_(n),
+      rng_(stream_seed ^ kStreamSeedSalt),
+      decoded_(model.schema_),
+      pending_(model.schema_) {}
+
+const data::Table* KiNetGan::StreamCursor::next() {
+    const KiNetGan& m = *model_;
+    pending_.clear_rows();  // the buffer handed out by the previous call
+    const std::size_t batch = m.options_.gan.batch_size;
+    for (;;) {
+        // Drain what the last generation batch left over.
+        while (decoded_pos_ < decoded_.rows() && pending_.rows() < chunk_rows_) {
+            const std::size_t take =
+                std::min(chunk_rows_ - pending_.rows(), decoded_.rows() - decoded_pos_);
+            pending_.append_row_range(decoded_, decoded_pos_, decoded_pos_ + take);
+            decoded_pos_ += take;
+        }
+        if (pending_.rows() == chunk_rows_) {
+            return &pending_;
+        }
+        if (remaining_ == 0) {
+            // Final (short) chunk, or a fully drained stream.
+            return pending_.rows() > 0 ? &pending_ : nullptr;
+        }
+        // Generate the next batch — same batch sizing and RNG order as the
+        // push-based sampler, just without the look-ahead producer (the
+        // cursor is the suspendable path; serial keeps it re-entrant).
+        const std::size_t b = std::min(batch, remaining_);
+        m.produce_sample_batch(b, rng_, pin_, draws_, batch_);
+        m.g_trunk_->forward_inference(batch_.input, output_, ctx_);
+        m.g_act_->apply_spans(output_, batch_.gumbel);
+        m.transformer_.inverse_into(output_, raw_, decoded_);
+        decoded_pos_ = 0;
+        remaining_ -= b;
+    }
+}
+
+std::unique_ptr<KiNetGan::StreamCursor> KiNetGan::open_sample_cursor(
+    std::size_t n, std::uint64_t stream_seed, std::size_t chunk_rows,
+    const std::string& cond_column, const std::string& cond_value) const {
+    KINET_CHECK(fitted_, "KiNetGan::sample before fit");
+    KINET_CHECK(chunk_rows >= 1, "KiNetGan::open_sample_cursor: chunk_rows must be >= 1");
+    std::optional<std::pair<std::size_t, std::size_t>> pin;
+    if (!cond_column.empty()) {
+        pin = resolve_conditional_pin(cond_column, cond_value);
+    }
+    return std::unique_ptr<StreamCursor>(
+        new StreamCursor(*this, n, stream_seed, chunk_rows, pin));
 }
 
 void KiNetGan::save(bytes::Writer& out) {

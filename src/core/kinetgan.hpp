@@ -51,6 +51,17 @@ struct KiNetGanOptions {
 };
 
 class KiNetGan : public gan::Synthesizer {
+    /// The serial random-stream work one generation batch consumes: the
+    /// [z ⊕ C] input block and the activation's Gumbel matrix, drawn in
+    /// exactly the historical order (conditions, then noise, then Gumbel).
+    /// Shared by the push-based streaming sampler and the pull-based
+    /// StreamCursor so both consume the RNG identically.
+    struct SampleBatchInputs {
+        nn::Matrix input;   // [z ⊕ C]
+        nn::Matrix gumbel;  // pre-drawn activation noise
+        std::size_t rows = 0;
+    };
+
 public:
     /// `oracle` is the compiled KG validity oracle for the table's domain;
     /// `cond_columns` are the conditional attributes (categorical columns).
@@ -107,6 +118,57 @@ public:
                                           const std::string& value, std::uint64_t stream_seed,
                                           std::size_t chunk_rows, const SampleSink& sink) const;
 
+    /// A pull-based resumable streaming sample.  Each next() call generates
+    /// just enough batches to fill one chunk, then suspends — no thread is
+    /// held between calls, which is what lets an event-driven server park a
+    /// stream whose client stopped reading.  The concatenated chunks are
+    /// bit-identical to sample_seeded_stream with the same (n, seed,
+    /// chunk_rows): the cursor replays the exact RNG draw order, serially.
+    /// The cursor borrows the model — keep the KiNetGan alive — and a single
+    /// cursor must not be advanced concurrently, but independent cursors
+    /// share no mutable state and may run in parallel on one fitted model.
+    class StreamCursor {
+    public:
+        /// Returns the next chunk (exactly chunk_rows rows until the final,
+        /// possibly short, chunk) or nullptr once exhausted.  The Table is a
+        /// reused internal buffer, valid until the next call.
+        [[nodiscard]] const data::Table* next();
+
+        /// Rows not yet returned by next().
+        [[nodiscard]] std::size_t rows_left() const noexcept {
+            return remaining_ + (decoded_.rows() - decoded_pos_) + pending_.rows();
+        }
+
+    private:
+        friend class KiNetGan;
+        StreamCursor(const KiNetGan& model, std::size_t n, std::uint64_t stream_seed,
+                     std::size_t chunk_rows,
+                     std::optional<std::pair<std::size_t, std::size_t>> pin);
+
+        const KiNetGan* model_;
+        std::optional<std::pair<std::size_t, std::size_t>> pin_;
+        std::size_t chunk_rows_;
+        std::size_t remaining_;  // rows not yet generated
+        Rng rng_;
+        // Reused per-cursor workspaces (the const model never mutates).
+        nn::InferenceContext ctx_;
+        nn::Matrix output_;
+        nn::Matrix raw_;
+        data::Table decoded_;        // last generation batch, decoded
+        std::size_t decoded_pos_ = 0;  // rows of decoded_ already chunked
+        data::Table pending_;        // chunk under assembly / last returned
+        std::vector<data::CondDraw> draws_;
+        SampleBatchInputs batch_;
+    };
+
+    /// Opens a StreamCursor over this model; empty `cond_column` means an
+    /// unconditional stream, otherwise the column is pinned to `cond_value`
+    /// (same resolution and errors as sample_conditional_seeded).
+    /// chunk_rows must be >= 1.
+    [[nodiscard]] std::unique_ptr<StreamCursor> open_sample_cursor(
+        std::size_t n, std::uint64_t stream_seed, std::size_t chunk_rows,
+        const std::string& cond_column = {}, const std::string& cond_value = {}) const;
+
     /// Serializes the full fitted state (transformer statistics, GMM
     /// parameters, network weights, KG oracle, sampler frequencies and the
     /// live RNG stream).  A load()ed model is bit-identical in behaviour:
@@ -148,6 +210,12 @@ private:
     /// (position in cond_columns_, value id); throws on unknown column/label.
     [[nodiscard]] std::pair<std::size_t, std::size_t> resolve_conditional_pin(
         const std::string& column, const std::string& value) const;
+    /// Draws one generation batch's random inputs (conditions → noise →
+    /// Gumbel, the pinned RNG order every sampling path must follow);
+    /// `draws` is a reusable scratch vector.
+    void produce_sample_batch(std::size_t b, Rng& rng,
+                              const std::optional<std::pair<std::size_t, std::size_t>>& pin,
+                              std::vector<data::CondDraw>& draws, SampleBatchInputs& out) const;
     /// Shared sampling loop on the inference fast path; `pin` optionally
     /// fixes one conditional block to (position in cond_columns_, value id).
     /// Const and thread-safe: all mutable state lives in per-call

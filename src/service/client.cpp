@@ -9,11 +9,16 @@
 
 namespace kinet::service {
 
-SynthClient SynthClient::connect(const std::string& host, std::uint16_t port) {
+SynthClient SynthClient::connect(const std::string& host, std::uint16_t port,
+                                 const ClientOptions& options) {
     constexpr int kAttempts = 20;
     for (int attempt = 0;; ++attempt) {
         try {
-            return SynthClient(TcpStream::connect(host, port));
+            auto stream = TcpStream::connect(host, port, options.connect_timeout_ms);
+            if (options.recv_timeout_ms > 0) {
+                stream.set_recv_timeout(options.recv_timeout_ms);
+            }
+            return SynthClient(std::move(stream), options);
         } catch (const Error&) {
             if (attempt + 1 >= kAttempts) {
                 throw;
@@ -24,6 +29,24 @@ SynthClient SynthClient::connect(const std::string& host, std::uint16_t port) {
 }
 
 Response SynthClient::rpc(const Request& request) {
+    // A queue_full ERR is a complete, well-framed response: the connection
+    // stays in sync, so the request can simply be sent again after backing
+    // off — admission pressure is transient by design.
+    for (std::size_t attempt = 0;; ++attempt) {
+        try {
+            return rpc_once(request);
+        } catch (const Error& e) {
+            if (attempt >= options_.queue_full_retries ||
+                !is_queue_full_message(e.what())) {
+                throw;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options_.retry_backoff_ms * (attempt + 1)));
+        }
+    }
+}
+
+Response SynthClient::rpc_once(const Request& request) {
     stream_.write_all(format_request(request) + "\n");
     const auto status = stream_.read_line();
     if (!status.has_value()) {

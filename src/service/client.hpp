@@ -34,14 +34,36 @@ struct TrainSpec {
     std::string csv_source;
 };
 
+/// Client-side robustness knobs.  All default to off, preserving the
+/// original block-forever behaviour for callers that want it.
+struct ClientOptions {
+    /// Per-attempt TCP connect timeout (0 = the OS default, which can be
+    /// minutes).  The ~2 s bind-race retry loop applies on top.
+    std::size_t connect_timeout_ms = 0;
+    /// SO_RCVTIMEO on the connected socket: any read (status line, payload,
+    /// stream frame) that stalls longer throws kinet::Error("socket:
+    /// receive timed out") instead of blocking forever on a hung or killed
+    /// server.  0 = never time out.
+    std::size_t recv_timeout_ms = 0;
+    /// Automatic retries when the server answers `ERR queue_full` (the
+    /// admission-control rejection — the connection stays usable).  0 = the
+    /// rejection surfaces as an error on the first hit.
+    std::size_t queue_full_retries = 0;
+    /// Base backoff between queue_full retries; attempt k sleeps k times
+    /// this long (linear backoff).
+    std::size_t retry_backoff_ms = 50;
+};
+
 class SynthClient {
 public:
     /// Connects to a kinetd instance; retries for up to ~2 s to absorb the
     /// race against a server that is still binding its port.
-    [[nodiscard]] static SynthClient connect(const std::string& host, std::uint16_t port);
+    [[nodiscard]] static SynthClient connect(const std::string& host, std::uint16_t port,
+                                             const ClientOptions& options = {});
 
     /// Sends one request and reads the framed response; throws kinet::Error
-    /// on ERR responses and transport failures.
+    /// on ERR responses and transport failures.  `ERR queue_full` responses
+    /// are retried per ClientOptions before surfacing.
     Response rpc(const Request& request);
 
     /// Liveness probe.
@@ -100,9 +122,14 @@ public:
     void quit();
 
 private:
-    explicit SynthClient(TcpStream stream) : stream_(std::move(stream)) {}
+    SynthClient(TcpStream stream, ClientOptions options)
+        : stream_(std::move(stream)), options_(options) {}
+
+    /// rpc() minus the queue_full retry loop.
+    Response rpc_once(const Request& request);
 
     TcpStream stream_;
+    ClientOptions options_;
 };
 
 /// Parses a key=value-lines payload (TRAIN/VALIDATE/STATS responses).

@@ -1,0 +1,545 @@
+#include "src/service/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/common/check.hpp"
+
+namespace kinet::service {
+namespace {
+
+/// epoll user-data tags for the two non-connection fds.
+constexpr std::uint64_t kListenerTag = 0;
+constexpr std::uint64_t kWakeTag = ~0ULL;
+
+/// Compaction threshold for consumed buffer prefixes.
+constexpr std::size_t kCompactBytes = 64 * 1024;
+
+std::string err_frame(std::string message) {
+    Response r;
+    r.ok = false;
+    r.error = std::move(message);
+    return format_response(r);
+}
+
+}  // namespace
+
+EventLoop::EventLoop(EventLoopOptions options, EventLoopHandlers handlers, Metrics& metrics)
+    : options_(options), handlers_(std::move(handlers)), metrics_(metrics) {
+    KINET_CHECK(handlers_.execute != nullptr, "EventLoop: execute handler is required");
+    KINET_CHECK(handlers_.is_fast != nullptr, "EventLoop: is_fast handler is required");
+    KINET_CHECK(handlers_.open_stream != nullptr, "EventLoop: open_stream handler is required");
+    KINET_CHECK(options_.max_connections >= 1, "EventLoop: max_connections must be >= 1");
+    KINET_CHECK(options_.queue_depth >= 1, "EventLoop: queue_depth must be >= 1");
+    KINET_CHECK(options_.write_low_water <= options_.write_high_water,
+                "EventLoop: write_low_water must not exceed write_high_water");
+}
+
+EventLoop::~EventLoop() { stop(); }
+
+void EventLoop::start() {
+    KINET_CHECK(!running_.load(), "EventLoop::start: already running");
+    listener_ = TcpListener::bind_loopback(options_.port);
+    listener_.set_nonblocking(true);
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+        throw Error(std::string("event_loop: epoll_create1: ") + std::strerror(errno));
+    }
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd_ < 0) {
+        const int saved = errno;
+        ::close(epoll_fd_);
+        epoll_fd_ = -1;
+        throw Error(std::string("event_loop: eventfd: ") + std::strerror(saved));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerTag;
+    KINET_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev) == 0,
+                "event_loop: epoll_ctl(listener)");
+    ev.data.u64 = kWakeTag;
+    KINET_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
+                "event_loop: epoll_ctl(eventfd)");
+
+    workers_stop_ = false;
+    const std::size_t n_workers = options_.workers == 0 ? 1 : options_.workers;
+    workers_.reserve(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i) {
+        workers_.emplace_back([this] { worker_main(); });
+    }
+    stopping_.store(false);
+    running_.store(true);
+    loop_thread_ = std::thread([this] { loop_main(); });
+}
+
+void EventLoop::stop() {
+    if (!running_.exchange(false)) {
+        return;
+    }
+    stopping_.store(true);
+    wake_loop();
+    if (loop_thread_.joinable()) {
+        loop_thread_.join();
+    }
+    {
+        const std::lock_guard<std::mutex> lock(tasks_mu_);
+        workers_stop_ = true;
+        tasks_.clear();  // queued work is for connections that are going away
+        metrics_.queue_depth.store(0, std::memory_order_relaxed);
+    }
+    tasks_cv_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+    workers_.clear();
+    // Gauges are decremented at reap time, which closing-but-unreaped
+    // connections never reached — every entry still in the map counts.
+    for (auto& [id, conn] : conns_) {
+        metrics_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+        if (conn->producer != nullptr) {
+            metrics_.streams_active.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
+    conns_.clear();
+    dead_.clear();
+    {
+        const std::lock_guard<std::mutex> lock(done_mu_);
+        done_.clear();
+    }
+    if (epoll_fd_ >= 0) {
+        ::close(epoll_fd_);
+        epoll_fd_ = -1;
+    }
+    if (wake_fd_ >= 0) {
+        ::close(wake_fd_);
+        wake_fd_ = -1;
+    }
+    listener_ = TcpListener();
+}
+
+void EventLoop::loop_main() {
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    auto last_tick = std::chrono::steady_clock::now();
+    while (!stopping_.load()) {
+        const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 500);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            break;  // epoll fd gone — only happens during teardown
+        }
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t tag = events[i].data.u64;
+            if (tag == kListenerTag) {
+                handle_accepts();
+                continue;
+            }
+            if (tag == kWakeTag) {
+                std::uint64_t token = 0;
+                while (::read(wake_fd_, &token, sizeof(token)) > 0) {
+                }
+                continue;
+            }
+            // The same wait batch may carry events for a connection an
+            // earlier event destroyed — re-resolve by id for each flag.
+            const std::uint32_t flags = events[i].events;
+            if ((flags & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+                if (const auto it = conns_.find(tag); it != conns_.end()) {
+                    handle_readable(*it->second);
+                }
+            }
+            if ((flags & EPOLLOUT) != 0) {
+                if (const auto it = conns_.find(tag); it != conns_.end()) {
+                    handle_writable(*it->second);
+                }
+            }
+        }
+        drain_completions();
+        reap_dead_connections();
+        const auto now = std::chrono::steady_clock::now();
+        if (handlers_.on_tick != nullptr && now - last_tick >= std::chrono::seconds(1)) {
+            last_tick = now;
+            handlers_.on_tick();
+        }
+    }
+}
+
+void EventLoop::worker_main() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(tasks_mu_);
+            tasks_cv_.wait(lock, [this] { return workers_stop_ || !tasks_.empty(); });
+            if (workers_stop_) {
+                return;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+            metrics_.queue_depth.store(static_cast<std::int64_t>(tasks_.size()),
+                                       std::memory_order_relaxed);
+        }
+        task();
+    }
+}
+
+void EventLoop::handle_accepts() {
+    for (;;) {
+        auto stream = listener_.try_accept();
+        if (!stream.has_value()) {
+            return;
+        }
+        if (conns_.size() >= options_.max_connections) {
+            metrics_.connections_refused.fetch_add(1, std::memory_order_relaxed);
+            try {
+                // Best-effort courtesy: tell the client *why* before closing.
+                // The socket is fresh, so the few bytes almost always fit.
+                (void)stream->write_some(
+                    err_frame(queue_full_response("connection limit reached").error));
+            } catch (const Error&) {
+            }
+            continue;  // stream destructor closes the fd
+        }
+        const std::uint64_t id = next_conn_id_++;
+        auto conn = std::make_unique<Connection>(id, std::move(*stream));
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = id;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->stream.fd(), &ev) != 0) {
+            continue;  // out of fds or similar; drop the connection
+        }
+        conns_.emplace(id, std::move(conn));
+        metrics_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+        const auto open = metrics_.connections_open.fetch_add(1, std::memory_order_relaxed) + 1;
+        metrics_.note_peak(open);
+    }
+}
+
+void EventLoop::handle_readable(Connection& conn) {
+    if (conn.closing) {
+        return;
+    }
+    // Note: called even with EPOLLIN interest off — EPOLLERR/EPOLLHUP are
+    // delivered unconditionally, and the read is how we learn of them.
+    bool open = true;
+    try {
+        open = conn.stream.read_available(conn.rdbuf);
+    } catch (const Error&) {
+        destroy_connection(conn);  // reset / hard error
+        return;
+    }
+    if (!open) {
+        conn.peer_eof = true;
+    }
+    process_input(conn);
+}
+
+void EventLoop::handle_writable(Connection& conn) {
+    if (conn.closing) {
+        return;
+    }
+    flush_writes(conn);
+}
+
+void EventLoop::process_input(Connection& conn) {
+    while (!conn.closing && !conn.inflight && conn.producer == nullptr &&
+           !conn.close_after_flush) {
+        const std::size_t nl = conn.rdbuf.find('\n', conn.rdpos);
+        if (nl == std::string::npos) {
+            if (conn.read_backlog() > options_.max_line_bytes) {
+                queue_output(conn, err_frame("protocol: request line exceeds " +
+                                             std::to_string(options_.max_line_bytes) +
+                                             " bytes"));
+                conn.close_after_flush = true;
+            }
+            break;
+        }
+        std::string line = conn.rdbuf.substr(conn.rdpos, nl - conn.rdpos);
+        conn.rdpos = nl + 1;
+        if (conn.rdpos == conn.rdbuf.size()) {
+            conn.rdbuf.clear();
+            conn.rdpos = 0;
+        } else if (conn.rdpos > kCompactBytes) {
+            conn.rdbuf.erase(0, conn.rdpos);
+            conn.rdpos = 0;
+        }
+
+        Request request;
+        try {
+            request = parse_request(line);
+        } catch (const Error& e) {
+            queue_output(conn, err_frame(e.what()));
+            continue;
+        }
+        if (request.op == Op::quit) {
+            queue_output(conn, format_response(Response{}));
+            conn.close_after_flush = true;
+            break;
+        }
+        dispatch_request(conn, request);
+    }
+    if (conn.closing) {
+        return;
+    }
+    // Read backpressure: a pipelining client cannot grow the input buffer
+    // without bound while a stream or slow request blocks processing.
+    const bool want_read = conn.read_backlog() <= options_.max_line_bytes && !conn.peer_eof;
+    if (want_read != conn.want_read) {
+        conn.want_read = want_read;
+        update_interest(conn);
+    }
+    if (conn.peer_eof && !conn.inflight && conn.producer == nullptr) {
+        // Nothing left that could produce output; drain and go.
+        conn.close_after_flush = true;
+        flush_writes(conn);
+    }
+}
+
+void EventLoop::dispatch_request(Connection& conn, const Request& request) {
+    // Streaming requests are recognised (and their cursors opened) inline:
+    // everything that can fail from a bad request fails before the first
+    // frame, as an ordinary ERR response.
+    std::unique_ptr<StreamProducer> producer;
+    try {
+        producer = handlers_.open_stream(request);
+    } catch (const std::exception& e) {
+        queue_output(conn, err_frame(e.what()));
+        return;
+    }
+    if (producer != nullptr) {
+        conn.producer = std::move(producer);
+        metrics_.streams_opened.fetch_add(1, std::memory_order_relaxed);
+        metrics_.streams_active.fetch_add(1, std::memory_order_relaxed);
+        queue_output(conn, "OK STREAM\n");
+        if (!conn.closing) {
+            schedule_stream_step(conn);
+        }
+        return;
+    }
+    if (handlers_.is_fast(request)) {
+        // Cheap enough to answer from the loop thread; bypasses the queue
+        // so PING/STATS stay responsive under saturation.
+        queue_output(conn, handlers_.execute(request));
+        return;
+    }
+    conn.inflight = true;
+    const bool queued = try_enqueue_task([this, id = conn.id, req = request] {
+        std::string bytes;
+        try {
+            bytes = handlers_.execute(req);
+        } catch (...) {
+            bytes = err_frame("internal error: request handler aborted");
+        }
+        push_completion(Completion{id, std::move(bytes), false, false});
+    });
+    if (!queued) {
+        conn.inflight = false;
+        metrics_.queue_full_rejections.fetch_add(1, std::memory_order_relaxed);
+        queue_output(conn, format_response(queue_full_response(
+                               "request queue at capacity (" +
+                               std::to_string(options_.queue_depth) + "); retry")));
+    }
+}
+
+void EventLoop::queue_output(Connection& conn, std::string_view bytes) {
+    if (conn.closing) {
+        return;
+    }
+    conn.wrbuf.append(bytes);
+    flush_writes(conn);
+}
+
+void EventLoop::flush_writes(Connection& conn) {
+    if (conn.closing) {
+        return;
+    }
+    while (conn.write_backlog() > 0) {
+        std::size_t n = 0;
+        try {
+            n = conn.stream.write_some(
+                std::string_view(conn.wrbuf).substr(conn.wrpos));
+        } catch (const Error&) {
+            destroy_connection(conn);  // EPIPE / reset: the client is gone
+            return;
+        }
+        if (n == 0) {
+            break;  // kernel buffer full; EPOLLOUT will call us back
+        }
+        conn.wrpos += n;
+        metrics_.bytes_out.fetch_add(n, std::memory_order_relaxed);
+    }
+    if (conn.write_backlog() == 0) {
+        conn.wrbuf.clear();
+        conn.wrpos = 0;
+    } else if (conn.wrpos > kCompactBytes) {
+        conn.wrbuf.erase(0, conn.wrpos);
+        conn.wrpos = 0;
+    }
+    const bool want_write = conn.write_backlog() > 0;
+    if (want_write != conn.want_write) {
+        conn.want_write = want_write;
+        update_interest(conn);
+    }
+    if (conn.suspended && conn.producer != nullptr && !conn.inflight &&
+        conn.write_backlog() <= options_.write_low_water) {
+        conn.suspended = false;
+        schedule_stream_step(conn);
+    }
+    if (conn.close_after_flush && conn.write_backlog() == 0 && !conn.inflight) {
+        destroy_connection(conn);
+    }
+}
+
+void EventLoop::schedule_stream_step(Connection& conn) {
+    conn.inflight = true;
+    // The raw producer pointer is safe: producers are destroyed only on the
+    // loop thread, only after this step's completion has been consumed
+    // (closing connections are not reaped while a task is inflight).
+    enqueue_task_unbounded([this, id = conn.id, producer = conn.producer.get()] {
+        std::string frame;
+        bool more = false;
+        try {
+            more = producer->next_frame(frame);
+        } catch (...) {
+            frame = "ERR internal error: stream aborted\n";
+            more = false;
+        }
+        push_completion(Completion{id, std::move(frame), true, !more});
+    });
+}
+
+void EventLoop::drain_completions() {
+    std::vector<Completion> batch;
+    {
+        const std::lock_guard<std::mutex> lock(done_mu_);
+        batch.swap(done_);
+    }
+    for (const auto& done : batch) {
+        apply_completion(done);
+    }
+}
+
+void EventLoop::apply_completion(const Completion& done) {
+    const auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) {
+        return;  // connection fully torn down already (stop() path)
+    }
+    Connection& conn = *it->second;
+    conn.inflight = false;
+    if (conn.closing) {
+        destroy_connection(conn);
+        return;
+    }
+    if (done.stream_step) {
+        if (done.stream_final) {
+            conn.producer.reset();
+            conn.suspended = false;
+            metrics_.streams_active.fetch_sub(1, std::memory_order_relaxed);
+        }
+        queue_output(conn, done.bytes);
+        if (conn.closing) {
+            return;
+        }
+        if (conn.producer != nullptr) {
+            if (conn.write_backlog() > options_.write_high_water) {
+                // The client is not draining: park the generator.  No
+                // thread is held; flush_writes resumes us below low water.
+                conn.suspended = true;
+                metrics_.stream_suspensions.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                schedule_stream_step(conn);
+            }
+            return;
+        }
+    } else {
+        queue_output(conn, done.bytes);
+        if (conn.closing) {
+            return;
+        }
+    }
+    // The turn is over — pipelined requests may already be buffered.
+    process_input(conn);
+}
+
+void EventLoop::destroy_connection(Connection& conn) {
+    if (!conn.closing) {
+        conn.closing = true;
+        (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.stream.fd(), nullptr);
+        conn.stream.shutdown();
+    }
+    // The object is erased at the loop's reap point, never here: stack
+    // frames above us may still hold the reference, and an inflight worker
+    // may still post a completion for this id.
+    if (!conn.inflight) {
+        dead_.push_back(conn.id);
+    }
+}
+
+void EventLoop::reap_dead_connections() {
+    for (const std::uint64_t id : dead_) {
+        const auto it = conns_.find(id);
+        if (it == conns_.end() || it->second->inflight) {
+            continue;  // already reaped, or resurrected flag mismatch
+        }
+        metrics_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+        if (it->second->producer != nullptr) {
+            metrics_.streams_active.fetch_sub(1, std::memory_order_relaxed);
+        }
+        conns_.erase(it);
+    }
+    dead_.clear();
+}
+
+void EventLoop::update_interest(Connection& conn) {
+    epoll_event ev{};
+    ev.events = (conn.want_read ? EPOLLIN : 0U) | (conn.want_write ? EPOLLOUT : 0U);
+    ev.data.u64 = conn.id;
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.stream.fd(), &ev);
+}
+
+bool EventLoop::try_enqueue_task(std::function<void()> task) {
+    {
+        const std::lock_guard<std::mutex> lock(tasks_mu_);
+        if (tasks_.size() >= options_.queue_depth) {
+            return false;
+        }
+        tasks_.push_back(std::move(task));
+        metrics_.queue_depth.store(static_cast<std::int64_t>(tasks_.size()),
+                                   std::memory_order_relaxed);
+    }
+    tasks_cv_.notify_one();
+    return true;
+}
+
+void EventLoop::enqueue_task_unbounded(std::function<void()> task) {
+    {
+        const std::lock_guard<std::mutex> lock(tasks_mu_);
+        tasks_.push_back(std::move(task));
+        metrics_.queue_depth.store(static_cast<std::int64_t>(tasks_.size()),
+                                   std::memory_order_relaxed);
+    }
+    tasks_cv_.notify_one();
+}
+
+void EventLoop::push_completion(Completion done) {
+    {
+        const std::lock_guard<std::mutex> lock(done_mu_);
+        done_.push_back(std::move(done));
+    }
+    wake_loop();
+}
+
+void EventLoop::wake_loop() {
+    if (wake_fd_ >= 0) {
+        const std::uint64_t one = 1;
+        (void)!::write(wake_fd_, &one, sizeof(one));
+    }
+}
+
+}  // namespace kinet::service

@@ -1,0 +1,202 @@
+// Event-driven server core: one epoll loop multiplexing every connection.
+//
+// The loop thread owns all sockets — non-blocking reads into per-connection
+// buffers, request framing, and write flushing with EPOLLOUT-driven
+// backpressure.  It never computes: anything heavier than parsing runs on a
+// bounded worker pool and posts its bytes back through a completion queue +
+// eventfd wakeup, so total thread count is workers + 1 regardless of how
+// many thousands of connections are open.  Streaming responses are
+// resumable producers: the loop schedules one next_frame() at a time and
+// simply stops scheduling while the connection's write buffer is above the
+// high watermark — a stalled client suspends its own generator without
+// holding any thread — resuming when the buffer drains below the low
+// watermark.  Admission control is two-level: a connection cap (excess
+// accepts get a best-effort `ERR queue_full` and close) and a bounded
+// request queue (excess requests answer `ERR queue_full` instead of
+// queueing without bound).
+#ifndef KINETGAN_SERVICE_EVENT_LOOP_H
+#define KINETGAN_SERVICE_EVENT_LOOP_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/service/metrics.hpp"
+#include "src/service/protocol.hpp"
+#include "src/service/socket.hpp"
+
+namespace kinet::service {
+
+struct EventLoopOptions {
+    /// Listen port on 127.0.0.1; 0 picks an ephemeral port.
+    std::uint16_t port = 0;
+    /// Open-connection cap; accepts beyond it are refused with queue_full.
+    std::size_t max_connections = 4096;
+    /// Bound on requests queued for the worker pool (running requests
+    /// excluded); past it, requests answer `ERR queue_full` immediately.
+    std::size_t queue_depth = 256;
+    /// Worker threads executing non-fast requests and stream steps.
+    std::size_t workers = 4;
+    /// Write-buffer backlog that suspends an active stream producer...
+    std::size_t write_high_water = 1 << 20;
+    /// ...and the drain level that resumes it.
+    std::size_t write_low_water = 1 << 18;
+    /// Longest accepted request line; beyond it the connection gets an ERR
+    /// and is closed (a line that never ends is not a client worth keeping).
+    std::size_t max_line_bytes = 1 << 20;
+};
+
+/// A resumable streaming response.  The loop requests one frame at a time
+/// (on a worker thread, never concurrently with itself) and writes it out;
+/// between calls the producer holds no thread, which is what makes a
+/// stalled stream free to suspend.  Returning false marks `out` as the
+/// final frame (END trailer or mid-stream ERR) and destroys the producer.
+class StreamProducer {
+public:
+    virtual ~StreamProducer() = default;
+    virtual bool next_frame(std::string& out) = 0;
+};
+
+/// The protocol brain the loop delegates to (all callbacks required except
+/// on_tick).  The loop itself only knows framing, QUIT, and admission.
+struct EventLoopHandlers {
+    /// Executes one request to a full response frame (status line +
+    /// payload).  Runs on a worker thread; must not throw.
+    std::function<std::string(const Request&)> execute;
+    /// True for ops cheap enough to execute() inline on the loop thread,
+    /// bypassing the queue (liveness and monitoring stay responsive even
+    /// when the queue is saturated).
+    std::function<bool(const Request&)> is_fast;
+    /// Returns a producer if the request selects a streaming response,
+    /// nullptr for ordinary requests.  Runs on the loop thread and must be
+    /// cheap (validate + open a cursor); throwing kinet::Error turns into
+    /// an ordinary ERR response.
+    std::function<std::unique_ptr<StreamProducer>(const Request&)> open_stream;
+    /// Optional housekeeping invoked on the loop thread roughly once per
+    /// second (registry TTL sweeps).
+    std::function<void()> on_tick;
+};
+
+class EventLoop {
+public:
+    EventLoop(EventLoopOptions options, EventLoopHandlers handlers, Metrics& metrics);
+    ~EventLoop();
+    EventLoop(const EventLoop&) = delete;
+    EventLoop& operator=(const EventLoop&) = delete;
+
+    /// Binds the listener, spawns the workers and the loop thread.
+    void start();
+    /// Joins the loop and the workers and closes every connection.
+    /// Idempotent; start() afterwards restores full service.
+    void stop();
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+    [[nodiscard]] bool running() const noexcept { return running_.load(); }
+
+private:
+    struct Connection {
+        std::uint64_t id = 0;
+        TcpStream stream;
+        std::string rdbuf;
+        std::size_t rdpos = 0;
+        std::string wrbuf;
+        std::size_t wrpos = 0;
+        std::unique_ptr<StreamProducer> producer;
+        bool inflight = false;          // a worker owns this connection's turn
+        bool suspended = false;         // producer parked on write backpressure
+        bool close_after_flush = false;  // QUIT acknowledged / fatal ERR sent
+        /// Logically dead: no further I/O or dispatch.  The object stays in
+        /// the map (stack frames may still hold references, and an inflight
+        /// worker may still post a completion) until the loop reaps it at
+        /// the end of the iteration.
+        bool closing = false;
+        bool peer_eof = false;
+        bool want_write = false;        // EPOLLOUT interest currently armed
+        bool want_read = true;          // EPOLLIN interest (read backpressure)
+
+        explicit Connection(std::uint64_t cid, TcpStream s)
+            : id(cid), stream(std::move(s)) {}
+        [[nodiscard]] std::size_t write_backlog() const noexcept {
+            return wrbuf.size() - wrpos;
+        }
+        [[nodiscard]] std::size_t read_backlog() const noexcept {
+            return rdbuf.size() - rdpos;
+        }
+    };
+
+    /// Bytes a worker finished producing for one connection.
+    struct Completion {
+        std::uint64_t conn_id = 0;
+        std::string bytes;
+        bool stream_step = false;
+        bool stream_final = false;
+    };
+
+    void loop_main();
+    void worker_main();
+    void handle_accepts();
+    void handle_readable(Connection& conn);
+    void handle_writable(Connection& conn);
+    /// Parses and dispatches as many buffered requests as the connection's
+    /// state allows (stops at an active stream or inflight task).
+    void process_input(Connection& conn);
+    void dispatch_request(Connection& conn, const Request& request);
+    /// Appends bytes to the write buffer and flushes what the socket takes.
+    void queue_output(Connection& conn, std::string_view bytes);
+    /// Flushes the write buffer; manages EPOLLOUT interest, stream
+    /// resumption below the low watermark, and close-after-flush.
+    void flush_writes(Connection& conn);
+    void schedule_stream_step(Connection& conn);
+    void drain_completions();
+    void apply_completion(const Completion& done);
+    /// Marks the connection logically dead (deregisters it from epoll and
+    /// half-closes the socket); the object is erased later — at the reap
+    /// point of the loop iteration, and only once no task is inflight — so
+    /// references held by frames further up the stack stay valid.
+    void destroy_connection(Connection& conn);
+    /// Erases connections queued by destroy_connection (loop thread, called
+    /// when no Connection references are live on the stack).
+    void reap_dead_connections();
+    void update_interest(Connection& conn);
+    /// Enqueues a worker task if the queue has room; false == queue full.
+    bool try_enqueue_task(std::function<void()> task);
+    void enqueue_task_unbounded(std::function<void()> task);
+    void push_completion(Completion done);
+    void wake_loop();
+
+    EventLoopOptions options_;
+    EventLoopHandlers handlers_;
+    Metrics& metrics_;
+
+    TcpListener listener_;
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1;
+    std::thread loop_thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+    std::vector<std::uint64_t> dead_;  // closing connections awaiting erase
+    std::uint64_t next_conn_id_ = 1;
+
+    std::vector<std::thread> workers_;
+    std::mutex tasks_mu_;
+    std::condition_variable tasks_cv_;
+    std::deque<std::function<void()>> tasks_;
+    bool workers_stop_ = false;
+
+    std::mutex done_mu_;
+    std::vector<Completion> done_;
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_EVENT_LOOP_H

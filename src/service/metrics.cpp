@@ -1,0 +1,152 @@
+#include "src/service/metrics.hpp"
+
+#include <bit>
+
+#include "src/common/text.hpp"
+
+namespace kinet::service {
+namespace {
+
+/// Bucket index of a microsecond latency: floor(log2(us)), clamped.
+std::size_t bucket_of(std::uint64_t micros) noexcept {
+    if (micros == 0) {
+        return 0;
+    }
+    const auto b = static_cast<std::size_t>(std::bit_width(micros) - 1);
+    return b < LatencyHistogram::kBuckets ? b : LatencyHistogram::kBuckets - 1;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::uint64_t micros) noexcept {
+    buckets_[bucket_of(micros)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
+    Snapshot snap;
+    std::array<std::uint64_t, kBuckets> counts{};
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+        snap.count += counts[i];
+    }
+    snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+    if (snap.count == 0) {
+        return snap;
+    }
+    const auto quantile = [&](double q) -> std::uint64_t {
+        // Rank within the locally summed counts (count_ may be mid-update).
+        const auto rank = static_cast<std::uint64_t>(
+            q * static_cast<double>(snap.count - 1));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            seen += counts[i];
+            if (seen > rank) {
+                return i + 1 >= 64 ? ~0ULL : (1ULL << (i + 1)) - 1;  // bucket upper bound
+            }
+        }
+        return ~0ULL;
+    };
+    snap.p50_us = quantile(0.50);
+    snap.p90_us = quantile(0.90);
+    snap.p99_us = quantile(0.99);
+    return snap;
+}
+
+void WindowedRate::add(std::uint64_t amount, std::int64_t now_sec) noexcept {
+    Cell& cell = cells_[static_cast<std::size_t>(now_sec) % kWindow];
+    std::int64_t tagged = cell.sec.load(std::memory_order_relaxed);
+    if (tagged != now_sec) {
+        // First writer of this second recycles the cell; a racing add for
+        // the outgoing second may be dropped — accepted for a rate gauge.
+        if (cell.sec.compare_exchange_strong(tagged, now_sec, std::memory_order_relaxed)) {
+            cell.amount.store(0, std::memory_order_relaxed);
+        }
+    }
+    cell.amount.fetch_add(amount, std::memory_order_relaxed);
+}
+
+double WindowedRate::per_second(std::int64_t now_sec) const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+        const std::int64_t sec = cell.sec.load(std::memory_order_relaxed);
+        if (sec >= 0 && sec <= now_sec && now_sec - sec < static_cast<std::int64_t>(kWindow)) {
+            total += cell.amount.load(std::memory_order_relaxed);
+        }
+    }
+    const auto span = static_cast<double>(
+        std::min<std::int64_t>(static_cast<std::int64_t>(kWindow), now_sec + 1));
+    return span <= 0.0 ? 0.0 : static_cast<double>(total) / span;
+}
+
+Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {}
+
+void Metrics::record_op(Op op, std::uint64_t micros) noexcept {
+    op_latency_[static_cast<std::size_t>(op)].record(micros);
+    requests_handled.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::record_rows(std::uint64_t rows) noexcept {
+    rows_served.fetch_add(rows, std::memory_order_relaxed);
+    rows_rate_.add(rows, now_sec());
+}
+
+double Metrics::uptime_seconds() const noexcept {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(elapsed).count();
+}
+
+std::int64_t Metrics::now_sec() const noexcept {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration_cast<std::chrono::seconds>(elapsed).count();
+}
+
+void Metrics::note_peak(std::int64_t open) noexcept {
+    const auto value = open < 0 ? 0ULL : static_cast<std::uint64_t>(open);
+    std::uint64_t peak = connections_peak.load(std::memory_order_relaxed);
+    while (value > peak &&
+           !connections_peak.compare_exchange_weak(peak, value, std::memory_order_relaxed)) {
+    }
+}
+
+std::string Metrics::render() const {
+    std::string out;
+    const auto kv = [&out](const std::string& key, const std::string& value) {
+        out += key + "=" + value + "\n";
+    };
+    kv("uptime_seconds", text::format_double(uptime_seconds(), 1));
+    kv("connections", std::to_string(connections_open.load(std::memory_order_relaxed)));
+    kv("connections_peak",
+       std::to_string(connections_peak.load(std::memory_order_relaxed)));
+    kv("connections_accepted",
+       std::to_string(connections_accepted.load(std::memory_order_relaxed)));
+    kv("connections_refused",
+       std::to_string(connections_refused.load(std::memory_order_relaxed)));
+    kv("requests_handled", std::to_string(requests_handled.load(std::memory_order_relaxed)));
+    kv("queue_depth", std::to_string(queue_depth.load(std::memory_order_relaxed)));
+    kv("queue_full_rejections",
+       std::to_string(queue_full_rejections.load(std::memory_order_relaxed)));
+    kv("streams_opened", std::to_string(streams_opened.load(std::memory_order_relaxed)));
+    kv("streams_active", std::to_string(streams_active.load(std::memory_order_relaxed)));
+    kv("stream_suspensions",
+       std::to_string(stream_suspensions.load(std::memory_order_relaxed)));
+    kv("rows_served", std::to_string(rows_served.load(std::memory_order_relaxed)));
+    kv("rows_per_sec", text::format_double(rows_rate_.per_second(now_sec()), 1));
+    kv("bytes_out", std::to_string(bytes_out.load(std::memory_order_relaxed)));
+    for (std::size_t i = 0; i < kOpCount; ++i) {
+        const auto snap = op_latency_[i].snapshot();
+        if (snap.count == 0) {
+            continue;
+        }
+        out += "op_" + std::string(op_name(static_cast<Op>(i))) +
+               " count=" + std::to_string(snap.count) +
+               " mean_us=" + text::format_double(snap.mean_us(), 1) +
+               " p50_us=" + std::to_string(snap.p50_us) +
+               " p90_us=" + std::to_string(snap.p90_us) +
+               " p99_us=" + std::to_string(snap.p99_us) + "\n";
+    }
+    return out;
+}
+
+}  // namespace kinet::service

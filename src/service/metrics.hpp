@@ -1,0 +1,118 @@
+// Lock-cheap serving metrics for the event-driven server core.
+//
+// Every counter is a relaxed atomic and the latency histograms use
+// fixed power-of-two buckets, so recording from the event loop, the
+// request workers and the training executor never takes a lock and never
+// contends beyond a cache line.  Reads (the STATS op) walk the atomics and
+// render a point-in-time snapshot — approximate under concurrent writes,
+// which is exactly what a metrics surface is allowed to be.
+#ifndef KINETGAN_SERVICE_METRICS_H
+#define KINETGAN_SERVICE_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "src/service/protocol.hpp"
+
+namespace kinet::service {
+
+/// Log₂-bucketed latency histogram over microseconds: bucket i counts
+/// samples in [2^i, 2^(i+1)) µs, so 40 buckets span 1 µs to ~12 days.
+/// record() is two relaxed fetch_adds; quantiles come from a bucket walk
+/// and report the bucket's upper bound (≤ 2x overestimate, never under).
+class LatencyHistogram {
+public:
+    static constexpr std::size_t kBuckets = 40;
+
+    void record(std::uint64_t micros) noexcept;
+
+    struct Snapshot {
+        std::uint64_t count = 0;
+        std::uint64_t sum_us = 0;
+        std::uint64_t p50_us = 0;
+        std::uint64_t p90_us = 0;
+        std::uint64_t p99_us = 0;
+        [[nodiscard]] double mean_us() const noexcept {
+            return count == 0 ? 0.0 : static_cast<double>(sum_us) / static_cast<double>(count);
+        }
+    };
+    [[nodiscard]] Snapshot snapshot() const noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_us_{0};
+};
+
+/// Sliding-window rate counter: a ring of per-second cells tagged with
+/// their absolute second.  add() and per_second() are all-atomic and
+/// wait-free; cells being recycled across a second boundary can lose a
+/// handful of counts, an accepted property of a monitoring rate (the
+/// lifetime total lives in a separate counter).
+class WindowedRate {
+public:
+    static constexpr std::size_t kWindow = 16;  // seconds of history
+
+    void add(std::uint64_t amount, std::int64_t now_sec) noexcept;
+    /// Mean per-second rate over the window ending at now_sec (inclusive).
+    [[nodiscard]] double per_second(std::int64_t now_sec) const noexcept;
+
+private:
+    struct Cell {
+        std::atomic<std::int64_t> sec{-1};
+        std::atomic<std::uint64_t> amount{0};
+    };
+    std::array<Cell, kWindow> cells_{};
+};
+
+/// The daemon-wide metrics block rendered by the global STATS op.
+class Metrics {
+public:
+    Metrics();
+
+    /// Records one completed request of `op` taking `micros`.
+    void record_op(Op op, std::uint64_t micros) noexcept;
+    /// Records `rows` synthetic rows leaving the process (framed or
+    /// streamed) at the current wall-second.
+    void record_rows(std::uint64_t rows) noexcept;
+
+    /// Seconds since the metrics block was constructed (server start).
+    [[nodiscard]] double uptime_seconds() const noexcept;
+    /// Current absolute second on the metrics clock (for WindowedRate).
+    [[nodiscard]] std::int64_t now_sec() const noexcept;
+
+    /// Renders the kv block the global STATS response embeds: uptime,
+    /// connection/queue/stream gauges, rows/s, and one line per op that
+    /// has traffic (count, mean, p50/p90/p99).
+    [[nodiscard]] std::string render() const;
+
+    // -- gauges and counters (public on purpose: the event loop and the
+    // server mutate them directly; every field is atomic).
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_refused{0};
+    std::atomic<std::int64_t> connections_open{0};
+    std::atomic<std::uint64_t> connections_peak{0};
+    std::atomic<std::uint64_t> requests_handled{0};
+    std::atomic<std::uint64_t> queue_full_rejections{0};
+    std::atomic<std::int64_t> queue_depth{0};
+    std::atomic<std::uint64_t> streams_opened{0};
+    std::atomic<std::int64_t> streams_active{0};
+    std::atomic<std::uint64_t> stream_suspensions{0};
+    std::atomic<std::uint64_t> rows_served{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+
+    /// Raises connections_peak to at least `open` (monotonic max).
+    void note_peak(std::int64_t open) noexcept;
+
+private:
+    std::array<LatencyHistogram, kOpCount> op_latency_{};
+    WindowedRate rows_rate_{};
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_METRICS_H

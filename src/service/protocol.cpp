@@ -126,6 +126,23 @@ std::string format_response(const Response& response) {
     return "OK " + std::to_string(response.payload.size()) + "\n" + response.payload;
 }
 
+bool is_queue_full_message(std::string_view message) {
+    // Tolerate the client-side "server: " framing so callers can match on
+    // the exception text they actually see.
+    constexpr std::string_view kClientPrefix = "server: ";
+    if (message.substr(0, kClientPrefix.size()) == kClientPrefix) {
+        message.remove_prefix(kClientPrefix.size());
+    }
+    return message.substr(0, kQueueFullPrefix.size()) == kQueueFullPrefix;
+}
+
+Response queue_full_response(std::string_view detail) {
+    Response r;
+    r.ok = false;
+    r.error = std::string(kQueueFullPrefix) + ": " + std::string(detail);
+    return r;
+}
+
 std::string_view op_name(Op op) {
     for (const auto& spec : kOps) {
         if (spec.op == op) {

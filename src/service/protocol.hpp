@@ -10,6 +10,7 @@
 #ifndef KINETGAN_SERVICE_PROTOCOL_H
 #define KINETGAN_SERVICE_PROTOCOL_H
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -37,6 +38,15 @@ enum class Op {
     quit,      // close the connection after acknowledging
 };
 
+/// Number of protocol ops (for per-op metric arrays indexed by Op).
+inline constexpr std::size_t kOpCount = 12;
+
+/// Machine-readable prefix of admission-control rejections: a server at
+/// capacity answers `ERR queue_full: <detail>` (connection cap reached or
+/// the bounded request queue is full).  Clients match this prefix to tell
+/// "back off and retry" apart from genuine request errors.
+inline constexpr std::string_view kQueueFullPrefix = "queue_full";
+
 struct Request {
     Op op = Op::ping;
     std::string model;                        // empty where the op allows it
@@ -49,6 +59,13 @@ struct Response {
     std::string error;    // ERR message (ok == false)
     std::string payload;  // OK payload (ok == true)
 };
+
+/// True if an ERR message (server-side `Response::error` or the client's
+/// "server: "-prefixed rethrow) is an admission-control rejection.
+[[nodiscard]] bool is_queue_full_message(std::string_view message);
+
+/// Builds the canonical admission-control ERR response.
+[[nodiscard]] Response queue_full_response(std::string_view detail);
 
 /// Parses one request line (no trailing newline); throws kinet::Error with a
 /// protocol-level message on unknown ops or malformed arguments.

@@ -1,28 +1,85 @@
 #include "src/service/registry.hpp"
 
+#include <utility>
+#include <vector>
+
+#include "src/common/bytes.hpp"
 #include "src/common/check.hpp"
 
 namespace kinet::service {
+
+std::int64_t ModelRegistry::now_ms() const noexcept {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
 
 void ModelRegistry::put(const std::string& name, std::unique_ptr<core::KiNetGan> model) {
     KINET_CHECK(!name.empty(), "ModelRegistry::put: empty model name");
     KINET_CHECK(model != nullptr && model->is_fitted(),
                 "ModelRegistry::put: model must be fitted");
     auto entry = std::make_shared<ModelEntry>();
+    // Measure the serialized size once, while this thread exclusively owns
+    // the model — the same bytes SAVE would write, so the budget is
+    // accounted in real snapshot bytes rather than a heap estimate.
+    {
+        bytes::Writer writer;
+        model->save(writer);
+        entry->memory_bytes = writer.size();
+    }
     entry->model = std::move(model);
+    entry->last_access_ms.store(now_ms(), std::memory_order_relaxed);
     const std::unique_lock<std::shared_mutex> lock(mu_);
+    if (const auto it = models_.find(name); it != models_.end()) {
+        total_bytes_ -= it->second->memory_bytes;
+    }
+    total_bytes_ += entry->memory_bytes;
     models_[name] = std::move(entry);
+    evict_over_budget_locked(name);
+}
+
+void ModelRegistry::evict_over_budget_locked(const std::string& keep) {
+    while (budget_bytes_ > 0 && total_bytes_ > budget_bytes_ && models_.size() > 1) {
+        auto victim = models_.end();
+        std::int64_t oldest = 0;
+        for (auto it = models_.begin(); it != models_.end(); ++it) {
+            if (it->first == keep) {
+                continue;
+            }
+            const auto seen = it->second->last_access_ms.load(std::memory_order_relaxed);
+            if (victim == models_.end() || seen < oldest) {
+                victim = it;
+                oldest = seen;
+            }
+        }
+        if (victim == models_.end()) {
+            return;  // only `keep` is left; it is never the victim
+        }
+        total_bytes_ -= victim->second->memory_bytes;
+        models_.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 std::shared_ptr<ModelEntry> ModelRegistry::get(const std::string& name) const {
     const std::shared_lock<std::shared_mutex> lock(mu_);
     const auto it = models_.find(name);
-    return it == models_.end() ? nullptr : it->second;
+    if (it == models_.end()) {
+        return nullptr;
+    }
+    it->second->last_access_ms.store(now_ms(), std::memory_order_relaxed);
+    return it->second;
 }
 
 bool ModelRegistry::erase(const std::string& name) {
     const std::unique_lock<std::shared_mutex> lock(mu_);
-    return models_.erase(name) > 0;
+    const auto it = models_.find(name);
+    if (it == models_.end()) {
+        return false;
+    }
+    total_bytes_ -= it->second->memory_bytes;
+    models_.erase(it);
+    return true;
 }
 
 std::vector<std::string> ModelRegistry::names() const {
@@ -38,6 +95,38 @@ std::vector<std::string> ModelRegistry::names() const {
 std::size_t ModelRegistry::size() const {
     const std::shared_lock<std::shared_mutex> lock(mu_);
     return models_.size();
+}
+
+void ModelRegistry::set_limits(std::uint64_t budget_bytes, std::uint64_t ttl_ms) {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    budget_bytes_ = budget_bytes;
+    ttl_ms_ = ttl_ms;
+}
+
+std::size_t ModelRegistry::evict_expired() {
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    if (ttl_ms_ == 0) {
+        return 0;
+    }
+    const std::int64_t now = now_ms();
+    std::size_t dropped = 0;
+    for (auto it = models_.begin(); it != models_.end();) {
+        const auto seen = it->second->last_access_ms.load(std::memory_order_relaxed);
+        if (now - seen > static_cast<std::int64_t>(ttl_ms_)) {
+            total_bytes_ -= it->second->memory_bytes;
+            it = models_.erase(it);
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
+}
+
+std::uint64_t ModelRegistry::memory_bytes() const {
+    const std::shared_lock<std::shared_mutex> lock(mu_);
+    return total_bytes_;
 }
 
 }  // namespace kinet::service

@@ -8,10 +8,20 @@
 // number of SAMPLE/VALIDATE requests share one entry without locking; the
 // per-entry mutex only serialises the remaining whole-model operations
 // (SAVE's serialization, STATS' report reads).
+//
+// A memory budget and idle TTL keep a long-lived daemon's snapshot cache
+// bounded: each entry's serialized size is measured once at registration,
+// put() evicts least-recently-used entries while the total exceeds the
+// budget, and evict_expired() (driven by the server's housekeeping tick)
+// drops entries idle longer than the TTL.  Both limits default to off.
+// Eviction only unlinks the name — in-flight requests holding the entry's
+// shared_ptr (including suspended stream cursors) keep the model alive
+// until they finish.
 #ifndef KINETGAN_SERVICE_REGISTRY_H
 #define KINETGAN_SERVICE_REGISTRY_H
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,15 +41,25 @@ struct ModelEntry {
     std::mutex mu;
     std::atomic<std::uint64_t> requests{0};
     std::atomic<std::uint64_t> rows_served{0};
+    /// Serialized snapshot size, measured once at put() — the unit the
+    /// registry's memory budget is accounted in.
+    std::uint64_t memory_bytes = 0;
+    /// Milliseconds on the registry clock of the last get(); drives both
+    /// LRU ordering and TTL expiry.
+    std::atomic<std::int64_t> last_access_ms{0};
 };
 
 class ModelRegistry {
 public:
     /// Registers (or replaces) a model under `name`; exclusive-write.
+    /// While the configured budget is exceeded, least-recently-used other
+    /// entries are evicted (the newly registered model itself is never the
+    /// victim, even if it alone exceeds the budget).
     void put(const std::string& name, std::unique_ptr<core::KiNetGan> model);
 
-    /// Shared-read lookup; nullptr if absent.  The returned shared_ptr keeps
-    /// the entry alive even if it is concurrently replaced or erased.
+    /// Shared-read lookup; nullptr if absent.  Touches the entry's LRU/TTL
+    /// clock.  The returned shared_ptr keeps the entry alive even if it is
+    /// concurrently replaced, erased or evicted.
     [[nodiscard]] std::shared_ptr<ModelEntry> get(const std::string& name) const;
 
     /// Removes a model; returns false if absent.  Exclusive-write.
@@ -50,9 +70,37 @@ public:
 
     [[nodiscard]] std::size_t size() const;
 
+    /// Configures the cache bounds: `budget_bytes` caps the summed
+    /// serialized size (0 = unlimited), `ttl_ms` expires entries idle that
+    /// long (0 = never).  Applies from the next put()/evict_expired().
+    void set_limits(std::uint64_t budget_bytes, std::uint64_t ttl_ms);
+
+    /// Evicts entries idle past the TTL; returns how many were dropped.
+    /// No-op when the TTL is 0.
+    std::size_t evict_expired();
+
+    /// Summed serialized size of all registered models.
+    [[nodiscard]] std::uint64_t memory_bytes() const;
+
+    /// Lifetime count of budget/TTL evictions (not explicit DROPs).
+    [[nodiscard]] std::uint64_t evictions() const noexcept {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+
 private:
+    /// Milliseconds since registry construction (steady clock).
+    [[nodiscard]] std::int64_t now_ms() const noexcept;
+    /// Drops LRU entries while over budget; requires the exclusive lock.
+    /// `keep` is exempt (the entry just registered).
+    void evict_over_budget_locked(const std::string& keep);
+
     mutable std::shared_mutex mu_;
     std::map<std::string, std::shared_ptr<ModelEntry>> models_;
+    std::uint64_t budget_bytes_ = 0;
+    std::uint64_t ttl_ms_ = 0;
+    std::uint64_t total_bytes_ = 0;
+    std::atomic<std::uint64_t> evictions_{0};
+    std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
 };
 
 }  // namespace kinet::service

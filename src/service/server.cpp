@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <future>
 #include <utility>
 
 #include "src/common/check.hpp"
 #include "src/common/csv.hpp"
-#include "src/common/parallel.hpp"
+#include "src/common/stopwatch.hpp"
 #include "src/common/text.hpp"
 #include "src/data/split.hpp"
 #include "src/netsim/lab_simulator.hpp"
@@ -75,42 +74,97 @@ Response job_info_response(const JobInfo& info) {
     return r;
 }
 
+/// True iff the request is SAMPLE ... stream=1 (any non-"0" value).
+bool wants_stream(const Request& request) {
+    if (request.op != Op::sample) {
+        return false;
+    }
+    const auto it = request.kv.find("stream");
+    return it != request.kv.end() && it->second != "0";
+}
+
 }  // namespace
+
+/// Resumable streaming SAMPLE: wraps the model's pull cursor in the event
+/// loop's StreamProducer shape.  Each next_frame() emits one CHUNK frame
+/// (CSV; header row only in the first chunk), then the END trailer — or a
+/// newline-sanitised mid-stream ERR where the next frame would have been.
+/// Holding the ModelEntry shared_ptr keeps the model alive across
+/// suspensions even if it is concurrently dropped, replaced or evicted.
+class SynthServer::SampleStreamProducer : public StreamProducer {
+public:
+    SampleStreamProducer(std::shared_ptr<ModelEntry> entry,
+                         std::unique_ptr<core::KiNetGan::StreamCursor> cursor,
+                         Metrics& metrics)
+        : entry_(std::move(entry)), cursor_(std::move(cursor)), metrics_(metrics) {}
+
+    bool next_frame(std::string& out) override {
+        out.clear();
+        try {
+            const data::Table* chunk = cursor_->next();
+            if (chunk != nullptr) {
+                payload_.clear();
+                csv::serialize_append(chunk->to_csv(), /*include_header=*/chunks_ == 0,
+                                      payload_);
+                out = "CHUNK " + std::to_string(payload_.size()) + "\n";
+                out += payload_;
+                rows_ += chunk->rows();
+                ++chunks_;
+                return true;
+            }
+            out = "END rows=" + std::to_string(rows_) +
+                  " chunks=" + std::to_string(chunks_) + "\n";
+            entry_->requests.fetch_add(1, std::memory_order_relaxed);
+            entry_->rows_served.fetch_add(rows_, std::memory_order_relaxed);
+            metrics_.record_rows(rows_);
+            metrics_.record_op(Op::sample,
+                               static_cast<std::uint64_t>(watch_.millis() * 1000.0));
+            return false;
+        } catch (const std::exception& e) {
+            std::string message = e.what();
+            std::replace(message.begin(), message.end(), '\n', ' ');
+            out = "ERR " + message + "\n";
+            return false;
+        }
+    }
+
+private:
+    std::shared_ptr<ModelEntry> entry_;
+    std::unique_ptr<core::KiNetGan::StreamCursor> cursor_;
+    Metrics& metrics_;
+    std::uint64_t rows_ = 0;
+    std::uint64_t chunks_ = 0;
+    std::string payload_;  // reused CSV scratch across frames
+    Stopwatch watch_;
+};
 
 SynthServer::SynthServer(ServerOptions options)
     : options_(std::move(options)),
       kg_lab_(kg::NetworkKg::build_lab()),
       kg_unsw_(kg::NetworkKg::build_unsw()),
-      jobs_(options_.train_workers) {}
+      jobs_(options_.train_workers) {
+    registry_.set_limits(options_.model_cache_bytes, options_.model_ttl_ms);
+    EventLoopOptions lo;
+    lo.port = options_.port;
+    lo.max_connections = options_.max_connections;
+    lo.queue_depth = options_.queue_depth;
+    lo.workers = options_.request_workers;
+    EventLoopHandlers handlers;
+    handlers.execute = [this](const Request& request) { return execute_framed(request); };
+    handlers.is_fast = [](const Request& request) { return is_fast_op(request); };
+    handlers.open_stream = [this](const Request& request) {
+        return open_stream_producer(request);
+    };
+    handlers.on_tick = [this] { registry_.evict_expired(); };
+    loop_ = std::make_unique<EventLoop>(lo, std::move(handlers), metrics_);
+}
 
 SynthServer::~SynthServer() { stop(); }
 
-void SynthServer::start() {
-    KINET_CHECK(!running_.load(), "SynthServer::start: already running");
-    listener_ = TcpListener::bind_loopback(options_.port);
-    running_.store(true);
-    acceptor_ = std::thread([this] { accept_loop(); });
-}
+void SynthServer::start() { loop_->start(); }
 
 void SynthServer::stop() {
-    if (running_.exchange(false)) {
-        listener_.shutdown();
-        if (acceptor_.joinable()) {
-            acceptor_.join();
-        }
-        std::unordered_map<std::uint64_t, std::thread> threads;
-        {
-            const std::lock_guard<std::mutex> lock(conns_mu_);
-            for (auto& [id, stream] : live_conns_) {
-                stream->shutdown();  // unblocks the connection thread's read
-            }
-            threads.swap(conn_threads_);
-            finished_conns_.clear();
-        }
-        for (auto& [id, t] : threads) {
-            t.join();
-        }
-    }
+    loop_->stop();
     // Cancel queued + running training jobs; running fits stop at their
     // next epoch boundary.  The executor threads themselves stay up (the
     // JobManager destructor joins them), so a stop()/start() restart keeps
@@ -118,102 +172,46 @@ void SynthServer::stop() {
     jobs_.cancel_all();
 }
 
-void SynthServer::reap_finished_connections() {
-    const std::lock_guard<std::mutex> lock(conns_mu_);
-    for (const std::uint64_t id : finished_conns_) {
-        const auto it = conn_threads_.find(id);
-        if (it != conn_threads_.end()) {
-            it->second.join();  // serve loop already returned: joins instantly
-            conn_threads_.erase(it);
-        }
-    }
-    finished_conns_.clear();
+std::uint16_t SynthServer::port() const noexcept { return loop_->port(); }
+
+bool SynthServer::running() const noexcept { return loop_->running(); }
+
+std::string SynthServer::execute_framed(const Request& request) {
+    const Stopwatch watch;
+    const Response response = handle(request);
+    metrics_.record_op(request.op, static_cast<std::uint64_t>(watch.millis() * 1000.0));
+    return format_response(response);
 }
 
-std::uint16_t SynthServer::port() const noexcept { return listener_.port(); }
-
-void SynthServer::accept_loop() {
-    while (running_.load()) {
-        auto stream = listener_.accept();
-        if (!stream.has_value()) {
-            break;  // listener shut down
-        }
-        reap_finished_connections();
-        // Registration in live_conns_ happens here, under the same lock as
-        // the running_ check — so stop() either sees the connection (and
-        // shuts its socket down) or the connection is never spawned.  The
-        // stream lives on the heap so the registered pointer stays stable
-        // when ownership moves into the thread.
-        auto owned = std::make_unique<TcpStream>(std::move(*stream));
-        const std::lock_guard<std::mutex> lock(conns_mu_);
-        if (!running_.load()) {
-            break;  // raced with stop(): drop the connection
-        }
-        const std::uint64_t id = next_conn_id_++;
-        live_conns_[id] = owned.get();
-        conn_threads_.emplace(
-            id, std::thread([this, id, s = std::move(owned)]() mutable {
-                serve_connection(id, *s);
-            }));
+bool SynthServer::is_fast_op(const Request& request) {
+    switch (request.op) {
+    case Op::ping:
+    case Op::poll:
+    case Op::cancel:
+    case Op::jobs:
+    case Op::drop:
+    case Op::quit:
+        return true;
+    case Op::stats:
+        // The global form reads atomics; the per-model form takes the
+        // entry mutex (contended by SAVE/TRAIN) and belongs on a worker.
+        return request.model.empty();
+    default:
+        return false;
     }
 }
 
-void SynthServer::serve_connection(std::uint64_t id, TcpStream& stream) {
-    try {
-        for (;;) {
-            const auto line = stream.read_line();
-            if (!line.has_value()) {
-                break;  // client disconnected
-            }
-            Request request;
-            try {
-                request = parse_request(*line);
-            } catch (const Error& e) {
-                stream.write_all(format_response(error_response(e.what())));
-                continue;
-            }
-            if (request.op == Op::quit) {
-                stream.write_all(format_response(Response{}));
-                break;
-            }
-            const auto stream_kv = request.kv.find("stream");
-            if (request.op == Op::sample && stream_kv != request.kv.end() &&
-                stream_kv->second != "0") {
-                // Streaming responses interleave generation and socket
-                // writes, so they run here on the connection thread; the
-                // GEMM kernels underneath still fan out on the shared pool,
-                // and the inference path is const — concurrent streams on
-                // one model never contend.
-                handle_sample_stream(request, stream);
-                continue;
-            }
-            // The connection thread only does I/O; the handler runs on the
-            // shared pool.  packaged_task guarantees the future is satisfied
-            // even if the handler exits by a non-std::exception throw that
-            // handle()'s catch does not cover — a bare promise would leave
-            // this thread waiting forever.  The task is shared with the
-            // worker closure because done.get() can unblock while the
-            // worker is still inside operator(); stack ownership here would
-            // destroy the task under the worker's feet.
-            auto task = std::make_shared<std::packaged_task<Response()>>(
-                [this, &request] { return handle(request); });
-            auto done = task->get_future();
-            ThreadPool::global().submit([task] { (*task)(); });
-            Response response;
-            try {
-                response = done.get();
-            } catch (...) {
-                response = error_response("internal error: request handler aborted");
-            }
-            stream.write_all(format_response(response));
-        }
-    } catch (const Error&) {
-        // Socket-level failure (peer reset, shutdown during stop()): the
-        // connection is over either way.
+std::unique_ptr<StreamProducer> SynthServer::open_stream_producer(const Request& request) {
+    if (!wants_stream(request)) {
+        return nullptr;
     }
-    const std::lock_guard<std::mutex> lock(conns_mu_);
-    live_conns_.erase(id);
-    finished_conns_.push_back(id);
+    // Everything that can fail from a bad request fails here, *before* the
+    // first frame — the event loop turns the throw into an ordinary ERR.
+    const SampleSpec spec = parse_sample_spec(request, /*streaming=*/true);
+    const auto entry = require_model(request.model);
+    auto cursor = entry->model->open_sample_cursor(spec.n, spec.seed, spec.chunk_rows,
+                                                   spec.cond_column, spec.cond_value);
+    return std::make_unique<SampleStreamProducer>(entry, std::move(cursor), metrics_);
 }
 
 Response SynthServer::handle(const Request& request) {
@@ -266,7 +264,7 @@ Response SynthServer::dispatch(const Request& request) {
     case Op::jobs:
         return handle_jobs();
     case Op::quit:
-        return Response{};  // transport-level; acknowledged by the connection
+        return Response{};  // transport-level; acknowledged by the event loop
     }
     return error_response("unhandled op");
 }
@@ -362,7 +360,7 @@ Response SynthServer::handle_train(const Request& request) {
 
     if (kv_u64(request, "async", 0) != 0) {
         // Queue the fit on the training executor and answer immediately;
-        // the connection (and its pool worker) is free for other requests.
+        // the connection (and its request worker) is free for other work.
         // On completion the job put()s the model into the registry — an
         // atomic swap, so in-flight SAMPLEs never see a half-trained model.
         const std::uint64_t id = jobs_.submit(
@@ -452,57 +450,8 @@ Response SynthServer::handle_sample(const Request& request) {
     }
     entry->requests.fetch_add(1, std::memory_order_relaxed);
     entry->rows_served.fetch_add(rows, std::memory_order_relaxed);
+    metrics_.record_rows(rows);
     return r;
-}
-
-void SynthServer::handle_sample_stream(const Request& request, TcpStream& stream) {
-    // Everything that can fail from a bad request fails *before* the first
-    // frame, as an ordinary ERR response.
-    SampleSpec spec;
-    std::shared_ptr<ModelEntry> entry;
-    try {
-        spec = parse_sample_spec(request, /*streaming=*/true);
-        entry = require_model(request.model);
-    } catch (const std::exception& e) {
-        stream.write_all(format_response(error_response(e.what())));
-        return;
-    }
-
-    // Frame sequence: "OK STREAM", then per chunk "CHUNK <bytes>" + that
-    // many payload bytes (CSV; header row only in the first chunk), then
-    // an "END rows=<n> chunks=<k>" trailer.  A mid-stream failure emits
-    // "ERR <msg>" where the next CHUNK/END would have been.
-    stream.write_all("OK STREAM\n");
-    std::uint64_t rows = 0;
-    std::uint64_t chunks = 0;
-    std::string payload;
-    bool socket_dead = false;
-    try {
-        run_sample_stream(*entry->model, spec, spec.chunk_rows, [&](const data::Table& chunk) {
-            payload.clear();
-            csv::serialize_append(chunk.to_csv(), /*include_header=*/chunks == 0, payload);
-            try {
-                stream.write_all("CHUNK " + std::to_string(payload.size()) + "\n");
-                stream.write_all(payload);
-            } catch (...) {
-                socket_dead = true;
-                throw;
-            }
-            rows += chunk.rows();
-            ++chunks;
-        });
-        stream.write_all("END rows=" + std::to_string(rows) +
-                         " chunks=" + std::to_string(chunks) + "\n");
-        entry->requests.fetch_add(1, std::memory_order_relaxed);
-        entry->rows_served.fetch_add(rows, std::memory_order_relaxed);
-    } catch (const std::exception& e) {
-        if (socket_dead) {
-            throw;  // connection is gone; let serve_connection wind down
-        }
-        std::string message = e.what();
-        std::replace(message.begin(), message.end(), '\n', ' ');
-        stream.write_all("ERR " + message + "\n");
-    }
 }
 
 Response SynthServer::handle_validate(const Request& request) {
@@ -553,6 +502,9 @@ Response SynthServer::handle_stats(const Request& request) {
     }
     r.payload += kv_line("models", std::to_string(registry_.size()));
     r.payload += kv_line("jobs", std::to_string(jobs_.size()));
+    r.payload += kv_line("model_cache_bytes", std::to_string(registry_.memory_bytes()));
+    r.payload += kv_line("model_cache_evictions", std::to_string(registry_.evictions()));
+    r.payload += metrics_.render();
     for (const auto& name : registry_.names()) {
         const auto entry = registry_.get(name);
         if (entry == nullptr) {

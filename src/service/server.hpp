@@ -2,28 +2,32 @@
 //
 // The paper's deployment story (Sec. I) has every site run a local KiNETGAN
 // and share only synthetic traffic; this server is that site-side component
-// as a long-lived concurrent process.  One lightweight thread per connection
-// does the blocking socket I/O; short request handling (sampling, validation)
-// executes on the process-wide common::parallel pool, while TRAIN jobs
-// submitted with async=1 run on a small dedicated training executor
-// (JobManager) — so SAMPLE latency is independent of how many fits are in
-// flight.  Per-request RNG seeding (SAMPLE ... seed=K) makes responses
+// as a long-lived concurrent process.  An epoll event loop (EventLoop) owns
+// every connection — non-blocking sockets, buffered framing, write
+// backpressure — so thread count is bounded by the worker pool, not the
+// connection count.  Cheap ops (PING, POLL, global STATS, ...) answer
+// inline on the loop; real work (TRAIN, SAMPLE, VALIDATE, LOAD/SAVE) runs
+// on the bounded request workers behind an admission-controlled queue that
+// answers `ERR queue_full` rather than queueing without bound.  Streaming
+// SAMPLEs run as resumable generator cursors: a client that stops reading
+// suspends its own stream without holding a thread.  TRAIN jobs submitted
+// with async=1 run on a small dedicated training executor (JobManager) —
+// so SAMPLE latency is independent of how many fits are in flight.
+// Per-request RNG seeding (SAMPLE ... seed=K) makes responses
 // deterministic functions of the request, independent of how concurrent
 // clients interleave.
 #ifndef KINETGAN_SERVICE_SERVER_H
 #define KINETGAN_SERVICE_SERVER_H
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <thread>
-#include <unordered_map>
-#include <vector>
+#include <string>
 
 #include "src/core/kinetgan.hpp"
 #include "src/kg/network_kg.hpp"
+#include "src/service/event_loop.hpp"
 #include "src/service/jobs.hpp"
+#include "src/service/metrics.hpp"
 #include "src/service/protocol.hpp"
 #include "src/service/registry.hpp"
 #include "src/service/socket.hpp"
@@ -46,6 +50,18 @@ struct ServerOptions {
     /// Same confinement for TRAIN source=csv:<path> dataset reads.  Empty
     /// disables CSV ingestion.
     std::string data_dir = ".";
+    /// Open-connection cap; accepts beyond it get `ERR queue_full`.
+    std::size_t max_connections = 4096;
+    /// Bound on requests queued for the workers; past it, requests answer
+    /// `ERR queue_full` instead of waiting.
+    std::size_t queue_depth = 256;
+    /// Worker threads executing non-fast requests and stream steps.
+    std::size_t request_workers = 4;
+    /// Registry memory budget over serialized model bytes (0 = unlimited);
+    /// put() evicts least-recently-used models past it.
+    std::uint64_t model_cache_bytes = 0;
+    /// Registry idle TTL in milliseconds (0 = never expire).
+    std::uint64_t model_ttl_ms = 0;
 };
 
 class SynthServer {
@@ -55,26 +71,26 @@ public:
     SynthServer(const SynthServer&) = delete;
     SynthServer& operator=(const SynthServer&) = delete;
 
-    /// Binds the listener and starts accepting connections.
+    /// Binds the listener and starts the event loop and request workers.
     void start();
-    /// Unblocks the acceptor, closes live connections and joins their
-    /// threads, and cancels in-flight training jobs (the training executor
-    /// itself stays up, so start() after stop() restores full service).
-    /// Idempotent; also invoked by the destructor, which then joins the
-    /// executor.
+    /// Stops the loop, closes live connections, joins the workers, and
+    /// cancels in-flight training jobs (the training executor itself stays
+    /// up, so start() after stop() restores full service).  Idempotent;
+    /// also invoked by the destructor, which then joins the executor.
     void stop();
 
     /// The bound port (valid after start()).
     [[nodiscard]] std::uint16_t port() const noexcept;
-    [[nodiscard]] bool running() const noexcept { return running_.load(); }
+    [[nodiscard]] bool running() const noexcept;
 
     /// Executes one request against the registry — the transport-independent
-    /// core, used directly by tests and by every connection thread.  Errors
-    /// come back as ERR responses, never as exceptions.
+    /// core, used directly by tests and by the event loop's handlers.
+    /// Errors come back as ERR responses, never as exceptions.
     [[nodiscard]] Response handle(const Request& request);
 
     [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
     [[nodiscard]] JobManager& jobs() noexcept { return jobs_; }
+    [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
 
 private:
     /// Everything a training run needs, resolved and validated *before* the
@@ -106,19 +122,20 @@ private:
         std::size_t chunk_rows = 0;  // streaming chunk bound
     };
 
-    void accept_loop();
-    /// Runs one connection's request loop; the stream is owned by the
-    /// connection thread and registered in live_conns_ by accept_loop.
-    void serve_connection(std::uint64_t id, TcpStream& stream);
-    void reap_finished_connections();
+    class SampleStreamProducer;
+
+    /// handle() plus per-op latency metrics — the loop's execute handler.
+    [[nodiscard]] std::string execute_framed(const Request& request);
+    /// True for ops the loop answers inline (PING, POLL, CANCEL, JOBS,
+    /// DROP, global STATS) — they bypass the request queue.
+    [[nodiscard]] static bool is_fast_op(const Request& request);
+    /// Returns a stream producer iff the request is SAMPLE ... stream=1
+    /// (validating spec and model up front); nullptr otherwise.
+    [[nodiscard]] std::unique_ptr<StreamProducer> open_stream_producer(const Request& request);
+
     [[nodiscard]] Response dispatch(const Request& request);
     [[nodiscard]] Response handle_train(const Request& request);
     [[nodiscard]] Response handle_sample(const Request& request);
-    /// SAMPLE ... stream=1: writes the chunked frame sequence directly to
-    /// the connection (rows go out as they are generated — the daemon never
-    /// holds more than one chunk), so `n` is not capped by kMaxSampleRows;
-    /// the per-chunk row bound is.  Runs on the connection thread.
-    void handle_sample_stream(const Request& request, TcpStream& stream);
     [[nodiscard]] SampleSpec parse_sample_spec(const Request& request, bool streaming) const;
     /// Drives the model's streaming sampler for `spec` (conditional or not).
     static void run_sample_stream(const core::KiNetGan& model, const SampleSpec& spec,
@@ -142,18 +159,8 @@ private:
     kg::NetworkKg kg_lab_;
     kg::NetworkKg kg_unsw_;
     JobManager jobs_;
-    TcpListener listener_;
-    std::thread acceptor_;
-    std::atomic<bool> running_{false};
-
-    std::mutex conns_mu_;
-    std::unordered_map<std::uint64_t, TcpStream*> live_conns_;
-    std::unordered_map<std::uint64_t, std::thread> conn_threads_;
-    /// Connections whose serve loop has ended; their threads are joined by
-    /// the acceptor on the next accept (and by stop()) so a long-lived
-    /// daemon does not accumulate finished thread handles.
-    std::vector<std::uint64_t> finished_conns_;
-    std::uint64_t next_conn_id_ = 0;
+    Metrics metrics_;
+    std::unique_ptr<EventLoop> loop_;
 };
 
 }  // namespace kinet::service

@@ -1,14 +1,18 @@
 #include "src/service/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <mutex>
 #include <utility>
 
 #include "src/common/check.hpp"
@@ -21,17 +25,36 @@ namespace {
 }
 
 /// write() on a peer-closed socket raises SIGPIPE by default, which would
-/// kill the daemon; send with MSG_NOSIGNAL turns it into EPIPE.
+/// kill the daemon; MSG_NOSIGNAL turns it into EPIPE per-call and
+/// ignore_sigpipe() masks it process-wide (covers any path that writes a
+/// socket without the flag, e.g. third-party code or future fds).
 constexpr int kSendFlags = MSG_NOSIGNAL;
 
+void set_fd_nonblocking(int fd, bool nonblocking) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) {
+        throw_errno("fcntl(F_GETFL)");
+    }
+    const int wanted = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) != 0) {
+        throw_errno("fcntl(F_SETFL)");
+    }
+}
+
 }  // namespace
+
+void ignore_sigpipe() {
+    static std::once_flag once;
+    std::call_once(once, [] { (void)std::signal(SIGPIPE, SIG_IGN); });
+}
 
 TcpStream::~TcpStream() { close(); }
 
 TcpStream::TcpStream(TcpStream&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       rdbuf_(std::move(other.rdbuf_)),
-      rdpos_(std::exchange(other.rdpos_, 0)) {}
+      rdpos_(std::exchange(other.rdpos_, 0)),
+      recv_timeout_set_(std::exchange(other.recv_timeout_set_, false)) {}
 
 TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
     if (this != &other) {
@@ -39,11 +62,14 @@ TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
         fd_ = std::exchange(other.fd_, -1);
         rdbuf_ = std::move(other.rdbuf_);
         rdpos_ = std::exchange(other.rdpos_, 0);
+        recv_timeout_set_ = std::exchange(other.recv_timeout_set_, false);
     }
     return *this;
 }
 
-TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port,
+                             std::size_t connect_timeout_ms) {
+    ignore_sigpipe();
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
         throw_errno("socket()");
@@ -55,13 +81,59 @@ TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
         ::close(fd);
         throw Error("socket: bad host address " + host);
     }
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-        ::close(fd);
-        throw_errno("connect to " + host + ":" + std::to_string(port));
+    const std::string where = host + ":" + std::to_string(port);
+    if (connect_timeout_ms == 0) {
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+            ::close(fd);
+            throw_errno("connect to " + where);
+        }
+    } else {
+        // Bounded handshake: start the connect non-blocking, poll for
+        // writability, then read SO_ERROR for the actual outcome.
+        set_fd_nonblocking(fd, true);
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+            if (errno != EINPROGRESS) {
+                ::close(fd);
+                throw_errno("connect to " + where);
+            }
+            pollfd pfd{fd, POLLOUT, 0};
+            int rc;
+            do {
+                rc = ::poll(&pfd, 1, static_cast<int>(connect_timeout_ms));
+            } while (rc < 0 && errno == EINTR);
+            if (rc == 0) {
+                ::close(fd);
+                throw Error("socket: connect to " + where + " timed out after " +
+                            std::to_string(connect_timeout_ms) + "ms");
+            }
+            if (rc < 0) {
+                ::close(fd);
+                throw_errno("poll() during connect to " + where);
+            }
+            int err = 0;
+            socklen_t len = sizeof(err);
+            if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+                ::close(fd);
+                throw Error("socket: connect to " + where + ": " +
+                            std::strerror(err != 0 ? err : errno));
+            }
+        }
+        set_fd_nonblocking(fd, false);
     }
     const int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return TcpStream(fd);
+}
+
+void TcpStream::set_recv_timeout(std::size_t ms) {
+    KINET_CHECK(valid(), "socket: set_recv_timeout on closed stream");
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+        throw_errno("setsockopt(SO_RCVTIMEO)");
+    }
+    recv_timeout_set_ = ms > 0;
 }
 
 void TcpStream::write_all(std::string_view data) {
@@ -91,6 +163,11 @@ bool TcpStream::fill() {
         if (n < 0) {
             if (errno == EINTR) {
                 continue;
+            }
+            if (recv_timeout_set_ && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                // SO_RCVTIMEO expired: the server accepted but stopped
+                // talking — a protocol-visible failure, not a hang.
+                throw Error("socket: receive timed out");
             }
             throw_errno("recv()");
         }
@@ -145,6 +222,59 @@ void TcpStream::close() {
     }
 }
 
+int TcpStream::release() noexcept {
+    rdbuf_.clear();
+    rdpos_ = 0;
+    return std::exchange(fd_, -1);
+}
+
+void TcpStream::set_nonblocking(bool nonblocking) {
+    KINET_CHECK(valid(), "socket: set_nonblocking on closed stream");
+    set_fd_nonblocking(fd_, nonblocking);
+}
+
+bool TcpStream::read_available(std::string& out) {
+    KINET_CHECK(valid(), "socket: read on closed stream");
+    char chunk[16 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            out.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            return false;  // peer EOF
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return true;  // drained for now
+        }
+        throw_errno("recv()");
+    }
+}
+
+std::size_t TcpStream::write_some(std::string_view data) {
+    KINET_CHECK(valid(), "socket: write on closed stream");
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, kSendFlags);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;  // kernel buffer full — resume on EPOLLOUT
+        }
+        throw_errno("send()");
+    }
+    return sent;
+}
+
 TcpListener::~TcpListener() {
     if (fd_ >= 0) {
         ::close(fd_);
@@ -166,6 +296,7 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
 }
 
 TcpListener TcpListener::bind_loopback(std::uint16_t port) {
+    ignore_sigpipe();
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
         throw_errno("socket()");
@@ -180,7 +311,7 @@ TcpListener TcpListener::bind_loopback(std::uint16_t port) {
         ::close(fd);
         throw_errno("bind 127.0.0.1:" + std::to_string(port));
     }
-    if (::listen(fd, 64) != 0) {
+    if (::listen(fd, 256) != 0) {
         ::close(fd);
         throw_errno("listen()");
     }
@@ -212,6 +343,30 @@ std::optional<TcpStream> TcpListener::accept() {
         // non-transient failure as "listener is done".
         return std::nullopt;
     }
+}
+
+std::optional<TcpStream> TcpListener::try_accept() {
+    KINET_CHECK(valid(), "socket: accept on closed listener");
+    for (;;) {
+        const int client = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK);
+        if (client >= 0) {
+            const int one = 1;
+            (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            return TcpStream(client);
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+            return std::nullopt;
+        }
+        throw_errno("accept4()");
+    }
+}
+
+void TcpListener::set_nonblocking(bool nonblocking) {
+    KINET_CHECK(valid(), "socket: set_nonblocking on closed listener");
+    set_fd_nonblocking(fd_, nonblocking);
 }
 
 void TcpListener::shutdown() {

@@ -1,16 +1,26 @@
 // Minimal RAII wrappers over POSIX TCP sockets — just enough for the kinetd
 // daemon and its clients: a loopback listener with ephemeral-port support and
 // a buffered stream with line/exact-length reads matching the protocol
-// framing.  Errors surface as kinet::Error with errno text.
+// framing, plus the non-blocking read/write primitives the event-driven
+// server core multiplexes over epoll.  Errors surface as kinet::Error with
+// errno text.  SIGPIPE is ignored process-wide the first time any socket is
+// created (a peer-closed write must surface as EPIPE, never kill the
+// daemon), with MSG_NOSIGNAL kept per-send as defence in depth.
 #ifndef KINETGAN_SERVICE_SOCKET_H
 #define KINETGAN_SERVICE_SOCKET_H
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 
 namespace kinet::service {
+
+/// Installs SIG_IGN for SIGPIPE once per process (idempotent, thread-safe).
+/// Called by every socket constructor path; exposed so servers embedding
+/// raw fds can guarantee it too.
+void ignore_sigpipe();
 
 /// A connected TCP byte stream (move-only; closes on destruction).
 class TcpStream {
@@ -22,8 +32,17 @@ public:
     TcpStream(const TcpStream&) = delete;
     TcpStream& operator=(const TcpStream&) = delete;
 
-    /// Connects to host:port; throws kinet::Error on failure.
-    [[nodiscard]] static TcpStream connect(const std::string& host, std::uint16_t port);
+    /// Connects to host:port; throws kinet::Error on failure.  A non-zero
+    /// `connect_timeout_ms` bounds the TCP handshake (non-blocking connect
+    /// + poll) so a black-holed server fails the call instead of hanging
+    /// for the kernel default (minutes).
+    [[nodiscard]] static TcpStream connect(const std::string& host, std::uint16_t port,
+                                           std::size_t connect_timeout_ms = 0);
+
+    /// Bounds every subsequent blocking read: a server that accepts but
+    /// never responds makes read_line()/read_exact() throw kinet::Error
+    /// ("receive timed out") after `ms` milliseconds.  0 disables.
+    void set_recv_timeout(std::size_t ms);
 
     /// Writes the whole buffer (retrying short writes); throws on error.
     void write_all(std::string_view data);
@@ -40,6 +59,26 @@ public:
     void shutdown();
     void close();
     [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+    /// Relinquishes ownership of the fd (the stream becomes invalid).
+    [[nodiscard]] int release() noexcept;
+
+    /// Toggles O_NONBLOCK (the event loop runs every connection fd
+    /// non-blocking; the blocking client never calls this).
+    void set_nonblocking(bool nonblocking);
+
+    // ---- non-blocking primitives (fd must be O_NONBLOCK) ----
+
+    /// Appends whatever the socket has ready to `out` (drains until
+    /// EAGAIN); returns false on peer EOF, true otherwise.  Throws on
+    /// hard socket errors (reset).
+    bool read_available(std::string& out);
+
+    /// Writes as much of `data` as the socket accepts right now and
+    /// returns the byte count (possibly 0 on EAGAIN — the caller yields
+    /// back to the event loop and retries on EPOLLOUT).  EINTR retries
+    /// internally; EPIPE/reset throw kinet::Error.
+    std::size_t write_some(std::string_view data);
 
 private:
     /// Refills rdbuf_; returns false on EOF.
@@ -48,6 +87,7 @@ private:
     int fd_ = -1;
     std::string rdbuf_;
     std::size_t rdpos_ = 0;
+    bool recv_timeout_set_ = false;
 };
 
 /// A listening TCP socket bound to 127.0.0.1 (move-only).
@@ -66,12 +106,20 @@ public:
     /// Blocks for the next connection; nullopt once shutdown() was called.
     [[nodiscard]] std::optional<TcpStream> accept();
 
+    /// Non-blocking accept for the event loop (the listener fd must be
+    /// O_NONBLOCK via set_nonblocking): nullopt when no connection is
+    /// pending (EAGAIN) — hard errors throw.
+    [[nodiscard]] std::optional<TcpStream> try_accept();
+
+    void set_nonblocking(bool nonblocking);
+
     /// Unblocks any accept() in progress (e.g. from another thread); the
     /// socket stays allocated until destruction.
     void shutdown();
 
     [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
     [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] int fd() const noexcept { return fd_; }
 
 private:
     int fd_ = -1;

@@ -105,13 +105,16 @@ def main():
     for name in shared:
         base_ns, base_ips = baseline[name]
         cur_ns, cur_ips = current[name]
-        if "Throughput" in name and base_ips and cur_ips:
-            # Rate benchmarks (BM_SampleThroughput*) are gated on the
-            # items/s drop — the number they exist to report (a slowdown is
-            # base/current - 1, same sign convention as the time ratio).
-            # Everything else stays on median cpu_time: the FLOPS
-            # benchmarks also emit items_per_second, but theirs derives
-            # from real time, which inflates under runner load.
+        rate_gated = "Throughput" in name or "ServerConnections" in name
+        if rate_gated and base_ips and cur_ips:
+            # Rate benchmarks (BM_SampleThroughput*, BM_ServerConnections)
+            # are gated on the items/s drop — the number they exist to
+            # report (a slowdown is base/current - 1, same sign convention
+            # as the time ratio; BM_ServerConnections' client-side cpu_time
+            # is additionally meaningless — the work runs in the server's
+            # threads).  Everything else stays on median cpu_time: the
+            # FLOPS benchmarks also emit items_per_second, but theirs
+            # derives from real time, which inflates under runner load.
             delta = base_ips / cur_ips - 1.0 if cur_ips > 0 else float("inf")
             shown = f"{base_ips:>12.3g} -> {cur_ips:>12.3g} it/s"
         else:
