@@ -365,6 +365,56 @@ void BM_ServerConnections(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerConnections)->Arg(0)->Arg(256)->Arg(1024)->UseRealTime();
 
+// Rows/s of a framed SAMPLE through a 2-node fleet.  Arg(0) asks the owner
+// directly (the forwarding-free baseline); Arg(1) asks the non-owner, which
+// proxies the request to the owner over its pooled peer connection and
+// relays the bytes.  The delta is the cluster hop's full cost: one extra
+// request parse, one peer RPC, one payload copy.
+void BM_ClusterForward(benchmark::State& state) {
+    const bool forwarded = state.range(0) != 0;
+
+    service::SynthServer owner_node;
+    service::SynthServer edge_node;
+    owner_node.start();
+    edge_node.start();
+    const std::vector<service::PeerAddress> addrs = {
+        {"127.0.0.1", owner_node.port()}, {"127.0.0.1", edge_node.port()}};
+    for (std::size_t i = 0; i < 2; ++i) {
+        service::ClusterConfig cfg;
+        cfg.self = addrs[i];
+        cfg.peers.push_back(addrs[1 - i]);
+        cfg.probe_interval_ms = 1000;
+        (i == 0 ? owner_node : edge_node).enable_cluster(cfg);
+    }
+    // A model name the ring places on owner_node (ports are ephemeral, so
+    // the name is found, not fixed), registered there only.
+    std::string model;
+    for (int i = 0; i < 4096 && model.empty(); ++i) {
+        const std::string candidate = "bench-fwd-" + std::to_string(i);
+        if (owner_node.cluster()->owns(candidate)) {
+            model = candidate;
+        }
+    }
+    owner_node.registry().put(
+        model, service::read_snapshot(service::write_snapshot(sample_bench_model(false))));
+
+    auto client = service::SynthClient::connect(
+        "127.0.0.1", forwarded ? edge_node.port() : owner_node.port());
+    constexpr std::size_t kRows = 512;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(client.sample_csv(model, kRows, seed++));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kRows));
+    state.SetLabel(forwarded ? "forwarded" : "owner-direct");
+
+    client.quit();
+    edge_node.stop();
+    owner_node.stop();
+}
+BENCHMARK(BM_ClusterForward)->Arg(0)->Arg(1)->UseRealTime();
+
 void BM_LabSimulator1k(benchmark::State& state) {
     for (auto _ : state) {
         netsim::LabSimOptions opts;

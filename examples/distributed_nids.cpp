@@ -1,22 +1,26 @@
 // Distributed NIDS scenario — the paper's motivating deployment (Sec. I),
-// now running against live kinetd servers instead of in-process models.
+// now running as a true federated fleet of kinetd services.
 //
 // Three sites each hold a private traffic capture that must not leave the
 // premises (deep-packet-inspection data).  Each site runs its own
-// synthetic-data service (a SynthServer on its own TCP port — exactly what
-// the standalone `kinetd` daemon hosts); the central NIDS operator is a
-// *client* that asks every site to train locally and then pulls only
-// synthetic traffic over the wire.  The central NIDS is trained on the
-// pooled synthetic release and compared against (a) the privacy-violating
-// raw-pooling upper bound and (b) each site training alone on its own data.
-// Along the way site 0's model round-trips through a snapshot file to show
-// that a reloaded model serves the identical stream.
+// synthetic-data service, and the three daemons are clustered into one
+// logical fleet (docs/cluster.md): a consistent-hash ring decides which
+// member owns which model, FEDTRAIN trains on the local site's data and
+// publishes the snapshot to every peer, and any member transparently
+// forwards requests for models it does not hold.  The central NIDS
+// operator is a *client of one endpoint* — it talks to whichever member is
+// reachable and the fleet does the rest.  The central NIDS is trained on
+// the pooled synthetic release and compared against (a) the
+// privacy-violating raw-pooling upper bound and (b) each site training
+// alone on its own data.  At the end one member is killed outright to show
+// the survivors keep serving every model.
 //
 // Build & run:  ./build/examples/example_distributed_nids
 #include <cstdint>
-#include <cstdio>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/text.hpp"
@@ -24,6 +28,7 @@
 #include "src/eval/tstr.hpp"
 #include "src/netsim/lab_simulator.hpp"
 #include "src/service/client.hpp"
+#include "src/service/cluster/config.hpp"
 #include "src/service/server.hpp"
 
 int main() {
@@ -31,20 +36,38 @@ int main() {
 
     constexpr std::size_t kSites = 3;
     constexpr std::size_t kEpochs = 30;
-    std::cout << "=== Distributed NIDS with synthetic-data-as-a-service (" << kSites
+    std::cout << "=== Distributed NIDS: a federated kinetd fleet (" << kSites
               << " sites) ===\n\n";
 
-    // One service per site, as the deployment story demands.  Ephemeral
-    // loopback ports here; in production each site runs `kinetd` on its own
+    // One service per site, then cluster them: ephemeral loopback ports
+    // here; in production each site runs `kinetd --peers ...` on its own
     // host and only these TCP endpoints are reachable from outside.
     std::vector<std::unique_ptr<service::SynthServer>> sites;
+    std::vector<service::PeerAddress> addrs;
     for (std::size_t s = 0; s < kSites; ++s) {
-        service::ServerOptions options;
-        options.snapshot_dir = "/tmp";  // client SAVE/LOAD paths resolve here
-        auto server = std::make_unique<service::SynthServer>(options);
+        auto server = std::make_unique<service::SynthServer>();
         server->start();
-        std::cout << "site " << s << ": kinetd on 127.0.0.1:" << server->port() << "\n";
+        addrs.push_back(service::PeerAddress{"127.0.0.1", server->port()});
+        std::cout << "site " << s << ": kinetd on " << addrs.back().name() << "\n";
         sites.push_back(std::move(server));
+    }
+    for (std::size_t s = 0; s < kSites; ++s) {
+        service::ClusterConfig cfg;
+        cfg.self = addrs[s];
+        for (std::size_t p = 0; p < kSites; ++p) {
+            if (p != s) {
+                cfg.peers.push_back(addrs[p]);
+            }
+        }
+        cfg.replicas = 2;
+        sites[s]->enable_cluster(cfg);
+    }
+    {
+        auto probe = service::SynthClient::connect("127.0.0.1", sites[0]->port());
+        const auto view = probe.cluster();
+        std::cout << "fleet: " << view.at("members") << " members, " << view.at("members_up")
+                  << " up, replicas=" << view.at("replicas") << "\n";
+        probe.quit();
     }
 
     // The evaluation harness regenerates each site's capture locally — this
@@ -90,55 +113,63 @@ int main() {
     std::cout << "\npooled RAW data (privacy-violating upper bound): "
               << text::format_double(upper, 3) << "\n\n";
 
-    // (b) Ask every site's service to train locally — as *async jobs*, all
-    // in flight at once (TRAIN ... async=1 returns a job id immediately and
-    // the fit runs on the daemon's training executor, so the connections
-    // stay responsive).  The operator polls the jobs, then pulls only
-    // synthetic traffic over TCP.
+    // (b) Federated training: every site runs FEDTRAIN on its *own*
+    // capture — the fit happens where the data lives, and the daemon then
+    // publishes the finished snapshot to every peer (REPLICATE), so the
+    // whole fleet can serve every site's model locally.  All three jobs
+    // run concurrently; progress is watched with server-side long-polls
+    // (POLL wait=1), one bounded request per second instead of a busy loop.
     std::vector<service::SynthClient> clients;
     std::vector<std::uint64_t> jobs;
     for (std::size_t s = 0; s < kSites; ++s) {
         clients.push_back(service::SynthClient::connect("127.0.0.1", sites[s]->port()));
-        jobs.push_back(clients[s].train_async("site-" + std::to_string(s), specs[s]));
-        std::cout << "site " << s << ": queued training job " << jobs[s] << "\n";
+        jobs.push_back(clients[s].fedtrain_async("site-" + std::to_string(s), specs[s]));
+        std::cout << "site " << s << ": queued federated training job " << jobs[s] << "\n";
     }
     for (std::size_t s = 0; s < kSites; ++s) {
-        const auto info = clients[s].wait_for_job(jobs[s]);
+        std::map<std::string, std::string> info;
+        for (;;) {
+            info = clients[s].poll_job_wait(jobs[s], /*timeout_ms=*/1000);
+            const std::string& state = info.at("state");
+            if (state == "done" || state == "failed" || state == "cancelled") {
+                break;
+            }
+        }
         std::cout << "site " << s << ": job " << jobs[s] << " " << info.at("state") << " ("
                   << info.at("epochs_done") << "/" << info.at("epochs_total")
-                  << " epochs)\n";
+                  << " units; the extra units are the publish fan-out)\n";
         if (info.at("state") != "done") {
-            std::cerr << "site " << s << ": training failed\n";
+            std::cerr << "site " << s << ": federated training failed\n";
             return 1;
         }
     }
 
+    // The operator needs only ONE endpoint from here on: site 0's daemon
+    // serves all three models (its own fit plus the published replicas).
+    auto& operator_client = clients[0];
     data::Table pooled_synth;
     for (std::size_t s = 0; s < kSites; ++s) {
-        auto& client = clients[s];
+        const std::string model = "site-" + std::to_string(s);
         const double local =
             eval::average_accuracy(eval::evaluate_tstr(site_train[s], test, label));
         const std::size_t rows = site_train[s].rows();
         // Pull each site's table over *streaming* SAMPLE (stream=1): the
         // daemon frames the CSV as row chunks and neither side ever holds
         // the whole table — the transport a >10^6-flow pull would use.
-        const auto synth = client.sample_streamed("site-" + std::to_string(s), rows,
-                                                  /*seed=*/1000 + s, schema,
-                                                  /*chunk_rows=*/512);
-        const double validity =
-            client.validate("site-" + std::to_string(s), 1000, /*seed=*/7);
+        const auto synth = operator_client.sample_streamed(model, rows,
+                                                           /*seed=*/1000 + s, schema,
+                                                           /*chunk_rows=*/512);
+        const double validity = operator_client.validate(model, 1000, /*seed=*/7);
         if (s == 0) {
             pooled_synth = synth;
         } else {
             pooled_synth.append_rows(synth);
         }
         std::cout << "site " << s << ": local-only NIDS accuracy "
-                  << text::format_double(local, 3) << ", shared " << synth.rows()
-                  << " synthetic rows (KG validity " << text::format_double(validity, 3)
-                  << ")\n";
-        client.quit();
+                  << text::format_double(local, 3) << ", pulled " << synth.rows()
+                  << " synthetic rows via site 0 (KG validity "
+                  << text::format_double(validity, 3) << ")\n";
     }
-    clients.clear();
 
     // (c) Central NIDS trained on pooled synthetic data only.
     const double collaborative =
@@ -146,31 +177,43 @@ int main() {
     std::cout << "\npooled SYNTHETIC data (privacy-preserving):      "
               << text::format_double(collaborative, 3) << "\n";
 
-    // (d) Snapshot round-trip: site 0 saves its model, a fresh service loads
-    // it, and the reloaded model serves the bit-identical stream.  The wire
-    // path is relative — the daemon confines it to its --snapshot-dir.
-    const std::string snap_name = "kinetd_site0.snap";
+    // (d) Location transparency: every member serves byte-identical rows
+    // for the same model and seed — replicas are bit-exact, and a member
+    // without a local copy forwards to one that has it.
     {
-        auto client = service::SynthClient::connect("127.0.0.1", sites[0]->port());
-        client.save("site-0", snap_name);
-        client.load("site-0-restored", snap_name);
-        // Framed from the original, streamed from the restore: the two
-        // transports must serve byte-identical CSV for one seed.
-        const std::string a = client.sample_csv("site-0", 200, /*seed=*/4242);
-        std::string b;
-        (void)client.sample_stream("site-0-restored", 200, /*seed=*/4242,
-                                   [&b](const std::string& chunk) { b += chunk; },
-                                   /*chunk_rows=*/64);
-        std::cout << "\nsnapshot round-trip through /tmp/" << snap_name
-                  << ": restored model "
-                  << (a == b ? "serves an identical stream" : "DIVERGED (bug!)") << "\n";
-        client.quit();
-        std::remove(("/tmp/" + snap_name).c_str());
+        const std::string reference = clients[0].sample_csv("site-1", 120, /*seed=*/4242);
+        bool identical = true;
+        for (std::size_t s = 1; s < kSites; ++s) {
+            identical = identical &&
+                        clients[s].sample_csv("site-1", 120, /*seed=*/4242) == reference;
+        }
+        std::cout << "\nSAMPLE site-1 via all " << kSites << " endpoints: "
+                  << (identical ? "byte-identical everywhere" : "DIVERGED (bug!)") << "\n";
     }
 
+    // (e) Failure: kill site 2's daemon outright.  The survivors mark it
+    // down and keep serving all three models from their replicas.
+    clients[2].quit();
+    sites[2]->stop();
+    sites[0]->cluster()->probe_now();
+    std::cout << "site 2 killed; fleet view from site 0: members_up="
+              << operator_client.cluster().at("members_up") << "\n";
+    bool all_reachable = true;
+    for (std::size_t s = 0; s < kSites; ++s) {
+        const std::string model = "site-" + std::to_string(s);
+        all_reachable = all_reachable &&
+                        !operator_client.sample_csv(model, 50, /*seed=*/5).empty() &&
+                        !clients[1].sample_csv(model, 50, /*seed=*/5).empty();
+    }
+    std::cout << "all three site models still reachable on the survivors: "
+              << (all_reachable ? "yes" : "NO (bug!)") << "\n";
+    clients[0].quit();
+    clients[1].quit();
+    clients.clear();
+
     std::cout << "\nThe collaborative model approaches the raw-pooling bound without any\n"
-                 "site revealing a single real packet record — and every byte that\n"
-                 "crossed the wire was synthetic.\n";
+                 "site revealing a single real packet record — every byte that crossed\n"
+                 "the wire was synthetic, and the fleet survives a site going dark.\n";
 
     for (auto& server : sites) {
         server->stop();

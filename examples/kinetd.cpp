@@ -7,6 +7,8 @@
 //   kinetd [--port P] [--load NAME=PATH]... [--epochs N] [--train-workers N]
 //          [--request-workers N] [--max-connections N] [--queue-depth N]
 //          [--model-cache-mb N] [--snapshot-dir DIR] [--data-dir DIR]
+//          [--peers H:P,H:P,...] [--advertise H:P] [--cluster-config FILE]
+//          [--replicas N] [--probe-interval-ms N]
 //   kinetd --stats [--port P]
 //
 //   --port P            listen port (default 9190; 0 picks an ephemeral port)
@@ -26,6 +28,14 @@
 //                       (default "."; "" disables LOAD/SAVE)
 //   --data-dir DIR      directory confining TRAIN source=csv: paths
 //                       (default "."; "" disables CSV ingestion)
+//   --peers LIST        comma-separated host:port fleet peers; joins this
+//                       daemon into a cluster (docs/cluster.md)
+//   --advertise H:P     this node's address as peers reach it (default
+//                       127.0.0.1:<port>); must match the other members'
+//                       --peers entries, since ring placement hashes it
+//   --cluster-config F  read fleet membership from file F instead of flags
+//   --replicas N        snapshot placement width on the ring (default 2)
+//   --probe-interval-ms N  peer health probe period (default 1000)
 //   --stats             one-shot mode: connect to a running daemon at --port,
 //                       print its global STATS payload, and exit
 //
@@ -43,6 +53,7 @@
 
 #include "src/common/check.hpp"
 #include "src/service/client.hpp"
+#include "src/service/cluster/config.hpp"
 #include "src/service/server.hpp"
 #include "src/service/snapshot.hpp"
 
@@ -56,7 +67,9 @@ void handle_signal(int /*sig*/) { g_stop.store(true); }
     std::cerr << "usage: kinetd [--port P] [--load NAME=PATH]... [--epochs N]"
                  " [--train-workers N] [--request-workers N] [--max-connections N]"
                  " [--queue-depth N] [--model-cache-mb N]"
-                 " [--snapshot-dir DIR] [--data-dir DIR]\n"
+                 " [--snapshot-dir DIR] [--data-dir DIR]"
+                 " [--peers H:P,...] [--advertise H:P] [--cluster-config FILE]"
+                 " [--replicas N] [--probe-interval-ms N]\n"
                  "       kinetd --stats [--port P]\n";
     std::exit(2);
 }
@@ -70,6 +83,11 @@ int main(int argc, char** argv) {
     options.port = 9190;
     std::vector<std::pair<std::string, std::string>> preload;
     bool stats_mode = false;
+    std::string peers_csv;
+    std::string advertise;
+    std::string cluster_config_path;
+    std::size_t replicas = 0;           // 0 = config default
+    std::size_t probe_interval_ms = 0;  // 0 = config default
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -125,6 +143,22 @@ int main(int argc, char** argv) {
             options.snapshot_dir = next_value();
         } else if (arg == "--data-dir") {
             options.data_dir = next_value();
+        } else if (arg == "--peers") {
+            peers_csv = next_value();
+        } else if (arg == "--advertise") {
+            advertise = next_value();
+        } else if (arg == "--cluster-config") {
+            cluster_config_path = next_value();
+        } else if (arg == "--replicas") {
+            replicas = static_cast<std::size_t>(next_number(64));
+            if (replicas == 0) {
+                usage_and_exit();
+            }
+        } else if (arg == "--probe-interval-ms") {
+            probe_interval_ms = static_cast<std::size_t>(next_number(3600000));
+            if (probe_interval_ms == 0) {
+                usage_and_exit();
+            }
         } else if (arg == "--load") {
             const std::string spec = next_value();
             const std::size_t eq = spec.find('=');
@@ -162,6 +196,32 @@ int main(int argc, char** argv) {
         for (const auto& [name, path] : preload) {
             server.registry().put(name, service::load_snapshot_file(path));
             std::cout << "kinetd: loaded model '" << name << "' from " << path << "\n";
+        }
+        if (!cluster_config_path.empty() || !peers_csv.empty()) {
+            service::ClusterConfig cluster;
+            if (!cluster_config_path.empty()) {
+                if (!peers_csv.empty() || !advertise.empty()) {
+                    std::cerr << "kinetd: --cluster-config excludes --peers/--advertise\n";
+                    return 2;
+                }
+                cluster = service::load_cluster_config(cluster_config_path);
+            } else {
+                const service::PeerAddress self =
+                    advertise.empty()
+                        ? service::PeerAddress{"127.0.0.1", server.port()}
+                        : service::parse_peer_address(advertise);
+                cluster = service::parse_peer_list(self, peers_csv);
+            }
+            if (replicas != 0) {
+                cluster.replicas = replicas;
+            }
+            if (probe_interval_ms != 0) {
+                cluster.probe_interval_ms = probe_interval_ms;
+            }
+            server.enable_cluster(cluster);
+            std::cout << "kinetd: fleet member " << server.cluster()->self_name() << " with "
+                      << cluster.peers.size() << " peer(s), replicas=" << cluster.replicas
+                      << "\n";
         }
     } catch (const Error& e) {
         std::cerr << "kinetd: " << e.what() << "\n";

@@ -1,5 +1,6 @@
 #include "src/service/client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -9,18 +10,31 @@
 
 namespace kinet::service {
 
+namespace {
+
+/// True for failures of the connection itself (as opposed to a well-framed
+/// ERR response): socket-layer errors and a peer that closed on us.  Only
+/// these are safe to heal by reconnecting — a protocol ERR means the server
+/// answered and the connection is still in sync.
+bool is_transport_error(std::string_view message) {
+    return text::starts_with(message, "socket: ") ||
+           message == "client: server closed the connection";
+}
+
+}  // namespace
+
 SynthClient SynthClient::connect(const std::string& host, std::uint16_t port,
                                  const ClientOptions& options) {
-    constexpr int kAttempts = 20;
-    for (int attempt = 0;; ++attempt) {
+    const std::size_t attempts = options.connect_attempts == 0 ? 1 : options.connect_attempts;
+    for (std::size_t attempt = 0;; ++attempt) {
         try {
             auto stream = TcpStream::connect(host, port, options.connect_timeout_ms);
             if (options.recv_timeout_ms > 0) {
                 stream.set_recv_timeout(options.recv_timeout_ms);
             }
-            return SynthClient(std::move(stream), options);
+            return SynthClient(std::move(stream), options, host, port);
         } catch (const Error&) {
-            if (attempt + 1 >= kAttempts) {
+            if (attempt + 1 >= attempts) {
                 throw;
             }
             std::this_thread::sleep_for(std::chrono::milliseconds(100));
@@ -33,27 +47,55 @@ Response SynthClient::rpc(const Request& request) {
     // stays in sync, so the request can simply be sent again after backing
     // off — admission pressure is transient by design.
     for (std::size_t attempt = 0;; ++attempt) {
-        try {
-            return rpc_once(request);
-        } catch (const Error& e) {
-            if (attempt >= options_.queue_full_retries ||
-                !is_queue_full_message(e.what())) {
-                throw;
-            }
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(options_.retry_backoff_ms * (attempt + 1)));
+        const Response response = rpc_transport(request);
+        if (response.ok) {
+            return response;
         }
+        if (attempt >= options_.queue_full_retries || !is_queue_full_message(response.error)) {
+            throw Error("server: " + response.error);
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.retry_backoff_ms * (attempt + 1)));
+    }
+}
+
+Response SynthClient::call(const Request& request) { return rpc_transport(request); }
+
+Response SynthClient::rpc_transport(const Request& request) {
+    try {
+        return rpc_once(request);
+    } catch (const Error& e) {
+        if (!options_.reconnect_on_reset || !is_transport_error(e.what())) {
+            throw;
+        }
+        // A pooled connection can sit idle across a peer restart; the stale
+        // socket only reveals itself (ECONNRESET/EPIPE/closed) on the next
+        // use.  One fresh socket and one resend heal that; a failure on the
+        // fresh socket means the peer is genuinely unreachable and throws.
+        auto stream = TcpStream::connect(host_, port_, options_.connect_timeout_ms);
+        if (options_.recv_timeout_ms > 0) {
+            stream.set_recv_timeout(options_.recv_timeout_ms);
+        }
+        stream_ = std::move(stream);
+        return rpc_once(request);
     }
 }
 
 Response SynthClient::rpc_once(const Request& request) {
-    stream_.write_all(format_request(request) + "\n");
+    // Line and body go out in one write: REPLICATE's binary payload directly
+    // follows the LF, exactly request_body_size() bytes of it.
+    std::string wire = format_request(request) + "\n";
+    wire += request.body;
+    stream_.write_all(wire);
     const auto status = stream_.read_line();
     if (!status.has_value()) {
         throw Error("client: server closed the connection");
     }
     if (text::starts_with(*status, "ERR ")) {
-        throw Error("server: " + status->substr(4));
+        Response response;
+        response.ok = false;
+        response.error = status->substr(4);
+        return response;
     }
     KINET_CHECK(text::starts_with(*status, "OK "),
                 "client: malformed status line '" + *status + "'");
@@ -133,16 +175,29 @@ std::string SynthClient::jobs() {
     return rpc(request).payload;
 }
 
+std::map<std::string, std::string> SynthClient::poll_job_wait(std::uint64_t id,
+                                                              std::size_t timeout_ms) {
+    Request request = job_request(Op::poll, id);
+    request.kv["wait"] = "1";
+    request.kv["timeout"] = std::to_string(timeout_ms);
+    return parse_kv_payload(rpc(request).payload);
+}
+
 std::map<std::string, std::string> SynthClient::wait_for_job(std::uint64_t id,
-                                                             std::size_t poll_interval_ms) {
+                                                             std::size_t wait_slice_ms) {
+    std::size_t slice = wait_slice_ms == 0 ? 1000 : wait_slice_ms;
+    if (options_.recv_timeout_ms > 0) {
+        // The long-poll must come back before the socket receive timeout
+        // fires, or a healthy server parked on wait= looks like a hang.
+        slice = std::min(slice, options_.recv_timeout_ms / 2 + 1);
+    }
     for (;;) {
-        auto info = poll_job(id);
+        auto info = poll_job_wait(id, slice);
         const auto it = info.find("state");
         KINET_CHECK(it != info.end(), "client: POLL response lacks a state");
         if (it->second == "done" || it->second == "failed" || it->second == "cancelled") {
             return info;
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(poll_interval_ms));
     }
 }
 
@@ -293,6 +348,38 @@ void SynthClient::load(const std::string& model, const std::string& path) {
     request.model = model;
     request.positional.push_back(path);
     (void)rpc(request);
+}
+
+std::map<std::string, std::string> SynthClient::cluster(const std::string& model) {
+    Request request;
+    request.op = Op::cluster;
+    request.model = model;
+    return parse_kv_payload(rpc(request).payload);
+}
+
+void SynthClient::replicate(const std::string& model, const std::string& snapshot_bytes) {
+    Request request;
+    request.op = Op::replicate;
+    request.model = model;
+    request.positional.push_back(std::to_string(snapshot_bytes.size()));
+    request.body = snapshot_bytes;
+    (void)rpc(request);
+}
+
+std::string SynthClient::fetch(const std::string& model) {
+    Request request;
+    request.op = Op::fetch;
+    request.model = model;
+    return rpc(request).payload;
+}
+
+std::uint64_t SynthClient::fedtrain_async(const std::string& model, const TrainSpec& spec) {
+    Request request = train_request(model, spec);
+    request.op = Op::fedtrain;
+    const auto kv = parse_kv_payload(rpc(request).payload);
+    const auto it = kv.find("job");
+    KINET_CHECK(it != kv.end(), "client: FEDTRAIN response lacks a job id");
+    return std::stoull(it->second);
 }
 
 void SynthClient::quit() {

@@ -40,6 +40,11 @@ struct ClientOptions {
     /// Per-attempt TCP connect timeout (0 = the OS default, which can be
     /// minutes).  The ~2 s bind-race retry loop applies on top.
     std::size_t connect_timeout_ms = 0;
+    /// Connect attempts before giving up (100 ms apart).  The default 20
+    /// absorbs the race against a server still binding its port; a cluster
+    /// health probe wants 1 so a dead peer costs one refused connect, not
+    /// two seconds of retrying.
+    std::size_t connect_attempts = 20;
     /// SO_RCVTIMEO on the connected socket: any read (status line, payload,
     /// stream frame) that stalls longer throws kinet::Error("socket:
     /// receive timed out") instead of blocking forever on a hung or killed
@@ -52,6 +57,11 @@ struct ClientOptions {
     /// Base backoff between queue_full retries; attempt k sleeps k times
     /// this long (linear backoff).
     std::size_t retry_backoff_ms = 50;
+    /// One transparent reconnect-and-resend when a pooled connection turns
+    /// out dead at send time (peer restarted: ECONNRESET/EPIPE/closed).
+    /// Only the first transport failure of an rpc is retried — a failure on
+    /// the fresh socket surfaces, so a genuinely down peer fails fast.
+    bool reconnect_on_reset = false;
 };
 
 class SynthClient {
@@ -65,6 +75,12 @@ public:
     /// on ERR responses and transport failures.  `ERR queue_full` responses
     /// are retried per ClientOptions before surfacing.
     Response rpc(const Request& request);
+
+    /// rpc() that hands back ERR responses as Response{ok=false} instead of
+    /// throwing — the forwarding path needs to relay a peer's ERR verbatim,
+    /// not re-frame it as an exception message.  Transport failures still
+    /// throw (the connection is unusable either way).
+    Response call(const Request& request);
 
     /// Liveness probe.
     void ping();
@@ -82,10 +98,15 @@ public:
     std::map<std::string, std::string> cancel_job(std::uint64_t id);
     /// JOBS: the raw one-line-per-job listing payload.
     [[nodiscard]] std::string jobs();
-    /// Polls until the job reaches a terminal state (done/failed/cancelled)
-    /// and returns its final info map.
+    /// POLL <id> wait=1: long-poll that parks server-side until the job is
+    /// terminal or `timeout_ms` elapses, returning the job info either way.
+    std::map<std::string, std::string> poll_job_wait(std::uint64_t id, std::size_t timeout_ms);
+    /// Blocks until the job reaches a terminal state (done/failed/cancelled)
+    /// and returns its final info map.  Implemented as repeated bounded
+    /// long-polls (`POLL wait=1`), so the client sends one request per
+    /// `wait_slice_ms` instead of busy-polling.
     std::map<std::string, std::string> wait_for_job(std::uint64_t id,
-                                                    std::size_t poll_interval_ms = 50);
+                                                    std::size_t wait_slice_ms = 1000);
     /// Draws n rows from the model's seed-derived stream.  `cond` optionally
     /// pins one conditional column as "column:value".
     [[nodiscard]] data::Table sample(const std::string& model, std::size_t n,
@@ -118,18 +139,33 @@ public:
     std::map<std::string, std::string> stats(const std::string& model);
     void save(const std::string& model, const std::string& path);
     void load(const std::string& model, const std::string& path);
+    /// CLUSTER [model]: ring/peer view (or a model's placement), parsed
+    /// into key=value pairs.
+    std::map<std::string, std::string> cluster(const std::string& model = {});
+    /// REPLICATE: pushes a serialized snapshot container to the server,
+    /// which verifies the checksum and registers the model.
+    void replicate(const std::string& model, const std::string& snapshot_bytes);
+    /// FETCH: pulls the model's snapshot container bytes.
+    [[nodiscard]] std::string fetch(const std::string& model);
+    /// FEDTRAIN ... async job: trains locally on the server's site data and
+    /// publishes the snapshot to every peer; returns the job id.
+    std::uint64_t fedtrain_async(const std::string& model, const TrainSpec& spec);
     /// Polite shutdown of this connection.
     void quit();
 
 private:
-    SynthClient(TcpStream stream, ClientOptions options)
-        : stream_(std::move(stream)), options_(options) {}
+    SynthClient(TcpStream stream, ClientOptions options, std::string host, std::uint16_t port)
+        : stream_(std::move(stream)), options_(options), host_(std::move(host)), port_(port) {}
 
     /// rpc() minus the queue_full retry loop.
     Response rpc_once(const Request& request);
+    /// rpc_once wrapped in the one-shot reconnect-on-reset retry.
+    Response rpc_transport(const Request& request);
 
     TcpStream stream_;
     ClientOptions options_;
+    std::string host_;       // reconnect target (reconnect_on_reset)
+    std::uint16_t port_ = 0;
 };
 
 /// Parses a key=value-lines payload (TRAIN/VALIDATE/STATS responses).

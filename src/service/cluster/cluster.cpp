@@ -1,0 +1,309 @@
+#include "src/service/cluster/cluster.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/check.hpp"
+#include "src/common/text.hpp"
+
+namespace kinet::service {
+namespace {
+
+std::vector<std::string> member_names(const ClusterConfig& config) {
+    std::vector<std::string> names;
+    names.reserve(config.peers.size() + 1);
+    names.push_back(config.self.name());
+    for (const auto& peer : config.peers) {
+        names.push_back(peer.name());
+    }
+    return names;
+}
+
+}  // namespace
+
+ClusterService::ClusterService(ClusterConfig config)
+    : config_(std::move(config)),
+      self_(config_.self.name()),
+      ring_(member_names(config_), config_.virtual_nodes == 0 ? 1 : config_.virtual_nodes) {
+    peers_.reserve(config_.peers.size());
+    for (const auto& addr : config_.peers) {
+        auto peer = std::make_unique<Peer>();
+        peer->addr = addr;
+        peer->name = addr.name();
+        peers_.push_back(std::move(peer));
+    }
+}
+
+ClusterService::~ClusterService() { stop(); }
+
+void ClusterService::start_probing() {
+    const std::lock_guard<std::mutex> lock(stop_mu_);
+    if (probing_ || stopping_) {
+        return;
+    }
+    probing_ = true;
+    prober_ = std::thread([this] { probe_loop(); });
+}
+
+void ClusterService::stop() {
+    {
+        const std::lock_guard<std::mutex> lock(stop_mu_);
+        if (stopping_) {
+            return;
+        }
+        stopping_ = true;
+    }
+    stop_cv_.notify_all();
+    if (prober_.joinable()) {
+        prober_.join();
+    }
+    for (auto& peer : peers_) {
+        const std::lock_guard<std::mutex> lock(peer->mu);
+        peer->client.reset();
+    }
+}
+
+const std::string& ClusterService::owner_of(const std::string& model) const {
+    return ring_.owner_of(model);
+}
+
+std::vector<std::string> ClusterService::preference(const std::string& model) const {
+    return ring_.preference(model, config_.replicas == 0 ? 1 : config_.replicas);
+}
+
+bool ClusterService::owns(const std::string& model) const { return owner_of(model) == self_; }
+
+std::optional<std::string> ClusterService::route(const std::string& model) const {
+    for (const auto& name : preference(model)) {
+        if (name == self_) {
+            return std::nullopt;  // we are the first healthy candidate
+        }
+        if (peer_up(name)) {
+            return name;
+        }
+    }
+    // Every candidate peer is down: answering locally (pull-through cache
+    // or a clear not-found) beats guaranteeing an error.
+    return std::nullopt;
+}
+
+ClusterService::Peer& ClusterService::peer_by_name(const std::string& name) {
+    for (auto& peer : peers_) {
+        if (peer->name == name) {
+            return *peer;
+        }
+    }
+    throw Error("cluster: unknown peer " + name);
+}
+
+const ClusterService::Peer* ClusterService::find_peer(const std::string& name) const {
+    for (const auto& peer : peers_) {
+        if (peer->name == name) {
+            return peer.get();
+        }
+    }
+    return nullptr;
+}
+
+Response ClusterService::peer_rpc(Peer& peer, const Request& request) {
+    const std::lock_guard<std::mutex> lock(peer.mu);
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        if (!peer.client.has_value()) {
+            ClientOptions options;
+            options.connect_timeout_ms = config_.connect_timeout_ms;
+            options.connect_attempts = 1;  // a down peer costs one refused connect
+            options.recv_timeout_ms = config_.peer_timeout_ms;
+            options.reconnect_on_reset = true;
+            peer.client = SynthClient::connect(peer.addr.host, peer.addr.port, options);
+        }
+        Response response = peer.client->call(request);
+        const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+        peer.latency.record(static_cast<std::uint64_t>(micros));
+        peer.up.store(true, std::memory_order_relaxed);
+        return response;
+    } catch (const Error&) {
+        // Transport failure (connect refused, reset even after the one
+        // reconnect retry, receive timeout): drop the pooled connection and
+        // mark the peer down until a probe sees it again.
+        peer.client.reset();
+        peer.up.store(false, std::memory_order_relaxed);
+        peer.rpc_errors.fetch_add(1, std::memory_order_relaxed);
+        throw;
+    }
+}
+
+Response ClusterService::forward(const std::string& peer_name, Request request) {
+    request.kv[std::string(kForwardedKey)] = "1";
+    forwards.fetch_add(1, std::memory_order_relaxed);
+    try {
+        return peer_rpc(peer_by_name(peer_name), request);
+    } catch (const Error&) {
+        forward_errors.fetch_add(1, std::memory_order_relaxed);
+        throw;
+    }
+}
+
+void ClusterService::replicate_to(const std::string& peer_name, const std::string& model,
+                                  const std::string& snapshot) {
+    Request request;
+    request.op = Op::replicate;
+    request.model = model;
+    request.positional.push_back(std::to_string(snapshot.size()));
+    request.body = snapshot;
+    request.kv[std::string(kForwardedKey)] = "1";  // replication never cascades
+    const Response response = peer_rpc(peer_by_name(peer_name), request);
+    if (!response.ok) {
+        throw Error("cluster: REPLICATE " + model + " to " + peer_name + " failed: " +
+                    response.error);
+    }
+    replications_out.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string ClusterService::fetch_from(const std::string& peer_name, const std::string& model) {
+    Request request;
+    request.op = Op::fetch;
+    request.model = model;
+    request.kv[std::string(kForwardedKey)] = "1";  // a miss must not cascade
+    Response response = peer_rpc(peer_by_name(peer_name), request);
+    if (!response.ok) {
+        throw Error("cluster: FETCH " + model + " from " + peer_name + " failed: " +
+                    response.error);
+    }
+    fetches_out.fetch_add(1, std::memory_order_relaxed);
+    return std::move(response.payload);
+}
+
+std::size_t ClusterService::publish(const std::string& model, const std::string& snapshot,
+                                    const std::function<void(std::size_t, std::size_t)>& on_peer_done,
+                                    std::string* first_error) {
+    std::size_t ok = 0;
+    const std::size_t total = peers_.size();
+    for (std::size_t i = 0; i < total; ++i) {
+        try {
+            // Down peers are attempted too: publish is also how a restarted
+            // peer catches up, and a failure just stays in the error report.
+            replicate_to(peers_[i]->name, model, snapshot);
+            ++ok;
+        } catch (const Error& e) {
+            if (first_error != nullptr && first_error->empty()) {
+                *first_error = e.what();
+            }
+        }
+        if (on_peer_done) {
+            on_peer_done(i + 1, total);
+        }
+    }
+    return ok;
+}
+
+std::optional<PeerAddress> ClusterService::peer_address(const std::string& peer_name) const {
+    const Peer* peer = find_peer(peer_name);
+    if (peer == nullptr) {
+        return std::nullopt;
+    }
+    return peer->addr;
+}
+
+bool ClusterService::peer_up(const std::string& peer_name) const {
+    const Peer* peer = find_peer(peer_name);
+    return peer != nullptr && peer->up.load(std::memory_order_relaxed);
+}
+
+std::size_t ClusterService::members_up() const {
+    std::size_t up = 1;  // self
+    for (const auto& peer : peers_) {
+        if (peer->up.load(std::memory_order_relaxed)) {
+            ++up;
+        }
+    }
+    return up;
+}
+
+void ClusterService::probe_now() {
+    Request ping;
+    ping.op = Op::ping;
+    ping.kv[std::string(kForwardedKey)] = "1";
+    for (auto& peer : peers_) {
+        try {
+            (void)peer_rpc(*peer, ping);  // success path marks the peer up
+        } catch (const Error&) {
+            // peer_rpc already marked it down.
+        }
+    }
+}
+
+void ClusterService::probe_loop() {
+    const auto interval =
+        std::chrono::milliseconds(config_.probe_interval_ms == 0 ? 1000 : config_.probe_interval_ms);
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(stop_mu_);
+            if (stop_cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+                return;
+            }
+        }
+        probe_now();
+    }
+}
+
+std::string ClusterService::render_status(const std::string& model) const {
+    std::string out;
+    out += "self=" + self_ + "\n";
+    out += "members=" + std::to_string(peers_.size() + 1) + "\n";
+    out += "members_up=" + std::to_string(members_up()) + "\n";
+    out += "replicas=" + std::to_string(config_.replicas) + "\n";
+    out += "virtual_nodes=" + std::to_string(config_.virtual_nodes) + "\n";
+    for (const auto& peer : peers_) {
+        out += "peer." + peer->name + "=" +
+               (peer->up.load(std::memory_order_relaxed) ? "up" : "down") + "\n";
+    }
+    if (!model.empty()) {
+        out += "model=" + model + "\n";
+        out += "owner=" + owner_of(model) + "\n";
+        out += "pref=" + text::join(preference(model), ",") + "\n";
+        out += "local=" + std::string(owns(model) ? "1" : "0") + "\n";
+    }
+    return out;
+}
+
+std::string ClusterService::render_stats() const {
+    std::string out;
+    std::size_t peers_up_count = 0;
+    for (const auto& peer : peers_) {
+        if (peer->up.load(std::memory_order_relaxed)) {
+            ++peers_up_count;
+        }
+    }
+    out += "peers=" + std::to_string(peers_.size()) + "\n";
+    out += "peers_up=" + std::to_string(peers_up_count) + "\n";
+    out += "forwards=" + std::to_string(forwards.load(std::memory_order_relaxed)) + "\n";
+    out += "forward_errors=" + std::to_string(forward_errors.load(std::memory_order_relaxed)) +
+           "\n";
+    out += "replications=" + std::to_string(replications_out.load(std::memory_order_relaxed)) +
+           "\n";
+    out += "replications_in=" + std::to_string(replications_in.load(std::memory_order_relaxed)) +
+           "\n";
+    out += "fetches_in=" + std::to_string(fetches_in.load(std::memory_order_relaxed)) + "\n";
+    out += "fetches_out=" + std::to_string(fetches_out.load(std::memory_order_relaxed)) + "\n";
+    out += "cache_fills=" + std::to_string(cache_fills.load(std::memory_order_relaxed)) + "\n";
+    for (const auto& peer : peers_) {
+        const std::string prefix = "peer." + peer->name;
+        out += prefix + ".up=" +
+               (peer->up.load(std::memory_order_relaxed) ? "1" : "0") + "\n";
+        out += prefix + ".errors=" +
+               std::to_string(peer->rpc_errors.load(std::memory_order_relaxed)) + "\n";
+        const auto snap = peer->latency.snapshot();
+        if (snap.count > 0) {
+            out += prefix + ".rpcs=" + std::to_string(snap.count) + "\n";
+            out += prefix + ".rpc_mean_us=" + text::format_double(snap.mean_us(), 1) + "\n";
+            out += prefix + ".rpc_p50_us=" + std::to_string(snap.p50_us) + "\n";
+            out += prefix + ".rpc_p99_us=" + std::to_string(snap.p99_us) + "\n";
+        }
+    }
+    return out;
+}
+
+}  // namespace kinet::service

@@ -1,0 +1,156 @@
+// The peer layer that turns N kinetd instances into one logical fleet.
+//
+// ClusterService owns everything peer-facing: the consistent-hash ring
+// (placement), one pooled SynthClient per peer (forwarding, replication,
+// probes), per-peer health state driven by a background PING prober, and
+// the cluster counters/latency histograms STATS surfaces.  The server
+// consults route() to decide whether a request is answered locally or
+// proxied to the model's owner, and uses replicate/fetch/publish for
+// snapshot movement.  All peer RPC is blocking and runs on request workers
+// or the prober thread — never on the epoll loop.
+//
+// Health model: a peer starts `up` (optimistic — the prober corrects within
+// one interval), is marked down on any transport failure (probe or live
+// RPC), and comes back on the next successful probe.  Forwarding consults
+// the ring's preference list and skips down members, so a dead owner fails
+// over to its replica owner without any ring mutation; placement itself
+// never changes at runtime (membership is static config).
+#ifndef KINETGAN_SERVICE_CLUSTER_CLUSTER_H
+#define KINETGAN_SERVICE_CLUSTER_CLUSTER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/client.hpp"
+#include "src/service/cluster/config.hpp"
+#include "src/service/cluster/ring.hpp"
+#include "src/service/metrics.hpp"
+#include "src/service/protocol.hpp"
+
+namespace kinet::service {
+
+class ClusterService {
+public:
+    explicit ClusterService(ClusterConfig config);
+    ~ClusterService();
+    ClusterService(const ClusterService&) = delete;
+    ClusterService& operator=(const ClusterService&) = delete;
+
+    /// Launches the background prober (idempotent).  Separate from the
+    /// constructor so tests can drive probes synchronously via probe_now().
+    void start_probing();
+    /// Stops the prober and closes pooled connections.  Idempotent; also
+    /// run by the destructor.
+    void stop();
+
+    [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
+    [[nodiscard]] const std::string& self_name() const noexcept { return self_; }
+
+    // ---- placement ----
+
+    /// The ring owner of `model` (health-blind).
+    [[nodiscard]] const std::string& owner_of(const std::string& model) const;
+    /// Owner plus fallback owners, failover order, length = replicas.
+    [[nodiscard]] std::vector<std::string> preference(const std::string& model) const;
+    /// True when this node is the ring owner of `model`.
+    [[nodiscard]] bool owns(const std::string& model) const;
+    /// The peer a request for `model` should be proxied to: the first *up*
+    /// member of the preference list.  nullopt means this node answers —
+    /// either it is that first healthy member, or every listed peer is
+    /// down and local best-effort beats a guaranteed error.
+    [[nodiscard]] std::optional<std::string> route(const std::string& model) const;
+
+    // ---- peer RPC (pooled, health-updating) ----
+
+    /// Proxies `request` to `peer_name`, marking it forwarded (fwd=1) so
+    /// the peer never forwards it again.  A peer ERR comes back verbatim as
+    /// Response{ok=false}; transport failures mark the peer down, count as
+    /// forward_errors and throw kinet::Error.
+    Response forward(const std::string& peer_name, Request request);
+    /// Pushes a serialized snapshot container to one peer (REPLICATE).
+    void replicate_to(const std::string& peer_name, const std::string& model,
+                      const std::string& snapshot);
+    /// Pulls a model's snapshot container from one peer (FETCH).
+    [[nodiscard]] std::string fetch_from(const std::string& peer_name, const std::string& model);
+    /// Pushes a snapshot to every peer (FEDTRAIN's publish phase), down or
+    /// not — replication is how a restarted peer catches up.  Calls
+    /// `on_peer_done(completed, total)` after each attempt; returns the
+    /// number of successful pushes and records the first failure message in
+    /// `first_error` (when non-null).
+    std::size_t publish(const std::string& model, const std::string& snapshot,
+                        const std::function<void(std::size_t, std::size_t)>& on_peer_done,
+                        std::string* first_error);
+
+    // ---- health ----
+
+    [[nodiscard]] bool peer_up(const std::string& peer_name) const;
+    /// The endpoint behind a peer name (nullopt for unknown names or self).
+    [[nodiscard]] std::optional<PeerAddress> peer_address(const std::string& peer_name) const;
+    /// Up members including self (self is always up from its own view).
+    [[nodiscard]] std::size_t members_up() const;
+    /// One synchronous probe round over all peers (what the background
+    /// prober runs each interval; exposed for tests and deterministic use).
+    void probe_now();
+
+    // ---- rendering ----
+
+    /// CLUSTER payload: fleet/ring view, plus `model`'s placement when the
+    /// request named one.
+    [[nodiscard]] std::string render_status(const std::string& model) const;
+    /// The cluster section of the global STATS payload.
+    [[nodiscard]] std::string render_stats() const;
+
+    // ---- counters (public atomics; the server increments the ingest side)
+    std::atomic<std::uint64_t> forwards{0};
+    std::atomic<std::uint64_t> forward_errors{0};
+    std::atomic<std::uint64_t> replications_in{0};   // REPLICATE bodies accepted
+    std::atomic<std::uint64_t> replications_out{0};  // snapshots pushed to peers
+    std::atomic<std::uint64_t> fetches_in{0};        // FETCH requests served
+    std::atomic<std::uint64_t> fetches_out{0};       // pull-through cache fills
+    std::atomic<std::uint64_t> cache_fills{0};       // models admitted via pull-through
+
+private:
+    /// One fleet peer: its pooled blocking client (guarded by `mu` — peer
+    /// RPC serializes per peer, different peers proceed in parallel) and
+    /// lock-free health/latency state.
+    struct Peer {
+        PeerAddress addr;
+        std::string name;
+        std::mutex mu;
+        std::optional<SynthClient> client;
+        std::atomic<bool> up{true};
+        std::atomic<std::uint64_t> rpc_errors{0};
+        LatencyHistogram latency;
+    };
+
+    [[nodiscard]] Peer& peer_by_name(const std::string& name);
+    [[nodiscard]] const Peer* find_peer(const std::string& name) const;
+    /// Sends one request on the peer's pooled connection, (re)connecting as
+    /// needed, timing it into the peer histogram and updating health.
+    Response peer_rpc(Peer& peer, const Request& request);
+    void probe_loop();
+
+    ClusterConfig config_;
+    std::string self_;
+    HashRing ring_;
+    std::vector<std::unique_ptr<Peer>> peers_;
+
+    std::mutex stop_mu_;
+    std::condition_variable stop_cv_;
+    bool stopping_ = false;
+    bool probing_ = false;
+    std::thread prober_;
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_CLUSTER_CLUSTER_H

@@ -1,0 +1,133 @@
+#include "src/service/cluster/config.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/common/text.hpp"
+
+namespace kinet::service {
+namespace {
+
+std::uint64_t parse_number(std::string_view token, const std::string& what) {
+    std::uint64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size() || token.empty()) {
+        throw Error("cluster: " + what + " '" + std::string(token) +
+                    "' is not a non-negative integer");
+    }
+    return value;
+}
+
+/// Drops entries equal to `self` and exact duplicates, preserving order.
+void dedupe_peers(ClusterConfig& config) {
+    std::vector<PeerAddress> unique;
+    unique.reserve(config.peers.size());
+    for (auto& peer : config.peers) {
+        if (peer == config.self) {
+            continue;
+        }
+        if (std::find(unique.begin(), unique.end(), peer) == unique.end()) {
+            unique.push_back(std::move(peer));
+        }
+    }
+    config.peers = std::move(unique);
+}
+
+}  // namespace
+
+PeerAddress parse_peer_address(std::string_view token) {
+    token = text::trim(token);
+    const std::size_t colon = token.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 || colon + 1 >= token.size()) {
+        throw Error("cluster: peer address '" + std::string(token) +
+                    "' is not of the form host:port");
+    }
+    PeerAddress address;
+    address.host = std::string(token.substr(0, colon));
+    const auto port = parse_number(token.substr(colon + 1), "peer port");
+    if (port == 0 || port > 65535) {
+        throw Error("cluster: peer port " + std::to_string(port) + " is out of range");
+    }
+    address.port = static_cast<std::uint16_t>(port);
+    return address;
+}
+
+ClusterConfig parse_peer_list(const PeerAddress& self, std::string_view csv) {
+    ClusterConfig config;
+    config.self = self;
+    for (const auto& token : text::split(csv, ',')) {
+        const auto trimmed = text::trim(token);
+        if (trimmed.empty()) {
+            continue;
+        }
+        config.peers.push_back(parse_peer_address(trimmed));
+    }
+    dedupe_peers(config);
+    return config;
+}
+
+ClusterConfig load_cluster_config(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw Error("cluster: cannot open config file " + path);
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    ClusterConfig config;
+    bool have_self = false;
+    std::size_t line_no = 0;
+    for (const auto& raw_line : text::split(buffer.str(), '\n')) {
+        ++line_no;
+        std::string_view line = text::trim(raw_line);
+        const std::size_t hash = line.find('#');
+        if (hash != std::string_view::npos) {
+            line = text::trim(line.substr(0, hash));
+        }
+        if (line.empty()) {
+            continue;
+        }
+        const std::size_t space = line.find(' ');
+        if (space == std::string_view::npos) {
+            throw Error("cluster: " + path + ":" + std::to_string(line_no) +
+                        ": expected '<key> <value>', got '" + std::string(line) + "'");
+        }
+        const std::string_view key = line.substr(0, space);
+        const std::string_view value = text::trim(line.substr(space + 1));
+        if (key == "self") {
+            config.self = parse_peer_address(value);
+            have_self = true;
+        } else if (key == "peer") {
+            config.peers.push_back(parse_peer_address(value));
+        } else if (key == "virtual-nodes") {
+            config.virtual_nodes = parse_number(value, "virtual-nodes");
+        } else if (key == "replicas") {
+            config.replicas = parse_number(value, "replicas");
+        } else if (key == "probe-interval-ms") {
+            config.probe_interval_ms = parse_number(value, "probe-interval-ms");
+        } else if (key == "connect-timeout-ms") {
+            config.connect_timeout_ms = parse_number(value, "connect-timeout-ms");
+        } else if (key == "peer-timeout-ms") {
+            config.peer_timeout_ms = parse_number(value, "peer-timeout-ms");
+        } else {
+            throw Error("cluster: " + path + ":" + std::to_string(line_no) +
+                        ": unknown key '" + std::string(key) + "'");
+        }
+    }
+    if (!have_self) {
+        throw Error("cluster: config file " + path + " lacks a 'self host:port' line");
+    }
+    if (config.virtual_nodes == 0) {
+        throw Error("cluster: virtual-nodes must be at least 1");
+    }
+    if (config.replicas == 0) {
+        throw Error("cluster: replicas must be at least 1");
+    }
+    dedupe_peers(config);
+    return config;
+}
+
+}  // namespace kinet::service

@@ -1,0 +1,77 @@
+// Static fleet membership for the kinetd cluster layer.
+//
+// The paper's deployment is a handful of tenant sites that know each other
+// by address — there is no discovery protocol to reproduce, so membership
+// is a static table: this node's advertised address plus every peer.  Two
+// sources produce a ClusterConfig: the `--peers host:port,...` flag (one
+// line of CSV) and `--cluster-config <file>` (a line-oriented file that can
+// also tune ring and probe parameters).  Every node in the fleet must be
+// given the same member set or the rings disagree about placement; the
+// CLUSTER op exists partly so an operator can check that they do.
+#ifndef KINETGAN_SERVICE_CLUSTER_CONFIG_H
+#define KINETGAN_SERVICE_CLUSTER_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kinet::service {
+
+/// One fleet member's TCP endpoint.  `name()` ("host:port") doubles as the
+/// node's identity on the hash ring, so advertised addresses must be stable
+/// and written identically in every member's config.
+struct PeerAddress {
+    std::string host;
+    std::uint16_t port = 0;
+
+    [[nodiscard]] std::string name() const { return host + ":" + std::to_string(port); }
+    [[nodiscard]] bool operator==(const PeerAddress& other) const = default;
+};
+
+/// Parses "host:port"; throws kinet::Error on a malformed token.
+[[nodiscard]] PeerAddress parse_peer_address(std::string_view token);
+
+struct ClusterConfig {
+    /// This node's advertised address (its ring identity).
+    PeerAddress self;
+    /// Every other fleet member.  Entries equal to `self` are dropped by
+    /// the parsers, so the same `--peers` list can be handed to all nodes.
+    std::vector<PeerAddress> peers;
+    /// Virtual nodes per member on the consistent-hash ring; more vnodes
+    /// smooth placement at the cost of a larger (still tiny) ring table.
+    std::size_t virtual_nodes = 64;
+    /// Preference-list depth: the ring owner plus (replicas - 1) fallback
+    /// owners a request fails over to when the owner is down.
+    std::size_t replicas = 2;
+    /// Period of the background PING probe marking peers up/down.
+    std::size_t probe_interval_ms = 1000;
+    /// TCP connect timeout for pooled peer connections and probes.
+    std::size_t connect_timeout_ms = 500;
+    /// Receive timeout on pooled peer RPCs — bounds how long a forward can
+    /// hold a request worker when a peer wedges mid-response.
+    std::size_t peer_timeout_ms = 10000;
+
+    /// A config with no peers leaves the daemon standalone.
+    [[nodiscard]] bool enabled() const noexcept { return !peers.empty(); }
+};
+
+/// Builds a config from the `--peers` CSV ("host:port,host:port,...").
+/// `self` may appear in the list; it is removed from `peers`.
+[[nodiscard]] ClusterConfig parse_peer_list(const PeerAddress& self, std::string_view csv);
+
+/// Loads the line-oriented config file:
+///     self 127.0.0.1:7101        # required
+///     peer 127.0.0.1:7102        # one line per member (self tolerated)
+///     virtual-nodes 64           # optional tuning keys
+///     replicas 2
+///     probe-interval-ms 1000
+///     connect-timeout-ms 500
+///     peer-timeout-ms 10000
+/// Blank lines and '#' comments are ignored.  Throws kinet::Error on
+/// unknown keys, malformed addresses, or a missing `self`.
+[[nodiscard]] ClusterConfig load_cluster_config(const std::string& path);
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_CLUSTER_CONFIG_H

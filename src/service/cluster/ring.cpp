@@ -1,0 +1,81 @@
+#include "src/service/cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "src/common/bytes.hpp"
+#include "src/common/check.hpp"
+
+namespace kinet::service {
+namespace {
+
+/// Ring positions need avalanche, not just determinism: raw FNV-1a moves
+/// the high bits barely at all when two short strings differ only in a
+/// trailing digit ("site-1" vs "site-2", "host:9190#7" vs "#8"), which
+/// clusters vnodes and keys into a few tight arcs and starves members.
+/// A 64-bit finalizer (the murmur3 fmix) on top restores uniform spread
+/// while staying a pure function of the bytes, so every member computes
+/// identical placement.
+std::uint64_t ring_hash(std::string_view data) {
+    std::uint64_t h = bytes::fnv1a(data);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+}
+
+}  // namespace
+
+HashRing::HashRing(std::vector<std::string> nodes, std::size_t virtual_nodes)
+    : nodes_(std::move(nodes)) {
+    KINET_CHECK(!nodes_.empty(), "cluster: ring needs at least one node");
+    KINET_CHECK(virtual_nodes > 0, "cluster: ring needs at least one virtual node");
+    points_.reserve(nodes_.size() * virtual_nodes);
+    for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+        for (std::size_t v = 0; v < virtual_nodes; ++v) {
+            const std::string label = nodes_[n] + "#" + std::to_string(v);
+            points_.push_back({ring_hash(label), n});
+        }
+    }
+    std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+        // Tie-break on node index so two members hashing a vnode to the
+        // same point still order identically on every fleet member.
+        return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+    });
+}
+
+const std::string& HashRing::owner_of(std::string_view key) const {
+    const std::uint64_t h = ring_hash(key);
+    auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                               [](const Point& p, std::uint64_t value) { return p.hash < value; });
+    if (it == points_.end()) {
+        it = points_.begin();  // wrap past the top of the circle
+    }
+    return nodes_[it->node];
+}
+
+std::vector<std::string> HashRing::preference(std::string_view key, std::size_t count) const {
+    const std::size_t want = std::min(count, nodes_.size());
+    std::vector<std::string> out;
+    if (want == 0) {
+        return out;
+    }
+    const std::uint64_t h = ring_hash(key);
+    auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                               [](const Point& p, std::uint64_t value) { return p.hash < value; });
+    const std::size_t start = it == points_.end()
+                                  ? 0
+                                  : static_cast<std::size_t>(it - points_.begin());
+    std::vector<bool> taken(nodes_.size(), false);
+    for (std::size_t step = 0; step < points_.size() && out.size() < want; ++step) {
+        const Point& point = points_[(start + step) % points_.size()];
+        if (!taken[point.node]) {
+            taken[point.node] = true;
+            out.push_back(nodes_[point.node]);
+        }
+    }
+    return out;
+}
+
+}  // namespace kinet::service

@@ -1,0 +1,50 @@
+// Consistent-hash ring for model placement across the fleet.
+//
+// Every member contributes `virtual_nodes` points on a 64-bit hash circle
+// (FNV-1a of "name#i"); a model lands on the first point clockwise from the
+// hash of its name, and its preference list is the sequence of *distinct*
+// members encountered continuing clockwise.  The construction is the
+// standard one (Karger et al.): adding or removing a member moves only the
+// keys adjacent to its points, and virtual nodes keep the per-member share
+// close to uniform.  The ring is immutable after construction — membership
+// is static config — so lookups need no locking.
+#ifndef KINETGAN_SERVICE_CLUSTER_RING_H
+#define KINETGAN_SERVICE_CLUSTER_RING_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kinet::service {
+
+class HashRing {
+public:
+    /// `nodes` are member identities (host:port names); order does not
+    /// affect placement.  Throws kinet::Error on an empty member set or
+    /// zero virtual nodes.
+    HashRing(std::vector<std::string> nodes, std::size_t virtual_nodes);
+
+    [[nodiscard]] const std::vector<std::string>& nodes() const noexcept { return nodes_; }
+
+    /// The member owning `key` (first ring point clockwise from its hash).
+    [[nodiscard]] const std::string& owner_of(std::string_view key) const;
+
+    /// The first min(count, nodes) distinct members clockwise from `key` —
+    /// owner first, then the fallback owners in failover order.
+    [[nodiscard]] std::vector<std::string> preference(std::string_view key,
+                                                      std::size_t count) const;
+
+private:
+    struct Point {
+        std::uint64_t hash;
+        std::uint32_t node;  // index into nodes_
+    };
+
+    std::vector<std::string> nodes_;
+    std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_CLUSTER_RING_H

@@ -250,6 +250,26 @@ void EventLoop::handle_writable(Connection& conn) {
 void EventLoop::process_input(Connection& conn) {
     while (!conn.closing && !conn.inflight && conn.producer == nullptr &&
            !conn.close_after_flush) {
+        if (conn.pending.has_value()) {
+            // A request line already parsed, waiting for its binary body.
+            if (conn.read_backlog() < conn.pending_body) {
+                break;  // more bytes must arrive first
+            }
+            Request request = std::move(*conn.pending);
+            conn.pending.reset();
+            request.body = conn.rdbuf.substr(conn.rdpos, conn.pending_body);
+            conn.rdpos += conn.pending_body;
+            conn.pending_body = 0;
+            if (conn.rdpos == conn.rdbuf.size()) {
+                conn.rdbuf.clear();
+                conn.rdpos = 0;
+            } else if (conn.rdpos > kCompactBytes) {
+                conn.rdbuf.erase(0, conn.rdpos);
+                conn.rdpos = 0;
+            }
+            dispatch_request(conn, std::move(request));
+            continue;
+        }
         const std::size_t nl = conn.rdbuf.find('\n', conn.rdpos);
         if (nl == std::string::npos) {
             if (conn.read_backlog() > options_.max_line_bytes) {
@@ -271,10 +291,23 @@ void EventLoop::process_input(Connection& conn) {
         }
 
         Request request;
+        std::size_t body_bytes = 0;
         try {
             request = parse_request(line);
+            body_bytes = request_body_size(request);
         } catch (const Error& e) {
             queue_output(conn, err_frame(e.what()));
+            if (body_bytes == 0 && request.op == Op::replicate) {
+                // A malformed/oversized body declaration leaves an unknown
+                // number of raw bytes in flight — the framing is lost, so
+                // the connection cannot be salvaged.
+                conn.close_after_flush = true;
+            }
+            continue;
+        }
+        if (body_bytes > 0) {
+            conn.pending = std::move(request);
+            conn.pending_body = body_bytes;
             continue;
         }
         if (request.op == Op::quit) {
@@ -282,14 +315,17 @@ void EventLoop::process_input(Connection& conn) {
             conn.close_after_flush = true;
             break;
         }
-        dispatch_request(conn, request);
+        dispatch_request(conn, std::move(request));
     }
     if (conn.closing) {
         return;
     }
     // Read backpressure: a pipelining client cannot grow the input buffer
-    // without bound while a stream or slow request blocks processing.
-    const bool want_read = conn.read_backlog() <= options_.max_line_bytes && !conn.peer_eof;
+    // without bound while a stream or slow request blocks processing.  A
+    // pending REPLICATE body raises the bound — those bytes are the
+    // request, not backlog.
+    const bool want_read =
+        conn.read_backlog() <= options_.max_line_bytes + conn.pending_body && !conn.peer_eof;
     if (want_read != conn.want_read) {
         conn.want_read = want_read;
         update_interest(conn);
@@ -301,7 +337,7 @@ void EventLoop::process_input(Connection& conn) {
     }
 }
 
-void EventLoop::dispatch_request(Connection& conn, const Request& request) {
+void EventLoop::dispatch_request(Connection& conn, Request request) {
     // Streaming requests are recognised (and their cursors opened) inline:
     // everything that can fail from a bad request fails before the first
     // frame, as an ordinary ERR response.
@@ -329,7 +365,9 @@ void EventLoop::dispatch_request(Connection& conn, const Request& request) {
         return;
     }
     conn.inflight = true;
-    const bool queued = try_enqueue_task([this, id = conn.id, req = request] {
+    // Moving the request matters here: a REPLICATE body can be hundreds of
+    // megabytes and must not be copied into the closure.
+    const bool queued = try_enqueue_task([this, id = conn.id, req = std::move(request)] {
         std::string bytes;
         try {
             bytes = handlers_.execute(req);

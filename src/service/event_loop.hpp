@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -110,6 +111,11 @@ private:
         std::string wrbuf;
         std::size_t wrpos = 0;
         std::unique_ptr<StreamProducer> producer;
+        /// A parsed request line whose declared binary body (REPLICATE) has
+        /// not fully arrived yet; `pending_body` is the byte count still
+        /// owed before it can dispatch.
+        std::optional<Request> pending;
+        std::size_t pending_body = 0;
         bool inflight = false;          // a worker owns this connection's turn
         bool suspended = false;         // producer parked on write backpressure
         bool close_after_flush = false;  // QUIT acknowledged / fatal ERR sent
@@ -148,7 +154,7 @@ private:
     /// Parses and dispatches as many buffered requests as the connection's
     /// state allows (stops at an active stream or inflight task).
     void process_input(Connection& conn);
-    void dispatch_request(Connection& conn, const Request& request);
+    void dispatch_request(Connection& conn, Request request);
     /// Appends bytes to the write buffer and flushes what the socket takes.
     void queue_output(Connection& conn, std::string_view bytes);
     /// Flushes the write buffer; manages EPOLLOUT interest, stream

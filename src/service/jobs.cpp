@@ -109,6 +109,23 @@ std::optional<JobInfo> JobManager::info(std::uint64_t id) const {
     return snapshot_locked(*it->second);
 }
 
+std::optional<JobInfo> JobManager::wait(std::uint64_t id, std::size_t timeout_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        return std::nullopt;
+    }
+    // Hold the shared_ptr, not the iterator: terminal pruning may erase the
+    // map entry while we sleep, and the snapshot must still be readable.
+    const std::shared_ptr<Job> job = it->second;
+    const auto terminal = [&job, this] {
+        return stopping_ || job->state == JobState::done || job->state == JobState::failed ||
+               job->state == JobState::cancelled;
+    };
+    (void)cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), terminal);
+    return snapshot_locked(*job);
+}
+
 std::optional<JobInfo> JobManager::request_cancel(std::uint64_t id) {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = jobs_.find(id);
@@ -119,6 +136,7 @@ std::optional<JobInfo> JobManager::request_cancel(std::uint64_t id) {
     job.cancel.store(true, std::memory_order_relaxed);
     if (job.state == JobState::queued) {
         job.state = JobState::cancelled;  // the worker skips it on pop
+        cv_.notify_all();                 // wake POLL wait= long-polls
     }
     return snapshot_locked(job);
 }
@@ -196,19 +214,22 @@ void JobManager::worker_loop() {
             error = "non-standard exception";
         }
 
-        const std::lock_guard<std::mutex> lock(mu_);
-        if (ok) {
-            // A cancel that lands after the work already published its
-            // result arrived too late: the job is done.
-            job->state = JobState::done;
-            job->epochs_done.store(job->epochs_total, std::memory_order_relaxed);
-        } else if (job->cancel.load(std::memory_order_relaxed)) {
-            job->state = JobState::cancelled;
-        } else {
-            job->state = JobState::failed;
-            job->error = std::move(error);
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            if (ok) {
+                // A cancel that lands after the work already published its
+                // result arrived too late: the job is done.
+                job->state = JobState::done;
+                job->epochs_done.store(job->epochs_total, std::memory_order_relaxed);
+            } else if (job->cancel.load(std::memory_order_relaxed)) {
+                job->state = JobState::cancelled;
+            } else {
+                job->state = JobState::failed;
+                job->error = std::move(error);
+            }
+            job->work = nullptr;  // release captured resources promptly
         }
-        job->work = nullptr;  // release captured resources promptly
+        cv_.notify_all();  // wake long-polls parked in wait()
     }
 }
 

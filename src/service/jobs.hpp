@@ -88,6 +88,14 @@ public:
     /// record was pruned — only terminal jobs are ever pruned).
     [[nodiscard]] std::optional<JobInfo> info(std::uint64_t id) const;
 
+    /// Blocks until the job reaches a terminal state (done/failed/cancelled)
+    /// or `timeout_ms` elapses, then returns its snapshot — the long-poll
+    /// behind `POLL <id> wait=1`.  A caller must inspect the returned state:
+    /// a timeout simply returns the still-live snapshot.  Returns nullopt
+    /// for unknown ids immediately.  Progress (epochs_done) does not wake
+    /// the wait; only terminal transitions and stop() do.
+    [[nodiscard]] std::optional<JobInfo> wait(std::uint64_t id, std::size_t timeout_ms);
+
     /// Requests cancellation and returns the job's post-cancel snapshot in
     /// one critical section (nullopt if the id is unknown).  A queued job
     /// is cancelled on the spot; a running one stops at its next progress

@@ -15,15 +15,18 @@ struct OpSpec {
     std::string_view name;
     bool needs_model;
     std::size_t min_positional;  // beyond the model argument
+    bool optional_model = false;  // a non-kv first token is taken as a model
 };
 
 constexpr OpSpec kOps[] = {
     {Op::ping, "PING", false, 0},     {Op::train, "TRAIN", true, 0},
     {Op::load, "LOAD", true, 1},      {Op::save, "SAVE", true, 1},
     {Op::drop, "DROP", true, 0},      {Op::sample, "SAMPLE", true, 1},
-    {Op::validate, "VALIDATE", true, 0}, {Op::stats, "STATS", false, 0},
+    {Op::validate, "VALIDATE", true, 0}, {Op::stats, "STATS", false, 0, true},
     {Op::poll, "POLL", false, 1},     {Op::cancel, "CANCEL", false, 1},
     {Op::jobs, "JOBS", false, 0},     {Op::quit, "QUIT", false, 0},
+    {Op::cluster, "CLUSTER", false, 0, true}, {Op::replicate, "REPLICATE", true, 1},
+    {Op::fetch, "FETCH", true, 0},    {Op::fedtrain, "FEDTRAIN", true, 0},
 };
 
 const OpSpec* find_op(std::string_view name) {
@@ -76,9 +79,9 @@ Request parse_request(std::string_view line) {
             throw Error("protocol: " + std::string(spec->name) + " requires a model name");
         }
         request.model = tokens[next++];
-    } else if (spec->op == Op::stats && tokens.size() > 1 &&
+    } else if (spec->optional_model && tokens.size() > 1 &&
                tokens[1].find('=') == std::string::npos) {
-        request.model = tokens[next++];  // STATS takes an optional model
+        request.model = tokens[next++];  // STATS/CLUSTER take an optional model
     }
     for (; next < tokens.size(); ++next) {
         const std::string& token = tokens[next];
@@ -95,6 +98,18 @@ Request parse_request(std::string_view line) {
                     std::to_string(spec->min_positional) + " positional argument(s)");
     }
     return request;
+}
+
+std::size_t request_body_size(const Request& request) {
+    if (request.op != Op::replicate) {
+        return 0;
+    }
+    const auto bytes = parse_u64(request.positional.at(0), "REPLICATE body size");
+    if (bytes > kMaxRequestBodyBytes) {
+        throw Error("protocol: REPLICATE body of " + std::to_string(bytes) +
+                    " bytes exceeds the limit of " + std::to_string(kMaxRequestBodyBytes));
+    }
+    return static_cast<std::size_t>(bytes);
 }
 
 std::string format_request(const Request& request) {

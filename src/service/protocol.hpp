@@ -36,10 +36,18 @@ enum class Op {
     cancel,    // CANCEL <job-id>                  — request job cancellation
     jobs,      // JOBS                             — list training jobs
     quit,      // close the connection after acknowledging
+    cluster,   // CLUSTER [<model>]                — ring + peer health view;
+               //   with a model: its owner and ring preference list
+    replicate, // REPLICATE <model> <nbytes>       — request line followed by
+               //   exactly nbytes of snapshot container (push replication)
+    fetch,     // FETCH <model>                    — snapshot container bytes
+               //   as the response payload (pull-through replication)
+    fedtrain,  // FEDTRAIN <model> key=value...    — async job: train locally
+               //   on site data, then publish the snapshot to every peer
 };
 
 /// Number of protocol ops (for per-op metric arrays indexed by Op).
-inline constexpr std::size_t kOpCount = 12;
+inline constexpr std::size_t kOpCount = 16;
 
 /// Machine-readable prefix of admission-control rejections: a server at
 /// capacity answers `ERR queue_full: <detail>` (connection cap reached or
@@ -52,6 +60,10 @@ struct Request {
     std::string model;                        // empty where the op allows it
     std::vector<std::string> positional;      // op-specific positional args
     std::map<std::string, std::string> kv;    // key=value arguments
+    /// Binary request body following the request line (REPLICATE only).
+    /// The line itself stays pure ASCII: positional args carry the byte
+    /// count and the transport reads exactly that many bytes after the LF.
+    std::string body;
 };
 
 struct Response {
@@ -66,6 +78,20 @@ struct Response {
 
 /// Builds the canonical admission-control ERR response.
 [[nodiscard]] Response queue_full_response(std::string_view detail);
+
+/// Upper bound on a REPLICATE request body — a hostile byte count must not
+/// become an allocation primitive against the daemon.
+inline constexpr std::size_t kMaxRequestBodyBytes = 256ULL * 1024 * 1024;
+
+/// Key marking a request as already forwarded once by a peer.  A request
+/// carrying it is never forwarded again, so a misconfigured ring (or a
+/// race with ring state) can produce at most one extra hop, never a loop.
+inline constexpr std::string_view kForwardedKey = "fwd";
+
+/// Bytes of request body the transport must read after the request line
+/// (0 for every op but REPLICATE, whose second positional argument is the
+/// body length).  Throws kinet::Error on a malformed or oversized count.
+[[nodiscard]] std::size_t request_body_size(const Request& request);
 
 /// Parses one request line (no trailing newline); throws kinet::Error with a
 /// protocol-level message on unknown ops or malformed arguments.

@@ -11,6 +11,7 @@
 #include "src/data/split.hpp"
 #include "src/netsim/lab_simulator.hpp"
 #include "src/netsim/unsw_synthesizer.hpp"
+#include "src/service/client.hpp"
 #include "src/service/snapshot.hpp"
 
 namespace kinet::service {
@@ -24,6 +25,16 @@ constexpr std::uint64_t kMaxSampleRows = 1'000'000;
 
 /// Default rows per streamed chunk when the request does not pass chunk=.
 constexpr std::uint64_t kDefaultStreamChunkRows = 65'536;
+
+/// Ceiling on a `POLL wait=` long-poll — it parks a request worker, so the
+/// server, not the client, bounds how long that can last.
+constexpr std::uint64_t kMaxPollWaitMs = 30'000;
+
+/// True once a peer has forwarded this request (fwd=1): it must be answered
+/// locally, never forwarded again.
+bool is_forwarded(const Request& request) {
+    return request.kv.find(std::string(kForwardedKey)) != request.kv.end();
+}
 
 std::string kv_line(const std::string& key, const std::string& value) {
     return key + "=" + value + "\n";
@@ -138,6 +149,112 @@ private:
     Stopwatch watch_;
 };
 
+/// Cluster-side streaming SAMPLE: with a target peer, relays the owner's
+/// CHUNK/END frames one at a time — a forwarded stream therefore has the
+/// same chunk boundaries (and the same bytes) as sampling the owner
+/// directly, and never buffers more than one frame.  With no peer it
+/// pull-through-fetches the model on first use and then streams the local
+/// copy via an inner SampleStreamProducer.  Construction (loop thread)
+/// stores the plan only; all blocking work happens inside next_frame() on
+/// request workers, and errors surface as a mid-stream ERR frame.
+class SynthServer::ClusterStreamProducer : public StreamProducer {
+public:
+    ClusterStreamProducer(SynthServer& server, std::shared_ptr<ClusterService> cluster,
+                          std::string peer, Request request)
+        : server_(server),
+          cluster_(std::move(cluster)),
+          peer_(std::move(peer)),
+          request_(std::move(request)) {}
+
+    bool next_frame(std::string& out) override {
+        out.clear();
+        try {
+            if (!started_) {
+                started_ = true;
+                start();
+            }
+            if (inner_ != nullptr) {
+                return inner_->next_frame(out);
+            }
+            return relay_frame(out);
+        } catch (const std::exception& e) {
+            if (relaying_) {
+                cluster_->forward_errors.fetch_add(1, std::memory_order_relaxed);
+            }
+            std::string message = e.what();
+            std::replace(message.begin(), message.end(), '\n', ' ');
+            out = "ERR " + message + "\n";
+            return false;
+        }
+    }
+
+private:
+    void start() {
+        if (peer_.empty()) {
+            // Our slot but no local copy: pull the snapshot, then stream it
+            // exactly like a native streaming SAMPLE.
+            const auto entry = server_.acquire_model(request_.model, true);
+            const SampleSpec spec = server_.parse_sample_spec(request_, /*streaming=*/true);
+            auto cursor = entry->model->open_sample_cursor(
+                spec.n, spec.seed, spec.chunk_rows, spec.cond_column, spec.cond_value);
+            inner_ = std::make_unique<SampleStreamProducer>(entry, std::move(cursor),
+                                                            server_.metrics_);
+            return;
+        }
+        const auto address = cluster_->peer_address(peer_);
+        if (!address.has_value()) {
+            throw Error("cluster: unknown peer " + peer_);
+        }
+        cluster_->forwards.fetch_add(1, std::memory_order_relaxed);
+        relaying_ = true;
+        // A dedicated connection: a stream occupies its transport for its
+        // whole lifetime, which would starve every other forward through
+        // the pooled per-peer client.
+        stream_ = TcpStream::connect(address->host, address->port,
+                                     cluster_->config().connect_timeout_ms);
+        stream_->set_recv_timeout(cluster_->config().peer_timeout_ms);
+        stream_->write_all(format_request(request_) + "\n");
+        const auto status = stream_->read_line();
+        if (!status.has_value()) {
+            throw Error("cluster: " + peer_ + " closed the forwarded stream");
+        }
+        if (text::starts_with(*status, "ERR ")) {
+            throw Error(status->substr(4));
+        }
+        if (*status != "OK STREAM") {
+            throw Error("cluster: unexpected status '" + *status + "' from " + peer_);
+        }
+    }
+
+    bool relay_frame(std::string& out) {
+        const auto frame = stream_->read_line();
+        if (!frame.has_value()) {
+            throw Error("cluster: " + peer_ + " truncated the forwarded stream");
+        }
+        if (text::starts_with(*frame, "CHUNK ")) {
+            std::size_t bytes = 0;
+            try {
+                bytes = std::stoull(frame->substr(6));
+            } catch (const std::exception&) {
+                throw Error("cluster: malformed relay frame '" + *frame + "'");
+            }
+            out = *frame + "\n" + stream_->read_exact(bytes);
+            return true;
+        }
+        out = *frame + "\n";  // END trailer or mid-stream ERR, verbatim
+        return false;
+    }
+
+    SynthServer& server_;
+    std::shared_ptr<ClusterService> cluster_;
+    std::string peer_;      // empty selects pull-through-and-serve-local mode
+    Request request_;
+    bool started_ = false;
+    bool relaying_ = false;
+    std::optional<TcpStream> stream_;
+    std::unique_ptr<SampleStreamProducer> inner_;
+};
+
 SynthServer::SynthServer(ServerOptions options)
     : options_(std::move(options)),
       kg_lab_(kg::NetworkKg::build_lab()),
@@ -165,11 +282,32 @@ void SynthServer::start() { loop_->start(); }
 
 void SynthServer::stop() {
     loop_->stop();
+    if (const auto c = cluster()) {
+        c->stop();  // prober thread + pooled peer connections
+    }
     // Cancel queued + running training jobs; running fits stop at their
     // next epoch boundary.  The executor threads themselves stay up (the
     // JobManager destructor joins them), so a stop()/start() restart keeps
     // async TRAIN working.
     jobs_.cancel_all();
+}
+
+void SynthServer::enable_cluster(ClusterConfig config) {
+    auto service = std::make_shared<ClusterService>(std::move(config));
+    service->start_probing();
+    std::shared_ptr<ClusterService> old;
+    {
+        const std::lock_guard<std::mutex> lock(cluster_mu_);
+        old = std::exchange(cluster_, std::move(service));
+    }
+    if (old != nullptr) {
+        old->stop();
+    }
+}
+
+std::shared_ptr<ClusterService> SynthServer::cluster() const {
+    const std::lock_guard<std::mutex> lock(cluster_mu_);
+    return cluster_;
 }
 
 std::uint16_t SynthServer::port() const noexcept { return loop_->port(); }
@@ -186,12 +324,16 @@ std::string SynthServer::execute_framed(const Request& request) {
 bool SynthServer::is_fast_op(const Request& request) {
     switch (request.op) {
     case Op::ping:
-    case Op::poll:
     case Op::cancel:
     case Op::jobs:
     case Op::drop:
     case Op::quit:
+    case Op::cluster:
         return true;
+    case Op::poll:
+        // The wait= long-poll parks the request until the job is terminal;
+        // that belongs on a worker, never on the loop thread.
+        return request.kv.find("wait") == request.kv.end();
     case Op::stats:
         // The global form reads atomics; the per-model form takes the
         // entry mutex (contended by SAVE/TRAIN) and belongs on a worker.
@@ -208,6 +350,16 @@ std::unique_ptr<StreamProducer> SynthServer::open_stream_producer(const Request&
     // Everything that can fail from a bad request fails here, *before* the
     // first frame — the event loop turns the throw into an ordinary ERR.
     const SampleSpec spec = parse_sample_spec(request, /*streaming=*/true);
+    if (const auto c = cluster();
+        c != nullptr && !is_forwarded(request) && registry_.get(request.model) == nullptr) {
+        // Ring/health reads only on the loop thread; connects and fetches
+        // happen inside the producer on a worker.
+        Request relay = request;
+        relay.kv[std::string(kForwardedKey)] = "1";
+        const auto target = c->route(request.model);
+        return std::make_unique<ClusterStreamProducer>(
+            *this, c, target.value_or(std::string{}), std::move(relay));
+    }
     const auto entry = require_model(request.model);
     auto cursor = entry->model->open_sample_cursor(spec.n, spec.seed, spec.chunk_rows,
                                                    spec.cond_column, spec.cond_value);
@@ -223,6 +375,9 @@ Response SynthServer::handle(const Request& request) {
 }
 
 Response SynthServer::dispatch(const Request& request) {
+    if (auto relayed = maybe_forward(request); relayed.has_value()) {
+        return std::move(*relayed);
+    }
     switch (request.op) {
     case Op::ping: {
         Response r;
@@ -263,10 +418,156 @@ Response SynthServer::dispatch(const Request& request) {
         return handle_cancel(request);
     case Op::jobs:
         return handle_jobs();
+    case Op::cluster:
+        return handle_cluster(request);
+    case Op::replicate:
+        return handle_replicate(request);
+    case Op::fetch:
+        return handle_fetch(request);
+    case Op::fedtrain:
+        return handle_fedtrain(request);
     case Op::quit:
         return Response{};  // transport-level; acknowledged by the event loop
     }
     return error_response("unhandled op");
+}
+
+std::optional<Response> SynthServer::maybe_forward(const Request& request) {
+    const auto c = cluster();
+    if (c == nullptr || is_forwarded(request)) {
+        return std::nullopt;
+    }
+    switch (request.op) {
+    case Op::sample:
+    case Op::validate:
+    case Op::train:
+        break;
+    default:
+        // FEDTRAIN deliberately included: it means "train on THIS site's
+        // data", so it always runs where it lands.  Everything else
+        // (monitoring, jobs, snapshot files) is per-node by design.
+        return std::nullopt;
+    }
+    if (request.op == Op::train) {
+        const auto target = c->route(request.model);
+        if (!target.has_value()) {
+            return std::nullopt;  // we own it, or every candidate is down
+        }
+        if (kv_u64(request, "async", 0) != 0) {
+            return forward_train_async(c, *target, request);
+        }
+        try {
+            return c->forward(*target, request);
+        } catch (const Error&) {
+            return std::nullopt;  // owner died mid-request: train locally
+        }
+    }
+    // SAMPLE/VALIDATE: any local copy — placement, replication or
+    // pull-through cache — answers here; snapshots are bit-identical for
+    // seeded sampling, so the bytes match the owner's.
+    if (registry_.get(request.model) != nullptr) {
+        return std::nullopt;
+    }
+    for (const auto& node : c->preference(request.model)) {
+        if (node == c->self_name()) {
+            return std::nullopt;  // our slot: answer (pull-through may fill)
+        }
+        if (!c->peer_up(node)) {
+            continue;  // ring-aware fallback walks past down members
+        }
+        try {
+            return c->forward(node, request);
+        } catch (const Error&) {
+            // The failed RPC marked the peer down; try the next candidate.
+        }
+    }
+    return std::nullopt;  // no healthy peer: local best effort
+}
+
+Response SynthServer::forward_train_async(const std::shared_ptr<ClusterService>& c,
+                                          const std::string& peer, Request request) {
+    // A remote job id would be meaningless to this client's POLL, so the
+    // proxy pattern: submit remotely, mirror its progress into a *local*
+    // job the client polls like any other.  The proxy occupies a training
+    // executor slot, not a request worker.
+    const auto epochs =
+        static_cast<std::size_t>(kv_u64(request, "epochs", options_.default_epochs));
+    const std::string model = request.model;
+    const std::uint64_t id = jobs_.submit(
+        model, epochs, [c, peer, request](JobManager::Context& context) {
+            const auto address = c->peer_address(peer);
+            if (!address.has_value()) {
+                throw Error("cluster: unknown peer " + peer);
+            }
+            // A dedicated connection: the proxy holds a conversation (submit
+            // + repeated long-polls) that would otherwise monopolise the
+            // pooled per-peer client for the whole remote fit.
+            ClientOptions options;
+            options.connect_timeout_ms = c->config().connect_timeout_ms;
+            options.connect_attempts = 3;
+            options.recv_timeout_ms = c->config().peer_timeout_ms;
+            options.reconnect_on_reset = true;
+            auto client = SynthClient::connect(address->host, address->port, options);
+            c->forwards.fetch_add(1, std::memory_order_relaxed);
+            Request submit = request;
+            submit.kv[std::string(kForwardedKey)] = "1";
+            const auto submitted = client.call(submit);
+            if (!submitted.ok) {
+                throw Error("forwarded TRAIN rejected by " + peer + ": " + submitted.error);
+            }
+            const auto kv = parse_kv_payload(submitted.payload);
+            const auto job_it = kv.find("job");
+            if (job_it == kv.end()) {
+                throw Error("forwarded TRAIN: no job id from " + peer);
+            }
+            const std::string remote_id = job_it->second;
+            Request poll;
+            poll.op = Op::poll;
+            poll.positional.push_back(remote_id);
+            poll.kv["wait"] = "1";
+            poll.kv["timeout"] = "1000";
+            poll.kv[std::string(kForwardedKey)] = "1";
+            for (;;) {
+                if (context.cancel_requested()) {
+                    Request cancel;
+                    cancel.op = Op::cancel;
+                    cancel.positional.push_back(remote_id);
+                    cancel.kv[std::string(kForwardedKey)] = "1";
+                    try {
+                        (void)client.call(cancel);
+                    } catch (const Error&) {
+                    }
+                    throw Error("cancelled while proxying to " + peer);
+                }
+                const auto polled = client.call(poll);
+                if (!polled.ok) {
+                    throw Error("forwarded TRAIN: poll on " + peer + " failed: " +
+                                polled.error);
+                }
+                const auto status = parse_kv_payload(polled.payload);
+                if (const auto done_it = status.find("epochs_done");
+                    done_it != status.end()) {
+                    context.report_progress(std::stoull(done_it->second));
+                }
+                const auto state_it = status.find("state");
+                const std::string state =
+                    state_it == status.end() ? std::string{} : state_it->second;
+                if (state == "done") {
+                    return;
+                }
+                if (state == "failed" || state == "cancelled") {
+                    const auto err_it = status.find("error");
+                    throw Error("remote training " + state +
+                                (err_it == status.end() ? "" : ": " + err_it->second));
+                }
+            }
+        });
+    Response r;
+    r.payload += kv_line("job", std::to_string(id));
+    r.payload += kv_line("model", model);
+    r.payload += kv_line("epochs", std::to_string(epochs));
+    r.payload += kv_line("owner", peer);
+    return r;
 }
 
 SynthServer::TrainPlan SynthServer::parse_train_plan(const Request& request) const {
@@ -432,7 +733,10 @@ void SynthServer::run_sample_stream(const core::KiNetGan& model, const SampleSpe
 
 Response SynthServer::handle_sample(const Request& request) {
     const SampleSpec spec = parse_sample_spec(request, /*streaming=*/false);
-    const auto entry = require_model(request.model);
+    // In a fleet, a local miss may be healed by pulling the snapshot from a
+    // replica (safe even for forwarded requests — the FETCH it issues is
+    // itself marked forwarded and can never cascade).
+    const auto entry = acquire_model(request.model, /*allow_pull_through=*/true);
 
     // The inference path is const and thread-safe: no per-entry lock, so
     // any number of SAMPLEs run concurrently against one model snapshot.
@@ -455,7 +759,7 @@ Response SynthServer::handle_sample(const Request& request) {
 }
 
 Response SynthServer::handle_validate(const Request& request) {
-    const auto entry = require_model(request.model);
+    const auto entry = acquire_model(request.model, /*allow_pull_through=*/true);
     const auto n = static_cast<std::size_t>(
         kv_u64(request, "n", options_.default_validate_rows));
     KINET_CHECK(n <= kMaxSampleRows, "VALIDATE: row count " + std::to_string(n) +
@@ -505,6 +809,9 @@ Response SynthServer::handle_stats(const Request& request) {
     r.payload += kv_line("model_cache_bytes", std::to_string(registry_.memory_bytes()));
     r.payload += kv_line("model_cache_evictions", std::to_string(registry_.evictions()));
     r.payload += metrics_.render();
+    if (const auto c = cluster()) {
+        r.payload += c->render_stats();
+    }
     for (const auto& name : registry_.names()) {
         const auto entry = registry_.get(name);
         if (entry == nullptr) {
@@ -516,9 +823,19 @@ Response SynthServer::handle_stats(const Request& request) {
     return r;
 }
 
-Response SynthServer::handle_poll(const Request& request) const {
+Response SynthServer::handle_poll(const Request& request) {
     const std::uint64_t id = parse_u64(request.positional.at(0), "POLL job id");
-    const auto info = jobs_.info(id);
+    std::optional<JobInfo> info;
+    if (kv_u64(request, "wait", 0) != 0) {
+        // Long-poll: park until the job is terminal or the (server-capped)
+        // timeout passes, then answer with the snapshot either way — the
+        // client inspects `state` to tell completion from timeout.
+        const auto timeout =
+            std::min<std::uint64_t>(kv_u64(request, "timeout", 1000), kMaxPollWaitMs);
+        info = jobs_.wait(id, static_cast<std::size_t>(timeout));
+    } else {
+        info = jobs_.info(id);
+    }
     if (!info.has_value()) {
         return error_response("no job " + std::to_string(id));
     }
@@ -549,12 +866,118 @@ Response SynthServer::handle_jobs() const {
     return r;
 }
 
+Response SynthServer::handle_cluster(const Request& request) {
+    Response r;
+    const auto c = cluster();
+    if (c == nullptr) {
+        r.payload += kv_line("enabled", "0");
+        return r;
+    }
+    r.payload += kv_line("enabled", "1");
+    r.payload += c->render_status(request.model);
+    return r;
+}
+
+Response SynthServer::handle_replicate(const Request& request) {
+    // The transport already read exactly the declared byte count;
+    // read_snapshot validates magic, version, length and checksum before
+    // any registry state changes — a corrupt push is rejected whole.
+    auto model = read_snapshot(request.body);
+    registry_.put(request.model, std::move(model));
+    if (const auto c = cluster()) {
+        c->replications_in.fetch_add(1, std::memory_order_relaxed);
+    }
+    Response r;
+    r.payload += kv_line("model", request.model);
+    r.payload += kv_line("bytes", std::to_string(request.body.size()));
+    return r;
+}
+
+Response SynthServer::handle_fetch(const Request& request) {
+    // A forwarded FETCH never cascades into another fetch — that is the
+    // loop breaker that makes pull-through safe to attempt anywhere.
+    const auto entry = acquire_model(request.model, !is_forwarded(request));
+    Response r;
+    {
+        const std::lock_guard<std::mutex> lock(entry->mu);
+        r.payload = write_snapshot(*entry->model);
+    }
+    if (const auto c = cluster()) {
+        c->fetches_in.fetch_add(1, std::memory_order_relaxed);
+    }
+    return r;
+}
+
+Response SynthServer::handle_fedtrain(const Request& request) {
+    const TrainPlan plan = parse_train_plan(request);
+    const auto c = cluster();
+    const std::size_t peer_count = c == nullptr ? 0 : c->config().peers.size();
+    // The job's progress denominator covers both phases: epochs of local
+    // training, then one unit per peer for the publish fan-out.
+    const std::uint64_t id = jobs_.submit(
+        plan.model, plan.opts.gan.epochs + peer_count,
+        [this, plan](JobManager::Context& context) {
+            auto result = run_training(plan, &context);
+            const std::size_t epochs = plan.opts.gan.epochs;
+            std::string snapshot = write_snapshot(*result.model);
+            registry_.put(plan.model, std::move(result.model));
+            const auto cl = cluster();
+            if (cl == nullptr) {
+                return;  // standalone: FEDTRAIN degrades to an async TRAIN
+            }
+            std::string first_error;
+            const std::size_t ok = cl->publish(
+                plan.model, snapshot,
+                [&context, epochs](std::size_t done, std::size_t /*total*/) {
+                    context.report_progress(epochs + done);
+                },
+                &first_error);
+            // A peer that is down just misses this round (pull-through or a
+            // later publish heals it); only a total publish failure fails
+            // the job — the local model is still registered either way.
+            if (ok == 0 && !first_error.empty()) {
+                throw Error("publish reached no peer; first error: " + first_error);
+            }
+        });
+    Response r;
+    r.payload += kv_line("job", std::to_string(id));
+    r.payload += kv_line("model", plan.model);
+    r.payload += kv_line("epochs", std::to_string(plan.opts.gan.epochs));
+    r.payload += kv_line("peers", std::to_string(peer_count));
+    return r;
+}
+
 std::shared_ptr<ModelEntry> SynthServer::require_model(const std::string& name) const {
     auto entry = registry_.get(name);
     if (entry == nullptr) {
         throw Error("no model named " + name);
     }
     return entry;
+}
+
+std::shared_ptr<ModelEntry> SynthServer::acquire_model(const std::string& name,
+                                                       bool allow_pull_through) {
+    if (auto entry = registry_.get(name)) {
+        return entry;
+    }
+    const auto c = cluster();
+    if (c != nullptr && allow_pull_through) {
+        for (const auto& node : c->preference(name)) {
+            if (node == c->self_name() || !c->peer_up(node)) {
+                continue;
+            }
+            try {
+                registry_.put(name, read_snapshot(c->fetch_from(node, name)));
+                c->cache_fills.fetch_add(1, std::memory_order_relaxed);
+                if (auto entry = registry_.get(name)) {
+                    return entry;
+                }
+            } catch (const Error&) {
+                // That member doesn't have it (or died); try the next one.
+            }
+        }
+    }
+    throw Error("no model named " + name);
 }
 
 }  // namespace kinet::service

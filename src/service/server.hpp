@@ -21,10 +21,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 
 #include "src/core/kinetgan.hpp"
 #include "src/kg/network_kg.hpp"
+#include "src/service/cluster/cluster.hpp"
 #include "src/service/event_loop.hpp"
 #include "src/service/jobs.hpp"
 #include "src/service/metrics.hpp"
@@ -92,6 +95,15 @@ public:
     [[nodiscard]] JobManager& jobs() noexcept { return jobs_; }
     [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
 
+    /// Joins this daemon into a fleet: builds the ring, starts peer health
+    /// probing, and switches SAMPLE/VALIDATE/TRAIN routing on.  Callable
+    /// before or after start() — tests bind ephemeral ports first and only
+    /// then know every member's address.  Calling again replaces the
+    /// membership (the old ClusterService is stopped).
+    void enable_cluster(ClusterConfig config);
+    /// The live cluster service; nullptr while standalone.
+    [[nodiscard]] std::shared_ptr<ClusterService> cluster() const;
+
 private:
     /// Everything a training run needs, resolved and validated *before* the
     /// job is queued — a malformed async TRAIN fails synchronously.
@@ -123,6 +135,7 @@ private:
     };
 
     class SampleStreamProducer;
+    class ClusterStreamProducer;
 
     /// handle() plus per-op latency metrics — the loop's execute handler.
     [[nodiscard]] std::string execute_framed(const Request& request);
@@ -134,7 +147,22 @@ private:
     [[nodiscard]] std::unique_ptr<StreamProducer> open_stream_producer(const Request& request);
 
     [[nodiscard]] Response dispatch(const Request& request);
+    /// Cluster routing for SAMPLE/VALIDATE/TRAIN: nullopt means "handle
+    /// locally"; otherwise the response relayed from the model's owner
+    /// (walking the ring preference list past down peers).  Runs on request
+    /// workers — a forward is a blocking peer RPC whose response completes
+    /// through the ordinary worker-completion path.
+    [[nodiscard]] std::optional<Response> maybe_forward(const Request& request);
+    /// Async TRAIN for a model another node owns: a local proxy job that
+    /// submits the training to `peer` and mirrors its progress, so the job
+    /// id in the response is POLLable *here*.
+    [[nodiscard]] Response forward_train_async(const std::shared_ptr<ClusterService>& c,
+                                               const std::string& peer, Request request);
     [[nodiscard]] Response handle_train(const Request& request);
+    [[nodiscard]] Response handle_fedtrain(const Request& request);
+    [[nodiscard]] Response handle_cluster(const Request& request);
+    [[nodiscard]] Response handle_replicate(const Request& request);
+    [[nodiscard]] Response handle_fetch(const Request& request);
     [[nodiscard]] Response handle_sample(const Request& request);
     [[nodiscard]] SampleSpec parse_sample_spec(const Request& request, bool streaming) const;
     /// Drives the model's streaming sampler for `spec` (conditional or not).
@@ -143,7 +171,7 @@ private:
                                   const core::KiNetGan::SampleSink& sink);
     [[nodiscard]] Response handle_validate(const Request& request);
     [[nodiscard]] Response handle_stats(const Request& request);
-    [[nodiscard]] Response handle_poll(const Request& request) const;
+    [[nodiscard]] Response handle_poll(const Request& request);
     [[nodiscard]] Response handle_cancel(const Request& request);
     [[nodiscard]] Response handle_jobs() const;
     [[nodiscard]] TrainPlan parse_train_plan(const Request& request) const;
@@ -153,6 +181,12 @@ private:
     [[nodiscard]] TrainResult run_training(const TrainPlan& plan,
                                            JobManager::Context* context) const;
     [[nodiscard]] std::shared_ptr<ModelEntry> require_model(const std::string& name) const;
+    /// require_model with pull-through replication: on a local miss in a
+    /// fleet, fetch the snapshot from an up member of the model's
+    /// preference list, admit it to the registry (whose LRU byte budget is
+    /// the cache policy), and serve it locally from then on.
+    [[nodiscard]] std::shared_ptr<ModelEntry> acquire_model(const std::string& name,
+                                                            bool allow_pull_through);
 
     ServerOptions options_;
     ModelRegistry registry_;
@@ -161,6 +195,8 @@ private:
     JobManager jobs_;
     Metrics metrics_;
     std::unique_ptr<EventLoop> loop_;
+    mutable std::mutex cluster_mu_;
+    std::shared_ptr<ClusterService> cluster_;
 };
 
 }  // namespace kinet::service

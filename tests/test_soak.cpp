@@ -341,4 +341,137 @@ TEST_F(SoakTest, JobChurnInterleavedWithStreamsAndCancels) {
     client.quit();
 }
 
+TEST(SoakFleet, NodeDeathMidStreamLeavesSurvivorsServing) {
+    // A 3-node fleet under streaming load loses one member abruptly: the
+    // dead node's clients see clean errors, the survivors' streams finish,
+    // health converges (STATS/CLUSTER show the death), and replicated
+    // models stay reachable everywhere.
+    std::vector<SynthServer*> fleet;
+    std::vector<PeerAddress> addrs;
+    for (std::size_t i = 0; i < 3; ++i) {
+        auto* s = new SynthServer(ServerOptions{});
+        s->start();
+        fleet.push_back(s);
+        addrs.push_back(PeerAddress{"127.0.0.1", s->port()});
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+        ClusterConfig cfg;
+        cfg.self = addrs[i];
+        for (std::size_t j = 0; j < 3; ++j) {
+            if (j != i) {
+                cfg.peers.push_back(addrs[j]);
+            }
+        }
+        cfg.replicas = 2;
+        cfg.probe_interval_ms = 100;
+        fleet[i]->enable_cluster(cfg);
+    }
+
+    // FEDTRAIN from node 0: train there, publish the snapshot fleet-wide.
+    {
+        auto seeder = SynthClient::connect("127.0.0.1", fleet[0]->port());
+        TrainSpec spec;
+        spec.records = 400;
+        spec.sim_seed = 11;
+        spec.epochs = 2;
+        spec.gan_seed = 1;
+        const std::uint64_t job = seeder.fedtrain_async("fleet-soak", spec);
+        const auto info = seeder.wait_for_job(job);
+        ASSERT_EQ(info.at("state"), "done");
+        seeder.quit();
+    }
+    for (auto* s : fleet) {
+        ASSERT_NE(s->registry().get("fleet-soak"), nullptr);
+    }
+
+    // Streaming load against the two survivors-to-be, plus one client that
+    // will be cut off mid-stream when its node dies.
+    std::atomic<bool> victim_errored{false};
+    std::vector<std::string> failures(2);
+    std::atomic<std::size_t> survivor_rows{0};
+    std::latch streams_started(3);
+    std::thread victim([&] {
+        try {
+            ClientOptions copts;
+            copts.recv_timeout_ms = 20000;
+            auto c = SynthClient::connect("127.0.0.1", fleet[2]->port(), copts);
+            bool first = true;
+            (void)c.sample_stream(
+                "fleet-soak", 200000, 3,
+                [&](const std::string&) {
+                    if (first) {
+                        first = false;
+                        streams_started.arrive_and_wait();
+                    }
+                    // Dawdle so the kill lands mid-stream.
+                    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                },
+                /*chunk_rows=*/128);
+        } catch (const Error&) {
+            victim_errored.store(true);  // expected: the node died under it
+        }
+    });
+    std::vector<std::thread> survivors;
+    for (std::size_t t = 0; t < 2; ++t) {
+        survivors.emplace_back([&, t] {
+            try {
+                ClientOptions copts;
+                copts.recv_timeout_ms = 60000;
+                auto c = SynthClient::connect("127.0.0.1", fleet[t]->port(), copts);
+                bool first = true;
+                const std::uint64_t rows = c.sample_stream(
+                    "fleet-soak", 20000, 7 + t,
+                    [&](const std::string&) {
+                        if (first) {
+                            first = false;
+                            streams_started.arrive_and_wait();
+                        }
+                    },
+                    /*chunk_rows=*/256);
+                survivor_rows.fetch_add(rows);
+                c.quit();
+            } catch (const std::exception& e) {
+                failures[t] = e.what();
+            }
+        });
+    }
+
+    // Kill node 2 once all three streams are demonstrably in flight.
+    streams_started.wait();
+    fleet[2]->stop();
+    victim.join();
+    for (auto& t : survivors) {
+        t.join();
+    }
+    EXPECT_TRUE(victim_errored.load()) << "killed node's stream ended without error";
+    for (const auto& message : failures) {
+        EXPECT_TRUE(message.empty()) << message;
+    }
+    EXPECT_EQ(survivor_rows.load(), 2U * 20000U) << "a survivor stream fell short";
+
+    // Health converges: force a probe round instead of sleeping for one.
+    fleet[0]->cluster()->probe_now();
+    fleet[1]->cluster()->probe_now();
+    const std::string dead = fleet[2]->cluster()->self_name();
+    EXPECT_FALSE(fleet[0]->cluster()->peer_up(dead));
+
+    // STATS and CLUSTER surface the death; fresh requests keep working on
+    // both survivors, for the replicated model, with identical bytes.
+    auto a = SynthClient::connect("127.0.0.1", fleet[0]->port());
+    auto b = SynthClient::connect("127.0.0.1", fleet[1]->port());
+    Request stats;
+    stats.op = Op::stats;
+    const std::string payload = a.rpc(stats).payload;
+    EXPECT_NE(payload.find("peers_up=1"), std::string::npos) << payload;
+    EXPECT_NE(payload.find("peer." + dead + ".up=0"), std::string::npos) << payload;
+    EXPECT_EQ(a.cluster().at("members_up"), "2");
+    const std::string expect = a.sample_csv("fleet-soak", 50, 99);
+    EXPECT_EQ(b.sample_csv("fleet-soak", 50, 99), expect);
+    a.quit();
+    b.quit();
+    for (auto* s : fleet) {
+        delete s;
+    }
+}
+
 }  // namespace
