@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/check.hpp"
+#include "src/common/thread_annotations.hpp"
 
 namespace kinet {
 
@@ -41,19 +42,21 @@ struct ThreadPool::Impl {
     // (below) only ever pops `chunks` — if it executed a blocking task while
     // the caller holds a lock, a second task waiting on that same lock would
     // deadlock the lane.  Workers serve both, chunks first.
-    std::deque<std::function<void()>> chunks;
-    std::deque<std::function<void()>> tasks;
-    std::mutex mu;
-    std::condition_variable cv;
-    bool stop = false;
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::function<void()>> chunks KINET_GUARDED_BY(mu);
+    std::deque<std::function<void()>> tasks KINET_GUARDED_BY(mu);
+    bool stop KINET_GUARDED_BY(mu) = false;
 
     void worker_loop() {
         t_worker_pool = this;
         for (;;) {
             std::function<void()> task;
             {
-                std::unique_lock<std::mutex> lock(mu);
-                cv.wait(lock, [&] { return stop || !chunks.empty() || !tasks.empty(); });
+                UniqueLock lock(mu);
+                while (!stop && chunks.empty() && tasks.empty()) {
+                    cv.wait(lock);
+                }
                 if (stop && chunks.empty() && tasks.empty()) {
                     return;
                 }
@@ -80,7 +83,7 @@ ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
 
 ThreadPool::~ThreadPool() {
     {
-        const std::lock_guard<std::mutex> lock(impl_->mu);
+        const MutexLock lock(impl_->mu);
         impl_->stop = true;
     }
     impl_->cv.notify_all();
@@ -107,9 +110,9 @@ void ThreadPool::parallel_for(std::size_t count, std::size_t max_chunks,
     // through the shared_ptr captured in each task.
     struct Batch {
         std::atomic<std::size_t> remaining;
-        std::mutex mu;
-        std::condition_variable done;
-        std::exception_ptr error;
+        Mutex mu;
+        CondVar done;
+        std::exception_ptr error KINET_GUARDED_BY(mu);
     };
     auto batch = std::make_shared<Batch>();
     batch->remaining.store(chunks, std::memory_order_relaxed);
@@ -118,13 +121,13 @@ void ThreadPool::parallel_for(std::size_t count, std::size_t max_chunks,
         try {
             fn(begin, end);
         } catch (...) {
-            const std::lock_guard<std::mutex> lock(batch->mu);
+            const MutexLock lock(batch->mu);
             if (!batch->error) {
                 batch->error = std::current_exception();
             }
         }
         if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            const std::lock_guard<std::mutex> lock(batch->mu);
+            const MutexLock lock(batch->mu);
             batch->done.notify_all();
         }
     };
@@ -132,7 +135,7 @@ void ThreadPool::parallel_for(std::size_t count, std::size_t max_chunks,
     // Deterministic partition: chunk c covers [c*count/chunks, (c+1)*count/chunks).
     auto chunk_begin = [count, chunks](std::size_t c) { return c * count / chunks; };
     {
-        const std::lock_guard<std::mutex> lock(impl_->mu);
+        const MutexLock lock(impl_->mu);
         for (std::size_t c = 1; c < chunks; ++c) {
             impl_->chunks.emplace_back(
                 [run_chunk, b = chunk_begin(c), e = chunk_begin(c + 1)] { run_chunk(b, e); });
@@ -147,7 +150,7 @@ void ThreadPool::parallel_for(std::size_t count, std::size_t max_chunks,
     for (;;) {
         std::function<void()> task;
         {
-            const std::lock_guard<std::mutex> lock(impl_->mu);
+            const MutexLock lock(impl_->mu);
             if (!impl_->chunks.empty()) {
                 task = std::move(impl_->chunks.front());
                 impl_->chunks.pop_front();
@@ -159,8 +162,10 @@ void ThreadPool::parallel_for(std::size_t count, std::size_t max_chunks,
         task();
     }
 
-    std::unique_lock<std::mutex> lock(batch->mu);
-    batch->done.wait(lock, [&] { return batch->remaining.load(std::memory_order_acquire) == 0; });
+    UniqueLock lock(batch->mu);
+    while (batch->remaining.load(std::memory_order_acquire) != 0) {
+        batch->done.wait(lock);
+    }
     if (batch->error) {
         std::rethrow_exception(batch->error);
     }
@@ -173,7 +178,7 @@ void ThreadPool::submit(std::function<void()> task) {
         return;
     }
     {
-        const std::lock_guard<std::mutex> lock(impl_->mu);
+        const MutexLock lock(impl_->mu);
         impl_->tasks.push_back(std::move(task));
     }
     impl_->cv.notify_one();

@@ -1,0 +1,214 @@
+// Clang Thread Safety Analysis capabilities for the concurrent stack.
+//
+// Every lock-guarded class in the tree (ThreadPool, ModelRegistry,
+// JobManager, EventLoop, ClusterService, Linear's packed-weight cache)
+// declares which fields each mutex protects via these macros, and clang
+// checks the lock discipline at compile time (`-Wthread-safety`, enforced
+// -Werror by the static-analysis CI job).  Under GCC/MSVC the macros expand
+// to nothing and the wrapper types below degrade to thin shims over the
+// std primitives, so the annotations cost nothing off-clang.
+//
+// Conventions (see docs/static-analysis.md for the full catalog):
+//   - a field written under a lock is `KINET_GUARDED_BY(mu_)`;
+//   - a private helper that assumes the lock is held is named `*_locked`
+//     and declared `KINET_REQUIRES(mu_)`;
+//   - lock objects are the annotated wrappers (kinet::Mutex,
+//     kinet::SharedMutex, kinet::CondVar), never raw std types;
+//   - scopes hold locks via MutexLock / ReaderLock / WriterLock /
+//     UniqueLock, never bare lock()/unlock() pairs;
+//   - KINET_NO_THREAD_SAFETY_ANALYSIS appears only on documented sites
+//     implementing a deliberate lock-free publication protocol (each one
+//     must cite its memory-ordering argument in a comment).
+#ifndef KINETGAN_COMMON_THREAD_ANNOTATIONS_H
+#define KINETGAN_COMMON_THREAD_ANNOTATIONS_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define KINET_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define KINET_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "shared_mutex", ...).
+#define KINET_CAPABILITY(x) KINET_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define KINET_SCOPED_CAPABILITY KINET_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is only read/written while holding `x`.
+#define KINET_GUARDED_BY(x) KINET_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field whose *pointee* is only accessed while holding `x`.
+#define KINET_PT_GUARDED_BY(x) KINET_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold `...` exclusively before invoking.
+#define KINET_REQUIRES(...) \
+    KINET_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Caller must hold `...` at least shared.
+#define KINET_REQUIRES_SHARED(...) \
+    KINET_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires `...` exclusively and does not release it.
+#define KINET_ACQUIRE(...) \
+    KINET_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define KINET_ACQUIRE_SHARED(...) \
+    KINET_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// Function releases `...` (exclusive, shared, or either — _GENERIC).
+#define KINET_RELEASE(...) \
+    KINET_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define KINET_RELEASE_SHARED(...) \
+    KINET_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define KINET_RELEASE_GENERIC(...) \
+    KINET_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires `...` iff it returns `ret`.
+#define KINET_TRY_ACQUIRE(ret, ...) \
+    KINET_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must NOT hold `...` (deadlock prevention on re-entrant paths).
+#define KINET_EXCLUDES(...) KINET_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define KINET_ASSERT_CAPABILITY(x) \
+    KINET_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define KINET_RETURN_CAPABILITY(x) KINET_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch — documented, justified sites ONLY (lock-free publication
+/// protocols the analysis cannot model).  Every use must carry a comment
+/// explaining the memory-ordering argument; kinet-lint counts them.
+#define KINET_NO_THREAD_SAFETY_ANALYSIS \
+    KINET_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace kinet {
+
+/// std::mutex with the capability attribute clang's analysis tracks.
+class KINET_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() KINET_ACQUIRE() { mu_.lock(); }
+    void unlock() KINET_RELEASE() { mu_.unlock(); }
+    [[nodiscard]] bool try_lock() KINET_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+    friend class CondVar;
+    friend class UniqueLock;
+    std::mutex mu_;
+};
+
+/// std::shared_mutex with exclusive + shared capability tracking.
+class KINET_CAPABILITY("shared_mutex") SharedMutex {
+public:
+    SharedMutex() = default;
+    SharedMutex(const SharedMutex&) = delete;
+    SharedMutex& operator=(const SharedMutex&) = delete;
+
+    void lock() KINET_ACQUIRE() { mu_.lock(); }
+    void unlock() KINET_RELEASE() { mu_.unlock(); }
+    void lock_shared() KINET_ACQUIRE_SHARED() { mu_.lock_shared(); }
+    void unlock_shared() KINET_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+private:
+    std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex (std::lock_guard shape: no unlock
+/// before destruction, no condition-variable use — see UniqueLock).
+class KINET_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mu) KINET_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() KINET_RELEASE() { mu_.unlock(); }
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& mu_;
+};
+
+/// RAII exclusive lock that a CondVar can wait on (std::unique_lock shape).
+class KINET_SCOPED_CAPABILITY UniqueLock {
+public:
+    explicit UniqueLock(Mutex& mu) KINET_ACQUIRE(mu) : lock_(mu.mu_) {}
+    ~UniqueLock() KINET_RELEASE() = default;
+    UniqueLock(const UniqueLock&) = delete;
+    UniqueLock& operator=(const UniqueLock&) = delete;
+
+private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lock_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class KINET_SCOPED_CAPABILITY WriterLock {
+public:
+    explicit WriterLock(SharedMutex& mu) KINET_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~WriterLock() KINET_RELEASE() { mu_.unlock(); }
+    WriterLock(const WriterLock&) = delete;
+    WriterLock& operator=(const WriterLock&) = delete;
+
+private:
+    SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class KINET_SCOPED_CAPABILITY ReaderLock {
+public:
+    explicit ReaderLock(SharedMutex& mu) KINET_ACQUIRE_SHARED(mu) : mu_(mu) {
+        mu_.lock_shared();
+    }
+    // Destructor releases the shared hold.  Clang models a scoped
+    // capability's destructor as releasing whatever mode it acquired, and
+    // rejects release_shared here ("cannot release shared capability"), so
+    // the generic release is the correct annotation.
+    ~ReaderLock() KINET_RELEASE_GENERIC() { mu_.unlock_shared(); }
+    ReaderLock(const ReaderLock&) = delete;
+    ReaderLock& operator=(const ReaderLock&) = delete;
+
+private:
+    SharedMutex& mu_;
+};
+
+/// Condition variable bound to kinet::Mutex via UniqueLock.  wait()
+/// releases and reacquires the mutex internally; from the analysis'
+/// viewpoint the capability is held across the call, which matches how
+/// callers reason about their predicates.
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+    void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+    // Predicate-less timed waits only: a predicate lambda would read its
+    // guarded fields inside a function the analysis sees without the lock
+    // held — callers loop over the condition inline instead, where the
+    // capability is visible (see docs/static-analysis.md).
+    template <typename Rep, typename Period>
+    std::cv_status wait_for(UniqueLock& lock,
+                            const std::chrono::duration<Rep, Period>& dur) {
+        return cv_.wait_for(lock.lock_, dur);
+    }
+
+    template <typename Clock, typename Duration>
+    std::cv_status wait_until(UniqueLock& lock,
+                              const std::chrono::time_point<Clock, Duration>& deadline) {
+        return cv_.wait_until(lock.lock_, deadline);
+    }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace kinet
+
+#endif  // KINETGAN_COMMON_THREAD_ANNOTATIONS_H

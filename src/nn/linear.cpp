@@ -35,23 +35,35 @@ Matrix Linear::backward(const Matrix& grad_out) {
     return tensor::matmul_nt(grad_out, weight_.value);
 }
 
-void Linear::forward_inference(const Matrix& input, Matrix& out, InferenceContext& /*ctx*/) const {
-    KINET_CHECK(input.cols() == in_features_, "Linear: input width mismatch");
+// Justified KINET_NO_THREAD_SAFETY_ANALYSIS site: the fast-path read of
+// packed_weight_ is deliberately outside pack_mu_.  Safety argument: the
+// pack is written only under pack_mu_ and published by the release store to
+// packed_ready_; every reader acquires packed_ready_ first, so it observes
+// the completed pack (release/acquire pairing).  Invalidation never runs
+// concurrently with forward_inference — training and serving on one
+// instance are mutually exclusive by contract (enforced by the server:
+// fitted models in the registry are only ever sampled).
+const tensor::PackedGemmB& Linear::packed_for_inference() const {
     if (!packed_ready_.load(std::memory_order_acquire)) {
-        const std::lock_guard<std::mutex> lock(pack_mu_);
+        const MutexLock lock(pack_mu_);
         if (!packed_ready_.load(std::memory_order_relaxed)) {
             packed_weight_ = tensor::pack_gemm_b(weight_.value);
             packed_ready_.store(true, std::memory_order_release);
         }
     }
+    return packed_weight_;
+}
+
+void Linear::forward_inference(const Matrix& input, Matrix& out, InferenceContext& /*ctx*/) const {
+    KINET_CHECK(input.cols() == in_features_, "Linear: input width mismatch");
     // Same engine, same blocking, same per-element accumulation as the
     // training path's matmul_bias — only the per-call weight packing is
     // gone — so the output is bit-identical to forward(input, false).
-    tensor::matmul_packed_bias_into(input, packed_weight_, bias_.value, out);
+    tensor::matmul_packed_bias_into(input, packed_for_inference(), bias_.value, out);
 }
 
 void Linear::invalidate_packed() {
-    const std::lock_guard<std::mutex> lock(pack_mu_);
+    const MutexLock lock(pack_mu_);
     packed_weight_.clear();
     packed_ready_.store(false, std::memory_order_release);
 }

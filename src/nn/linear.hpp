@@ -3,9 +3,9 @@
 #define KINETGAN_NN_LINEAR_H
 
 #include <atomic>
-#include <mutex>
 
 #include "src/common/rng.hpp"
+#include "src/common/thread_annotations.hpp"
 #include "src/nn/module.hpp"
 #include "src/tensor/gemm.hpp"
 
@@ -36,6 +36,11 @@ private:
     /// Drops the packed weight cache — called whenever the weights may
     /// change (backward, the step that follows it, load_state).
     void invalidate_packed();
+    /// Builds the packed copy on first call (double-checked under
+    /// pack_mu_), then returns it without the lock — the documented
+    /// lock-free publication site (see linear.cpp for the justification).
+    [[nodiscard]] const tensor::PackedGemmB& packed_for_inference() const
+        KINET_NO_THREAD_SAFETY_ANALYSIS;
 
     std::size_t in_features_;
     std::size_t out_features_;
@@ -48,9 +53,9 @@ private:
     // (acquire) before using it, built under `pack_mu_`.  Invalidation must
     // not run concurrently with forward_inference — training and serving on
     // the same instance are mutually exclusive by contract.
-    mutable std::mutex pack_mu_;
+    mutable Mutex pack_mu_;
     mutable std::atomic<bool> packed_ready_{false};
-    mutable tensor::PackedGemmB packed_weight_;
+    mutable tensor::PackedGemmB packed_weight_ KINET_GUARDED_BY(pack_mu_);
 };
 
 }  // namespace kinet::nn

@@ -37,7 +37,7 @@ ClusterService::ClusterService(ClusterConfig config)
 ClusterService::~ClusterService() { stop(); }
 
 void ClusterService::start_probing() {
-    const std::lock_guard<std::mutex> lock(stop_mu_);
+    const MutexLock lock(stop_mu_);
     if (probing_ || stopping_) {
         return;
     }
@@ -47,7 +47,7 @@ void ClusterService::start_probing() {
 
 void ClusterService::stop() {
     {
-        const std::lock_guard<std::mutex> lock(stop_mu_);
+        const MutexLock lock(stop_mu_);
         if (stopping_) {
             return;
         }
@@ -58,7 +58,7 @@ void ClusterService::stop() {
         prober_.join();
     }
     for (auto& peer : peers_) {
-        const std::lock_guard<std::mutex> lock(peer->mu);
+        const MutexLock lock(peer->mu);
         peer->client.reset();
     }
 }
@@ -106,7 +106,7 @@ const ClusterService::Peer* ClusterService::find_peer(const std::string& name) c
 }
 
 Response ClusterService::peer_rpc(Peer& peer, const Request& request) {
-    const std::lock_guard<std::mutex> lock(peer.mu);
+    const MutexLock lock(peer.mu);
     const auto start = std::chrono::steady_clock::now();
     try {
         if (!peer.client.has_value()) {
@@ -240,8 +240,16 @@ void ClusterService::probe_loop() {
         std::chrono::milliseconds(config_.probe_interval_ms == 0 ? 1000 : config_.probe_interval_ms);
     for (;;) {
         {
-            std::unique_lock<std::mutex> lock(stop_mu_);
-            if (stop_cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+            UniqueLock lock(stop_mu_);
+            const auto deadline = std::chrono::steady_clock::now() + interval;
+            // Inline condition loop (not a wait predicate) so the guarded
+            // read of stopping_ is visibly under stop_mu_.
+            while (!stopping_) {
+                if (stop_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+                    break;
+                }
+            }
+            if (stopping_) {
                 return;
             }
         }

@@ -19,16 +19,15 @@
 #define KINETGAN_SERVICE_CLUSTER_CLUSTER_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.hpp"
 #include "src/service/client.hpp"
 #include "src/service/cluster/config.hpp"
 #include "src/service/cluster/ring.hpp"
@@ -125,8 +124,8 @@ private:
     struct Peer {
         PeerAddress addr;
         std::string name;
-        std::mutex mu;
-        std::optional<SynthClient> client;
+        Mutex mu;
+        std::optional<SynthClient> client KINET_GUARDED_BY(mu);
         std::atomic<bool> up{true};
         std::atomic<std::uint64_t> rpc_errors{0};
         LatencyHistogram latency;
@@ -144,10 +143,14 @@ private:
     HashRing ring_;
     std::vector<std::unique_ptr<Peer>> peers_;
 
-    std::mutex stop_mu_;
-    std::condition_variable stop_cv_;
-    bool stopping_ = false;
-    bool probing_ = false;
+    Mutex stop_mu_;
+    CondVar stop_cv_;
+    bool stopping_ KINET_GUARDED_BY(stop_mu_) = false;
+    bool probing_ KINET_GUARDED_BY(stop_mu_) = false;
+    /// Written under stop_mu_ in start_probing(); joined in stop() after
+    /// the stopping_ handshake published it (mutex release/acquire order),
+    /// so the join itself runs unlocked — it must, the probe loop takes
+    /// stop_mu_ to sleep.
     std::thread prober_;
 };
 

@@ -67,7 +67,12 @@ void EventLoop::start() {
     KINET_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
                 "event_loop: epoll_ctl(eventfd)");
 
-    workers_stop_ = false;
+    {
+        // No workers are alive here (stop() joined them), but the flag is
+        // guarded by tasks_mu_ and the discipline is checked — lock it.
+        const MutexLock lock(tasks_mu_);
+        workers_stop_ = false;
+    }
     const std::size_t n_workers = options_.workers == 0 ? 1 : options_.workers;
     workers_.reserve(n_workers);
     for (std::size_t i = 0; i < n_workers; ++i) {
@@ -88,7 +93,7 @@ void EventLoop::stop() {
         loop_thread_.join();
     }
     {
-        const std::lock_guard<std::mutex> lock(tasks_mu_);
+        const MutexLock lock(tasks_mu_);
         workers_stop_ = true;
         tasks_.clear();  // queued work is for connections that are going away
         metrics_.queue_depth.store(0, std::memory_order_relaxed);
@@ -109,7 +114,7 @@ void EventLoop::stop() {
     conns_.clear();
     dead_.clear();
     {
-        const std::lock_guard<std::mutex> lock(done_mu_);
+        const MutexLock lock(done_mu_);
         done_.clear();
     }
     if (epoll_fd_ >= 0) {
@@ -143,6 +148,9 @@ void EventLoop::loop_main() {
             }
             if (tag == kWakeTag) {
                 std::uint64_t token = 0;
+                // The wake fd is a non-blocking eventfd, not a socket: a short
+                // read just means the counter is already drained.
+                // kinet-lint: allow(raw-io): eventfd counter drain, not socket IO
                 while (::read(wake_fd_, &token, sizeof(token)) > 0) {
                 }
                 continue;
@@ -175,8 +183,10 @@ void EventLoop::worker_main() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(tasks_mu_);
-            tasks_cv_.wait(lock, [this] { return workers_stop_ || !tasks_.empty(); });
+            UniqueLock lock(tasks_mu_);
+            while (!workers_stop_ && tasks_.empty()) {
+                tasks_cv_.wait(lock);
+            }
             if (workers_stop_) {
                 return;
             }
@@ -455,7 +465,7 @@ void EventLoop::schedule_stream_step(Connection& conn) {
 void EventLoop::drain_completions() {
     std::vector<Completion> batch;
     {
-        const std::lock_guard<std::mutex> lock(done_mu_);
+        const MutexLock lock(done_mu_);
         batch.swap(done_);
     }
     for (const auto& done : batch) {
@@ -543,7 +553,7 @@ void EventLoop::update_interest(Connection& conn) {
 
 bool EventLoop::try_enqueue_task(std::function<void()> task) {
     {
-        const std::lock_guard<std::mutex> lock(tasks_mu_);
+        const MutexLock lock(tasks_mu_);
         if (tasks_.size() >= options_.queue_depth) {
             return false;
         }
@@ -557,7 +567,7 @@ bool EventLoop::try_enqueue_task(std::function<void()> task) {
 
 void EventLoop::enqueue_task_unbounded(std::function<void()> task) {
     {
-        const std::lock_guard<std::mutex> lock(tasks_mu_);
+        const MutexLock lock(tasks_mu_);
         tasks_.push_back(std::move(task));
         metrics_.queue_depth.store(static_cast<std::int64_t>(tasks_.size()),
                                    std::memory_order_relaxed);
@@ -567,7 +577,7 @@ void EventLoop::enqueue_task_unbounded(std::function<void()> task) {
 
 void EventLoop::push_completion(Completion done) {
     {
-        const std::lock_guard<std::mutex> lock(done_mu_);
+        const MutexLock lock(done_mu_);
         done_.push_back(std::move(done));
     }
     wake_loop();
@@ -576,6 +586,9 @@ void EventLoop::push_completion(Completion done) {
 void EventLoop::wake_loop() {
     if (wake_fd_ >= 0) {
         const std::uint64_t one = 1;
+        // An 8-byte eventfd counter write cannot short-write, and a dropped
+        // EINTR wake is redundant with the next one.
+        // kinet-lint: allow(raw-io): eventfd wakeup, not socket IO
         (void)!::write(wake_fd_, &one, sizeof(one));
     }
 }

@@ -18,18 +18,17 @@
 #define KINETGAN_SERVICE_EVENT_LOOP_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/thread_annotations.hpp"
 #include "src/service/metrics.hpp"
 #include "src/service/protocol.hpp"
 #include "src/service/socket.hpp"
@@ -189,18 +188,21 @@ private:
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
 
+    // Connection state is confined to the loop thread (loop_main and the
+    // handlers it calls; stop() touches it only after joining the loop) —
+    // single-owner by construction, so no capability guards it.
     std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
     std::vector<std::uint64_t> dead_;  // closing connections awaiting erase
     std::uint64_t next_conn_id_ = 1;
 
     std::vector<std::thread> workers_;
-    std::mutex tasks_mu_;
-    std::condition_variable tasks_cv_;
-    std::deque<std::function<void()>> tasks_;
-    bool workers_stop_ = false;
+    Mutex tasks_mu_;
+    CondVar tasks_cv_;
+    std::deque<std::function<void()>> tasks_ KINET_GUARDED_BY(tasks_mu_);
+    bool workers_stop_ KINET_GUARDED_BY(tasks_mu_) = false;
 
-    std::mutex done_mu_;
-    std::vector<Completion> done_;
+    Mutex done_mu_;
+    std::vector<Completion> done_ KINET_GUARDED_BY(done_mu_);
 };
 
 }  // namespace kinet::service

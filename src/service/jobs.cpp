@@ -1,6 +1,7 @@
 #include "src/service/jobs.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -88,7 +89,7 @@ std::uint64_t JobManager::submit(std::string model, std::size_t epochs_total, Wo
     job->work = std::move(work);
     std::uint64_t id = 0;
     {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const MutexLock lock(mu_);
         KINET_CHECK(!stopping_, "JobManager::submit: manager is stopped");
         id = next_id_++;
         job->id = id;
@@ -101,7 +102,7 @@ std::uint64_t JobManager::submit(std::string model, std::size_t epochs_total, Wo
 }
 
 std::optional<JobInfo> JobManager::info(std::uint64_t id) const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) {
         return std::nullopt;
@@ -110,7 +111,7 @@ std::optional<JobInfo> JobManager::info(std::uint64_t id) const {
 }
 
 std::optional<JobInfo> JobManager::wait(std::uint64_t id, std::size_t timeout_ms) {
-    std::unique_lock<std::mutex> lock(mu_);
+    UniqueLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) {
         return std::nullopt;
@@ -118,16 +119,21 @@ std::optional<JobInfo> JobManager::wait(std::uint64_t id, std::size_t timeout_ms
     // Hold the shared_ptr, not the iterator: terminal pruning may erase the
     // map entry while we sleep, and the snapshot must still be readable.
     const std::shared_ptr<Job> job = it->second;
-    const auto terminal = [&job, this] {
-        return stopping_ || job->state == JobState::done || job->state == JobState::failed ||
-               job->state == JobState::cancelled;
-    };
-    (void)cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), terminal);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    // Condition checked inline (not via a wait predicate) so the analysis
+    // sees the guarded reads happen with mu_ held.
+    while (!(stopping_ || job->state == JobState::done || job->state == JobState::failed ||
+             job->state == JobState::cancelled)) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+            break;
+        }
+    }
     return snapshot_locked(*job);
 }
 
 std::optional<JobInfo> JobManager::request_cancel(std::uint64_t id) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) {
         return std::nullopt;
@@ -142,7 +148,7 @@ std::optional<JobInfo> JobManager::request_cancel(std::uint64_t id) {
 }
 
 std::vector<JobInfo> JobManager::list() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     std::vector<JobInfo> out;
     out.reserve(jobs_.size());
     for (const auto& [id, job] : jobs_) {
@@ -152,12 +158,12 @@ std::vector<JobInfo> JobManager::list() const {
 }
 
 std::size_t JobManager::size() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     return jobs_.size();
 }
 
 void JobManager::cancel_all() {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     for (auto& job : queue_) {
         if (job->state == JobState::queued) {
             job->state = JobState::cancelled;
@@ -171,7 +177,7 @@ void JobManager::cancel_all() {
 
 void JobManager::stop() {
     {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const MutexLock lock(mu_);
         if (stopping_) {
             return;
         }
@@ -189,8 +195,10 @@ void JobManager::worker_loop() {
     for (;;) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            UniqueLock lock(mu_);
+            while (!stopping_ && queue_.empty()) {
+                cv_.wait(lock);
+            }
             if (queue_.empty()) {
                 return;  // stopping and drained
             }
@@ -215,7 +223,7 @@ void JobManager::worker_loop() {
         }
 
         {
-            const std::lock_guard<std::mutex> lock(mu_);
+            const MutexLock lock(mu_);
             if (ok) {
                 // A cancel that lands after the work already published its
                 // result arrived too late: the job is done.

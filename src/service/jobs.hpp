@@ -17,18 +17,18 @@
 #ifndef KINETGAN_SERVICE_JOBS_H
 #define KINETGAN_SERVICE_JOBS_H
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.hpp"
 
 namespace kinet::service {
 
@@ -123,14 +123,16 @@ public:
 
 private:
     void worker_loop();
-    void prune_terminal_locked();
+    void prune_terminal_locked() KINET_REQUIRES(mu_);
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
-    std::uint64_t next_id_ = 1;
-    std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;  // ordered by id
-    std::deque<std::shared_ptr<Job>> queue_;
+    mutable Mutex mu_;
+    CondVar cv_;
+    bool stopping_ KINET_GUARDED_BY(mu_) = false;
+    std::uint64_t next_id_ KINET_GUARDED_BY(mu_) = 1;
+    /// Ordered by id.  The map and queue structure is guarded; the pointed-
+    /// to Job records carry their own discipline (see jobs.cpp).
+    std::map<std::uint64_t, std::shared_ptr<Job>> jobs_ KINET_GUARDED_BY(mu_);
+    std::deque<std::shared_ptr<Job>> queue_ KINET_GUARDED_BY(mu_);
     std::vector<std::thread> workers_;
 };
 

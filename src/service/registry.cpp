@@ -29,7 +29,7 @@ void ModelRegistry::put(const std::string& name, std::unique_ptr<core::KiNetGan>
     }
     entry->model = std::move(model);
     entry->last_access_ms.store(now_ms(), std::memory_order_relaxed);
-    const std::unique_lock<std::shared_mutex> lock(mu_);
+    const WriterLock lock(mu_);
     if (const auto it = models_.find(name); it != models_.end()) {
         total_bytes_ -= it->second->memory_bytes;
     }
@@ -62,7 +62,7 @@ void ModelRegistry::evict_over_budget_locked(const std::string& keep) {
 }
 
 std::shared_ptr<ModelEntry> ModelRegistry::get(const std::string& name) const {
-    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const ReaderLock lock(mu_);
     const auto it = models_.find(name);
     if (it == models_.end()) {
         return nullptr;
@@ -72,7 +72,7 @@ std::shared_ptr<ModelEntry> ModelRegistry::get(const std::string& name) const {
 }
 
 bool ModelRegistry::erase(const std::string& name) {
-    const std::unique_lock<std::shared_mutex> lock(mu_);
+    const WriterLock lock(mu_);
     const auto it = models_.find(name);
     if (it == models_.end()) {
         return false;
@@ -83,7 +83,7 @@ bool ModelRegistry::erase(const std::string& name) {
 }
 
 std::vector<std::string> ModelRegistry::names() const {
-    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const ReaderLock lock(mu_);
     std::vector<std::string> out;
     out.reserve(models_.size());
     for (const auto& [name, entry] : models_) {
@@ -93,18 +93,18 @@ std::vector<std::string> ModelRegistry::names() const {
 }
 
 std::size_t ModelRegistry::size() const {
-    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const ReaderLock lock(mu_);
     return models_.size();
 }
 
 void ModelRegistry::set_limits(std::uint64_t budget_bytes, std::uint64_t ttl_ms) {
-    const std::unique_lock<std::shared_mutex> lock(mu_);
+    const WriterLock lock(mu_);
     budget_bytes_ = budget_bytes;
     ttl_ms_ = ttl_ms;
 }
 
 std::size_t ModelRegistry::evict_expired() {
-    const std::unique_lock<std::shared_mutex> lock(mu_);
+    const WriterLock lock(mu_);
     if (ttl_ms_ == 0) {
         return 0;
     }
@@ -125,7 +125,7 @@ std::size_t ModelRegistry::evict_expired() {
 }
 
 std::uint64_t ModelRegistry::memory_bytes() const {
-    const std::shared_lock<std::shared_mutex> lock(mu_);
+    const ReaderLock lock(mu_);
     return total_bytes_;
 }
 

@@ -24,11 +24,10 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.hpp"
 #include "src/core/kinetgan.hpp"
 
 namespace kinet::service {
@@ -37,8 +36,11 @@ namespace kinet::service {
 struct ModelEntry {
     std::unique_ptr<core::KiNetGan> model;
     /// Serialises whole-model operations (SAVE, STATS report reads);
-    /// seeded sampling is const/thread-safe and does not take it.
-    std::mutex mu;
+    /// seeded sampling is const/thread-safe and does not take it.  It
+    /// guards `model`'s non-const surface, not a field list — the pointee
+    /// is shared with lock-free const readers by design, so the mutex
+    /// carries no GUARDED_BY edges the analysis could check.
+    Mutex mu;
     std::atomic<std::uint64_t> requests{0};
     std::atomic<std::uint64_t> rows_served{0};
     /// Serialized snapshot size, measured once at put() — the unit the
@@ -92,13 +94,13 @@ private:
     [[nodiscard]] std::int64_t now_ms() const noexcept;
     /// Drops LRU entries while over budget; requires the exclusive lock.
     /// `keep` is exempt (the entry just registered).
-    void evict_over_budget_locked(const std::string& keep);
+    void evict_over_budget_locked(const std::string& keep) KINET_REQUIRES(mu_);
 
-    mutable std::shared_mutex mu_;
-    std::map<std::string, std::shared_ptr<ModelEntry>> models_;
-    std::uint64_t budget_bytes_ = 0;
-    std::uint64_t ttl_ms_ = 0;
-    std::uint64_t total_bytes_ = 0;
+    mutable SharedMutex mu_;
+    std::map<std::string, std::shared_ptr<ModelEntry>> models_ KINET_GUARDED_BY(mu_);
+    std::uint64_t budget_bytes_ KINET_GUARDED_BY(mu_) = 0;
+    std::uint64_t ttl_ms_ KINET_GUARDED_BY(mu_) = 0;
+    std::uint64_t total_bytes_ KINET_GUARDED_BY(mu_) = 0;
     std::atomic<std::uint64_t> evictions_{0};
     std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
 };

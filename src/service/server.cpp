@@ -297,7 +297,7 @@ void SynthServer::enable_cluster(ClusterConfig config) {
     service->start_probing();
     std::shared_ptr<ClusterService> old;
     {
-        const std::lock_guard<std::mutex> lock(cluster_mu_);
+        const MutexLock lock(cluster_mu_);
         old = std::exchange(cluster_, std::move(service));
     }
     if (old != nullptr) {
@@ -306,7 +306,7 @@ void SynthServer::enable_cluster(ClusterConfig config) {
 }
 
 std::shared_ptr<ClusterService> SynthServer::cluster() const {
-    const std::lock_guard<std::mutex> lock(cluster_mu_);
+    const MutexLock lock(cluster_mu_);
     return cluster_;
 }
 
@@ -397,7 +397,7 @@ Response SynthServer::dispatch(const Request& request) {
         const std::string path =
             resolve_confined(options_.snapshot_dir, request.positional.at(0), "SAVE");
         const auto entry = require_model(request.model);
-        const std::lock_guard<std::mutex> lock(entry->mu);
+        const MutexLock lock(entry->mu);
         save_snapshot_file(*entry->model, path);
         return Response{};
     }
@@ -787,7 +787,7 @@ Response SynthServer::handle_stats(const Request& request) {
     Response r;
     if (!request.model.empty()) {
         const auto entry = require_model(request.model);
-        const std::lock_guard<std::mutex> lock(entry->mu);
+        const MutexLock lock(entry->mu);
         const auto& report = entry->model->report();
         r.payload += kv_line("model", request.model);
         r.payload += kv_line("requests", std::to_string(entry->requests.load()));
@@ -899,7 +899,7 @@ Response SynthServer::handle_fetch(const Request& request) {
     const auto entry = acquire_model(request.model, !is_forwarded(request));
     Response r;
     {
-        const std::lock_guard<std::mutex> lock(entry->mu);
+        const MutexLock lock(entry->mu);
         r.payload = write_snapshot(*entry->model);
     }
     if (const auto c = cluster()) {

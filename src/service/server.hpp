@@ -21,9 +21,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
+
+#include "src/common/thread_annotations.hpp"
 
 #include "src/core/kinetgan.hpp"
 #include "src/kg/network_kg.hpp"
@@ -195,8 +196,8 @@ private:
     JobManager jobs_;
     Metrics metrics_;
     std::unique_ptr<EventLoop> loop_;
-    mutable std::mutex cluster_mu_;
-    std::shared_ptr<ClusterService> cluster_;
+    mutable Mutex cluster_mu_;
+    std::shared_ptr<ClusterService> cluster_ KINET_GUARDED_BY(cluster_mu_);
 };
 
 }  // namespace kinet::service

@@ -1,0 +1,26 @@
+// Negative-compile case: reading a KINET_GUARDED_BY field without the lock
+// must be rejected by clang -Wthread-safety (-Werror=thread-safety).  The
+// ctest wrapper registers this translation unit with WILL_FAIL, so a clean
+// compile is the test failure.
+#include "src/common/thread_annotations.hpp"
+
+class Counter {
+public:
+    void add(int v) {
+        const kinet::MutexLock lock(mu_);
+        value_ += v;
+    }
+
+    // BAD: reads value_ without holding mu_.
+    [[nodiscard]] int get_unlocked() const { return value_; }
+
+private:
+    mutable kinet::Mutex mu_;
+    int value_ KINET_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+    Counter c;
+    c.add(1);
+    return c.get_unlocked();
+}

@@ -1,0 +1,22 @@
+// Negative-compile case: calling a KINET_REQUIRES(mu_) helper without
+// holding mu_ must be rejected (this is exactly the *_locked convention the
+// tree uses — e.g. ModelRegistry::evict_over_budget_locked).
+#include "src/common/thread_annotations.hpp"
+
+class Table {
+public:
+    // BAD: invokes the _locked helper with no lock held.
+    void prune() { prune_locked(); }
+
+private:
+    void prune_locked() KINET_REQUIRES(mu_) { size_ = 0; }
+
+    kinet::Mutex mu_;
+    int size_ KINET_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+    Table t;
+    t.prune();
+    return 0;
+}

@@ -1,0 +1,24 @@
+// Negative-compile case: a ReaderLock (shared hold) does not license a
+// WRITE to a field guarded by the SharedMutex — writers need WriterLock.
+// This is the ModelRegistry discipline: lookups take ReaderLock, anything
+// that mutates the LRU map takes WriterLock.
+#include "src/common/thread_annotations.hpp"
+
+class Registry {
+public:
+    // BAD: shared hold, exclusive write.
+    void bump_under_reader() {
+        const kinet::ReaderLock lock(mu_);
+        ++entries_;
+    }
+
+private:
+    mutable kinet::SharedMutex mu_;
+    int entries_ KINET_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+    Registry r;
+    r.bump_under_reader();
+    return 0;
+}

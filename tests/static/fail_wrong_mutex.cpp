@@ -1,0 +1,24 @@
+// Negative-compile case: holding the WRONG mutex does not satisfy a
+// GUARDED_BY edge — the analysis tracks which capability guards which field,
+// not merely "some lock is held".
+#include "src/common/thread_annotations.hpp"
+
+class Pair {
+public:
+    // BAD: value_ is guarded by mu_, but this holds other_mu_.
+    void set(int v) {
+        const kinet::MutexLock lock(other_mu_);
+        value_ = v;
+    }
+
+private:
+    kinet::Mutex mu_;
+    kinet::Mutex other_mu_;
+    int value_ KINET_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+    Pair p;
+    p.set(7);
+    return 0;
+}

@@ -1,0 +1,90 @@
+// Positive control for the negative-compile harness: every locking pattern
+// the tree relies on, written correctly, must compile CLEAN under
+// -Wthread-safety -Werror=thread-safety.  If this case fails, the harness
+// (or the wrapper types in thread_annotations.hpp) is broken — the
+// fail_*.cpp results are meaningless noise until it passes again.
+#include "src/common/thread_annotations.hpp"
+
+// Exclusive mutex + GUARDED_BY + the *_locked REQUIRES convention.
+class Counter {
+public:
+    void add(int v) {
+        const kinet::MutexLock lock(mu_);
+        value_ += v;
+    }
+
+    [[nodiscard]] int get() const {
+        const kinet::MutexLock lock(mu_);
+        return value_;
+    }
+
+    void reset() {
+        const kinet::MutexLock lock(mu_);
+        reset_locked();
+    }
+
+private:
+    void reset_locked() KINET_REQUIRES(mu_) { value_ = 0; }
+
+    mutable kinet::Mutex mu_;
+    int value_ KINET_GUARDED_BY(mu_) = 0;
+};
+
+// Reader/writer discipline over a SharedMutex (the ModelRegistry shape).
+class Registry {
+public:
+    [[nodiscard]] int lookup() const {
+        const kinet::ReaderLock lock(mu_);
+        return entries_;
+    }
+
+    void insert() {
+        const kinet::WriterLock lock(mu_);
+        ++entries_;
+    }
+
+private:
+    mutable kinet::SharedMutex mu_;
+    int entries_ KINET_GUARDED_BY(mu_) = 0;
+};
+
+// CondVar + UniqueLock with the inline predicate loop (the JobManager /
+// ThreadPool worker shape) — the guarded read happens where the analysis
+// can see the capability held.
+class Queue {
+public:
+    void push() {
+        {
+            const kinet::MutexLock lock(mu_);
+            ++pending_;
+        }
+        cv_.notify_one();
+    }
+
+    void pop() {
+        kinet::UniqueLock lock(mu_);
+        while (pending_ == 0) {
+            cv_.wait(lock);
+        }
+        --pending_;
+    }
+
+private:
+    kinet::Mutex mu_;
+    kinet::CondVar cv_;
+    int pending_ KINET_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+    Counter c;
+    c.add(2);
+    c.reset();
+
+    Registry r;
+    r.insert();
+
+    Queue q;
+    q.push();
+    q.pop();
+    return c.get() + r.lookup();
+}

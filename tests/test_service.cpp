@@ -191,7 +191,7 @@ TEST(ModelRegistry, ConcurrentReadersAndWritersStaySane) {
             while (!stop.load()) {
                 auto entry = registry.get("shared");
                 ASSERT_NE(entry, nullptr);
-                const std::lock_guard<std::mutex> lock(entry->mu);
+                const kinet::MutexLock lock(entry->mu);
                 ASSERT_TRUE(entry->model->is_fitted());
                 lookups.fetch_add(1);
             }

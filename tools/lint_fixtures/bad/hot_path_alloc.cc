@@ -1,0 +1,40 @@
+// Fixture: allocation and locking inside serving fast-path bodies.
+#include <memory>
+#include <mutex>
+#include <vector>
+
+struct Matrix {
+    std::vector<double> data;
+};
+struct InferenceContext {};
+
+struct Layer {
+    void forward_inference(const Matrix& in, Matrix& out, InferenceContext& ctx) const;
+    mutable std::mutex mu_;
+};
+
+void Layer::forward_inference(const Matrix& in, Matrix& out, InferenceContext&) const {
+    out.data.resize(in.data.size());          // LINT-EXPECT: hot-path-alloc
+    out.data.push_back(0.0);                  // LINT-EXPECT: hot-path-alloc
+    auto scratch = std::make_unique<int>(3);  // LINT-EXPECT: hot-path-alloc
+    (void)scratch;
+    const std::lock_guard<std::mutex> lock(mu_);  // LINT-EXPECT: hot-path-alloc
+}
+
+struct StreamCursor {
+    const Matrix* next();
+    Matrix buf_;
+};
+
+const Matrix* StreamCursor::next() {
+    buf_.data.reserve(64);   // LINT-EXPECT: hot-path-alloc
+    double* p = new double;  // LINT-EXPECT: hot-path-alloc
+    delete p;
+    return &buf_;
+}
+
+// The same tokens outside a hot-path body are fine.
+void warm_up(Matrix& m) {
+    m.data.resize(128);
+    m.data.reserve(256);
+}

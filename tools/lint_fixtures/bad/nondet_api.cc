@@ -1,0 +1,35 @@
+// Fixture: every ambient-entropy / wall-clock API the nondet-api rule bans.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned bad_entropy() {
+    std::random_device rd;  // LINT-EXPECT: nondet-api
+    return rd();
+}
+
+int bad_libc_rand() {
+    srand(42);              // LINT-EXPECT: nondet-api
+    return rand();          // LINT-EXPECT: nondet-api
+}
+
+long bad_wall_clock() {
+    auto now = std::chrono::system_clock::now();  // LINT-EXPECT: nondet-api
+    (void)now;
+    return time(nullptr);   // LINT-EXPECT: nondet-api
+}
+
+// An allow() with a reason waives the finding.
+unsigned allowed_entropy() {
+    // kinet-lint: allow(nondet-api): fixture demonstrating a justified waiver
+    std::random_device rd;
+    return rd();
+}
+
+// An allow() without a reason is itself a finding (and does not waive).
+unsigned bare_allow() {
+    // kinet-lint: allow(nondet-api)  // LINT-EXPECT: bad-allow
+    std::random_device rd;  // LINT-EXPECT: nondet-api
+    return rd();
+}

@@ -1,0 +1,45 @@
+// Fixture: blocking calls on the epoll loop thread and raw socket syscalls.
+// The path mimics src/service/event_loop.cpp so both rules engage; only a
+// subset of the real loop-thread functions appears (the staleness check is
+// tree-only).
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+struct Connection {
+    int fd = -1;
+};
+
+struct EventLoop {
+    void flush_writes(Connection& conn);
+    void dispatch_request(Connection& conn);
+    void drain_completions();
+    void worker_main();  // worker-pool thread: blocking is fine there
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::thread worker_;
+};
+
+void EventLoop::flush_writes(Connection& conn) {
+    const char byte = 0;
+    ::send(conn.fd, &byte, 1, 0);  // LINT-EXPECT: raw-io
+}
+
+void EventLoop::dispatch_request(Connection& conn) {
+    (void)conn;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));  // LINT-EXPECT: loop-blocking
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock);  // LINT-EXPECT: loop-blocking
+}
+
+void EventLoop::drain_completions() {
+    worker_.join();  // LINT-EXPECT: loop-blocking
+}
+
+// Not in the loop-thread list: blocking here is by design.
+void EventLoop::worker_main() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock);
+}

@@ -1,0 +1,14 @@
+// Fixture: the TSA escape hatch demands an adjacent rationale comment.
+#define KINET_NO_THREAD_SAFETY_ANALYSIS  // LINT-EXPECT: tsa-escape
+
+struct Padding1 {};
+struct Padding2 {};
+struct Padding3 {};
+
+struct Cache {
+    void fast_read() KINET_NO_THREAD_SAFETY_ANALYSIS;  // LINT-EXPECT: tsa-escape
+
+    // Justified lock-free read: the value is published with a release store
+    // and read with an acquire load, so the lock is not required here.
+    void checked_read() KINET_NO_THREAD_SAFETY_ANALYSIS;
+};

@@ -1,0 +1,34 @@
+// Fixture: wire-side counts sizing containers without a bound.
+#include <cstdint>
+#include <vector>
+
+struct Reader {
+    std::uint64_t read_u64();
+    std::uint32_t read_u32();
+    std::uint64_t element_count(std::uint64_t elem_size);
+};
+
+void bad_load(Reader& in, std::vector<double>& out) {
+    std::uint64_t n = in.read_u64();
+    out.resize(n);  // LINT-EXPECT: unbounded-count
+}
+
+void bad_reserve(Reader& in, std::vector<int>& out) {
+    auto count = in.read_u32();
+    out.reserve(count);  // LINT-EXPECT: unbounded-count
+}
+
+// element_count() bounds the value against the remaining payload: safe.
+void good_load(Reader& in, std::vector<double>& out) {
+    std::uint64_t n = in.element_count(sizeof(double));
+    out.resize(n);
+}
+
+// An explicit comparison between read and use clears the taint.
+void good_checked(Reader& in, std::vector<int>& out) {
+    auto count = in.read_u32();
+    if (count > 4096) {
+        return;
+    }
+    out.resize(count);
+}

@@ -1,0 +1,19 @@
+// Fixture: the approved determinism APIs — seeded engine, monotonic clock.
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+double seeded_draw(std::uint64_t seed) {
+    std::mt19937_64 engine(seed);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine);
+}
+
+long monotonic_elapsed_ms(std::chrono::steady_clock::time_point start) {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(now - start).count();
+}
+
+// Prose mentioning rand() or std::random_device in comments never trips the
+// rule, and neither do string literals: "calling rand() is banned".
+const char* kBannedApiDocs = "rand(), srand(), std::random_device, time(nullptr)";

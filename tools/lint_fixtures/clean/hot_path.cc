@@ -1,0 +1,26 @@
+// Fixture: a warm serving path using only the approved buffer-reuse APIs.
+#include <cstddef>
+#include <vector>
+
+struct Matrix {
+    std::vector<double> data;
+    void resize_for_overwrite(std::size_t n);  // reuse API: not banned
+};
+struct InferenceContext {};
+
+struct Layer {
+    void forward_inference(const Matrix& in, Matrix& out, InferenceContext& ctx) const;
+};
+
+void apply_into(const Matrix& in, Matrix& out);
+
+void Layer::forward_inference(const Matrix& in, Matrix& out, InferenceContext&) const {
+    out.resize_for_overwrite(in.data.size());
+    apply_into(in, out);
+}
+
+// Allocation outside the hot-path bodies (setup, training) is unrestricted.
+void warm_up(Matrix& m) {
+    m.data.resize(512);
+    m.data.reserve(1024);
+}

@@ -1,0 +1,9 @@
+// Fixture: socket.cpp is the one service file allowed raw syscalls — it IS
+// the EINTR-safe wrapper layer.
+#include <cstddef>
+
+extern "C" long send(int, const void*, unsigned long, int);
+
+long send_all(int fd, const void* buf, std::size_t len) {
+    return ::send(fd, buf, len, 0);
+}
