@@ -9,6 +9,7 @@
 //          [--model-cache-mb N] [--snapshot-dir DIR] [--data-dir DIR]
 //          [--peers H:P,H:P,...] [--advertise H:P] [--cluster-config FILE]
 //          [--replicas N] [--probe-interval-ms N]
+//          [--persist] [--recover] [--enable-failpoints]
 //   kinetd --stats [--port P]
 //
 //   --port P            listen port (default 9190; 0 picks an ephemeral port)
@@ -36,10 +37,21 @@
 //   --cluster-config F  read fleet membership from file F instead of flags
 //   --replicas N        snapshot placement width on the ring (default 2)
 //   --probe-interval-ms N  peer health probe period (default 1000)
+//   --persist           write every registered model through to a durable
+//                       store (manifest + snapshots + job journal) under
+//                       --snapshot-dir (docs/robustness.md)
+//   --recover           reload the durable store on startup — registered
+//                       models come back warm and interrupted async jobs are
+//                       resubmitted; implies --persist
+//   --enable-failpoints allow the admin FAULT op to arm fault-injection
+//                       sites at runtime (KINET_FAILPOINTS env works
+//                       regardless; see docs/robustness.md)
 //   --stats             one-shot mode: connect to a running daemon at --port,
 //                       print its global STATS payload, and exit
 //
-// The daemon exits cleanly on SIGINT/SIGTERM.
+// The daemon exits cleanly on SIGINT (immediate stop) and SIGTERM (graceful
+// drain: stop accepting work, let in-flight requests finish for up to 5 s,
+// then stop).
 #include <unistd.h>
 
 #include <atomic>
@@ -52,6 +64,7 @@
 #include <vector>
 
 #include "src/common/check.hpp"
+#include "src/common/failpoint.hpp"
 #include "src/service/client.hpp"
 #include "src/service/cluster/config.hpp"
 #include "src/service/server.hpp"
@@ -59,9 +72,9 @@
 
 namespace {
 
-std::atomic<bool> g_stop{false};
+std::atomic<int> g_signal{0};
 
-void handle_signal(int /*sig*/) { g_stop.store(true); }
+void handle_signal(int sig) { g_signal.store(sig); }
 
 [[noreturn]] void usage_and_exit() {
     std::cerr << "usage: kinetd [--port P] [--load NAME=PATH]... [--epochs N]"
@@ -69,7 +82,8 @@ void handle_signal(int /*sig*/) { g_stop.store(true); }
                  " [--queue-depth N] [--model-cache-mb N]"
                  " [--snapshot-dir DIR] [--data-dir DIR]"
                  " [--peers H:P,...] [--advertise H:P] [--cluster-config FILE]"
-                 " [--replicas N] [--probe-interval-ms N]\n"
+                 " [--replicas N] [--probe-interval-ms N]"
+                 " [--persist] [--recover] [--enable-failpoints]\n"
                  "       kinetd --stats [--port P]\n";
     std::exit(2);
 }
@@ -139,6 +153,12 @@ int main(int argc, char** argv) {
                 static_cast<std::uint64_t>(next_number(1u << 20)) * 1024 * 1024;
         } else if (arg == "--stats") {
             stats_mode = true;
+        } else if (arg == "--persist") {
+            options.persist = true;
+        } else if (arg == "--recover") {
+            options.recover = true;
+        } else if (arg == "--enable-failpoints") {
+            options.enable_failpoints = true;
         } else if (arg == "--snapshot-dir") {
             options.snapshot_dir = next_value();
         } else if (arg == "--data-dir") {
@@ -192,6 +212,7 @@ int main(int argc, char** argv) {
 
     service::SynthServer server(options);
     try {
+        failpoint::configure_from_env();
         server.start();
         for (const auto& [name, path] : preload) {
             server.registry().put(name, service::load_snapshot_file(path));
@@ -235,10 +256,15 @@ int main(int argc, char** argv) {
               << ")\n"
               << std::flush;
 
-    while (!g_stop.load()) {
+    while (g_signal.load() == 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
-    std::cout << "kinetd: shutting down\n";
-    server.stop();
+    if (g_signal.load() == SIGTERM) {
+        std::cout << "kinetd: draining (SIGTERM)\n";
+        server.drain(5000);
+    } else {
+        std::cout << "kinetd: shutting down\n";
+        server.stop();
+    }
     return 0;
 }

@@ -1,0 +1,22 @@
+#include "src/common/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kinet {
+
+std::uint64_t Backoff::next_delay_ms() {
+    const double base = static_cast<double>(std::max<std::uint64_t>(options_.base_ms, 1));
+    const double grown =
+        base * std::pow(std::max(options_.multiplier, 1.0), static_cast<double>(attempt_));
+    ++attempt_;
+    double delay = std::min(grown, static_cast<double>(std::max<std::uint64_t>(
+                                       options_.max_ms, options_.base_ms)));
+    if (options_.jitter > 0.0) {
+        const double j = std::min(options_.jitter, 1.0);
+        delay *= rng_.uniform(1.0 - j, 1.0 + j);
+    }
+    return static_cast<std::uint64_t>(std::llround(std::max(delay, 0.0)));
+}
+
+}  // namespace kinet

@@ -1,0 +1,53 @@
+// Jittered exponential backoff shared by every retry loop in the tree.
+//
+// One policy object, three consumers: the client's transport-reconnect and
+// retryable-error retries, and the cluster's per-peer RPC retry budget.
+// Delays are attempt-indexed (base · multiplier^attempt, capped at max) with
+// a multiplicative jitter drawn from a *seeded* kinet::Rng — decorrelated
+// retries across peers, yet bit-reproducible in tests (the tree-wide
+// determinism contract bans wall-clock and random_device entropy).
+#ifndef KINETGAN_COMMON_BACKOFF_H
+#define KINETGAN_COMMON_BACKOFF_H
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+
+namespace kinet {
+
+struct BackoffOptions {
+    /// First delay, before jitter.
+    std::uint64_t base_ms = 50;
+    /// Ceiling the exponential growth saturates at (pre-jitter).
+    std::uint64_t max_ms = 2000;
+    /// Growth factor per attempt.
+    double multiplier = 2.0;
+    /// Jitter fraction: each delay is scaled by uniform(1-j, 1+j).  0
+    /// disables jitter entirely.
+    double jitter = 0.25;
+};
+
+/// Attempt-indexed delay generator.  Not thread-safe: each retry loop owns
+/// its instance.
+class Backoff {
+public:
+    explicit Backoff(BackoffOptions options = {}, std::uint64_t seed = 0)
+        : options_(options), rng_(seed) {}
+
+    /// Delay before the next retry; advances the attempt index.
+    [[nodiscard]] std::uint64_t next_delay_ms();
+
+    /// Restarts from the first attempt (call after a success).
+    void reset() noexcept { attempt_ = 0; }
+
+    [[nodiscard]] std::size_t attempts() const noexcept { return attempt_; }
+
+private:
+    BackoffOptions options_;
+    Rng rng_;
+    std::size_t attempt_ = 0;
+};
+
+}  // namespace kinet
+
+#endif  // KINETGAN_COMMON_BACKOFF_H

@@ -1,0 +1,279 @@
+#include "src/common/failpoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/thread_annotations.hpp"
+
+namespace kinet::failpoint {
+namespace {
+
+/// The central list of every failpoint name that may appear at a
+/// KINET_FAILPOINT site.  kinet_lint.py's `failpoint-name` rule parses this
+/// array and rejects any site whose name is missing from it (and any entry
+/// here with no site left in the tree).
+constexpr const char* kRegisteredFailpoints[] = {
+    "cluster.digest",
+    "cluster.fetch",
+    "cluster.forward",
+    "cluster.replicate",
+    "cluster.rpc",
+    "journal.append",
+    "registry.evict",
+    "snapshot.commit",
+    "snapshot.read",
+    "snapshot.write",
+    "socket.recv",
+    "socket.send",
+};
+
+enum class Mode { off, error, delay, crash };
+
+const char* mode_name(Mode mode) {
+    switch (mode) {
+    case Mode::off:
+        return "off";
+    case Mode::error:
+        return "error";
+    case Mode::delay:
+        return "delay";
+    case Mode::crash:
+        return "crash";
+    }
+    return "off";
+}
+
+struct Point {
+    Mode mode = Mode::off;
+    double p = 1.0;              // trigger probability per eligible hit
+    std::uint64_t after = 0;     // skip the first N hits
+    std::uint64_t times = 0;     // 0 = unlimited triggers
+    std::uint64_t delay_ms = 10; // mode=delay duration
+    Rng rng{0};                  // seeded probability stream
+    std::uint64_t hits = 0;
+    std::uint64_t triggered = 0;
+};
+
+/// What hit() must do after releasing the table lock (delays must not
+/// serialize unrelated failpoints behind the global mutex).
+struct Action {
+    Mode mode = Mode::off;
+    std::uint64_t delay_ms = 0;
+};
+
+struct State {
+    Mutex mu;
+    std::map<std::string, Point> points KINET_GUARDED_BY(mu);
+    std::atomic<std::uint64_t> armed{0};
+};
+
+State& state() {
+    static State s;
+    return s;
+}
+
+std::uint64_t parse_u64_key(const std::string& spec, const std::string& key,
+                            const std::string& value) {
+    try {
+        std::size_t used = 0;
+        const std::uint64_t v = std::stoull(value, &used);
+        KINET_CHECK(used == value.size(), "");
+        return v;
+    } catch (const std::exception&) {
+        throw Error("failpoint: bad " + key + "= in spec '" + spec + "'");
+    }
+}
+
+/// Parses "mode[,key=value]..." into a fresh Point.  `spec` must not be
+/// "off" (the caller special-cases disarming).
+Point parse_spec(const std::string& spec) {
+    Point point;
+    std::uint64_t seed = 0;
+    std::stringstream ss(spec);
+    std::string token;
+    bool first = true;
+    while (std::getline(ss, token, ',')) {
+        if (first) {
+            first = false;
+            if (token == "error") {
+                point.mode = Mode::error;
+            } else if (token == "delay") {
+                point.mode = Mode::delay;
+            } else if (token == "crash") {
+                point.mode = Mode::crash;
+            } else {
+                throw Error("failpoint: unknown mode '" + token + "' in spec '" + spec +
+                            "' (expected off, error, delay or crash)");
+            }
+            continue;
+        }
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            throw Error("failpoint: malformed key '" + token + "' in spec '" + spec + "'");
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "p") {
+            try {
+                point.p = std::stod(value);
+            } catch (const std::exception&) {
+                point.p = -1.0;
+            }
+            if (point.p < 0.0 || point.p > 1.0) {
+                throw Error("failpoint: p= must be in [0, 1] in spec '" + spec + "'");
+            }
+        } else if (key == "seed") {
+            seed = parse_u64_key(spec, key, value);
+        } else if (key == "after") {
+            point.after = parse_u64_key(spec, key, value);
+        } else if (key == "times") {
+            point.times = parse_u64_key(spec, key, value);
+        } else if (key == "ms") {
+            point.delay_ms = parse_u64_key(spec, key, value);
+        } else {
+            throw Error("failpoint: unknown key '" + key + "' in spec '" + spec + "'");
+        }
+    }
+    if (first) {
+        throw Error("failpoint: empty spec");
+    }
+    point.rng = Rng(seed);
+    return point;
+}
+
+}  // namespace
+
+std::atomic<std::uint64_t>& armed_count() noexcept { return state().armed; }
+
+void hit(const char* name) {
+    Action action;
+    {
+        State& s = state();
+        const MutexLock lock(s.mu);
+        const auto it = s.points.find(name);
+        if (it == s.points.end()) {
+            return;
+        }
+        Point& point = it->second;
+        ++point.hits;
+        if (point.mode == Mode::off) {
+            return;
+        }
+        if (point.hits <= point.after) {
+            return;
+        }
+        if (point.times != 0 && point.triggered >= point.times) {
+            return;
+        }
+        if (point.p < 1.0 && !point.rng.bernoulli(point.p)) {
+            return;
+        }
+        ++point.triggered;
+        action.mode = point.mode;
+        action.delay_ms = point.delay_ms;
+    }
+    switch (action.mode) {
+    case Mode::off:
+        return;
+    case Mode::error:
+        throw Error("failpoint: " + std::string(name) + " injected error");
+    case Mode::delay:
+        if (action.delay_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+        }
+        return;
+    case Mode::crash:
+        std::abort();  // the in-process stand-in for kill -9
+    }
+}
+
+void configure(const std::string& name, const std::string& spec) {
+    if (!is_registered(name)) {
+        throw Error("failpoint: unknown failpoint '" + name + "'");
+    }
+    State& s = state();
+    if (spec == "off") {
+        const MutexLock lock(s.mu);
+        if (s.points.erase(name) != 0) {
+            s.armed.fetch_sub(1, std::memory_order_relaxed);
+        }
+        return;
+    }
+    Point point = parse_spec(spec);  // throws before any state change
+    const MutexLock lock(s.mu);
+    const auto [it, inserted] = s.points.insert_or_assign(name, point);
+    (void)it;
+    if (inserted) {
+        s.armed.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void configure_from_env() {
+    const char* env = std::getenv("KINET_FAILPOINTS");
+    if (env == nullptr || *env == '\0') {
+        return;
+    }
+    std::stringstream ss{std::string(env)};
+    std::string entry;
+    while (std::getline(ss, entry, ';')) {
+        if (entry.empty()) {
+            continue;
+        }
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            throw Error("failpoint: malformed KINET_FAILPOINTS entry '" + entry +
+                        "' (expected name=spec)");
+        }
+        configure(entry.substr(0, eq), entry.substr(eq + 1));
+    }
+}
+
+void reset_all() {
+    State& s = state();
+    const MutexLock lock(s.mu);
+    s.points.clear();
+    s.armed.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(const std::string& name) {
+    State& s = state();
+    const MutexLock lock(s.mu);
+    const auto it = s.points.find(name);
+    return it == s.points.end() ? 0 : it->second.hits;
+}
+
+std::string render_status() {
+    State& s = state();
+    const MutexLock lock(s.mu);
+    std::string out;
+    out += "failpoints=" + std::to_string(s.points.size()) + "\n";
+    for (const auto& [name, point] : s.points) {
+        out += name + " mode=" + mode_name(point.mode) +
+               " hits=" + std::to_string(point.hits) +
+               " triggered=" + std::to_string(point.triggered) + "\n";
+    }
+    return out;
+}
+
+const std::vector<std::string>& registered_names() {
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v(std::begin(kRegisteredFailpoints),
+                                   std::end(kRegisteredFailpoints));
+        std::sort(v.begin(), v.end());
+        return v;
+    }();
+    return names;
+}
+
+bool is_registered(const std::string& name) {
+    const auto& names = registered_names();
+    return std::binary_search(names.begin(), names.end(), name);
+}
+
+}  // namespace kinet::failpoint

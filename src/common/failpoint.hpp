@@ -1,0 +1,91 @@
+// Deterministic fault-injection points ("failpoints") for chaos testing.
+//
+// A failpoint is a named, compiled-in site — `KINET_FAILPOINT("socket.send")`
+// — that normally costs one relaxed atomic load and a predicted branch.  When
+// armed (via the KINET_FAILPOINTS environment variable or the admin-only
+// FAULT protocol op) the site can inject an error (kinet::Error), a delay, or
+// a process abort, optionally gated on a hit count (`after=`, `times=`) or a
+// seeded-deterministic probability (`p=`, `seed=`).  Probability draws come
+// from a per-failpoint kinet::Rng, so a given spec triggers on exactly the
+// same hit sequence in every run — chaos tests are reproducible, never flaky.
+//
+// Spec grammar (one failpoint):
+//   off                                  disarm
+//   <mode>[,key=value]...                arm
+// with mode one of:
+//   error        throw kinet::Error("failpoint: <name> injected error")
+//   delay        sleep ms= milliseconds (ms=0 counts hits with no effect)
+//   crash        std::abort() — the in-process stand-in for kill -9
+// and keys:
+//   p=<0..1>     trigger probability per eligible hit (default 1)
+//   seed=<u64>   seed for the probability stream (default 0)
+//   after=<n>    skip the first n hits (default 0)
+//   times=<n>    trigger at most n times, then go inert (default unlimited)
+//   ms=<n>       delay duration for mode=delay (default 10)
+//
+// Process-wide configuration: KINET_FAILPOINTS="name=spec;name2=spec".
+//
+// Every name used at a KINET_FAILPOINT site must appear in the central
+// registry (kRegisteredFailpoints in failpoint.cpp); configure() rejects
+// unknown names and `tools/kinet_lint.py --rules failpoint-name` rejects
+// unregistered sites — a typo'd name can neither be armed nor compiled in
+// silently.
+#ifndef KINETGAN_COMMON_FAILPOINT_H
+#define KINETGAN_COMMON_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kinet::failpoint {
+
+/// Count of currently armed failpoints — the macro's fast-path guard.
+[[nodiscard]] std::atomic<std::uint64_t>& armed_count() noexcept;
+
+/// True iff any failpoint is armed.  One relaxed load; the macro checks this
+/// before paying for the table lookup in hit().
+[[nodiscard]] inline bool armed() noexcept {
+    return armed_count().load(std::memory_order_relaxed) != 0;
+}
+
+/// Evaluates the named failpoint: counts the hit and, when the configured
+/// spec elects this hit, injects the configured fault (throws kinet::Error,
+/// sleeps, or aborts).  No-op for unarmed names.  Called via the macro.
+void hit(const char* name);
+
+/// Arms (spec = "error,p=0.5,...") or disarms (spec = "off") one failpoint.
+/// Throws kinet::Error for unregistered names or malformed specs.
+void configure(const std::string& name, const std::string& spec);
+
+/// Applies KINET_FAILPOINTS="name=spec;name2=spec" if set.  Throws on
+/// malformed content — a typo'd env var must not silently disable chaos.
+void configure_from_env();
+
+/// Disarms every failpoint and zeroes all hit counters.
+void reset_all();
+
+/// Hits recorded for `name` since it was last configured (0 if never armed).
+[[nodiscard]] std::uint64_t hits(const std::string& name);
+
+/// One `name mode=<m> hits=<h> triggered=<t>` line per configured failpoint
+/// (armed or exhausted), sorted by name — the FAULT op's status payload.
+[[nodiscard]] std::string render_status();
+
+/// The central registry of every valid failpoint name, sorted.
+[[nodiscard]] const std::vector<std::string>& registered_names();
+
+/// True iff `name` is in the central registry.
+[[nodiscard]] bool is_registered(const std::string& name);
+
+}  // namespace kinet::failpoint
+
+/// A named injection site.  Disabled cost: one relaxed atomic load.
+#define KINET_FAILPOINT(name)                    \
+    do {                                         \
+        if (::kinet::failpoint::armed()) {       \
+            ::kinet::failpoint::hit(name);       \
+        }                                        \
+    } while (false)
+
+#endif  // KINETGAN_COMMON_FAILPOINT_H

@@ -1,0 +1,125 @@
+#include "src/common/fsio.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "src/common/check.hpp"
+
+namespace kinet::fsio {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+    throw Error("fsio: " + what + " " + path + ": " + std::strerror(errno));
+}
+
+/// RAII fd so error paths (throws) never leak a descriptor.
+class Fd {
+public:
+    Fd(const char* what, const std::string& path, int flags, mode_t mode = 0644)
+        : path_(path) {
+        do {
+            fd_ = ::open(path.c_str(), flags, mode);
+        } while (fd_ < 0 && errno == EINTR);
+        if (fd_ < 0) {
+            throw_errno(what, path);
+        }
+    }
+    ~Fd() {
+        if (fd_ >= 0) {
+            ::close(fd_);
+        }
+    }
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+
+    void write_all(const std::string& bytes) const {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ::ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+            if (n < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                throw_errno("write", path_);
+            }
+            off += static_cast<std::size_t>(n);
+        }
+    }
+
+    void sync() const {
+        if (::fsync(fd_) != 0) {
+            throw_errno("fsync", path_);
+        }
+    }
+
+private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+void fsync_parent_dir(const std::string& path) {
+    namespace fs = std::filesystem;
+    fs::path parent = fs::path(path).parent_path();
+    if (parent.empty()) {
+        parent = ".";
+    }
+    // Directory fsync is advisory on some filesystems; failure to open the
+    // directory read-only is not fatal (the data file itself is synced).
+    int fd = -1;
+    do {
+        fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+        return;
+    }
+    (void)::fsync(fd);
+    ::close(fd);
+}
+
+}  // namespace
+
+void write_file_durable(const std::string& path, const std::string& bytes) {
+    const Fd fd("open for write", path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC);
+    fd.write_all(bytes);
+    fd.sync();
+}
+
+void rename_durable(const std::string& from, const std::string& to) {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+        throw Error("fsio: rename " + from + " -> " + to + ": " + std::strerror(errno));
+    }
+    fsync_parent_dir(to);
+}
+
+void replace_file_durable(const std::string& path, const std::string& bytes) {
+    const std::string tmp = path + ".tmp";
+    write_file_durable(tmp, bytes);
+    rename_durable(tmp, path);
+}
+
+void append_durable(const std::string& path, const std::string& bytes) {
+    const Fd fd("open for append", path, O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC);
+    fd.write_all(bytes);
+    fd.sync();
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw Error("fsio: cannot open " + path);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad()) {
+        throw Error("fsio: read failed for " + path);
+    }
+    return ss.str();
+}
+
+}  // namespace kinet::fsio

@@ -1,0 +1,41 @@
+// Durable file IO primitives for the crash-safe persistence layer.
+//
+// The snapshot store and the job journal both need writes that survive a
+// kill -9 at any instant: either the old bytes or the new bytes are on disk
+// after restart, never a torn mixture.  The recipe is the classic one —
+// write to a temporary, fsync the file, rename over the target, fsync the
+// parent directory so the rename itself is durable.  These helpers live in
+// src/common (not src/service) deliberately: they are transport-free and the
+// raw-IO lint rule confines raw ::open/::write/::fsync to common code and
+// socket.cpp.
+#ifndef KINETGAN_COMMON_FSIO_H
+#define KINETGAN_COMMON_FSIO_H
+
+#include <string>
+
+namespace kinet::fsio {
+
+/// Writes `bytes` to `path` (create or truncate) and fsyncs the file before
+/// closing.  Throws kinet::Error on any failure.  The write is durable but
+/// NOT atomic — pair with rename_durable() for atomic replacement.
+void write_file_durable(const std::string& path, const std::string& bytes);
+
+/// Renames `from` over `to` and fsyncs the parent directory of `to`, making
+/// the replacement itself durable.  POSIX rename is atomic: a reader (or a
+/// crash) sees the old file or the new file, never a mixture.
+void rename_durable(const std::string& from, const std::string& to);
+
+/// write_file_durable to `path + ".tmp"` then rename_durable over `path` —
+/// the all-in-one atomic file replacement.
+void replace_file_durable(const std::string& path, const std::string& bytes);
+
+/// Appends `bytes` to `path` (creating it if missing) and fsyncs before
+/// closing — one durable journal record per call.  Throws on failure.
+void append_durable(const std::string& path, const std::string& bytes);
+
+/// Reads the whole file; throws kinet::Error if it cannot be opened or read.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+}  // namespace kinet::fsio
+
+#endif  // KINETGAN_COMMON_FSIO_H

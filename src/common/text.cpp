@@ -3,6 +3,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "src/common/check.hpp"
+
 namespace kinet::text {
 
 std::vector<std::string> split(std::string_view s, char delim) {
@@ -59,6 +61,48 @@ std::string pad(std::string_view s, std::size_t width) {
     std::string out(s.substr(0, width));
     while (out.size() < width) {
         out.push_back(' ');
+    }
+    return out;
+}
+
+std::string hex_encode(std::string_view bytes) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const char c : bytes) {
+        const auto b = static_cast<unsigned char>(c);
+        out.push_back(kDigits[b >> 4]);
+        out.push_back(kDigits[b & 0x0f]);
+    }
+    return out;
+}
+
+namespace {
+
+int hex_nibble(char c) {
+    if (c >= '0' && c <= '9') {
+        return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+        return c - 'a' + 10;
+    }
+    if (c >= 'A' && c <= 'F') {
+        return c - 'A' + 10;
+    }
+    return -1;
+}
+
+}  // namespace
+
+std::string hex_decode(std::string_view hex) {
+    KINET_CHECK(hex.size() % 2 == 0, "hex_decode: odd-length input");
+    std::string out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hex_nibble(hex[i]);
+        const int lo = hex_nibble(hex[i + 1]);
+        KINET_CHECK(hi >= 0 && lo >= 0, "hex_decode: non-hex character");
+        out.push_back(static_cast<char>((hi << 4) | lo));
     }
     return out;
 }

@@ -27,6 +27,15 @@ namespace kinet::text {
 /// Left-pads/truncates to a column width for aligned console tables.
 [[nodiscard]] std::string pad(std::string_view s, std::size_t width);
 
+/// Lowercase hex encoding of arbitrary bytes — used wherever untrusted
+/// strings (model names, request lines) must become safe single tokens
+/// (journal records, snapshot-store filenames).
+[[nodiscard]] std::string hex_encode(std::string_view bytes);
+
+/// Inverse of hex_encode; throws kinet::Error on odd length or non-hex
+/// characters.
+[[nodiscard]] std::string hex_decode(std::string_view hex);
+
 }  // namespace kinet::text
 
 #endif  // KINETGAN_COMMON_TEXT_H

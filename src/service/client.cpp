@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 
+#include "src/common/backoff.hpp"
+#include "src/common/bytes.hpp"
 #include "src/common/check.hpp"
 #include "src/common/csv.hpp"
 #include "src/common/text.hpp"
@@ -43,15 +46,17 @@ SynthClient SynthClient::connect(const std::string& host, std::uint16_t port,
 }
 
 Response SynthClient::rpc(const Request& request) {
-    // A queue_full ERR is a complete, well-framed response: the connection
-    // stays in sync, so the request can simply be sent again after backing
-    // off — admission pressure is transient by design.
+    // A retryable coded ERR (queue_full, draining, ...) is a complete,
+    // well-framed response: the connection stays in sync, so the request can
+    // simply be sent again after backing off — the condition is transient by
+    // design.  Permanent errors (including every uncoded legacy message)
+    // surface on the first hit.
     for (std::size_t attempt = 0;; ++attempt) {
         const Response response = rpc_transport(request);
         if (response.ok) {
             return response;
         }
-        if (attempt >= options_.queue_full_retries || !is_queue_full_message(response.error)) {
+        if (attempt >= options_.queue_full_retries || !is_retryable_error(response.error)) {
             throw Error("server: " + response.error);
         }
         std::this_thread::sleep_for(
@@ -62,22 +67,38 @@ Response SynthClient::rpc(const Request& request) {
 Response SynthClient::call(const Request& request) { return rpc_transport(request); }
 
 Response SynthClient::rpc_transport(const Request& request) {
-    try {
-        return rpc_once(request);
-    } catch (const Error& e) {
-        if (!options_.reconnect_on_reset || !is_transport_error(e.what())) {
-            throw;
+    // A pooled connection can sit idle across a peer restart; the stale
+    // socket only reveals itself (ECONNRESET/EPIPE/closed) on the next use.
+    // Fresh sockets heal that — up to reconnect_attempts of them, each after
+    // a jittered exponential backoff so a fleet of clients does not hammer a
+    // peer that is mid-restart.  A failure on the last fresh socket means
+    // the peer is genuinely unreachable and throws.
+    std::optional<Backoff> backoff;
+    for (std::size_t attempt = 0;; ++attempt) {
+        try {
+            if (attempt > 0) {
+                if (!backoff.has_value()) {
+                    BackoffOptions opts;
+                    opts.base_ms = options_.reconnect_backoff_ms;
+                    // Deterministic per-endpoint jitter stream.
+                    backoff.emplace(opts,
+                                    bytes::fnv1a(host_ + ":" + std::to_string(port_)));
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff->next_delay_ms()));
+                auto stream = TcpStream::connect(host_, port_, options_.connect_timeout_ms);
+                if (options_.recv_timeout_ms > 0) {
+                    stream.set_recv_timeout(options_.recv_timeout_ms);
+                }
+                stream_ = std::move(stream);
+            }
+            return rpc_once(request);
+        } catch (const Error& e) {
+            if (!options_.reconnect_on_reset || attempt >= options_.reconnect_attempts ||
+                !is_transport_error(e.what())) {
+                throw;
+            }
         }
-        // A pooled connection can sit idle across a peer restart; the stale
-        // socket only reveals itself (ECONNRESET/EPIPE/closed) on the next
-        // use.  One fresh socket and one resend heal that; a failure on the
-        // fresh socket means the peer is genuinely unreachable and throws.
-        auto stream = TcpStream::connect(host_, port_, options_.connect_timeout_ms);
-        if (options_.recv_timeout_ms > 0) {
-            stream.set_recv_timeout(options_.recv_timeout_ms);
-        }
-        stream_ = std::move(stream);
-        return rpc_once(request);
     }
 }
 

@@ -50,18 +50,23 @@ struct ClientOptions {
     /// receive timed out") instead of blocking forever on a hung or killed
     /// server.  0 = never time out.
     std::size_t recv_timeout_ms = 0;
-    /// Automatic retries when the server answers `ERR queue_full` (the
-    /// admission-control rejection — the connection stays usable).  0 = the
-    /// rejection surfaces as an error on the first hit.
+    /// Automatic retries when the server answers a *retryable* coded ERR
+    /// (queue_full, draining, breaker_open, unavailable — the connection
+    /// stays usable).  0 = the rejection surfaces as an error on the first
+    /// hit.  Permanent errors are never retried.
     std::size_t queue_full_retries = 0;
-    /// Base backoff between queue_full retries; attempt k sleeps k times
+    /// Base backoff between retryable-ERR retries; attempt k sleeps k times
     /// this long (linear backoff).
     std::size_t retry_backoff_ms = 50;
-    /// One transparent reconnect-and-resend when a pooled connection turns
-    /// out dead at send time (peer restarted: ECONNRESET/EPIPE/closed).
-    /// Only the first transport failure of an rpc is retried — a failure on
-    /// the fresh socket surfaces, so a genuinely down peer fails fast.
+    /// Transparent reconnect-and-resend when the connection turns out dead
+    /// at use time (peer restarted: ECONNRESET/EPIPE/closed/timeout).  Up
+    /// to `reconnect_attempts` fresh sockets are tried, each after a
+    /// jittered exponential backoff, before the failure surfaces.
     bool reconnect_on_reset = false;
+    /// Reconnect budget for reconnect_on_reset (per rpc).
+    std::size_t reconnect_attempts = 1;
+    /// Base of the jittered exponential backoff between reconnects.
+    std::size_t reconnect_backoff_ms = 50;
 };
 
 class SynthClient {
@@ -157,9 +162,9 @@ private:
     SynthClient(TcpStream stream, ClientOptions options, std::string host, std::uint16_t port)
         : stream_(std::move(stream)), options_(options), host_(std::move(host)), port_(port) {}
 
-    /// rpc() minus the queue_full retry loop.
+    /// rpc() minus the retryable-ERR retry loop.
     Response rpc_once(const Request& request);
-    /// rpc_once wrapped in the one-shot reconnect-on-reset retry.
+    /// rpc_once wrapped in the budgeted reconnect-on-reset retry loop.
     Response rpc_transport(const Request& request);
 
     TcpStream stream_;

@@ -1,0 +1,113 @@
+#include "src/service/cluster/breaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kinet::service {
+
+std::string_view CircuitBreaker::state_name(State state) {
+    switch (state) {
+    case State::closed:
+        return "closed";
+    case State::open:
+        return "open";
+    case State::half_open:
+        return "half_open";
+    }
+    return "?";
+}
+
+std::int64_t CircuitBreaker::now_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void CircuitBreaker::open_locked() {
+    state_ = State::open;
+    trial_inflight_ = false;
+    cooldown_ms_ = cooldown_ms_ == 0
+                       ? options_.open_ms
+                       : std::min(static_cast<std::uint64_t>(std::llround(
+                                      static_cast<double>(cooldown_ms_) *
+                                      std::max(options_.multiplier, 1.0))),
+                                  options_.max_open_ms);
+    double cooldown = static_cast<double>(std::max<std::uint64_t>(cooldown_ms_, 1));
+    if (options_.jitter > 0.0) {
+        const double j = std::min(options_.jitter, 1.0);
+        cooldown *= rng_.uniform(1.0 - j, 1.0 + j);
+    }
+    open_until_ms_ = now_ms() + std::llround(cooldown);
+    opens_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool CircuitBreaker::allow() {
+    if (options_.failure_threshold == 0) {
+        return true;  // breaker disabled
+    }
+    const MutexLock lock(mu_);
+    switch (state_) {
+    case State::closed:
+        return true;
+    case State::open:
+        if (now_ms() < open_until_ms_) {
+            return false;
+        }
+        state_ = State::half_open;
+        trial_inflight_ = true;
+        return true;
+    case State::half_open:
+        if (trial_inflight_) {
+            return false;  // one trial at a time
+        }
+        trial_inflight_ = true;
+        return true;
+    }
+    return true;
+}
+
+void CircuitBreaker::record_success() {
+    if (options_.failure_threshold == 0) {
+        return;
+    }
+    const MutexLock lock(mu_);
+    state_ = State::closed;
+    consecutive_failures_ = 0;
+    cooldown_ms_ = 0;
+    trial_inflight_ = false;
+}
+
+void CircuitBreaker::record_failure() {
+    if (options_.failure_threshold == 0) {
+        return;
+    }
+    const MutexLock lock(mu_);
+    ++consecutive_failures_;
+    switch (state_) {
+    case State::closed:
+        if (consecutive_failures_ >= options_.failure_threshold) {
+            open_locked();
+        }
+        return;
+    case State::half_open:
+        open_locked();  // the trial failed — reopen with a grown cooldown
+        return;
+    case State::open:
+        // A probe failed during the cooldown: keep the circuit open and
+        // push the horizon out (no growth — growth is reserved for failed
+        // trials, or probe storms would escalate the cooldown for free).
+        open_until_ms_ = std::max(open_until_ms_,
+                                  now_ms() + static_cast<std::int64_t>(cooldown_ms_));
+        return;
+    }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+    if (options_.failure_threshold == 0) {
+        return State::closed;
+    }
+    const MutexLock lock(mu_);
+    return state_;
+}
+
+}  // namespace kinet::service

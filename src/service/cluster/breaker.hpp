@@ -1,0 +1,90 @@
+// Per-peer circuit breaker for cluster RPC.
+//
+// Classic three-state machine.  closed: RPCs flow; consecutive failures
+// past the threshold open the circuit.  open: regular RPCs fail fast with
+// a retryable `breaker_open:` error for a jittered cooldown — no connect
+// timeouts burned on a peer that is known down.  half-open: after the
+// cooldown one trial RPC is admitted; success closes the circuit, failure
+// reopens it with a grown (capped) cooldown.
+//
+// The health prober is deliberately *outside* the breaker's admission: its
+// PINGs always run and their outcomes feed record_success/record_failure,
+// so a recovered peer closes its breaker within one probe interval even if
+// no request traffic ever risks a trial.  Cooldown jitter comes from a
+// seeded kinet::Rng (per-peer seed), keeping fleet behaviour deterministic
+// in tests while decorrelating reopen storms in production.
+#ifndef KINETGAN_SERVICE_CLUSTER_BREAKER_H
+#define KINETGAN_SERVICE_CLUSTER_BREAKER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/rng.hpp"
+#include "src/common/thread_annotations.hpp"
+
+namespace kinet::service {
+
+struct BreakerOptions {
+    /// Consecutive failures that open the circuit (0 disables the breaker:
+    /// allow() is always true and state stays closed).
+    std::size_t failure_threshold = 5;
+    /// First cooldown after opening, before jitter.
+    std::uint64_t open_ms = 2000;
+    /// Cooldown growth factor on each reopen from half-open.
+    double multiplier = 2.0;
+    /// Cooldown ceiling.
+    std::uint64_t max_open_ms = 30000;
+    /// Jitter fraction applied to every cooldown (scaled by uniform(1-j, 1+j)).
+    double jitter = 0.2;
+};
+
+class CircuitBreaker {
+public:
+    enum class State { closed, open, half_open };
+
+    explicit CircuitBreaker(BreakerOptions options = {}, std::uint64_t seed = 0)
+        : options_(options), rng_(seed) {}
+
+    /// True iff a regular RPC may proceed now.  While open, flips to
+    /// half-open once the cooldown has elapsed and admits exactly one
+    /// trial; further calls fail until that trial resolves.
+    [[nodiscard]] bool allow();
+
+    /// Any successful exchange with the peer (RPC or probe): closes the
+    /// circuit and resets the failure count and cooldown.
+    void record_success();
+
+    /// Any failed exchange: counts toward opening; a failed half-open
+    /// trial reopens with a grown cooldown.
+    void record_failure();
+
+    [[nodiscard]] State state() const;
+
+    /// Lifetime count of closed/half-open -> open transitions.
+    [[nodiscard]] std::uint64_t opens() const noexcept {
+        return opens_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] static std::string_view state_name(State state);
+
+private:
+    [[nodiscard]] std::int64_t now_ms() const;
+    void open_locked() KINET_REQUIRES(mu_);
+
+    BreakerOptions options_;
+    mutable Mutex mu_;
+    State state_ KINET_GUARDED_BY(mu_) = State::closed;
+    std::size_t consecutive_failures_ KINET_GUARDED_BY(mu_) = 0;
+    std::int64_t open_until_ms_ KINET_GUARDED_BY(mu_) = 0;
+    std::uint64_t cooldown_ms_ KINET_GUARDED_BY(mu_) = 0;
+    bool trial_inflight_ KINET_GUARDED_BY(mu_) = false;
+    Rng rng_ KINET_GUARDED_BY(mu_);
+    std::atomic<std::uint64_t> opens_{0};
+    std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_CLUSTER_BREAKER_H

@@ -1,9 +1,12 @@
 #include "src/service/cluster/cluster.hpp"
 
 #include <chrono>
+#include <thread>
 #include <utility>
 
+#include "src/common/backoff.hpp"
 #include "src/common/check.hpp"
+#include "src/common/failpoint.hpp"
 #include "src/common/text.hpp"
 
 namespace kinet::service {
@@ -27,10 +30,7 @@ ClusterService::ClusterService(ClusterConfig config)
       ring_(member_names(config_), config_.virtual_nodes == 0 ? 1 : config_.virtual_nodes) {
     peers_.reserve(config_.peers.size());
     for (const auto& addr : config_.peers) {
-        auto peer = std::make_unique<Peer>();
-        peer->addr = addr;
-        peer->name = addr.name();
-        peers_.push_back(std::move(peer));
+        peers_.push_back(std::make_unique<Peer>(addr, config_.breaker));
     }
 }
 
@@ -105,37 +105,70 @@ const ClusterService::Peer* ClusterService::find_peer(const std::string& name) c
     return nullptr;
 }
 
-Response ClusterService::peer_rpc(Peer& peer, const Request& request) {
+Response ClusterService::peer_rpc(Peer& peer, const Request& request, bool probe) {
+    // Breaker admission happens *before* the peer mutex: while the circuit
+    // is open, callers fail fast instead of queueing behind whatever wedged
+    // RPC opened it.  Probes bypass admission — they are how an open
+    // circuit learns of recovery — but their outcomes feed in below.
+    if (!probe && !peer.breaker.allow()) {
+        breaker_rejections.fetch_add(1, std::memory_order_relaxed);
+        throw Error(std::string(kBreakerOpenCode) + ": circuit for peer " + peer.name +
+                    " is open");
+    }
     const MutexLock lock(peer.mu);
-    const auto start = std::chrono::steady_clock::now();
-    try {
-        if (!peer.client.has_value()) {
-            ClientOptions options;
-            options.connect_timeout_ms = config_.connect_timeout_ms;
-            options.connect_attempts = 1;  // a down peer costs one refused connect
-            options.recv_timeout_ms = config_.peer_timeout_ms;
-            options.reconnect_on_reset = true;
-            peer.client = SynthClient::connect(peer.addr.host, peer.addr.port, options);
+    const std::size_t attempts = probe ? 1 : config_.rpc_retries + 1;
+    Backoff backoff(BackoffOptions{config_.rpc_backoff_ms, config_.rpc_backoff_max_ms},
+                    bytes::fnv1a(peer.name));
+    for (std::size_t attempt = 1;; ++attempt) {
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            KINET_FAILPOINT("cluster.rpc");
+            if (!peer.client.has_value()) {
+                ClientOptions options;
+                options.connect_timeout_ms = config_.connect_timeout_ms;
+                options.connect_attempts = 1;  // a down peer costs one refused connect
+                options.recv_timeout_ms = config_.peer_timeout_ms;
+                options.reconnect_on_reset = true;
+                peer.client = SynthClient::connect(peer.addr.host, peer.addr.port, options);
+            }
+            Response response = peer.client->call(request);
+            const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+            peer.latency.record(static_cast<std::uint64_t>(micros));
+            peer.up.store(true, std::memory_order_relaxed);
+            peer.breaker.record_success();
+            if (!response.ok && attempt < attempts && is_retryable_error(response.error)) {
+                // A retryable ERR (queue_full, draining) is a healthy peer
+                // refusing work: back off and retry without marking it down.
+                rpc_retries.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff.next_delay_ms()));
+                continue;
+            }
+            return response;
+        } catch (const Error& e) {
+            // Transport failure (connect refused, reset, receive timeout) or
+            // an injected fault: drop the pooled connection, then either
+            // retry (retryable classification, budget left) or mark the peer
+            // down and record the breaker failure.
+            peer.client.reset();
+            if (attempt < attempts && is_retryable_error(e.what())) {
+                rpc_retries.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff.next_delay_ms()));
+                continue;
+            }
+            peer.up.store(false, std::memory_order_relaxed);
+            peer.rpc_errors.fetch_add(1, std::memory_order_relaxed);
+            peer.breaker.record_failure();
+            throw;
         }
-        Response response = peer.client->call(request);
-        const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                                std::chrono::steady_clock::now() - start)
-                                .count();
-        peer.latency.record(static_cast<std::uint64_t>(micros));
-        peer.up.store(true, std::memory_order_relaxed);
-        return response;
-    } catch (const Error&) {
-        // Transport failure (connect refused, reset even after the one
-        // reconnect retry, receive timeout): drop the pooled connection and
-        // mark the peer down until a probe sees it again.
-        peer.client.reset();
-        peer.up.store(false, std::memory_order_relaxed);
-        peer.rpc_errors.fetch_add(1, std::memory_order_relaxed);
-        throw;
     }
 }
 
 Response ClusterService::forward(const std::string& peer_name, Request request) {
+    KINET_FAILPOINT("cluster.forward");
     request.kv[std::string(kForwardedKey)] = "1";
     forwards.fetch_add(1, std::memory_order_relaxed);
     try {
@@ -147,13 +180,17 @@ Response ClusterService::forward(const std::string& peer_name, Request request) 
 }
 
 void ClusterService::replicate_to(const std::string& peer_name, const std::string& model,
-                                  const std::string& snapshot) {
+                                  const std::string& snapshot, std::uint64_t revision) {
+    KINET_FAILPOINT("cluster.replicate");
     Request request;
     request.op = Op::replicate;
     request.model = model;
     request.positional.push_back(std::to_string(snapshot.size()));
     request.body = snapshot;
     request.kv[std::string(kForwardedKey)] = "1";  // replication never cascades
+    if (revision != 0) {
+        request.kv["rev"] = std::to_string(revision);
+    }
     const Response response = peer_rpc(peer_by_name(peer_name), request);
     if (!response.ok) {
         throw Error("cluster: REPLICATE " + model + " to " + peer_name + " failed: " +
@@ -163,6 +200,7 @@ void ClusterService::replicate_to(const std::string& peer_name, const std::strin
 }
 
 std::string ClusterService::fetch_from(const std::string& peer_name, const std::string& model) {
+    KINET_FAILPOINT("cluster.fetch");
     Request request;
     request.op = Op::fetch;
     request.model = model;
@@ -176,7 +214,21 @@ std::string ClusterService::fetch_from(const std::string& peer_name, const std::
     return std::move(response.payload);
 }
 
+std::string ClusterService::digest_from(const std::string& peer_name) {
+    KINET_FAILPOINT("cluster.digest");
+    Request request;
+    request.op = Op::digest;
+    request.kv[std::string(kForwardedKey)] = "1";
+    Response response = peer_rpc(peer_by_name(peer_name), request);
+    if (!response.ok) {
+        throw Error("cluster: DIGEST from " + peer_name + " failed: " + response.error);
+    }
+    digest_pulls.fetch_add(1, std::memory_order_relaxed);
+    return std::move(response.payload);
+}
+
 std::size_t ClusterService::publish(const std::string& model, const std::string& snapshot,
+                                    std::uint64_t revision,
                                     const std::function<void(std::size_t, std::size_t)>& on_peer_done,
                                     std::string* first_error) {
     std::size_t ok = 0;
@@ -185,7 +237,7 @@ std::size_t ClusterService::publish(const std::string& model, const std::string&
         try {
             // Down peers are attempted too: publish is also how a restarted
             // peer catches up, and a failure just stays in the error report.
-            replicate_to(peers_[i]->name, model, snapshot);
+            replicate_to(peers_[i]->name, model, snapshot, revision);
             ++ok;
         } catch (const Error& e) {
             if (first_error != nullptr && first_error->empty()) {
@@ -212,6 +264,15 @@ bool ClusterService::peer_up(const std::string& peer_name) const {
     return peer != nullptr && peer->up.load(std::memory_order_relaxed);
 }
 
+std::vector<std::string> ClusterService::peer_names() const {
+    std::vector<std::string> names;
+    names.reserve(peers_.size());
+    for (const auto& peer : peers_) {
+        names.push_back(peer->name);
+    }
+    return names;
+}
+
 std::size_t ClusterService::members_up() const {
     std::size_t up = 1;  // self
     for (const auto& peer : peers_) {
@@ -228,7 +289,10 @@ void ClusterService::probe_now() {
     ping.kv[std::string(kForwardedKey)] = "1";
     for (auto& peer : peers_) {
         try {
-            (void)peer_rpc(*peer, ping);  // success path marks the peer up
+            // probe=true: bypasses breaker admission (an open circuit needs
+            // the probe to learn of recovery) and marks the peer up/closes
+            // the breaker on success.
+            (void)peer_rpc(*peer, ping, /*probe=*/true);
         } catch (const Error&) {
             // peer_rpc already marked it down.
         }
@@ -238,6 +302,7 @@ void ClusterService::probe_now() {
 void ClusterService::probe_loop() {
     const auto interval =
         std::chrono::milliseconds(config_.probe_interval_ms == 0 ? 1000 : config_.probe_interval_ms);
+    auto last_anti_entropy = std::chrono::steady_clock::now();
     for (;;) {
         {
             UniqueLock lock(stop_mu_);
@@ -254,6 +319,13 @@ void ClusterService::probe_loop() {
             }
         }
         probe_now();
+        const auto now = std::chrono::steady_clock::now();
+        if (anti_entropy_hook_ != nullptr && config_.anti_entropy_interval_ms != 0 &&
+            now - last_anti_entropy >=
+                std::chrono::milliseconds(config_.anti_entropy_interval_ms)) {
+            last_anti_entropy = now;
+            anti_entropy_hook_();
+        }
     }
 }
 
@@ -297,12 +369,20 @@ std::string ClusterService::render_stats() const {
     out += "fetches_in=" + std::to_string(fetches_in.load(std::memory_order_relaxed)) + "\n";
     out += "fetches_out=" + std::to_string(fetches_out.load(std::memory_order_relaxed)) + "\n";
     out += "cache_fills=" + std::to_string(cache_fills.load(std::memory_order_relaxed)) + "\n";
+    out += "rpc_retries=" + std::to_string(rpc_retries.load(std::memory_order_relaxed)) + "\n";
+    out += "breaker_rejections=" +
+           std::to_string(breaker_rejections.load(std::memory_order_relaxed)) + "\n";
+    out += "digest_pulls=" + std::to_string(digest_pulls.load(std::memory_order_relaxed)) +
+           "\n";
     for (const auto& peer : peers_) {
         const std::string prefix = "peer." + peer->name;
         out += prefix + ".up=" +
                (peer->up.load(std::memory_order_relaxed) ? "1" : "0") + "\n";
         out += prefix + ".errors=" +
                std::to_string(peer->rpc_errors.load(std::memory_order_relaxed)) + "\n";
+        out += prefix + ".breaker=" +
+               std::string(CircuitBreaker::state_name(peer->breaker.state())) + "\n";
+        out += prefix + ".breaker_opens=" + std::to_string(peer->breaker.opens()) + "\n";
         const auto snap = peer->latency.snapshot();
         if (snap.count > 0) {
             out += prefix + ".rpcs=" + std::to_string(snap.count) + "\n";

@@ -27,8 +27,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/bytes.hpp"
 #include "src/common/thread_annotations.hpp"
 #include "src/service/client.hpp"
+#include "src/service/cluster/breaker.hpp"
 #include "src/service/cluster/config.hpp"
 #include "src/service/cluster/ring.hpp"
 #include "src/service/metrics.hpp"
@@ -75,17 +77,22 @@ public:
     /// Response{ok=false}; transport failures mark the peer down, count as
     /// forward_errors and throw kinet::Error.
     Response forward(const std::string& peer_name, Request request);
-    /// Pushes a serialized snapshot container to one peer (REPLICATE).
+    /// Pushes a serialized snapshot container to one peer (REPLICATE).  A
+    /// non-zero `revision` rides along as rev= so the receiver adopts the
+    /// sender's Lamport revision instead of stamping its own.
     void replicate_to(const std::string& peer_name, const std::string& model,
-                      const std::string& snapshot);
+                      const std::string& snapshot, std::uint64_t revision = 0);
     /// Pulls a model's snapshot container from one peer (FETCH).
     [[nodiscard]] std::string fetch_from(const std::string& peer_name, const std::string& model);
+    /// Pulls a peer's registry digest (DIGEST payload) for anti-entropy.
+    [[nodiscard]] std::string digest_from(const std::string& peer_name);
     /// Pushes a snapshot to every peer (FEDTRAIN's publish phase), down or
     /// not — replication is how a restarted peer catches up.  Calls
     /// `on_peer_done(completed, total)` after each attempt; returns the
     /// number of successful pushes and records the first failure message in
     /// `first_error` (when non-null).
     std::size_t publish(const std::string& model, const std::string& snapshot,
+                        std::uint64_t revision,
                         const std::function<void(std::size_t, std::size_t)>& on_peer_done,
                         std::string* first_error);
 
@@ -94,11 +101,20 @@ public:
     [[nodiscard]] bool peer_up(const std::string& peer_name) const;
     /// The endpoint behind a peer name (nullopt for unknown names or self).
     [[nodiscard]] std::optional<PeerAddress> peer_address(const std::string& peer_name) const;
+    /// Every peer's ring name, config order (self excluded).
+    [[nodiscard]] std::vector<std::string> peer_names() const;
     /// Up members including self (self is always up from its own view).
     [[nodiscard]] std::size_t members_up() const;
     /// One synchronous probe round over all peers (what the background
     /// prober runs each interval; exposed for tests and deterministic use).
     void probe_now();
+    /// Installs the periodic anti-entropy callback the prober thread fires
+    /// every anti_entropy_interval_ms (the server wires anti_entropy_now()
+    /// in here).  Must be set before start_probing() — the prober reads it
+    /// without a lock.
+    void set_anti_entropy_hook(std::function<void()> hook) {
+        anti_entropy_hook_ = std::move(hook);
+    }
 
     // ---- rendering ----
 
@@ -116,11 +132,14 @@ public:
     std::atomic<std::uint64_t> fetches_in{0};        // FETCH requests served
     std::atomic<std::uint64_t> fetches_out{0};       // pull-through cache fills
     std::atomic<std::uint64_t> cache_fills{0};       // models admitted via pull-through
+    std::atomic<std::uint64_t> rpc_retries{0};       // retryable-failure retries spent
+    std::atomic<std::uint64_t> breaker_rejections{0};  // RPCs refused while open
+    std::atomic<std::uint64_t> digest_pulls{0};      // anti-entropy DIGEST pulls
 
 private:
     /// One fleet peer: its pooled blocking client (guarded by `mu` — peer
-    /// RPC serializes per peer, different peers proceed in parallel) and
-    /// lock-free health/latency state.
+    /// RPC serializes per peer, different peers proceed in parallel),
+    /// lock-free health/latency state, and its circuit breaker.
     struct Peer {
         PeerAddress addr;
         std::string name;
@@ -129,19 +148,33 @@ private:
         std::atomic<bool> up{true};
         std::atomic<std::uint64_t> rpc_errors{0};
         LatencyHistogram latency;
+        CircuitBreaker breaker;
+
+        Peer(PeerAddress address, const BreakerOptions& breaker_options)
+            : addr(std::move(address)),
+              name(addr.name()),
+              // Per-peer deterministic seed: jitter decorrelates across
+              // peers yet replays identically run-to-run.
+              breaker(breaker_options, bytes::fnv1a(name)) {}
     };
 
     [[nodiscard]] Peer& peer_by_name(const std::string& name);
     [[nodiscard]] const Peer* find_peer(const std::string& name) const;
     /// Sends one request on the peer's pooled connection, (re)connecting as
-    /// needed, timing it into the peer histogram and updating health.
-    Response peer_rpc(Peer& peer, const Request& request);
+    /// needed, timing it into the peer histogram and updating health and
+    /// the breaker.  Retryable failures are retried with jittered backoff
+    /// up to config_.rpc_retries times; `probe` bypasses breaker admission
+    /// (and never retries) but still feeds outcomes into it.
+    Response peer_rpc(Peer& peer, const Request& request, bool probe = false);
     void probe_loop();
 
     ClusterConfig config_;
     std::string self_;
     HashRing ring_;
     std::vector<std::unique_ptr<Peer>> peers_;
+    /// Fired by the prober thread every anti_entropy_interval_ms; set once
+    /// before start_probing(), read without a lock.
+    std::function<void()> anti_entropy_hook_;
 
     Mutex stop_mu_;
     CondVar stop_cv_;

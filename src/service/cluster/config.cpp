@@ -112,6 +112,20 @@ ClusterConfig load_cluster_config(const std::string& path) {
             config.connect_timeout_ms = parse_number(value, "connect-timeout-ms");
         } else if (key == "peer-timeout-ms") {
             config.peer_timeout_ms = parse_number(value, "peer-timeout-ms");
+        } else if (key == "rpc-retries") {
+            config.rpc_retries = parse_number(value, "rpc-retries");
+        } else if (key == "rpc-backoff-ms") {
+            config.rpc_backoff_ms = parse_number(value, "rpc-backoff-ms");
+        } else if (key == "rpc-backoff-max-ms") {
+            config.rpc_backoff_max_ms = parse_number(value, "rpc-backoff-max-ms");
+        } else if (key == "breaker-threshold") {
+            config.breaker.failure_threshold = parse_number(value, "breaker-threshold");
+        } else if (key == "breaker-open-ms") {
+            config.breaker.open_ms = parse_number(value, "breaker-open-ms");
+        } else if (key == "breaker-max-open-ms") {
+            config.breaker.max_open_ms = parse_number(value, "breaker-max-open-ms");
+        } else if (key == "anti-entropy-interval-ms") {
+            config.anti_entropy_interval_ms = parse_number(value, "anti-entropy-interval-ms");
         } else {
             throw Error("cluster: " + path + ":" + std::to_string(line_no) +
                         ": unknown key '" + std::string(key) + "'");

@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/service/cluster/breaker.hpp"
+
 namespace kinet::service {
 
 /// One fleet member's TCP endpoint.  `name()` ("host:port") doubles as the
@@ -51,6 +53,18 @@ struct ClusterConfig {
     /// Receive timeout on pooled peer RPCs — bounds how long a forward can
     /// hold a request worker when a peer wedges mid-response.
     std::size_t peer_timeout_ms = 10000;
+    /// Retries (beyond the first attempt) for a peer RPC that fails with a
+    /// retryable error; each retry reconnects after a jittered backoff.
+    std::size_t rpc_retries = 2;
+    /// First retry backoff, before jitter...
+    std::size_t rpc_backoff_ms = 50;
+    /// ...doubling per retry up to this ceiling.
+    std::size_t rpc_backoff_max_ms = 2000;
+    /// Per-peer circuit-breaker tuning (failure threshold, cooldown growth).
+    BreakerOptions breaker;
+    /// Period of the anti-entropy digest exchange repairing divergent or
+    /// missing replicas (0 disables the background rounds).
+    std::size_t anti_entropy_interval_ms = 10000;
 
     /// A config with no peers leaves the daemon standalone.
     [[nodiscard]] bool enabled() const noexcept { return !peers.empty(); }
@@ -68,6 +82,13 @@ struct ClusterConfig {
 ///     probe-interval-ms 1000
 ///     connect-timeout-ms 500
 ///     peer-timeout-ms 10000
+///     rpc-retries 2
+///     rpc-backoff-ms 50
+///     rpc-backoff-max-ms 2000
+///     breaker-threshold 5
+///     breaker-open-ms 2000
+///     breaker-max-open-ms 30000
+///     anti-entropy-interval-ms 10000
 /// Blank lines and '#' comments are ignored.  Throws kinet::Error on
 /// unknown keys, malformed addresses, or a missing `self`.
 [[nodiscard]] ClusterConfig load_cluster_config(const std::string& path);

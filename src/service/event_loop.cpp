@@ -79,9 +79,13 @@ void EventLoop::start() {
         workers_.emplace_back([this] { worker_main(); });
     }
     stopping_.store(false);
+    draining_.store(false);
+    inflight_.store(0);
     running_.store(true);
     loop_thread_ = std::thread([this] { loop_main(); });
 }
+
+void EventLoop::drain() { draining_.store(true); }
 
 void EventLoop::stop() {
     if (!running_.exchange(false)) {
@@ -117,6 +121,7 @@ void EventLoop::stop() {
         const MutexLock lock(done_mu_);
         done_.clear();
     }
+    inflight_.store(0);
     if (epoll_fd_ >= 0) {
         ::close(epoll_fd_);
         epoll_fd_ = -1;
@@ -204,6 +209,16 @@ void EventLoop::handle_accepts() {
         auto stream = listener_.try_accept();
         if (!stream.has_value()) {
             return;
+        }
+        if (draining_.load(std::memory_order_relaxed)) {
+            try {
+                // Best-effort courtesy: a retryable code, so a failover-aware
+                // client immediately tries another fleet member.
+                (void)stream->write_some(err_frame(
+                    coded_error(kDrainingCode, "server is draining").error));
+            } catch (const Error&) {
+            }
+            continue;  // stream destructor closes the fd
         }
         if (conns_.size() >= options_.max_connections) {
             metrics_.connections_refused.fetch_add(1, std::memory_order_relaxed);
@@ -341,6 +356,20 @@ void EventLoop::process_input(Connection& conn) {
         update_interest(conn);
     }
     if (conn.peer_eof && !conn.inflight && conn.producer == nullptr) {
+        if (conn.pending.has_value() && conn.read_backlog() < conn.pending_body) {
+            // EOF mid-REPLICATE-body: the declared byte count can never
+            // arrive.  A distinct permanent code — the sender must not
+            // retry a truncated transfer byte-for-byte.
+            queue_output(conn,
+                         err_frame(coded_error(
+                             kShortBodyCode,
+                             "REPLICATE body truncated: got " +
+                                 std::to_string(conn.read_backlog()) + " of " +
+                                 std::to_string(conn.pending_body) + " bytes")
+                             .error));
+            conn.pending.reset();
+            conn.pending_body = 0;
+        }
         // Nothing left that could produce output; drain and go.
         conn.close_after_flush = true;
         flush_writes(conn);
@@ -348,6 +377,16 @@ void EventLoop::process_input(Connection& conn) {
 }
 
 void EventLoop::dispatch_request(Connection& conn, Request request) {
+    if (draining_.load(std::memory_order_relaxed) && !handlers_.is_fast(request)) {
+        // Graceful shutdown: fast ops (health checks, STATS) keep working,
+        // real work gets the retryable draining rejection so the client
+        // fails over to another fleet member.
+        queue_output(conn, err_frame(coded_error(
+                               kDrainingCode,
+                               "server is draining; retry against another member")
+                               .error));
+        return;
+    }
     // Streaming requests are recognised (and their cursors opened) inline:
     // everything that can fail from a bad request fails before the first
     // frame, as an ordinary ERR response.
@@ -386,7 +425,9 @@ void EventLoop::dispatch_request(Connection& conn, Request request) {
         }
         push_completion(Completion{id, std::move(bytes), false, false});
     });
-    if (!queued) {
+    if (queued) {
+        inflight_.fetch_add(1, std::memory_order_relaxed);
+    } else {
         conn.inflight = false;
         metrics_.queue_full_rejections.fetch_add(1, std::memory_order_relaxed);
         queue_output(conn, format_response(queue_full_response(
@@ -460,6 +501,7 @@ void EventLoop::schedule_stream_step(Connection& conn) {
         }
         push_completion(Completion{id, std::move(frame), true, !more});
     });
+    inflight_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void EventLoop::drain_completions() {
@@ -474,6 +516,11 @@ void EventLoop::drain_completions() {
 }
 
 void EventLoop::apply_completion(const Completion& done) {
+    // One decrement per enqueued task, whether or not the connection still
+    // exists to receive the bytes.
+    if (inflight_.load(std::memory_order_relaxed) > 0) {
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+    }
     const auto it = conns_.find(done.conn_id);
     if (it == conns_.end()) {
         return;  // connection fully torn down already (stop() path)

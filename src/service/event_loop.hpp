@@ -97,9 +97,19 @@ public:
     /// Joins the loop and the workers and closes every connection.
     /// Idempotent; start() afterwards restores full service.
     void stop();
+    /// Graceful-shutdown gate: new connections are refused and every
+    /// non-fast request answers the retryable `draining:` rejection, while
+    /// in-flight work (and fast ops — health checks keep answering) runs to
+    /// completion.  The caller polls inflight_requests() and then stop()s.
+    void drain();
 
     [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
     [[nodiscard]] bool running() const noexcept { return running_.load(); }
+    /// Requests currently queued for or running on the worker pool
+    /// (including stream steps) — the drain() progress gauge.
+    [[nodiscard]] std::size_t inflight_requests() const noexcept {
+        return inflight_.load(std::memory_order_relaxed);
+    }
 
 private:
     struct Connection {
@@ -187,6 +197,9 @@ private:
     std::thread loop_thread_;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
+    std::atomic<bool> draining_{false};
+    /// Tasks handed to the pool whose completion has not been applied yet.
+    std::atomic<std::size_t> inflight_{0};
 
     // Connection state is confined to the loop thread (loop_main and the
     // handlers it calls; stop() touches it only after joining the loop) —

@@ -1,11 +1,13 @@
 #include "src/service/jobs.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
 #include <utility>
 
 #include "src/common/check.hpp"
+#include "src/service/journal.hpp"
 
 namespace kinet::service {
 namespace {
@@ -81,7 +83,8 @@ JobManager::JobManager(std::size_t workers) {
 
 JobManager::~JobManager() { stop(); }
 
-std::uint64_t JobManager::submit(std::string model, std::size_t epochs_total, Work work) {
+std::uint64_t JobManager::submit(std::string model, std::size_t epochs_total, Work work,
+                                 std::string request_line) {
     KINET_CHECK(work != nullptr, "JobManager::submit: null work");
     auto job = std::make_shared<Job>();
     job->model = std::move(model);
@@ -93,12 +96,42 @@ std::uint64_t JobManager::submit(std::string model, std::size_t epochs_total, Wo
         KINET_CHECK(!stopping_, "JobManager::submit: manager is stopped");
         id = next_id_++;
         job->id = id;
+        // Journal before queueing: if the durable append fails (disk error
+        // or injected fault) the submit throws and no job runs that a
+        // restart could not see.  The id is burned; ids need not be dense.
+        if (journal_ != nullptr) {
+            journal_->append_submit(id, epochs_total, job->model, request_line);
+        }
         jobs_[id] = job;
         queue_.push_back(std::move(job));
         prune_terminal_locked();
     }
     cv_.notify_one();
     return id;
+}
+
+void JobManager::set_journal(std::shared_ptr<JobJournal> journal) {
+    const MutexLock lock(mu_);
+    journal_ = std::move(journal);
+}
+
+void JobManager::restore_terminal(const JobInfo& info) {
+    auto job = std::make_shared<Job>();
+    job->id = info.id;
+    job->model = info.model;
+    job->state = info.state;
+    job->epochs_total = info.epochs_total;
+    job->error = info.error;
+    job->epochs_done.store(info.epochs_done, std::memory_order_relaxed);
+    const MutexLock lock(mu_);
+    KINET_CHECK(!stopping_, "JobManager::restore_terminal: manager is stopped");
+    next_id_ = std::max(next_id_, info.id + 1);
+    if (journal_ != nullptr) {
+        journal_->append_submit(info.id, info.epochs_total, info.model, std::string{});
+        journal_->append_terminal(info.id, info.state, info.error);
+    }
+    jobs_[info.id] = std::move(job);
+    prune_terminal_locked();
 }
 
 std::optional<JobInfo> JobManager::info(std::uint64_t id) const {
@@ -142,6 +175,7 @@ std::optional<JobInfo> JobManager::request_cancel(std::uint64_t id) {
     job.cancel.store(true, std::memory_order_relaxed);
     if (job.state == JobState::queued) {
         job.state = JobState::cancelled;  // the worker skips it on pop
+        journal_terminal_locked(job);
         cv_.notify_all();                 // wake POLL wait= long-polls
     }
     return snapshot_locked(job);
@@ -235,9 +269,23 @@ void JobManager::worker_loop() {
                 job->state = JobState::failed;
                 job->error = std::move(error);
             }
+            journal_terminal_locked(*job);
             job->work = nullptr;  // release captured resources promptly
         }
         cv_.notify_all();  // wake long-polls parked in wait()
+    }
+}
+
+void JobManager::journal_terminal_locked(const Job& job) {
+    if (journal_ == nullptr) {
+        return;
+    }
+    // A lost terminal record is exactly the state a crash leaves behind;
+    // recovery already resolves it deterministically (the job is treated as
+    // interrupted), so a failed append here must not take the worker down.
+    try {
+        journal_->append_terminal(job.id, job.state, job.error);
+    } catch (const std::exception&) {
     }
 }
 

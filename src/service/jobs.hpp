@@ -32,6 +32,8 @@
 
 namespace kinet::service {
 
+class JobJournal;
+
 enum class JobState { queued, running, done, failed, cancelled };
 
 [[nodiscard]] std::string_view job_state_name(JobState state);
@@ -82,7 +84,26 @@ public:
     /// training jobs put() the fitted model into the registry) before
     /// returning; a throw marks the job failed — or cancelled, when
     /// cancellation was requested first.
-    std::uint64_t submit(std::string model, std::size_t epochs_total, Work work);
+    ///
+    /// With a journal attached, the submission is durably journaled before
+    /// it is queued (a failed append fails the submit — no job may run that
+    /// a restart cannot see).  `request_line` is the original wire request
+    /// recorded for crash recovery; empty marks the job non-resumable.
+    std::uint64_t submit(std::string model, std::size_t epochs_total, Work work,
+                         std::string request_line = {});
+
+    /// Attaches (or, with nullptr, detaches) the durable job journal.
+    /// Detaching is also the chaos-test crash hatch: a "crashed" in-process
+    /// daemon stops journaling, freezing the on-disk state exactly as
+    /// kill -9 would.
+    void set_journal(std::shared_ptr<JobJournal> journal);
+
+    /// Re-creates a terminal job record from the recovery journal: the id
+    /// becomes POLLable with the given state/error, and the id allocator
+    /// advances past it so new jobs never collide with journaled ones.
+    /// Re-journals the record when a journal is attached (recovery rotates
+    /// the journal, so restored records must be written back).
+    void restore_terminal(const JobInfo& info);
 
     /// Snapshot of one job; nullopt if the id was never allocated (or the
     /// record was pruned — only terminal jobs are ever pruned).
@@ -123,12 +144,19 @@ public:
 
 private:
     void worker_loop();
+    /// Best-effort terminal append — a journal failure here is equivalent
+    /// to crashing before the record landed, which recovery handles.
+    void journal_terminal_locked(const Job& job) KINET_REQUIRES(mu_);
     void prune_terminal_locked() KINET_REQUIRES(mu_);
 
     mutable Mutex mu_;
     CondVar cv_;
     bool stopping_ KINET_GUARDED_BY(mu_) = false;
     std::uint64_t next_id_ KINET_GUARDED_BY(mu_) = 1;
+    /// Durable journal (nullptr = journaling off).  Appends happen inside
+    /// the manager's critical sections, so journal order == job-state order;
+    /// training jobs are rare enough that the fsync under mu_ is immaterial.
+    std::shared_ptr<JobJournal> journal_ KINET_GUARDED_BY(mu_);
     /// Ordered by id.  The map and queue structure is guarded; the pointed-
     /// to Job records carry their own discipline (see jobs.cpp).
     std::map<std::uint64_t, std::shared_ptr<Job>> jobs_ KINET_GUARDED_BY(mu_);

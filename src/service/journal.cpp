@@ -1,0 +1,129 @@
+#include "src/service/journal.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "src/common/failpoint.hpp"
+#include "src/common/fsio.hpp"
+#include "src/common/text.hpp"
+
+namespace kinet::service {
+namespace {
+
+std::optional<JobState> parse_state(std::string_view token) {
+    for (const JobState s : {JobState::queued, JobState::running, JobState::done,
+                             JobState::failed, JobState::cancelled}) {
+        if (job_state_name(s) == token) {
+            return s;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t> parse_number(const std::string& token) {
+    try {
+        std::size_t used = 0;
+        const std::uint64_t v = std::stoull(token, &used);
+        if (used != token.size()) {
+            return std::nullopt;
+        }
+        return v;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+/// One line -> one record; nullopt marks the torn tail replay stops at.
+std::optional<JobJournal::Record> parse_line(const std::string& line) {
+    const auto tokens = text::split(line, ' ');
+    if (tokens.size() < 2 || tokens[0] != "v1") {
+        return std::nullopt;
+    }
+    JobJournal::Record record;
+    if (tokens[1] == "submit") {
+        if (tokens.size() != 6) {
+            return std::nullopt;
+        }
+        record.kind = JobJournal::Record::Kind::submit;
+        const auto id = parse_number(tokens[2]);
+        const auto epochs = parse_number(tokens[3]);
+        if (!id.has_value() || !epochs.has_value()) {
+            return std::nullopt;
+        }
+        record.id = *id;
+        record.epochs_total = static_cast<std::size_t>(*epochs);
+        try {
+            record.model = text::hex_decode(tokens[4]);
+            record.request_line = text::hex_decode(tokens[5]);
+        } catch (const std::exception&) {
+            return std::nullopt;
+        }
+        return record;
+    }
+    if (tokens[1] == "term") {
+        if (tokens.size() != 5) {
+            return std::nullopt;
+        }
+        record.kind = JobJournal::Record::Kind::terminal;
+        const auto id = parse_number(tokens[2]);
+        const auto state = parse_state(tokens[3]);
+        if (!id.has_value() || !state.has_value()) {
+            return std::nullopt;
+        }
+        record.id = *id;
+        record.state = *state;
+        try {
+            record.error = text::hex_decode(tokens[4]);
+        } catch (const std::exception&) {
+            return std::nullopt;
+        }
+        return record;
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+void JobJournal::append_submit(std::uint64_t id, std::size_t epochs_total,
+                               const std::string& model,
+                               const std::string& request_line) {
+    KINET_FAILPOINT("journal.append");
+    fsio::append_durable(path_, "v1 submit " + std::to_string(id) + " " +
+                                    std::to_string(epochs_total) + " " +
+                                    text::hex_encode(model) + " " +
+                                    text::hex_encode(request_line) + "\n");
+}
+
+void JobJournal::append_terminal(std::uint64_t id, JobState state,
+                                 const std::string& error) {
+    KINET_FAILPOINT("journal.append");
+    fsio::append_durable(path_, "v1 term " + std::to_string(id) + " " +
+                                    std::string(job_state_name(state)) + " " +
+                                    text::hex_encode(error) + "\n");
+}
+
+std::vector<JobJournal::Record> JobJournal::replay(const std::string& path) {
+    std::string content;
+    try {
+        content = fsio::read_file(path);
+    } catch (const std::exception&) {
+        return {};  // no journal yet — a fresh daemon
+    }
+    std::vector<Record> records;
+    std::stringstream ss(content);
+    std::string line;
+    while (std::getline(ss, line)) {
+        auto record = parse_line(line);
+        if (!record.has_value()) {
+            break;  // torn tail from a crashed append; everything before is good
+        }
+        records.push_back(std::move(*record));
+    }
+    return records;
+}
+
+void JobJournal::truncate(const std::string& path) {
+    fsio::replace_file_durable(path, "");
+}
+
+}  // namespace kinet::service

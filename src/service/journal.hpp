@@ -1,0 +1,73 @@
+// Append-only job journal behind crash-safe TRAIN/FEDTRAIN recovery.
+//
+// Every async job writes two durable records over its lifetime:
+//
+//   v1 submit <id> <epochs_total> <hex(model)> <hex(request-line)>
+//   v1 term <id> <state> <hex(error)>
+//
+// (hex keeps untrusted strings — model names, wire lines, error text — as
+// single whitespace-free tokens; the request line is the original KNP/1
+// request, so an interrupted job can be resubmitted verbatim on restart.)
+// Each append is fsynced before it returns, so a record exists on disk iff
+// the caller observed the append succeed.  A `submit` with no matching
+// `term` after a crash is *the* definition of an interrupted job: recovery
+// marks it failed ("interrupted by daemon restart") and, when the record
+// carries its request line, resubmits it as a fresh job.
+//
+// Replay is deliberately tolerant of a torn tail: a crash mid-append leaves
+// at most one malformed final line, which replay stops at (all records
+// before it were individually fsynced and are intact).
+#ifndef KINETGAN_SERVICE_JOURNAL_H
+#define KINETGAN_SERVICE_JOURNAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/service/jobs.hpp"
+
+namespace kinet::service {
+
+class JobJournal {
+public:
+    struct Record {
+        enum class Kind { submit, terminal };
+        Kind kind = Kind::submit;
+        std::uint64_t id = 0;
+        // submit records:
+        std::size_t epochs_total = 0;
+        std::string model;
+        std::string request_line;  // empty = not resumable
+        // terminal records:
+        JobState state = JobState::done;
+        std::string error;
+    };
+
+    explicit JobJournal(std::string path) : path_(std::move(path)) {}
+
+    /// Durably appends one submit record; throws on IO failure (the caller
+    /// — JobManager::submit — then fails the submission cleanly).
+    void append_submit(std::uint64_t id, std::size_t epochs_total,
+                       const std::string& model, const std::string& request_line);
+
+    /// Durably appends one terminal record.
+    void append_terminal(std::uint64_t id, JobState state, const std::string& error);
+
+    /// Parses every intact record of the journal at `path`; a missing file
+    /// yields an empty vector, and replay stops silently at the first
+    /// malformed line (the torn tail of a crashed append).
+    [[nodiscard]] static std::vector<Record> replay(const std::string& path);
+
+    /// Truncates the journal at `path` to empty, durably — recovery rotates
+    /// the journal before re-journaling the restored state.
+    static void truncate(const std::string& path);
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    std::string path_;
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_JOURNAL_H

@@ -1,0 +1,146 @@
+#include "src/service/persistence.hpp"
+
+#include <filesystem>
+#include <optional>
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/common/failpoint.hpp"
+#include "src/common/fsio.hpp"
+#include "src/common/text.hpp"
+
+namespace kinet::service {
+namespace {
+
+constexpr std::string_view kManifestMagic = "KNETMANIFEST 1";
+
+std::optional<std::uint64_t> parse_field(const std::string& token,
+                                         std::string_view key) {
+    if (!text::starts_with(token, key)) {
+        return std::nullopt;
+    }
+    const std::string value = token.substr(key.size());
+    try {
+        std::size_t used = 0;
+        const std::uint64_t v = std::stoull(value, &used);
+        if (used != value.size()) {
+            return std::nullopt;
+        }
+        return v;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace
+
+PersistentStore::PersistentStore(std::string dir) : dir_(std::move(dir)) {
+    namespace fs = std::filesystem;
+    KINET_CHECK(!dir_.empty(), "persistence: empty store directory");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    KINET_CHECK(!ec, "persistence: cannot create " + dir_ + ": " + ec.message());
+
+    // Load the manifest; it is atomically replaced on every update, so it
+    // parses whole or does not exist.  Individual malformed lines (a future
+    // format extension, say) are skipped rather than fatal.
+    std::string content;
+    try {
+        content = fsio::read_file(manifest_path());
+    } catch (const std::exception&) {
+        return;  // fresh store
+    }
+    std::stringstream ss(content);
+    std::string line;
+    if (!std::getline(ss, line) || line != kManifestMagic) {
+        return;
+    }
+    const MutexLock lock(mu_);
+    while (std::getline(ss, line)) {
+        const auto tokens = text::split(line, ' ');
+        if (tokens.size() != 4) {
+            continue;
+        }
+        DigestEntry entry;
+        try {
+            entry.name = text::hex_decode(tokens[0]);
+        } catch (const std::exception&) {
+            continue;
+        }
+        const auto rev = parse_field(tokens[1], "rev=");
+        const auto bytes = parse_field(tokens[2], "bytes=");
+        const auto checksum = parse_field(tokens[3], "checksum=");
+        if (entry.name.empty() || !rev.has_value() || !bytes.has_value() ||
+            !checksum.has_value()) {
+            continue;
+        }
+        entry.revision = *rev;
+        entry.bytes = *bytes;
+        entry.checksum = *checksum;
+        entries_[entry.name] = std::move(entry);
+    }
+}
+
+std::string PersistentStore::model_path(const std::string& name) const {
+    return dir_ + "/m_" + text::hex_encode(name) + ".snap";
+}
+
+std::string PersistentStore::manifest_path() const { return dir_ + "/MANIFEST"; }
+
+std::string PersistentStore::journal_path() const { return dir_ + "/jobs.journal"; }
+
+void PersistentStore::write_manifest_locked() {
+    std::string out(kManifestMagic);
+    out += "\n";
+    for (const auto& [name, entry] : entries_) {
+        out += text::hex_encode(name) + " rev=" + std::to_string(entry.revision) +
+               " bytes=" + std::to_string(entry.bytes) +
+               " checksum=" + std::to_string(entry.checksum) + "\n";
+    }
+    fsio::replace_file_durable(manifest_path(), out);
+}
+
+void PersistentStore::store(const DigestEntry& entry, const std::string& container) {
+    KINET_CHECK(!entry.name.empty(), "persistence: empty model name");
+    const std::string path = model_path(entry.name);
+    // Snapshot first, manifest second: a crash between the two leaves an
+    // orphan snapshot the (old) manifest never names — still consistent.
+    fsio::write_file_durable(path + ".tmp", container);
+    KINET_FAILPOINT("snapshot.commit");
+    fsio::rename_durable(path + ".tmp", path);
+    const MutexLock lock(mu_);
+    entries_[entry.name] = entry;
+    write_manifest_locked();
+}
+
+void PersistentStore::remove(const std::string& name) {
+    const MutexLock lock(mu_);
+    if (entries_.erase(name) == 0) {
+        return;
+    }
+    write_manifest_locked();
+    std::error_code ec;
+    std::filesystem::remove(model_path(name), ec);  // best effort
+}
+
+std::vector<DigestEntry> PersistentStore::manifest() const {
+    const MutexLock lock(mu_);
+    std::vector<DigestEntry> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+        out.push_back(entry);
+    }
+    return out;
+}
+
+std::string PersistentStore::load(const std::string& name) const {
+    {
+        const MutexLock lock(mu_);
+        if (entries_.find(name) == entries_.end()) {
+            throw Error("persistence: no stored model named " + name);
+        }
+    }
+    return fsio::read_file(model_path(name));
+}
+
+}  // namespace kinet::service

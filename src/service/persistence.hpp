@@ -1,0 +1,73 @@
+// Durable model store behind `kinetd --persist/--recover`.
+//
+// The store owns two kinds of state inside the server's snapshot_dir:
+//
+//   m_<hex(name)>.snap   one snapshot container per persisted model (the
+//                        hex-encoded name confines hostile model names —
+//                        "../../etc" becomes an inert filename token)
+//   MANIFEST             the durable registry manifest:
+//                            KNETMANIFEST 1
+//                            <hex(name)> rev=<r> bytes=<b> checksum=<c>
+//   jobs.journal         the JobManager's append-only journal (see
+//                        journal.hpp; the store only names the path)
+//
+// Write protocol: the snapshot container is written tmp + fsync + rename
+// first, the manifest is atomically rewritten second.  A crash between the
+// two leaves an orphan snapshot file the manifest does not name — recovery
+// simply ignores it (the old manifest still describes a consistent store).
+// Zero corrupt snapshots are loadable after a crash at ANY instant; the
+// chaos suite drives a failpoint through every window to prove it.
+#ifndef KINETGAN_SERVICE_PERSISTENCE_H
+#define KINETGAN_SERVICE_PERSISTENCE_H
+
+#include <string>
+#include <vector>
+
+#include "src/common/thread_annotations.hpp"
+#include "src/service/registry.hpp"
+
+namespace kinet::service {
+
+class PersistentStore {
+public:
+    /// Opens (and on first use creates) the store rooted at `dir`, loading
+    /// the manifest if one exists.  Throws kinet::Error when the directory
+    /// cannot be created.
+    explicit PersistentStore(std::string dir);
+
+    /// Durably writes the model's snapshot container and then the updated
+    /// manifest.  `entry` carries the name/revision/bytes/checksum exactly
+    /// as the registry stamped them.
+    void store(const DigestEntry& entry, const std::string& container);
+
+    /// Removes a model from the manifest (and its snapshot file, best
+    /// effort).  No-op for unknown names.
+    void remove(const std::string& name);
+
+    /// The manifest as last durably written, sorted by name.
+    [[nodiscard]] std::vector<DigestEntry> manifest() const;
+
+    /// Reads the snapshot container bytes for a manifest-listed model;
+    /// throws kinet::Error if the model is not in the manifest or the file
+    /// cannot be read.
+    [[nodiscard]] std::string load(const std::string& name) const;
+
+    [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+    /// Path of the job journal inside this store.
+    [[nodiscard]] std::string journal_path() const;
+
+private:
+    [[nodiscard]] std::string model_path(const std::string& name) const;
+    [[nodiscard]] std::string manifest_path() const;
+    void write_manifest_locked() KINET_REQUIRES(mu_);
+
+    std::string dir_;
+    mutable Mutex mu_;
+    /// In-memory mirror of the durable manifest, keyed by model name.
+    std::map<std::string, DigestEntry> entries_ KINET_GUARDED_BY(mu_);
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_PERSISTENCE_H

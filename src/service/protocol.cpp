@@ -27,6 +27,7 @@ constexpr OpSpec kOps[] = {
     {Op::jobs, "JOBS", false, 0},     {Op::quit, "QUIT", false, 0},
     {Op::cluster, "CLUSTER", false, 0, true}, {Op::replicate, "REPLICATE", true, 1},
     {Op::fetch, "FETCH", true, 0},    {Op::fedtrain, "FEDTRAIN", true, 0},
+    {Op::fault, "FAULT", false, 0},   {Op::digest, "DIGEST", false, 0},
 };
 
 const OpSpec* find_op(std::string_view name) {
@@ -106,8 +107,10 @@ std::size_t request_body_size(const Request& request) {
     }
     const auto bytes = parse_u64(request.positional.at(0), "REPLICATE body size");
     if (bytes > kMaxRequestBodyBytes) {
-        throw Error("protocol: REPLICATE body of " + std::to_string(bytes) +
-                    " bytes exceeds the limit of " + std::to_string(kMaxRequestBodyBytes));
+        // Coded and permanent: a peer must not retry an oversize push.
+        throw Error(std::string(kBodyTooLargeCode) + ": REPLICATE body of " +
+                    std::to_string(bytes) + " bytes exceeds the limit of " +
+                    std::to_string(kMaxRequestBodyBytes));
     }
     return static_cast<std::size_t>(bytes);
 }
@@ -155,6 +158,51 @@ Response queue_full_response(std::string_view detail) {
     Response r;
     r.ok = false;
     r.error = std::string(kQueueFullPrefix) + ": " + std::string(detail);
+    return r;
+}
+
+std::string_view error_code(std::string_view message) {
+    constexpr std::string_view kClientPrefix = "server: ";
+    if (message.substr(0, kClientPrefix.size()) == kClientPrefix) {
+        message.remove_prefix(kClientPrefix.size());
+    }
+    const std::size_t colon = message.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+        return {};
+    }
+    const std::string_view code = message.substr(0, colon);
+    for (const char c : code) {
+        const bool code_char =
+            (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+        if (!code_char) {
+            return {};  // prose before the colon, not a machine code
+        }
+    }
+    return code;
+}
+
+bool is_retryable_error(std::string_view message) {
+    constexpr std::string_view kClientPrefix = "server: ";
+    if (message.substr(0, kClientPrefix.size()) == kClientPrefix) {
+        message.remove_prefix(kClientPrefix.size());
+    }
+    // Transport-layer failures: the request may never have reached the
+    // server (or died mid-response) — reconnect and resend is sound for
+    // this protocol's idempotent request/response exchanges.
+    constexpr std::string_view kSocketPrefix = "socket: ";
+    if (message.substr(0, kSocketPrefix.size()) == kSocketPrefix ||
+        message == "client: server closed the connection") {
+        return true;
+    }
+    const std::string_view code = error_code(message);
+    return code == kQueueFullPrefix || code == kDrainingCode ||
+           code == kBreakerOpenCode || code == kUnavailableCode;
+}
+
+Response coded_error(std::string_view code, std::string_view detail) {
+    Response r;
+    r.ok = false;
+    r.error = std::string(code) + ": " + std::string(detail);
     return r;
 }
 

@@ -44,10 +44,15 @@ enum class Op {
                //   as the response payload (pull-through replication)
     fedtrain,  // FEDTRAIN <model> key=value...    — async job: train locally
                //   on site data, then publish the snapshot to every peer
+    fault,     // FAULT [<name>] [spec=<spec>]     — admin-only failpoint
+               //   control: no args lists status, name+spec (re)configures,
+               //   spec=off disarms (requires --enable-failpoints)
+    digest,    // DIGEST                           — registry digest manifest
+               //   (name/revision/bytes/checksum per model) for anti-entropy
 };
 
 /// Number of protocol ops (for per-op metric arrays indexed by Op).
-inline constexpr std::size_t kOpCount = 16;
+inline constexpr std::size_t kOpCount = 18;
 
 /// Machine-readable prefix of admission-control rejections: a server at
 /// capacity answers `ERR queue_full: <detail>` (connection cap reached or
@@ -78,6 +83,41 @@ struct Response {
 
 /// Builds the canonical admission-control ERR response.
 [[nodiscard]] Response queue_full_response(std::string_view detail);
+
+// --- Machine-readable error codes -----------------------------------------
+//
+// Coded errors carry a leading `<code>: <detail>` token so clients and peers
+// can classify failures without string-matching free-form text.  The
+// retryable codes mean "the same request may succeed later on the same
+// server"; everything else — including every uncoded legacy message — is
+// permanent and must not be retried (retrying a checksum mismatch just
+// resends the same corrupt bytes).  docs/protocol.md has the full table.
+
+/// Transient server conditions: back off and retry the same request.
+inline constexpr std::string_view kDrainingCode = "draining";        // SIGTERM drain
+inline constexpr std::string_view kBreakerOpenCode = "breaker_open"; // peer circuit open
+inline constexpr std::string_view kUnavailableCode = "unavailable";  // transient dependency
+
+/// Permanent REPLICATE body rejections (non-retryable by classification).
+inline constexpr std::string_view kBodyTooLargeCode = "body_too_large";
+inline constexpr std::string_view kChecksumMismatchCode = "checksum_mismatch";
+inline constexpr std::string_view kShortBodyCode = "short_body";
+inline constexpr std::string_view kBadSnapshotCode = "bad_snapshot";
+
+/// The leading machine-readable code of an ERR message (`<code>: ...`), or
+/// an empty view for legacy free-form messages.  Tolerates the client-side
+/// "server: " framing.  A code is all-lowercase [a-z0-9_]+ — ordinary prose
+/// with a colon ("cluster: peer died") is not mistaken for one.
+[[nodiscard]] std::string_view error_code(std::string_view message);
+
+/// True iff the error is worth retrying against the same server: a
+/// retryable code (queue_full / draining / breaker_open / unavailable) or a
+/// transport-layer failure ("socket: ...", "client: server closed the
+/// connection").  Unknown codes and free-form messages are permanent.
+[[nodiscard]] bool is_retryable_error(std::string_view message);
+
+/// Builds an `ERR <code>: <detail>` response.
+[[nodiscard]] Response coded_error(std::string_view code, std::string_view detail);
 
 /// Upper bound on a REPLICATE request body — a hostile byte count must not
 /// become an allocation primitive against the daemon.

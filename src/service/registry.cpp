@@ -5,6 +5,8 @@
 
 #include "src/common/bytes.hpp"
 #include "src/common/check.hpp"
+#include "src/common/failpoint.hpp"
+#include "src/service/snapshot.hpp"
 
 namespace kinet::service {
 
@@ -14,32 +16,49 @@ std::int64_t ModelRegistry::now_ms() const noexcept {
         .count();
 }
 
-void ModelRegistry::put(const std::string& name, std::unique_ptr<core::KiNetGan> model) {
+std::uint64_t ModelRegistry::put(const std::string& name,
+                                 std::unique_ptr<core::KiNetGan> model,
+                                 std::uint64_t revision, std::string* container_out) {
     KINET_CHECK(!name.empty(), "ModelRegistry::put: empty model name");
     KINET_CHECK(model != nullptr && model->is_fitted(),
                 "ModelRegistry::put: model must be fitted");
     auto entry = std::make_shared<ModelEntry>();
     // Measure the serialized size once, while this thread exclusively owns
     // the model — the same bytes SAVE would write, so the budget is
-    // accounted in real snapshot bytes rather than a heap estimate.
+    // accounted in real snapshot bytes rather than a heap estimate.  The
+    // checksum over the same payload is what peers compare in digests.
     {
         bytes::Writer writer;
         model->save(writer);
         entry->memory_bytes = writer.size();
+        entry->checksum = bytes::fnv1a(writer.buffer());
+        if (container_out != nullptr) {
+            *container_out = wrap_snapshot_payload(writer.buffer());
+        }
     }
     entry->model = std::move(model);
     entry->last_access_ms.store(now_ms(), std::memory_order_relaxed);
     const WriterLock lock(mu_);
+    if (revision == 0) {
+        revision = ++revision_clock_;
+    } else if (revision > revision_clock_) {
+        revision_clock_ = revision;  // adopt the remote clock, Lamport-style
+    }
+    entry->revision = revision;
     if (const auto it = models_.find(name); it != models_.end()) {
         total_bytes_ -= it->second->memory_bytes;
     }
     total_bytes_ += entry->memory_bytes;
     models_[name] = std::move(entry);
     evict_over_budget_locked(name);
+    return revision;
 }
 
 void ModelRegistry::evict_over_budget_locked(const std::string& keep) {
     while (budget_bytes_ > 0 && total_bytes_ > budget_bytes_ && models_.size() > 1) {
+        // Injected faults surface to the put() caller (a request worker);
+        // the WriterLock unwinds cleanly, so the map stays consistent.
+        KINET_FAILPOINT("registry.evict");
         auto victim = models_.end();
         std::int64_t oldest = 0;
         for (auto it = models_.begin(); it != models_.end(); ++it) {
@@ -95,6 +114,17 @@ std::vector<std::string> ModelRegistry::names() const {
 std::size_t ModelRegistry::size() const {
     const ReaderLock lock(mu_);
     return models_.size();
+}
+
+std::vector<DigestEntry> ModelRegistry::digest() const {
+    const ReaderLock lock(mu_);
+    std::vector<DigestEntry> out;
+    out.reserve(models_.size());
+    for (const auto& [name, entry] : models_) {
+        out.push_back(DigestEntry{name, entry->revision, entry->memory_bytes,
+                                  entry->checksum});
+    }
+    return out;
 }
 
 void ModelRegistry::set_limits(std::uint64_t budget_bytes, std::uint64_t ttl_ms) {

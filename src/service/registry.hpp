@@ -46,9 +46,25 @@ struct ModelEntry {
     /// Serialized snapshot size, measured once at put() — the unit the
     /// registry's memory budget is accounted in.
     std::uint64_t memory_bytes = 0;
+    /// FNV-1a of the serialized payload — the same checksum the snapshot
+    /// container carries, so digests compare across the fleet for free.
+    std::uint64_t checksum = 0;
+    /// Registry revision stamped at put() — a Lamport-style counter that
+    /// orders replacements of the same name across restarts and peers
+    /// (anti-entropy pulls a peer's copy only when its revision is newer).
+    std::uint64_t revision = 0;
     /// Milliseconds on the registry clock of the last get(); drives both
     /// LRU ordering and TTL expiry.
     std::atomic<std::int64_t> last_access_ms{0};
+};
+
+/// One model's line in the registry digest (the DIGEST op's manifest and
+/// the persistence manifest both serialize this).
+struct DigestEntry {
+    std::string name;
+    std::uint64_t revision = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t checksum = 0;
 };
 
 class ModelRegistry {
@@ -57,7 +73,15 @@ public:
     /// While the configured budget is exceeded, least-recently-used other
     /// entries are evicted (the newly registered model itself is never the
     /// victim, even if it alone exceeds the budget).
-    void put(const std::string& name, std::unique_ptr<core::KiNetGan> model);
+    ///
+    /// `revision` 0 stamps the next local revision; a non-zero revision
+    /// (from a peer's digest or the recovery manifest) is adopted verbatim
+    /// and the local clock advanced past it, Lamport-style.  Returns the
+    /// stamped revision.  When `container_out` is non-null it receives the
+    /// full snapshot container for the registered payload — callers that
+    /// persist write-through get the bytes without re-serializing.
+    std::uint64_t put(const std::string& name, std::unique_ptr<core::KiNetGan> model,
+                      std::uint64_t revision = 0, std::string* container_out = nullptr);
 
     /// Shared-read lookup; nullptr if absent.  Touches the entry's LRU/TTL
     /// clock.  The returned shared_ptr keeps the entry alive even if it is
@@ -69,6 +93,10 @@ public:
 
     /// Registered names in sorted order.
     [[nodiscard]] std::vector<std::string> names() const;
+
+    /// Per-model name/revision/bytes/checksum manifest in sorted-name order
+    /// — the payload of the DIGEST op and the persistence manifest.
+    [[nodiscard]] std::vector<DigestEntry> digest() const;
 
     [[nodiscard]] std::size_t size() const;
 
@@ -98,6 +126,7 @@ private:
 
     mutable SharedMutex mu_;
     std::map<std::string, std::shared_ptr<ModelEntry>> models_ KINET_GUARDED_BY(mu_);
+    std::uint64_t revision_clock_ KINET_GUARDED_BY(mu_) = 0;
     std::uint64_t budget_bytes_ KINET_GUARDED_BY(mu_) = 0;
     std::uint64_t ttl_ms_ KINET_GUARDED_BY(mu_) = 0;
     std::uint64_t total_bytes_ KINET_GUARDED_BY(mu_) = 0;

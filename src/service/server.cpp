@@ -1,11 +1,14 @@
 #include "src/service/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "src/common/check.hpp"
 #include "src/common/csv.hpp"
+#include "src/common/failpoint.hpp"
 #include "src/common/stopwatch.hpp"
 #include "src/common/text.hpp"
 #include "src/data/split.hpp"
@@ -261,6 +264,15 @@ SynthServer::SynthServer(ServerOptions options)
       kg_unsw_(kg::NetworkKg::build_unsw()),
       jobs_(options_.train_workers) {
     registry_.set_limits(options_.model_cache_bytes, options_.model_ttl_ms);
+    if (options_.recover) {
+        options_.persist = true;
+    }
+    if (options_.persist) {
+        KINET_CHECK(!options_.snapshot_dir.empty(),
+                    "persistence requires a non-empty snapshot_dir");
+        store_ = std::make_unique<PersistentStore>(options_.snapshot_dir);
+        journal_ = std::make_shared<JobJournal>(store_->journal_path());
+    }
     EventLoopOptions lo;
     lo.port = options_.port;
     lo.max_connections = options_.max_connections;
@@ -278,7 +290,20 @@ SynthServer::SynthServer(ServerOptions options)
 
 SynthServer::~SynthServer() { stop(); }
 
-void SynthServer::start() { loop_->start(); }
+void SynthServer::start() {
+    loop_->start();
+    if (store_ != nullptr && !recovered_) {
+        recovered_ = true;
+        if (options_.recover) {
+            recover_state();
+        } else {
+            // A fresh (non-recovering) persistent daemon starts a new epoch:
+            // whatever journal a previous run left behind is superseded.
+            JobJournal::truncate(journal_->path());
+            jobs_.set_journal(journal_);
+        }
+    }
+}
 
 void SynthServer::stop() {
     loop_->stop();
@@ -292,8 +317,28 @@ void SynthServer::stop() {
     jobs_.cancel_all();
 }
 
+void SynthServer::drain(std::size_t timeout_ms) {
+    loop_->drain();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (loop_->inflight_requests() != 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stop();
+}
+
+void SynthServer::crash_stop() {
+    crashed_.store(true, std::memory_order_relaxed);
+    jobs_.set_journal(nullptr);
+    stop();
+}
+
 void SynthServer::enable_cluster(ClusterConfig config) {
     auto service = std::make_shared<ClusterService>(std::move(config));
+    // The prober thread drives periodic anti-entropy; the hook is set
+    // before the thread exists, so no synchronisation is needed.
+    service->set_anti_entropy_hook([this] { (void)anti_entropy_now(); });
     service->start_probing();
     std::shared_ptr<ClusterService> old;
     {
@@ -329,6 +374,7 @@ bool SynthServer::is_fast_op(const Request& request) {
     case Op::drop:
     case Op::quit:
     case Op::cluster:
+    case Op::fault:
         return true;
     case Op::poll:
         // The wait= long-poll parks the request until the job is terminal;
@@ -390,7 +436,7 @@ Response SynthServer::dispatch(const Request& request) {
         const std::string path =
             resolve_confined(options_.snapshot_dir, request.positional.at(0), "LOAD");
         auto model = load_snapshot_file(path);
-        registry_.put(request.model, std::move(model));
+        admit_model(request.model, std::move(model));
         return Response{};
     }
     case Op::save: {
@@ -404,6 +450,9 @@ Response SynthServer::dispatch(const Request& request) {
     case Op::drop:
         if (!registry_.erase(request.model)) {
             return error_response("no model named " + request.model);
+        }
+        if (store_ != nullptr && !crashed_.load(std::memory_order_relaxed)) {
+            store_->remove(request.model);
         }
         return Response{};
     case Op::sample:
@@ -426,6 +475,10 @@ Response SynthServer::dispatch(const Request& request) {
         return handle_fetch(request);
     case Op::fedtrain:
         return handle_fedtrain(request);
+    case Op::fault:
+        return handle_fault(request);
+    case Op::digest:
+        return handle_digest(request);
     case Op::quit:
         return Response{};  // transport-level; acknowledged by the event loop
     }
@@ -561,7 +614,8 @@ Response SynthServer::forward_train_async(const std::shared_ptr<ClusterService>&
                                 (err_it == status.end() ? "" : ": " + err_it->second));
                 }
             }
-        });
+        },
+        format_request(request));
     Response r;
     r.payload += kv_line("job", std::to_string(id));
     r.payload += kv_line("model", model);
@@ -667,8 +721,9 @@ Response SynthServer::handle_train(const Request& request) {
         const std::uint64_t id = jobs_.submit(
             plan.model, plan.opts.gan.epochs,
             [this, plan](JobManager::Context& context) {
-                registry_.put(plan.model, run_training(plan, &context).model);
-            });
+                admit_model(plan.model, run_training(plan, &context).model);
+            },
+            format_request(request));
         Response r;
         r.payload += kv_line("job", std::to_string(id));
         r.payload += kv_line("model", plan.model);
@@ -684,7 +739,7 @@ Response SynthServer::handle_train(const Request& request) {
     r.payload += kv_line("adherence",
                          text::format_double(result.model->last_cond_adherence(), 4));
     r.payload += kv_line("domain", plan.unsw ? "unsw" : "lab");
-    registry_.put(plan.model, std::move(result.model));
+    admit_model(plan.model, std::move(result.model));
     return r;
 }
 
@@ -808,6 +863,14 @@ Response SynthServer::handle_stats(const Request& request) {
     r.payload += kv_line("jobs", std::to_string(jobs_.size()));
     r.payload += kv_line("model_cache_bytes", std::to_string(registry_.memory_bytes()));
     r.payload += kv_line("model_cache_evictions", std::to_string(registry_.evictions()));
+    r.payload += kv_line("requests_inflight", std::to_string(loop_->inflight_requests()));
+    r.payload += kv_line("persisted_models",
+                         std::to_string(store_ == nullptr ? 0 : store_->manifest().size()));
+    r.payload += kv_line("recovered_models", std::to_string(recovered_models_.load()));
+    r.payload += kv_line("recovered_jobs", std::to_string(recovered_jobs_.load()));
+    r.payload += kv_line("resubmitted_jobs", std::to_string(resubmitted_jobs_.load()));
+    r.payload += kv_line("anti_entropy_rounds", std::to_string(anti_entropy_rounds_.load()));
+    r.payload += kv_line("repairs", std::to_string(repairs_.load()));
     r.payload += metrics_.render();
     if (const auto c = cluster()) {
         r.payload += c->render_stats();
@@ -881,9 +944,20 @@ Response SynthServer::handle_cluster(const Request& request) {
 Response SynthServer::handle_replicate(const Request& request) {
     // The transport already read exactly the declared byte count;
     // read_snapshot validates magic, version, length and checksum before
-    // any registry state changes — a corrupt push is rejected whole.
-    auto model = read_snapshot(request.body);
-    registry_.put(request.model, std::move(model));
+    // any registry state changes — a corrupt push is rejected whole, with
+    // a machine-readable (permanent) code: resending the same bytes can
+    // never succeed, so no peer should burn its retry budget here.
+    std::unique_ptr<core::KiNetGan> model;
+    try {
+        model = read_snapshot(request.body);
+    } catch (const std::exception& e) {
+        const std::string what = e.what();
+        return coded_error(what.find("checksum mismatch") != std::string::npos
+                               ? kChecksumMismatchCode
+                               : kBadSnapshotCode,
+                           what);
+    }
+    admit_model(request.model, std::move(model), kv_u64(request, "rev", 0));
     if (const auto c = cluster()) {
         c->replications_in.fetch_add(1, std::memory_order_relaxed);
     }
@@ -919,15 +993,19 @@ Response SynthServer::handle_fedtrain(const Request& request) {
         [this, plan](JobManager::Context& context) {
             auto result = run_training(plan, &context);
             const std::size_t epochs = plan.opts.gan.epochs;
-            std::string snapshot = write_snapshot(*result.model);
-            registry_.put(plan.model, std::move(result.model));
+            // admit_model hands back the serialized container, so the
+            // publish fan-out reuses the registration's bytes (and carries
+            // its revision, keeping the fleet's Lamport order consistent).
+            std::string snapshot;
+            const std::uint64_t revision =
+                admit_model(plan.model, std::move(result.model), 0, &snapshot);
             const auto cl = cluster();
             if (cl == nullptr) {
                 return;  // standalone: FEDTRAIN degrades to an async TRAIN
             }
             std::string first_error;
             const std::size_t ok = cl->publish(
-                plan.model, snapshot,
+                plan.model, snapshot, revision,
                 [&context, epochs](std::size_t done, std::size_t /*total*/) {
                     context.report_progress(epochs + done);
                 },
@@ -938,13 +1016,241 @@ Response SynthServer::handle_fedtrain(const Request& request) {
             if (ok == 0 && !first_error.empty()) {
                 throw Error("publish reached no peer; first error: " + first_error);
             }
-        });
+        },
+        format_request(request));
     Response r;
     r.payload += kv_line("job", std::to_string(id));
     r.payload += kv_line("model", plan.model);
     r.payload += kv_line("epochs", std::to_string(plan.opts.gan.epochs));
     r.payload += kv_line("peers", std::to_string(peer_count));
     return r;
+}
+
+Response SynthServer::handle_fault(const Request& request) {
+    if (!options_.enable_failpoints) {
+        return error_response(
+            "FAULT: failpoint control is disabled (start with --enable-failpoints)");
+    }
+    if (request.positional.empty()) {
+        Response r;
+        r.payload = failpoint::render_status();
+        return r;
+    }
+    const std::string& name = request.positional.at(0);
+    const auto it = request.kv.find("spec");
+    if (it == request.kv.end()) {
+        return error_response("FAULT: missing spec= (use spec=off to disarm)");
+    }
+    failpoint::configure(name, it->second);
+    Response r;
+    r.payload += kv_line("failpoint", name);
+    r.payload += kv_line("spec", it->second);
+    return r;
+}
+
+Response SynthServer::handle_digest(const Request& /*request*/) {
+    const auto digest = registry_.digest();
+    Response r;
+    r.payload += kv_line("models", std::to_string(digest.size()));
+    for (const auto& entry : digest) {
+        r.payload += entry.name + " rev=" + std::to_string(entry.revision) +
+                     " bytes=" + std::to_string(entry.bytes) +
+                     " checksum=" + std::to_string(entry.checksum) + "\n";
+    }
+    return r;
+}
+
+std::uint64_t SynthServer::admit_model(const std::string& name,
+                                       std::unique_ptr<core::KiNetGan> model,
+                                       std::uint64_t revision,
+                                       std::string* container_out) {
+    const bool persisting = store_ != nullptr && !crashed_.load(std::memory_order_relaxed);
+    std::string container;
+    std::string* const capture =
+        (persisting || container_out != nullptr) ? &container : nullptr;
+    const std::uint64_t rev = registry_.put(name, std::move(model), revision, capture);
+    if (persisting) {
+        // Write-through iff our registration is still current: a concurrent
+        // replacement may already have persisted a newer revision, and the
+        // store must never go backwards.
+        if (const auto stored = registry_.get(name);
+            stored != nullptr && stored->revision == rev) {
+            store_->store(DigestEntry{name, rev, stored->memory_bytes, stored->checksum},
+                          container);
+        }
+    }
+    if (container_out != nullptr) {
+        *container_out = std::move(container);
+    }
+    return rev;
+}
+
+void SynthServer::recover_state() {
+    // Models first: every manifest entry is re-read, re-verified by its
+    // container checksum, and admitted at its recorded revision.  A corrupt
+    // or unreadable snapshot is dropped from the store rather than fatal —
+    // anti-entropy (or a re-train) heals it later.
+    for (const auto& entry : store_->manifest()) {
+        try {
+            auto model = read_snapshot(store_->load(entry.name));
+            registry_.put(entry.name, std::move(model), entry.revision);
+            recovered_models_.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+            store_->remove(entry.name);
+        }
+    }
+
+    // Jobs: fold the journal into one record per id.  A submit with no
+    // terminal record is the crash signature of an interrupted job.
+    struct Recovered {
+        JobInfo info;
+        std::string request_line;
+        bool terminal = false;
+    };
+    std::map<std::uint64_t, Recovered> records;
+    for (const auto& record : JobJournal::replay(journal_->path())) {
+        if (record.kind == JobJournal::Record::Kind::submit) {
+            Recovered r;
+            r.info.id = record.id;
+            r.info.model = record.model;
+            r.info.epochs_total = record.epochs_total;
+            r.request_line = record.request_line;
+            records[record.id] = std::move(r);
+            continue;
+        }
+        const auto it = records.find(record.id);
+        if (it == records.end()) {
+            continue;  // terminal for a submit before the last rotation
+        }
+        it->second.terminal = true;
+        it->second.info.state = record.state;
+        it->second.info.error = record.error;
+        if (record.state == JobState::done) {
+            it->second.info.epochs_done = it->second.info.epochs_total;
+        }
+    }
+
+    // Rotate the journal, then attach it: restored records re-journal into
+    // the fresh file, so the next crash replays one epoch of history, not
+    // the whole daemon lifetime.
+    JobJournal::truncate(journal_->path());
+    jobs_.set_journal(journal_);
+    std::vector<std::string> resubmit;
+    for (auto& [id, rec] : records) {
+        const bool interrupted = !rec.terminal;
+        if (interrupted) {
+            rec.info.state = JobState::failed;
+            rec.info.error = "interrupted by daemon restart";
+        }
+        jobs_.restore_terminal(rec.info);
+        recovered_jobs_.fetch_add(1, std::memory_order_relaxed);
+        if (interrupted && !rec.request_line.empty()) {
+            resubmit.push_back(rec.request_line);
+        }
+    }
+    // Deterministic resume: replay each interrupted request as a fresh
+    // submission.  The failed record above is kept — the client that polls
+    // the old id learns what happened; the re-run gets a new id like any
+    // other submission.  This runs only after EVERY restored record has
+    // advanced the job counter, so a resubmitted id can never collide with
+    // a journaled one still waiting to be restored.
+    for (const auto& line : resubmit) {
+        try {
+            const Response response = handle(parse_request(line));
+            if (response.ok) {
+                resubmitted_jobs_.fetch_add(1, std::memory_order_relaxed);
+            }
+        } catch (const std::exception&) {
+            // A request line from an older protocol era; the failed
+            // record already tells the operator what was lost.
+        }
+    }
+}
+
+namespace {
+
+/// One u64 field ("rev=", "bytes=", "checksum=") of a digest line.
+std::optional<std::uint64_t> digest_field(const std::string& token,
+                                          std::string_view key) {
+    if (token.size() <= key.size() || token.compare(0, key.size(), key) != 0) {
+        return std::nullopt;
+    }
+    try {
+        return parse_u64(token.substr(key.size()), "digest field");
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+/// Parses a peer's DIGEST payload back into entries.  Malformed lines are
+/// skipped — anti-entropy degrades to repairing less, never to crashing.
+std::vector<DigestEntry> parse_digest_payload(const std::string& payload) {
+    std::vector<DigestEntry> out;
+    for (const auto& line : text::split(payload, '\n')) {
+        if (line.empty() || text::starts_with(line, "models=")) {
+            continue;
+        }
+        const auto tokens = text::split(line, ' ');
+        if (tokens.size() != 4) {
+            continue;
+        }
+        const auto rev = digest_field(tokens[1], "rev=");
+        const auto bytes = digest_field(tokens[2], "bytes=");
+        const auto checksum = digest_field(tokens[3], "checksum=");
+        if (!rev.has_value() || !bytes.has_value() || !checksum.has_value()) {
+            continue;
+        }
+        out.push_back(DigestEntry{tokens[0], *rev, *bytes, *checksum});
+    }
+    return out;
+}
+
+}  // namespace
+
+std::size_t SynthServer::anti_entropy_now() {
+    const auto c = cluster();
+    if (c == nullptr) {
+        return 0;
+    }
+    anti_entropy_rounds_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t repaired = 0;
+    for (const auto& peer : c->peer_names()) {
+        if (!c->peer_up(peer)) {
+            continue;
+        }
+        std::vector<DigestEntry> remote;
+        try {
+            remote = parse_digest_payload(c->digest_from(peer));
+        } catch (const Error&) {
+            continue;  // peer died mid-digest; the prober will notice
+        }
+        for (const auto& entry : remote) {
+            // Only models this node should hold: self on the ring
+            // preference list.  Anything else stays the owners' problem —
+            // anti-entropy repairs placement, it does not replicate
+            // everything everywhere.
+            const auto preference = c->preference(entry.name);
+            if (std::find(preference.begin(), preference.end(), c->self_name()) ==
+                preference.end()) {
+                continue;
+            }
+            const auto local = registry_.get(entry.name);
+            if (local != nullptr && (entry.revision <= local->revision ||
+                                     entry.checksum == local->checksum)) {
+                continue;  // ours is as new, or the bytes already match
+            }
+            try {
+                admit_model(entry.name, read_snapshot(c->fetch_from(peer, entry.name)),
+                            entry.revision);
+                repairs_.fetch_add(1, std::memory_order_relaxed);
+                ++repaired;
+            } catch (const std::exception&) {
+                // The fetch raced a drop, or the copy was corrupt in
+                // flight; the next round retries against a healthy peer.
+            }
+        }
+    }
+    return repaired;
 }
 
 std::shared_ptr<ModelEntry> SynthServer::require_model(const std::string& name) const {
@@ -967,7 +1273,7 @@ std::shared_ptr<ModelEntry> SynthServer::acquire_model(const std::string& name,
                 continue;
             }
             try {
-                registry_.put(name, read_snapshot(c->fetch_from(node, name)));
+                admit_model(name, read_snapshot(c->fetch_from(node, name)));
                 c->cache_fills.fetch_add(1, std::memory_order_relaxed);
                 if (auto entry = registry_.get(name)) {
                     return entry;

@@ -24,6 +24,8 @@
 #include <optional>
 #include <string>
 
+#include <atomic>
+
 #include "src/common/thread_annotations.hpp"
 
 #include "src/core/kinetgan.hpp"
@@ -31,7 +33,9 @@
 #include "src/service/cluster/cluster.hpp"
 #include "src/service/event_loop.hpp"
 #include "src/service/jobs.hpp"
+#include "src/service/journal.hpp"
 #include "src/service/metrics.hpp"
+#include "src/service/persistence.hpp"
 #include "src/service/protocol.hpp"
 #include "src/service/registry.hpp"
 #include "src/service/socket.hpp"
@@ -66,6 +70,18 @@ struct ServerOptions {
     std::uint64_t model_cache_bytes = 0;
     /// Registry idle TTL in milliseconds (0 = never expire).
     std::uint64_t model_ttl_ms = 0;
+    /// Durable persistence: every registered model is write-through
+    /// persisted (atomic snapshot + manifest) into snapshot_dir, and async
+    /// jobs are journaled.  Requires a non-empty snapshot_dir.
+    bool persist = false;
+    /// On the first start(), reload the persisted registry from the
+    /// manifest and resolve journaled jobs: terminal records become
+    /// POLLable again, interrupted ones are marked failed ("interrupted by
+    /// daemon restart") and, when resumable, resubmitted.  Implies persist.
+    bool recover = false;
+    /// Admin gate for the FAULT op.  Off (the default) rejects all wire
+    /// failpoint control; the KINET_FAILPOINTS env var works regardless.
+    bool enable_failpoints = false;
 };
 
 class SynthServer {
@@ -82,6 +98,15 @@ public:
     /// up, so start() after stop() restores full service).  Idempotent;
     /// also invoked by the destructor, which then joins the executor.
     void stop();
+    /// Graceful shutdown (SIGTERM): stop admitting new work — non-fast
+    /// requests answer the retryable `draining:` rejection so clients fail
+    /// over — wait up to `timeout_ms` for in-flight requests, then stop().
+    void drain(std::size_t timeout_ms);
+    /// Chaos-test crash hatch: detaches the job journal and freezes the
+    /// persistent store exactly as kill -9 would (no terminal records, no
+    /// final snapshots), then tears down the process-local threads so the
+    /// test can restart against the same snapshot_dir with recover=true.
+    void crash_stop();
 
     /// The bound port (valid after start()).
     [[nodiscard]] std::uint16_t port() const noexcept;
@@ -104,6 +129,13 @@ public:
     void enable_cluster(ClusterConfig config);
     /// The live cluster service; nullptr while standalone.
     [[nodiscard]] std::shared_ptr<ClusterService> cluster() const;
+
+    /// One synchronous anti-entropy round (what the cluster prober runs
+    /// every anti_entropy_interval_ms): pull each up peer's DIGEST, and for
+    /// models this node should hold (self in the ring preference list) that
+    /// are missing or strictly older than the peer's copy, FETCH and admit
+    /// the peer's snapshot.  Returns how many models were repaired.
+    std::size_t anti_entropy_now();
 
 private:
     /// Everything a training run needs, resolved and validated *before* the
@@ -164,6 +196,8 @@ private:
     [[nodiscard]] Response handle_cluster(const Request& request);
     [[nodiscard]] Response handle_replicate(const Request& request);
     [[nodiscard]] Response handle_fetch(const Request& request);
+    [[nodiscard]] Response handle_fault(const Request& request);
+    [[nodiscard]] Response handle_digest(const Request& request);
     [[nodiscard]] Response handle_sample(const Request& request);
     [[nodiscard]] SampleSpec parse_sample_spec(const Request& request, bool streaming) const;
     /// Drives the model's streaming sampler for `spec` (conditional or not).
@@ -188,6 +222,17 @@ private:
     /// the cache policy), and serve it locally from then on.
     [[nodiscard]] std::shared_ptr<ModelEntry> acquire_model(const std::string& name,
                                                             bool allow_pull_through);
+    /// registry_.put plus write-through persistence: when the store is
+    /// attached (and the server has not "crashed"), the snapshot container
+    /// and manifest land durably before the call returns — a persistence
+    /// failure fails the registration.  `container_out` (optional) receives
+    /// the container so publish paths do not re-serialize.  Returns the
+    /// stamped revision.
+    std::uint64_t admit_model(const std::string& name, std::unique_ptr<core::KiNetGan> model,
+                              std::uint64_t revision = 0, std::string* container_out = nullptr);
+    /// The recover=true path of the first start(): manifest models back into
+    /// the registry, journal replayed into restored/resubmitted jobs.
+    void recover_state();
 
     ServerOptions options_;
     ModelRegistry registry_;
@@ -196,6 +241,21 @@ private:
     JobManager jobs_;
     Metrics metrics_;
     std::unique_ptr<EventLoop> loop_;
+    /// Durable store + journal; nullptr when persistence is off.  Set once
+    /// in the constructor, so worker threads read them without a lock.
+    std::unique_ptr<PersistentStore> store_;
+    std::shared_ptr<JobJournal> journal_;
+    /// Recovery runs once, on the first start() after construction.
+    bool recovered_ = false;
+    /// crash_stop() raised this: persistence writes stop mid-flight, as a
+    /// real kill -9 would stop them.
+    std::atomic<bool> crashed_{false};
+    // Robustness counters surfaced by the global STATS payload.
+    std::atomic<std::uint64_t> recovered_models_{0};
+    std::atomic<std::uint64_t> recovered_jobs_{0};
+    std::atomic<std::uint64_t> resubmitted_jobs_{0};
+    std::atomic<std::uint64_t> anti_entropy_rounds_{0};
+    std::atomic<std::uint64_t> repairs_{0};
     mutable Mutex cluster_mu_;
     std::shared_ptr<ClusterService> cluster_ KINET_GUARDED_BY(cluster_mu_);
 };

@@ -5,23 +5,30 @@
 
 #include "src/common/bytes.hpp"
 #include "src/common/check.hpp"
+#include "src/common/failpoint.hpp"
+#include "src/common/fsio.hpp"
 
 namespace kinet::service {
 
 std::string write_snapshot(core::KiNetGan& model) {
+    KINET_FAILPOINT("snapshot.write");
     bytes::Writer payload;
     model.save(payload);
+    return wrap_snapshot_payload(payload.buffer());
+}
 
+std::string wrap_snapshot_payload(std::string_view payload) {
     bytes::Writer out;
     out.raw(kSnapshotMagic);
     out.u32(kSnapshotVersion);
     out.u64(payload.size());
-    out.u64(bytes::fnv1a(payload.buffer()));
-    out.raw(payload.buffer());
+    out.u64(bytes::fnv1a(payload));
+    out.raw(payload);
     return out.take();
 }
 
 std::unique_ptr<core::KiNetGan> read_snapshot(std::string_view data) {
+    KINET_FAILPOINT("snapshot.read");
     bytes::Reader header(data);
     if (header.remaining() < kSnapshotMagic.size() + 4 + 8 + 8) {
         throw Error("snapshot: truncated header (" + std::to_string(data.size()) + " bytes)");
@@ -57,11 +64,13 @@ std::unique_ptr<core::KiNetGan> read_snapshot(std::string_view data) {
 
 void save_snapshot_file(core::KiNetGan& model, const std::string& path) {
     const std::string blob = write_snapshot(model);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    KINET_CHECK(out.good(), "snapshot: cannot open " + path + " for writing");
-    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-    out.flush();
-    KINET_CHECK(out.good(), "snapshot: write to " + path + " failed");
+    // Atomic replacement: the container goes to `path + ".tmp"`, is fsynced,
+    // and only then renamed over the target.  A crash (or an injected fault)
+    // at any instant leaves either the previous snapshot or the new one on
+    // disk — never a torn file a restart would refuse to load.
+    fsio::write_file_durable(path + ".tmp", blob);
+    KINET_FAILPOINT("snapshot.commit");
+    fsio::rename_durable(path + ".tmp", path);
 }
 
 std::unique_ptr<core::KiNetGan> load_snapshot_file(const std::string& path) {

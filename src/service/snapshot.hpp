@@ -27,6 +27,11 @@ inline constexpr std::string_view kSnapshotMagic = "KNETSNAP";
 /// Serializes a fitted model into the container format.
 [[nodiscard]] std::string write_snapshot(core::KiNetGan& model);
 
+/// Wraps an already-serialized KiNetGan::save stream into the container
+/// format (magic, version, length, checksum) without re-serializing — the
+/// registry uses this to persist the payload it just measured.
+[[nodiscard]] std::string wrap_snapshot_payload(std::string_view payload);
+
 /// Parses and validates a container; throws kinet::Error naming the failure
 /// (bad magic / unsupported version / truncation / checksum mismatch).
 [[nodiscard]] std::unique_ptr<core::KiNetGan> read_snapshot(std::string_view data);

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "src/common/check.hpp"
+#include "src/common/failpoint.hpp"
 
 namespace kinet::service {
 namespace {
@@ -137,6 +138,7 @@ void TcpStream::set_recv_timeout(std::size_t ms) {
 }
 
 void TcpStream::write_all(std::string_view data) {
+    KINET_FAILPOINT("socket.send");
     KINET_CHECK(valid(), "socket: write on closed stream");
     std::size_t sent = 0;
     while (sent < data.size()) {
@@ -152,6 +154,7 @@ void TcpStream::write_all(std::string_view data) {
 }
 
 bool TcpStream::fill() {
+    KINET_FAILPOINT("socket.recv");
     KINET_CHECK(valid(), "socket: read on closed stream");
     if (rdpos_ == rdbuf_.size()) {
         rdbuf_.clear();

@@ -39,6 +39,13 @@ cannot express:
                   documented sites: the use must carry a nearby comment
                   justifying the lock-free protocol.
 
+  failpoint-name  Every KINET_FAILPOINT site must name a string literal
+                  registered in kRegisteredFailpoints (src/common/
+                  failpoint.cpp) — a typo'd site could never be armed, so
+                  the chaos suite would silently stop covering it.  The
+                  registry itself is checked for staleness: a registered
+                  name with no site left in src/ is also a finding.
+
 Suppressions: a finding is waived by a comment on the same line or the
 line above::
 
@@ -146,6 +153,12 @@ ASSIGN_RE = re.compile(r"\b(\w+)\s*=(?!=)")
 SIZING_RE = re.compile(r"\.\s*(?:resize|reserve)\s*\(\s*(\w+)")
 BOUND_RE_TEMPLATE = r"(?:element_count\s*\([^)]*\b{ident}\b|KINET_CHECK\s*\([^;]*\b{ident}\b|\b{ident}\b\s*(?:<|<=|>|>=)|(?:<|<=|>|>=)\s*\b{ident}\b|std::min[^;]*\b{ident}\b)"
 
+# Failpoint sites carry their name as a string literal, which the stripper
+# blanks — this rule scans RAW lines, not code lines.
+FAILPOINT_SITE_RE = re.compile(r'KINET_FAILPOINT\s*\(\s*"([^"]*)"\s*\)')
+FAILPOINT_CALL_RE = re.compile(r"\bKINET_FAILPOINT\s*\(")
+FAILPOINT_REGISTRY = REPO / "src" / "common" / "failpoint.cpp"
+
 ALLOW_RE = re.compile(r"kinet-lint:\s*allow\(([\w-]+)\)\s*:\s*(\S.*?)\s*(?:\*/)?\s*$")
 BARE_ALLOW_RE = re.compile(r"kinet-lint:\s*allow\(([\w-]+)\)")
 
@@ -156,6 +169,7 @@ RULES = {
     "raw-io": "raw socket syscall outside the EINTR-safe wrappers",
     "unbounded-count": "wire-side count sizes a container without a bound",
     "tsa-escape": "undocumented KINET_NO_THREAD_SAFETY_ANALYSIS",
+    "failpoint-name": "KINET_FAILPOINT site not in the central registry",
     "bad-allow": "kinet-lint allow() without a reason",
 }
 
@@ -407,6 +421,65 @@ def rule_tsa_escape(path: pathlib.Path, code_lines: list[str],
     return findings
 
 
+_REGISTERED_FAILPOINTS: set[str] | None = None
+
+
+def registered_failpoints() -> set[str]:
+    """Names declared in kRegisteredFailpoints (src/common/failpoint.cpp)."""
+    global _REGISTERED_FAILPOINTS
+    if _REGISTERED_FAILPOINTS is None:
+        names: set[str] = set()
+        if FAILPOINT_REGISTRY.is_file():
+            text = FAILPOINT_REGISTRY.read_text(encoding="utf-8", errors="replace")
+            m = re.search(r"kRegisteredFailpoints\s*\[\]\s*=\s*\{(.*?)\}", text,
+                          re.DOTALL)
+            if m:
+                names = set(re.findall(r'"([^"]+)"', m.group(1)))
+        _REGISTERED_FAILPOINTS = names
+    return _REGISTERED_FAILPOINTS
+
+
+def rule_failpoint_name(path: pathlib.Path, raw_lines: list[str]) -> list[Finding]:
+    registry = registered_failpoints()
+    if not registry:
+        return [Finding(path, 1, "failpoint-name",
+                        f"cannot parse kRegisteredFailpoints from {FAILPOINT_REGISTRY}")]
+    findings: list[Finding] = []
+    for idx, line in enumerate(raw_lines):
+        literals = FAILPOINT_SITE_RE.findall(line)
+        for name in literals:
+            if name not in registry:
+                findings.append(Finding(
+                    path, idx + 1, "failpoint-name",
+                    f'failpoint "{name}" is not in kRegisteredFailpoints '
+                    "(src/common/failpoint.cpp) — it can never be armed"))
+        # A site whose argument is not a plain string literal defeats both
+        # this check and configure()'s name validation.
+        if len(FAILPOINT_CALL_RE.findall(line)) > len(literals) and \
+                "define KINET_FAILPOINT" not in line:
+            findings.append(Finding(
+                path, idx + 1, "failpoint-name",
+                "KINET_FAILPOINT argument must be a string literal so the "
+                "registry check can see it"))
+
+    # Staleness sweep, anchored to the registry file so it runs exactly once
+    # per tree lint: a registered name no site uses is dead chaos coverage.
+    if path.resolve() == FAILPOINT_REGISTRY:
+        used: set[str] = set()
+        for source in sorted((REPO / "src").rglob("*.cpp")):
+            if source.resolve() == FAILPOINT_REGISTRY:
+                continue
+            for m in FAILPOINT_SITE_RE.finditer(
+                    source.read_text(encoding="utf-8", errors="replace")):
+                used.add(m.group(1))
+        for name in sorted(registry - used):
+            findings.append(Finding(
+                path, 1, "failpoint-name",
+                f'registered failpoint "{name}" has no KINET_FAILPOINT site '
+                "left in src/ — remove it or restore the site"))
+    return findings
+
+
 # --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
@@ -438,6 +511,8 @@ def lint_file(path: pathlib.Path, rules: set[str]) -> list[Finding]:
         findings += rule_unbounded_count(path, code_lines)
     if "tsa-escape" in rules:
         findings += rule_tsa_escape(path, code_lines, raw_lines)
+    if "failpoint-name" in rules:
+        findings += rule_failpoint_name(path, raw_lines)
 
     return [f for f in findings
             if f.rule == "bad-allow" or f.rule not in allows.get(f.line - 1, set())]

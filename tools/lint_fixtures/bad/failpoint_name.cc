@@ -1,0 +1,8 @@
+// Fixture: failpoint-name — sites the central registry cannot vouch for.
+#include "src/common/failpoint.hpp"
+
+void bad_sites(const char* dynamic_name) {
+    KINET_FAILPOINT("socket.send");  // registered: no finding
+    KINET_FAILPOINT("tpyo.sokcet.send");  // LINT-EXPECT: failpoint-name
+    KINET_FAILPOINT(dynamic_name);  // LINT-EXPECT: failpoint-name
+}

@@ -1,0 +1,8 @@
+// Fixture: failpoint-name — every site names a registered failpoint.
+#include "src/common/failpoint.hpp"
+
+void good_sites() {
+    KINET_FAILPOINT("socket.recv");
+    KINET_FAILPOINT("snapshot.commit");
+    KINET_FAILPOINT("cluster.rpc");
+}
