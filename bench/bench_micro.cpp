@@ -415,6 +415,52 @@ void BM_ClusterForward(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterForward)->Arg(0)->Arg(1)->UseRealTime();
 
+void BM_RebalanceHandoff(benchmark::State& state) {
+    // One epoch-change rebalance round that pulls a single snapshot to the
+    // node that just became its owner — the per-model price of a
+    // membership change.
+    service::SynthServer source_node;
+    service::SynthServer new_owner;
+    source_node.start();
+    new_owner.start();
+    const std::vector<service::PeerAddress> addrs = {
+        {"127.0.0.1", source_node.port()}, {"127.0.0.1", new_owner.port()}};
+    for (std::size_t i = 0; i < 2; ++i) {
+        service::ClusterConfig cfg;
+        cfg.self = addrs[i];
+        cfg.peers.push_back(addrs[1 - i]);
+        cfg.probe_interval_ms = 1000;
+        cfg.anti_entropy_interval_ms = 0;  // only the timed rounds move data
+        (i == 0 ? source_node : new_owner).enable_cluster(cfg);
+    }
+    // A model the ring places on new_owner, seeded only on source_node —
+    // exactly the state an epoch bump leaves behind mid-rebalance.
+    std::string model;
+    for (int i = 0; i < 4096 && model.empty(); ++i) {
+        const std::string candidate = "bench-move-" + std::to_string(i);
+        if (new_owner.cluster()->owns(candidate)) {
+            model = candidate;
+        }
+    }
+    source_node.registry().put(
+        model, service::read_snapshot(service::write_snapshot(sample_bench_model(false))));
+
+    std::size_t moved = 0;
+    for (auto _ : state) {
+        moved += new_owner.rebalance_now();
+        state.PauseTiming();
+        new_owner.registry().erase(model);  // re-arm the move for the next round
+        state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(moved);
+    state.SetItemsProcessed(static_cast<std::int64_t>(moved));
+    state.SetLabel("snapshots-per-round=1");
+
+    new_owner.stop();
+    source_node.stop();
+}
+BENCHMARK(BM_RebalanceHandoff)->UseRealTime();
+
 void BM_LabSimulator1k(benchmark::State& state) {
     for (auto _ : state) {
         netsim::LabSimOptions opts;

@@ -8,7 +8,7 @@
 //          [--request-workers N] [--max-connections N] [--queue-depth N]
 //          [--model-cache-mb N] [--snapshot-dir DIR] [--data-dir DIR]
 //          [--peers H:P,H:P,...] [--advertise H:P] [--cluster-config FILE]
-//          [--replicas N] [--probe-interval-ms N]
+//          [--join H:P] [--replicas N] [--probe-interval-ms N]
 //          [--persist] [--recover] [--enable-failpoints]
 //   kinetd --stats [--port P]
 //
@@ -35,6 +35,13 @@
 //                       127.0.0.1:<port>); must match the other members'
 //                       --peers entries, since ring placement hashes it
 //   --cluster-config F  read fleet membership from file F instead of flags
+//   --join H:P          join a *running* fleet dynamically through the seed
+//                       member at H:P: announces this node (JOIN), adopts
+//                       the fleet's view and ring parameters, pulls the
+//                       snapshots the rebalanced ring places here, then goes
+//                       active (docs/cluster.md).  Excludes --peers and
+//                       --cluster-config; --advertise/--replicas/
+//                       --probe-interval-ms still apply
 //   --replicas N        snapshot placement width on the ring (default 2)
 //   --probe-interval-ms N  peer health probe period (default 1000)
 //   --persist           write every registered model through to a durable
@@ -82,7 +89,7 @@ void handle_signal(int sig) { g_signal.store(sig); }
                  " [--queue-depth N] [--model-cache-mb N]"
                  " [--snapshot-dir DIR] [--data-dir DIR]"
                  " [--peers H:P,...] [--advertise H:P] [--cluster-config FILE]"
-                 " [--replicas N] [--probe-interval-ms N]"
+                 " [--join H:P] [--replicas N] [--probe-interval-ms N]"
                  " [--persist] [--recover] [--enable-failpoints]\n"
                  "       kinetd --stats [--port P]\n";
     std::exit(2);
@@ -100,6 +107,7 @@ int main(int argc, char** argv) {
     std::string peers_csv;
     std::string advertise;
     std::string cluster_config_path;
+    std::string join_seed;
     std::size_t replicas = 0;           // 0 = config default
     std::size_t probe_interval_ms = 0;  // 0 = config default
 
@@ -169,6 +177,8 @@ int main(int argc, char** argv) {
             advertise = next_value();
         } else if (arg == "--cluster-config") {
             cluster_config_path = next_value();
+        } else if (arg == "--join") {
+            join_seed = next_value();
         } else if (arg == "--replicas") {
             replicas = static_cast<std::size_t>(next_number(64));
             if (replicas == 0) {
@@ -218,7 +228,27 @@ int main(int argc, char** argv) {
             server.registry().put(name, service::load_snapshot_file(path));
             std::cout << "kinetd: loaded model '" << name << "' from " << path << "\n";
         }
-        if (!cluster_config_path.empty() || !peers_csv.empty()) {
+        if (!join_seed.empty() && (!cluster_config_path.empty() || !peers_csv.empty())) {
+            std::cerr << "kinetd: --join excludes --peers/--cluster-config\n";
+            return 2;
+        }
+        if (!join_seed.empty()) {
+            service::ClusterConfig tuning;
+            tuning.self = advertise.empty()
+                              ? service::PeerAddress{"127.0.0.1", server.port()}
+                              : service::parse_peer_address(advertise);
+            if (replicas != 0) {
+                tuning.replicas = replicas;  // overridden by the fleet's value
+            }
+            if (probe_interval_ms != 0) {
+                tuning.probe_interval_ms = probe_interval_ms;
+            }
+            server.join_fleet(tuning, service::parse_peer_address(join_seed));
+            const auto c = server.cluster();
+            std::cout << "kinetd: joined fleet as " << c->self_name() << " via " << join_seed
+                      << " (epoch " << c->epoch() << ", " << c->peer_names().size()
+                      << " peer(s))\n";
+        } else if (!cluster_config_path.empty() || !peers_csv.empty()) {
             service::ClusterConfig cluster;
             if (!cluster_config_path.empty()) {
                 if (!peers_csv.empty() || !advertise.empty()) {

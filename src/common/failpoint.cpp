@@ -20,8 +20,11 @@ namespace {
 /// here with no site left in the tree).
 constexpr const char* kRegisteredFailpoints[] = {
     "cluster.digest",
+    "cluster.epoch_adopt",
     "cluster.fetch",
     "cluster.forward",
+    "cluster.handoff",
+    "cluster.join",
     "cluster.replicate",
     "cluster.rpc",
     "journal.append",

@@ -410,6 +410,188 @@ void SynthClient::quit() {
     stream_.close();
 }
 
+RingClient::RingClient(std::vector<PeerAddress> seeds, ClientOptions options)
+    : seeds_(std::move(seeds)), options_(options) {
+    KINET_CHECK(!seeds_.empty(), "ring client: at least one seed endpoint is required");
+}
+
+void RingClient::adopt_payload(const std::string& payload) {
+    MemberView fresh = MemberView::parse(payload);
+    const auto kv = parse_kv_payload(payload);
+    if (const auto it = kv.find("virtual_nodes"); it != kv.end()) {
+        virtual_nodes_ =
+            static_cast<std::size_t>(parse_u64(it->second, "EPOCH virtual_nodes"));
+    }
+    if (const auto it = kv.find("replicas"); it != kv.end()) {
+        replicas_ = static_cast<std::size_t>(parse_u64(it->second, "EPOCH replicas"));
+    }
+    view_ = std::move(fresh);
+    const auto nodes = view_.ring_nodes();
+    ring_ = nodes.empty()
+                ? nullptr
+                : std::make_unique<HashRing>(nodes,
+                                             virtual_nodes_ == 0 ? 1 : virtual_nodes_);
+    // Members that left take their pooled connections with them.
+    for (auto it = clients_.begin(); it != clients_.end();) {
+        it = view_.find(it->first) == nullptr ? clients_.erase(it) : std::next(it);
+    }
+}
+
+void RingClient::refresh() {
+    // Known members first — they are certainly part of the fleet the last
+    // view described — then any bootstrap seed not already tried.
+    std::vector<PeerAddress> endpoints;
+    for (const auto& member : view_.members) {
+        endpoints.push_back(member.addr);
+    }
+    for (const auto& seed : seeds_) {
+        if (std::find(endpoints.begin(), endpoints.end(), seed) == endpoints.end()) {
+            endpoints.push_back(seed);
+        }
+    }
+    std::string last_error = "no endpoint reachable";
+    Request epoch_request;
+    epoch_request.op = Op::epoch;
+    for (const auto& addr : endpoints) {
+        try {
+            auto client = SynthClient::connect(addr.host, addr.port, options_);
+            const Response response = client.call(epoch_request);
+            if (!response.ok) {
+                last_error = response.error;  // standalone node, most likely
+                continue;
+            }
+            adopt_payload(response.payload);
+            return;
+        } catch (const Error& e) {
+            last_error = e.what();
+        }
+    }
+    throw Error("ring client: view refresh failed: " + last_error);
+}
+
+void RingClient::ensure_view() {
+    if (view_.epoch == 0) {
+        refresh();
+    }
+}
+
+std::string RingClient::owner_of(const std::string& model) {
+    ensure_view();
+    KINET_CHECK(ring_ != nullptr, "ring client: the fleet view has no routable member");
+    return ring_->owner_of(model);
+}
+
+std::vector<std::string> RingClient::candidates(const std::string& model) const {
+    if (ring_ == nullptr) {
+        return {};
+    }
+    auto order = ring_->preference(model, replicas_ == 0 ? 1 : replicas_);
+    // The rest of the ring trails the preference list: when every replica
+    // of a model is unreachable, any member can still answer (forwarding or
+    // pull-through) — worse than direct routing, better than failing.
+    for (const auto& node : view_.ring_nodes()) {
+        if (std::find(order.begin(), order.end(), node) == order.end()) {
+            order.push_back(node);
+        }
+    }
+    return order;
+}
+
+SynthClient& RingClient::member_client(const std::string& name) {
+    if (const auto it = clients_.find(name); it != clients_.end()) {
+        return it->second;
+    }
+    const Member* member = view_.find(name);
+    if (member == nullptr) {
+        throw Error("ring client: unknown member " + name);
+    }
+    return clients_
+        .emplace(name,
+                 SynthClient::connect(member->addr.host, member->addr.port, options_))
+        .first->second;
+}
+
+Response RingClient::rpc(Request request) {
+    ensure_view();
+    // Two view generations: the cached one, and one refresh triggered by a
+    // wrong_owner rejection or by every candidate failing.
+    for (int generation = 0;; ++generation) {
+        request.kv["epoch"] = std::to_string(view_.epoch);
+        std::string last_error = "no routable member for " + request.model;
+        for (const auto& name : candidates(request.model)) {
+            SynthClient* client = nullptr;
+            try {
+                client = &member_client(name);
+            } catch (const Error& e) {
+                last_error = e.what();
+                continue;  // unreachable member: fail over down the list
+            }
+            Response response;
+            try {
+                response = client->call(request);
+            } catch (const Error& e) {
+                clients_.erase(name);  // dead connection: drop the pool slot
+                last_error = e.what();
+                continue;
+            }
+            if (!response.ok && error_code(response.error) == kWrongOwnerCode) {
+                // Membership moved under us: adopt the server's view and
+                // re-route under the new epoch.
+                ++reroutes_;
+                last_error = response.error;
+                break;
+            }
+            return response;
+        }
+        if (generation >= 1) {
+            throw Error("ring client: " + last_error);
+        }
+        refresh();
+    }
+}
+
+std::string RingClient::sample_csv(const std::string& model, std::size_t n,
+                                   std::uint64_t seed, const std::string& cond) {
+    Request request;
+    request.op = Op::sample;
+    request.model = model;
+    request.positional.push_back(std::to_string(n));
+    request.kv["seed"] = std::to_string(seed);
+    if (!cond.empty()) {
+        request.kv["cond"] = cond;
+    }
+    Response response = rpc(std::move(request));
+    if (!response.ok) {
+        throw Error("server: " + response.error);
+    }
+    return std::move(response.payload);
+}
+
+double RingClient::validate(const std::string& model, std::size_t n, std::uint64_t seed) {
+    Request request;
+    request.op = Op::validate;
+    request.model = model;
+    request.kv["n"] = std::to_string(n);
+    request.kv["seed"] = std::to_string(seed);
+    const Response response = rpc(std::move(request));
+    if (!response.ok) {
+        throw Error("server: " + response.error);
+    }
+    const auto kv = parse_kv_payload(response.payload);
+    const auto it = kv.find("validity");
+    KINET_CHECK(it != kv.end(), "client: VALIDATE response lacks validity");
+    return std::stod(it->second);
+}
+
+std::map<std::string, std::string> RingClient::train(const std::string& model,
+                                                     const TrainSpec& spec) {
+    const Response response = rpc(train_request(model, spec));
+    if (!response.ok) {
+        throw Error("server: " + response.error);
+    }
+    return parse_kv_payload(response.payload);
+}
+
 std::map<std::string, std::string> parse_kv_payload(const std::string& payload) {
     std::map<std::string, std::string> out;
     for (const auto& line : text::split(payload, '\n')) {

@@ -9,9 +9,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/data/table.hpp"
+#include "src/service/cluster/membership.hpp"
+#include "src/service/cluster/ring.hpp"
 #include "src/service/protocol.hpp"
 #include "src/service/socket.hpp"
 
@@ -175,6 +178,73 @@ private:
 
 /// Parses a key=value-lines payload (TRAIN/VALIDATE/STATS responses).
 [[nodiscard]] std::map<std::string, std::string> parse_kv_payload(const std::string& payload);
+
+/// Ring-aware client: routes each request straight to the member that owns
+/// its model instead of paying a forwarding hop on a random member.
+///
+/// On first use (and on refresh()) it pulls the fleet's membership view and
+/// ring parameters via the EPOCH op from the first reachable seed, builds
+/// the same consistent-hash ring the servers use, and keeps one pooled
+/// SynthClient per member.  Every routed request is stamped with the view's
+/// epoch; when membership changed since, the server answers the retryable
+/// `wrong_owner` rejection (carrying its current epoch) and the client
+/// refreshes its view and re-routes — so a stale client converges in one
+/// round-trip instead of silently mis-routing forever.  Transport failures
+/// fail over along the model's preference list, then across one view
+/// refresh.  Not thread-safe (like SynthClient): one instance per thread.
+class RingClient {
+public:
+    /// `seeds` are bootstrap endpoints (any fleet member works — the view
+    /// pull returns everyone).  `options` applies to every per-member
+    /// connection; keep connect_attempts small so a dead member costs one
+    /// refused connect during failover.
+    explicit RingClient(std::vector<PeerAddress> seeds, ClientOptions options = {});
+
+    /// Re-pulls the fleet view from the first reachable known member or
+    /// seed.  Called automatically on first use and after `wrong_owner`.
+    void refresh();
+
+    /// The cached view's epoch (0 until the first refresh).
+    [[nodiscard]] std::uint64_t epoch() const noexcept { return view_.epoch; }
+    /// The member this client would route `model` to under the cached view.
+    [[nodiscard]] std::string owner_of(const std::string& model);
+    /// `wrong_owner` rejections absorbed so far (each one refreshed the
+    /// view and re-routed) — observability for tests and callers.
+    [[nodiscard]] std::uint64_t reroutes() const noexcept { return reroutes_; }
+
+    /// Routes one request by the cached ring (epoch-stamped) and returns
+    /// the response; ERR responses come back as Response{ok=false} except
+    /// `wrong_owner`, which is absorbed by a refresh + re-route.  Throws
+    /// when no candidate member is reachable across two view generations.
+    Response rpc(Request request);
+
+    /// Typed conveniences over rpc() — these throw on ERR responses.
+    [[nodiscard]] std::string sample_csv(const std::string& model, std::size_t n,
+                                         std::uint64_t seed, const std::string& cond = {});
+    [[nodiscard]] double validate(const std::string& model, std::size_t n,
+                                  std::uint64_t seed);
+    std::map<std::string, std::string> train(const std::string& model, const TrainSpec& spec);
+
+private:
+    void ensure_view();
+    /// Adopts an EPOCH payload: view, ring parameters, rebuilt ring.
+    void adopt_payload(const std::string& payload);
+    /// The pooled connection to `name`, connecting on first use; throws
+    /// when the member is unknown or unreachable.
+    SynthClient& member_client(const std::string& name);
+    /// Failover order for `model`: its preference list under the cached
+    /// ring, then the remaining on-ring members.
+    [[nodiscard]] std::vector<std::string> candidates(const std::string& model) const;
+
+    std::vector<PeerAddress> seeds_;
+    ClientOptions options_;
+    MemberView view_;
+    std::unique_ptr<HashRing> ring_;
+    std::size_t virtual_nodes_ = 64;
+    std::size_t replicas_ = 2;
+    std::map<std::string, SynthClient> clients_;
+    std::uint64_t reroutes_ = 0;
+};
 
 }  // namespace kinet::service
 

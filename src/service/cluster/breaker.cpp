@@ -66,15 +66,17 @@ bool CircuitBreaker::allow() {
     return true;
 }
 
-void CircuitBreaker::record_success() {
+bool CircuitBreaker::record_success() {
     if (options_.failure_threshold == 0) {
-        return;
+        return false;
     }
     const MutexLock lock(mu_);
+    const bool closed_now = state_ != State::closed;
     state_ = State::closed;
     consecutive_failures_ = 0;
     cooldown_ms_ = 0;
     trial_inflight_ = false;
+    return closed_now;
 }
 
 void CircuitBreaker::record_failure() {

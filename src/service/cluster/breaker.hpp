@@ -53,8 +53,11 @@ public:
     [[nodiscard]] bool allow();
 
     /// Any successful exchange with the peer (RPC or probe): closes the
-    /// circuit and resets the failure count and cooldown.
-    void record_success();
+    /// circuit and resets the failure count and cooldown.  Returns true
+    /// when this call actually closed an open/half-open circuit — the
+    /// recovery edge callers use to trigger immediate repair instead of
+    /// waiting out the next probe or anti-entropy interval.
+    bool record_success();
 
     /// Any failed exchange: counts toward opening; a failed half-open
     /// trial reopens with a grown cooldown.

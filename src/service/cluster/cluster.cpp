@@ -1,5 +1,6 @@
 #include "src/service/cluster/cluster.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -12,14 +13,29 @@
 namespace kinet::service {
 namespace {
 
-std::vector<std::string> member_names(const ClusterConfig& config) {
-    std::vector<std::string> names;
-    names.reserve(config.peers.size() + 1);
-    names.push_back(config.self.name());
+/// Epoch 1: the static config everybody was started with, all active.
+MemberView initial_view(const ClusterConfig& config) {
+    MemberView view;
+    view.epoch = 1;
+    view.members.push_back(Member{config.self.name(), config.self, MemberState::active});
     for (const auto& peer : config.peers) {
-        names.push_back(peer.name());
+        view.members.push_back(Member{peer.name(), peer, MemberState::active});
     }
-    return names;
+    return view;
+}
+
+/// The epoch= line of a pong/DIGEST payload (nullopt when absent).
+std::optional<std::uint64_t> payload_epoch(const std::string& payload) {
+    for (const auto& line : text::split(payload, '\n')) {
+        if (text::starts_with(line, "epoch=")) {
+            try {
+                return parse_u64(line.substr(6), "payload epoch");
+            } catch (const Error&) {
+                return std::nullopt;
+            }
+        }
+    }
+    return std::nullopt;
 }
 
 }  // namespace
@@ -27,11 +43,8 @@ std::vector<std::string> member_names(const ClusterConfig& config) {
 ClusterService::ClusterService(ClusterConfig config)
     : config_(std::move(config)),
       self_(config_.self.name()),
-      ring_(member_names(config_), config_.virtual_nodes == 0 ? 1 : config_.virtual_nodes) {
-    peers_.reserve(config_.peers.size());
-    for (const auto& addr : config_.peers) {
-        peers_.push_back(std::make_unique<Peer>(addr, config_.breaker));
-    }
+      members_(initial_view(config_)) {
+    rebuild_topology();
 }
 
 ClusterService::~ClusterService() { stop(); }
@@ -57,18 +70,158 @@ void ClusterService::stop() {
     if (prober_.joinable()) {
         prober_.join();
     }
-    for (auto& peer : peers_) {
+    std::vector<std::shared_ptr<Peer>> peers;
+    {
+        const ReaderLock lock(topology_mu_);
+        peers = peers_;
+    }
+    for (auto& peer : peers) {
         const MutexLock lock(peer->mu);
         peer->client.reset();
     }
 }
 
-const std::string& ClusterService::owner_of(const std::string& model) const {
-    return ring_.owner_of(model);
+// ---- membership ----
+
+bool ClusterService::adopt_view(const MemberView& remote) {
+    KINET_FAILPOINT("cluster.epoch_adopt");
+    if (!members_.adopt(remote)) {
+        return false;
+    }
+    rebuild_topology();
+    rebalance_pending_.store(true, std::memory_order_relaxed);
+    wake_prober();
+    return true;
+}
+
+MemberView ClusterService::join_member(const std::string& name, const PeerAddress& addr) {
+    const std::uint64_t before = members_.epoch();
+    const MemberView view = members_.join(name, addr);
+    if (view.epoch != before) {
+        rebuild_topology();
+        rebalance_pending_.store(true, std::memory_order_relaxed);
+        wake_prober();
+    }
+    return view;
+}
+
+MemberView ClusterService::set_member_state(const std::string& name, MemberState state) {
+    const std::uint64_t before = members_.epoch();
+    const MemberView view = members_.set_state(name, state);
+    if (view.epoch != before) {
+        rebuild_topology();
+        rebalance_pending_.store(true, std::memory_order_relaxed);
+        wake_prober();
+    }
+    return view;
+}
+
+MemberView ClusterService::remove_member(const std::string& name) {
+    const std::uint64_t before = members_.epoch();
+    const MemberView view = members_.remove(name);
+    if (view.epoch != before) {
+        rebuild_topology();
+        rebalance_pending_.store(true, std::memory_order_relaxed);
+        wake_prober();
+    }
+    return view;
+}
+
+MemberView ClusterService::fetch_view_from(const std::string& peer_name) {
+    Request request;
+    request.op = Op::epoch;
+    request.kv[std::string(kForwardedKey)] = "1";
+    if (const auto peer = find_peer(peer_name)) {
+        Response response = peer_rpc(peer, request);
+        if (!response.ok) {
+            throw Error("cluster: EPOCH from " + peer_name + " failed: " + response.error);
+        }
+        return MemberView::parse(response.payload);
+    }
+    // Not (yet) a known peer — a joining member announcing itself.  Member
+    // names are host:port in every stock deployment, so a direct one-shot
+    // connection resolves the view; an unparseable custom name just leaves
+    // convergence to dissemination through peers we do know.
+    const PeerAddress addr = parse_peer_address(peer_name);
+    ClientOptions options;
+    options.connect_timeout_ms = config_.connect_timeout_ms;
+    options.connect_attempts = 1;
+    options.recv_timeout_ms = config_.peer_timeout_ms;
+    auto client = SynthClient::connect(addr.host, addr.port, options);
+    const Response response = client.call(request);
+    if (!response.ok) {
+        throw Error("cluster: EPOCH from " + peer_name + " failed: " + response.error);
+    }
+    return MemberView::parse(response.payload);
+}
+
+void ClusterService::note_remote_epoch(const std::string& peer_name,
+                                       std::uint64_t remote_epoch) {
+    if (peer_name.empty() || peer_name == self_ || remote_epoch <= epoch()) {
+        return;
+    }
+    {
+        const MutexLock lock(stop_mu_);
+        if (std::find(pending_view_pulls_.begin(), pending_view_pulls_.end(), peer_name) ==
+            pending_view_pulls_.end()) {
+            pending_view_pulls_.push_back(peer_name);
+        }
+        wake_ = true;
+    }
+    stop_cv_.notify_all();
+}
+
+void ClusterService::rebuild_topology() {
+    const MemberView view = members_.view();
+    auto nodes = view.ring_nodes();
+    if (nodes.empty()) {
+        // A view whose every member is leaving/down still needs a ring (the
+        // local node answers best-effort until it actually departs).
+        nodes.push_back(self_);
+    }
+    auto ring = std::make_shared<const HashRing>(
+        std::move(nodes), config_.virtual_nodes == 0 ? 1 : config_.virtual_nodes);
+    const WriterLock lock(topology_mu_);
+    std::vector<std::shared_ptr<Peer>> rebuilt;
+    rebuilt.reserve(view.members.size());
+    for (const auto& member : view.members) {
+        if (member.name == self_) {
+            continue;
+        }
+        std::shared_ptr<Peer> kept;
+        for (const auto& peer : peers_) {
+            if (peer->name == member.name && peer->addr == member.addr) {
+                kept = peer;  // health, breaker and pooled connection survive
+                break;
+            }
+        }
+        rebuilt.push_back(kept != nullptr
+                              ? std::move(kept)
+                              : std::make_shared<Peer>(member.addr, member.name,
+                                                       config_.breaker));
+    }
+    peers_ = std::move(rebuilt);
+    ring_ = std::move(ring);
+}
+
+void ClusterService::wake_prober() {
+    {
+        const MutexLock lock(stop_mu_);
+        wake_ = true;
+    }
+    stop_cv_.notify_all();
+}
+
+// ---- placement ----
+
+std::string ClusterService::owner_of(const std::string& model) const {
+    const ReaderLock lock(topology_mu_);
+    return ring_->owner_of(model);
 }
 
 std::vector<std::string> ClusterService::preference(const std::string& model) const {
-    return ring_.preference(model, config_.replicas == 0 ? 1 : config_.replicas);
+    const ReaderLock lock(topology_mu_);
+    return ring_->preference(model, config_.replicas == 0 ? 1 : config_.replicas);
 }
 
 bool ClusterService::owns(const std::string& model) const { return owner_of(model) == self_; }
@@ -87,57 +240,72 @@ std::optional<std::string> ClusterService::route(const std::string& model) const
     return std::nullopt;
 }
 
-ClusterService::Peer& ClusterService::peer_by_name(const std::string& name) {
-    for (auto& peer : peers_) {
-        if (peer->name == name) {
-            return *peer;
-        }
-    }
-    throw Error("cluster: unknown peer " + name);
-}
-
-const ClusterService::Peer* ClusterService::find_peer(const std::string& name) const {
+std::shared_ptr<ClusterService::Peer> ClusterService::find_peer(
+    const std::string& name) const {
+    const ReaderLock lock(topology_mu_);
     for (const auto& peer : peers_) {
         if (peer->name == name) {
-            return peer.get();
+            return peer;
         }
     }
     return nullptr;
 }
 
-Response ClusterService::peer_rpc(Peer& peer, const Request& request, bool probe) {
+std::shared_ptr<ClusterService::Peer> ClusterService::require_peer(
+    const std::string& name) const {
+    auto peer = find_peer(name);
+    if (peer == nullptr) {
+        throw Error("cluster: unknown peer " + name);
+    }
+    return peer;
+}
+
+Response ClusterService::peer_rpc(const std::shared_ptr<Peer>& peer, const Request& request,
+                                  bool probe) {
     // Breaker admission happens *before* the peer mutex: while the circuit
     // is open, callers fail fast instead of queueing behind whatever wedged
     // RPC opened it.  Probes bypass admission — they are how an open
     // circuit learns of recovery — but their outcomes feed in below.
-    if (!probe && !peer.breaker.allow()) {
+    if (!probe && !peer->breaker.allow()) {
         breaker_rejections.fetch_add(1, std::memory_order_relaxed);
-        throw Error(std::string(kBreakerOpenCode) + ": circuit for peer " + peer.name +
+        throw Error(std::string(kBreakerOpenCode) + ": circuit for peer " + peer->name +
                     " is open");
     }
-    const MutexLock lock(peer.mu);
+    const MutexLock lock(peer->mu);
     const std::size_t attempts = probe ? 1 : config_.rpc_retries + 1;
     Backoff backoff(BackoffOptions{config_.rpc_backoff_ms, config_.rpc_backoff_max_ms},
-                    bytes::fnv1a(peer.name));
+                    bytes::fnv1a(peer->name));
     for (std::size_t attempt = 1;; ++attempt) {
         const auto start = std::chrono::steady_clock::now();
         try {
             KINET_FAILPOINT("cluster.rpc");
-            if (!peer.client.has_value()) {
+            if (!peer->client.has_value()) {
                 ClientOptions options;
                 options.connect_timeout_ms = config_.connect_timeout_ms;
                 options.connect_attempts = 1;  // a down peer costs one refused connect
                 options.recv_timeout_ms = config_.peer_timeout_ms;
                 options.reconnect_on_reset = true;
-                peer.client = SynthClient::connect(peer.addr.host, peer.addr.port, options);
+                peer->client = SynthClient::connect(peer->addr.host, peer->addr.port, options);
             }
-            Response response = peer.client->call(request);
+            Response response = peer->client->call(request);
             const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                                     std::chrono::steady_clock::now() - start)
                                     .count();
-            peer.latency.record(static_cast<std::uint64_t>(micros));
-            peer.up.store(true, std::memory_order_relaxed);
-            peer.breaker.record_success();
+            peer->latency.record(static_cast<std::uint64_t>(micros));
+            peer->up.store(true, std::memory_order_relaxed);
+            if (peer->breaker.record_success() && config_.anti_entropy_interval_ms != 0) {
+                // The circuit just closed after an outage: schedule an
+                // immediate probe + anti-entropy round on the prober thread
+                // (never inline — this thread holds the peer mutex, and the
+                // round re-enters peer RPC), so repair latency is bounded
+                // by this RPC rather than the background timers.
+                {
+                    const MutexLock wake_lock(stop_mu_);
+                    repair_requested_ = true;
+                    wake_ = true;
+                }
+                stop_cv_.notify_all();
+            }
             if (!response.ok && attempt < attempts && is_retryable_error(response.error)) {
                 // A retryable ERR (queue_full, draining) is a healthy peer
                 // refusing work: back off and retry without marking it down.
@@ -152,16 +320,16 @@ Response ClusterService::peer_rpc(Peer& peer, const Request& request, bool probe
             // an injected fault: drop the pooled connection, then either
             // retry (retryable classification, budget left) or mark the peer
             // down and record the breaker failure.
-            peer.client.reset();
+            peer->client.reset();
             if (attempt < attempts && is_retryable_error(e.what())) {
                 rpc_retries.fetch_add(1, std::memory_order_relaxed);
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(backoff.next_delay_ms()));
                 continue;
             }
-            peer.up.store(false, std::memory_order_relaxed);
-            peer.rpc_errors.fetch_add(1, std::memory_order_relaxed);
-            peer.breaker.record_failure();
+            peer->up.store(false, std::memory_order_relaxed);
+            peer->rpc_errors.fetch_add(1, std::memory_order_relaxed);
+            peer->breaker.record_failure();
             throw;
         }
     }
@@ -172,7 +340,7 @@ Response ClusterService::forward(const std::string& peer_name, Request request) 
     request.kv[std::string(kForwardedKey)] = "1";
     forwards.fetch_add(1, std::memory_order_relaxed);
     try {
-        return peer_rpc(peer_by_name(peer_name), request);
+        return peer_rpc(require_peer(peer_name), request);
     } catch (const Error&) {
         forward_errors.fetch_add(1, std::memory_order_relaxed);
         throw;
@@ -191,7 +359,7 @@ void ClusterService::replicate_to(const std::string& peer_name, const std::strin
     if (revision != 0) {
         request.kv["rev"] = std::to_string(revision);
     }
-    const Response response = peer_rpc(peer_by_name(peer_name), request);
+    const Response response = peer_rpc(require_peer(peer_name), request);
     if (!response.ok) {
         throw Error("cluster: REPLICATE " + model + " to " + peer_name + " failed: " +
                     response.error);
@@ -205,7 +373,7 @@ std::string ClusterService::fetch_from(const std::string& peer_name, const std::
     request.op = Op::fetch;
     request.model = model;
     request.kv[std::string(kForwardedKey)] = "1";  // a miss must not cascade
-    Response response = peer_rpc(peer_by_name(peer_name), request);
+    Response response = peer_rpc(require_peer(peer_name), request);
     if (!response.ok) {
         throw Error("cluster: FETCH " + model + " from " + peer_name + " failed: " +
                     response.error);
@@ -219,11 +387,23 @@ std::string ClusterService::digest_from(const std::string& peer_name) {
     Request request;
     request.op = Op::digest;
     request.kv[std::string(kForwardedKey)] = "1";
-    Response response = peer_rpc(peer_by_name(peer_name), request);
+    Response response = peer_rpc(require_peer(peer_name), request);
     if (!response.ok) {
         throw Error("cluster: DIGEST from " + peer_name + " failed: " + response.error);
     }
     digest_pulls.fetch_add(1, std::memory_order_relaxed);
+    // The digest carries the peer's epoch: a strictly newer view is pulled
+    // and adopted right here — anti-entropy is epoch-aware, so a partition
+    // that missed a membership change heals on its first digest exchange.
+    if (const auto remote = payload_epoch(response.payload);
+        remote.has_value() && *remote > epoch()) {
+        try {
+            (void)adopt_view(fetch_view_from(peer_name));
+        } catch (const Error&) {
+            // The peer died between the digest and the view pull; the next
+            // round retries.
+        }
+    }
     return std::move(response.payload);
 }
 
@@ -231,13 +411,14 @@ std::size_t ClusterService::publish(const std::string& model, const std::string&
                                     std::uint64_t revision,
                                     const std::function<void(std::size_t, std::size_t)>& on_peer_done,
                                     std::string* first_error) {
+    const auto names = peer_names();
     std::size_t ok = 0;
-    const std::size_t total = peers_.size();
+    const std::size_t total = names.size();
     for (std::size_t i = 0; i < total; ++i) {
         try {
             // Down peers are attempted too: publish is also how a restarted
             // peer catches up, and a failure just stays in the error report.
-            replicate_to(peers_[i]->name, model, snapshot, revision);
+            replicate_to(names[i], model, snapshot, revision);
             ++ok;
         } catch (const Error& e) {
             if (first_error != nullptr && first_error->empty()) {
@@ -252,7 +433,7 @@ std::size_t ClusterService::publish(const std::string& model, const std::string&
 }
 
 std::optional<PeerAddress> ClusterService::peer_address(const std::string& peer_name) const {
-    const Peer* peer = find_peer(peer_name);
+    const auto peer = find_peer(peer_name);
     if (peer == nullptr) {
         return std::nullopt;
     }
@@ -260,11 +441,12 @@ std::optional<PeerAddress> ClusterService::peer_address(const std::string& peer_
 }
 
 bool ClusterService::peer_up(const std::string& peer_name) const {
-    const Peer* peer = find_peer(peer_name);
+    const auto peer = find_peer(peer_name);
     return peer != nullptr && peer->up.load(std::memory_order_relaxed);
 }
 
 std::vector<std::string> ClusterService::peer_names() const {
+    const ReaderLock lock(topology_mu_);
     std::vector<std::string> names;
     names.reserve(peers_.size());
     for (const auto& peer : peers_) {
@@ -274,6 +456,7 @@ std::vector<std::string> ClusterService::peer_names() const {
 }
 
 std::size_t ClusterService::members_up() const {
+    const ReaderLock lock(topology_mu_);
     std::size_t up = 1;  // self
     for (const auto& peer : peers_) {
         if (peer->up.load(std::memory_order_relaxed)) {
@@ -287,12 +470,30 @@ void ClusterService::probe_now() {
     Request ping;
     ping.op = Op::ping;
     ping.kv[std::string(kForwardedKey)] = "1";
-    for (auto& peer : peers_) {
+    ping.kv["from"] = self_;
+    std::vector<std::shared_ptr<Peer>> peers;
+    {
+        const ReaderLock lock(topology_mu_);
+        peers = peers_;
+    }
+    for (const auto& peer : peers) {
+        ping.kv["epoch"] = std::to_string(epoch());
         try {
             // probe=true: bypasses breaker admission (an open circuit needs
             // the probe to learn of recovery) and marks the peer up/closes
             // the breaker on success.
-            (void)peer_rpc(*peer, ping, /*probe=*/true);
+            const Response pong = peer_rpc(peer, ping, /*probe=*/true);
+            // The pong carries the peer's epoch; a strictly newer view is
+            // pulled and adopted inline (we are on the prober or a test
+            // thread — blocking RPC is fine here).
+            if (const auto remote = payload_epoch(pong.payload);
+                remote.has_value() && *remote > epoch()) {
+                try {
+                    (void)adopt_view(fetch_view_from(peer->name));
+                } catch (const Error&) {
+                    // Peer died between pong and pull; next probe retries.
+                }
+            }
         } catch (const Error&) {
             // peer_rpc already marked it down.
         }
@@ -304,23 +505,57 @@ void ClusterService::probe_loop() {
         std::chrono::milliseconds(config_.probe_interval_ms == 0 ? 1000 : config_.probe_interval_ms);
     auto last_anti_entropy = std::chrono::steady_clock::now();
     for (;;) {
+        std::vector<std::string> pulls;
+        bool repair = false;
+        bool periodic = false;
         {
             UniqueLock lock(stop_mu_);
             const auto deadline = std::chrono::steady_clock::now() + interval;
             // Inline condition loop (not a wait predicate) so the guarded
-            // read of stopping_ is visibly under stop_mu_.
-            while (!stopping_) {
+            // reads of stopping_/wake_ are visibly under stop_mu_.
+            while (!stopping_ && !wake_) {
                 if (stop_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+                    periodic = true;
                     break;
                 }
             }
             if (stopping_) {
                 return;
             }
+            wake_ = false;
+            pulls.swap(pending_view_pulls_);
+            repair = repair_requested_;
+            repair_requested_ = false;
         }
-        probe_now();
+        // Deferred view pulls: a request thread saw a peer claim a newer
+        // epoch but could not block on the pull itself.
+        for (const auto& name : pulls) {
+            try {
+                (void)adopt_view(fetch_view_from(name));
+            } catch (const Error&) {
+                // Unreachable or unresolvable; dissemination through other
+                // peers converges the view instead.
+            }
+        }
+        if (periodic) {
+            probe_now();
+        }
+        if (repair) {
+            // A breaker just closed: one immediate probe + anti-entropy
+            // round so the recovered peer is repaired now, not at the next
+            // timer tick.
+            probe_now();
+            if (anti_entropy_hook_ != nullptr) {
+                anti_entropy_hook_();
+            }
+        }
+        if (rebalance_pending_.exchange(false, std::memory_order_relaxed) &&
+            rebalance_hook_ != nullptr) {
+            rebalance_hook_();
+        }
         const auto now = std::chrono::steady_clock::now();
-        if (anti_entropy_hook_ != nullptr && config_.anti_entropy_interval_ms != 0 &&
+        if (periodic && anti_entropy_hook_ != nullptr &&
+            config_.anti_entropy_interval_ms != 0 &&
             now - last_anti_entropy >=
                 std::chrono::milliseconds(config_.anti_entropy_interval_ms)) {
             last_anti_entropy = now;
@@ -330,13 +565,24 @@ void ClusterService::probe_loop() {
 }
 
 std::string ClusterService::render_status(const std::string& model) const {
+    const MemberView view = members_.view();
     std::string out;
     out += "self=" + self_ + "\n";
-    out += "members=" + std::to_string(peers_.size() + 1) + "\n";
+    out += "epoch=" + std::to_string(view.epoch) + "\n";
+    out += "members=" + std::to_string(view.members.size()) + "\n";
     out += "members_up=" + std::to_string(members_up()) + "\n";
     out += "replicas=" + std::to_string(config_.replicas) + "\n";
     out += "virtual_nodes=" + std::to_string(config_.virtual_nodes) + "\n";
-    for (const auto& peer : peers_) {
+    for (const auto& member : view.members) {
+        out += "member." + member.name + "=" +
+               std::string(member_state_name(member.state)) + "\n";
+    }
+    std::vector<std::shared_ptr<Peer>> peers;
+    {
+        const ReaderLock lock(topology_mu_);
+        peers = peers_;
+    }
+    for (const auto& peer : peers) {
         out += "peer." + peer->name + "=" +
                (peer->up.load(std::memory_order_relaxed) ? "up" : "down") + "\n";
     }
@@ -351,13 +597,20 @@ std::string ClusterService::render_status(const std::string& model) const {
 
 std::string ClusterService::render_stats() const {
     std::string out;
+    std::vector<std::shared_ptr<Peer>> peers;
+    {
+        const ReaderLock lock(topology_mu_);
+        peers = peers_;
+    }
     std::size_t peers_up_count = 0;
-    for (const auto& peer : peers_) {
+    for (const auto& peer : peers) {
         if (peer->up.load(std::memory_order_relaxed)) {
             ++peers_up_count;
         }
     }
-    out += "peers=" + std::to_string(peers_.size()) + "\n";
+    out += "epoch=" + std::to_string(epoch()) + "\n";
+    out += "members=" + std::to_string(members_.view().members.size()) + "\n";
+    out += "peers=" + std::to_string(peers.size()) + "\n";
     out += "peers_up=" + std::to_string(peers_up_count) + "\n";
     out += "forwards=" + std::to_string(forwards.load(std::memory_order_relaxed)) + "\n";
     out += "forward_errors=" + std::to_string(forward_errors.load(std::memory_order_relaxed)) +
@@ -374,7 +627,14 @@ std::string ClusterService::render_stats() const {
            std::to_string(breaker_rejections.load(std::memory_order_relaxed)) + "\n";
     out += "digest_pulls=" + std::to_string(digest_pulls.load(std::memory_order_relaxed)) +
            "\n";
-    for (const auto& peer : peers_) {
+    out += "rebalances=" + std::to_string(rebalances.load(std::memory_order_relaxed)) + "\n";
+    out += "handoff_snapshots=" +
+           std::to_string(handoff_snapshots.load(std::memory_order_relaxed)) + "\n";
+    out += "handoff_bytes=" + std::to_string(handoff_bytes.load(std::memory_order_relaxed)) +
+           "\n";
+    out += "handoff_failures=" +
+           std::to_string(handoff_failures.load(std::memory_order_relaxed)) + "\n";
+    for (const auto& peer : peers) {
         const std::string prefix = "peer." + peer->name;
         out += prefix + ".up=" +
                (peer->up.load(std::memory_order_relaxed) ? "1" : "0") + "\n";

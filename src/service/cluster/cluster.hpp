@@ -1,7 +1,8 @@
 // The peer layer that turns N kinetd instances into one logical fleet.
 //
-// ClusterService owns everything peer-facing: the consistent-hash ring
-// (placement), one pooled SynthClient per peer (forwarding, replication,
+// ClusterService owns everything peer-facing: the epoch-versioned
+// membership view (MembershipTable), the consistent-hash ring derived from
+// it (placement), one pooled SynthClient per peer (forwarding, replication,
 // probes), per-peer health state driven by a background PING prober, and
 // the cluster counters/latency histograms STATS surfaces.  The server
 // consults route() to decide whether a request is answered locally or
@@ -9,12 +10,21 @@
 // snapshot movement.  All peer RPC is blocking and runs on request workers
 // or the prober thread — never on the epoll loop.
 //
+// Membership is dynamic: JOIN/LEAVE/adoption of a newer remote view bump
+// the epoch and atomically swap in a freshly built ring and peer table
+// (existing Peer objects are retained by name so pooled connections,
+// health and breaker state survive a rebuild; in-flight RPCs hold their
+// Peer via shared_ptr).  View dissemination piggybacks on the prober: its
+// PINGs carry this node's epoch, pong payloads carry the peer's, and the
+// newer side is pulled whole via the EPOCH op.  On any epoch change the
+// rebalance hook (the server's pull-based snapshot handoff) is scheduled
+// on the prober thread.
+//
 // Health model: a peer starts `up` (optimistic — the prober corrects within
 // one interval), is marked down on any transport failure (probe or live
 // RPC), and comes back on the next successful probe.  Forwarding consults
 // the ring's preference list and skips down members, so a dead owner fails
-// over to its replica owner without any ring mutation; placement itself
-// never changes at runtime (membership is static config).
+// over to its replica owner without waiting for a membership change.
 #ifndef KINETGAN_SERVICE_CLUSTER_CLUSTER_H
 #define KINETGAN_SERVICE_CLUSTER_CLUSTER_H
 
@@ -32,6 +42,7 @@
 #include "src/service/client.hpp"
 #include "src/service/cluster/breaker.hpp"
 #include "src/service/cluster/config.hpp"
+#include "src/service/cluster/membership.hpp"
 #include "src/service/cluster/ring.hpp"
 #include "src/service/metrics.hpp"
 #include "src/service/protocol.hpp"
@@ -53,13 +64,33 @@ public:
     void stop();
 
     [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
-    [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
     [[nodiscard]] const std::string& self_name() const noexcept { return self_; }
+
+    // ---- membership ----
+
+    [[nodiscard]] std::uint64_t epoch() const { return members_.epoch(); }
+    [[nodiscard]] MemberView view() const { return members_.view(); }
+    /// Adopts a strictly newer remote view: swaps ring + peer table and
+    /// schedules the rebalance hook.  Returns whether the view changed.
+    bool adopt_view(const MemberView& remote);
+    /// Admits `name` at `addr` in the joining state (epoch bump; idempotent
+    /// re-JOIN does not bump).  Returns the resulting view.
+    MemberView join_member(const std::string& name, const PeerAddress& addr);
+    /// Transitions a member's lifecycle state (epoch bump when it changes).
+    MemberView set_member_state(const std::string& name, MemberState state);
+    /// Drops a member from the view outright (epoch bump).
+    MemberView remove_member(const std::string& name);
+    /// Pulls a peer's full membership view via the EPOCH op.
+    [[nodiscard]] MemberView fetch_view_from(const std::string& peer_name);
+    /// Called (from the loop thread — must not block) when a request told
+    /// us `peer_name` sits at a strictly newer epoch: schedules the prober
+    /// to pull and adopt that peer's view.
+    void note_remote_epoch(const std::string& peer_name, std::uint64_t remote_epoch);
 
     // ---- placement ----
 
     /// The ring owner of `model` (health-blind).
-    [[nodiscard]] const std::string& owner_of(const std::string& model) const;
+    [[nodiscard]] std::string owner_of(const std::string& model) const;
     /// Owner plus fallback owners, failover order, length = replicas.
     [[nodiscard]] std::vector<std::string> preference(const std::string& model) const;
     /// True when this node is the ring owner of `model`.
@@ -101,12 +132,13 @@ public:
     [[nodiscard]] bool peer_up(const std::string& peer_name) const;
     /// The endpoint behind a peer name (nullopt for unknown names or self).
     [[nodiscard]] std::optional<PeerAddress> peer_address(const std::string& peer_name) const;
-    /// Every peer's ring name, config order (self excluded).
+    /// Every current peer's ring name (self excluded), name order.
     [[nodiscard]] std::vector<std::string> peer_names() const;
     /// Up members including self (self is always up from its own view).
     [[nodiscard]] std::size_t members_up() const;
     /// One synchronous probe round over all peers (what the background
     /// prober runs each interval; exposed for tests and deterministic use).
+    /// Pongs carrying a newer epoch trigger an inline view pull + adoption.
     void probe_now();
     /// Installs the periodic anti-entropy callback the prober thread fires
     /// every anti_entropy_interval_ms (the server wires anti_entropy_now()
@@ -114,6 +146,12 @@ public:
     /// without a lock.
     void set_anti_entropy_hook(std::function<void()> hook) {
         anti_entropy_hook_ = std::move(hook);
+    }
+    /// Installs the rebalance callback the prober fires after any epoch
+    /// change (the server wires rebalance_now() in here).  Same contract:
+    /// set before start_probing().
+    void set_rebalance_hook(std::function<void()> hook) {
+        rebalance_hook_ = std::move(hook);
     }
 
     // ---- rendering ----
@@ -135,11 +173,17 @@ public:
     std::atomic<std::uint64_t> rpc_retries{0};       // retryable-failure retries spent
     std::atomic<std::uint64_t> breaker_rejections{0};  // RPCs refused while open
     std::atomic<std::uint64_t> digest_pulls{0};      // anti-entropy DIGEST pulls
+    std::atomic<std::uint64_t> rebalances{0};        // rebalance rounds run
+    std::atomic<std::uint64_t> handoff_snapshots{0};  // snapshots moved by rebalance
+    std::atomic<std::uint64_t> handoff_bytes{0};      // container bytes moved
+    std::atomic<std::uint64_t> handoff_failures{0};   // failed handoff attempts
 
 private:
     /// One fleet peer: its pooled blocking client (guarded by `mu` — peer
     /// RPC serializes per peer, different peers proceed in parallel),
-    /// lock-free health/latency state, and its circuit breaker.
+    /// lock-free health/latency state, and its circuit breaker.  Held by
+    /// shared_ptr so a membership rebuild never invalidates a peer an
+    /// in-flight RPC is using.
     struct Peer {
         PeerAddress addr;
         std::string name;
@@ -150,36 +194,63 @@ private:
         LatencyHistogram latency;
         CircuitBreaker breaker;
 
-        Peer(PeerAddress address, const BreakerOptions& breaker_options)
+        Peer(PeerAddress address, std::string peer_name,
+             const BreakerOptions& breaker_options)
             : addr(std::move(address)),
-              name(addr.name()),
+              name(std::move(peer_name)),
               // Per-peer deterministic seed: jitter decorrelates across
               // peers yet replays identically run-to-run.
               breaker(breaker_options, bytes::fnv1a(name)) {}
     };
 
-    [[nodiscard]] Peer& peer_by_name(const std::string& name);
-    [[nodiscard]] const Peer* find_peer(const std::string& name) const;
+    [[nodiscard]] std::shared_ptr<Peer> find_peer(const std::string& name) const;
+    [[nodiscard]] std::shared_ptr<Peer> require_peer(const std::string& name) const;
     /// Sends one request on the peer's pooled connection, (re)connecting as
     /// needed, timing it into the peer histogram and updating health and
     /// the breaker.  Retryable failures are retried with jittered backoff
     /// up to config_.rpc_retries times; `probe` bypasses breaker admission
     /// (and never retries) but still feeds outcomes into it.
-    Response peer_rpc(Peer& peer, const Request& request, bool probe = false);
+    Response peer_rpc(const std::shared_ptr<Peer>& peer, const Request& request,
+                      bool probe = false);
+    /// Rebuilds the ring and peer table from the current membership view
+    /// (existing peers are retained by name).
+    void rebuild_topology();
+    /// Wakes the prober to run work off the critical path: a pending view
+    /// pull, a repair round (probe + anti-entropy) after a breaker closed,
+    /// or the rebalance hook after an epoch change.
+    void wake_prober();
     void probe_loop();
 
     ClusterConfig config_;
     std::string self_;
-    HashRing ring_;
-    std::vector<std::unique_ptr<Peer>> peers_;
+    MembershipTable members_;
+    mutable SharedMutex topology_mu_;
+    std::shared_ptr<const HashRing> ring_ KINET_GUARDED_BY(topology_mu_);
+    std::vector<std::shared_ptr<Peer>> peers_ KINET_GUARDED_BY(topology_mu_);
     /// Fired by the prober thread every anti_entropy_interval_ms; set once
     /// before start_probing(), read without a lock.
     std::function<void()> anti_entropy_hook_;
+    /// Fired by the prober thread after an adopted/locally-bumped epoch;
+    /// set once before start_probing(), read without a lock.
+    std::function<void()> rebalance_hook_;
+    /// An epoch change happened; the prober owes a rebalance_hook_ run.
+    std::atomic<bool> rebalance_pending_{false};
 
     Mutex stop_mu_;
     CondVar stop_cv_;
     bool stopping_ KINET_GUARDED_BY(stop_mu_) = false;
     bool probing_ KINET_GUARDED_BY(stop_mu_) = false;
+    /// Prober wakeup state: set under stop_mu_, consumed at the top of each
+    /// prober iteration.
+    bool wake_ KINET_GUARDED_BY(stop_mu_) = false;
+    /// Peers whose views the prober should pull and adopt (they reported a
+    /// newer epoch on a request we could not block on).
+    std::vector<std::string> pending_view_pulls_ KINET_GUARDED_BY(stop_mu_);
+    /// A breaker just closed: run probe + anti-entropy immediately so
+    /// repair latency is bounded by the RPC, not the probe timer.  Only
+    /// honoured while background anti-entropy is enabled
+    /// (anti_entropy_interval_ms != 0) — 0 means "tests drive repair".
+    bool repair_requested_ KINET_GUARDED_BY(stop_mu_) = false;
     /// Written under stop_mu_ in start_probing(); joined in stop() after
     /// the stopping_ handshake published it (mutex release/acquire order),
     /// so the join itself runs unlocked — it must, the probe loop takes

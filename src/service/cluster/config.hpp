@@ -1,13 +1,15 @@
-// Static fleet membership for the kinetd cluster layer.
+// Bootstrap fleet configuration for the kinetd cluster layer.
 //
 // The paper's deployment is a handful of tenant sites that know each other
-// by address — there is no discovery protocol to reproduce, so membership
-// is a static table: this node's advertised address plus every peer.  Two
-// sources produce a ClusterConfig: the `--peers host:port,...` flag (one
-// line of CSV) and `--cluster-config <file>` (a line-oriented file that can
-// also tune ring and probe parameters).  Every node in the fleet must be
-// given the same member set or the rings disagree about placement; the
-// CLUSTER op exists partly so an operator can check that they do.
+// by address, so a ClusterConfig is the simple seed: this node's advertised
+// address plus every peer it starts out knowing.  Two sources produce one:
+// the `--peers host:port,...` flag (one line of CSV) and `--cluster-config
+// <file>` (a line-oriented file that can also tune ring and probe
+// parameters).  The config only *seeds* membership — it becomes epoch 1 of
+// the epoch-versioned view (membership.hpp), which JOIN/LEAVE then evolve
+// at runtime; a member started with `--join` needs no config at all.  The
+// CLUSTER and EPOCH ops exist partly so an operator can check that the
+// fleet agrees about placement.
 #ifndef KINETGAN_SERVICE_CLUSTER_CONFIG_H
 #define KINETGAN_SERVICE_CLUSTER_CONFIG_H
 

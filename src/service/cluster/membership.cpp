@@ -1,0 +1,178 @@
+#include "src/service/cluster/membership.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+#include "src/common/text.hpp"
+#include "src/service/protocol.hpp"
+
+namespace kinet::service {
+namespace {
+
+void sort_members(std::vector<Member>& members) {
+    std::sort(members.begin(), members.end(),
+              [](const Member& a, const Member& b) { return a.name < b.name; });
+}
+
+}  // namespace
+
+std::string_view member_state_name(MemberState state) {
+    switch (state) {
+    case MemberState::joining:
+        return "joining";
+    case MemberState::active:
+        return "active";
+    case MemberState::leaving:
+        return "leaving";
+    case MemberState::down:
+        return "down";
+    }
+    return "?";
+}
+
+MemberState parse_member_state(std::string_view token) {
+    if (token == "joining") {
+        return MemberState::joining;
+    }
+    if (token == "active") {
+        return MemberState::active;
+    }
+    if (token == "leaving") {
+        return MemberState::leaving;
+    }
+    if (token == "down") {
+        return MemberState::down;
+    }
+    throw Error("membership: unknown member state '" + std::string(token) + "'");
+}
+
+const Member* MemberView::find(std::string_view name) const {
+    for (const auto& member : members) {
+        if (member.name == name) {
+            return &member;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<std::string> MemberView::ring_nodes() const {
+    std::vector<std::string> nodes;
+    nodes.reserve(members.size());
+    for (const auto& member : members) {
+        if (member.state == MemberState::joining || member.state == MemberState::active) {
+            nodes.push_back(member.name);
+        }
+    }
+    return nodes;
+}
+
+std::string MemberView::serialize() const {
+    std::string out;
+    out += "epoch=" + std::to_string(epoch) + "\n";
+    out += "members=" + std::to_string(members.size()) + "\n";
+    for (const auto& member : members) {
+        out += "member " + member.name + " " + member.addr.name() + " " +
+               std::string(member_state_name(member.state)) + "\n";
+    }
+    return out;
+}
+
+MemberView MemberView::parse(const std::string& payload) {
+    MemberView view;
+    bool saw_epoch = false;
+    for (const auto& line : text::split(payload, '\n')) {
+        if (text::starts_with(line, "epoch=")) {
+            view.epoch = parse_u64(line.substr(6), "membership epoch");
+            saw_epoch = true;
+            continue;
+        }
+        if (!text::starts_with(line, "member ")) {
+            continue;  // members= count and any appended ring parameters
+        }
+        const auto tokens = text::split(line, ' ');
+        KINET_CHECK(tokens.size() == 4, "membership: malformed member line '" + line + "'");
+        Member member;
+        member.name = tokens[1];
+        member.addr = parse_peer_address(tokens[2]);
+        member.state = parse_member_state(tokens[3]);
+        view.members.push_back(std::move(member));
+    }
+    KINET_CHECK(saw_epoch, "membership: view payload has no epoch= line");
+    sort_members(view.members);
+    return view;
+}
+
+MembershipTable::MembershipTable(MemberView initial) : view_(std::move(initial)) {
+    const MutexLock lock(mu_);
+    sort_members(view_.members);
+}
+
+MemberView MembershipTable::view() const {
+    const MutexLock lock(mu_);
+    return view_;
+}
+
+std::uint64_t MembershipTable::epoch() const {
+    const MutexLock lock(mu_);
+    return view_.epoch;
+}
+
+bool MembershipTable::adopt(const MemberView& remote) {
+    const MutexLock lock(mu_);
+    if (remote.epoch <= view_.epoch) {
+        return false;
+    }
+    view_ = remote;
+    sort_members(view_.members);
+    return true;
+}
+
+MemberView MembershipTable::join(const std::string& name, const PeerAddress& addr) {
+    const MutexLock lock(mu_);
+    for (auto& member : view_.members) {
+        if (member.name != name) {
+            continue;
+        }
+        if (member.addr == addr &&
+            (member.state == MemberState::joining || member.state == MemberState::active)) {
+            return view_;  // idempotent re-JOIN: no bump
+        }
+        // Rejoin after leave/crash, or a moved endpoint: re-admit.
+        member.addr = addr;
+        member.state = MemberState::joining;
+        ++view_.epoch;
+        return view_;
+    }
+    view_.members.push_back(Member{name, addr, MemberState::joining});
+    sort_members(view_.members);
+    ++view_.epoch;
+    return view_;
+}
+
+MemberView MembershipTable::set_state(const std::string& name, MemberState state) {
+    const MutexLock lock(mu_);
+    for (auto& member : view_.members) {
+        if (member.name == name) {
+            if (member.state != state) {
+                member.state = state;
+                ++view_.epoch;
+            }
+            return view_;
+        }
+    }
+    return view_;
+}
+
+MemberView MembershipTable::remove(const std::string& name) {
+    const MutexLock lock(mu_);
+    const auto it = std::find_if(view_.members.begin(), view_.members.end(),
+                                 [&](const Member& m) { return m.name == name; });
+    if (it == view_.members.end()) {
+        return view_;
+    }
+    view_.members.erase(it);
+    ++view_.epoch;
+    return view_;
+}
+
+}  // namespace kinet::service

@@ -1,0 +1,103 @@
+// Epoch-versioned fleet membership for the kinetd cluster layer.
+//
+// A MemberView is a monotonically versioned snapshot of who is in the
+// fleet: an epoch counter plus a name-sorted member list, each member
+// carrying its lifecycle state (joining/active/leaving/down).  Every
+// topology change — JOIN, LEAVE, state transition — bumps the epoch by
+// exactly one on the node applying it; every other node converges by
+// adopting any strictly newer view it hears about (piggybacked on PING
+// probes and DIGEST anti-entropy, or pulled whole via the EPOCH op).
+// Higher-epoch-wins is safe because a view is a complete replacement, not
+// a delta: adopting can never un-apply a change it has not seen, only lag
+// behind one it will hear about again.
+//
+// Ring placement derives from the view: joining and active members hold
+// ring slots (a joining member takes its final placement immediately, so
+// the pull-based handoff targets the layout it will keep); leaving and
+// down members hold none, so marking a member leaving is what moves
+// ownership off it and triggers the rebalance.
+#ifndef KINETGAN_SERVICE_CLUSTER_MEMBERSHIP_H
+#define KINETGAN_SERVICE_CLUSTER_MEMBERSHIP_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/thread_annotations.hpp"
+#include "src/service/cluster/config.hpp"
+
+namespace kinet::service {
+
+/// Lifecycle state of one fleet member within a view.
+enum class MemberState {
+    joining,  // admitted, placed on the ring, still pulling its snapshots
+    active,   // full member
+    leaving,  // handing off; off the ring, still answering RPCs
+    down,     // administratively dead; off the ring, kept for visibility
+};
+
+[[nodiscard]] std::string_view member_state_name(MemberState state);
+/// Throws kinet::Error on an unknown state token.
+[[nodiscard]] MemberState parse_member_state(std::string_view token);
+
+/// One member of the fleet: ring identity, endpoint, lifecycle state.
+struct Member {
+    std::string name;  // ring identity (host:port unless overridden)
+    PeerAddress addr;
+    MemberState state = MemberState::active;
+};
+
+/// An immutable membership snapshot.  Serializes to the line format the
+/// JOIN and EPOCH ops carry:
+///     epoch=<n>
+///     members=<k>
+///     member <name> <host:port> <state>
+struct MemberView {
+    std::uint64_t epoch = 0;
+    std::vector<Member> members;  // kept sorted by name
+
+    [[nodiscard]] const Member* find(std::string_view name) const;
+    /// Ring slot holders: joining and active members, view order.
+    [[nodiscard]] std::vector<std::string> ring_nodes() const;
+    [[nodiscard]] std::string serialize() const;
+    /// Parses a serialized view; unknown lines are ignored (the EPOCH
+    /// payload appends ring parameters after the member list).  Throws
+    /// kinet::Error on malformed member lines or a missing epoch.
+    [[nodiscard]] static MemberView parse(const std::string& payload);
+};
+
+/// The mutable, mutex-guarded membership table a ClusterService owns.
+/// Local mutations (join/set_state/remove) bump the epoch by one and
+/// return the new view; adopt() replaces the whole view when the remote
+/// epoch is strictly newer.
+class MembershipTable {
+public:
+    explicit MembershipTable(MemberView initial);
+
+    [[nodiscard]] MemberView view() const;
+    [[nodiscard]] std::uint64_t epoch() const;
+
+    /// Adopts `remote` iff remote.epoch > the current epoch.  Returns
+    /// whether the view changed.
+    bool adopt(const MemberView& remote);
+
+    /// Admits a member in the joining state (epoch bump).  Re-joining with
+    /// the same name and address is idempotent (no bump) unless the member
+    /// had left the ring (leaving/down), which re-admits it; a changed
+    /// address replaces the old endpoint.
+    MemberView join(const std::string& name, const PeerAddress& addr);
+    /// Transitions a member's state (epoch bump; no-op view if already
+    /// there or unknown).
+    MemberView set_state(const std::string& name, MemberState state);
+    /// Removes a member outright (epoch bump; no-op view if unknown).
+    MemberView remove(const std::string& name);
+
+private:
+    mutable Mutex mu_;
+    MemberView view_ KINET_GUARDED_BY(mu_);
+};
+
+}  // namespace kinet::service
+
+#endif  // KINETGAN_SERVICE_CLUSTER_MEMBERSHIP_H

@@ -6,8 +6,9 @@
 // members encountered continuing clockwise.  The construction is the
 // standard one (Karger et al.): adding or removing a member moves only the
 // keys adjacent to its points, and virtual nodes keep the per-member share
-// close to uniform.  The ring is immutable after construction — membership
-// is static config — so lookups need no locking.
+// close to uniform.  A ring object is immutable after construction, so
+// lookups need no locking; membership changes build a *new* ring from the
+// adopted view and swap it wholesale under the cluster's epoch lock.
 #ifndef KINETGAN_SERVICE_CLUSTER_RING_H
 #define KINETGAN_SERVICE_CLUSTER_RING_H
 

@@ -28,6 +28,8 @@ constexpr OpSpec kOps[] = {
     {Op::cluster, "CLUSTER", false, 0, true}, {Op::replicate, "REPLICATE", true, 1},
     {Op::fetch, "FETCH", true, 0},    {Op::fedtrain, "FEDTRAIN", true, 0},
     {Op::fault, "FAULT", false, 0},   {Op::digest, "DIGEST", false, 0},
+    {Op::join, "JOIN", true, 1},      {Op::leave, "LEAVE", true, 0},
+    {Op::epoch, "EPOCH", false, 0},
 };
 
 const OpSpec* find_op(std::string_view name) {
@@ -196,7 +198,8 @@ bool is_retryable_error(std::string_view message) {
     }
     const std::string_view code = error_code(message);
     return code == kQueueFullPrefix || code == kDrainingCode ||
-           code == kBreakerOpenCode || code == kUnavailableCode;
+           code == kBreakerOpenCode || code == kUnavailableCode ||
+           code == kWrongOwnerCode;
 }
 
 Response coded_error(std::string_view code, std::string_view detail) {

@@ -49,10 +49,16 @@ enum class Op {
                //   spec=off disarms (requires --enable-failpoints)
     digest,    // DIGEST                           — registry digest manifest
                //   (name/revision/bytes/checksum per model) for anti-entropy
+    join,      // JOIN <name> <host:port>          — admit a member into the
+               //   fleet (epoch bump); the response carries the new view
+    leave,     // LEAVE <name>                     — begin a member's departure;
+               //   sent to the leaving node it drains and hands off first
+    epoch,     // EPOCH                            — the current membership view
+               //   (epoch, member list + states, ring parameters)
 };
 
 /// Number of protocol ops (for per-op metric arrays indexed by Op).
-inline constexpr std::size_t kOpCount = 18;
+inline constexpr std::size_t kOpCount = 21;
 
 /// Machine-readable prefix of admission-control rejections: a server at
 /// capacity answers `ERR queue_full: <detail>` (connection cap reached or
@@ -97,6 +103,10 @@ struct Response {
 inline constexpr std::string_view kDrainingCode = "draining";        // SIGTERM drain
 inline constexpr std::string_view kBreakerOpenCode = "breaker_open"; // peer circuit open
 inline constexpr std::string_view kUnavailableCode = "unavailable";  // transient dependency
+/// Misrouted during a membership transition: the detail carries the
+/// server's `epoch=<n>` (and the owner it computes) so ring-aware clients
+/// refresh their view and re-resolve instead of failing.
+inline constexpr std::string_view kWrongOwnerCode = "wrong_owner";
 
 /// Permanent REPLICATE body rejections (non-retryable by classification).
 inline constexpr std::string_view kBodyTooLargeCode = "body_too_large";

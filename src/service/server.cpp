@@ -336,9 +336,11 @@ void SynthServer::crash_stop() {
 
 void SynthServer::enable_cluster(ClusterConfig config) {
     auto service = std::make_shared<ClusterService>(std::move(config));
-    // The prober thread drives periodic anti-entropy; the hook is set
-    // before the thread exists, so no synchronisation is needed.
+    // The prober thread drives periodic anti-entropy and post-epoch-change
+    // rebalances; both hooks are set before the thread exists, so no
+    // synchronisation is needed.
     service->set_anti_entropy_hook([this] { (void)anti_entropy_now(); });
+    service->set_rebalance_hook([this] { (void)rebalance_now(); });
     service->start_probing();
     std::shared_ptr<ClusterService> old;
     {
@@ -353,6 +355,50 @@ void SynthServer::enable_cluster(ClusterConfig config) {
 std::shared_ptr<ClusterService> SynthServer::cluster() const {
     const MutexLock lock(cluster_mu_);
     return cluster_;
+}
+
+void SynthServer::join_fleet(ClusterConfig tuning, const PeerAddress& seed) {
+    // Announce to the seed first: its JOIN response is the fleet's current
+    // view (with this node in it, joining) plus the ring parameters every
+    // member must agree on.
+    ClientOptions copts;
+    copts.connect_timeout_ms = tuning.connect_timeout_ms;
+    copts.connect_attempts = 3;
+    copts.recv_timeout_ms = tuning.peer_timeout_ms;
+    auto client = SynthClient::connect(seed.host, seed.port, copts);
+    Request join;
+    join.op = Op::join;
+    join.model = tuning.self.name();
+    join.positional.push_back(tuning.self.name());
+    const Response joined = client.call(join);
+    if (!joined.ok) {
+        throw Error("JOIN via " + seed.name() + " rejected: " + joined.error);
+    }
+    const MemberView view = MemberView::parse(joined.payload);
+    const auto kv = parse_kv_payload(joined.payload);
+    if (const auto it = kv.find("virtual_nodes"); it != kv.end()) {
+        tuning.virtual_nodes = static_cast<std::size_t>(
+            parse_u64(it->second, "JOIN virtual_nodes"));
+    }
+    if (const auto it = kv.find("replicas"); it != kv.end()) {
+        tuning.replicas = static_cast<std::size_t>(parse_u64(it->second, "JOIN replicas"));
+    }
+    tuning.peers.clear();
+    for (const auto& member : view.members) {
+        if (member.name != tuning.self.name()) {
+            tuning.peers.push_back(member.addr);
+        }
+    }
+    enable_cluster(std::move(tuning));
+    const auto c = cluster();
+    (void)c->adopt_view(view);
+    // Warm up before going active: pull every snapshot the joined ring
+    // places on this (still joining) node, so the first request routed here
+    // is served locally instead of missing.
+    (void)rebalance_now();
+    // Going active bumps the epoch; dissemination (our probes carry it,
+    // peers pull the view) spreads both the join and the activation.
+    (void)c->set_member_state(c->self_name(), MemberState::active);
 }
 
 std::uint16_t SynthServer::port() const noexcept { return loop_->port(); }
@@ -375,6 +421,10 @@ bool SynthServer::is_fast_op(const Request& request) {
     case Op::quit:
     case Op::cluster:
     case Op::fault:
+    case Op::epoch:
+        // EPOCH answers inline so view pulls keep working while the node
+        // drains (a leaving member must stay able to disseminate its final
+        // epochs) — it only snapshots the membership table, never blocks.
         return true;
     case Op::poll:
         // The wait= long-poll parks the request until the job is terminal;
@@ -428,6 +478,23 @@ Response SynthServer::dispatch(const Request& request) {
     case Op::ping: {
         Response r;
         r.payload = "pong\n";
+        if (const auto c = cluster()) {
+            // The pong carries our epoch — the probing peer pulls our view
+            // when it is newer than its own.  A probe's PING carries the
+            // sender's epoch + name the other way; when *it* is newer we
+            // schedule a pull (this runs on the loop thread — never block).
+            r.payload += kv_line("epoch", std::to_string(c->epoch()));
+            const auto epoch_it = request.kv.find("epoch");
+            const auto from_it = request.kv.find("from");
+            if (epoch_it != request.kv.end() && from_it != request.kv.end()) {
+                try {
+                    c->note_remote_epoch(from_it->second,
+                                         parse_u64(epoch_it->second, "PING epoch"));
+                } catch (const Error&) {
+                    // Malformed epoch from an odd client: health still pings.
+                }
+            }
+        }
         return r;
     }
     case Op::train:
@@ -479,6 +546,12 @@ Response SynthServer::dispatch(const Request& request) {
         return handle_fault(request);
     case Op::digest:
         return handle_digest(request);
+    case Op::join:
+        return handle_join(request);
+    case Op::leave:
+        return handle_leave(request);
+    case Op::epoch:
+        return handle_epoch(request);
     case Op::quit:
         return Response{};  // transport-level; acknowledged by the event loop
     }
@@ -500,6 +573,25 @@ std::optional<Response> SynthServer::maybe_forward(const Request& request) {
         // data", so it always runs where it lands.  Everything else
         // (monitoring, jobs, snapshot files) is per-node by design.
         return std::nullopt;
+    }
+    // A ring-aware client stamps the epoch it routed by.  A stamp *older*
+    // than ours means the client's cached ring predates a membership change
+    // and may have routed to the wrong owner: answer the retryable
+    // `wrong_owner` rejection (carrying the current epoch and owner) so the
+    // client refreshes its view and re-routes, instead of silently paying a
+    // forwarding hop on every request.  A stamp newer than ours is served
+    // best-effort — we are the stale side, and dissemination is already
+    // converging us; rejecting would bounce the client between nodes.
+    if (const auto it = request.kv.find("epoch"); it != request.kv.end()) {
+        try {
+            if (parse_u64(it->second, "request epoch") < c->epoch()) {
+                return coded_error(kWrongOwnerCode,
+                                   "epoch=" + std::to_string(c->epoch()) +
+                                       " owner=" + c->owner_of(request.model));
+            }
+        } catch (const Error&) {
+            // Malformed stamp: treat as unstamped and route normally.
+        }
     }
     if (request.op == Op::train) {
         const auto target = c->route(request.model);
@@ -1052,6 +1144,13 @@ Response SynthServer::handle_digest(const Request& /*request*/) {
     const auto digest = registry_.digest();
     Response r;
     r.payload += kv_line("models", std::to_string(digest.size()));
+    if (const auto c = cluster()) {
+        // Anti-entropy doubles as view dissemination: the puller compares
+        // this epoch against its own and adopts the newer view, so a
+        // membership change a partition missed heals on the next digest
+        // exchange.  parse_digest_payload skips the line (not 4 tokens).
+        r.payload += kv_line("epoch", std::to_string(c->epoch()));
+    }
     for (const auto& entry : digest) {
         r.payload += entry.name + " rev=" + std::to_string(entry.revision) +
                      " bytes=" + std::to_string(entry.bytes) +
@@ -1059,6 +1158,72 @@ Response SynthServer::handle_digest(const Request& /*request*/) {
     }
     return r;
 }
+
+namespace {
+
+/// The EPOCH payload: the full membership view plus the ring parameters a
+/// joiner (or ring-aware client) must agree on to compute placement.
+Response view_response(const ClusterService& c, const MemberView& view) {
+    Response r;
+    r.payload = view.serialize();
+    r.payload += kv_line("virtual_nodes", std::to_string(c.config().virtual_nodes));
+    r.payload += kv_line("replicas", std::to_string(c.config().replicas));
+    return r;
+}
+
+}  // namespace
+
+Response SynthServer::handle_epoch(const Request& /*request*/) {
+    const auto c = cluster();
+    if (c == nullptr) {
+        return error_response("EPOCH: clustering is not enabled");
+    }
+    return view_response(*c, c->view());
+}
+
+Response SynthServer::handle_join(const Request& request) {
+    const auto c = cluster();
+    if (c == nullptr) {
+        return error_response("JOIN: clustering is not enabled");
+    }
+    KINET_FAILPOINT("cluster.join");
+    const PeerAddress addr = parse_peer_address(request.positional.at(0));
+    // Admission is local + monotonic: the epoch bump re-rings placement
+    // with the joiner on it, the prober disseminates the view, and every
+    // member's rebalance hook moves the affected snapshots.
+    return view_response(*c, c->join_member(request.model, addr));
+}
+
+Response SynthServer::handle_leave(const Request& request) {
+    const auto c = cluster();
+    if (c == nullptr) {
+        return error_response("LEAVE: clustering is not enabled");
+    }
+    const std::string& target = request.model;
+    if (c->view().find(target) == nullptr) {
+        return error_response("LEAVE: no member named " + target);
+    }
+    // Two epochs, same shape for self-leave and administrative removal of
+    // another member: leaving (off the ring — ownership moves, the member
+    // stays reachable), then an explicit synchronous handoff of everything
+    // this node holds for the new placement, then removal from the view.
+    (void)c->set_member_state(target, MemberState::leaving);
+    (void)rebalance_now();
+    const MemberView view = c->remove_member(target);
+    Response r;
+    r.payload += kv_line("member", target);
+    r.payload += kv_line("epoch", std::to_string(view.epoch));
+    if (target == c->self_name()) {
+        // Drain like SIGTERM: in-flight requests complete, fast ops (EPOCH,
+        // PING — peers still pull our final view) keep answering, and new
+        // non-fast work gets the retryable `draining:` rejection so clients
+        // fail over to the surviving members.
+        loop_->drain();
+        r.payload += kv_line("draining", "1");
+    }
+    return r;
+}
+
 
 std::uint64_t SynthServer::admit_model(const std::string& name,
                                        std::unique_ptr<core::KiNetGan> model,
@@ -1251,6 +1416,99 @@ std::size_t SynthServer::anti_entropy_now() {
         }
     }
     return repaired;
+}
+
+std::size_t SynthServer::rebalance_now() {
+    const auto c = cluster();
+    if (c == nullptr) {
+        return 0;
+    }
+    c->rebalances.fetch_add(1, std::memory_order_relaxed);
+    std::size_t moved = 0;
+    // Pull phase: snapshots the current ring places here that this node is
+    // missing (or holds stale) are fetched from whichever up peer reports
+    // them — the new owner pulls, so a joining node fills itself instead of
+    // every old owner having to notice the join.
+    for (const auto& peer : c->peer_names()) {
+        if (!c->peer_up(peer)) {
+            continue;
+        }
+        std::vector<DigestEntry> remote;
+        try {
+            remote = parse_digest_payload(c->digest_from(peer));
+        } catch (const Error&) {
+            continue;  // peer died mid-digest; the prober will notice
+        }
+        for (const auto& entry : remote) {
+            const auto preference = c->preference(entry.name);
+            if (std::find(preference.begin(), preference.end(), c->self_name()) ==
+                preference.end()) {
+                continue;  // not placed here
+            }
+            const auto local = registry_.get(entry.name);
+            if (local != nullptr && local->revision >= entry.revision) {
+                continue;  // ours is as new
+            }
+            try {
+                KINET_FAILPOINT("cluster.handoff");
+                const std::string container = c->fetch_from(peer, entry.name);
+                admit_model(entry.name, read_snapshot(container), entry.revision);
+                c->handoff_snapshots.fetch_add(1, std::memory_order_relaxed);
+                c->handoff_bytes.fetch_add(container.size(), std::memory_order_relaxed);
+                ++moved;
+            } catch (const std::exception&) {
+                // Raced a drop, or the copy was corrupt in flight; epoch-
+                // aware anti-entropy completes the move on a later round.
+                c->handoff_failures.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+    // Retire phase: snapshots this node holds that the ring moved elsewhere
+    // are pushed (revision-guarded) to the first reachable member of their
+    // new preference list *before* the local copy is dropped — the fleet
+    // never retires its only copy.  An unreachable new owner just means the
+    // copy stays here until a later rebalance or anti-entropy finishes the
+    // move.
+    for (const auto& name : registry_.names()) {
+        const auto preference = c->preference(name);
+        if (std::find(preference.begin(), preference.end(), c->self_name()) !=
+            preference.end()) {
+            continue;  // still placed here
+        }
+        const auto local = registry_.get(name);
+        if (local == nullptr) {
+            continue;  // concurrently dropped
+        }
+        bool handed_off = false;
+        for (const auto& node : preference) {
+            if (node == c->self_name() || !c->peer_up(node)) {
+                continue;
+            }
+            try {
+                KINET_FAILPOINT("cluster.handoff");
+                std::string container;
+                {
+                    const MutexLock lock(local->mu);
+                    container = write_snapshot(*local->model);
+                }
+                c->replicate_to(node, name, container, local->revision);
+                c->handoff_snapshots.fetch_add(1, std::memory_order_relaxed);
+                c->handoff_bytes.fetch_add(container.size(), std::memory_order_relaxed);
+                handed_off = true;
+                ++moved;
+                break;
+            } catch (const std::exception&) {
+                c->handoff_failures.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        if (handed_off) {
+            registry_.erase(name);
+            if (store_ != nullptr && !crashed_.load(std::memory_order_relaxed)) {
+                store_->remove(name);
+            }
+        }
+    }
+    return moved;
 }
 
 std::shared_ptr<ModelEntry> SynthServer::require_model(const std::string& name) const {

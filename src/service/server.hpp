@@ -127,6 +127,13 @@ public:
     /// then know every member's address.  Calling again replaces the
     /// membership (the old ClusterService is stopped).
     void enable_cluster(ClusterConfig config);
+    /// Dynamic join (the --join flag): announces this node to `seed` via
+    /// the JOIN op, adopts the fleet view + ring parameters the seed
+    /// returns, pulls the snapshots the new ring places here, and only then
+    /// marks itself active — the first request routed to this node finds
+    /// its model present.  `tuning` carries self plus local overrides;
+    /// its peer list is replaced by the fleet view.
+    void join_fleet(ClusterConfig tuning, const PeerAddress& seed);
     /// The live cluster service; nullptr while standalone.
     [[nodiscard]] std::shared_ptr<ClusterService> cluster() const;
 
@@ -136,6 +143,14 @@ public:
     /// are missing or strictly older than the peer's copy, FETCH and admit
     /// the peer's snapshot.  Returns how many models were repaired.
     std::size_t anti_entropy_now();
+
+    /// One synchronous rebalance round (what the cluster prober runs after
+    /// any epoch change): pull snapshots the current ring places here that
+    /// this node is missing (or holds stale), then retire local snapshots
+    /// the ring moved elsewhere — each pushed to its new owner before the
+    /// local copy is dropped, so the fleet never loses its only copy.
+    /// Returns how many snapshots moved.
+    std::size_t rebalance_now();
 
 private:
     /// Everything a training run needs, resolved and validated *before* the
@@ -198,6 +213,9 @@ private:
     [[nodiscard]] Response handle_fetch(const Request& request);
     [[nodiscard]] Response handle_fault(const Request& request);
     [[nodiscard]] Response handle_digest(const Request& request);
+    [[nodiscard]] Response handle_join(const Request& request);
+    [[nodiscard]] Response handle_leave(const Request& request);
+    [[nodiscard]] Response handle_epoch(const Request& request);
     [[nodiscard]] Response handle_sample(const Request& request);
     [[nodiscard]] SampleSpec parse_sample_spec(const Request& request, bool streaming) const;
     /// Drives the model's streaming sampler for `spec` (conditional or not).

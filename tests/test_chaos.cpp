@@ -17,9 +17,11 @@
 //      codes, and DIGEST-driven anti-entropy reconverging a crash-looped
 //      member.
 #include <gtest/gtest.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -38,6 +40,8 @@
 #include "src/service/cluster/breaker.hpp"
 #include "src/service/cluster/cluster.hpp"
 #include "src/service/cluster/config.hpp"
+#include "src/service/cluster/membership.hpp"
+#include "src/service/cluster/ring.hpp"
 #include "src/service/journal.hpp"
 #include "src/service/persistence.hpp"
 #include "src/service/protocol.hpp"
@@ -908,6 +912,315 @@ TEST(ChaosFleet, InjectedRpcFaultsTripTheBreakerDeterministically) {
     servers[0]->cluster()->probe_now();
     const Response relayed = servers[0]->cluster()->forward(peer, ping);
     EXPECT_TRUE(relayed.ok) << relayed.error;
+
+    for (auto& server : servers) {
+        server->stop();
+    }
+}
+
+// ------------------------------------------------- membership under churn
+
+/// Binds an ephemeral port, releases it, and returns the number, so a ring
+/// that includes a not-yet-started member can be computed up front.
+std::uint16_t chaos_reserve_port() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    KINET_CHECK(fd >= 0, "socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    KINET_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                "bind() failed");
+    socklen_t len = sizeof(addr);
+    KINET_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+                "getsockname() failed");
+    ::close(fd);
+    return ntohs(addr.sin_port);
+}
+
+TEST(ChaosMembership, JoinUnderLoadServesEveryRequestAndMovesOwnership) {
+    std::vector<std::unique_ptr<SynthServer>> servers;
+    std::vector<PeerAddress> addrs;
+    for (std::size_t i = 0; i < 3; ++i) {
+        ServerOptions options;
+        options.train_workers = 2;
+        servers.push_back(std::make_unique<SynthServer>(options));
+        servers[i]->start();
+        addrs.push_back(PeerAddress{"127.0.0.1", servers[i]->port()});
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+        servers[i]->enable_cluster(chaos_fleet_config(addrs, i));
+    }
+    const PeerAddress joiner_addr{"127.0.0.1", chaos_reserve_port()};
+
+    // Two models chosen against the pre- and post-join rings: `stable`
+    // never changes owner, `moved` transfers to the joiner.  The load runs
+    // against `stable` through node0 for the whole join window.
+    std::vector<std::string> new_nodes;
+    for (const auto& addr : addrs) {
+        new_nodes.push_back(addr.name());
+    }
+    new_nodes.push_back(joiner_addr.name());
+    const HashRing new_ring(new_nodes, ClusterConfig{}.virtual_nodes);
+    const auto& old_cluster = *servers[0]->cluster();
+    std::string stable;
+    std::string moved;
+    for (int i = 0; i < 8192 && (stable.empty() || moved.empty()); ++i) {
+        const std::string name = "churn-" + std::to_string(i);
+        const std::string old_owner = old_cluster.owner_of(name);
+        const std::string new_owner = new_ring.owner_of(name);
+        if (stable.empty() && old_owner == new_owner) {
+            stable = name;
+        }
+        if (moved.empty() && new_owner == joiner_addr.name()) {
+            moved = name;
+        }
+    }
+    ASSERT_FALSE(stable.empty());
+    ASSERT_FALSE(moved.empty());
+    for (const std::string& model : {stable, moved}) {
+        for (auto& server : servers) {
+            if (server->cluster()->self_name() == old_cluster.owner_of(model)) {
+                const Response r = server->handle(parse_request(
+                    "TRAIN " + model + " records=300 sim-seed=5 epochs=2 gan-seed=9"));
+                ASSERT_TRUE(r.ok) << r.error;
+            }
+        }
+    }
+    const std::uint64_t stable_golden = sample_fingerprint(*servers[0], stable);
+    const std::uint64_t moved_golden = sample_fingerprint(*servers[0], moved);
+
+    // Sustained SAMPLE load through node0 while the membership changes
+    // under it.  Retryable rejections are absorbed by the client loop; any
+    // *permanent* error during the join is a correctness failure.
+    std::atomic<bool> stop_load{false};
+    std::atomic<std::size_t> served{0};
+    std::atomic<std::size_t> permanent{0};
+    std::thread load([&] {
+        try {
+            ClientOptions copts;
+            copts.reconnect_on_reset = true;
+            copts.reconnect_attempts = 5;
+            copts.reconnect_backoff_ms = 10;
+            auto client = SynthClient::connect("127.0.0.1", addrs[0].port, copts);
+            while (!stop_load.load()) {
+                try {
+                    if (client.sample_csv(stable, 16, 3).empty()) {
+                        permanent.fetch_add(1);
+                    } else {
+                        served.fetch_add(1);
+                    }
+                } catch (const Error& e) {
+                    std::string_view message = e.what();
+                    if (message.rfind("server: ", 0) == 0) {
+                        message.remove_prefix(8);
+                    }
+                    if (!is_retryable_error(message)) {
+                        permanent.fetch_add(1);
+                    }
+                }
+            }
+            client.quit();
+        } catch (const Error&) {
+            permanent.fetch_add(1);
+        }
+    });
+
+    // The join happens in the middle of the load window.
+    while (served.load() < 5) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ServerOptions joiner_options;
+    joiner_options.train_workers = 2;
+    joiner_options.port = joiner_addr.port;
+    SynthServer joiner(joiner_options);
+    joiner.start();
+    ClusterConfig tuning = chaos_fleet_config({joiner_addr}, 0);
+    joiner.join_fleet(tuning, addrs[0]);
+    // Deterministic dissemination: explicit probe rounds walk the epoch out
+    // to every original member.
+    for (int round = 0; round < 3; ++round) {
+        for (auto& server : servers) {
+            server->cluster()->probe_now();
+        }
+    }
+    const std::size_t served_before_stop = served.load();
+    while (served.load() < served_before_stop + 5) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    stop_load.store(true);
+    load.join();
+
+    EXPECT_EQ(permanent.load(), 0U)
+        << "join must never surface a permanent error to clients";
+    EXPECT_GE(served.load(), 10U);
+
+    // Ownership of `moved` transferred, its snapshot travelled with it, and
+    // the new owner serves bit-exact seeded samples.
+    for (auto& server : servers) {
+        EXPECT_EQ(server->cluster()->owner_of(moved), joiner_addr.name());
+        EXPECT_EQ(server->cluster()->epoch(), joiner.cluster()->epoch());
+    }
+    ASSERT_NE(joiner.registry().get(moved), nullptr);
+    EXPECT_EQ(sample_fingerprint(joiner, moved), moved_golden);
+    EXPECT_EQ(sample_fingerprint(*servers[0], stable), stable_golden);
+    EXPECT_GE(joiner.cluster()->handoff_snapshots.load(), 1U);
+
+    joiner.stop();
+    for (auto& server : servers) {
+        server->stop();
+    }
+}
+
+TEST(ChaosMembership, OwnerKilledMidHandoffIsRepairedByAntiEntropy) {
+    FailpointGuard guard;
+    std::vector<std::unique_ptr<SynthServer>> servers;
+    std::vector<PeerAddress> addrs;
+    for (std::size_t i = 0; i < 3; ++i) {
+        ServerOptions options;
+        options.train_workers = 2;
+        servers.push_back(std::make_unique<SynthServer>(options));
+        servers[i]->start();
+        addrs.push_back(PeerAddress{"127.0.0.1", servers[i]->port()});
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+        servers[i]->enable_cluster(chaos_fleet_config(addrs, i));
+    }
+    const PeerAddress joiner_addr{"127.0.0.1", chaos_reserve_port()};
+
+    // A model owned by node1 today, with node2 as its designated replica,
+    // that the post-join ring hands to the joiner.  After node1 is killed,
+    // node2's replica copy is the surviving anti-entropy source — and since
+    // dissemination is parked, node2 never adopts the new epoch during the
+    // test, so no background rebalance can push the snapshot and race the
+    // explicit repair below.
+    std::vector<std::string> new_nodes;
+    for (const auto& addr : addrs) {
+        new_nodes.push_back(addr.name());
+    }
+    new_nodes.push_back(joiner_addr.name());
+    const HashRing new_ring(new_nodes, ClusterConfig{}.virtual_nodes);
+    std::string moved;
+    for (int i = 0; i < 8192 && moved.empty(); ++i) {
+        const std::string name = "handoff-" + std::to_string(i);
+        const auto old_pref = servers[0]->cluster()->preference(name);
+        if (old_pref.size() == 2 && old_pref[0] == addrs[1].name() &&
+            old_pref[1] == addrs[2].name() &&
+            new_ring.owner_of(name) == joiner_addr.name()) {
+            moved = name;
+        }
+    }
+    ASSERT_FALSE(moved.empty());
+    const Response trained = servers[1]->handle(parse_request(
+        "TRAIN " + moved + " records=300 sim-seed=5 epochs=2 gan-seed=9"));
+    ASSERT_TRUE(trained.ok) << trained.error;
+    // One anti-entropy round seeds the replica copy on node2.
+    EXPECT_GE(servers[2]->anti_entropy_now(), 1U);
+    ASSERT_NE(servers[2]->registry().get(moved), nullptr);
+    const std::uint64_t golden = sample_fingerprint(*servers[1], moved);
+
+    // Sever every snapshot handoff for the whole join window — the
+    // rebalancer keeps retrying on each epoch change and keeps failing —
+    // then kill the old owner -9.  The transfer is torn on both ends.
+    failpoint::configure("cluster.handoff", "error");
+    ServerOptions joiner_options;
+    joiner_options.train_workers = 2;
+    joiner_options.port = joiner_addr.port;
+    SynthServer joiner(joiner_options);
+    joiner.start();
+    ClusterConfig tuning = chaos_fleet_config({joiner_addr}, 0);
+    joiner.join_fleet(tuning, addrs[0]);
+    EXPECT_EQ(joiner.registry().get(moved), nullptr)
+        << "the severed handoff must not have delivered the snapshot";
+    EXPECT_GE(joiner.cluster()->handoff_failures.load(), 1U);
+    servers[1]->crash_stop();
+    servers[1].reset();
+
+    // Epoch-aware anti-entropy completes the move: the joiner owns `moved`
+    // under the adopted epoch, sees it in node2's digest, and pulls the
+    // surviving replica copy — bit-exact.  The handoff failpoint stays
+    // armed (the guard disarms it at scope exit): anti-entropy uses its own
+    // pull path, which proves the repair is not a lucky rebalance retry.
+    EXPECT_GE(joiner.anti_entropy_now(), 1U);
+    ASSERT_NE(joiner.registry().get(moved), nullptr)
+        << "anti-entropy must finish the interrupted handoff";
+    EXPECT_EQ(sample_fingerprint(joiner, moved), golden);
+    EXPECT_EQ(sample_fingerprint(*servers[2], moved), golden);
+    // Convergence: a second round has nothing left to repair.
+    EXPECT_EQ(joiner.anti_entropy_now(), 0U);
+
+    joiner.stop();
+    for (auto& server : servers) {
+        if (server != nullptr) {
+            server->stop();
+        }
+    }
+}
+
+TEST(ChaosMembership, LeaveAndRejoinKeepsTheEpochStrictlyMonotonic) {
+    std::vector<std::unique_ptr<SynthServer>> servers;
+    std::vector<PeerAddress> addrs;
+    for (std::size_t i = 0; i < 3; ++i) {
+        ServerOptions options;
+        if (i == 2) {
+            options.port = chaos_reserve_port();  // the churning member
+        }
+        servers.push_back(std::make_unique<SynthServer>(options));
+        servers[i]->start();
+        addrs.push_back(PeerAddress{"127.0.0.1", servers[i]->port()});
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+        servers[i]->enable_cluster(chaos_fleet_config(addrs, i));
+    }
+    // One explicit probe round first: dissemination from a draining member
+    // rides the pooled per-peer connections that continuous probing keeps
+    // warm (a draining listener rejects *new* connections).
+    for (auto& server : servers) {
+        server->cluster()->probe_now();
+    }
+    std::vector<std::uint64_t> epochs;
+    epochs.push_back(servers[0]->cluster()->epoch());
+
+    // LEAVE: node2 hands off, disseminates its final view, and drains.
+    Request leave;
+    leave.op = Op::leave;
+    leave.model = addrs[2].name();
+    const Response left = servers[2]->handle(leave);
+    ASSERT_TRUE(left.ok) << left.error;
+    for (int round = 0; round < 3; ++round) {
+        servers[0]->cluster()->probe_now();
+        servers[1]->cluster()->probe_now();
+    }
+    epochs.push_back(servers[0]->cluster()->epoch());
+    EXPECT_EQ(servers[0]->cluster()->view().members.size(), 2U);
+    EXPECT_EQ(servers[0]->cluster()->epoch(), servers[1]->cluster()->epoch());
+    servers[2]->stop();
+    servers[2].reset();
+
+    // Rejoin under the same identity (same host:port).  The survivors'
+    // epoch keeps climbing — the re-admitted member must never be confused
+    // with its previous incarnation.
+    ServerOptions rejoin_options;
+    rejoin_options.port = addrs[2].port;
+    servers[2] = std::make_unique<SynthServer>(rejoin_options);
+    servers[2]->start();
+    ClusterConfig tuning = chaos_fleet_config({addrs[2]}, 0);
+    servers[2]->join_fleet(tuning, addrs[0]);
+    for (int round = 0; round < 3; ++round) {
+        for (auto& server : servers) {
+            server->cluster()->probe_now();
+        }
+    }
+    epochs.push_back(servers[0]->cluster()->epoch());
+    for (auto& server : servers) {
+        EXPECT_EQ(server->cluster()->epoch(), epochs.back());
+        EXPECT_EQ(server->cluster()->view().members.size(), 3U);
+        EXPECT_EQ(server->cluster()->view().find(addrs[2].name())->state,
+                  MemberState::active);
+    }
+    for (std::size_t i = 1; i < epochs.size(); ++i) {
+        EXPECT_GT(epochs[i], epochs[i - 1]) << "epochs must be strictly monotonic";
+    }
 
     for (auto& server : servers) {
         server->stop();

@@ -17,13 +17,16 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/check.hpp"
 #include "src/common/csv.hpp"
 #include "src/service/client.hpp"
+#include "src/service/cluster/breaker.hpp"
 #include "src/service/cluster/cluster.hpp"
 #include "src/service/cluster/config.hpp"
+#include "src/service/cluster/membership.hpp"
 #include "src/service/cluster/ring.hpp"
 #include "src/service/protocol.hpp"
 #include "src/service/server.hpp"
@@ -432,8 +435,6 @@ TEST(FleetFailover, DeadOwnerFailsOverToTheReplicaAndComesBack) {
     }
 }
 
-// ---------------------------------------------------------------- client
-
 /// Binds an ephemeral port, releases it, and returns the number — a port a
 /// restarted server can plausibly rebind (SO_REUSEADDR covers TIME_WAIT).
 std::uint16_t reserve_port() {
@@ -451,6 +452,308 @@ std::uint16_t reserve_port() {
     ::close(fd);
     return ntohs(addr.sin_port);
 }
+
+// ---------------------------------------------------------------- membership
+
+TEST(Membership, ViewSerializeParseRoundTrips) {
+    MemberView view;
+    view.epoch = 7;
+    view.members = {
+        Member{"10.0.0.1:9190", PeerAddress{"10.0.0.1", 9190}, MemberState::active},
+        Member{"10.0.0.2:9190", PeerAddress{"10.0.0.2", 9190}, MemberState::joining},
+        Member{"10.0.0.3:9190", PeerAddress{"10.0.0.3", 9190}, MemberState::leaving},
+        Member{"10.0.0.4:9190", PeerAddress{"10.0.0.4", 9190}, MemberState::down},
+    };
+    const MemberView parsed = MemberView::parse(view.serialize());
+    EXPECT_EQ(parsed.epoch, 7U);
+    ASSERT_EQ(parsed.members.size(), 4U);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(parsed.members[i].name, view.members[i].name);
+        EXPECT_EQ(parsed.members[i].addr, view.members[i].addr);
+        EXPECT_EQ(parsed.members[i].state, view.members[i].state);
+    }
+    // Ring membership is joining+active only: leaving/down members keep
+    // answering RPCs but own nothing, so marking a member leaving is what
+    // moves its snapshots.
+    EXPECT_EQ(parsed.ring_nodes(),
+              (std::vector<std::string>{"10.0.0.1:9190", "10.0.0.2:9190"}));
+    // Unknown trailing lines (the EPOCH payload appends ring parameters)
+    // must not break parsing.
+    const MemberView tolerant =
+        MemberView::parse(view.serialize() + "virtual_nodes=64\nreplicas=2\n");
+    EXPECT_EQ(tolerant.epoch, 7U);
+    EXPECT_EQ(tolerant.members.size(), 4U);
+    EXPECT_THROW((void)MemberView::parse("members=0\n"), Error);  // no epoch line
+}
+
+TEST(Membership, TableBumpsAreMonotonicAndAdoptIsStrictlyNewerWins) {
+    MemberView initial;
+    initial.epoch = 1;
+    initial.members = {Member{"a:1", PeerAddress{"a", 1}, MemberState::active}};
+    MembershipTable table(initial);
+    EXPECT_EQ(table.epoch(), 1U);
+
+    // join: new member bumps; the identical re-join is idempotent.
+    EXPECT_EQ(table.join("b:2", PeerAddress{"b", 2}).epoch, 2U);
+    EXPECT_EQ(table.join("b:2", PeerAddress{"b", 2}).epoch, 2U);
+    EXPECT_EQ(table.view().find("b:2")->state, MemberState::joining);
+
+    // set_state: bumps only on change.
+    EXPECT_EQ(table.set_state("b:2", MemberState::active).epoch, 3U);
+    EXPECT_EQ(table.set_state("b:2", MemberState::active).epoch, 3U);
+
+    // A re-join of a leaving member re-admits it (bump back to joining).
+    EXPECT_EQ(table.set_state("b:2", MemberState::leaving).epoch, 4U);
+    EXPECT_EQ(table.join("b:2", PeerAddress{"b", 2}).epoch, 5U);
+    EXPECT_EQ(table.view().find("b:2")->state, MemberState::joining);
+
+    // remove: bumps when present, not when absent.
+    EXPECT_EQ(table.remove("b:2").epoch, 6U);
+    EXPECT_EQ(table.remove("b:2").epoch, 6U);
+
+    // adopt: strictly newer replaces wholesale; same-or-older is refused.
+    MemberView newer;
+    newer.epoch = 9;
+    newer.members = {Member{"c:3", PeerAddress{"c", 3}, MemberState::active}};
+    EXPECT_TRUE(table.adopt(newer));
+    EXPECT_EQ(table.epoch(), 9U);
+    EXPECT_FALSE(table.adopt(newer));
+    MemberView older = newer;
+    older.epoch = 4;
+    EXPECT_FALSE(table.adopt(older));
+    EXPECT_EQ(table.view().find("c:3")->name, "c:3");
+}
+
+TEST(Breaker, RecordSuccessReportsTheCloseTransitionOnce) {
+    BreakerOptions options;
+    options.failure_threshold = 1;
+    options.open_ms = 10;
+    CircuitBreaker breaker(options, 1);
+    // Healthy traffic: no transition to report.
+    EXPECT_FALSE(breaker.record_success());
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::open);
+    // The success that closes an open circuit is the recovery edge —
+    // reported exactly once, then quiet again.
+    EXPECT_TRUE(breaker.record_success());
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::closed);
+    EXPECT_FALSE(breaker.record_success());
+    // A disabled breaker never reports an edge.
+    CircuitBreaker disabled(BreakerOptions{0, 10, 2.0, 100, 0.0}, 1);
+    disabled.record_failure();
+    EXPECT_FALSE(disabled.record_success());
+}
+
+// ------------------------------------------------------- dynamic membership
+
+/// fleet_config with timers effectively off: tests drive probes and
+/// dissemination explicitly, so nothing converges behind the test's back.
+ClusterConfig quiet_fleet_config(const std::vector<PeerAddress>& addrs,
+                                 std::size_t self_index) {
+    ClusterConfig cfg = fleet_config(addrs, self_index);
+    cfg.probe_interval_ms = 3600000;
+    cfg.anti_entropy_interval_ms = 0;
+    return cfg;
+}
+
+TEST(DynamicMembership, FourthMemberJoinsPullsItsSnapshotsAndServes) {
+    // Three running members; the fourth's port is reserved up front so the
+    // post-join ring is computable before the join happens.
+    std::vector<SynthServer*> servers;
+    std::vector<PeerAddress> addrs;
+    for (std::size_t i = 0; i < 3; ++i) {
+        auto* s = new SynthServer(ServerOptions{});
+        s->start();
+        servers.push_back(s);
+        addrs.push_back(PeerAddress{"127.0.0.1", s->port()});
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+        servers[i]->enable_cluster(quiet_fleet_config(addrs, i));
+    }
+    const PeerAddress joiner_addr{"127.0.0.1", reserve_port()};
+
+    // A model the *new* ring will place on the joiner, owned by somebody
+    // else today — the join must move it.
+    std::vector<std::string> new_nodes;
+    for (const auto& addr : addrs) {
+        new_nodes.push_back(addr.name());
+    }
+    new_nodes.push_back(joiner_addr.name());
+    const HashRing new_ring(new_nodes, ClusterConfig{}.virtual_nodes);
+    std::string moved;
+    for (int i = 0; i < 4096 && moved.empty(); ++i) {
+        const std::string candidate = "join-moved-" + std::to_string(i);
+        if (new_ring.owner_of(candidate) == joiner_addr.name()) {
+            moved = candidate;
+        }
+    }
+    ASSERT_FALSE(moved.empty());
+    const std::string old_owner = servers[0]->cluster()->owner_of(moved);
+    for (std::size_t i = 0; i < 3; ++i) {
+        if (servers[i]->cluster()->self_name() == old_owner) {
+            const Response r = servers[i]->handle(parse_request(
+                "TRAIN " + moved + " records=400 sim-seed=11 epochs=2 gan-seed=1"));
+            ASSERT_TRUE(r.ok) << r.error;
+        }
+    }
+    auto owner_client = SynthClient::connect("127.0.0.1", servers[0]->port());
+    const std::string golden = owner_client.sample_csv(moved, 64, 99);
+    owner_client.quit();
+
+    // A ring-aware client built against the 3-member view, used before and
+    // after the join — the epoch bump must reroute it, not break it.
+    RingClient ring_client({addrs[0]});
+    EXPECT_EQ(ring_client.sample_csv(moved, 64, 99), golden);
+    const std::uint64_t client_epoch_before = ring_client.epoch();
+
+    // Join.  join_fleet announces via the seed, adopts the fleet view,
+    // pulls what the rebalanced ring places on the joiner (the `moved`
+    // snapshot), and only then goes active.
+    ServerOptions joiner_options;
+    joiner_options.port = joiner_addr.port;
+    SynthServer joiner(joiner_options);
+    joiner.start();
+    ClusterConfig tuning = quiet_fleet_config({joiner_addr}, 0);
+    joiner.join_fleet(tuning, addrs[0]);
+
+    const auto jc = joiner.cluster();
+    ASSERT_NE(jc, nullptr);
+    EXPECT_EQ(jc->view().find(jc->self_name())->state, MemberState::active);
+    EXPECT_EQ(jc->view().members.size(), 4U);
+    EXPECT_NE(joiner.registry().get(moved), nullptr)
+        << "join did not pull the snapshot the new ring places on the joiner";
+    EXPECT_GE(jc->handoff_snapshots.load(), 1U);
+
+    // Deterministic dissemination: the seed learned at JOIN time; everyone
+    // else learns through explicit probe rounds (pong carries the newer
+    // epoch; the prober pulls the view).  probe_now() adopts inline.
+    for (int round = 0; round < 3; ++round) {
+        for (auto* s : servers) {
+            s->cluster()->probe_now();
+        }
+    }
+    const std::uint64_t epoch = jc->epoch();
+    for (auto* s : servers) {
+        EXPECT_EQ(s->cluster()->epoch(), epoch) << s->cluster()->self_name();
+        EXPECT_EQ(s->cluster()->view().members.size(), 4U);
+        EXPECT_EQ(s->cluster()->owner_of(moved), jc->self_name());
+    }
+    EXPECT_GT(epoch, client_epoch_before);
+
+    // The new owner serves the moved model byte-identically — directly and
+    // through the ring client, whose stale epoch stamp is answered with the
+    // retryable wrong_owner rejection, absorbed by a refresh + re-route.
+    auto direct = SynthClient::connect("127.0.0.1", joiner.port());
+    EXPECT_EQ(direct.sample_csv(moved, 64, 99), golden);
+    direct.quit();
+    EXPECT_EQ(ring_client.sample_csv(moved, 64, 99), golden);
+    EXPECT_GE(ring_client.reroutes(), 1U);
+    EXPECT_EQ(ring_client.epoch(), epoch);
+    EXPECT_EQ(ring_client.owner_of(moved), jc->self_name());
+
+    // wrong_owner is a *retryable* coded error — a plain client's retry
+    // machinery treats it like queue_full/draining.
+    EXPECT_TRUE(is_retryable_error("wrong_owner: epoch=9 owner=x"));
+
+    // LEAVE: the joiner drains out again.  The handoff pushes `moved` back
+    // into the surviving ring before the member departs.
+    {
+        auto admin = SynthClient::connect("127.0.0.1", joiner.port());
+        Request leave;
+        leave.op = Op::leave;
+        leave.model = jc->self_name();
+        const Response left = admin.call(leave);
+        ASSERT_TRUE(left.ok) << left.error;
+        const auto kv = parse_kv_payload(left.payload);
+        EXPECT_EQ(kv.at("draining"), "1");
+        EXPECT_GT(parse_u64(kv.at("epoch"), "leave epoch"), epoch);
+    }
+    for (int round = 0; round < 3; ++round) {
+        for (auto* s : servers) {
+            s->cluster()->probe_now();
+        }
+    }
+    for (auto* s : servers) {
+        EXPECT_EQ(s->cluster()->view().members.size(), 3U)
+            << s->cluster()->self_name();
+        EXPECT_NE(s->cluster()->owner_of(moved), jc->self_name());
+    }
+    auto survivor = SynthClient::connect("127.0.0.1", servers[1]->port());
+    EXPECT_EQ(survivor.sample_csv(moved, 64, 99), golden)
+        << "leave handoff lost the snapshot";
+    survivor.quit();
+
+    joiner.stop();
+    for (auto* s : servers) {
+        delete s;
+    }
+}
+
+TEST(FleetRepair, BreakerRecoveryTriggersAnImmediateAntiEntropyRound) {
+    // Two members; `a` sits on a reserved port so it can restart in place.
+    ServerOptions a_options;
+    a_options.port = reserve_port();
+    SynthServer a(a_options);
+    a.start();
+    SynthServer b{ServerOptions{}};
+    b.start();
+    const std::vector<PeerAddress> addrs = {
+        PeerAddress{"127.0.0.1", a.port()},
+        PeerAddress{"127.0.0.1", b.port()},
+    };
+    auto cfg_for = [&addrs](std::size_t i) {
+        ClusterConfig cfg = fleet_config(addrs, i);
+        // Timers parked, but anti-entropy *enabled* — the recovery wake is
+        // only honoured when the operator runs with repair on.
+        cfg.probe_interval_ms = 3600000;
+        cfg.anti_entropy_interval_ms = 3600000;
+        cfg.breaker.failure_threshold = 1;
+        return cfg;
+    };
+    a.enable_cluster(cfg_for(0));
+    b.enable_cluster(cfg_for(1));
+
+    // A model owned by `a`, trained only there.  With replicas=2 of 2
+    // members, `b` is in its preference set, so any anti-entropy round on
+    // `b` pulls it — the test is *when* that round happens.
+    std::string model;
+    for (int i = 0; i < 1024 && model.empty(); ++i) {
+        const std::string candidate = "repair-" + std::to_string(i);
+        if (a.cluster()->owner_of(candidate) == a.cluster()->self_name()) {
+            model = candidate;
+        }
+    }
+    ASSERT_FALSE(model.empty());
+    const Response trained = a.handle(parse_request(
+        "TRAIN " + model + " records=400 sim-seed=7 epochs=2 gan-seed=1"));
+    ASSERT_TRUE(trained.ok) << trained.error;
+    ASSERT_EQ(b.registry().get(model), nullptr);
+
+    // Outage: one failed probe opens the breaker (threshold 1).
+    a.stop();
+    b.cluster()->probe_now();
+    // Recovery: probes bypass the open breaker, so the first probe after
+    // the restart succeeds and closes it — and that close edge must
+    // schedule an immediate anti-entropy round on the prober thread,
+    // without waiting out the (hour-long here) periodic interval.
+    a.start();
+    b.cluster()->probe_now();
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (b.registry().get(model) == nullptr &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_NE(b.registry().get(model), nullptr)
+        << "breaker recovery did not trigger the repair round";
+    const Response stats = b.handle(parse_request("STATS"));
+    ASSERT_TRUE(stats.ok) << stats.error;
+    const auto kv = parse_kv_payload(stats.payload);
+    EXPECT_GE(parse_u64(kv.at("anti_entropy_rounds"), "anti_entropy_rounds"), 1U);
+    a.stop();
+    b.stop();
+}
+
+// ---------------------------------------------------------------- client
 
 TEST(ClientReconnect, ResendsOnceOnAStaleConnectionAfterServerRestart) {
     ServerOptions options;

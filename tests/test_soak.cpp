@@ -13,6 +13,7 @@
 #include <chrono>
 #include <fstream>
 #include <latch>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -471,6 +472,147 @@ TEST(SoakFleet, NodeDeathMidStreamLeavesSurvivorsServing) {
     b.quit();
     for (auto* s : fleet) {
         delete s;
+    }
+}
+
+TEST(SoakFleet, MembershipChurnConvergesUnderLoad) {
+    // Repeated join/leave cycles against a live 3-node fleet with real
+    // timers (100ms probes, periodic anti-entropy) while a client hammers
+    // SAMPLE: every cycle must converge, the epoch must climb strictly, and
+    // the load must never see a permanent error or changed bytes.
+    std::vector<std::unique_ptr<SynthServer>> fleet;
+    std::vector<PeerAddress> addrs;
+    for (std::size_t i = 0; i < 3; ++i) {
+        ServerOptions options;
+        options.train_workers = 2;
+        fleet.push_back(std::make_unique<SynthServer>(options));
+        fleet[i]->start();
+        addrs.push_back(PeerAddress{"127.0.0.1", fleet[i]->port()});
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+        ClusterConfig cfg;
+        cfg.self = addrs[i];
+        for (std::size_t j = 0; j < 3; ++j) {
+            if (j != i) {
+                cfg.peers.push_back(addrs[j]);
+            }
+        }
+        cfg.replicas = 2;
+        cfg.probe_interval_ms = 100;
+        cfg.anti_entropy_interval_ms = 200;
+        fleet[i]->enable_cluster(cfg);
+    }
+    {
+        auto seeder = SynthClient::connect("127.0.0.1", fleet[0]->port());
+        TrainSpec spec;
+        spec.records = 400;
+        spec.sim_seed = 11;
+        spec.epochs = 2;
+        spec.gan_seed = 1;
+        const std::uint64_t job = seeder.fedtrain_async("churn-soak", spec);
+        ASSERT_EQ(seeder.wait_for_job(job).at("state"), "done");
+        const std::string golden = seeder.sample_csv("churn-soak", 64, 99);
+        ASSERT_FALSE(golden.empty());
+        seeder.quit();
+
+        std::atomic<bool> stop_load{false};
+        std::atomic<std::size_t> served{0};
+        std::atomic<std::size_t> permanent{0};
+        std::thread load([&] {
+            try {
+                ClientOptions copts;
+                copts.reconnect_on_reset = true;
+                copts.reconnect_attempts = 5;
+                copts.reconnect_backoff_ms = 10;
+                auto client = SynthClient::connect("127.0.0.1", addrs[0].port, copts);
+                while (!stop_load.load()) {
+                    try {
+                        if (client.sample_csv("churn-soak", 64, 99) == golden) {
+                            served.fetch_add(1);
+                        } else {
+                            permanent.fetch_add(1);  // bytes changed under churn
+                        }
+                    } catch (const Error& e) {
+                        std::string_view message = e.what();
+                        if (message.rfind("server: ", 0) == 0) {
+                            message.remove_prefix(8);
+                        }
+                        if (!is_retryable_error(message)) {
+                            permanent.fetch_add(1);
+                        }
+                    }
+                }
+                client.quit();
+            } catch (const Error&) {
+                permanent.fetch_add(1);
+            }
+        });
+
+        std::uint64_t last_epoch = fleet[0]->cluster()->epoch();
+        const auto converged = [&](std::uint64_t epoch, std::size_t members) {
+            const auto deadline =
+                std::chrono::steady_clock::now() + std::chrono::seconds(20);
+            for (;;) {
+                bool all = true;
+                for (auto& s : fleet) {
+                    all = all && s->cluster()->epoch() == epoch &&
+                          s->cluster()->view().members.size() == members;
+                }
+                if (all) {
+                    return true;
+                }
+                if (std::chrono::steady_clock::now() >= deadline) {
+                    return false;
+                }
+                std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            }
+        };
+        for (int cycle = 0; cycle < 3; ++cycle) {
+            ServerOptions churn_options;
+            churn_options.train_workers = 2;
+            SynthServer churner(churn_options);
+            churner.start();
+            ClusterConfig tuning;
+            tuning.self = PeerAddress{"127.0.0.1", churner.port()};
+            tuning.replicas = 2;
+            tuning.probe_interval_ms = 100;
+            tuning.anti_entropy_interval_ms = 200;
+            churner.join_fleet(tuning, addrs[cycle % addrs.size()]);
+            const std::uint64_t join_epoch = churner.cluster()->epoch();
+            EXPECT_GT(join_epoch, last_epoch) << "cycle " << cycle;
+            ASSERT_TRUE(converged(join_epoch, 4))
+                << "cycle " << cycle << ": join never converged";
+
+            Request leave;
+            leave.op = Op::leave;
+            leave.model = churner.cluster()->self_name();
+            const Response left = churner.handle(leave);
+            ASSERT_TRUE(left.ok) << left.error;
+            const std::uint64_t leave_epoch = churner.cluster()->epoch();
+            EXPECT_GT(leave_epoch, join_epoch) << "cycle " << cycle;
+            ASSERT_TRUE(converged(leave_epoch, 3))
+                << "cycle " << cycle << ": leave never converged";
+            last_epoch = leave_epoch;
+            churner.stop();
+        }
+
+        stop_load.store(true);
+        load.join();
+        EXPECT_EQ(permanent.load(), 0U)
+            << "membership churn surfaced a permanent error or wrong bytes";
+        EXPECT_GE(served.load(), 10U);
+    }
+
+    // The fleet ends where it started: three members, everyone agreeing,
+    // golden bytes intact on every member.
+    auto a = SynthClient::connect("127.0.0.1", fleet[0]->port());
+    auto b = SynthClient::connect("127.0.0.1", fleet[1]->port());
+    EXPECT_EQ(a.cluster().at("members"), "3");
+    EXPECT_EQ(b.sample_csv("churn-soak", 64, 99), a.sample_csv("churn-soak", 64, 99));
+    a.quit();
+    b.quit();
+    for (auto& s : fleet) {
+        s->stop();
     }
 }
 

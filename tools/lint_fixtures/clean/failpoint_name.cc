@@ -5,4 +5,7 @@ void good_sites() {
     KINET_FAILPOINT("socket.recv");
     KINET_FAILPOINT("snapshot.commit");
     KINET_FAILPOINT("cluster.rpc");
+    KINET_FAILPOINT("cluster.join");
+    KINET_FAILPOINT("cluster.handoff");
+    KINET_FAILPOINT("cluster.epoch_adopt");
 }
